@@ -1,0 +1,65 @@
+"""Design-choice ablations (DESIGN.md Section 6) plus simulator micro-benches.
+
+The micro-benchmarks time the *simulator's own* hot paths with
+pytest-benchmark statistics (rounds of real wall time), since those paths
+bound how fast the experiment harness can regenerate the paper.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import ablations
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.swarm import draw_initial_state, draw_weights, velocity_update
+from repro.gpusim.rng import ParallelRNG
+
+
+def test_ablation_report(benchmark, scale):
+    report = benchmark.pedantic(
+        ablations.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + report.to_text())
+    assert len(report.sections) == 6
+
+
+def test_philox_generation_rate(benchmark):
+    """Wall-time throughput of the vectorised Philox generator."""
+    rng = ParallelRNG(7)
+    out = benchmark(lambda: rng.uniform((1000, 200), dtype=np.float32))
+    assert out.shape == (1000, 200)
+
+
+def test_velocity_update_kernel_semantics(benchmark):
+    """Wall time of one fused velocity update on paper-sized matrices."""
+    problem = Problem.from_benchmark("sphere", 200)
+    params = PSOParams(seed=3)
+    state = draw_initial_state(problem, 5000, ParallelRNG(3))
+    l_w, g_w = draw_weights(ParallelRNG(4), 5000, 200)
+    bounds = problem.velocity_bounds(1.0)
+
+    def step():
+        return velocity_update(
+            state.velocities,
+            state.positions,
+            state.pbest_positions,
+            state.pbest_positions[0],
+            l_w,
+            g_w,
+            params,
+            bounds,
+            out=state.velocities,
+        )
+
+    benchmark(step)
+
+
+def test_threadconf_vectorised_evaluation(benchmark):
+    """Wall time of evaluating 5000 thread configurations (Table 1 path)."""
+    from repro.threadconf import TgbmSimulator
+    from repro.threadconf.tuner import ThreadConfEvaluation
+
+    sim = TgbmSimulator("higgs")
+    schema = ThreadConfEvaluation(sim, 50)
+    positions = np.random.default_rng(0).uniform(0, 1, (5000, 50))
+    values = benchmark(schema.evaluate, positions)
+    assert values.shape == (5000,)

@@ -1,0 +1,30 @@
+"""Regenerate Figure 4 (particle/dimension scaling sweeps)."""
+
+from repro.bench.experiments import figure4
+
+
+def test_figure4_scaling_sweeps(benchmark, scale):
+    result = benchmark.pedantic(
+        figure4.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.to_text())
+
+    for problem in ("sphere", "griewank", "easom"):
+        particles = result.get(problem, "particles")
+        dims = result.get(problem, "dimensions")
+        # fastpso stays nearly flat along both axes ...
+        assert particles.flatness("fastpso") < 2.0
+        assert dims.flatness("fastpso") < 2.5
+        # ... while the CPU implementations grow roughly linearly
+        # (2.5x particles, 4x dimensions).
+        assert particles.flatness("fastpso-seq") > 2.0
+        assert dims.flatness("fastpso-seq") > 3.0
+        assert dims.flatness("pyswarms") > 2.0
+        # fastpso is fastest at every sweep point.
+        for point in particles.points:
+            for engine, series in particles.seconds.items():
+                if engine != "fastpso":
+                    assert (
+                        series[point]
+                        >= particles.seconds["fastpso"][point]
+                    )

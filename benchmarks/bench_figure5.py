@@ -1,0 +1,24 @@
+"""Regenerate Figure 5 (per-step elapsed-time breakdown)."""
+
+from repro.bench.experiments import figure5
+
+
+def test_figure5_step_breakdown(benchmark, scale):
+    result = benchmark.pedantic(
+        figure5.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.to_text())
+
+    # CPU engines spend >80 % of their time in the swarm update on the
+    # cheap-evaluation problems; Easom's transcendental-heavy evaluation
+    # claims a large share of its own (visible in the paper's Figure 5c).
+    assert result.swarm_fraction("sphere", "fastpso-seq") > 0.7
+    assert result.swarm_fraction("griewank", "fastpso-seq") > 0.6
+    for problem in ("sphere", "griewank", "easom"):
+        # The sequential port needs >5 s for the swarm update alone
+        # (paper: >10 s); fastpso reduces it by more than an order of
+        # magnitude.
+        seq_swarm = result.breakdowns[problem]["fastpso-seq"].swarm
+        gpu_swarm = result.breakdowns[problem]["fastpso"].swarm
+        assert seq_swarm > 5.0
+        assert seq_swarm / gpu_swarm > 15

@@ -1,0 +1,24 @@
+"""Regenerate Figure 6 (swarm-update technique comparison)."""
+
+from repro.bench.experiments import figure6
+
+
+def test_figure6_update_techniques(benchmark, scale):
+    result = benchmark.pedantic(
+        figure6.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.to_text())
+
+    for problem, per_technique in result.swarm_seconds.items():
+        # CPU for-loop >> any GPU technique (paper: >10 s vs <0.3 s-class).
+        for gpu in ("global-mem", "shared-mem", "tensorcore"):
+            assert per_technique["for-loop"] > 10 * per_technique[gpu], problem
+        # OpenMP helps but stays the same order of magnitude as the loop.
+        assert (
+            per_technique["for-loop"] / per_technique["OpenMP"] < 4.0
+        ), problem
+        # The three GPU techniques are near-tied (bandwidth-bound update).
+        gpu_times = [
+            per_technique[t] for t in ("global-mem", "shared-mem", "tensorcore")
+        ]
+        assert max(gpu_times) / min(gpu_times) < 1.8, problem

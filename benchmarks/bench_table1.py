@@ -1,0 +1,25 @@
+"""Regenerate Table 1 (overall comparison) and check its headline bands."""
+
+from repro.bench.experiments import table1
+from repro.engines import ENGINE_NAMES
+
+
+def test_table1_overall_comparison(benchmark, scale):
+    result = benchmark.pedantic(
+        table1.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.to_text())
+
+    for row in result.rows:
+        # fastpso wins on every problem ...
+        for engine in ENGINE_NAMES:
+            if engine != "fastpso":
+                assert row.speedup_over(engine) > 1.0, (row.problem, engine)
+    by_problem = {row.problem: row for row in result.rows}
+    sphere = by_problem["sphere"]
+    # ... by two orders of magnitude over the CPU libraries ...
+    assert sphere.speedup_over("pyswarms") > 100
+    assert sphere.speedup_over("scikit-opt") > 100
+    # ... and by roughly 5-10x over the existing GPU implementations.
+    assert 4 < sphere.speedup_over("gpu-pso") < 12
+    assert 5 < sphere.speedup_over("hgpu-pso") < 15

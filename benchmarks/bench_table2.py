@@ -1,0 +1,23 @@
+"""Regenerate Table 2 (errors to the optimal values)."""
+
+from repro.bench.experiments import table2
+
+
+def test_table2_errors_to_optimum(benchmark, scale):
+    result = benchmark.pedantic(
+        table2.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.to_text())
+
+    errors = result.errors
+    # CPU libraries diverge (no velocity clamp), the clamped family converges.
+    for problem in ("sphere", "griewank"):
+        assert errors["pyswarms"][problem] > 10 * errors["fastpso"][problem]
+        assert errors["scikit-opt"][problem] > 10 * errors["fastpso"][problem]
+    # The fastpso family and the GPU baselines achieve comparable quality
+    # (identical here: one algorithm, one seed).
+    assert errors["fastpso"]["sphere"] == errors["fastpso-seq"]["sphere"]
+    assert errors["fastpso"]["sphere"] == errors["gpu-pso"]["sphere"]
+    # Easom errors are ~0 for everyone (the paper's plateau convention).
+    for engine in errors:
+        assert errors[engine]["easom"] < 1e-3

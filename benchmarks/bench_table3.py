@@ -1,0 +1,21 @@
+"""Regenerate Table 3 (FLOPs and memory bandwidth of the GPU engines)."""
+
+from repro.bench.experiments import table3
+
+
+def test_table3_flops_and_bandwidth(benchmark, scale):
+    result = benchmark.pedantic(
+        table3.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.to_text())
+
+    # FastPSO's element-wise kernels sustain roughly twice the baselines'
+    # achieved DRAM read throughput (paper: 106.94 vs 61.83 / 57.41 GB/s).
+    assert result.read_gbs["fastpso"] > 1.6 * result.read_gbs["gpu-pso"]
+    assert result.read_gbs["fastpso"] > 1.6 * result.read_gbs["hgpu-pso"]
+    assert 80 < result.read_gbs["fastpso"] < 160
+    assert 30 < result.read_gbs["gpu-pso"] < 80
+    # All implementations execute similar arithmetic per iteration (the
+    # paper's "FLOPs of each implementation is similar" observation).
+    flop = result.gflop_per_iter
+    assert max(flop.values()) < 3 * min(flop.values())

@@ -1,0 +1,40 @@
+"""Fixtures for the paper-regeneration benchmarks.
+
+Each ``bench_*.py`` file regenerates one of the paper's tables/figures and
+prints it, while ``pytest-benchmark`` records the wall-clock cost of the
+regeneration itself (the simulator's own speed).  Set
+``REPRO_BENCH_SCALE=paper`` for full-size error workloads.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.config import PAPER_SCALE, BenchScale
+
+
+def _bench_scale() -> BenchScale:
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return PAPER_SCALE
+    # Benchmark default: paper-sized timing shapes (projection is exact),
+    # reduced error workloads so the whole suite finishes in ~2 minutes.
+    return BenchScale(
+        name="bench",
+        sample_iters=3,
+        error_particles=400,
+        error_dim=50,
+        error_iters=200,
+        tune_particles=128,
+        tune_iters=40,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return _bench_scale()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Compare all seven engines and the three FastPSO memory backends.
+
+Mirrors the paper's Table 1 / Figure 6 at a small interactive scale: every
+engine runs the same Griewank workload with the same seed, so the fastpso
+family's trajectories are identical and only the simulated elapsed times
+differ (that is the paper's whole argument in miniature).
+"""
+
+from repro.core import PSOParams, Problem
+from repro.engines import ENGINE_NAMES, FastPSOEngine, make_engine
+
+
+def main() -> None:
+    problem = Problem.from_benchmark("griewank", 64)
+    params = PSOParams(seed=123)
+
+    print(f"problem: {problem.name} d={problem.dim}, n=1024, 300 iterations\n")
+    print(f"{'engine':22s} {'best value':>12s} {'sim time':>12s}")
+    for name in ENGINE_NAMES:
+        result = make_engine(name).optimize(
+            problem, n_particles=1024, max_iter=300, params=params
+        )
+        print(
+            f"{name:22s} {result.best_value:12.5g} "
+            f"{result.elapsed_seconds * 1e3:10.2f}ms"
+        )
+
+    print("\nFastPSO memory backends (Figure 6):")
+    for backend in ("global", "shared", "tensorcore"):
+        engine = FastPSOEngine(backend=backend)
+        result = engine.optimize(
+            problem, n_particles=1024, max_iter=300, params=params
+        )
+        swarm_ms = result.step_times.swarm * 1e3
+        print(
+            f"{engine.name:22s} {result.best_value:12.5g} "
+            f"swarm step {swarm_ms:8.2f}ms"
+        )
+    print(
+        "\n(global and shared are bit-identical; tensorcore differs only by "
+        "fp16 rounding of the weight products)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Quickstart: minimise a built-in benchmark function with FastPSO.
+
+Runs the paper's default optimizer (element-wise GPU engine on a simulated
+Tesla V100) on the 50-dimensional Sphere problem and prints the solution,
+the simulated GPU time, and the per-step breakdown.
+"""
+
+from repro import FastPSO
+
+
+def main() -> None:
+    pso = FastPSO(n_particles=2000, seed=42)
+    result = pso.minimize("sphere", dim=50, max_iter=500, record_history=True)
+
+    print(result.summary())
+    print(f"best value          : {result.best_value:.6g}")
+    print(f"error to optimum    : {result.error:.6g}")
+    print(f"simulated GPU time  : {result.elapsed_seconds * 1e3:.2f} ms")
+    print(f"per-iteration cost  : {result.iteration_seconds * 1e6:.1f} us")
+    print("step breakdown      :")
+    for step, seconds in result.step_times.as_dict().items():
+        print(f"  {step:6s} {seconds * 1e3:8.3f} ms")
+
+    history = result.history
+    assert history is not None
+    checkpoints = [0, len(history) // 4, len(history) // 2, len(history) - 1]
+    print("convergence         :")
+    for i in checkpoints:
+        print(f"  iter {i:4d}  gbest = {history.gbest_values[i]:.6g}")
+
+
+if __name__ == "__main__":
+    main()

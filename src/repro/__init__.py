@@ -1,0 +1,45 @@
+"""FastPSO reproduction: efficient swarm intelligence on (simulated) GPUs.
+
+Reproduces Liu, Wen & Cai, *FastPSO: Towards Efficient Swarm Intelligence
+Algorithm on GPUs* (ICPP 2021).  The package layers:
+
+* :mod:`repro.gpusim` — the GPU substrate (device model, memory, allocator,
+  occupancy, kernels, Philox RNG, reductions, tensor cores, multi-GPU);
+* :mod:`repro.core` — the PSO algorithm, engines' base and the public
+  :class:`FastPSO` facade;
+* :mod:`repro.engines` — the seven benchmarked implementations;
+* :mod:`repro.functions` — built-in evaluation functions;
+* :mod:`repro.threadconf` — the ThunderGBM thread-configuration case study;
+* :mod:`repro.bench` — one experiment driver per paper table/figure.
+
+Quickstart::
+
+    from repro import FastPSO
+    result = FastPSO(n_particles=2000, seed=1).minimize(
+        "sphere", dim=50, max_iter=200)
+    print(result.summary())
+"""
+
+from repro.core import (
+    PAPER_DEFAULTS,
+    FastPSO,
+    OptimizeResult,
+    Problem,
+    PSOParams,
+)
+from repro.errors import ReproError
+from repro.functions import available_functions, get_function
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FastPSO",
+    "OptimizeResult",
+    "Problem",
+    "PSOParams",
+    "PAPER_DEFAULTS",
+    "ReproError",
+    "available_functions",
+    "get_function",
+    "__version__",
+]

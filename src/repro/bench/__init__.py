@@ -1,0 +1,24 @@
+"""Benchmark harness: one driver per paper table/figure (see DESIGN.md)."""
+
+from repro.bench.config import (
+    PAPER_SCALE,
+    QUICK_SCALE,
+    BenchScale,
+    get_scale,
+    scale_from_env,
+)
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.runner import PAPER_PROBLEMS, TimedRun, build_problem, timed_run
+
+__all__ = [
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "BenchScale",
+    "get_scale",
+    "scale_from_env",
+    "EXPERIMENTS",
+    "PAPER_PROBLEMS",
+    "TimedRun",
+    "build_problem",
+    "timed_run",
+]

@@ -1,0 +1,77 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.bench table1            # one experiment, quick scale
+    python -m repro.bench all --scale paper # everything at paper scale
+    fastpso-bench figure5                   # installed console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.config import get_scale
+from repro.bench.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fastpso-bench",
+        description="Regenerate the FastPSO paper's tables and figures "
+        "on the simulated substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "suite", "all"],
+        help="which table/figure to regenerate ('suite' runs the full "
+        "engine x function grid)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="for 'suite': also write the grid to CSV",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="workload scale (default: quick; 'paper' runs the full-size "
+        "error workloads and more repeats)",
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    if args.experiment == "suite":
+        from repro.bench.suite import run_suite
+
+        start = time.perf_counter()
+        grid = run_suite(
+            n_particles=scale.error_particles,
+            max_iter=min(scale.error_iters, 200),
+            dim=min(scale.error_dim, 30),
+        )
+        print(grid.to_text("error"))
+        print()
+        print(grid.to_text("elapsed_seconds"))
+        if args.csv:
+            print(f"grid written to {grid.write_csv(args.csv)}")
+        print(f"[suite ran in {time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name].run(scale)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Experiment parameter presets.
+
+Two scales are provided for every experiment:
+
+* ``paper`` — the paper's exact workload (n=5000, d=200, 2000 iterations,
+  10 repeats).  Timing results at this scale are *exact* regardless of how
+  many iterations are actually executed, because simulated per-iteration
+  cost is shape-dependent (see ``OptimizeResult.projected_time``); only the
+  *error* experiments genuinely need all iterations.
+* ``quick`` — a scaled-down error workload and fewer sampled iterations, so
+  the whole suite runs in minutes on a laptop.  EXPERIMENTS.md records which
+  scale produced each number.
+
+``scale_from_env`` reads ``REPRO_BENCH_SCALE`` so CI and the CLI share one
+switch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+__all__ = ["BenchScale", "PAPER_SCALE", "QUICK_SCALE", "scale_from_env", "get_scale"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes shared by the experiment drivers."""
+
+    name: str
+    # Timing experiments (Tables 1/3/4, Figures 4/5/6): paper-sized shapes,
+    # with `sample_iters` real iterations and exact projection to
+    # `timing_iters`.
+    timing_particles: int = 5000
+    timing_dim: int = 200
+    timing_iters: int = 2000
+    sample_iters: int = 5
+    # Error experiments (Table 2): these run every iteration for real.
+    error_particles: int = 5000
+    error_dim: int = 200
+    error_iters: int = 2000
+    # Figure 4 sweeps.
+    particle_sweep: tuple[int, ...] = (2000, 3000, 4000, 5000)
+    dim_sweep: tuple[int, ...] = (50, 100, 150, 200)
+    sweep_fixed_dim: int = 50
+    sweep_fixed_particles: int = 2000
+    # ThreadConf case study (Table 5).
+    tune_particles: int = 256
+    tune_iters: int = 60
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "timing_particles",
+            "timing_dim",
+            "timing_iters",
+            "sample_iters",
+            "error_particles",
+            "error_dim",
+            "error_iters",
+            "tune_particles",
+            "tune_iters",
+            "repeats",
+        ):
+            if getattr(self, field_name) < 1:
+                raise BenchmarkError(f"{field_name} must be >= 1")
+
+
+PAPER_SCALE = BenchScale(
+    name="paper",
+    error_particles=5000,
+    error_dim=200,
+    error_iters=2000,
+    sample_iters=10,
+    repeats=3,
+)
+
+QUICK_SCALE = BenchScale(
+    name="quick",
+    error_particles=1000,
+    error_dim=100,
+    error_iters=400,
+    sample_iters=4,
+    tune_particles=128,
+    tune_iters=40,
+)
+
+_SCALES = {"paper": PAPER_SCALE, "quick": QUICK_SCALE}
+
+
+def get_scale(name: str) -> BenchScale:
+    try:
+        return _SCALES[name.lower()]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None
+
+
+def scale_from_env(default: str = "quick") -> BenchScale:
+    """Scale selected by the ``REPRO_BENCH_SCALE`` environment variable."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", default))

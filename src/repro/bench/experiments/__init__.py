@@ -1,0 +1,43 @@
+"""One driver module per paper table/figure, plus design ablations."""
+
+from repro.bench.experiments import (
+    ablations,
+    convergence,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+#: CLI name -> experiment module (each exposes ``run(scale) -> result``
+#: where the result has a ``to_text()`` method).
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "ablations": ablations,
+    "convergence": convergence,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+    "figure6",
+    "ablations",
+    "convergence",
+]

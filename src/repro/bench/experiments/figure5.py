@@ -1,0 +1,69 @@
+"""Figure 5 — elapsed time of each step in FastPSO.
+
+Per-step breakdown (init / eval / pbest / gbest / swarm) for fastpso-seq,
+fastpso-omp and fastpso at n=5000, d=200.  The paper's headline shape: the
+CPU implementations spend >80 % of their time in the swarm update (~10 s
+sequential), which fastpso's element-wise kernels reduce below 0.1 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import PAPER_PROBLEMS, THREADCONF_DIM, build_problem, timed_run
+from repro.core.results import STEP_LABELS, StepTimes
+from repro.utils.tables import format_table
+
+__all__ = ["Figure5Result", "run", "main"]
+
+ENGINES = ("fastpso-seq", "fastpso-omp", "fastpso")
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    breakdowns: dict[str, dict[str, StepTimes]]  # problem -> engine -> steps
+    scale: str
+
+    def to_text(self) -> str:
+        parts = [f"Figure 5: per-step breakdown (sec) [scale={self.scale}]"]
+        for problem, engines in self.breakdowns.items():
+            body = [
+                [engine, *(getattr(engines[engine], s) for s in STEP_LABELS)]
+                for engine in ENGINES
+            ]
+            parts.append(
+                format_table([problem, *STEP_LABELS], body, float_fmt=".4f")
+            )
+        return "\n\n".join(parts)
+
+    def swarm_fraction(self, problem: str, engine: str) -> float:
+        steps = self.breakdowns[problem][engine]
+        return steps.swarm / steps.total
+
+
+def run(scale: BenchScale | None = None) -> Figure5Result:
+    scale = scale or scale_from_env()
+    breakdowns: dict[str, dict[str, StepTimes]] = {}
+    for pname in PAPER_PROBLEMS:
+        dim = THREADCONF_DIM if pname == "threadconf" else scale.timing_dim
+        problem = build_problem(pname, dim)
+        breakdowns[pname] = {}
+        for engine in ENGINES:
+            tr = timed_run(
+                engine,
+                problem,
+                n_particles=scale.timing_particles,
+                full_iters=scale.timing_iters,
+                sample_iters=scale.sample_iters,
+            )
+            breakdowns[pname][engine] = tr.projected_steps
+    return Figure5Result(breakdowns=breakdowns, scale=scale.name)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

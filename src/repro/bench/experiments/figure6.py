@@ -1,0 +1,89 @@
+"""Figure 6 — comparison of different swarm-update techniques.
+
+Isolates the *swarm update* step (the paper's identified bottleneck) and
+compares five techniques per problem: the sequential CPU for-loop, OpenMP,
+and the three GPU backends (global memory, shared memory, tensor cores).
+The paper's shape: >10 s for the CPU for-loop, well under a second for every
+GPU technique, with the three GPU variants nearly tied because the update is
+bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import PAPER_PROBLEMS, THREADCONF_DIM, build_problem, timed_run
+from repro.engines import FastPSOEngine, OpenMPEngine, SequentialEngine
+from repro.utils.ascii_plot import bar_chart
+from repro.utils.tables import format_table
+
+__all__ = ["Figure6Result", "run", "main"]
+
+TECHNIQUES = ("for-loop", "OpenMP", "global-mem", "shared-mem", "tensorcore")
+
+
+def _engine_for(technique: str):
+    if technique == "for-loop":
+        return SequentialEngine()
+    if technique == "OpenMP":
+        return OpenMPEngine()
+    backend = {
+        "global-mem": "global",
+        "shared-mem": "shared",
+        "tensorcore": "tensorcore",
+    }[technique]
+    return FastPSOEngine(backend=backend)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    swarm_seconds: dict[str, dict[str, float]]  # problem -> technique -> sec
+    scale: str
+
+    def to_text(self) -> str:
+        body = [
+            [p, *(self.swarm_seconds[p][t] for t in TECHNIQUES)]
+            for p in self.swarm_seconds
+        ]
+        table = format_table(
+            ["problem", *TECHNIQUES],
+            body,
+            title=f"Figure 6: swarm-update techniques, time of the swarm "
+            f"step (sec) [scale={self.scale}]",
+            float_fmt=".4f",
+        )
+        first = next(iter(self.swarm_seconds))
+        chart = bar_chart(
+            self.swarm_seconds[first],
+            log=True,
+            title=f"\n{first} (log scale):",
+        )
+        return f"{table}\n{chart}"
+
+
+def run(scale: BenchScale | None = None) -> Figure6Result:
+    scale = scale or scale_from_env()
+    out: dict[str, dict[str, float]] = {}
+    for pname in PAPER_PROBLEMS:
+        dim = THREADCONF_DIM if pname == "threadconf" else scale.timing_dim
+        problem = build_problem(pname, dim)
+        out[pname] = {}
+        for technique in TECHNIQUES:
+            tr = timed_run(
+                _engine_for(technique),
+                problem,
+                n_particles=scale.timing_particles,
+                full_iters=scale.timing_iters,
+                sample_iters=scale.sample_iters,
+            )
+            out[pname][technique] = tr.projected_steps.swarm
+    return Figure6Result(swarm_seconds=out, scale=scale.name)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

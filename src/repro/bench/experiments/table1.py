@@ -1,0 +1,83 @@
+"""Table 1 — overall comparison of FastPSO against other implementations.
+
+Paper setting: n=5000 particles, d=200 dimensions (ThreadConf uses the case
+study's d=50), 2000 iterations, w=0.9, c1=c2=2.  Reports elapsed seconds per
+implementation and each implementation's slowdown relative to fastpso (the
+paper's "speedup" columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import PAPER_PROBLEMS, THREADCONF_DIM, build_problem, timed_run
+from repro.engines import ENGINE_NAMES
+from repro.utils.stats import speedup
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Row", "Table1Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    problem: str
+    seconds: dict[str, float]  # engine -> projected elapsed seconds
+
+    def speedup_over(self, engine: str) -> float:
+        """Paper's speedup column: engine time over fastpso time."""
+        return speedup(self.seconds[engine], self.seconds["fastpso"])
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: list[Table1Row]
+    scale: str
+
+    def to_text(self) -> str:
+        headers = ["problem", *ENGINE_NAMES] + [
+            f"spd:{e}" for e in ENGINE_NAMES if e != "fastpso"
+        ]
+        body = []
+        for row in self.rows:
+            cells: list[object] = [row.problem]
+            cells += [row.seconds[e] for e in ENGINE_NAMES]
+            cells += [
+                row.speedup_over(e) for e in ENGINE_NAMES if e != "fastpso"
+            ]
+            body.append(cells)
+        return format_table(
+            headers,
+            body,
+            title=f"Table 1: elapsed time (sec) and speedup over fastpso "
+            f"[scale={self.scale}]",
+            float_fmt=".2f",
+        )
+
+
+def run(scale: BenchScale | None = None) -> Table1Result:
+    scale = scale or scale_from_env()
+    rows = []
+    for pname in PAPER_PROBLEMS:
+        dim = THREADCONF_DIM if pname == "threadconf" else scale.timing_dim
+        problem = build_problem(pname, dim)
+        seconds = {}
+        for engine in ENGINE_NAMES:
+            tr = timed_run(
+                engine,
+                problem,
+                n_particles=scale.timing_particles,
+                full_iters=scale.timing_iters,
+                sample_iters=scale.sample_iters,
+            )
+            seconds[engine] = tr.projected_seconds
+        rows.append(Table1Row(problem=pname, seconds=seconds))
+    return Table1Result(rows=rows, scale=scale.name)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,80 @@
+"""Table 2 — errors to the optimal values.
+
+These runs execute every iteration for real (errors are data-dependent), so
+the ``quick`` scale uses a reduced workload; the separation the paper shows
+— CPU libraries orders of magnitude from the optimum, the clamped
+fastpso/GPU family close to it — is scale-independent.  Easom errors are
+measured against the paper's plateau reference (see
+:mod:`repro.functions.easom` for the documented convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import build_problem
+from repro.engines import ENGINE_NAMES, make_engine
+from repro.utils.tables import format_table
+
+__all__ = ["Table2Result", "run", "main"]
+
+#: Table 2 covers the three closed-form problems only.
+PROBLEMS = ("sphere", "griewank", "easom")
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    errors: dict[str, dict[str, float]]  # engine -> problem -> error
+    best_values: dict[str, dict[str, float]]
+    scale: str
+    workload: tuple[int, int, int]  # (particles, dim, iters)
+
+    def to_text(self) -> str:
+        n, d, iters = self.workload
+        body = [
+            [engine, *(self.errors[engine][p] for p in PROBLEMS)]
+            for engine in ENGINE_NAMES
+        ]
+        return format_table(
+            ["implementation", *PROBLEMS],
+            body,
+            title=(
+                f"Table 2: errors to the optimal values "
+                f"[scale={self.scale}: n={n} d={d} iters={iters}]"
+            ),
+            float_fmt=".4g",
+        )
+
+
+def run(scale: BenchScale | None = None) -> Table2Result:
+    scale = scale or scale_from_env()
+    errors: dict[str, dict[str, float]] = {}
+    best: dict[str, dict[str, float]] = {}
+    for engine_name in ENGINE_NAMES:
+        errors[engine_name] = {}
+        best[engine_name] = {}
+        for pname in PROBLEMS:
+            problem = build_problem(pname, scale.error_dim)
+            engine = make_engine(engine_name)
+            result = engine.optimize(
+                problem,
+                n_particles=scale.error_particles,
+                max_iter=scale.error_iters,
+            )
+            errors[engine_name][pname] = result.error
+            best[engine_name][pname] = result.best_value
+    return Table2Result(
+        errors=errors,
+        best_values=best,
+        scale=scale.name,
+        workload=(scale.error_particles, scale.error_dim, scale.error_iters),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

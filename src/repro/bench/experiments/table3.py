@@ -1,0 +1,91 @@
+"""Table 3 — FLOPs and memory bandwidth of the GPU implementations.
+
+Reproduces the nvprof-style whole-run metrics: achieved DRAM read
+throughput over active kernel time, plus arithmetic throughput and the
+per-iteration FLOP count.  The paper's observation — all implementations
+execute essentially the same arithmetic (its "FLOPs ... is similar" row)
+while FastPSO's element-wise kernels sustain roughly twice the baselines'
+DRAM read throughput — is checked via the per-iteration FLOP column and the
+GB/s column respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.config import BenchScale, scale_from_env
+from repro.bench.runner import build_problem, timed_run
+from repro.engines import make_engine
+from repro.utils.tables import format_table
+
+__all__ = ["Table3Result", "run", "main"]
+
+GPU_ENGINES = ("gpu-pso", "hgpu-pso", "fastpso")
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    read_gbs: dict[str, float]
+    write_gbs: dict[str, float]
+    gflops_rate: dict[str, float]
+    gflop_per_iter: dict[str, float]
+    scale: str
+
+    def to_text(self) -> str:
+        body = [
+            [
+                e,
+                self.read_gbs[e],
+                self.write_gbs[e],
+                self.gflops_rate[e],
+                self.gflop_per_iter[e],
+            ]
+            for e in GPU_ENGINES
+        ]
+        return format_table(
+            [
+                "metrics",
+                "dram_read_throughput (GB/s)",
+                "dram_write (GB/s)",
+                "GFLOP/s",
+                "GFLOP/iter",
+            ],
+            body,
+            title=f"Table 3: FLOPs and memory bandwidth [scale={self.scale}]",
+            float_fmt=".2f",
+        )
+
+
+def run(scale: BenchScale | None = None) -> Table3Result:
+    scale = scale or scale_from_env()
+    problem = build_problem("sphere", scale.timing_dim)
+    read, write, rate, per_iter = {}, {}, {}, {}
+    for name in GPU_ENGINES:
+        engine = make_engine(name)
+        tr = timed_run(
+            engine,
+            problem,
+            n_particles=scale.timing_particles,
+            full_iters=scale.timing_iters,
+            sample_iters=scale.sample_iters,
+        )
+        report = engine.profile_report()
+        read[name] = report.dram_read_throughput_gbs
+        write[name] = report.dram_write_throughput_gbs
+        rate[name] = report.gflops
+        per_iter[name] = report.total_flops / tr.result.iterations / 1e9
+    return Table3Result(
+        read_gbs=read,
+        write_gbs=write,
+        gflops_rate=rate,
+        gflop_per_iter=per_iter,
+        scale=scale.name,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

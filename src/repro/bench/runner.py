@@ -1,0 +1,86 @@
+"""Shared execution helpers for the experiment drivers.
+
+The central primitive is :func:`timed_run`: execute an engine for a sampled
+number of iterations (real numerics), then *project* the simulated time to
+the paper's full iteration budget.  The projection is exact for the
+simulated clock because per-iteration kernel costs depend only on array
+shapes — running 2000 real iterations would produce the same number while
+spending three orders of magnitude more wall-clock on NumPy arithmetic.
+Engines with data-dependent early stopping are the exception; they are run
+for real in the error experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import Engine
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.core.results import OptimizeResult, StepTimes
+from repro.engines import make_engine
+from repro.errors import BenchmarkError
+from repro.threadconf.tuner import make_threadconf_problem
+
+__all__ = ["TimedRun", "timed_run", "build_problem", "PAPER_PROBLEMS"]
+
+#: The paper's four benchmark workloads in presentation order.
+PAPER_PROBLEMS = ("sphere", "griewank", "easom", "threadconf")
+
+#: The case study's dimensionality, used for ThreadConf rows whose dimension
+#: is not explicitly swept.
+THREADCONF_DIM = 50
+
+
+def build_problem(name: str, dim: int) -> Problem:
+    """A paper workload by name: a benchmark function or ThreadConf."""
+    if name == "threadconf":
+        d = dim if dim % 2 == 0 else dim + 1
+        return make_threadconf_problem("higgs", dim=d)
+    return Problem.from_benchmark(name, dim)
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """A sampled engine run projected to a full iteration budget."""
+
+    engine: str
+    problem: str
+    n_particles: int
+    dim: int
+    projected_seconds: float
+    projected_steps: StepTimes
+    result: OptimizeResult
+
+
+def timed_run(
+    engine: str | Engine,
+    problem: Problem,
+    *,
+    n_particles: int,
+    full_iters: int,
+    sample_iters: int,
+    params: PSOParams = PAPER_DEFAULTS,
+) -> TimedRun:
+    """Run ``sample_iters`` real iterations, project timing to ``full_iters``."""
+    if sample_iters < 1 or full_iters < sample_iters:
+        raise BenchmarkError(
+            f"need 1 <= sample_iters <= full_iters, got "
+            f"{sample_iters}/{full_iters}"
+        )
+    eng = make_engine(engine) if isinstance(engine, str) else engine
+    result = eng.optimize(
+        problem,
+        n_particles=n_particles,
+        max_iter=sample_iters,
+        params=params,
+    )
+    return TimedRun(
+        engine=eng.name,
+        problem=problem.name,
+        n_particles=n_particles,
+        dim=problem.dim,
+        projected_seconds=result.projected_time(full_iters),
+        projected_steps=result.projected_step_times(full_iters),
+        result=result,
+    )

@@ -1,0 +1,143 @@
+"""Grid suite runner: every engine x every function, exported to CSV.
+
+A downstream-user tool rather than a paper artefact: sweeps the full
+benchmark-function registry across any set of engines, collecting both
+quality (error) and simulated-time columns, and writes one tidy CSV row
+per (engine, function) cell — the format notebooks and plotting stacks
+expect.
+
+Used by ``python -m repro.bench suite`` via the CLI and directly::
+
+    from repro.bench.suite import run_suite
+    grid = run_suite(engines=("fastpso", "fastpso-seq"), dim=30)
+    grid.write_csv("grid.csv")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.engines import ENGINE_NAMES, make_engine
+from repro.errors import BenchmarkError
+from repro.functions import available_functions
+from repro.io import write_rows_csv
+from repro.utils.tables import format_table
+
+__all__ = ["SuiteCell", "SuiteGrid", "run_suite"]
+
+_HEADERS = [
+    "engine",
+    "function",
+    "dim",
+    "n_particles",
+    "iterations",
+    "best_value",
+    "error",
+    "elapsed_seconds",
+    "iteration_seconds",
+]
+
+#: Functions that require at least two dimensions.
+_MIN_DIM_2 = {"rosenbrock", "dixon_price"}
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """One (engine, function) result of the grid."""
+
+    engine: str
+    function: str
+    dim: int
+    n_particles: int
+    iterations: int
+    best_value: float
+    error: float
+    elapsed_seconds: float
+    iteration_seconds: float
+
+    def row(self) -> list[object]:
+        return [getattr(self, h) for h in _HEADERS]
+
+
+@dataclass
+class SuiteGrid:
+    """All cells of a suite run plus export/rendering helpers."""
+
+    cells: list[SuiteCell] = field(default_factory=list)
+
+    def cell(self, engine: str, function: str) -> SuiteCell:
+        for c in self.cells:
+            if c.engine == engine and c.function == function:
+                return c
+        raise KeyError((engine, function))
+
+    @property
+    def engines(self) -> list[str]:
+        seen = dict.fromkeys(c.engine for c in self.cells)
+        return list(seen)
+
+    @property
+    def functions(self) -> list[str]:
+        seen = dict.fromkeys(c.function for c in self.cells)
+        return list(seen)
+
+    def write_csv(self, path: str | Path) -> Path:
+        return write_rows_csv(path, _HEADERS, [c.row() for c in self.cells])
+
+    def to_text(self, value: str = "error") -> str:
+        """Pivot table: functions as rows, engines as columns."""
+        if value not in ("error", "elapsed_seconds", "best_value"):
+            raise BenchmarkError(f"cannot pivot on {value!r}")
+        rows = [
+            [fn, *(getattr(self.cell(e, fn), value) for e in self.engines)]
+            for fn in self.functions
+        ]
+        return format_table(
+            ["function", *self.engines],
+            rows,
+            title=f"Suite grid: {value}",
+            float_fmt=".4g",
+        )
+
+
+def run_suite(
+    engines: tuple[str, ...] = ENGINE_NAMES,
+    functions: tuple[str, ...] | None = None,
+    *,
+    dim: int = 30,
+    n_particles: int = 200,
+    max_iter: int = 200,
+    params: PSOParams = PAPER_DEFAULTS,
+) -> SuiteGrid:
+    """Run the engine x function grid and return the populated results."""
+    if dim < 2:
+        raise BenchmarkError("suite dim must be >= 2 (rosenbrock et al.)")
+    functions = functions or tuple(available_functions())
+    grid = SuiteGrid()
+    for fn_name in functions:
+        problem = Problem.from_benchmark(fn_name, dim)
+        for engine_name in engines:
+            engine = make_engine(engine_name)
+            result = engine.optimize(
+                problem,
+                n_particles=n_particles,
+                max_iter=max_iter,
+                params=params,
+            )
+            grid.cells.append(
+                SuiteCell(
+                    engine=engine_name,
+                    function=fn_name,
+                    dim=dim,
+                    n_particles=n_particles,
+                    iterations=result.iterations,
+                    best_value=result.best_value,
+                    error=result.error,
+                    elapsed_seconds=result.elapsed_seconds,
+                    iteration_seconds=result.iteration_seconds,
+                )
+            )
+    return grid

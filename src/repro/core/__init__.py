@@ -1,0 +1,60 @@
+"""Core optimizer layer: problems, parameters, swarm math, engines' base."""
+
+from repro.core.engine import Engine
+from repro.core.fastpso import FastPSO
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.core.results import STEP_LABELS, History, OptimizeResult, StepTimes
+from repro.core.schema import (
+    BuiltinEvaluation,
+    ElementwiseEvaluation,
+    EvaluationSchema,
+    ParticleEvaluation,
+)
+from repro.core.stopping import (
+    AnyOf,
+    MaxIterations,
+    StallStop,
+    StopCriterion,
+    TargetValue,
+)
+from repro.core.swarm import (
+    SwarmState,
+    draw_initial_state,
+    draw_weights,
+    gbest_scan,
+    pbest_update,
+    position_update,
+    velocity_update,
+)
+from repro.core.topology import ring_best_indices, social_positions
+
+__all__ = [
+    "Engine",
+    "FastPSO",
+    "PAPER_DEFAULTS",
+    "PSOParams",
+    "Problem",
+    "STEP_LABELS",
+    "History",
+    "OptimizeResult",
+    "StepTimes",
+    "BuiltinEvaluation",
+    "ElementwiseEvaluation",
+    "EvaluationSchema",
+    "ParticleEvaluation",
+    "AnyOf",
+    "MaxIterations",
+    "StallStop",
+    "StopCriterion",
+    "TargetValue",
+    "SwarmState",
+    "draw_initial_state",
+    "draw_weights",
+    "gbest_scan",
+    "pbest_update",
+    "position_update",
+    "velocity_update",
+    "ring_best_indices",
+    "social_positions",
+]

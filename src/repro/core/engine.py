@@ -1,0 +1,218 @@
+"""Engine base class: Algorithm 1's loop with per-step simulated timing.
+
+An :class:`Engine` owns a :class:`~repro.gpusim.clock.SimClock` and runs the
+paper's four-step decomposition — (i) swarm initialisation, (ii) swarm
+evaluation, (iii) pbest/gbest update, (iv) swarm update — attributing every
+simulated second to one of the five Figure 5 sections (``init``, ``eval``,
+``pbest``, ``gbest``, ``swarm``).
+
+Subclasses implement the five step hooks.  The *numerics* of each step are
+shared module functions (:mod:`repro.core.swarm`), so engines differ only in
+how they decompose the work into kernels/loops and what those cost; this is
+the reproduction of the paper's claim that fastpso, fastpso-seq and
+fastpso-omp are one algorithm on three execution substrates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.core.results import History, OptimizeResult, StepTimes
+from repro.core.stopping import StopCriterion
+from repro.core.swarm import SwarmState
+from repro.errors import InvalidParameterError
+from repro.gpusim.clock import SimClock
+from repro.gpusim.rng import ParallelRNG
+
+__all__ = ["Engine"]
+
+
+class Engine(ABC):
+    """Abstract PSO engine; see the engine implementations in
+    :mod:`repro.engines`."""
+
+    #: Short identifier used in result tables (e.g. ``"fastpso"``).
+    name: str = "engine"
+    #: Whether the engine executes on the simulated GPU.
+    is_gpu: bool = False
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+
+    # -- step hooks -----------------------------------------------------------
+    @abstractmethod
+    def _initialize(
+        self, problem: Problem, params: PSOParams, n_particles: int, rng: ParallelRNG
+    ) -> SwarmState:
+        """Step (i): allocate and randomly initialise the swarm."""
+
+    @abstractmethod
+    def _evaluate(self, problem: Problem, state: SwarmState) -> np.ndarray:
+        """Step (ii): fitness of every particle at its current position."""
+
+    @abstractmethod
+    def _update_pbest(self, state: SwarmState, values: np.ndarray) -> None:
+        """Step (iii), first half: claim improved personal bests."""
+
+    @abstractmethod
+    def _update_gbest(self, state: SwarmState) -> None:
+        """Step (iii), second half: reduce pbest values to the global best."""
+
+    @abstractmethod
+    def _update_swarm(
+        self,
+        problem: Problem,
+        params: PSOParams,
+        state: SwarmState,
+        rng: ParallelRNG,
+    ) -> None:
+        """Step (iv): Eq. (4)/(2) velocity and position updates."""
+
+    def _finalize(self, state: SwarmState) -> None:
+        """Post-loop work (e.g. device-to-host copy of the result)."""
+
+    # -- the loop ---------------------------------------------------------------
+    def optimize(
+        self,
+        problem: Problem,
+        *,
+        n_particles: int,
+        max_iter: int,
+        params: PSOParams = PAPER_DEFAULTS,
+        stop: StopCriterion | None = None,
+        record_history: bool = False,
+        callback=None,
+    ) -> OptimizeResult:
+        """Run Algorithm 1 and return the best solution plus timings.
+
+        ``max_iter`` is the iteration budget; an optional extra *stop*
+        criterion can end the run earlier.  The engine's clock is reset at
+        entry, so ``elapsed_seconds`` is the simulated time of exactly this
+        run.
+
+        ``callback(iteration, state)`` is invoked after each completed
+        iteration with the live :class:`SwarmState` (read it, don't mutate
+        it); returning a truthy value terminates the run — the hook used
+        for custom monitoring, checkpointing and diagnostics
+        (:mod:`repro.core.diagnostics`).  Callback execution is host-side
+        and costs no simulated time.
+        """
+        if callback is not None and not callable(callback):
+            raise InvalidParameterError("callback must be callable")
+        if not isinstance(problem, Problem):
+            raise InvalidParameterError("optimize() requires a Problem")
+        if n_particles <= 0:
+            raise InvalidParameterError(
+                f"n_particles must be positive, got {n_particles}"
+            )
+        if max_iter <= 0:
+            raise InvalidParameterError(f"max_iter must be positive, got {max_iter}")
+
+        self.clock.reset()
+        if stop is not None:
+            stop.reset()
+        rng = self._make_rng(params.seed)
+        history = History() if record_history else None
+
+        with self.clock.section("init"):
+            state = self._initialize(problem, params, n_particles, rng)
+        setup_seconds = self.clock.now
+
+        iterations_run = 0
+        self._progress = 0.0
+        for t in range(max_iter):
+            # Fraction of the budget consumed; drives the adaptive velocity
+            # bound (Kaucic 2013) used by Eq. (5)'s clamping.
+            self._progress = t / max(1, max_iter - 1)
+            with self.clock.section("eval"):
+                values = self._evaluate(problem, state)
+            with self.clock.section("pbest"):
+                self._update_pbest(state, values)
+            with self.clock.section("gbest"):
+                self._update_gbest(state)
+            with self.clock.section("swarm"):
+                self._update_swarm(problem, params, state, rng)
+            iterations_run = t + 1
+            if history is not None:
+                history.record(
+                    state.gbest_value, float(np.mean(state.pbest_values))
+                )
+            if callback is not None and callback(t, state):
+                break
+            if stop is not None and stop.should_stop(t, state.gbest_value):
+                break
+
+        self._finalize(state)
+
+        loop_seconds = self.clock.now - setup_seconds
+        step_times = StepTimes(
+            init=self.clock.total("init"),
+            eval=self.clock.total("eval"),
+            pbest=self.clock.total("pbest"),
+            gbest=self.clock.total("gbest"),
+            swarm=self.clock.total("swarm"),
+        )
+        return OptimizeResult(
+            engine=self.name,
+            problem=problem.name,
+            n_particles=n_particles,
+            dim=problem.dim,
+            iterations=iterations_run,
+            best_value=state.gbest_value,
+            best_position=np.asarray(state.gbest_position, dtype=np.float64),
+            error=problem.error_of(state.gbest_value),
+            elapsed_seconds=self.clock.now,
+            setup_seconds=setup_seconds,
+            iteration_seconds=loop_seconds / iterations_run,
+            step_times=step_times,
+            history=history,
+            peak_device_bytes=self._peak_device_bytes(),
+        )
+
+    def _peak_device_bytes(self) -> int:
+        """High-water device-memory mark; CPU engines report 0."""
+        return 0
+
+    # -- helpers -------------------------------------------------------------
+    #: Fraction of the iteration budget consumed (set each iteration).
+    _progress: float = 0.0
+
+    def _current_velocity_bounds(
+        self, problem: Problem, params: PSOParams
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Eq. (5) bounds at the current iteration.
+
+        With ``adaptive_velocity`` the bounds shrink linearly from the full
+        clamp width at iteration 0 to ``final_velocity_fraction`` of it at
+        the last iteration, so late iterations refine rather than leap.
+        """
+        bounds = problem.velocity_bounds(params.velocity_clamp)
+        if bounds is None or not params.adaptive_velocity:
+            return bounds
+        frac = 1.0 - (1.0 - params.final_velocity_fraction) * self._progress
+        lo, hi = bounds
+        return lo * frac, hi * frac
+
+    def _scheduled_params(self, params: PSOParams) -> PSOParams:
+        """Resolve the inertia schedule (if any) at the current progress.
+
+        Called by the engines' swarm-update steps so every substrate applies
+        the same ``w(t)`` — scheduled runs stay bit-identical across the
+        fastpso family.
+        """
+        if params.inertia_schedule is None:
+            return params
+        return params.with_overrides(
+            inertia=params.inertia_schedule.weight(self._progress)
+        )
+
+    def _make_rng(self, seed: int) -> ParallelRNG:
+        """Engines share one Philox stream layout for bit-equal trajectories."""
+        return ParallelRNG(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} gpu={self.is_gpu}>"

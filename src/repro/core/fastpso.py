@@ -1,0 +1,182 @@
+"""Public FastPSO facade — the API a downstream user calls.
+
+Wraps problem construction, engine selection and parameter handling in one
+object::
+
+    from repro import FastPSO
+
+    pso = FastPSO(n_particles=5000, seed=7)
+    result = pso.minimize("sphere", dim=200, max_iter=2000)
+    print(result.best_value, result.elapsed_seconds)
+
+Custom objectives go through the evaluation schema (paper technique iv)::
+
+    result = pso.minimize(my_fn, dim=50, bounds=(-10, 10))      # per particle
+    pso.minimize_elementwise(lambda x: x * x, dim=50, bounds=(-5, 5))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.results import OptimizeResult
+from repro.core.schema import ElementwiseEvaluation
+from repro.core.stopping import StopCriterion
+from repro.errors import InvalidParameterError
+from repro.functions.base import BenchmarkFunction, EvalProfile
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["FastPSO"]
+
+
+class FastPSO:
+    """High-level optimizer: a swarm configuration bound to an engine.
+
+    Parameters
+    ----------
+    n_particles:
+        Swarm size (the paper's default experiments use 5000).
+    backend:
+        ``"global"`` (default), ``"shared"`` or ``"tensorcore"`` — the GPU
+        memory technique for the swarm update (Figure 6).
+    engine:
+        Override the execution engine entirely (any name accepted by
+        :func:`repro.engines.make_engine`); default is the FastPSO GPU
+        engine.
+    device:
+        Simulated device spec; defaults to the paper's Tesla V100.
+    caching:
+        Use the memory-caching allocator (paper technique iii).
+    Other keyword arguments (``inertia``, ``cognitive``, ``social``,
+    ``velocity_clamp``, ``clip_positions``, ``seed``, ``topology``) populate
+    :class:`~repro.core.parameters.PSOParams`.
+    """
+
+    def __init__(
+        self,
+        n_particles: int = 5000,
+        *,
+        backend: str = "global",
+        engine: str | None = None,
+        device: DeviceSpec | None = None,
+        caching: bool = True,
+        **param_overrides: object,
+    ) -> None:
+        if n_particles <= 0:
+            raise InvalidParameterError(
+                f"n_particles must be positive, got {n_particles}"
+            )
+        self.n_particles = n_particles
+        self.params = PSOParams(**param_overrides)  # type: ignore[arg-type]
+
+        from repro.engines import FastPSOEngine, make_engine
+
+        if engine is None:
+            self.engine = FastPSOEngine(device, backend=backend, caching=caching)
+        else:
+            self.engine = make_engine(engine)
+
+    # -- main entry points --------------------------------------------------
+    def minimize(
+        self,
+        objective: str | BenchmarkFunction | Callable[..., object],
+        dim: int,
+        *,
+        max_iter: int = 2000,
+        bounds: tuple[float, float] | None = None,
+        vectorized: bool = False,
+        stop: StopCriterion | None = None,
+        record_history: bool = False,
+        profile: EvalProfile | None = None,
+    ) -> OptimizeResult:
+        """Minimise *objective* in *dim* dimensions.
+
+        ``objective`` may be a built-in function name (or instance), in
+        which case its canonical domain is used, or any callable — then
+        ``bounds`` is required and the callable is wrapped in the particle
+        evaluation schema (``vectorized=True`` if it maps the whole
+        ``(n, d)`` matrix to ``(n,)`` values).
+        """
+        problem = self._as_problem(
+            objective, dim, bounds, vectorized=vectorized, profile=profile
+        )
+        return self.engine.optimize(
+            problem,
+            n_particles=self.n_particles,
+            max_iter=max_iter,
+            params=self.params,
+            stop=stop,
+            record_history=record_history,
+        )
+
+    def minimize_elementwise(
+        self,
+        elem_fn: Callable[..., np.ndarray],
+        dim: int,
+        *,
+        bounds: tuple[float, float],
+        max_iter: int = 2000,
+        reducer: str = "sum",
+        pass_index: bool = False,
+        profile: EvalProfile | None = None,
+        stop: StopCriterion | None = None,
+        record_history: bool = False,
+    ) -> OptimizeResult:
+        """Minimise a per-element objective via the element-wise schema.
+
+        Mirrors the CUDA ``evaluation_kernel<L>`` template: *elem_fn* is the
+        user lambda applied to every matrix element, *reducer* folds each
+        row to a fitness value.
+        """
+        lo, hi = bounds
+        problem = Problem(
+            name=getattr(elem_fn, "__name__", "elementwise"),
+            dim=dim,
+            lower_bounds=np.full(dim, float(lo)),
+            upper_bounds=np.full(dim, float(hi)),
+            evaluator=ElementwiseEvaluation(
+                elem_fn, reducer=reducer, profile=profile, pass_index=pass_index
+            ),
+        )
+        return self.engine.optimize(
+            problem,
+            n_particles=self.n_particles,
+            max_iter=max_iter,
+            params=self.params,
+            stop=stop,
+            record_history=record_history,
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def _as_problem(
+        self,
+        objective,
+        dim: int,
+        bounds,
+        *,
+        vectorized: bool,
+        profile: EvalProfile | None,
+    ) -> Problem:
+        if isinstance(objective, (str, BenchmarkFunction)):
+            return Problem.from_benchmark(objective, dim)
+        if callable(objective):
+            if bounds is None:
+                raise InvalidParameterError(
+                    "custom objectives require explicit bounds=(lo, hi)"
+                )
+            return Problem.from_callable(
+                objective,
+                dim,
+                bounds,
+                name=getattr(objective, "__name__", "custom"),
+                vectorized=vectorized,
+                profile=profile,
+            )
+        raise InvalidParameterError(
+            f"objective must be a name, BenchmarkFunction or callable, "
+            f"got {type(objective).__name__}"
+        )

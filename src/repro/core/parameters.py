@@ -1,0 +1,127 @@
+"""PSO hyper-parameters (Algorithm 1's inputs) with validation.
+
+Defaults follow the paper's experimental setup: ``w = 0.9``,
+``c1 = c2 = 2`` and 2000 iterations.  Note that this parameter set violates
+the classical convergence region (``w`` close to 1 with ``c1 + c2 = 4`` is
+oscillatory), which is precisely why the paper's bound-constraint velocity
+clamping (its Eq. 5) matters: engines that clamp (the fastpso family and the
+GPU baselines) reach small errors, engines that do not (the CPU library
+defaults) blow up — the Table 2 separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.schedules import InertiaSchedule
+
+__all__ = ["PSOParams", "PAPER_DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class PSOParams:
+    """Hyper-parameters of one PSO run.
+
+    Attributes
+    ----------
+    inertia:
+        Momentum term ``w`` in Eq. (1).
+    cognitive, social:
+        ``c1`` (explore locally, toward pbest) and ``c2`` (explore globally,
+        toward gbest).
+    velocity_clamp:
+        Velocity bound as a fraction of the per-dimension domain width; the
+        paper's Eq. (5) bound constraint.  ``None`` disables clamping
+        (the CPU-library default behaviour).
+    adaptive_velocity:
+        Shrink the velocity bounds linearly over the run down to
+        ``final_velocity_fraction`` of their initial width.  This is the
+        *adaptive velocity* bound constraint of Kaucic (2013), the work the
+        paper cites for its Eq. (5); with the paper's oscillatory
+        ``w=0.9, c1=c2=2`` setting it is what makes the fastpso family
+        actually converge (Table 2) while the unclamped libraries diverge.
+    final_velocity_fraction:
+        Fraction of the initial velocity bound remaining at the last
+        iteration when ``adaptive_velocity`` is on.
+    clip_positions:
+        Whether to clip positions back into the search domain after the
+        position update.  Off by default — the paper constrains velocity
+        only.
+    seed:
+        Philox seed; two runs with equal seeds and equal engines are
+        bit-identical.
+    topology:
+        ``"global"`` (the paper's PSO) or ``"ring"`` (library extension).
+    """
+
+    inertia: float = 0.9
+    cognitive: float = 2.0
+    social: float = 2.0
+    velocity_clamp: float | None = 1.0
+    adaptive_velocity: bool = True
+    final_velocity_fraction: float = 0.02
+    clip_positions: bool = False
+    seed: int = 42
+    topology: str = "global"
+    #: Swarm initialization strategy: "uniform" (default), "opposition"
+    #: (opposition-based learning, after the Kaucic citation) or "center".
+    init_strategy: str = "uniform"
+    #: Optional inertia schedule (library extension); when set it overrides
+    #: the constant ``inertia`` above, evaluated on run progress.  See
+    #: :mod:`repro.core.schedules`.
+    inertia_schedule: "InertiaSchedule | None" = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.inertia <= 2.0:
+            raise InvalidParameterError(
+                f"inertia must be in [0, 2], got {self.inertia}"
+            )
+        if self.cognitive < 0.0 or self.social < 0.0:
+            raise InvalidParameterError(
+                "cognitive and social coefficients must be non-negative"
+            )
+        if self.cognitive == 0.0 and self.social == 0.0:
+            raise InvalidParameterError(
+                "at least one of cognitive/social must be positive, "
+                "otherwise particles never accelerate"
+            )
+        if self.velocity_clamp is not None and self.velocity_clamp <= 0.0:
+            raise InvalidParameterError(
+                f"velocity_clamp must be positive or None, got {self.velocity_clamp}"
+            )
+        if not 0.0 < self.final_velocity_fraction <= 1.0:
+            raise InvalidParameterError(
+                "final_velocity_fraction must be in (0, 1], got "
+                f"{self.final_velocity_fraction}"
+            )
+        if not 0 <= int(self.seed) < 2**64:
+            raise InvalidParameterError("seed must fit in 64 bits")
+        if self.topology not in ("global", "ring"):
+            raise InvalidParameterError(
+                f"topology must be 'global' or 'ring', got {self.topology!r}"
+            )
+        if self.init_strategy not in ("uniform", "opposition", "center"):
+            raise InvalidParameterError(
+                f"init_strategy must be 'uniform', 'opposition' or "
+                f"'center', got {self.init_strategy!r}"
+            )
+        if self.inertia_schedule is not None and not hasattr(
+            self.inertia_schedule, "weight"
+        ):
+            raise InvalidParameterError(
+                "inertia_schedule must provide a weight(progress) method"
+            )
+
+    def with_overrides(self, **kwargs: object) -> "PSOParams":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: The exact configuration of the paper's Section 4.1.
+PAPER_DEFAULTS = PSOParams()

@@ -1,0 +1,122 @@
+"""Optimization problem definition.
+
+A :class:`Problem` bundles what Algorithm 1 needs: the search-space
+dimensionality, per-dimension bounds, an evaluation schema, and the
+reference value that reported errors are measured against (Table 2's
+"errors to the optimal values").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.schema import (
+    BuiltinEvaluation,
+    EvaluationSchema,
+    ParticleEvaluation,
+)
+from repro.errors import InvalidProblemError
+from repro.functions.base import BenchmarkFunction, EvalProfile, get_function
+from repro.utils.arrays import as_float_vector
+
+__all__ = ["Problem"]
+
+
+@dataclass
+class Problem:
+    """A bounded minimisation problem for the PSO engines.
+
+    Use the :meth:`from_benchmark` / :meth:`from_callable` constructors in
+    application code; the raw constructor is for fully custom schemas.
+    """
+
+    name: str
+    dim: int
+    lower_bounds: np.ndarray
+    upper_bounds: np.ndarray
+    evaluator: EvaluationSchema
+    reference_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise InvalidProblemError(f"dimension must be positive, got {self.dim}")
+        self.lower_bounds = as_float_vector(
+            self.lower_bounds, name="lower_bounds", dim=self.dim
+        )
+        self.upper_bounds = as_float_vector(
+            self.upper_bounds, name="upper_bounds", dim=self.dim
+        )
+        if np.any(self.lower_bounds >= self.upper_bounds):
+            raise InvalidProblemError(
+                "every lower bound must be strictly below its upper bound"
+            )
+        if not isinstance(self.evaluator, EvaluationSchema):
+            raise InvalidProblemError(
+                f"evaluator must be an EvaluationSchema, got "
+                f"{type(self.evaluator).__name__}"
+            )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_benchmark(
+        cls, function: str | BenchmarkFunction, dim: int
+    ) -> "Problem":
+        """Build a problem from a built-in benchmark function by name."""
+        fn = get_function(function) if isinstance(function, str) else function
+        lo, hi = fn.domain
+        return cls(
+            name=fn.name,
+            dim=dim,
+            lower_bounds=np.full(dim, lo),
+            upper_bounds=np.full(dim, hi),
+            evaluator=BuiltinEvaluation(fn),
+            reference_value=fn.reference_value(dim),
+        )
+
+    @classmethod
+    def from_callable(
+        cls,
+        fn,
+        dim: int,
+        bounds: tuple[float, float] | tuple[np.ndarray, np.ndarray],
+        *,
+        name: str = "custom",
+        vectorized: bool = False,
+        profile: EvalProfile | None = None,
+        reference_value: float = 0.0,
+    ) -> "Problem":
+        """Build a problem around an arbitrary objective callable.
+
+        ``bounds`` is either a scalar ``(lo, hi)`` pair applied to every
+        dimension or a pair of per-dimension vectors.
+        """
+        lo, hi = bounds
+        lo_vec = np.full(dim, lo) if np.isscalar(lo) else np.asarray(lo)
+        hi_vec = np.full(dim, hi) if np.isscalar(hi) else np.asarray(hi)
+        return cls(
+            name=name,
+            dim=dim,
+            lower_bounds=lo_vec,
+            upper_bounds=hi_vec,
+            evaluator=ParticleEvaluation(fn, vectorized=vectorized, profile=profile),
+            reference_value=reference_value,
+        )
+
+    # -- derived quantities ----------------------------------------------------
+    @property
+    def domain_width(self) -> np.ndarray:
+        """Per-dimension search-space width (drives velocity clamping)."""
+        return self.upper_bounds - self.lower_bounds
+
+    def velocity_bounds(self, clamp: float | None) -> tuple[np.ndarray, np.ndarray] | None:
+        """Eq. (5) bounds for a clamp fraction, or ``None`` when unclamped."""
+        if clamp is None:
+            return None
+        span = clamp * self.domain_width
+        return -span, span
+
+    def error_of(self, value: float) -> float:
+        """Distance of an achieved objective value from the reference."""
+        return abs(float(value) - self.reference_value)

@@ -1,0 +1,114 @@
+"""Result and history containers returned by every engine.
+
+``OptimizeResult`` separates *setup* time (swarm initialisation, allocation)
+from steady-state *per-iteration* time because the harness scales paper-size
+experiments from shorter sampled runs: per-iteration cost is shape-dependent
+only, so ``projected_time`` is exact, not an approximation (the simulated
+clock would report the same number after 2000 real iterations).  Step-level
+times use the paper's five labels — init, eval, pbest, gbest, swarm — which
+Figure 5 plots directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+__all__ = ["STEP_LABELS", "StepTimes", "History", "OptimizeResult"]
+
+#: The paper's Figure 5 breakdown categories, in plot order.
+STEP_LABELS = ("init", "eval", "pbest", "gbest", "swarm")
+
+
+@dataclass(frozen=True)
+class StepTimes:
+    """Simulated seconds attributed to each PSO step."""
+
+    init: float = 0.0
+    eval: float = 0.0
+    pbest: float = 0.0
+    gbest: float = 0.0
+    swarm: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {label: getattr(self, label) for label in STEP_LABELS}
+
+    @property
+    def total(self) -> float:
+        return sum(self.as_dict().values())
+
+    def scaled(self, loop_factor: float) -> "StepTimes":
+        """Scale the per-iteration steps (everything but init) by a factor."""
+        if loop_factor < 0:
+            raise BenchmarkError("cannot scale step times by a negative factor")
+        return StepTimes(
+            init=self.init,
+            eval=self.eval * loop_factor,
+            pbest=self.pbest * loop_factor,
+            gbest=self.gbest * loop_factor,
+            swarm=self.swarm * loop_factor,
+        )
+
+
+@dataclass
+class History:
+    """Per-iteration trace of the search (opt-in; costs memory, not time)."""
+
+    gbest_values: list[float] = field(default_factory=list)
+    mean_pbest_values: list[float] = field(default_factory=list)
+
+    def record(self, gbest: float, mean_pbest: float) -> None:
+        self.gbest_values.append(float(gbest))
+        self.mean_pbest_values.append(float(mean_pbest))
+
+    def __len__(self) -> int:
+        return len(self.gbest_values)
+
+    @property
+    def final_value(self) -> float:
+        if not self.gbest_values:
+            raise BenchmarkError("history is empty")
+        return self.gbest_values[-1]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one engine run."""
+
+    engine: str
+    problem: str
+    n_particles: int
+    dim: int
+    iterations: int
+    best_value: float
+    best_position: np.ndarray
+    error: float
+    elapsed_seconds: float  # simulated end-to-end time of the run as executed
+    setup_seconds: float
+    iteration_seconds: float  # steady-state cost of one iteration
+    step_times: StepTimes
+    history: History | None = None
+    #: High-water device-memory mark of the run (GPU engines; 0 on CPU).
+    peak_device_bytes: int = 0
+
+    def projected_time(self, iterations: int) -> float:
+        """Exact simulated time for a run of *iterations* iterations."""
+        if iterations < 0:
+            raise BenchmarkError("iterations must be non-negative")
+        return self.setup_seconds + self.iteration_seconds * iterations
+
+    def projected_step_times(self, iterations: int) -> StepTimes:
+        """Step breakdown rescaled to a run of *iterations* iterations."""
+        if self.iterations == 0:
+            return self.step_times
+        return self.step_times.scaled(iterations / self.iterations)
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine}: {self.problem} n={self.n_particles} d={self.dim} "
+            f"iters={self.iterations} best={self.best_value:.6g} "
+            f"err={self.error:.6g} t={self.elapsed_seconds:.4g}s"
+        )

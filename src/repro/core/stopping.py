@@ -1,0 +1,111 @@
+"""Stopping criteria for the optimization loop.
+
+The paper runs a fixed iteration budget (2000).  Real deployments — and one
+of the baselines we model — also stop on a target value or on stagnation:
+``scikit-opt`` exposes a ``precision``-based early stop, which is the
+mechanism behind its anomalously fast Easom time in Table 1 (Easom's plateau
+makes every iteration a stall).  The :class:`StallStop` criterion reproduces
+that behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["StopCriterion", "MaxIterations", "TargetValue", "StallStop", "AnyOf"]
+
+
+class StopCriterion(ABC):
+    """Decides, after each iteration, whether the search should halt."""
+
+    @abstractmethod
+    def should_stop(self, iteration: int, gbest_value: float) -> bool:
+        """True when the run may terminate after *iteration* (0-based)."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a new run."""
+
+
+@dataclass
+class MaxIterations(StopCriterion):
+    """Fixed iteration budget (the paper's ``max_iter``)."""
+
+    max_iter: int
+
+    def __post_init__(self) -> None:
+        if self.max_iter < 1:
+            raise InvalidParameterError("max_iter must be >= 1")
+
+    def should_stop(self, iteration: int, gbest_value: float) -> bool:
+        return iteration + 1 >= self.max_iter
+
+
+@dataclass
+class TargetValue(StopCriterion):
+    """Stop once the gbest value reaches a target (within tolerance)."""
+
+    target: float
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise InvalidParameterError("tolerance must be non-negative")
+
+    def should_stop(self, iteration: int, gbest_value: float) -> bool:
+        return gbest_value <= self.target + self.tolerance
+
+
+@dataclass
+class StallStop(StopCriterion):
+    """Stop after *patience* consecutive iterations without improvement.
+
+    Improvement means the gbest value dropped by more than ``min_delta``
+    since the previous iteration.
+    """
+
+    patience: int
+    min_delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise InvalidParameterError("patience must be >= 1")
+        if self.min_delta < 0:
+            raise InvalidParameterError("min_delta must be non-negative")
+        self._last: float | None = None
+        self._stalled = 0
+
+    def reset(self) -> None:
+        self._last = None
+        self._stalled = 0
+
+    def should_stop(self, iteration: int, gbest_value: float) -> bool:
+        if self._last is not None and self._last - gbest_value <= self.min_delta:
+            self._stalled += 1
+        else:
+            self._stalled = 0
+        self._last = gbest_value
+        return self._stalled >= self.patience
+
+
+@dataclass
+class AnyOf(StopCriterion):
+    """Composite: stop when any member criterion fires."""
+
+    criteria: tuple[StopCriterion, ...]
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise InvalidParameterError("AnyOf needs at least one criterion")
+
+    def reset(self) -> None:
+        for c in self.criteria:
+            c.reset()
+
+    def should_stop(self, iteration: int, gbest_value: float) -> bool:
+        # Evaluate all members: stateful criteria (StallStop) must observe
+        # every iteration even when another criterion fires first.
+        fired = [c.should_stop(iteration, gbest_value) for c in self.criteria]
+        return any(fired)

@@ -1,0 +1,232 @@
+"""Swarm state and the canonical PSO update numerics.
+
+Every engine — GPU element-wise, GPU thread-per-particle, sequential C++
+model, OpenMP model — runs *these* array semantics, so two engines with the
+same seed produce bit-identical trajectories (the cross-engine equivalence
+property the test suite asserts).  What differs between engines is the cost
+model and the kernel decomposition, exactly as in the paper, where
+fastpso/fastpso-seq/fastpso-omp are ports of one algorithm.
+
+Arithmetic is float32 throughout, matching the CUDA implementation; the
+tensor-core backend substitutes :func:`repro.gpusim.tensorcore.
+fragment_multiply_add` for the two weighted products and therefore differs
+by fp16 rounding only.
+
+A note on Eq. (1): the paper writes the attractors as ``pbest_i . e`` and
+``gbest . e`` while defining ``pbest_i``/``gbest`` as best *errors*.  Taken
+literally that would steer particles toward the scalar error value, which
+optimises nothing; like every PSO implementation the paper compares against,
+we read the attractors as the best *positions* (the matrices E_l and E_g
+broadcast the personal-best/global-best positions).  DESIGN.md records this
+notation decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.errors import InvalidParameterError
+from repro.gpusim.rng import ParallelRNG
+
+__all__ = [
+    "SwarmState",
+    "draw_initial_state",
+    "draw_weights",
+    "velocity_update",
+    "position_update",
+    "pbest_update",
+    "gbest_scan",
+]
+
+
+@dataclass
+class SwarmState:
+    """All per-swarm arrays of Algorithm 1.
+
+    ``positions``/``velocities``/``pbest_positions`` are ``(n, d)`` float32;
+    ``pbest_values`` is ``(n,)`` float64 (fitness is accumulated in double,
+    as the evaluation kernels do for the row reductions).
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    pbest_values: np.ndarray
+    pbest_positions: np.ndarray
+    gbest_value: float = np.inf
+    gbest_index: int = -1
+    gbest_position: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def n_particles(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.positions.shape[1]
+
+    def copy(self) -> "SwarmState":
+        return SwarmState(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            pbest_values=self.pbest_values.copy(),
+            pbest_positions=self.pbest_positions.copy(),
+            gbest_value=self.gbest_value,
+            gbest_index=self.gbest_index,
+            gbest_position=self.gbest_position.copy(),
+        )
+
+
+#: Initial velocities are drawn uniformly on +/- this fraction of the
+#: domain width — small enough not to eject particles immediately, the
+#: common convention for random velocity initialisation.
+INIT_VELOCITY_FRACTION = 0.1
+
+
+def draw_initial_state(
+    problem: Problem, n_particles: int, rng: ParallelRNG
+) -> SwarmState:
+    """Random initial swarm (Algorithm 1 lines 1-3).
+
+    Draw order is part of the cross-engine contract: positions first
+    (row-major ``n x d`` uniforms), then velocities.  pbest values start at
+    +inf so the first evaluation always claims them.
+    """
+    if n_particles <= 0:
+        raise InvalidParameterError(
+            f"need at least one particle, got {n_particles}"
+        )
+    n, d = n_particles, problem.dim
+    lo = problem.lower_bounds.astype(np.float32)
+    width = problem.domain_width.astype(np.float32)
+
+    unit_p = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32)
+    positions = lo + unit_p * width
+
+    unit_v = rng.uniform((n, d), -1.0, 1.0, dtype=np.float32)
+    velocities = (INIT_VELOCITY_FRACTION * width) * unit_v
+
+    return SwarmState(
+        positions=positions,
+        velocities=velocities,
+        pbest_values=np.full(n, np.inf, dtype=np.float64),
+        pbest_positions=positions.copy(),
+        gbest_position=np.zeros(d, dtype=np.float32),
+    )
+
+
+def draw_weights(
+    rng: ParallelRNG, n: int, d: int, dtype=np.float32
+) -> tuple[np.ndarray, np.ndarray]:
+    """The per-iteration random weight matrices L then G of Eq. (4).
+
+    The stream consumption is dtype-independent (draws happen at 32-bit
+    word granularity), so fp16 runs consume the same Philox blocks as fp32
+    runs — only the stored rounding differs.
+    """
+    l_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32).astype(dtype)
+    g_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32).astype(dtype)
+    return l_mat, g_mat
+
+
+def velocity_update(
+    velocities: np.ndarray,
+    positions: np.ndarray,
+    pbest_positions: np.ndarray,
+    social_positions: np.ndarray,
+    l_weights: np.ndarray,
+    g_weights: np.ndarray,
+    params: PSOParams,
+    velocity_bounds: tuple[np.ndarray, np.ndarray] | None,
+    *,
+    out: np.ndarray | None = None,
+    multiply_add=None,
+) -> np.ndarray:
+    """Eq. (4): ``V' = w V + c1 L (E_l - P) + c2 G (E_g - P)``, clamped.
+
+    ``social_positions`` is the gbest row (global topology, broadcast) or an
+    ``(n, d)`` per-particle matrix (ring topology).  ``multiply_add``
+    optionally replaces the two Hadamard products — the tensor-core backend
+    passes :func:`repro.gpusim.tensorcore.fragment_multiply_add` here.
+    All arithmetic stays in float32.
+    """
+    if out is None:
+        out = np.empty_like(velocities)
+    w = np.float32(params.inertia)
+    c1 = np.float32(params.cognitive)
+    c2 = np.float32(params.social)
+
+    cog_pull = pbest_positions - positions
+    soc_pull = social_positions - positions
+    if multiply_add is None:
+        np.multiply(velocities, w, out=out)
+        out += c1 * (l_weights * cog_pull)
+        out += c2 * (g_weights * soc_pull)
+    else:
+        base = velocities * w
+        term1 = multiply_add(l_weights, cog_pull)
+        term2 = multiply_add(g_weights, soc_pull)
+        np.add(base, c1 * term1, out=out)
+        out += c2 * term2
+
+    if velocity_bounds is not None:
+        lo, hi = velocity_bounds
+        np.clip(out, lo.astype(np.float32), hi.astype(np.float32), out=out)
+    return out
+
+
+def position_update(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    problem: Problem,
+    params: PSOParams,
+) -> np.ndarray:
+    """Eq. (2): ``P' = P + V'`` (optionally clipped to the domain)."""
+    positions += velocities
+    if params.clip_positions:
+        np.clip(
+            positions,
+            problem.lower_bounds.astype(np.float32),
+            problem.upper_bounds.astype(np.float32),
+            out=positions,
+        )
+    return positions
+
+
+def pbest_update(
+    state: SwarmState, values: np.ndarray
+) -> np.ndarray:
+    """Algorithm 1 lines 6-9: claim improved personal bests.
+
+    Returns the boolean improvement mask (used by tests and by the ring
+    topology).  Strict ``<`` comparison matches the paper's pseudocode, so
+    ties keep the earlier best.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != state.pbest_values.shape:
+        raise InvalidParameterError(
+            f"fitness shape {values.shape} does not match swarm "
+            f"({state.pbest_values.shape})"
+        )
+    mask = values < state.pbest_values
+    state.pbest_values[mask] = values[mask]
+    state.pbest_positions[mask] = state.positions[mask]
+    return mask
+
+
+def gbest_scan(state: SwarmState) -> tuple[int, float]:
+    """Sequential-scan gbest update (lines 10-12); ties keep lowest index.
+
+    The GPU engines replace this with the parallel reduction, which is
+    tested to agree exactly.
+    """
+    idx = int(np.argmin(state.pbest_values))
+    val = float(state.pbest_values[idx])
+    if val < state.gbest_value:
+        state.gbest_value = val
+        state.gbest_index = idx
+        state.gbest_position = state.pbest_positions[idx].copy()
+    return state.gbest_index, state.gbest_value

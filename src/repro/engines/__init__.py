@@ -1,0 +1,82 @@
+"""All seven engine implementations benchmarked by the paper.
+
+============  ===========================================  =================
+Table 1 name  Class                                        Substrate
+============  ===========================================  =================
+fastpso       :class:`FastPSOEngine`                       GPU, element-wise
+gpu-pso       :class:`GpuParticleEngine`                   GPU, per-particle
+hgpu-pso      :class:`GpuHeteroEngine`                     CPU+GPU hybrid
+fastpso-seq   :class:`SequentialEngine`                    1 CPU thread
+fastpso-omp   :class:`OpenMPEngine`                        20 CPU threads
+pyswarms      :class:`PySwarmsLikeEngine`                  NumPy library
+scikit-opt    :class:`ScikitOptLikeEngine`                 NumPy library
+============  ===========================================  =================
+
+:func:`make_engine` builds any of them by the paper's name; FastPSO's
+memory backends (``global``/``shared``/``tensorcore``) and allocator toggle
+are constructor options on :class:`FastPSOEngine`.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import Engine
+from repro.engines.async_pso import AsyncFastPSOEngine
+from repro.engines.cpu_omp import OpenMPEngine
+from repro.engines.cpu_seq import SequentialEngine
+from repro.engines.gpu_elementwise import BACKENDS, FastPSOEngine
+from repro.engines.gpu_hetero import GpuHeteroEngine
+from repro.engines.gpu_particle import GpuParticleEngine
+from repro.engines.lib_base import LibraryEngineBase
+from repro.engines.multi_gpu import MultiGpuFastPSOEngine
+from repro.engines.pyswarms_like import PySwarmsLikeEngine
+from repro.engines.scikit_opt_like import ScikitOptLikeEngine
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Engine",
+    "FastPSOEngine",
+    "GpuParticleEngine",
+    "GpuHeteroEngine",
+    "SequentialEngine",
+    "OpenMPEngine",
+    "PySwarmsLikeEngine",
+    "ScikitOptLikeEngine",
+    "LibraryEngineBase",
+    "MultiGpuFastPSOEngine",
+    "AsyncFastPSOEngine",
+    "BACKENDS",
+    "ENGINE_NAMES",
+    "make_engine",
+]
+
+_FACTORIES = {
+    "fastpso": FastPSOEngine,
+    "gpu-pso": GpuParticleEngine,
+    "hgpu-pso": GpuHeteroEngine,
+    "fastpso-seq": SequentialEngine,
+    "fastpso-omp": OpenMPEngine,
+    "pyswarms": PySwarmsLikeEngine,
+    "scikit-opt": ScikitOptLikeEngine,
+}
+
+#: Engine names in the paper's Table 1 column order.
+ENGINE_NAMES = (
+    "pyswarms",
+    "scikit-opt",
+    "gpu-pso",
+    "hgpu-pso",
+    "fastpso-seq",
+    "fastpso-omp",
+    "fastpso",
+)
+
+
+def make_engine(name: str, **kwargs: object) -> Engine:
+    """Instantiate an engine by its paper name (see :data:`ENGINE_NAMES`)."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,147 @@
+"""Shared machinery for the CPU engines (fastpso-seq / fastpso-omp).
+
+Both are the authors' C++ ports of FastPSO: identical algorithm and RNG
+stream, compiled with ``-O3``.  The numerics here are the shared module
+functions from :mod:`repro.core.swarm`; what this base class adds is the
+*timing*: each step charges the simulated clock with a
+:func:`repro.gpusim.costmodel.cpu_loop_cost` roofline built from the
+problem's shapes and evaluation profile.
+
+The per-step cost layout mirrors the C++ code the paper describes:
+
+* ``init`` — fill P and V with 2·n·d PRNG draws.
+* ``eval`` — one pass over P applying the evaluation profile.
+* ``pbest`` — n compares, plus a d-element row copy per improvement.
+* ``gbest`` — an n-element scan.
+* ``swarm`` — the fused update loop: 2 inline PRNG draws + Eq. (4)/(2)
+  arithmetic + the array traffic for V, P and the pbest positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.swarm import (
+    SwarmState,
+    draw_initial_state,
+    draw_weights,
+    gbest_scan,
+    pbest_update,
+    position_update,
+    velocity_update,
+)
+from repro.core.topology import social_positions
+from repro.gpusim.costmodel import CpuSpec, cpu_loop_cost, xeon_e5_2640v4
+from repro.gpusim.rng import ParallelRNG
+
+__all__ = ["CpuEngineBase"]
+
+# float32 arrays, matching the CUDA implementation the C++ code was ported
+# from.
+_F32 = 4
+
+
+class CpuEngineBase(Engine):
+    """Template for compiled-CPU engines; subclasses fix the thread count."""
+
+    #: Number of OS threads the engine uses (1 = sequential).
+    threads: int = 1
+    #: Fraction of the PRNG work that actually parallelises across threads.
+    #: Naive OpenMP ports draw from a shared libc generator whose internal
+    #: lock serialises the calls; the paper's fastpso-omp scaling (~1.4x on
+    #: 20 cores) is reproduced by keeping this near zero.
+    rng_parallel_efficiency: float = 0.0
+
+    def __init__(self, cpu: CpuSpec | None = None) -> None:
+        super().__init__()
+        self.cpu = cpu or xeon_e5_2640v4()
+
+    # -- timing helpers -----------------------------------------------------
+    def _charge(self, n_elems: int, **mix: float) -> None:
+        cost = cpu_loop_cost(self.cpu, n_elems, threads=self.threads, **mix)
+        self.clock.advance(cost.seconds)
+
+    def _charge_rng(self, n_draws: int) -> None:
+        """PRNG draws, parallelised only to the configured efficiency."""
+        eff_threads = max(
+            1, int(round(self.threads * self.rng_parallel_efficiency))
+        )
+        cost = cpu_loop_cost(
+            self.cpu, n_draws, rng_per_elem=1.0, threads=eff_threads
+        )
+        self.clock.advance(cost.seconds)
+
+    # -- step hooks -------------------------------------------------------------
+    def _initialize(
+        self, problem: Problem, params: PSOParams, n_particles: int, rng: ParallelRNG
+    ) -> SwarmState:
+        from repro.core.initializers import initialize_swarm
+
+        state = initialize_swarm(
+            problem, n_particles, rng, params.init_strategy
+        )
+        n_elems = n_particles * problem.dim
+        self._charge_rng(2 * n_elems)
+        self._charge(n_elems, bytes_per_elem=2 * _F32, flops_per_elem=4.0)
+        return state
+
+    def _evaluate(self, problem: Problem, state: SwarmState) -> np.ndarray:
+        values = problem.evaluator.evaluate(state.positions)
+        prof = problem.evaluator.profile()
+        self._charge(
+            state.n_particles * state.dim,
+            flops_per_elem=prof.flops_per_elem + prof.reduction_flops_per_elem,
+            bytes_per_elem=_F32,
+            transcendental_per_elem=prof.sfu_per_elem,
+        )
+        return values
+
+    def _update_pbest(self, state: SwarmState, values: np.ndarray) -> None:
+        mask = pbest_update(state, values)
+        improved = int(np.count_nonzero(mask))
+        self._charge(state.n_particles, flops_per_elem=1.0, bytes_per_elem=8.0)
+        if improved:
+            self._charge(improved * state.dim, bytes_per_elem=2 * _F32)
+
+    def _update_gbest(self, state: SwarmState) -> None:
+        gbest_scan(state)
+        self._charge(state.n_particles, flops_per_elem=1.0, bytes_per_elem=8.0)
+
+    def _update_swarm(
+        self,
+        problem: Problem,
+        params: PSOParams,
+        state: SwarmState,
+        rng: ParallelRNG,
+    ) -> None:
+        params = self._scheduled_params(params)
+        l_mat, g_mat = draw_weights(rng, state.n_particles, state.dim)
+        social = social_positions(state, params.topology)
+        vbounds = self._current_velocity_bounds(problem, params)
+        velocity_update(
+            state.velocities,
+            state.positions,
+            state.pbest_positions,
+            social,
+            l_mat,
+            g_mat,
+            params,
+            vbounds,
+            out=state.velocities,
+        )
+        position_update(state.positions, state.velocities, problem, params)
+
+        n_elems = state.n_particles * state.dim
+        # Inline PRNG: the C++ loop draws l and g on the fly, so the weight
+        # matrices never touch memory.
+        self._charge_rng(2 * n_elems)
+        # Fused update: read V, P, pbest positions; write V, P.
+        clamp_flops = 2.0 if params.velocity_clamp is not None else 0.0
+        self._charge(
+            n_elems,
+            flops_per_elem=10.0 + clamp_flops,
+            bytes_per_elem=5 * _F32,
+        )

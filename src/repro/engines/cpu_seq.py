@@ -1,0 +1,20 @@
+"""``fastpso-seq``: the authors' sequential C++ port of FastPSO.
+
+Single-threaded, ``-O3``-compiled model: the update loop auto-vectorises,
+the inline PRNG draws do not.  Used in Table 1/2, Figure 4/5 and as the
+"for-loop" bar of Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.engines.cpu_base import CpuEngineBase
+
+__all__ = ["SequentialEngine"]
+
+
+class SequentialEngine(CpuEngineBase):
+    """Sequential CPU reference implementation (``fastpso-seq``)."""
+
+    name = "fastpso-seq"
+    is_gpu = False
+    threads = 1

@@ -1,0 +1,510 @@
+"""``fastpso``: the paper's element-wise GPU engine (Section 3).
+
+The swarm update is decomposed into element-wise kernels over the ``n x d``
+matrices of Eq. (4), launched with resource-aware geometry
+(:func:`repro.gpusim.launch.resource_aware_config`), so occupancy stays at
+1.0 regardless of the particle count — the core idea of the paper.  Three
+memory backends reproduce Figure 6's comparison:
+
+* ``global`` — plain global-memory kernels (the default, and the config the
+  rest of the paper's tables call "fastpso");
+* ``shared`` — the update staged through ``32 x 32`` shared-memory tiles
+  (:mod:`repro.gpusim.sharedmem`); bit-identical numerics, different
+  resource profile;
+* ``tensorcore`` — the two Hadamard products issued as wmma fragment ops
+  (:mod:`repro.gpusim.tensorcore`); numerics differ by fp16 rounding of the
+  multiplicands, exactly like Volta HMMA.
+
+The two ``n x d`` weight matrices are *allocated every iteration* and freed
+after use; with the caching allocator (default) this costs a pool hit, with
+the direct allocator it costs a cudaMalloc/cudaFree pair — the Table 4
+comparison.  Device buffers model capacity and allocation behaviour (a swarm
+that exceeds the 16 GB card raises :class:`DeviceOutOfMemoryError`); array
+storage itself is host-backed by design of the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.initializers import initialize_swarm
+from repro.core.swarm import (
+    SwarmState,
+    draw_weights,
+    pbest_update,
+    position_update,
+    velocity_update,
+)
+from repro.core.topology import social_positions
+from repro.errors import InvalidParameterError
+from repro.gpusim.context import GpuContext, make_context
+from repro.gpusim.costmodel import GpuCostParams
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import Kernel, KernelSpec
+from repro.gpusim.launch import resource_aware_config
+from repro.gpusim.rng import ParallelRNG
+from repro.gpusim.sharedmem import apply_tiled, shared_mem_spec
+from repro.gpusim.tensorcore import (
+    fragment_multiply_add,
+    supports_tensor_cores,
+    tensor_core_spec,
+)
+
+__all__ = ["FastPSOEngine", "BACKENDS"]
+
+BACKENDS = ("global", "shared", "tensorcore")
+
+_F32 = 4
+_F64 = 8
+
+#: Philox4x32-10 is ~12 integer ops per 32-bit word of output.
+_RNG_FLOPS_PER_WORD = 12.0
+
+
+class FastPSOEngine(Engine):
+    """Element-wise PSO on the simulated GPU (the paper's FastPSO)."""
+
+    is_gpu = True
+
+    def __init__(
+        self,
+        spec: DeviceSpec | None = None,
+        *,
+        backend: str = "global",
+        caching: bool = True,
+        threads_per_block: int = 256,
+        cost_params: GpuCostParams | None = None,
+        fuse_update: bool = False,
+        half_storage: bool = False,
+    ) -> None:
+        super().__init__()
+        if backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if fuse_update and backend != "global":
+            raise InvalidParameterError(
+                "fused velocity+position update is only available on the "
+                "global-memory backend (tiling/wmma stage velocities only)"
+            )
+        if half_storage and backend == "tensorcore":
+            raise InvalidParameterError(
+                "half_storage is redundant with the tensorcore backend, "
+                "which already rounds the multiplicands to fp16"
+            )
+        self.ctx: GpuContext = make_context(
+            spec, caching=caching, cost_params=cost_params
+        )
+        if backend == "tensorcore" and not supports_tensor_cores(self.ctx.spec):
+            raise InvalidParameterError(
+                f"device {self.ctx.spec.name!r} has no tensor cores"
+            )
+        self.ctx.spec.validate_block(threads_per_block)  # fail fast
+        self.clock = self.ctx.clock  # engine and device share one timeline
+        self.backend = backend
+        self.caching = caching
+        self.threads_per_block = threads_per_block
+        self.fuse_update = fuse_update
+        self.half_storage = half_storage
+        # Storage precision of the swarm matrices (paper future work:
+        # exploiting new hardware features).  fp16 halves the DRAM traffic
+        # of every swarm kernel at the cost of ~1e-3 relative rounding.
+        self.storage_dtype = np.float16 if half_storage else np.float32
+        self.name = "fastpso"
+        if backend != "global":
+            self.name += f"-{backend}"
+        if not caching:
+            self.name += "-nocache"
+        if fuse_update:
+            self.name += "-fused"
+        if half_storage:
+            self.name += "-fp16"
+        self._kernels: dict[str, Kernel] = {}
+        self._persistent_buffers: list = []
+
+    def _cfg(self, kernel_key: str, n_elems: int):
+        """Resource-aware geometry honouring the kernel's occupancy limits."""
+        return resource_aware_config(
+            self.ctx.spec,
+            n_elems,
+            threads_per_block=self.threads_per_block,
+            kernel_spec=self._kernels[kernel_key].spec,
+        )
+
+    @property
+    def _elem_bytes(self) -> int:
+        """Bytes per stored swarm-matrix element (fp16 mode halves them)."""
+        return 2 if self.half_storage else _F32
+
+    # -- kernel construction ----------------------------------------------------
+    def _velocity_base_spec(self, clamped: bool) -> KernelSpec:
+        # Reads V, P, L, G and the pbest-position matrix; writes V.
+        eb = self._elem_bytes
+        return KernelSpec(
+            name="swarm_velocity_update",
+            flops_per_elem=10.0 + (2.0 if clamped else 0.0),
+            bytes_read_per_elem=5 * eb,
+            bytes_written_per_elem=eb,
+            registers_per_thread=32,
+        )
+
+    def _build_kernels(self, problem: Problem, params: PSOParams) -> None:
+        clamped = params.velocity_clamp is not None
+        base = self._velocity_base_spec(clamped)
+        if self.backend == "global":
+            vel_spec = base
+            vel_semantics = velocity_update
+        elif self.backend == "shared":
+            vel_spec = shared_mem_spec(
+                base, n_input_matrices=5, block_threads=self.threads_per_block
+            )
+            vel_semantics = self._tiled_velocity_update
+        else:  # tensorcore
+            vel_spec = tensor_core_spec(
+                base, block_threads=self.threads_per_block
+            )
+            vel_semantics = self._wmma_velocity_update
+
+        prof = problem.evaluator.profile()
+        self._kernels = {
+            "init_rng": Kernel(
+                KernelSpec(
+                    name="swarm_init_rng",
+                    flops_per_elem=_RNG_FLOPS_PER_WORD,
+                    bytes_read_per_elem=0.0,
+                    bytes_written_per_elem=self._elem_bytes,
+                    registers_per_thread=24,
+                ),
+                semantics=lambda problem, n, rng, strategy: initialize_swarm(
+                    problem, n, rng, strategy, dtype=self.storage_dtype
+                ),
+            ),
+            "weights_rng": Kernel(
+                KernelSpec(
+                    name="weights_rng",
+                    flops_per_elem=_RNG_FLOPS_PER_WORD,
+                    bytes_read_per_elem=0.0,
+                    bytes_written_per_elem=self._elem_bytes,
+                    registers_per_thread=24,
+                ),
+                semantics=lambda rng, n, d: draw_weights(
+                    rng, n, d, dtype=self.storage_dtype
+                ),
+            ),
+            "velocity": Kernel(vel_spec, semantics=vel_semantics),
+            "position": Kernel(
+                KernelSpec(
+                    name="swarm_position_update",
+                    flops_per_elem=1.0 + (2.0 if params.clip_positions else 0.0),
+                    bytes_read_per_elem=2 * self._elem_bytes,
+                    bytes_written_per_elem=self._elem_bytes,
+                    registers_per_thread=16,
+                ),
+                semantics=position_update,
+            ),
+            "evaluate": Kernel(
+                KernelSpec(
+                    name="evaluation_kernel",
+                    flops_per_elem=prof.flops_per_elem
+                    + prof.reduction_flops_per_elem,
+                    sfu_per_elem=prof.sfu_per_elem,
+                    bytes_read_per_elem=self._elem_bytes,
+                    bytes_written_per_elem=0.0,  # n values folded in below
+                    registers_per_thread=32,
+                ),
+                semantics=problem.evaluator.evaluate,
+            ),
+            "pbest": Kernel(
+                KernelSpec(
+                    name="pbest_update",
+                    flops_per_elem=1.0,
+                    bytes_read_per_elem=2 * _F64,
+                    bytes_written_per_elem=_F64,
+                    registers_per_thread=16,
+                ),
+                semantics=pbest_update,
+            ),
+            # Optional fusion of steps (iv)'s two kernels: the paper notes
+            # the position update depends on the updated velocity but each
+            # *element's* position only depends on its own element, so the
+            # fused kernel keeps v' in registers and writes both arrays —
+            # saving one launch and the 8 bytes/element of re-reading P and
+            # V' from DRAM.
+            "fused_update": Kernel(
+                KernelSpec(
+                    name="swarm_fused_update",
+                    flops_per_elem=11.0 + (2.0 if clamped else 0.0),
+                    bytes_read_per_elem=5 * self._elem_bytes,
+                    bytes_written_per_elem=2 * self._elem_bytes,
+                    registers_per_thread=40,
+                ),
+                semantics=self._fused_update,
+            ),
+            "pbest_copy": Kernel(
+                KernelSpec(
+                    name="pbest_position_copy",
+                    flops_per_elem=0.0,
+                    bytes_read_per_elem=self._elem_bytes,
+                    bytes_written_per_elem=self._elem_bytes,
+                    registers_per_thread=16,
+                ),
+                semantics=lambda: None,  # the copy happened in pbest_update
+            ),
+        }
+
+    # -- backend-specific velocity semantics -----------------------------------
+    @staticmethod
+    def _fused_update(
+        velocities,
+        positions,
+        pbest_positions,
+        social,
+        l_mat,
+        g_mat,
+        params,
+        vbounds,
+        problem,
+    ):
+        """Fused Eq. (4) + Eq. (2): identical numerics, one kernel."""
+        velocity_update(
+            velocities,
+            positions,
+            pbest_positions,
+            social,
+            l_mat,
+            g_mat,
+            params,
+            vbounds,
+            out=velocities,
+        )
+        position_update(positions, velocities, problem, params)
+
+    @staticmethod
+    def _tiled_velocity_update(
+        velocities,
+        positions,
+        pbest_positions,
+        social,
+        l_mat,
+        g_mat,
+        params,
+        vbounds,
+        *,
+        out,
+    ):
+        """Shared-memory backend: same math, executed tile by tile."""
+        social_full = np.broadcast_to(social, positions.shape)
+
+        def tile_fn(v, p, pb, soc, l_w, g_w):
+            tile_out = np.empty_like(v)
+            velocity_update(
+                v, p, pb, soc, l_w, g_w, params, None, out=tile_out
+            )
+            return tile_out
+
+        apply_tiled(
+            out, tile_fn, velocities, positions, pbest_positions,
+            social_full, l_mat, g_mat,
+        )
+        if vbounds is not None:
+            lo, hi = vbounds
+            np.clip(out, lo.astype(np.float32), hi.astype(np.float32), out=out)
+        return out
+
+    @staticmethod
+    def _wmma_velocity_update(
+        velocities,
+        positions,
+        pbest_positions,
+        social,
+        l_mat,
+        g_mat,
+        params,
+        vbounds,
+        *,
+        out,
+    ):
+        """Tensor-core backend: Hadamard products via fp16 fragment ops."""
+        social_full = np.ascontiguousarray(
+            np.broadcast_to(social, positions.shape), dtype=np.float32
+        )
+        return velocity_update(
+            velocities,
+            positions,
+            pbest_positions,
+            social_full,
+            l_mat,
+            g_mat,
+            params,
+            vbounds,
+            out=out,
+            multiply_add=fragment_multiply_add,
+        )
+
+    # -- step hooks -------------------------------------------------------------
+    def _initialize(
+        self, problem: Problem, params: PSOParams, n_particles: int, rng: ParallelRNG
+    ) -> SwarmState:
+        self._release_persistent()
+        self._build_kernels(problem, params)
+        n, d = n_particles, problem.dim
+        # Persistent swarm storage: P, V, pbest positions (f32); pbest values
+        # (f64).  Raises DeviceOutOfMemoryError when the card cannot hold it.
+        alloc = self.ctx.allocator
+        self._persistent_buffers = [
+            alloc.alloc_like((n, d), self.storage_dtype),  # positions
+            alloc.alloc_like((n, d), self.storage_dtype),  # velocities
+            alloc.alloc_like((n, d), self.storage_dtype),  # pbest positions
+            alloc.alloc_like((n,), np.float64),  # pbest values
+            alloc.alloc_like((n,), np.float64),  # current values
+        ]
+        cfg = self._cfg("init_rng", 2 * n * d)
+        state = self.ctx.launcher.launch(
+            self._kernels["init_rng"],
+            2 * n * d,
+            problem,
+            n,
+            rng,
+            params.init_strategy,
+            config=cfg,
+        )
+        return state
+
+    def _evaluate(self, problem: Problem, state: SwarmState) -> np.ndarray:
+        n, d = state.n_particles, state.dim
+        if problem.evaluator.granularity == "particle":
+            # Thread-per-particle schema kernel: each thread runs the user
+            # lambda over its particle's d values.
+            prof = problem.evaluator.profile()
+            spec = self._kernels["evaluate"].spec.scaled(
+                name="evaluation_kernel_particle",
+                flops_per_elem=(prof.flops_per_elem + prof.reduction_flops_per_elem)
+                * d,
+                sfu_per_elem=prof.sfu_per_elem * d,
+                bytes_read_per_elem=_F32 * d,
+                bytes_written_per_elem=_F64,
+                dependent_loads_per_elem=1.0,
+            )
+            kernel = Kernel(spec, problem.evaluator.evaluate)
+            cfg = resource_aware_config(
+                self.ctx.spec,
+                n,
+                threads_per_block=self.threads_per_block,
+                kernel_spec=spec,
+            )
+            return self.ctx.launcher.launch(
+                kernel, n, state.positions, config=cfg
+            )
+        cfg = self._cfg("evaluate", n * d)
+        return self.ctx.launcher.launch(
+            self._kernels["evaluate"], n * d, state.positions, config=cfg
+        )
+
+    def _update_pbest(self, state: SwarmState, values: np.ndarray) -> None:
+        n = state.n_particles
+        cfg = self._cfg("pbest", n)
+        mask = self.ctx.launcher.launch(
+            self._kernels["pbest"], n, state, values, config=cfg
+        )
+        improved = int(np.count_nonzero(mask))
+        if improved:
+            # Account the d-wide position copies for the improved particles.
+            copy_elems = improved * state.dim
+            copy_cfg = self._cfg("pbest_copy", copy_elems)
+            self.ctx.launcher.launch(
+                self._kernels["pbest_copy"], copy_elems, config=copy_cfg
+            )
+
+    def _update_gbest(self, state: SwarmState) -> None:
+        idx, val = self.ctx.reducer.argmin(state.pbest_values)
+        if val < state.gbest_value:
+            state.gbest_value = val
+            state.gbest_index = idx
+            state.gbest_position = state.pbest_positions[idx].copy()
+
+    def _update_swarm(
+        self,
+        problem: Problem,
+        params: PSOParams,
+        state: SwarmState,
+        rng: ParallelRNG,
+    ) -> None:
+        params = self._scheduled_params(params)
+        n, d = state.n_particles, state.dim
+        alloc = self.ctx.allocator
+        # Per-iteration weight matrices: fresh allocations each time, so the
+        # allocator flavour (caching vs direct) is what Table 4 measures.
+        l_buf = alloc.alloc_like((n, d), self.storage_dtype)
+        g_buf = alloc.alloc_like((n, d), self.storage_dtype)
+        try:
+            cfg_2nd = self._cfg("weights_rng", 2 * n * d)
+            l_mat, g_mat = self.ctx.launcher.launch(
+                self._kernels["weights_rng"], 2 * n * d, rng, n, d, config=cfg_2nd
+            )
+            social = social_positions(state, params.topology)
+            vbounds = self._current_velocity_bounds(problem, params)
+            if self.fuse_update:
+                self.ctx.launcher.launch(
+                    self._kernels["fused_update"],
+                    n * d,
+                    state.velocities,
+                    state.positions,
+                    state.pbest_positions,
+                    social,
+                    l_mat,
+                    g_mat,
+                    params,
+                    vbounds,
+                    problem,
+                    config=self._cfg("fused_update", n * d),
+                )
+            else:
+                self.ctx.launcher.launch(
+                    self._kernels["velocity"],
+                    n * d,
+                    state.velocities,
+                    state.positions,
+                    state.pbest_positions,
+                    social,
+                    l_mat,
+                    g_mat,
+                    params,
+                    vbounds,
+                    out=state.velocities,
+                    config=self._cfg("velocity", n * d),
+                )
+                self.ctx.launcher.launch(
+                    self._kernels["position"],
+                    n * d,
+                    state.positions,
+                    state.velocities,
+                    problem,
+                    params,
+                    config=self._cfg("position", n * d),
+                )
+        finally:
+            alloc.free(l_buf)
+            alloc.free(g_buf)
+
+    def _finalize(self, state: SwarmState) -> None:
+        # Device-to-host copy of the result vector.
+        spec = self.ctx.spec
+        nbytes = state.dim * _F32
+        self.clock.advance(6.0e-6 + nbytes / spec.pcie_bandwidth)
+        self._release_persistent()
+
+    def _release_persistent(self) -> None:
+        for buf in self._persistent_buffers:
+            self.ctx.allocator.free(buf)
+        self._persistent_buffers = []
+
+    def _peak_device_bytes(self) -> int:
+        return self.ctx.memory.high_water_bytes
+
+    # -- introspection ----------------------------------------------------------
+    def profile_report(self):
+        """Profiling over every launch since the engine was created/reset."""
+        return self.ctx.profile_report()

@@ -1,0 +1,228 @@
+"""Multi-GPU FastPSO via particle splitting (paper Section 3.5).
+
+The swarm is partitioned into one sub-swarm per simulated device.  Each
+sub-swarm runs the ordinary element-wise FastPSO steps on its own device
+(its own clock, allocator and Philox stream — streams are disjoint by
+construction, see :class:`repro.gpusim.rng.ParallelRNG`), maintaining its
+*local* global-best.  Every ``exchange_interval`` iterations the devices
+reconcile: the best local gbest is broadcast over PCIe and injected into
+every sub-swarm.  Between exchanges devices never wait on each other, so
+end-to-end time is the *slowest device's* timeline plus the exchange costs
+— the asynchronous behaviour the paper describes as the advantage of this
+strategy over the per-iteration-synchronised tile-matrix approach.
+
+This engine overrides :meth:`optimize` rather than the step hooks because
+it owns several device timelines; the per-device steps are the unmodified
+:class:`FastPSOEngine` hooks, so numerics per sub-swarm are identical to
+single-GPU FastPSO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.core.results import History, OptimizeResult, StepTimes
+from repro.core.stopping import StopCriterion
+from repro.engines.gpu_elementwise import FastPSOEngine
+from repro.errors import InvalidParameterError
+from repro.gpusim.costmodel import GpuCostParams
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.multigpu import ExchangeCost, partition_particles
+
+__all__ = ["MultiGpuFastPSOEngine"]
+
+
+class MultiGpuFastPSOEngine(Engine):
+    """Particle-splitting FastPSO across several simulated devices."""
+
+    is_gpu = True
+
+    def __init__(
+        self,
+        n_devices: int = 2,
+        spec: DeviceSpec | None = None,
+        *,
+        exchange_interval: int = 50,
+        backend: str = "global",
+        caching: bool = True,
+        cost_params: GpuCostParams | None = None,
+    ) -> None:
+        super().__init__()
+        if n_devices < 1:
+            raise InvalidParameterError(
+                f"need at least one device, got {n_devices}"
+            )
+        if exchange_interval < 1:
+            raise InvalidParameterError(
+                f"exchange_interval must be >= 1, got {exchange_interval}"
+            )
+        self.n_devices = n_devices
+        self.exchange_interval = exchange_interval
+        self.workers = [
+            FastPSOEngine(
+                spec,
+                backend=backend,
+                caching=caching,
+                cost_params=cost_params,
+            )
+            for _ in range(n_devices)
+        ]
+        for index, worker in enumerate(self.workers):
+            worker.ctx.device_index = index
+        self.name = f"fastpso-mgpu{n_devices}"
+        self._exchange = ExchangeCost(self.workers[0].ctx.spec)
+        self._exchange_seconds = 0.0
+
+    # -- the hooks are unused; the loop below drives the workers directly --
+    def _initialize(self, *a, **k):  # pragma: no cover - not reachable
+        raise NotImplementedError
+
+    _evaluate = _update_pbest = _update_gbest = _update_swarm = _initialize
+
+    def optimize(
+        self,
+        problem: Problem,
+        *,
+        n_particles: int,
+        max_iter: int,
+        params: PSOParams = PAPER_DEFAULTS,
+        stop: StopCriterion | None = None,
+        record_history: bool = False,
+        callback=None,
+    ) -> OptimizeResult:
+        if callback is not None and not callable(callback):
+            raise InvalidParameterError("callback must be callable")
+        if n_particles < self.n_devices:
+            raise InvalidParameterError(
+                f"cannot split {n_particles} particles over "
+                f"{self.n_devices} devices"
+            )
+        if max_iter <= 0:
+            raise InvalidParameterError(f"max_iter must be positive, got {max_iter}")
+        if stop is not None:
+            stop.reset()
+
+        shard_sizes = partition_particles(n_particles, self.n_devices)
+        self._exchange_seconds = 0.0
+        history = History() if record_history else None
+
+        # Per-device init: disjoint Philox streams derived from one seed
+        # (each worker's context namespaces the stream by device index).
+        # The same generator object continues through the iteration draws,
+        # exactly like the single-GPU engine.
+        states = []
+        rngs = []
+        for worker, shard in zip(self.workers, shard_sizes):
+            worker.clock.reset()
+            worker._progress = 0.0
+            rng = worker.ctx.make_rng(params.seed)
+            with worker.clock.section("init"):
+                states.append(worker._initialize(problem, params, shard, rng))
+            rngs.append(rng)
+
+        setup_seconds = max(w.clock.now for w in self.workers)
+
+        global_best_value = np.inf
+        global_best_position = np.zeros(problem.dim, dtype=np.float32)
+        iterations_run = 0
+
+        for t in range(max_iter):
+            progress = t / max(1, max_iter - 1)
+            for worker, state, rng in zip(self.workers, states, rngs):
+                worker._progress = progress
+                with worker.clock.section("eval"):
+                    values = worker._evaluate(problem, state)
+                with worker.clock.section("pbest"):
+                    worker._update_pbest(state, values)
+                with worker.clock.section("gbest"):
+                    worker._update_gbest(state)
+                with worker.clock.section("swarm"):
+                    worker._update_swarm(problem, params, state, rng)
+            iterations_run = t + 1
+
+            if (t + 1) % self.exchange_interval == 0 or t == max_iter - 1:
+                global_best_value, global_best_position = self._exchange_best(
+                    problem, states, global_best_value, global_best_position
+                )
+
+            if history is not None:
+                best_now = min(s.gbest_value for s in states)
+                mean_pbest = float(
+                    np.mean(np.concatenate([s.pbest_values for s in states]))
+                )
+                history.record(min(best_now, global_best_value), mean_pbest)
+            if callback is not None:
+                # The callback receives the sub-swarm currently holding the
+                # best gbest (the closest analogue of the single-GPU state).
+                leader = min(states, key=lambda s: s.gbest_value)
+                if callback(t, leader):
+                    global_best_value, global_best_position = (
+                        self._exchange_best(
+                            problem,
+                            states,
+                            global_best_value,
+                            global_best_position,
+                        )
+                    )
+                    break
+            if stop is not None and stop.should_stop(
+                t, min(global_best_value, min(s.gbest_value for s in states))
+            ):
+                global_best_value, global_best_position = self._exchange_best(
+                    problem, states, global_best_value, global_best_position
+                )
+                break
+
+        for worker, state in zip(self.workers, states):
+            worker._finalize(state)
+
+        elapsed = (
+            max(w.clock.now for w in self.workers) + self._exchange_seconds
+        )
+        loop_seconds = elapsed - setup_seconds
+        slowest = max(self.workers, key=lambda w: w.clock.now)
+        step_times = StepTimes(
+            init=slowest.clock.total("init"),
+            eval=slowest.clock.total("eval"),
+            pbest=slowest.clock.total("pbest"),
+            gbest=slowest.clock.total("gbest") + self._exchange_seconds,
+            swarm=slowest.clock.total("swarm"),
+        )
+        return OptimizeResult(
+            engine=self.name,
+            problem=problem.name,
+            n_particles=n_particles,
+            dim=problem.dim,
+            iterations=iterations_run,
+            best_value=float(global_best_value),
+            best_position=np.asarray(global_best_position, dtype=np.float64),
+            error=problem.error_of(global_best_value),
+            elapsed_seconds=elapsed,
+            setup_seconds=setup_seconds,
+            iteration_seconds=loop_seconds / iterations_run,
+            step_times=step_times,
+            history=history,
+            peak_device_bytes=max(
+                w.ctx.memory.high_water_bytes for w in self.workers
+            ),
+        )
+
+    def _exchange_best(
+        self, problem, states, global_best_value, global_best_position
+    ):
+        """Reconcile local gbests: gather candidates, broadcast the winner."""
+        for state in states:
+            if state.gbest_value < global_best_value:
+                global_best_value = state.gbest_value
+                global_best_position = state.gbest_position.copy()
+        for state in states:
+            if global_best_value < state.gbest_value:
+                state.gbest_value = float(global_best_value)
+                state.gbest_position = global_best_position.copy()
+        self._exchange_seconds += self._exchange.gbest_broadcast(
+            self.n_devices, problem.dim * 4 + 8
+        )
+        return global_best_value, global_best_position

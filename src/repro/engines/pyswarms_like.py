@@ -1,0 +1,34 @@
+"""``pyswarms``: model of the PySwarms ``GlobalBestPSO`` optimizer.
+
+PySwarms (Miranda 2018) is the most-starred Python PSO library and one of
+the paper's two CPU baselines.  Its ``GlobalBestPSO`` with the paper's
+options (``w=0.9, c1=c2=2``) runs fully *vectorised* NumPy updates but:
+
+* applies no velocity clamp unless the user passes one (the paper passes
+  only ``w/c1/c2``), so the dynamics diverge (Table 2's 1031.99 on Sphere);
+* materialises many float64 temporaries per iteration (compute_velocity /
+  compute_position / history bookkeeping), the cost structure behind its
+  ~65 ms/iteration at n=5000, d=200 (Table 1's 129.67 s).
+
+Runs its full iteration budget — no early stopping.
+"""
+
+from __future__ import annotations
+
+from repro.engines.lib_base import LibraryEngineBase
+
+__all__ = ["PySwarmsLikeEngine"]
+
+
+class PySwarmsLikeEngine(LibraryEngineBase):
+    """Vectorised NumPy library baseline (``pyswarms``)."""
+
+    name = "pyswarms"
+    is_gpu = False
+    eval_strategy = "vectorized"
+    clip_positions = False
+    # compute_velocity: 3 pulls x (sub, mul-by-random, scale, add) plus the
+    # clamp/validation pass pyswarms always runs.
+    update_ufunc_ops = 12
+    # swarm history + reporter bookkeeping per iteration.
+    overhead_ufunc_ops = 6

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors such
+as :class:`TypeError`.  The sub-hierarchy mirrors the package layout:
+simulator faults (:class:`GpuSimError` and children) are kept distinct from
+optimizer-level misuse (:class:`OptimizationError` and children) because the
+former indicate a resource or launch problem on the simulated device while
+the latter indicate a badly posed optimization problem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GpuSimError",
+    "DeviceOutOfMemoryError",
+    "InvalidLaunchError",
+    "AllocationError",
+    "MemoryAccessError",
+    "StreamError",
+    "OptimizationError",
+    "InvalidProblemError",
+    "InvalidParameterError",
+    "EvaluationError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GpuSimError(ReproError):
+    """Base class for errors originating in the GPU simulator substrate."""
+
+
+class DeviceOutOfMemoryError(GpuSimError):
+    """The simulated device cannot satisfy an allocation request.
+
+    Mirrors ``cudaErrorMemoryAllocation``: raised when the requested byte
+    count exceeds the free global memory of the simulated device.
+    """
+
+    def __init__(self, requested: int, free: int, total: int) -> None:
+        self.requested = int(requested)
+        self.free = int(free)
+        self.total = int(total)
+        super().__init__(
+            f"out of device memory: requested {requested} bytes, "
+            f"{free} free of {total} total"
+        )
+
+
+class InvalidLaunchError(GpuSimError):
+    """A kernel launch configuration violates a hardware limit.
+
+    Mirrors ``cudaErrorInvalidConfiguration``: too many threads per block,
+    a zero-sized grid, more shared memory than the device provides, etc.
+    """
+
+
+class AllocationError(GpuSimError):
+    """An allocator invariant was violated (double free, foreign pointer)."""
+
+
+class MemoryAccessError(GpuSimError):
+    """A device buffer was used after free or outside its bounds."""
+
+
+class StreamError(GpuSimError):
+    """Illegal stream/event operation (e.g. waiting on an unrecorded event)."""
+
+
+class OptimizationError(ReproError):
+    """Base class for optimizer-level failures."""
+
+
+class InvalidProblemError(OptimizationError):
+    """The optimization problem definition is malformed.
+
+    Examples: non-positive dimensionality, lower bound above upper bound,
+    an objective that returns the wrong shape.
+    """
+
+
+class InvalidParameterError(OptimizationError):
+    """A PSO hyper-parameter is outside its legal range."""
+
+
+class EvaluationError(OptimizationError):
+    """The user evaluation function misbehaved (wrong shape, NaN policy)."""
+
+
+class BenchmarkError(ReproError):
+    """An experiment harness was configured inconsistently."""

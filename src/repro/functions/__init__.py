@@ -1,0 +1,51 @@
+"""Built-in swarm evaluation functions (paper Section 3.2).
+
+Importing this package registers every built-in function; look them up with
+:func:`get_function` or enumerate them with :func:`available_functions`.
+The paper's evaluation set is ``sphere``, ``griewank`` and ``easom``; the
+rest are the wider Molga & Smutnicki collection FastPSO ships as built-ins.
+"""
+
+from repro.functions.ackley import Ackley
+from repro.functions.base import (
+    BenchmarkFunction,
+    EvalProfile,
+    available_functions,
+    get_function,
+    register,
+)
+from repro.functions.dixon_price import DixonPrice
+from repro.functions.easom import Easom
+from repro.functions.griewank import Griewank
+from repro.functions.levy import Levy
+from repro.functions.michalewicz import Michalewicz
+from repro.functions.rastrigin import Rastrigin
+from repro.functions.rosenbrock import Rosenbrock
+from repro.functions.schwefel import Schwefel
+from repro.functions.sphere import Sphere
+from repro.functions.styblinski_tang import StyblinskiTang
+from repro.functions.zakharov import Zakharov
+
+#: The three functions the paper's Tables 1-4 and Figures 4-6 use.
+PAPER_FUNCTIONS = ("sphere", "griewank", "easom")
+
+__all__ = [
+    "BenchmarkFunction",
+    "EvalProfile",
+    "available_functions",
+    "get_function",
+    "register",
+    "PAPER_FUNCTIONS",
+    "Sphere",
+    "Griewank",
+    "Easom",
+    "Rastrigin",
+    "Rosenbrock",
+    "Ackley",
+    "Schwefel",
+    "Levy",
+    "Zakharov",
+    "StyblinskiTang",
+    "Michalewicz",
+    "DixonPrice",
+]

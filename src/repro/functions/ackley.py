@@ -1,0 +1,35 @@
+"""The Ackley function.
+
+.. math::
+   f(x) = -20\\exp\\!\\Big(-0.2\\sqrt{\\tfrac1d\\sum x_i^2}\\Big)
+          - \\exp\\!\\Big(\\tfrac1d\\sum\\cos(2\\pi x_i)\\Big) + 20 + e
+
+Nearly flat outer region with a deep central funnel; global minimum 0 at the
+origin.  Standard domain ``(-32.768, 32.768)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Ackley"]
+
+
+@register
+class Ackley(BenchmarkFunction):
+    name = "ackley"
+    domain = (-32.768, 32.768)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        d = p.shape[1]
+        rms = np.sqrt(np.einsum("ij,ij->i", p, p) / d)
+        mean_cos = np.mean(np.cos(2.0 * np.pi * p), axis=1)
+        return -20.0 * np.exp(-0.2 * rms) - np.exp(mean_cos) + 20.0 + np.e
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(
+            flops_per_elem=3.0, sfu_per_elem=1.0, reduction_flops_per_elem=3.0
+        )

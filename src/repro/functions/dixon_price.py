@@ -1,0 +1,38 @@
+"""The Dixon-Price function.
+
+.. math:: f(x) = (x_1 - 1)^2 + \\sum_{i=2}^{d} i\\,(2x_i^2 - x_{i-1})^2
+
+Unimodal valley with a non-trivial optimum: ``x_i = 2^{-(2^i-2)/2^i}``,
+value 0.  Domain ``(-10, 10)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["DixonPrice"]
+
+
+@register
+class DixonPrice(BenchmarkFunction):
+    name = "dixon_price"
+    domain = (-10.0, 10.0)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        if p.shape[1] < 2:
+            raise InvalidProblemError("dixon_price requires dimension >= 2")
+        i = np.arange(2, p.shape[1] + 1, dtype=np.float64)
+        head = (p[:, 0] - 1.0) ** 2
+        tail = np.sum(i * (2.0 * p[:, 1:] ** 2 - p[:, :-1]) ** 2, axis=1)
+        return head + tail
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=7.0)
+
+    def true_minimum_position(self, dim: int) -> np.ndarray:
+        i = np.arange(1, dim + 1, dtype=np.float64)
+        return 2.0 ** (-(2.0**i - 2.0) / 2.0**i)

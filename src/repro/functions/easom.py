@@ -1,0 +1,72 @@
+"""The (generalised) Easom function (paper problem #3).
+
+The paper states the d-dimensional generalisation
+
+.. math::
+   f(x) = -(-1)^d \\Big(\\prod_{i=1}^{d}\\cos^2 x_i\\Big)
+          \\exp\\!\\Big[-\\sum_{i=1}^{d}(x_i-\\pi)^2\\Big]
+
+on the domain ``(-2\\pi, 2\\pi)``.  For even *d* the global minimum is -1 at
+``x = (\\pi, ..., \\pi)``, hidden in an exponentially narrow well; everywhere
+else the function is essentially 0.
+
+**Reference-value quirk (documented reproduction decision).**  Table 2 of
+the paper reports an error of 0.00 for *every* implementation on Easom at
+d=200 — including CPU libraries whose Sphere/Griewank errors are enormous.
+No stochastic optimizer finds a needle of width ~1 in a 200-dimensional box,
+so those zeros are only consistent with measuring error against the
+function's plateau value 0 rather than the true minimum -1.  We therefore
+override :meth:`reference_value` to return the plateau (0.0) for d > 2,
+keeping :meth:`true_minimum_value` honest at -1; EXPERIMENTS.md calls this
+out next to the Table 2 comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Easom"]
+
+
+@register
+class Easom(BenchmarkFunction):
+    name = "easom"
+    domain = (-2.0 * np.pi, 2.0 * np.pi)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        d = p.shape[1]
+        sign = -((-1.0) ** d)
+        cos2 = np.cos(p) ** 2
+        # log-space product avoids underflow of prod(cos^2) in high dimension;
+        # exact zeros (cos x == 0) force the product to 0 regardless.
+        with np.errstate(divide="ignore"):
+            log_prod = np.sum(np.log(cos2), axis=1)
+        dist = np.einsum("ij,ij->i", p - np.pi, p - np.pi)
+        out = sign * np.exp(log_prod - dist)
+        out[~np.isfinite(log_prod)] = 0.0
+        return out
+
+    def profile(self) -> EvalProfile:
+        # cos, the square via pow, exp, and the log-space product guard:
+        # four transcendental-class ops per element — the reason Easom is
+        # the paper's slowest problem on the CPU engines (Table 1).
+        return EvalProfile(
+            flops_per_elem=4.0, sfu_per_elem=4.0, reduction_flops_per_elem=2.0
+        )
+
+    def true_minimum_value(self, dim: int) -> float:
+        # Even d: -1 at pi*e.  Odd d: the sign flips and the minimum of the
+        # (then non-negative) needle term is the plateau value 0.
+        return -1.0 if dim % 2 == 0 else 0.0
+
+    def true_minimum_position(self, dim: int) -> np.ndarray:
+        return np.full(dim, np.pi)
+
+    def reference_value(self, dim: int) -> float:
+        """Paper Table 2 convention: the plateau (0) for high dimensions."""
+        if dim <= 2:
+            return self.true_minimum_value(dim)
+        return 0.0

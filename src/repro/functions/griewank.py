@@ -1,0 +1,39 @@
+"""The Griewank function (paper problem #2).
+
+.. math::
+   f(x) = \\frac{1}{4000}\\sum_{i=1}^{d} x_i^2
+          - \\prod_{i=1}^{d} \\cos\\!\\left(\\frac{x_i}{\\sqrt{i}}\\right) + 1
+
+Many regularly spaced local minima superimposed on a parabolic bowl; global
+minimum 0 at the origin.  The paper searches ``(-600, 600)``.  The cosine
+product makes its evaluation kernel transcendental-bound on CPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Griewank"]
+
+
+@register
+class Griewank(BenchmarkFunction):
+    name = "griewank"
+    domain = (-600.0, 600.0)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        d = p.shape[1]
+        quad = np.einsum("ij,ij->i", p, p) / 4000.0
+        denom = np.sqrt(np.arange(1, d + 1, dtype=np.float64))
+        trig = np.prod(np.cos(p / denom), axis=1)
+        return quad - trig + 1.0
+
+    def profile(self) -> EvalProfile:
+        # square+scale and the divide by sqrt(i); one cos per element; the
+        # row product and row sum form the reduction.
+        return EvalProfile(
+            flops_per_elem=3.0, sfu_per_elem=1.0, reduction_flops_per_elem=2.0
+        )

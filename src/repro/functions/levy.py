@@ -1,0 +1,43 @@
+"""The Levy function.
+
+.. math::
+   f(x) = \\sin^2(\\pi w_1) + \\sum_{i=1}^{d-1}(w_i-1)^2
+          \\big[1+10\\sin^2(\\pi w_i+1)\\big]
+          + (w_d-1)^2\\big[1+\\sin^2(2\\pi w_d)\\big],
+   \\quad w_i = 1 + \\tfrac{x_i-1}{4}
+
+Global minimum 0 at the all-ones point.  Standard domain ``(-10, 10)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Levy"]
+
+
+@register
+class Levy(BenchmarkFunction):
+    name = "levy"
+    domain = (-10.0, 10.0)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        w = 1.0 + (p - 1.0) / 4.0
+        term1 = np.sin(np.pi * w[:, 0]) ** 2
+        wi = w[:, :-1]
+        middle = np.sum(
+            (wi - 1.0) ** 2 * (1.0 + 10.0 * np.sin(np.pi * wi + 1.0) ** 2),
+            axis=1,
+        )
+        wd = w[:, -1]
+        term3 = (wd - 1.0) ** 2 * (1.0 + np.sin(2.0 * np.pi * wd) ** 2)
+        return term1 + middle + term3
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=9.0, sfu_per_elem=1.0)
+
+    def true_minimum_position(self, dim: int) -> np.ndarray:
+        return np.ones(dim)

@@ -1,0 +1,41 @@
+"""The Michalewicz function.
+
+.. math::
+   f(x) = -\\sum_{i=1}^{d}\\sin(x_i)\\,
+          \\sin^{2m}\\!\\Big(\\frac{i\\,x_i^2}{\\pi}\\Big),\\quad m = 10
+
+Steep ridges and valleys whose number grows factorially with dimension; the
+minimum value depends on *d* and has no closed form, so
+:meth:`true_minimum_value` returns a documented lower bound (-d) and error
+reporting for this function is relative to that bound.  Domain ``(0, pi)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Michalewicz"]
+
+_STEEPNESS_M = 10
+
+
+@register
+class Michalewicz(BenchmarkFunction):
+    name = "michalewicz"
+    domain = (0.0, np.pi)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        d = p.shape[1]
+        i = np.arange(1, d + 1, dtype=np.float64)
+        ridge = np.sin(i * p * p / np.pi) ** (2 * _STEEPNESS_M)
+        return -np.sum(np.sin(p) * ridge, axis=1)
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=6.0, sfu_per_elem=2.0)
+
+    def true_minimum_value(self, dim: int) -> float:
+        # Each summand lies in [-1, 0]; -d is a valid (loose) lower bound.
+        return -float(dim)

@@ -1,0 +1,33 @@
+"""The Rastrigin function.
+
+.. math:: f(x) = 10d + \\sum_{i=1}^{d}\\big[x_i^2 - 10\\cos(2\\pi x_i)\\big]
+
+Highly multimodal with a regular lattice of local minima; global minimum 0
+at the origin.  Standard domain ``(-5.12, 5.12)``.  Not in the paper's
+evaluation set, but part of FastPSO's built-in function library and used by
+the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Rastrigin"]
+
+
+@register
+class Rastrigin(BenchmarkFunction):
+    name = "rastrigin"
+    domain = (-5.12, 5.12)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        d = p.shape[1]
+        return 10.0 * d + np.sum(
+            p * p - 10.0 * np.cos(2.0 * np.pi * p), axis=1
+        )
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=4.0, sfu_per_elem=1.0)

@@ -1,0 +1,38 @@
+"""The Rosenbrock (banana valley) function.
+
+.. math::
+   f(x) = \\sum_{i=1}^{d-1}\\big[100(x_{i+1}-x_i^2)^2 + (1-x_i)^2\\big]
+
+Non-separable with a long curved valley; global minimum 0 at the all-ones
+point (requires d >= 2).  Standard domain ``(-2.048, 2.048)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Rosenbrock"]
+
+
+@register
+class Rosenbrock(BenchmarkFunction):
+    name = "rosenbrock"
+    domain = (-2.048, 2.048)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        if p.shape[1] < 2:
+            raise InvalidProblemError("rosenbrock requires dimension >= 2")
+        head, tail = p[:, :-1], p[:, 1:]
+        return np.sum(
+            100.0 * (tail - head * head) ** 2 + (1.0 - head) ** 2, axis=1
+        )
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=8.0)
+
+    def true_minimum_position(self, dim: int) -> np.ndarray:
+        return np.ones(dim)

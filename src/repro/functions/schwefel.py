@@ -1,0 +1,35 @@
+"""The Schwefel function.
+
+.. math:: f(x) = 418.9829\\,d - \\sum_{i=1}^{d} x_i\\sin(\\sqrt{|x_i|})
+
+Deceptive: the second-best region lies far from the global minimum at
+``x_i = 420.9687``.  Domain ``(-500, 500)``; minimum value ~0 (the constant
+418.9829 per dimension cancels the optimum's contribution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["Schwefel"]
+
+_OPT_COORD = 420.968746
+
+
+@register
+class Schwefel(BenchmarkFunction):
+    name = "schwefel"
+    domain = (-500.0, 500.0)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        d = p.shape[1]
+        return 418.9829 * d - np.sum(p * np.sin(np.sqrt(np.abs(p))), axis=1)
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=3.0, sfu_per_elem=2.0)
+
+    def true_minimum_position(self, dim: int) -> np.ndarray:
+        return np.full(dim, _OPT_COORD)

@@ -1,0 +1,39 @@
+"""The Styblinski-Tang function.
+
+.. math:: f(x) = \\tfrac12\\sum_{i=1}^{d}\\big(x_i^4 - 16x_i^2 + 5x_i\\big)
+
+Separable and polynomial; global minimum ``-39.16599 d`` at
+``x_i = -2.903534``.  Domain ``(-5, 5)``.  Exercises the non-zero-optimum
+code paths in error reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import BenchmarkFunction, EvalProfile, register
+
+__all__ = ["StyblinskiTang"]
+
+_OPT_COORD = -2.903534
+_OPT_VALUE_PER_DIM = -39.16616570377142
+
+
+@register
+class StyblinskiTang(BenchmarkFunction):
+    name = "styblinski_tang"
+    domain = (-5.0, 5.0)
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        p = self._validated(positions)
+        p2 = p * p
+        return 0.5 * np.sum(p2 * p2 - 16.0 * p2 + 5.0 * p, axis=1)
+
+    def profile(self) -> EvalProfile:
+        return EvalProfile(flops_per_elem=6.0)
+
+    def true_minimum_value(self, dim: int) -> float:
+        return _OPT_VALUE_PER_DIM * dim
+
+    def true_minimum_position(self, dim: int) -> np.ndarray:
+        return np.full(dim, _OPT_COORD)

@@ -1,0 +1,69 @@
+"""Simulated time base for a device.
+
+The simulator never reads wall-clock time: every kernel launch, memory
+transfer and allocation advances a :class:`SimClock` by a model-computed
+duration.  Experiment harnesses read the clock to report "elapsed seconds"
+exactly the way the paper reports nvprof timings.
+
+The clock also supports nested named sections (:meth:`SimClock.section`) so
+the per-step breakdowns of Figure 5 can be collected without threading a
+profiler handle through every call site.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["SimClock"]
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock with named sections."""
+
+    now: float = 0.0
+    section_totals: dict[str, float] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=list, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Advance simulated time by *seconds* (must be non-negative).
+
+        The duration is attributed to the innermost active section, if any.
+        Returns the new simulated time.
+        """
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self.now += seconds
+        if self._stack:
+            label = self._stack[-1]
+            self.section_totals[label] = (
+                self.section_totals.get(label, 0.0) + seconds
+            )
+        return self.now
+
+    @contextmanager
+    def section(self, label: str) -> Iterator[None]:
+        """Attribute clock advances inside the ``with`` body to *label*.
+
+        Sections nest; time is charged to the innermost label only, so a
+        parent section's total excludes its children (the harness sums them
+        explicitly when it wants inclusive totals).
+        """
+        self._stack.append(label)
+        try:
+            yield
+        finally:
+            popped = self._stack.pop()
+            assert popped == label, "section stack corrupted"
+
+    def reset(self) -> None:
+        """Zero the clock and drop all section totals."""
+        self.now = 0.0
+        self.section_totals.clear()
+        self._stack.clear()
+
+    def total(self, label: str) -> float:
+        """Total seconds attributed to *label* (0.0 if never entered)."""
+        return self.section_totals.get(label, 0.0)

@@ -1,0 +1,109 @@
+"""Wiring: a ready-to-use simulated GPU (spec + clock + memory + launcher).
+
+:class:`GpuContext` is the object the optimizer engines hold.  It owns one
+device's clock, global-memory accounting, allocator (direct or caching — the
+paper's Table 4 toggle), transfer engine, kernel launcher and reducer, and
+can produce a profiling report over everything launched so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.alloc import CachingAllocator, DirectAllocator, _AllocatorBase
+from repro.gpusim.clock import SimClock
+from repro.gpusim.costmodel import DEFAULT_GPU_COST_PARAMS, GpuCostParams
+from repro.gpusim.device import DeviceSpec, tesla_v100
+from repro.gpusim.launch import Launcher
+from repro.gpusim.memory import DeviceBuffer, GlobalMemory, TransferEngine
+from repro.gpusim.profiler import ProfileReport, build_report
+from repro.gpusim.reduction import ParallelReducer
+from repro.gpusim.rng import ParallelRNG
+from repro.gpusim.streams import Stream
+
+__all__ = ["GpuContext", "make_context"]
+
+
+@dataclass
+class GpuContext:
+    """One simulated device with all of its runtime services attached."""
+
+    spec: DeviceSpec
+    clock: SimClock
+    memory: GlobalMemory
+    allocator: _AllocatorBase
+    transfers: TransferEngine
+    launcher: Launcher
+    reducer: ParallelReducer
+    device_index: int = 0
+    streams: list[Stream] = field(default_factory=list)
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time on this device, in seconds."""
+        return self.clock.now
+
+    def new_stream(self) -> Stream:
+        stream = Stream(self.clock)
+        self.streams.append(stream)
+        return stream
+
+    def make_rng(self, seed: int, stream_id: int = 0) -> ParallelRNG:
+        """A counter-based generator namespaced to this device."""
+        return ParallelRNG(seed, (self.device_index << 32) | stream_id)
+
+    def alloc_matrix(self, n: int, d: int, dtype=np.float32) -> DeviceBuffer:
+        return self.allocator.alloc_like((n, d), np.dtype(dtype))
+
+    def alloc_vector(self, n: int, dtype=np.float32) -> DeviceBuffer:
+        return self.allocator.alloc_like((n,), np.dtype(dtype))
+
+    def free(self, buf: DeviceBuffer) -> None:
+        self.allocator.free(buf)
+
+    def profile_report(self) -> ProfileReport:
+        """Aggregate every launch so far plus the clock's section totals."""
+        return build_report(self.launcher.records, self.clock.section_totals)
+
+    def reset_timeline(self) -> None:
+        """Zero the clock and drop launch records (memory state persists)."""
+        self.clock.reset()
+        self.launcher.reset_records()
+
+
+def make_context(
+    spec: DeviceSpec | None = None,
+    *,
+    caching: bool = True,
+    cost_params: GpuCostParams | None = None,
+    device_index: int = 0,
+) -> GpuContext:
+    """Build a :class:`GpuContext` for *spec* (default: the paper's V100).
+
+    ``caching`` selects the allocator flavour — ``True`` is FastPSO's
+    memory-caching technique, ``False`` the per-request cudaMalloc baseline
+    of Table 4.
+    """
+    spec = spec or tesla_v100()
+    clock = SimClock()
+    memory = GlobalMemory(total_bytes=spec.global_mem_bytes)
+    alloc_cls = CachingAllocator if caching else DirectAllocator
+    allocator = alloc_cls(spec, memory, clock)
+    launcher = Launcher(
+        spec=spec,
+        clock=clock,
+        cost_params=cost_params or DEFAULT_GPU_COST_PARAMS,
+    )
+    return GpuContext(
+        spec=spec,
+        clock=clock,
+        memory=memory,
+        allocator=allocator,
+        transfers=TransferEngine(spec, clock),
+        launcher=launcher,
+        reducer=ParallelReducer(launcher),
+        device_index=device_index,
+    )

@@ -1,0 +1,152 @@
+"""Kernel abstraction: an instruction/byte mix plus NumPy semantics.
+
+A simulated kernel has two halves:
+
+* a :class:`KernelSpec` describing its per-element resource demands — FLOPs,
+  bytes read/written, special-function (transcendental) ops, dependent global
+  loads, register and shared-memory footprint, and whether its global-memory
+  accesses coalesce.  The cost model consumes only the spec.
+* a ``semantics`` callable that performs the actual array computation with
+  NumPy when the kernel is launched, so optimization results are genuinely
+  computed rather than modelled.
+
+This mirrors how the paper reasons about its kernels: the element-wise
+swarm-update kernel is characterised by its arithmetic intensity and access
+pattern, independent of the PSO mathematics it encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["KernelSpec", "Kernel", "LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Per-element resource demands of a kernel.
+
+    Attributes
+    ----------
+    name:
+        Profiler label.
+    flops_per_elem:
+        FP32 arithmetic operations per element (FMA counts as 2).
+    bytes_read_per_elem / bytes_written_per_elem:
+        Global-memory traffic per element.  RNG *state* traffic must be
+        included here when a kernel keeps per-thread generator state (the
+        mechanism that makes curand-state baselines memory-heavy).
+    sfu_per_elem:
+        Special-function-unit operations (sin/cos/exp/sqrt) per element.
+    dependent_loads_per_elem:
+        Global loads on the critical path of a serial per-thread loop; this
+        drives the latency-bound term for low-occupancy launches.
+    registers_per_thread / shared_mem_per_block:
+        Static resource footprint, consumed by the occupancy calculation.
+    coalesced:
+        Whether consecutive threads touch consecutive addresses.
+    tensor_core:
+        Whether the kernel issues its arithmetic on tensor cores (mixed
+        precision); affects both timing and numerics.
+    """
+
+    name: str
+    flops_per_elem: float = 1.0
+    bytes_read_per_elem: float = 4.0
+    bytes_written_per_elem: float = 4.0
+    sfu_per_elem: float = 0.0
+    dependent_loads_per_elem: float = 0.0
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+    coalesced: bool = True
+    tensor_core: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel must be named")
+        for field_name in (
+            "flops_per_elem",
+            "bytes_read_per_elem",
+            "bytes_written_per_elem",
+            "sfu_per_elem",
+            "dependent_loads_per_elem",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers_per_thread must be positive")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be non-negative")
+
+    @property
+    def bytes_per_elem(self) -> float:
+        return self.bytes_read_per_elem + self.bytes_written_per_elem
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of DRAM traffic (the roofline x-axis)."""
+        b = self.bytes_per_elem
+        return self.flops_per_elem / b if b > 0 else float("inf")
+
+    def scaled(self, **overrides: object) -> "KernelSpec":
+        """Copy with selected fields replaced (for backend variants)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry of one kernel launch."""
+
+    grid_blocks: int
+    threads_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0:
+            raise InvalidLaunchError(
+                f"grid must contain at least one block, got {self.grid_blocks}"
+            )
+        if self.threads_per_block <= 0:
+            raise InvalidLaunchError(
+                f"block must contain at least one thread, got {self.threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block
+
+    def validate(self, spec: DeviceSpec, shared_mem: int = 0) -> None:
+        """Check this geometry against a device's hardware limits."""
+        spec.validate_block(self.threads_per_block, shared_mem)
+
+    def workload_per_thread(self, n_elems: int) -> int:
+        """Grid-stride iterations each thread executes for *n_elems*."""
+        if n_elems <= 0:
+            return 0
+        return -(-n_elems // self.total_threads)
+
+
+class Kernel:
+    """A launchable kernel: spec + NumPy semantics.
+
+    ``semantics`` receives whatever positional/keyword arguments the caller
+    passes to :meth:`repro.gpusim.launch.Launcher.launch` and mutates device
+    buffers in place (or returns derived arrays).  The cost model never sees
+    the semantics; the semantics never see the clock.
+    """
+
+    def __init__(self, spec: KernelSpec, semantics: Callable[..., object]) -> None:
+        if not callable(semantics):
+            raise TypeError("kernel semantics must be callable")
+        self.spec = spec
+        self.semantics = semantics
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kernel({self.spec.name!r})"

@@ -1,0 +1,161 @@
+"""Kernel launch machinery: resource-aware thread creation + grid-stride.
+
+Implements the paper's technique (i).  FastPSO never launches more threads
+than the device can keep resident: the thread workload is
+``tw = ceil(n_elems / resident_capacity)`` (the practical reading of the
+paper's Eq. 3), realised as a grid-stride loop.  Baseline engines instead use
+:func:`thread_per_item_config`, which launches exactly one thread per work
+item regardless of device capacity — the behaviour the paper identifies as
+wasteful for large problems and starving for small ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.clock import SimClock
+from repro.gpusim.costmodel import (
+    DEFAULT_GPU_COST_PARAMS,
+    GpuCostParams,
+    KernelCost,
+    kernel_cost,
+)
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import Kernel, KernelSpec, LaunchConfig
+
+__all__ = [
+    "resource_aware_config",
+    "thread_per_item_config",
+    "Launcher",
+    "LaunchRecord",
+]
+
+DEFAULT_THREADS_PER_BLOCK = 256
+
+
+def resource_aware_config(
+    spec: DeviceSpec,
+    n_elems: int,
+    *,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+    kernel_spec: "KernelSpec | None" = None,
+) -> LaunchConfig:
+    """FastPSO's launch geometry: saturate the device, never oversubscribe.
+
+    Total threads are capped at the device's resident capacity; the
+    kernel's grid-stride loop assigns ``ceil(n_elems / total_threads)``
+    elements to each thread (the paper's thread-workload formula).
+
+    When *kernel_spec* is supplied the cap also honours the kernel's own
+    occupancy limits (registers, shared memory): the grid never exceeds one
+    full wave of resident blocks, so register-heavy kernels don't spill a
+    tail of blocks into a second wave.  This is the full reading of the
+    paper's "GPU resource-aware thread creation".
+    """
+    if n_elems <= 0:
+        raise InvalidLaunchError("cannot size a launch for zero elements")
+    spec.validate_block(
+        threads_per_block,
+        kernel_spec.shared_mem_per_block if kernel_spec is not None else 0,
+    )
+    capacity_threads = spec.max_resident_threads
+    if kernel_spec is not None:
+        from repro.gpusim.occupancy import occupancy
+
+        theo = occupancy(
+            spec,
+            threads_per_block,
+            registers_per_thread=kernel_spec.registers_per_thread,
+            shared_mem_per_block=kernel_spec.shared_mem_per_block,
+        )
+        capacity_threads = min(
+            capacity_threads,
+            theo.blocks_per_sm * spec.sm_count * threads_per_block,
+        )
+    wanted_threads = min(n_elems, capacity_threads)
+    blocks = max(1, -(-wanted_threads // threads_per_block))
+    return LaunchConfig(grid_blocks=blocks, threads_per_block=threads_per_block)
+
+
+def thread_per_item_config(
+    spec: DeviceSpec,
+    n_items: int,
+    *,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+) -> LaunchConfig:
+    """Baseline geometry: one thread per work item, however many that is.
+
+    For small swarms this under-fills the device (the inefficiency FastPSO
+    fixes); for huge element counts it creates an excessive grid — both are
+    faithfully reproduced rather than corrected.
+    """
+    if n_items <= 0:
+        raise InvalidLaunchError("cannot size a launch for zero items")
+    spec.validate_block(threads_per_block)
+    blocks = max(1, -(-n_items // threads_per_block))
+    return LaunchConfig(grid_blocks=blocks, threads_per_block=threads_per_block)
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One completed kernel launch, as stored by the profiler."""
+
+    kernel_name: str
+    n_elems: int
+    config: LaunchConfig
+    cost: KernelCost
+    section: str | None = None
+
+
+@dataclass
+class Launcher:
+    """Executes kernels on a simulated device: semantics + clock + profile.
+
+    The launcher is the single choke point where simulated time advances for
+    kernels, so instrumenting it (see :mod:`repro.gpusim.profiler`) yields
+    the complete launch log that Table 3 and Figure 5 are derived from.
+    """
+
+    spec: DeviceSpec
+    clock: SimClock
+    cost_params: GpuCostParams = field(default_factory=lambda: DEFAULT_GPU_COST_PARAMS)
+    records: list[LaunchRecord] = field(default_factory=list)
+
+    def launch(
+        self,
+        kernel: Kernel,
+        n_elems: int,
+        *args: object,
+        config: LaunchConfig | None = None,
+        **kwargs: object,
+    ) -> object:
+        """Run *kernel* over *n_elems* elements and charge its modelled time.
+
+        Returns whatever the kernel's semantics callable returns.  If
+        *config* is omitted the resource-aware geometry is used.
+        """
+        if config is None:
+            config = resource_aware_config(
+                self.spec, max(1, n_elems), kernel_spec=kernel.spec
+            )
+        config.validate(self.spec, kernel.spec.shared_mem_per_block)
+
+        result = kernel.semantics(*args, **kwargs)
+
+        cost = kernel_cost(self.spec, kernel.spec, config, n_elems, self.cost_params)
+        section = self.clock._stack[-1] if self.clock._stack else None
+        self.clock.advance(cost.seconds)
+        self.records.append(
+            LaunchRecord(
+                kernel_name=kernel.name,
+                n_elems=n_elems,
+                config=config,
+                cost=cost,
+                section=section,
+            )
+        )
+        return result
+
+    def reset_records(self) -> None:
+        self.records.clear()

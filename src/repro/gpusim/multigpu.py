@@ -1,0 +1,138 @@
+"""Multi-GPU execution strategies from Section 3.5 of the paper.
+
+Two ways to extend FastPSO across devices are described:
+
+* **particle splitting** — the swarm is partitioned into sub-swarms, one per
+  device; each sub-swarm optimises independently with its own local gbest,
+  and the global gbest is reconciled *asynchronously* every
+  ``exchange_interval`` iterations over PCIe.  Devices never stall on each
+  other between exchanges.
+* **tile matrix** — every iteration's element-wise update is sharded across
+  devices by rows; devices synchronise every iteration (the gbest reduction
+  needs all pbest values), paying an all-gather each step.
+
+This module provides the *coordination* layer: device timelines, exchange
+costs, and the composition of per-device step times into an end-to-end
+elapsed time.  The per-device step costs are supplied by the engine (the
+same kernels as single-GPU FastPSO, on smaller shards).  The ablation bench
+compares the two strategies' scaling, reproducing the paper's argument for
+why particle splitting tolerates slow interconnects better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "partition_particles",
+    "partition_rows",
+    "ExchangeCost",
+    "particle_split_time",
+    "tile_matrix_time",
+]
+
+
+def partition_particles(n: int, n_devices: int) -> list[int]:
+    """Split *n* particles into per-device sub-swarm sizes (balanced).
+
+    The first ``n % n_devices`` devices receive one extra particle, so sizes
+    differ by at most one — the balance property the scheduler tests assert.
+    """
+    if n_devices <= 0:
+        raise InvalidParameterError("need at least one device")
+    if n < n_devices:
+        raise InvalidParameterError(
+            f"cannot split {n} particles over {n_devices} devices"
+        )
+    base, extra = divmod(n, n_devices)
+    return [base + (1 if i < extra else 0) for i in range(n_devices)]
+
+
+def partition_rows(n_rows: int, n_devices: int) -> list[tuple[int, int]]:
+    """Row ranges ``[start, stop)`` assigned to each device (tile-matrix)."""
+    sizes = partition_particles(n_rows, n_devices)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for s in sizes:
+        ranges.append((start, start + s))
+        start += s
+    return ranges
+
+
+@dataclass(frozen=True)
+class ExchangeCost:
+    """Cost model for inter-device gbest/pbest traffic over PCIe."""
+
+    spec: DeviceSpec
+    latency_s: float = 10e-6  # per-message submission + driver latency
+
+    def transfer_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise InvalidParameterError("cannot transfer a negative byte count")
+        return self.latency_s + nbytes / self.spec.pcie_bandwidth
+
+    def gbest_broadcast(self, n_devices: int, gbest_bytes: int) -> float:
+        """Gather candidates to device 0 and broadcast the winner back."""
+        if n_devices < 1:
+            raise InvalidParameterError("need at least one device")
+        if n_devices == 1:
+            return 0.0
+        gather = (n_devices - 1) * self.transfer_time(gbest_bytes)
+        scatter = (n_devices - 1) * self.transfer_time(gbest_bytes)
+        return gather + scatter
+
+
+def particle_split_time(
+    per_device_iter_times: list[float],
+    iterations: int,
+    exchange_interval: int,
+    exchange: ExchangeCost,
+    gbest_bytes: int,
+) -> float:
+    """End-to-end time of the particle-splitting strategy.
+
+    Devices run independently between exchanges; each exchange is a barrier
+    (slowest device arrives last) plus the broadcast cost.
+    """
+    if iterations < 0:
+        raise InvalidParameterError("iterations must be non-negative")
+    if exchange_interval <= 0:
+        raise InvalidParameterError("exchange_interval must be positive")
+    if not per_device_iter_times:
+        raise InvalidParameterError("need at least one device time")
+    slowest = max(per_device_iter_times)
+    n_devices = len(per_device_iter_times)
+    n_exchanges = iterations // exchange_interval
+    return (
+        iterations * slowest
+        + n_exchanges * exchange.gbest_broadcast(n_devices, gbest_bytes)
+    )
+
+
+def tile_matrix_time(
+    per_device_iter_times: list[float],
+    iterations: int,
+    exchange: ExchangeCost,
+    shard_bytes: int,
+) -> float:
+    """End-to-end time of the tile-matrix strategy.
+
+    Every iteration barriers on the slowest shard and all-gathers the pbest
+    values needed for the global reduction (ring all-gather: each device
+    sends its shard once per step).
+    """
+    if iterations < 0:
+        raise InvalidParameterError("iterations must be non-negative")
+    if not per_device_iter_times:
+        raise InvalidParameterError("need at least one device time")
+    slowest = max(per_device_iter_times)
+    n_devices = len(per_device_iter_times)
+    allgather = (
+        (n_devices - 1) * exchange.transfer_time(shard_bytes)
+        if n_devices > 1
+        else 0.0
+    )
+    return iterations * (slowest + allgather)

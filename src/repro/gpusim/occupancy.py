@@ -1,0 +1,125 @@
+"""CUDA occupancy calculator.
+
+Occupancy — resident warps per SM over the hardware maximum — determines how
+well a kernel hides memory latency, and is the mechanism behind the paper's
+central claim: a thread-per-particle kernel with 5000 threads leaves a V100
+(163 840 resident-thread capacity) almost idle, while the element-wise
+mapping saturates it.  The calculation here follows the CUDA occupancy
+calculator's rules: resident blocks per SM are limited by the thread,
+block-slot, register-file and shared-memory budgets, and the binding
+constraint wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy", "achieved_occupancy"]
+
+# Register allocation granularity (registers are allocated per warp in
+# multiples of this many registers on Volta).
+_REG_ALLOC_UNIT = 256
+# Shared memory allocation granularity.
+_SMEM_ALLOC_UNIT = 256
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float  # resident warps / max warps per SM, in [0, 1]
+    limiter: str  # which resource bound the block count
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.occupancy:.0%} ({self.warps_per_sm} warps/SM, "
+            f"{self.blocks_per_sm} blocks/SM, limited by {self.limiter})"
+        )
+
+
+def occupancy(
+    spec: DeviceSpec,
+    threads_per_block: int,
+    *,
+    registers_per_thread: int = 32,
+    shared_mem_per_block: int = 0,
+) -> OccupancyResult:
+    """Theoretical occupancy of a kernel configuration on *spec*.
+
+    Raises :class:`InvalidLaunchError` for configurations no real launch
+    could use (block too large, shared memory over the per-block limit, or a
+    register footprint so large not even one block fits).
+    """
+    spec.validate_block(threads_per_block, shared_mem_per_block)
+    if registers_per_thread <= 0:
+        raise InvalidLaunchError("registers_per_thread must be positive")
+
+    warps_per_block = -(-threads_per_block // spec.warp_size)  # ceil div
+
+    limits: dict[str, int] = {}
+    limits["threads"] = spec.max_threads_per_sm // (
+        warps_per_block * spec.warp_size
+    )
+    limits["blocks"] = spec.max_blocks_per_sm
+
+    regs_per_block = warps_per_block * _round_up(
+        registers_per_thread * spec.warp_size, _REG_ALLOC_UNIT
+    )
+    limits["registers"] = spec.registers_per_sm // regs_per_block
+
+    if shared_mem_per_block > 0:
+        smem = _round_up(shared_mem_per_block, _SMEM_ALLOC_UNIT)
+        limits["shared_memory"] = spec.shared_mem_per_sm // smem
+
+    limiter, blocks = min(limits.items(), key=lambda kv: kv[1])
+    if blocks == 0:
+        raise InvalidLaunchError(
+            f"kernel needs more {limiter} than one SM provides "
+            f"(threads/block={threads_per_block}, regs/thread="
+            f"{registers_per_thread}, smem/block={shared_mem_per_block})"
+        )
+
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / spec.max_warps_per_sm,
+        limiter=limiter,
+    )
+
+
+def achieved_occupancy(
+    spec: DeviceSpec,
+    total_blocks: int,
+    threads_per_block: int,
+    *,
+    registers_per_thread: int = 32,
+    shared_mem_per_block: int = 0,
+) -> float:
+    """Occupancy actually achieved by a launch of *total_blocks* blocks.
+
+    The theoretical figure assumes an unlimited supply of blocks; a launch
+    with fewer blocks than the device can host gets proportionally less.
+    This is what penalises thread-per-particle PSO: 5000 threads in blocks of
+    128 is 40 blocks — half the SMs receive no work at all.
+    """
+    if total_blocks <= 0:
+        raise InvalidLaunchError("launch must contain at least one block")
+    theo = occupancy(
+        spec,
+        threads_per_block,
+        registers_per_thread=registers_per_thread,
+        shared_mem_per_block=shared_mem_per_block,
+    )
+    device_capacity_blocks = theo.blocks_per_sm * spec.sm_count
+    fill = min(1.0, total_blocks / device_capacity_blocks)
+    return theo.occupancy * fill

@@ -1,0 +1,138 @@
+"""Profiling views over the launcher's kernel log.
+
+Produces the two artefact families the paper derives from ``nvprof``:
+
+* per-kernel and per-section elapsed-time breakdowns (Figure 5), and
+* whole-run DRAM throughput / GFLOPs metrics (Table 3).
+
+Throughput metrics follow nvprof's convention: bytes are divided by *kernel
+body* time (excluding launch overhead), because ``dram_read_throughput`` is
+a per-kernel average over active kernel cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.gpusim.launch import LaunchRecord
+from repro.utils.units import GB
+
+__all__ = ["KernelSummary", "ProfileReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Aggregate statistics for all launches of one kernel."""
+
+    name: str
+    launches: int
+    total_seconds: float
+    total_bytes_read: float
+    total_bytes_written: float
+    total_flops: float
+    mean_occupancy: float
+
+    @property
+    def read_throughput_gbs(self) -> float:
+        return (
+            self.total_bytes_read / self.total_seconds / GB
+            if self.total_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def gflops(self) -> float:
+        return (
+            self.total_flops / self.total_seconds / 1e9
+            if self.total_seconds > 0
+            else 0.0
+        )
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Whole-run profiling summary built from a launch log."""
+
+    kernels: Mapping[str, KernelSummary]
+    sections: Mapping[str, float]
+    total_kernel_seconds: float
+    total_bytes_read: float
+    total_bytes_written: float
+    total_flops: float
+
+    @property
+    def dram_read_throughput_gbs(self) -> float:
+        """Average DRAM read throughput over active kernel time (Table 3)."""
+        if self.total_kernel_seconds <= 0:
+            return 0.0
+        return self.total_bytes_read / self.total_kernel_seconds / GB
+
+    @property
+    def dram_write_throughput_gbs(self) -> float:
+        if self.total_kernel_seconds <= 0:
+            return 0.0
+        return self.total_bytes_written / self.total_kernel_seconds / GB
+
+    @property
+    def gflops(self) -> float:
+        """Average arithmetic throughput over active kernel time (Table 3)."""
+        if self.total_kernel_seconds <= 0:
+            return 0.0
+        return self.total_flops / self.total_kernel_seconds / 1e9
+
+
+def build_report(
+    records: Iterable[LaunchRecord],
+    sections: Mapping[str, float] | None = None,
+) -> ProfileReport:
+    """Aggregate a launch log (and optional clock sections) into a report."""
+    acc: dict[str, dict[str, float]] = {}
+    total_body = 0.0
+    total_read = 0.0
+    total_written = 0.0
+    total_flops = 0.0
+    for rec in records:
+        body_time = rec.cost.seconds - rec.cost.t_launch_overhead
+        entry = acc.setdefault(
+            rec.kernel_name,
+            {
+                "launches": 0.0,
+                "seconds": 0.0,
+                "read": 0.0,
+                "written": 0.0,
+                "flops": 0.0,
+                "occ_sum": 0.0,
+            },
+        )
+        entry["launches"] += 1
+        entry["seconds"] += body_time
+        entry["read"] += rec.cost.bytes_read
+        entry["written"] += rec.cost.bytes_written
+        entry["flops"] += rec.cost.flops
+        entry["occ_sum"] += rec.cost.occupancy
+        total_body += body_time
+        total_read += rec.cost.bytes_read
+        total_written += rec.cost.bytes_written
+        total_flops += rec.cost.flops
+
+    kernels = {
+        name: KernelSummary(
+            name=name,
+            launches=int(e["launches"]),
+            total_seconds=e["seconds"],
+            total_bytes_read=e["read"],
+            total_bytes_written=e["written"],
+            total_flops=e["flops"],
+            mean_occupancy=e["occ_sum"] / e["launches"] if e["launches"] else 0.0,
+        )
+        for name, e in acc.items()
+    }
+    return ProfileReport(
+        kernels=kernels,
+        sections=dict(sections or {}),
+        total_kernel_seconds=total_body,
+        total_bytes_read=total_read,
+        total_bytes_written=total_written,
+        total_flops=total_flops,
+    )

@@ -1,0 +1,78 @@
+"""CUDA-style streams and events on the simulated timeline.
+
+A :class:`Stream` is an ordered work queue with its own completion horizon;
+work enqueued on different streams of the same device overlaps, and
+:class:`Event` objects provide the record/wait synchronisation primitive.
+The multi-GPU strategies (:mod:`repro.gpusim.multigpu`) use streams to model
+asynchronous gbest exchange: the particle-splitting approach lets sub-swarms
+run ahead and reconciles on event boundaries, which is what makes it cheaper
+than the per-iteration synchronisation of the tile-matrix approach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import StreamError
+from repro.gpusim.clock import SimClock
+
+__all__ = ["Stream", "Event"]
+
+_stream_ids = itertools.count(1)
+_event_ids = itertools.count(1)
+
+
+@dataclass
+class Event:
+    """A marker in a stream's timeline; unrecorded until a stream records it."""
+
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+    timestamp: float | None = None
+
+    @property
+    def recorded(self) -> bool:
+        return self.timestamp is not None
+
+
+@dataclass
+class Stream:
+    """An asynchronous work queue bound to a device clock.
+
+    ``horizon`` is the simulated time at which all currently enqueued work
+    completes.  Enqueueing starts no earlier than the current clock time
+    (the host must have issued the work) and no earlier than the stream's
+    own horizon (streams are FIFO).
+    """
+
+    clock: SimClock
+    stream_id: int = field(default_factory=lambda: next(_stream_ids))
+    horizon: float = 0.0
+
+    def enqueue(self, duration: float) -> float:
+        """Append *duration* seconds of device work; returns completion time."""
+        if duration < 0:
+            raise StreamError(f"cannot enqueue negative duration {duration}")
+        start = max(self.horizon, self.clock.now)
+        self.horizon = start + duration
+        return self.horizon
+
+    def record_event(self, event: Event | None = None) -> Event:
+        """Record an event capturing the stream's current horizon."""
+        ev = event or Event()
+        ev.timestamp = self.horizon
+        return ev
+
+    def wait_event(self, event: Event) -> None:
+        """Make subsequent work on this stream wait for *event*."""
+        if not event.recorded:
+            raise StreamError(
+                f"stream {self.stream_id} waiting on unrecorded event "
+                f"#{event.event_id}"
+            )
+        self.horizon = max(self.horizon, float(event.timestamp))
+
+    def synchronize(self) -> None:
+        """Block the host until this stream drains (advances the clock)."""
+        if self.horizon > self.clock.now:
+            self.clock.advance(self.horizon - self.clock.now)

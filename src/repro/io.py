@@ -1,0 +1,116 @@
+"""Serialization of optimization results and experiment artefacts.
+
+JSON for single runs (round-trippable; NumPy arrays become lists), CSV for
+experiment grids (one row per engine x problem x configuration) — the
+formats a downstream user feeds into their own plotting/analysis stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.results import History, OptimizeResult, StepTimes
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result_json",
+    "load_result_json",
+    "write_rows_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: OptimizeResult) -> dict:
+    """A JSON-safe dictionary capturing everything in *result*."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "engine": result.engine,
+        "problem": result.problem,
+        "n_particles": result.n_particles,
+        "dim": result.dim,
+        "iterations": result.iterations,
+        "best_value": float(result.best_value),
+        "best_position": np.asarray(result.best_position, dtype=float).tolist(),
+        "error": float(result.error),
+        "elapsed_seconds": result.elapsed_seconds,
+        "setup_seconds": result.setup_seconds,
+        "iteration_seconds": result.iteration_seconds,
+        "step_times": result.step_times.as_dict(),
+    }
+    if result.history is not None:
+        payload["history"] = {
+            "gbest_values": result.history.gbest_values,
+            "mean_pbest_values": result.history.mean_pbest_values,
+        }
+    return payload
+
+
+def result_from_dict(payload: dict) -> OptimizeResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise BenchmarkError(
+            f"unsupported result format version {version!r} "
+            f"(this build reads {_FORMAT_VERSION})"
+        )
+    history = None
+    if "history" in payload:
+        history = History(
+            gbest_values=list(payload["history"]["gbest_values"]),
+            mean_pbest_values=list(payload["history"]["mean_pbest_values"]),
+        )
+    return OptimizeResult(
+        engine=payload["engine"],
+        problem=payload["problem"],
+        n_particles=int(payload["n_particles"]),
+        dim=int(payload["dim"]),
+        iterations=int(payload["iterations"]),
+        best_value=float(payload["best_value"]),
+        best_position=np.asarray(payload["best_position"], dtype=float),
+        error=float(payload["error"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        setup_seconds=float(payload["setup_seconds"]),
+        iteration_seconds=float(payload["iteration_seconds"]),
+        step_times=StepTimes(**payload["step_times"]),
+        history=history,
+    )
+
+
+def save_result_json(result: OptimizeResult, path: str | Path) -> Path:
+    """Write *result* to *path* as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def load_result_json(path: str | Path) -> OptimizeResult:
+    """Read a result previously written by :func:`save_result_json`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def write_rows_csv(
+    path: str | Path,
+    headers: list[str],
+    rows: Iterable[list[object]],
+) -> Path:
+    """Write an experiment grid to CSV, validating row widths."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise BenchmarkError(
+                    f"row width {len(row)} does not match "
+                    f"{len(headers)} headers: {row!r}"
+                )
+            writer.writerow(row)
+    return path

@@ -1,0 +1,8 @@
+"""Alias so ``python -m repro.optimize`` reaches the optimizer CLI."""
+
+from repro.optimize_cli import main
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

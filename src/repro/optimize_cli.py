@@ -1,0 +1,122 @@
+"""``python -m repro.optimize`` — run FastPSO from the command line.
+
+Examples::
+
+    python -m repro.optimize sphere --dim 200 --particles 5000 --iters 2000
+    python -m repro.optimize griewank --engine fastpso-seq --seed 7
+    python -m repro.optimize rastrigin --backend tensorcore --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.fastpso import FastPSO
+from repro.core.parameters import PSOParams
+from repro.core.schedules import make_schedule
+from repro.engines import BACKENDS, ENGINE_NAMES
+from repro.functions import available_functions
+from repro.io import save_result_json
+from repro.utils.units import format_seconds
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.optimize",
+        description="Minimise a built-in benchmark function with FastPSO "
+        "on the simulated GPU.",
+    )
+    parser.add_argument("function", choices=available_functions())
+    parser.add_argument("--dim", type=int, default=50)
+    parser.add_argument("--particles", type=int, default=2000)
+    parser.add_argument("--iters", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="fastpso",
+        help="execution engine (default: the GPU FastPSO)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="global",
+        help="FastPSO memory backend (ignored for other engines)",
+    )
+    parser.add_argument("--inertia", type=float, default=0.9)
+    parser.add_argument("--cognitive", type=float, default=2.0)
+    parser.add_argument("--social", type=float, default=2.0)
+    parser.add_argument(
+        "--topology", choices=("global", "ring"), default="global"
+    )
+    parser.add_argument(
+        "--inertia-schedule",
+        choices=("constant", "linear", "chaotic"),
+        default="constant",
+    )
+    parser.add_argument(
+        "--no-caching",
+        action="store_true",
+        help="disable the memory-caching allocator (Table 4's baseline)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the result as JSON"
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="record the per-iteration gbest trace",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    schedule = (
+        None
+        if args.inertia_schedule == "constant"
+        else make_schedule(args.inertia_schedule)
+    )
+    params = PSOParams(
+        inertia=args.inertia,
+        cognitive=args.cognitive,
+        social=args.social,
+        seed=args.seed,
+        topology=args.topology,
+        inertia_schedule=schedule,
+    )
+
+    if args.engine == "fastpso":
+        pso = FastPSO(
+            n_particles=args.particles,
+            backend=args.backend,
+            caching=not args.no_caching,
+        )
+    else:
+        pso = FastPSO(n_particles=args.particles, engine=args.engine)
+    pso.params = params
+
+    result = pso.minimize(
+        args.function,
+        dim=args.dim,
+        max_iter=args.iters,
+        record_history=args.history,
+    )
+
+    print(result.summary())
+    print(f"simulated time : {format_seconds(result.elapsed_seconds)}")
+    print(f"per iteration  : {format_seconds(result.iteration_seconds)}")
+    for step, seconds in result.step_times.as_dict().items():
+        print(f"  {step:6s} {format_seconds(seconds)}")
+    if args.json:
+        path = save_result_json(result, args.json)
+        print(f"result written : {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""ThunderGBM thread-configuration case study (paper Section 4.6)."""
+
+from repro.threadconf.datasets import DATASETS, DatasetSpec, get_dataset
+from repro.threadconf.kernels import (
+    DEFAULT_EPT,
+    DEFAULT_TPB,
+    EPT_CHOICES,
+    KERNEL_CATALOG,
+    TPB_CHOICES,
+    TgbmKernel,
+    kernel_latency,
+)
+from repro.threadconf.tgbm import TgbmSimulator
+from repro.threadconf.tuner import (
+    ThreadConfEvaluation,
+    TuneResult,
+    make_threadconf_problem,
+    tune,
+    tune_multistart,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "DEFAULT_EPT",
+    "DEFAULT_TPB",
+    "EPT_CHOICES",
+    "KERNEL_CATALOG",
+    "TPB_CHOICES",
+    "TgbmKernel",
+    "kernel_latency",
+    "TgbmSimulator",
+    "ThreadConfEvaluation",
+    "TuneResult",
+    "make_threadconf_problem",
+    "tune",
+    "tune_multistart",
+]

@@ -1,0 +1,70 @@
+"""Dataset descriptors for the ThunderGBM case study (paper Table 5).
+
+The paper trains ThunderGBM on four UCI datasets.  The actual feature
+matrices are irrelevant to the thread-configuration problem — what shapes
+the kernel workloads (and therefore the tuning opportunity) is the *geometry*
+of each dataset: sample count, feature count and density.  These descriptors
+carry exactly the statistics the paper's Table 5 lists (cardinality and
+dimension), plus a density estimate for the sparse text dataset.
+
+=========  ==========  =========  ==============================
+dataset    # samples   # features notes
+=========  ==========  =========  ==============================
+covtype    581 012     54         dense, multiclass forest cover
+susy       5 000 000   18         dense, physics Monte-Carlo
+higgs      11 000 000  28         dense, physics Monte-Carlo
+e2006      16 087      150 361    sparse TF-IDF text regression
+=========  ==========  =========  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["DatasetSpec", "DATASETS", "get_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape statistics of one training dataset."""
+
+    name: str
+    n_samples: int
+    n_features: int
+    density: float = 1.0  # fraction of non-zero entries
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0 or self.n_features <= 0:
+            raise InvalidProblemError(
+                f"{self.name}: sample and feature counts must be positive"
+            )
+        if not 0.0 < self.density <= 1.0:
+            raise InvalidProblemError(
+                f"{self.name}: density must be in (0, 1], got {self.density}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        """Estimated non-zero entries (drives histogram-build workloads)."""
+        return int(self.n_samples * self.n_features * self.density)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "covtype": DatasetSpec("covtype", 581_012, 54),
+    "susy": DatasetSpec("susy", 5_000_000, 18),
+    "higgs": DatasetSpec("higgs", 11_000_000, 28),
+    # e2006-tfidf: ~0.8% of the 150k vocabulary appears per document.
+    "e2006": DatasetSpec("e2006", 16_087, 150_361, density=0.008),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset descriptor by (case-insensitive) name."""
+    try:
+        return DATASETS[name.lower()]
+    except KeyError:
+        raise InvalidProblemError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None

@@ -1,0 +1,296 @@
+"""Simulated ThunderGBM kernel catalog (25 GPU kernels).
+
+ThunderGBM (Wen et al. 2020) trains gradient-boosted trees with a pipeline
+of CUDA kernels.  The paper's case study tunes the thread/block
+configuration of its 25 kernels with FastPSO (a 50-dimensional problem: two
+knobs per kernel).  This module models that catalog: each
+:class:`TgbmKernel` declares
+
+* a *workload expression* — how many elements it processes as a function of
+  the dataset geometry and the current tree level (``samples``, ``nnz``,
+  ``features x bins``, ``nodes``, ...);
+* a *resource footprint* — register count, shared memory per block
+  (possibly per-thread-scaled), byte/FLOP mix, and whether its inner loop
+  chains dependent loads;
+* a *frequency* — per level, per tree, or once per training run.
+
+Latency for a given ``(threads_per_block, elems_per_thread)`` choice comes
+from the same roofline/occupancy/wave model as every other kernel in the
+simulator (:func:`repro.gpusim.costmodel.kernel_cost`), so the tuning
+surface PSO searches is produced by real GPU mechanics: wave quantization,
+occupancy limits from registers/shared memory, latency-bound serial loops
+on small workloads, and illegal configurations (which cost ``inf``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.costmodel import GpuCostParams, kernel_cost
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+from repro.threadconf.datasets import DatasetSpec
+
+__all__ = [
+    "TgbmKernel",
+    "KERNEL_CATALOG",
+    "TPB_CHOICES",
+    "EPT_CHOICES",
+    "DEFAULT_TPB",
+    "DEFAULT_EPT",
+    "kernel_latency",
+]
+
+#: Histogram bins per feature (ThunderGBM's default sketch resolution).
+HIST_BINS = 64
+
+#: The discrete knob values PSO searches over.
+TPB_CHOICES = (32, 64, 128, 256, 512, 1024)
+EPT_CHOICES = (1, 2, 4, 8)
+
+#: ThunderGBM's one-size-fits-all launch default the case study tunes away
+#: from: large blocks, several elements per thread.
+DEFAULT_TPB = 512
+DEFAULT_EPT = 4
+
+
+#: Maximum histogram slots that fit one block's shared memory (48 KiB of
+#: 8-byte gradient/hessian pairs).
+MAX_SMEM_HIST_SLOTS = 6144
+#: Strength of shared-memory atomic collisions in histogram kernels.
+ATOMIC_CONTENTION_COEFF = 2.0
+#: Extra cost per additional element-per-thread for bin-strided kernels.
+STRIDE_PENALTY_COEFF = 0.11
+
+
+@dataclass(frozen=True)
+class TgbmKernel:
+    """One simulated ThunderGBM kernel."""
+
+    name: str
+    #: (dataset, nodes_at_level) -> element count for one invocation.
+    workload: Callable[[DatasetSpec, int], int]
+    #: "level" (per tree per level), "tree" (per tree) or "once".
+    frequency: str
+    flops_per_elem: float = 2.0
+    bytes_read_per_elem: float = 8.0
+    bytes_written_per_elem: float = 4.0
+    sfu_per_elem: float = 0.0
+    registers_per_thread: int = 32
+    #: Shared memory bytes per *thread* (block footprint scales with tpb).
+    smem_per_thread: int = 0
+    dependent_loads_per_elem: float = 0.0
+    coalesced: bool = True
+    #: Histogram-style kernel: threads of a block update a shared-memory
+    #: histogram with atomics.  Collision probability grows with the ratio
+    #: of block threads to histogram slots, so datasets with few features
+    #: (susy: 18 x 64 slots) suffer at large block sizes — the Table 5
+    #: tuning opportunity.
+    atomic_histogram: bool = False
+    #: Bin-strided kernel: consecutive threads only coalesce at one element
+    #: per thread; larger ept strides across the bin-major layout.
+    bin_strided: bool = False
+
+    def contention_factor(self, dataset: DatasetSpec, tpb: int) -> float:
+        """Shared-memory atomic slowdown for this block size on *dataset*."""
+        if not self.atomic_histogram:
+            return 1.0
+        slots = min(dataset.n_features * HIST_BINS, MAX_SMEM_HIST_SLOTS)
+        return 1.0 + ATOMIC_CONTENTION_COEFF * (tpb / slots) ** 2
+
+    def stride_factor(self, elems_per_thread: int) -> float:
+        """Access-pattern slowdown for strided multi-element threads."""
+        if not self.bin_strided:
+            return 1.0
+        return 1.0 + STRIDE_PENALTY_COEFF * (elems_per_thread - 1)
+
+    def spec(self, threads_per_block: int) -> KernelSpec:
+        """Resource spec for a given block size."""
+        return KernelSpec(
+            name=self.name,
+            flops_per_elem=self.flops_per_elem,
+            bytes_read_per_elem=self.bytes_read_per_elem,
+            bytes_written_per_elem=self.bytes_written_per_elem,
+            sfu_per_elem=self.sfu_per_elem,
+            dependent_loads_per_elem=self.dependent_loads_per_elem,
+            registers_per_thread=self.registers_per_thread,
+            shared_mem_per_block=self.smem_per_thread * threads_per_block,
+            coalesced=self.coalesced,
+        )
+
+
+def kernel_latency(
+    kernel: TgbmKernel,
+    n_elems: int,
+    threads_per_block: int,
+    elems_per_thread: int,
+    device: DeviceSpec,
+    cost_params: GpuCostParams | None = None,
+    dataset: DatasetSpec | None = None,
+) -> float:
+    """Latency of one invocation; ``inf`` for illegal configurations.
+
+    The grid is sized so each thread handles ``elems_per_thread`` elements
+    (the second tuning knob): fewer, fatter threads trade occupancy and wave
+    alignment against per-thread serial latency, atomic contention and
+    stride penalties.
+    """
+    if n_elems <= 0:
+        return 0.0
+    threads_needed = -(-n_elems // elems_per_thread)
+    blocks = max(1, -(-threads_needed // threads_per_block))
+    try:
+        cost = kernel_cost(
+            device,
+            kernel.spec(threads_per_block),
+            LaunchConfig(grid_blocks=blocks, threads_per_block=threads_per_block),
+            n_elems,
+            cost_params or GpuCostParams(),
+        )
+    except InvalidLaunchError:
+        return float("inf")
+    body = cost.seconds - cost.t_launch_overhead
+    factor = kernel.stride_factor(elems_per_thread)
+    if dataset is not None:
+        factor *= kernel.contention_factor(dataset, threads_per_block)
+    return cost.t_launch_overhead + body * factor
+
+
+def _w(expr: Callable[[DatasetSpec, int], int]) -> Callable[[DatasetSpec, int], int]:
+    return expr
+
+
+#: The 25-kernel training pipeline, roughly in execution order.
+KERNEL_CATALOG: tuple[TgbmKernel, ...] = (
+    # -- one-off preprocessing ---------------------------------------------
+    TgbmKernel(
+        "quantile_sketch", _w(lambda ds, nodes: ds.nnz), "once",
+        flops_per_elem=6.0, bytes_read_per_elem=8.0, bytes_written_per_elem=4.0,
+        registers_per_thread=48, smem_per_thread=16,
+    ),
+    TgbmKernel(
+        "bin_assign", _w(lambda ds, nodes: ds.nnz), "once",
+        flops_per_elem=4.0, bytes_read_per_elem=12.0, bytes_written_per_elem=2.0,
+        dependent_loads_per_elem=1.0,
+    ),
+    TgbmKernel(
+        "csr_transpose", _w(lambda ds, nodes: ds.nnz), "once",
+        bytes_read_per_elem=12.0, bytes_written_per_elem=12.0,
+        coalesced=False, registers_per_thread=40,
+    ),
+    TgbmKernel(
+        "feature_group", _w(lambda ds, nodes: ds.n_features), "once",
+        bytes_read_per_elem=8.0, bytes_written_per_elem=8.0,
+    ),
+    # -- per-tree setup -------------------------------------------------------
+    TgbmKernel(
+        "gradient_compute", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=8.0, bytes_read_per_elem=16.0, bytes_written_per_elem=8.0,
+        sfu_per_elem=1.0,
+    ),
+    TgbmKernel(
+        "hessian_compute", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=6.0, bytes_read_per_elem=16.0, bytes_written_per_elem=8.0,
+    ),
+    TgbmKernel(
+        "column_sample", _w(lambda ds, nodes: ds.n_features), "tree",
+        bytes_read_per_elem=4.0, bytes_written_per_elem=4.0,
+    ),
+    TgbmKernel(
+        "node_reset", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=1.0, bytes_read_per_elem=0.0, bytes_written_per_elem=4.0,
+    ),
+    # -- per-level loop (the hot path) -----------------------------------------
+    TgbmKernel(
+        "hist_build", _w(lambda ds, nodes: ds.nnz), "level",
+        flops_per_elem=4.0, bytes_read_per_elem=10.0, bytes_written_per_elem=4.0,
+        registers_per_thread=64, smem_per_thread=32,
+        dependent_loads_per_elem=1.0, atomic_histogram=True,
+    ),
+    TgbmKernel(
+        "hist_subtract", _w(lambda ds, nodes: ds.n_features * HIST_BINS * nodes),
+        "level",
+        flops_per_elem=2.0, bytes_read_per_elem=16.0, bytes_written_per_elem=8.0,
+        bin_strided=True,
+    ),
+    TgbmKernel(
+        "gain_compute", _w(lambda ds, nodes: ds.n_features * HIST_BINS * nodes),
+        "level",
+        flops_per_elem=12.0, bytes_read_per_elem=16.0, bytes_written_per_elem=4.0,
+        sfu_per_elem=1.0, registers_per_thread=56, bin_strided=True,
+    ),
+    TgbmKernel(
+        "find_split", _w(lambda ds, nodes: ds.n_features * HIST_BINS * nodes),
+        "level",
+        flops_per_elem=2.0, bytes_read_per_elem=8.0,
+        bytes_written_per_elem=0.1, smem_per_thread=12,
+        registers_per_thread=40, bin_strided=True,
+    ),
+    TgbmKernel(
+        "split_broadcast", _w(lambda ds, nodes: nodes), "level",
+        bytes_read_per_elem=16.0, bytes_written_per_elem=16.0,
+        dependent_loads_per_elem=2.0,
+    ),
+    TgbmKernel(
+        "partition_count", _w(lambda ds, nodes: ds.n_samples), "level",
+        flops_per_elem=3.0, bytes_read_per_elem=9.0, bytes_written_per_elem=1.0,
+        dependent_loads_per_elem=1.0,
+    ),
+    TgbmKernel(
+        "prefix_sum", _w(lambda ds, nodes: ds.n_samples), "level",
+        flops_per_elem=2.0, bytes_read_per_elem=4.0, bytes_written_per_elem=4.0,
+        smem_per_thread=8, dependent_loads_per_elem=1.0,
+    ),
+    TgbmKernel(
+        "partition_scatter", _w(lambda ds, nodes: ds.n_samples), "level",
+        bytes_read_per_elem=12.0, bytes_written_per_elem=8.0,
+        coalesced=False,
+    ),
+    TgbmKernel(
+        "missing_route", _w(lambda ds, nodes: ds.n_samples), "level",
+        flops_per_elem=2.0, bytes_read_per_elem=8.0, bytes_written_per_elem=2.0,
+    ),
+    TgbmKernel(
+        "node_stats", _w(lambda ds, nodes: ds.n_samples), "level",
+        flops_per_elem=4.0, bytes_read_per_elem=12.0, bytes_written_per_elem=0.5,
+        smem_per_thread=16,
+    ),
+    TgbmKernel(
+        "valid_mask", _w(lambda ds, nodes: ds.n_samples), "level",
+        flops_per_elem=1.0, bytes_read_per_elem=5.0, bytes_written_per_elem=1.0,
+    ),
+    # -- per-tree finalisation ----------------------------------------------
+    TgbmKernel(
+        "leaf_value", _w(lambda ds, nodes: nodes), "tree",
+        flops_per_elem=6.0, bytes_read_per_elem=24.0, bytes_written_per_elem=8.0,
+        dependent_loads_per_elem=2.0,
+    ),
+    TgbmKernel(
+        "update_predictions", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=3.0, bytes_read_per_elem=12.0, bytes_written_per_elem=4.0,
+        dependent_loads_per_elem=1.0,
+    ),
+    TgbmKernel(
+        "tree_compact", _w(lambda ds, nodes: nodes), "tree",
+        bytes_read_per_elem=32.0, bytes_written_per_elem=32.0,
+    ),
+    TgbmKernel(
+        "objective_reduce", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=2.0, bytes_read_per_elem=8.0, bytes_written_per_elem=0.1,
+        smem_per_thread=8,
+    ),
+    TgbmKernel(
+        "metric_compute", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=4.0, bytes_read_per_elem=12.0, bytes_written_per_elem=0.1,
+        sfu_per_elem=1.0, smem_per_thread=8,
+    ),
+    TgbmKernel(
+        "pred_transform", _w(lambda ds, nodes: ds.n_samples), "tree",
+        flops_per_elem=2.0, bytes_read_per_elem=4.0, bytes_written_per_elem=4.0,
+        sfu_per_elem=1.0,
+    ),
+)
+
+assert len(KERNEL_CATALOG) == 25, "the paper tunes exactly 25 kernels"

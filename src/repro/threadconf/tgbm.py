@@ -1,0 +1,163 @@
+"""Simulated ThunderGBM training driver.
+
+:class:`TgbmSimulator` composes the kernel catalog into the training loop
+the paper's case study times: 40 trees of depth 6 (their setting), with
+per-level kernels running once per tree level (on ``2^level`` nodes),
+per-tree kernels once per tree, and preprocessing once per run.
+
+Because every kernel's latency depends only on its workload and its
+``(threads_per_block, elems_per_thread)`` configuration, the simulator
+precomputes a ``25 x 6 x 4`` *cost table* (kernel x tpb choice x ept
+choice): training time for any configuration is a table contraction.  That
+is what makes the ThreadConf objective cheap enough for PSO to evaluate on
+thousands of particles — matching the paper, whose Table 1 ThreadConf runs
+are as fast as its synthetic benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.gpusim.costmodel import GpuCostParams
+from repro.gpusim.device import DeviceSpec, tesla_v100
+from repro.threadconf.datasets import DatasetSpec, get_dataset
+from repro.threadconf.kernels import (
+    DEFAULT_EPT,
+    DEFAULT_TPB,
+    EPT_CHOICES,
+    KERNEL_CATALOG,
+    TPB_CHOICES,
+    kernel_latency,
+)
+
+__all__ = ["TgbmSimulator"]
+
+
+class TgbmSimulator:
+    """Analytic ThunderGBM training-time model for one dataset."""
+
+    def __init__(
+        self,
+        dataset: str | DatasetSpec,
+        *,
+        n_trees: int = 40,
+        depth: int = 6,
+        device: DeviceSpec | None = None,
+        cost_params: GpuCostParams | None = None,
+    ) -> None:
+        if n_trees < 1 or depth < 1:
+            raise InvalidParameterError("n_trees and depth must be >= 1")
+        self.dataset = (
+            get_dataset(dataset) if isinstance(dataset, str) else dataset
+        )
+        self.n_trees = n_trees
+        self.depth = depth
+        self.device = device or tesla_v100()
+        self.cost_params = cost_params or GpuCostParams()
+        self._tables = self._build_tables()
+
+    # -- cost tables -----------------------------------------------------------
+    def _invocation_workloads(self, kernel) -> list[tuple[int, int]]:
+        """(workload, multiplicity) pairs for one kernel over a full run."""
+        ds = self.dataset
+        if kernel.frequency == "once":
+            return [(kernel.workload(ds, 1), 1)]
+        if kernel.frequency == "tree":
+            leaves = 2**self.depth
+            return [(kernel.workload(ds, leaves), self.n_trees)]
+        if kernel.frequency == "level":
+            return [
+                (kernel.workload(ds, 2**level), self.n_trees)
+                for level in range(self.depth)
+            ]
+        raise InvalidParameterError(
+            f"kernel {kernel.name} has unknown frequency {kernel.frequency!r}"
+        )
+
+    def _build_tables(self) -> np.ndarray:
+        """``(25, len(TPB), len(EPT))`` total-seconds table for this run."""
+        tables = np.zeros(
+            (len(KERNEL_CATALOG), len(TPB_CHOICES), len(EPT_CHOICES))
+        )
+        for k, kernel in enumerate(KERNEL_CATALOG):
+            workloads = self._invocation_workloads(kernel)
+            for i, tpb in enumerate(TPB_CHOICES):
+                for j, ept in enumerate(EPT_CHOICES):
+                    total = 0.0
+                    for n_elems, mult in workloads:
+                        lat = kernel_latency(
+                            kernel, n_elems, tpb, ept, self.device,
+                            self.cost_params, dataset=self.dataset,
+                        )
+                        total += lat * mult
+                        if not np.isfinite(total):
+                            break
+                    tables[k, i, j] = total
+        return tables
+
+    @property
+    def n_kernels(self) -> int:
+        return len(KERNEL_CATALOG)
+
+    @property
+    def cost_tables(self) -> np.ndarray:
+        """Read-only view of the precomputed cost tables."""
+        view = self._tables.view()
+        view.flags.writeable = False
+        return view
+
+    # -- configuration interface ----------------------------------------------
+    def default_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Index form of ThunderGBM's stock launch configuration."""
+        tpb_idx = np.full(self.n_kernels, TPB_CHOICES.index(DEFAULT_TPB))
+        ept_idx = np.full(self.n_kernels, EPT_CHOICES.index(DEFAULT_EPT))
+        return tpb_idx, ept_idx
+
+    def train_time_indices(
+        self, tpb_idx: np.ndarray, ept_idx: np.ndarray
+    ) -> np.ndarray | float:
+        """Training time for configurations given as choice indices.
+
+        Accepts ``(n_kernels,)`` vectors (returns a scalar) or
+        ``(n, n_kernels)`` batches (returns ``(n,)`` times) — the batched
+        form is the vectorised PSO evaluation path.
+        """
+        tpb_idx = np.asarray(tpb_idx, dtype=np.intp)
+        ept_idx = np.asarray(ept_idx, dtype=np.intp)
+        if tpb_idx.shape != ept_idx.shape:
+            raise InvalidParameterError("index arrays must have equal shapes")
+        if tpb_idx.shape[-1] != self.n_kernels:
+            raise InvalidParameterError(
+                f"expected {self.n_kernels} kernel entries, got "
+                f"{tpb_idx.shape[-1]}"
+            )
+        if np.any(tpb_idx < 0) or np.any(tpb_idx >= len(TPB_CHOICES)):
+            raise InvalidParameterError("threads-per-block index out of range")
+        if np.any(ept_idx < 0) or np.any(ept_idx >= len(EPT_CHOICES)):
+            raise InvalidParameterError("elements-per-thread index out of range")
+        k = np.arange(self.n_kernels)
+        per_kernel = self._tables[k, tpb_idx, ept_idx]
+        total = per_kernel.sum(axis=-1)
+        return float(total) if np.ndim(total) == 0 else total
+
+    def default_train_time(self) -> float:
+        """Training time under ThunderGBM's stock configuration."""
+        return float(self.train_time_indices(*self.default_indices()))
+
+    def best_table_time(self) -> float:
+        """Lower bound: every kernel at its individually optimal config."""
+        return float(self._tables.min(axis=(1, 2)).sum())
+
+    def describe_config(
+        self, tpb_idx: np.ndarray, ept_idx: np.ndarray
+    ) -> list[tuple[str, int, int]]:
+        """Human-readable (kernel, tpb, ept) triples for a configuration."""
+        return [
+            (
+                KERNEL_CATALOG[k].name,
+                TPB_CHOICES[int(tpb_idx[k])],
+                EPT_CHOICES[int(ept_idx[k])],
+            )
+            for k in range(self.n_kernels)
+        ]

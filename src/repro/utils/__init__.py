@@ -1,0 +1,36 @@
+"""Shared utilities: array validation, units, statistics and table rendering."""
+
+from repro.utils.arrays import (
+    as_float_matrix,
+    as_float_vector,
+    check_finite,
+    ensure_2d,
+)
+from repro.utils.stats import RunStats, geometric_mean, speedup, summarize_repeats
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_seconds,
+    gb_per_s,
+)
+
+__all__ = [
+    "as_float_matrix",
+    "as_float_vector",
+    "check_finite",
+    "ensure_2d",
+    "RunStats",
+    "geometric_mean",
+    "speedup",
+    "summarize_repeats",
+    "format_table",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_seconds",
+    "gb_per_s",
+]

@@ -1,0 +1,109 @@
+"""Array validation and coercion helpers.
+
+The optimizer moves ``(n_particles, dim)`` float matrices between engines;
+these helpers centralise the dtype/shape/finiteness checks so every engine
+fails fast with the same error messages.  All helpers return C-contiguous
+float64 arrays (float32 on request) because the hot element-wise paths in
+:mod:`repro.gpusim` assume contiguous row-major layout, matching the CUDA
+implementation's coalesced-access design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["as_float_matrix", "as_float_vector", "check_finite", "ensure_2d"]
+
+
+def as_float_vector(
+    values: Iterable[float] | np.ndarray,
+    *,
+    name: str = "array",
+    dim: int | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """Coerce *values* to a contiguous 1-D float array.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of numbers (list, tuple, ndarray, scalar broadcastable).
+    name:
+        Label used in error messages.
+    dim:
+        If given, the required length of the vector.
+    dtype:
+        Target floating dtype.
+
+    Raises
+    ------
+    InvalidProblemError
+        If the input is not 1-D, has the wrong length, or is not numeric.
+    """
+    try:
+        arr = np.asarray(values, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise InvalidProblemError(f"{name} is not numeric: {exc}") from exc
+    if arr.ndim == 0:
+        if dim is None:
+            raise InvalidProblemError(
+                f"{name} is a scalar; pass dim= to broadcast it"
+            )
+        arr = np.full(dim, float(arr), dtype=dtype)
+    arr = np.ascontiguousarray(arr)
+    if arr.ndim != 1:
+        raise InvalidProblemError(
+            f"{name} must be 1-D, got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape[0] != dim:
+        raise InvalidProblemError(
+            f"{name} must have length {dim}, got {arr.shape[0]}"
+        )
+    return arr
+
+
+def as_float_matrix(
+    values: np.ndarray,
+    *,
+    name: str = "matrix",
+    shape: tuple[int, int] | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """Coerce *values* to a contiguous 2-D float matrix, validating shape."""
+    try:
+        arr = np.ascontiguousarray(values, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise InvalidProblemError(f"{name} is not numeric: {exc}") from exc
+    if arr.ndim != 2:
+        raise InvalidProblemError(
+            f"{name} must be 2-D, got shape {arr.shape}"
+        )
+    if shape is not None and arr.shape != tuple(shape):
+        raise InvalidProblemError(
+            f"{name} must have shape {tuple(shape)}, got {arr.shape}"
+        )
+    return arr
+
+
+def ensure_2d(arr: np.ndarray) -> np.ndarray:
+    """View a 1-D vector as a single-row matrix; pass 2-D through unchanged."""
+    a = np.asarray(arr)
+    if a.ndim == 1:
+        return a[np.newaxis, :]
+    if a.ndim == 2:
+        return a
+    raise InvalidProblemError(f"expected 1-D or 2-D array, got shape {a.shape}")
+
+
+def check_finite(arr: np.ndarray, *, name: str = "array") -> np.ndarray:
+    """Raise :class:`InvalidProblemError` if *arr* contains NaN or inf."""
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.size(arr) - np.count_nonzero(np.isfinite(arr)))
+        raise InvalidProblemError(
+            f"{name} contains {bad} non-finite value(s)"
+        )
+    return arr

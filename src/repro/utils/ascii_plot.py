@@ -1,0 +1,123 @@
+"""Terminal plots for the figure-regenerating experiment drivers.
+
+The paper's Figures 4-6 are line/bar charts; without a plotting dependency
+the drivers render them as ASCII so `python -m repro.bench figure4` shows
+the *shape* directly in the terminal (flat fastpso lines under steep CPU
+ones), not just a table.  Log-scale support matters because the series span
+three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, round(frac * (height - 1))))
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence[object],
+    height: int = 12,
+    log_y: bool = True,
+    title: str | None = None,
+) -> str:
+    """Multi-series chart: one glyph per series, one column per x point.
+
+    All series must share the x axis.  Values must be positive when
+    ``log_y`` is set (the default — benchmark times always are).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n_points = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, axis has {n_points}"
+            )
+        if log_y and any(v <= 0 for v in values):
+            raise ValueError(f"series {name!r} has non-positive values (log axis)")
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+
+    col_width = 7
+    width = n_points * col_width
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for i, v in enumerate(values):
+            row = height - 1 - _scale(v, lo, hi, height, log_y)
+            col = i * col_width + col_width // 2
+            grid[row][col] = glyph
+
+    unit = "log10(s)" if log_y else "s"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    for r, row in enumerate(grid):
+        margin = top_label if r == 0 else bottom_label if r == height - 1 else ""
+        lines.append(f"{margin:>9s} |" + "".join(row))
+    axis = " " * 10 + "+" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * 11
+        + "".join(str(x).center(col_width) for x in x_labels)
+        + f"  [{unit}]"
+    )
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    log: bool = False,
+    title: str | None = None,
+    unit: str = "s",
+) -> str:
+    """Horizontal bars, labelled and value-annotated."""
+    if not values:
+        raise ValueError("need at least one bar")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar values must be non-negative")
+    if log and any(v <= 0 for v in values.values()):
+        raise ValueError("log-scale bars need positive values")
+    label_w = max(len(k) for k in values)
+    vmax = max(values.values())
+    lines = [title] if title else []
+    for name, v in values.items():
+        if vmax == 0:
+            n = 0
+        elif log:
+            lo = min(x for x in values.values())
+            n = (
+                width
+                if vmax == lo
+                else round(
+                    width
+                    * (math.log10(v) - math.log10(lo) + 0.3)
+                    / (math.log10(vmax) - math.log10(lo) + 0.3)
+                )
+            )
+        else:
+            n = round(width * v / vmax)
+        lines.append(f"{name:>{label_w}s} | {'#' * n} {v:.4g} {unit}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Statistics helpers for repeated experiment runs.
+
+The paper reports averages over 10 repetitions; :func:`summarize_repeats`
+reproduces that protocol and additionally records the spread so EXPERIMENTS.md
+can state variability.  Speedups are reported as plain ratios (baseline over
+candidate) as in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["RunStats", "summarize_repeats", "speedup", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary of a repeated measurement.
+
+    Attributes
+    ----------
+    mean, std, minimum, maximum:
+        Usual summary statistics over the repeats.
+    n:
+        Number of repeats aggregated.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+def summarize_repeats(samples: Sequence[float]) -> RunStats:
+    """Aggregate repeated measurements into a :class:`RunStats`.
+
+    Uses the population standard deviation (ddof=0) because the repeats are
+    the full set of observations for the experiment, not a sample of a wider
+    population.  Raises :class:`ValueError` on an empty sequence.
+    """
+    vals = [float(s) for s in samples]
+    if not vals:
+        raise ValueError("cannot summarize zero repeats")
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return RunStats(
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(vals),
+        maximum=max(vals),
+        n=n,
+    )
+
+
+def repeat_and_summarize(fn: Callable[[], float], repeats: int) -> RunStats:
+    """Call *fn* ``repeats`` times and summarize the returned measurements."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return summarize_repeats([fn() for _ in range(repeats)])
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """Speedup of *candidate* over *baseline* (``baseline / candidate``).
+
+    Returns ``inf`` when the candidate time is zero, matching the convention
+    that an instantaneous candidate is infinitely faster.
+    """
+    if candidate <= 0.0:
+        return math.inf
+    return float(baseline) / float(candidate)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the standard aggregate for speedup ratios."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot take geometric mean of zero values")
+    if any(v <= 0.0 for v in vals):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The experiment drivers print tables shaped like the paper's (same rows and
+columns); this module owns the column sizing and alignment so every table in
+the harness renders consistently without pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".3f",
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Numeric cells are formatted with *float_fmt*; ``None`` renders as ``-``.
+    The first column is left-aligned (row labels), the rest right-aligned
+    (measurements), matching the layout of the paper's tables.
+    """
+    headers = [str(h) for h in headers]
+    ncols = len(headers)
+    body: list[list[str]] = []
+    for row in rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {ncols} columns: {row!r}"
+            )
+        body.append([_cell(v, float_fmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(render_row(headers))
+    lines.append(sep)
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Byte/time unit constants and human-readable formatting.
+
+The simulator stores every quantity in SI base units (bytes, seconds) and
+converts only at the presentation layer; these helpers are that layer.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_seconds",
+    "gb_per_s",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count with a binary-prefix unit (e.g. ``'4.00 MiB'``)."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n >= scale:
+            return f"{sign}{n / scale:.2f} {unit}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration at a sensible resolution (ns through minutes)."""
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t >= 60.0:
+        return f"{sign}{t / 60.0:.2f} min"
+    if t >= 1.0:
+        return f"{sign}{t:.3f} s"
+    if t >= 1e-3:
+        return f"{sign}{t * 1e3:.3f} ms"
+    if t >= 1e-6:
+        return f"{sign}{t * 1e6:.3f} us"
+    return f"{sign}{t * 1e9:.1f} ns"
+
+
+def gb_per_s(num_bytes: float, seconds: float) -> float:
+    """Throughput in decimal GB/s, the unit used by ``nvprof`` and the paper.
+
+    Returns 0.0 for a zero-duration interval rather than raising, because
+    profiler records for empty kernels legitimately have zero elapsed time.
+    """
+    if seconds <= 0.0:
+        return 0.0
+    return num_bytes / seconds / GB

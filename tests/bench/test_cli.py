@@ -1,0 +1,68 @@
+"""CLI dispatch."""
+
+import pytest
+
+from repro.bench import cli
+
+
+class TestCli:
+    def test_single_experiment(self, capsys, monkeypatch, tiny_scale):
+        monkeypatch.setattr(
+            "repro.bench.cli.get_scale", lambda name: tiny_scale
+        )
+        assert cli.main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "regenerated" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["table99"])
+
+    def test_scale_flag_parsed(self, capsys, monkeypatch, tiny_scale):
+        seen = {}
+
+        def fake_get_scale(name):
+            seen["name"] = name
+            return tiny_scale
+
+        monkeypatch.setattr("repro.bench.cli.get_scale", fake_get_scale)
+        cli.main(["table4", "--scale", "paper"])
+        assert seen["name"] == "paper"
+
+    def test_suite_command(self, capsys, monkeypatch, tiny_scale, tmp_path):
+        monkeypatch.setattr(
+            "repro.bench.cli.get_scale", lambda name: tiny_scale
+        )
+        csv_path = tmp_path / "grid.csv"
+        assert cli.main(["suite", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Suite grid" in out
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("engine,function")
+
+    def test_all_runs_every_experiment(self, capsys, monkeypatch, tiny_scale):
+        ran = []
+        monkeypatch.setattr(
+            "repro.bench.cli.get_scale", lambda name: tiny_scale
+        )
+
+        class FakeResult:
+            def to_text(self):
+                return "fake"
+
+        from repro.bench.experiments import EXPERIMENTS
+
+        fakes = {}
+        for name in EXPERIMENTS:
+            class FakeModule:
+                def __init__(self, n):
+                    self.n = n
+
+                def run(self, scale):
+                    ran.append(self.n)
+                    return FakeResult()
+
+            fakes[name] = FakeModule(name)
+        monkeypatch.setattr("repro.bench.cli.EXPERIMENTS", fakes)
+        cli.main(["all"])
+        assert set(ran) == set(fakes)

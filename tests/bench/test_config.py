@@ -1,0 +1,46 @@
+"""Benchmark scale presets and environment selection."""
+
+import pytest
+
+from repro.bench.config import (
+    PAPER_SCALE,
+    QUICK_SCALE,
+    BenchScale,
+    get_scale,
+    scale_from_env,
+)
+from repro.errors import BenchmarkError
+
+
+class TestScales:
+    def test_paper_scale_matches_section_41(self):
+        assert PAPER_SCALE.timing_particles == 5000
+        assert PAPER_SCALE.timing_dim == 200
+        assert PAPER_SCALE.timing_iters == 2000
+        assert PAPER_SCALE.particle_sweep == (2000, 3000, 4000, 5000)
+        assert PAPER_SCALE.dim_sweep == (50, 100, 150, 200)
+
+    def test_quick_scale_reduces_error_workload(self):
+        assert QUICK_SCALE.error_particles < PAPER_SCALE.error_particles
+        assert QUICK_SCALE.error_iters < PAPER_SCALE.error_iters
+
+    def test_quick_scale_keeps_timing_shapes(self):
+        """Timing projection is exact, so quick keeps paper-sized shapes."""
+        assert QUICK_SCALE.timing_particles == PAPER_SCALE.timing_particles
+        assert QUICK_SCALE.timing_dim == PAPER_SCALE.timing_dim
+
+    def test_get_scale(self):
+        assert get_scale("paper") is PAPER_SCALE
+        assert get_scale("QUICK") is QUICK_SCALE
+        with pytest.raises(BenchmarkError):
+            get_scale("huge")
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert scale_from_env() is PAPER_SCALE
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert scale_from_env() is QUICK_SCALE
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            BenchScale(name="bad", sample_iters=0)

@@ -1,0 +1,54 @@
+"""Convergence-study experiment (extension)."""
+
+import pytest
+
+from repro.bench.experiments import convergence
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def result(tiny_scale):
+    return convergence.run(tiny_scale)
+
+
+class TestConvergence:
+    def test_traces_cover_engines_and_iterations(self, result, tiny_scale):
+        assert set(result.traces) == set(convergence.ENGINES)
+        for trace in result.traces.values():
+            assert len(trace) == tiny_scale.error_iters
+
+    def test_traces_monotone_nonincreasing(self, result):
+        for engine, trace in result.traces.items():
+            assert all(
+                b <= a + 1e-12 for a, b in zip(trace, trace[1:])
+            ), engine
+
+    def test_fastpso_ends_below_libraries(self, result):
+        assert result.traces["fastpso"][-1] < result.traces["pyswarms"][-1]
+        assert result.traces["fastpso"][-1] < result.traces["scikit-opt"][-1]
+
+    def test_checkpoints_thin_the_trace(self, result):
+        points = result.checkpoints("fastpso")
+        assert len(points) == convergence.CHECKPOINT_COUNT
+        assert points[0] == result.traces["fastpso"][0]
+        assert points[-1] == result.traces["fastpso"][-1]
+
+    def test_checkpoints_need_enough_iterations(self, result):
+        import dataclasses
+
+        short = dataclasses.replace(
+            result, traces={"fastpso": [1.0, 0.5]}
+        )
+        with pytest.raises(BenchmarkError):
+            short.checkpoints("fastpso")
+
+    def test_plateau_fraction_in_unit_range(self, result):
+        for engine in result.traces:
+            frac = result.plateau_fraction(engine)
+            assert 0.0 <= frac <= 1.0
+
+    def test_renders_table_and_chart(self, result):
+        text = result.to_text()
+        assert "Convergence" in text
+        assert "fastpso" in text
+        assert "|" in text  # the ASCII chart axis

@@ -1,0 +1,187 @@
+"""Every experiment driver runs end to end at a tiny scale and renders."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablations,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.engines import ENGINE_NAMES
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_covered(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "figure4",
+            "figure5",
+            "figure6",
+            "ablations",
+            "convergence",
+        }
+
+    def test_every_module_has_run(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+
+
+class TestTable1(object):
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        scale = request.getfixturevalue("tiny_scale")
+        return table1.run(scale)
+
+    def test_covers_all_engines_and_problems(self, result):
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert set(row.seconds) == set(ENGINE_NAMES)
+
+    def test_fastpso_wins_everywhere(self, result):
+        for row in result.rows:
+            assert all(
+                row.speedup_over(e) > 1.0
+                for e in ENGINE_NAMES
+                if e != "fastpso"
+            ), row.problem
+
+    def test_renders(self, result):
+        text = result.to_text()
+        assert "Table 1" in text and "sphere" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return table2.run(request.getfixturevalue("tiny_scale"))
+
+    def test_library_errors_worse_on_sphere(self, result):
+        assert (
+            result.errors["pyswarms"]["sphere"]
+            > result.errors["fastpso"]["sphere"]
+        )
+
+    def test_family_errors_identical(self, result):
+        assert (
+            result.errors["fastpso"]["sphere"]
+            == result.errors["fastpso-seq"]["sphere"]
+            == result.errors["gpu-pso"]["sphere"]
+        )
+
+    def test_renders(self, result):
+        assert "Table 2" in result.to_text()
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return table3.run(request.getfixturevalue("tiny_scale"))
+
+    def test_fastpso_highest_read_throughput(self, result):
+        assert result.read_gbs["fastpso"] > result.read_gbs["gpu-pso"]
+        assert result.read_gbs["fastpso"] > result.read_gbs["hgpu-pso"]
+
+    def test_renders(self, result):
+        assert "dram_read_throughput" in result.to_text()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return table4.run(request.getfixturevalue("tiny_scale"))
+
+    def test_caching_faster_for_every_problem(self, result):
+        for p in ("sphere", "griewank", "easom"):
+            assert result.speedup_percent(p) > 0
+
+    def test_renders(self, result):
+        assert "caching" in result.to_text()
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return table5.run(request.getfixturevalue("tiny_scale"))
+
+    def test_all_datasets_present(self, result):
+        assert set(result.results) == {"covtype", "susy", "higgs", "e2006"}
+
+    def test_speedups_at_least_one(self, result):
+        for res in result.results.values():
+            assert res.speedup >= 1.0
+
+    def test_renders(self, result):
+        assert "ThunderGBM" in result.to_text()
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return figure4.run(request.getfixturevalue("tiny_scale"))
+
+    def test_eight_series(self, result):
+        assert len(result.series) == 8
+
+    def test_get_accessor(self, result):
+        series = result.get("sphere", "particles")
+        assert series.points == (32, 64)
+        with pytest.raises(KeyError):
+            result.get("sphere", "banana")
+
+    def test_renders(self, result):
+        assert "Figure 4" in result.to_text()
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return figure5.run(request.getfixturevalue("tiny_scale"))
+
+    def test_breakdowns_cover_engines(self, result):
+        for engines in result.breakdowns.values():
+            assert set(engines) == {"fastpso-seq", "fastpso-omp", "fastpso"}
+
+    def test_cpu_swarm_fraction_dominant(self, result):
+        assert result.swarm_fraction("sphere", "fastpso-seq") > 0.5
+
+    def test_renders(self, result):
+        assert "Figure 5" in result.to_text()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        return figure6.run(request.getfixturevalue("tiny_scale"))
+
+    def test_all_techniques_present(self, result):
+        for per_problem in result.swarm_seconds.values():
+            assert set(per_problem) == set(figure6.TECHNIQUES)
+
+    def test_gpu_beats_cpu_for_loop(self, result):
+        for per_problem in result.swarm_seconds.values():
+            assert per_problem["global-mem"] < per_problem["for-loop"]
+
+    def test_renders(self, result):
+        assert "swarm-update" in result.to_text()
+
+
+class TestAblations:
+    def test_runs_and_renders(self, tiny_scale):
+        report = ablations.run(tiny_scale)
+        text = report.to_text()
+        tokens = ("mapping", "tile", "adaptive", "topology", "multi-GPU",
+                  "variants")
+        for token in tokens:
+            assert token.lower() in text.lower()
+        assert len(report.sections) == 6

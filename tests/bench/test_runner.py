@@ -1,0 +1,86 @@
+"""Shared experiment runner: problems and timing projection."""
+
+import pytest
+
+from repro.bench.runner import (
+    PAPER_PROBLEMS,
+    build_problem,
+    timed_run,
+)
+from repro.engines import SequentialEngine
+from repro.errors import BenchmarkError
+
+
+class TestBuildProblem:
+    def test_paper_problem_list(self):
+        assert PAPER_PROBLEMS == ("sphere", "griewank", "easom", "threadconf")
+
+    def test_benchmark_problem(self):
+        p = build_problem("sphere", 16)
+        assert p.name == "sphere" and p.dim == 16
+
+    def test_threadconf_problem(self):
+        p = build_problem("threadconf", 10)
+        assert p.name == "threadconf" and p.dim == 10
+
+    def test_threadconf_odd_dim_rounded_up(self):
+        assert build_problem("threadconf", 9).dim == 10
+
+
+class TestTimedRun:
+    def test_projection_consistency(self, sphere10, small_params):
+        """Projected time must equal an actual longer run's clock."""
+        full = SequentialEngine().optimize(
+            sphere10, n_particles=32, max_iter=40, params=small_params
+        )
+        tr = timed_run(
+            SequentialEngine(),
+            sphere10,
+            n_particles=32,
+            full_iters=40,
+            sample_iters=8,
+            params=small_params,
+        )
+        # The only data-dependent cost term is the pbest position-copy
+        # traffic (improvement counts decay over a run), so projection from
+        # a short sample is a slight over-estimate, never off by much.
+        assert tr.projected_seconds == pytest.approx(
+            full.elapsed_seconds, rel=0.2
+        )
+        assert tr.projected_seconds >= full.elapsed_seconds * 0.95
+
+    def test_engine_by_name(self, sphere10):
+        tr = timed_run(
+            "fastpso-seq",
+            sphere10,
+            n_particles=16,
+            full_iters=20,
+            sample_iters=2,
+        )
+        assert tr.engine == "fastpso-seq"
+        assert tr.problem == "sphere"
+
+    def test_step_projection_scales_loop_steps(self, sphere10):
+        tr = timed_run(
+            "fastpso-seq",
+            sphere10,
+            n_particles=16,
+            full_iters=100,
+            sample_iters=2,
+        )
+        assert tr.projected_steps.swarm == pytest.approx(
+            tr.result.step_times.swarm * 50, rel=1e-6
+        )
+        assert tr.projected_steps.init == tr.result.step_times.init
+
+    def test_sample_bounds_validated(self, sphere10):
+        with pytest.raises(BenchmarkError):
+            timed_run(
+                "fastpso-seq", sphere10, n_particles=4, full_iters=2,
+                sample_iters=5,
+            )
+        with pytest.raises(BenchmarkError):
+            timed_run(
+                "fastpso-seq", sphere10, n_particles=4, full_iters=2,
+                sample_iters=0,
+            )

@@ -1,0 +1,70 @@
+"""Engine x function grid suite runner."""
+
+import pytest
+
+from repro.bench.suite import SuiteGrid, run_suite
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_suite(
+        engines=("fastpso", "fastpso-seq"),
+        functions=("sphere", "rastrigin", "rosenbrock"),
+        dim=6,
+        n_particles=24,
+        max_iter=15,
+    )
+
+
+class TestRunSuite:
+    def test_full_grid_populated(self, grid):
+        assert len(grid.cells) == 6
+        assert grid.engines == ["fastpso", "fastpso-seq"]
+        assert grid.functions == ["sphere", "rastrigin", "rosenbrock"]
+
+    def test_cell_lookup(self, grid):
+        cell = grid.cell("fastpso", "sphere")
+        assert cell.dim == 6
+        assert cell.iterations == 15
+        with pytest.raises(KeyError):
+            grid.cell("fastpso", "ackley")
+
+    def test_family_engines_agree_on_quality(self, grid):
+        for fn in grid.functions:
+            assert (
+                grid.cell("fastpso", fn).best_value
+                == grid.cell("fastpso-seq", fn).best_value
+            )
+
+    def test_defaults_cover_whole_registry(self):
+        small = run_suite(
+            engines=("fastpso",), dim=4, n_particles=8, max_iter=3
+        )
+        from repro.functions import available_functions
+
+        assert set(small.functions) == set(available_functions())
+
+    def test_dim_validated(self):
+        with pytest.raises(BenchmarkError):
+            run_suite(dim=1)
+
+
+class TestExport:
+    def test_csv(self, grid, tmp_path):
+        path = grid.write_csv(tmp_path / "grid.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("engine,function,dim")
+        assert len(lines) == 1 + len(grid.cells)
+
+    def test_pivot_text(self, grid):
+        text = grid.to_text("error")
+        assert "sphere" in text and "fastpso" in text
+
+    def test_pivot_validates_column(self, grid):
+        with pytest.raises(BenchmarkError):
+            grid.to_text("banana")
+
+    def test_empty_grid(self):
+        grid = SuiteGrid()
+        assert grid.engines == [] and grid.functions == []

@@ -1,0 +1,108 @@
+"""Iteration callbacks and peak-memory reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import diagnose
+from repro.core.swarm import SwarmState
+from repro.engines import FastPSOEngine, SequentialEngine
+from repro.errors import InvalidParameterError
+
+
+class TestCallback:
+    def test_called_once_per_iteration(self, sphere10, small_params):
+        calls = []
+        SequentialEngine().optimize(
+            sphere10,
+            n_particles=8,
+            max_iter=12,
+            params=small_params,
+            callback=lambda t, state: calls.append(t),
+        )
+        assert calls == list(range(12))
+
+    def test_receives_live_state(self, sphere10, small_params):
+        seen = {}
+
+        def cb(t, state):
+            assert isinstance(state, SwarmState)
+            seen["gbest"] = state.gbest_value
+
+        result = SequentialEngine().optimize(
+            sphere10, n_particles=8, max_iter=5, params=small_params,
+            callback=cb,
+        )
+        assert seen["gbest"] == result.best_value
+
+    def test_truthy_return_terminates(self, sphere10, small_params):
+        result = SequentialEngine().optimize(
+            sphere10,
+            n_particles=8,
+            max_iter=100,
+            params=small_params,
+            callback=lambda t, state: t == 4,
+        )
+        assert result.iterations == 5
+
+    def test_callback_costs_no_simulated_time(self, sphere10, small_params):
+        plain = SequentialEngine().optimize(
+            sphere10, n_particles=8, max_iter=10, params=small_params
+        )
+        with_cb = SequentialEngine().optimize(
+            sphere10,
+            n_particles=8,
+            max_iter=10,
+            params=small_params,
+            callback=lambda t, state: None,
+        )
+        assert with_cb.elapsed_seconds == plain.elapsed_seconds
+
+    def test_diagnostics_from_callback(self, sphere10, small_params):
+        trace = []
+        FastPSOEngine().optimize(
+            sphere10,
+            n_particles=32,
+            max_iter=20,
+            params=small_params,
+            callback=lambda t, state: trace.append(diagnose(state)),
+        )
+        assert len(trace) == 20
+        assert all(np.isfinite(d.position_diversity) for d in trace)
+
+    def test_non_callable_rejected(self, sphere10, small_params):
+        with pytest.raises(InvalidParameterError, match="callback"):
+            SequentialEngine().optimize(
+                sphere10, n_particles=8, max_iter=5, params=small_params,
+                callback="notify me",  # type: ignore[arg-type]
+            )
+
+
+class TestPeakMemory:
+    def test_gpu_engine_reports_swarm_footprint(self, small_params):
+        from repro.core.problem import Problem
+
+        problem = Problem.from_benchmark("sphere", 100)
+        r = FastPSOEngine().optimize(
+            problem, n_particles=1000, max_iter=3, params=small_params
+        )
+        # At least the three (n, d) float32 matrices + two (n,) float64.
+        minimum = 3 * 1000 * 100 * 4 + 2 * 1000 * 8
+        assert r.peak_device_bytes >= minimum
+
+    def test_cpu_engine_reports_zero(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10, n_particles=8, max_iter=3, params=small_params
+        )
+        assert r.peak_device_bytes == 0
+
+    def test_scales_with_swarm(self, small_params):
+        from repro.core.problem import Problem
+
+        problem = Problem.from_benchmark("sphere", 64)
+        peaks = []
+        for n in (500, 2000):
+            r = FastPSOEngine().optimize(
+                problem, n_particles=n, max_iter=2, params=small_params
+            )
+            peaks.append(r.peak_device_bytes)
+        assert peaks[1] > 2 * peaks[0]

@@ -1,0 +1,149 @@
+"""Engine template loop: Algorithm 1's control flow and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.stopping import TargetValue
+from repro.engines import FastPSOEngine, SequentialEngine
+from repro.errors import InvalidParameterError
+
+
+class TestLoopAccounting:
+    def test_result_shape_facts(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10, n_particles=16, max_iter=10, params=small_params
+        )
+        assert r.engine == "fastpso-seq"
+        assert r.problem == "sphere"
+        assert r.n_particles == 16 and r.dim == 10
+        assert r.iterations == 10
+        assert r.best_position.shape == (10,)
+
+    def test_elapsed_equals_setup_plus_loop(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10, n_particles=16, max_iter=10, params=small_params
+        )
+        assert r.elapsed_seconds == pytest.approx(
+            r.setup_seconds + r.iteration_seconds * 10, rel=1e-6
+        )
+
+    def test_step_times_cover_elapsed(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10, n_particles=16, max_iter=10, params=small_params
+        )
+        assert r.step_times.total == pytest.approx(r.elapsed_seconds, rel=0.05)
+
+    def test_clock_resets_between_runs(self, sphere10, small_params):
+        engine = SequentialEngine()
+        r1 = engine.optimize(
+            sphere10, n_particles=16, max_iter=10, params=small_params
+        )
+        r2 = engine.optimize(
+            sphere10, n_particles=16, max_iter=10, params=small_params
+        )
+        assert r1.elapsed_seconds == pytest.approx(r2.elapsed_seconds)
+
+    def test_gbest_monotone_in_history(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10,
+            n_particles=32,
+            max_iter=50,
+            params=small_params,
+            record_history=True,
+        )
+        gvals = r.history.gbest_values
+        assert all(b <= a + 1e-12 for a, b in zip(gvals, gvals[1:]))
+        assert r.best_value == gvals[-1]
+
+    def test_history_opt_in(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10, n_particles=8, max_iter=5, params=small_params
+        )
+        assert r.history is None
+
+    def test_error_relative_to_reference(self, sphere10, small_params):
+        r = SequentialEngine().optimize(
+            sphere10, n_particles=8, max_iter=5, params=small_params
+        )
+        assert r.error == pytest.approx(abs(r.best_value - 0.0))
+
+
+class TestEarlyStopping:
+    def test_target_value_halts_early(self, sphere10, small_params):
+        stop = TargetValue(1e9)  # any first evaluation satisfies this
+        r = SequentialEngine().optimize(
+            sphere10,
+            n_particles=8,
+            max_iter=100,
+            params=small_params,
+            stop=stop,
+        )
+        assert r.iterations == 1
+
+    def test_stop_reset_between_runs(self, sphere10, small_params):
+        from repro.core.stopping import StallStop
+
+        stop = StallStop(patience=3)
+        engine = SequentialEngine()
+        r1 = engine.optimize(
+            sphere10, n_particles=8, max_iter=50, params=small_params, stop=stop
+        )
+        r2 = engine.optimize(
+            sphere10, n_particles=8, max_iter=50, params=small_params, stop=stop
+        )
+        assert r1.iterations == r2.iterations
+
+
+class TestValidation:
+    def test_requires_problem(self, small_params):
+        with pytest.raises(InvalidParameterError):
+            SequentialEngine().optimize(
+                "sphere", n_particles=4, max_iter=2, params=small_params  # type: ignore[arg-type]
+            )
+
+    def test_positive_particles(self, sphere10):
+        with pytest.raises(InvalidParameterError):
+            SequentialEngine().optimize(sphere10, n_particles=0, max_iter=2)
+
+    def test_positive_iterations(self, sphere10):
+        with pytest.raises(InvalidParameterError):
+            SequentialEngine().optimize(sphere10, n_particles=4, max_iter=0)
+
+
+class TestAdaptiveVelocityBounds:
+    def test_bounds_shrink_with_progress(self, sphere10):
+        engine = SequentialEngine()
+        params = PSOParams(final_velocity_fraction=0.1)
+        engine._progress = 0.0
+        lo0, hi0 = engine._current_velocity_bounds(sphere10, params)
+        engine._progress = 1.0
+        lo1, hi1 = engine._current_velocity_bounds(sphere10, params)
+        np.testing.assert_allclose(hi1, 0.1 * hi0)
+        np.testing.assert_allclose(lo1, 0.1 * lo0)
+
+    def test_fixed_clamp_ignores_progress(self, sphere10):
+        engine = SequentialEngine()
+        params = PSOParams(adaptive_velocity=False)
+        engine._progress = 1.0
+        lo, hi = engine._current_velocity_bounds(sphere10, params)
+        np.testing.assert_allclose(hi, sphere10.domain_width)
+
+    def test_none_clamp_stays_none(self, sphere10):
+        engine = SequentialEngine()
+        params = PSOParams(velocity_clamp=None)
+        assert engine._current_velocity_bounds(sphere10, params) is None
+
+
+class TestGpuEngineLifecycle:
+    def test_reusable_for_different_problems(self, sphere10, griewank8):
+        engine = FastPSOEngine()
+        r1 = engine.optimize(sphere10, n_particles=16, max_iter=5)
+        r2 = engine.optimize(griewank8, n_particles=8, max_iter=5)
+        assert r1.problem == "sphere" and r2.problem == "griewank"
+
+    def test_device_memory_released_after_run(self, sphere10):
+        engine = FastPSOEngine(caching=False)
+        engine.optimize(sphere10, n_particles=16, max_iter=5)
+        assert engine.ctx.memory.used_bytes == 0

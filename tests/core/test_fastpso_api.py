@@ -1,0 +1,105 @@
+"""The public FastPSO facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.fastpso import FastPSO
+from repro.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        pso = FastPSO()
+        assert pso.n_particles == 5000
+        assert pso.engine.name == "fastpso"
+
+    def test_backend_selection(self):
+        assert FastPSO(backend="shared").engine.name == "fastpso-shared"
+        assert FastPSO(backend="tensorcore").engine.name == "fastpso-tensorcore"
+
+    def test_engine_override(self):
+        pso = FastPSO(engine="fastpso-seq")
+        assert pso.engine.name == "fastpso-seq"
+
+    def test_param_overrides_forwarded(self):
+        pso = FastPSO(inertia=0.4, seed=99)
+        assert pso.params.inertia == 0.4
+        assert pso.params.seed == 99
+
+    def test_invalid_param_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FastPSO(inertia=5.0)
+
+    def test_nonpositive_particles_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FastPSO(n_particles=0)
+
+
+class TestMinimize:
+    def test_builtin_by_name(self):
+        result = FastPSO(n_particles=64, seed=1).minimize(
+            "sphere", dim=8, max_iter=60
+        )
+        assert result.problem == "sphere"
+        assert result.best_value < 70.0  # random init ~ d*8.7
+
+    def test_custom_callable_needs_bounds(self):
+        pso = FastPSO(n_particles=16, seed=1)
+        with pytest.raises(InvalidParameterError, match="bounds"):
+            pso.minimize(lambda x: 0.0, dim=4, max_iter=5)
+
+    def test_custom_callable_scalar(self):
+        pso = FastPSO(n_particles=64, seed=1)
+        result = pso.minimize(
+            lambda row: float(np.sum((row - 1.0) ** 2)),
+            dim=3,
+            bounds=(-5.0, 5.0),
+            max_iter=80,
+        )
+        assert result.best_value < 1.0
+
+    def test_custom_callable_vectorized(self):
+        pso = FastPSO(n_particles=64, seed=1)
+        result = pso.minimize(
+            lambda p: np.sum(p * p, axis=1),
+            dim=3,
+            bounds=(-5.0, 5.0),
+            max_iter=80,
+            vectorized=True,
+        )
+        assert result.best_value < 1.0
+
+    def test_invalid_objective_type(self):
+        with pytest.raises(InvalidParameterError, match="objective"):
+            FastPSO(n_particles=4).minimize(42, dim=3, max_iter=5)  # type: ignore[arg-type]
+
+    def test_seeded_runs_reproducible(self):
+        a = FastPSO(n_particles=32, seed=5).minimize("sphere", dim=6, max_iter=30)
+        b = FastPSO(n_particles=32, seed=5).minimize("sphere", dim=6, max_iter=30)
+        assert a.best_value == b.best_value
+        np.testing.assert_array_equal(a.best_position, b.best_position)
+
+
+class TestMinimizeElementwise:
+    def test_weighted_quadratic(self):
+        pso = FastPSO(n_particles=64, seed=2)
+        result = pso.minimize_elementwise(
+            lambda p, j: (j + 1.0) * p * p,
+            dim=4,
+            bounds=(-3.0, 3.0),
+            max_iter=80,
+            pass_index=True,
+        )
+        assert result.best_value < 1.0
+
+    def test_prod_reducer(self):
+        pso = FastPSO(n_particles=32, seed=2)
+        result = pso.minimize_elementwise(
+            lambda p: 1.0 + p * p,
+            dim=3,
+            bounds=(-1.0, 1.0),
+            max_iter=60,
+            reducer="prod",
+        )
+        assert result.best_value >= 1.0  # product of (1+x^2) >= 1
+        assert result.best_value < 1.2

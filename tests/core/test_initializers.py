@@ -1,0 +1,96 @@
+"""Swarm initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.initializers import INIT_STRATEGIES, initialize_swarm
+from repro.core.parameters import PSOParams
+from repro.core.swarm import draw_initial_state
+from repro.engines import FastPSOEngine, SequentialEngine
+from repro.errors import InvalidParameterError
+from repro.gpusim.rng import ParallelRNG
+
+
+class TestUniform:
+    def test_matches_canonical_draw(self, sphere10):
+        """'uniform' must be the draw_initial_state path, bit for bit."""
+        a = initialize_swarm(sphere10, 24, ParallelRNG(5), "uniform")
+        b = draw_initial_state(sphere10, 24, ParallelRNG(5))
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.velocities, b.velocities)
+
+
+class TestOpposition:
+    def test_second_half_mirrors_first(self, sphere10):
+        state = initialize_swarm(sphere10, 20, ParallelRNG(3), "opposition")
+        lo = sphere10.lower_bounds
+        hi = sphere10.upper_bounds
+        mirrored = (lo + hi - state.positions[:10]).astype(np.float32)
+        np.testing.assert_allclose(
+            state.positions[10:], mirrored, rtol=1e-6
+        )
+
+    def test_odd_particle_count(self, sphere10):
+        state = initialize_swarm(sphere10, 7, ParallelRNG(3), "opposition")
+        assert state.positions.shape == (7, 10)
+
+    def test_positions_within_domain(self, sphere10):
+        state = initialize_swarm(sphere10, 50, ParallelRNG(3), "opposition")
+        assert np.all(state.positions >= sphere10.lower_bounds - 1e-5)
+        assert np.all(state.positions <= sphere10.upper_bounds + 1e-5)
+
+    def test_centroid_near_domain_centre(self, sphere10):
+        """Opposition pairs average exactly to the centre."""
+        state = initialize_swarm(sphere10, 40, ParallelRNG(3), "opposition")
+        centre = (sphere10.lower_bounds + sphere10.upper_bounds) / 2
+        np.testing.assert_allclose(
+            state.positions.mean(axis=0), centre, atol=1e-5
+        )
+
+
+class TestCenter:
+    def test_tight_around_centre(self, sphere10):
+        state = initialize_swarm(sphere10, 30, ParallelRNG(3), "center")
+        centre = (sphere10.lower_bounds + sphere10.upper_bounds) / 2
+        width = sphere10.domain_width
+        assert np.all(np.abs(state.positions - centre) <= 0.011 * width)
+
+
+class TestValidation:
+    def test_strategy_whitelist(self, sphere10):
+        with pytest.raises(InvalidParameterError, match="strategy"):
+            initialize_swarm(sphere10, 4, ParallelRNG(1), "sobol")
+
+    def test_particle_count(self, sphere10):
+        with pytest.raises(InvalidParameterError):
+            initialize_swarm(sphere10, 0, ParallelRNG(1))
+
+    def test_all_strategies_enumerated(self):
+        assert set(INIT_STRATEGIES) == {"uniform", "opposition", "center"}
+
+
+class TestEngineIntegration:
+    def test_params_select_strategy(self, sphere10):
+        uniform = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=10,
+            params=PSOParams(seed=2, init_strategy="uniform"),
+        )
+        opposition = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=10,
+            params=PSOParams(seed=2, init_strategy="opposition"),
+        )
+        assert uniform.best_value != opposition.best_value
+
+    def test_cross_engine_identity_holds_per_strategy(self, sphere10):
+        params = PSOParams(seed=2, init_strategy="opposition")
+        gpu = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=10, params=params
+        )
+        cpu = SequentialEngine().optimize(
+            sphere10, n_particles=32, max_iter=10, params=params
+        )
+        assert gpu.best_value == cpu.best_value
+
+    def test_invalid_strategy_rejected_in_params(self):
+        with pytest.raises(InvalidParameterError):
+            PSOParams(init_strategy="sobol")

@@ -1,0 +1,99 @@
+"""The ``python -m repro.optimize`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.optimize_cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sphere"])
+        assert args.dim == 50 and args.particles == 2000
+        assert args.engine == "fastpso"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not_a_function"])
+
+    def test_engine_choices(self):
+        args = build_parser().parse_args(["sphere", "--engine", "gpu-pso"])
+        assert args.engine == "gpu-pso"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sphere", "--engine", "warp-pso"])
+
+
+class TestMain:
+    def test_basic_run_prints_summary(self, capsys):
+        code = main(
+            ["sphere", "--dim", "8", "--particles", "32", "--iters", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sphere" in out
+        assert "simulated time" in out
+        assert "swarm" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        main(
+            [
+                "griewank",
+                "--dim",
+                "6",
+                "--particles",
+                "16",
+                "--iters",
+                "10",
+                "--json",
+                str(path),
+            ]
+        )
+        payload = json.loads(path.read_text())
+        assert payload["problem"] == "griewank"
+        assert payload["iterations"] == 10
+
+    def test_alternative_engine(self, capsys):
+        main(
+            [
+                "sphere",
+                "--dim",
+                "6",
+                "--particles",
+                "16",
+                "--iters",
+                "10",
+                "--engine",
+                "fastpso-seq",
+            ]
+        )
+        assert "fastpso-seq" in capsys.readouterr().out
+
+    def test_backend_and_schedule_flags(self, capsys):
+        main(
+            [
+                "sphere",
+                "--dim",
+                "6",
+                "--particles",
+                "16",
+                "--iters",
+                "10",
+                "--backend",
+                "shared",
+                "--inertia-schedule",
+                "linear",
+            ]
+        )
+        assert "fastpso-shared" in capsys.readouterr().out
+
+    def test_seed_reproducibility(self, capsys):
+        outs = []
+        for _ in range(2):
+            main(
+                ["sphere", "--dim", "6", "--particles", "16", "--iters",
+                 "10", "--seed", "5"]
+            )
+            outs.append(capsys.readouterr().out.splitlines()[0])
+        assert outs[0] == outs[1]

@@ -1,0 +1,77 @@
+"""PSOParams validation and paper defaults."""
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.errors import InvalidParameterError
+
+
+class TestPaperDefaults:
+    def test_matches_section_41(self):
+        assert PAPER_DEFAULTS.inertia == 0.9
+        assert PAPER_DEFAULTS.cognitive == 2.0
+        assert PAPER_DEFAULTS.social == 2.0
+
+    def test_clamping_enabled_by_default(self):
+        assert PAPER_DEFAULTS.velocity_clamp == 1.0
+        assert PAPER_DEFAULTS.adaptive_velocity
+
+    def test_global_topology_default(self):
+        assert PAPER_DEFAULTS.topology == "global"
+
+
+class TestValidation:
+    def test_inertia_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            PSOParams(inertia=-0.1)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(inertia=2.5)
+
+    def test_negative_coefficients(self):
+        with pytest.raises(InvalidParameterError):
+            PSOParams(cognitive=-1.0)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(social=-1.0)
+
+    def test_both_zero_coefficients_rejected(self):
+        with pytest.raises(InvalidParameterError, match="accelerate"):
+            PSOParams(cognitive=0.0, social=0.0)
+
+    def test_one_zero_coefficient_allowed(self):
+        PSOParams(cognitive=0.0, social=1.0)
+        PSOParams(cognitive=1.0, social=0.0)
+
+    def test_velocity_clamp_positive_or_none(self):
+        PSOParams(velocity_clamp=None)
+        PSOParams(velocity_clamp=0.5)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(velocity_clamp=0.0)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(velocity_clamp=-1.0)
+
+    def test_final_velocity_fraction_range(self):
+        PSOParams(final_velocity_fraction=1.0)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(final_velocity_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(final_velocity_fraction=1.5)
+
+    def test_seed_range(self):
+        PSOParams(seed=0)
+        PSOParams(seed=2**64 - 1)
+        with pytest.raises(InvalidParameterError):
+            PSOParams(seed=2**64)
+
+    def test_topology_whitelist(self):
+        PSOParams(topology="ring")
+        with pytest.raises(InvalidParameterError):
+            PSOParams(topology="torus")
+
+    def test_with_overrides(self):
+        p = PSOParams().with_overrides(inertia=0.5, seed=9)
+        assert p.inertia == 0.5 and p.seed == 9
+        assert PAPER_DEFAULTS.inertia == 0.9  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PSOParams().inertia = 0.1  # type: ignore[misc]

@@ -1,0 +1,109 @@
+"""Problem construction, bounds handling and error reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Problem
+from repro.core.schema import BuiltinEvaluation
+from repro.errors import InvalidProblemError
+from repro.functions import Sphere
+
+
+class TestFromBenchmark:
+    def test_by_name(self):
+        p = Problem.from_benchmark("sphere", 12)
+        assert p.name == "sphere"
+        assert p.dim == 12
+        np.testing.assert_allclose(p.lower_bounds, -5.12)
+        np.testing.assert_allclose(p.upper_bounds, 5.12)
+
+    def test_by_instance(self):
+        p = Problem.from_benchmark(Sphere(), 4)
+        assert p.dim == 4
+
+    def test_reference_value_from_function(self):
+        p = Problem.from_benchmark("styblinski_tang", 10)
+        assert p.reference_value == pytest.approx(-391.6616570377142)
+
+    def test_easom_reference_is_plateau_in_high_dim(self):
+        p = Problem.from_benchmark("easom", 200)
+        assert p.reference_value == 0.0
+
+    def test_easom_reference_true_minimum_in_2d(self):
+        p = Problem.from_benchmark("easom", 2)
+        assert p.reference_value == -1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidProblemError, match="unknown benchmark"):
+            Problem.from_benchmark("nope", 4)
+
+
+class TestFromCallable:
+    def test_scalar_bounds(self):
+        p = Problem.from_callable(lambda x: float(np.sum(x)), 3, (-1.0, 1.0))
+        np.testing.assert_allclose(p.lower_bounds, [-1, -1, -1])
+
+    def test_vector_bounds(self):
+        lo = np.array([0.0, -1.0])
+        hi = np.array([1.0, 1.0])
+        p = Problem.from_callable(lambda x: 0.0, 2, (lo, hi))
+        np.testing.assert_allclose(p.domain_width, [1.0, 2.0])
+
+    def test_evaluator_works(self):
+        p = Problem.from_callable(
+            lambda x: float(np.sum(x * x)), 3, (-1.0, 1.0)
+        )
+        vals = p.evaluator.evaluate(np.array([[1.0, 1.0, 1.0], [0, 0, 0]]))
+        np.testing.assert_allclose(vals, [3.0, 0.0])
+
+
+class TestValidation:
+    def test_nonpositive_dim(self):
+        with pytest.raises(InvalidProblemError):
+            Problem.from_benchmark("sphere", 0)
+
+    def test_bounds_length_mismatch(self):
+        with pytest.raises(InvalidProblemError):
+            Problem(
+                name="x",
+                dim=3,
+                lower_bounds=np.zeros(2),
+                upper_bounds=np.ones(3),
+                evaluator=BuiltinEvaluation(Sphere()),
+            )
+
+    def test_inverted_bounds(self):
+        with pytest.raises(InvalidProblemError, match="strictly below"):
+            Problem(
+                name="x",
+                dim=2,
+                lower_bounds=np.array([0.0, 2.0]),
+                upper_bounds=np.array([1.0, 1.0]),
+                evaluator=BuiltinEvaluation(Sphere()),
+            )
+
+    def test_evaluator_type_checked(self):
+        with pytest.raises(InvalidProblemError, match="EvaluationSchema"):
+            Problem(
+                name="x",
+                dim=2,
+                lower_bounds=np.zeros(2),
+                upper_bounds=np.ones(2),
+                evaluator=lambda p: p,  # type: ignore[arg-type]
+            )
+
+
+class TestDerived:
+    def test_velocity_bounds(self):
+        p = Problem.from_benchmark("sphere", 2)
+        lo, hi = p.velocity_bounds(0.5)
+        np.testing.assert_allclose(hi, 0.5 * 10.24)
+        np.testing.assert_allclose(lo, -hi)
+
+    def test_velocity_bounds_none(self):
+        assert Problem.from_benchmark("sphere", 2).velocity_bounds(None) is None
+
+    def test_error_of(self):
+        p = Problem.from_benchmark("styblinski_tang", 1)
+        assert p.error_of(p.reference_value) == 0.0
+        assert p.error_of(p.reference_value + 2.5) == pytest.approx(2.5)

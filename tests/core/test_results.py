@@ -1,0 +1,83 @@
+"""Result containers: step times, history, projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import STEP_LABELS, History, OptimizeResult, StepTimes
+from repro.errors import BenchmarkError
+
+
+class TestStepTimes:
+    def test_total(self):
+        st = StepTimes(init=1.0, eval=2.0, pbest=3.0, gbest=4.0, swarm=5.0)
+        assert st.total == 15.0
+
+    def test_as_dict_order(self):
+        st = StepTimes()
+        assert tuple(st.as_dict()) == STEP_LABELS
+
+    def test_scaled_keeps_init_fixed(self):
+        st = StepTimes(init=1.0, eval=2.0, swarm=4.0)
+        scaled = st.scaled(10.0)
+        assert scaled.init == 1.0
+        assert scaled.eval == 20.0
+        assert scaled.swarm == 40.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(BenchmarkError):
+            StepTimes().scaled(-1.0)
+
+
+class TestHistory:
+    def test_record_and_final(self):
+        h = History()
+        h.record(5.0, 6.0)
+        h.record(4.0, 5.0)
+        assert len(h) == 2
+        assert h.final_value == 4.0
+        assert h.mean_pbest_values == [6.0, 5.0]
+
+    def test_empty_final_rejected(self):
+        with pytest.raises(BenchmarkError):
+            History().final_value
+
+
+def _result(iterations=10, setup=1.0, per_iter=0.5):
+    return OptimizeResult(
+        engine="e",
+        problem="p",
+        n_particles=4,
+        dim=2,
+        iterations=iterations,
+        best_value=1.0,
+        best_position=np.zeros(2),
+        error=1.0,
+        elapsed_seconds=setup + per_iter * iterations,
+        setup_seconds=setup,
+        iteration_seconds=per_iter,
+        step_times=StepTimes(init=setup, swarm=per_iter * iterations),
+    )
+
+
+class TestOptimizeResult:
+    def test_projection_is_affine(self):
+        r = _result()
+        assert r.projected_time(10) == pytest.approx(r.elapsed_seconds)
+        assert r.projected_time(100) == pytest.approx(1.0 + 50.0)
+
+    def test_projection_zero_iters(self):
+        assert _result().projected_time(0) == 1.0
+
+    def test_projection_negative_rejected(self):
+        with pytest.raises(BenchmarkError):
+            _result().projected_time(-1)
+
+    def test_projected_step_times(self):
+        r = _result(iterations=10, per_iter=0.5)
+        steps = r.projected_step_times(100)
+        assert steps.init == 1.0
+        assert steps.swarm == pytest.approx(50.0)
+
+    def test_summary_contains_key_facts(self):
+        text = _result().summary()
+        assert "e:" in text and "n=4" in text and "d=2" in text

@@ -1,0 +1,126 @@
+"""Inertia schedules and the constriction coefficient."""
+
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.schedules import (
+    ChaoticInertia,
+    ConstantInertia,
+    LinearInertia,
+    constriction_coefficient,
+    make_schedule,
+)
+from repro.engines import FastPSOEngine, SequentialEngine
+from repro.errors import InvalidParameterError
+
+
+class TestConstant:
+    def test_same_everywhere(self):
+        s = ConstantInertia(0.7)
+        assert s.weight(0.0) == s.weight(0.5) == s.weight(1.0) == 0.7
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantInertia(2.5)
+        with pytest.raises(InvalidParameterError):
+            ConstantInertia(0.5).weight(1.5)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        s = LinearInertia(0.9, 0.4)
+        assert s.weight(0.0) == pytest.approx(0.9)
+        assert s.weight(1.0) == pytest.approx(0.4)
+        assert s.weight(0.5) == pytest.approx(0.65)
+
+    def test_increasing_schedule_allowed(self):
+        s = LinearInertia(0.2, 0.8)
+        assert s.weight(1.0) > s.weight(0.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinearInertia(w_start=3.0)
+
+
+class TestChaotic:
+    def test_deterministic(self):
+        s = ChaoticInertia()
+        assert s.weight(0.37) == s.weight(0.37)
+
+    def test_bounded_between_endpoints_scale(self):
+        s = ChaoticInertia(0.9, 0.4)
+        for p in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 0.0 < s.weight(p) <= 0.9 + 1e-9
+
+    def test_z0_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ChaoticInertia(z0=0.5)  # logistic fixed point
+        with pytest.raises(InvalidParameterError):
+            ChaoticInertia(z0=0.0)
+
+
+class TestConstriction:
+    def test_classic_value(self):
+        # c1 = c2 = 2.05 is the canonical Clerc setting: chi ~ 0.7298
+        assert constriction_coefficient(2.05, 2.05) == pytest.approx(
+            0.72984, abs=1e-4
+        )
+
+    def test_requires_phi_above_four(self):
+        with pytest.raises(InvalidParameterError):
+            constriction_coefficient(2.0, 2.0)
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(make_schedule("constant"), ConstantInertia)
+        assert isinstance(make_schedule("linear", w_end=0.3), LinearInertia)
+        assert isinstance(make_schedule("chaotic"), ChaoticInertia)
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            make_schedule("cosine")
+
+
+class TestEngineIntegration:
+    def test_schedule_changes_trajectory(self, sphere10):
+        fixed = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=30, params=PSOParams(seed=4)
+        )
+        scheduled = FastPSOEngine().optimize(
+            sphere10,
+            n_particles=32,
+            max_iter=30,
+            params=PSOParams(seed=4, inertia_schedule=LinearInertia()),
+        )
+        assert scheduled.best_value != fixed.best_value
+
+    def test_scheduled_runs_stay_cross_engine_identical(self, sphere10):
+        params = PSOParams(seed=4, inertia_schedule=LinearInertia())
+        gpu = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=30, params=params
+        )
+        cpu = SequentialEngine().optimize(
+            sphere10, n_particles=32, max_iter=30, params=params
+        )
+        assert gpu.best_value == cpu.best_value
+
+    def test_linear_decay_improves_convergence_with_fixed_clamp(self):
+        """Annealing w tames the paper's divergent w=0.9 setting."""
+        problem = Problem.from_benchmark("sphere", 30)
+        base = dict(seed=9, adaptive_velocity=False)
+        fixed = FastPSOEngine().optimize(
+            problem, n_particles=200, max_iter=300, params=PSOParams(**base)
+        )
+        annealed = FastPSOEngine().optimize(
+            problem,
+            n_particles=200,
+            max_iter=300,
+            params=PSOParams(**base, inertia_schedule=LinearInertia(0.9, 0.3)),
+        )
+        assert annealed.best_value < fixed.best_value
+
+    def test_schedule_object_validated(self):
+        with pytest.raises(InvalidParameterError):
+            PSOParams(inertia_schedule="linear")  # type: ignore[arg-type]

@@ -1,0 +1,114 @@
+"""Evaluation schemas: built-in, element-wise template, per-particle."""
+
+import numpy as np
+import pytest
+
+from repro.core.schema import (
+    BuiltinEvaluation,
+    ElementwiseEvaluation,
+    ParticleEvaluation,
+)
+from repro.errors import EvaluationError
+from repro.functions import Griewank, Sphere
+
+
+class TestBuiltinEvaluation:
+    def test_wraps_function(self):
+        schema = BuiltinEvaluation(Sphere())
+        vals = schema.evaluate(np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(vals, [25.0])
+
+    def test_profile_passthrough(self):
+        assert BuiltinEvaluation(Griewank()).profile().sfu_per_elem == 1.0
+
+    def test_rejects_non_function(self):
+        with pytest.raises(TypeError):
+            BuiltinEvaluation(lambda x: x)  # type: ignore[arg-type]
+
+    def test_granularity(self):
+        assert BuiltinEvaluation(Sphere()).granularity == "elementwise"
+
+
+class TestElementwiseEvaluation:
+    def test_sum_reducer(self):
+        schema = ElementwiseEvaluation(lambda p: p * p)
+        vals = schema.evaluate(np.array([[1.0, 2.0], [3.0, 0.0]]))
+        np.testing.assert_allclose(vals, [5.0, 9.0])
+
+    def test_prod_reducer(self):
+        schema = ElementwiseEvaluation(lambda p: p + 1.0, reducer="prod")
+        vals = schema.evaluate(np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(vals, [6.0])
+
+    def test_max_min_reducers(self):
+        p = np.array([[1.0, -2.0, 3.0]])
+        assert ElementwiseEvaluation(lambda x: x, reducer="max").evaluate(p) == [3.0]
+        assert ElementwiseEvaluation(lambda x: x, reducer="min").evaluate(p) == [-2.0]
+
+    def test_pass_index(self):
+        schema = ElementwiseEvaluation(
+            lambda p, j: (j + 1.0) * p, pass_index=True
+        )
+        vals = schema.evaluate(np.array([[1.0, 1.0, 1.0]]))
+        np.testing.assert_allclose(vals, [6.0])
+
+    def test_unknown_reducer(self):
+        with pytest.raises(EvaluationError, match="reducer"):
+            ElementwiseEvaluation(lambda p: p, reducer="mean")
+
+    def test_shape_changing_fn_rejected(self):
+        schema = ElementwiseEvaluation(lambda p: p[:, :1])
+        with pytest.raises(EvaluationError, match="preserve shape"):
+            schema.evaluate(np.ones((3, 4)))
+
+    def test_user_exception_wrapped(self):
+        def boom(p):
+            raise RuntimeError("broken lambda")
+
+        with pytest.raises(EvaluationError, match="broken lambda"):
+            ElementwiseEvaluation(boom).evaluate(np.ones((2, 2)))
+
+    def test_nan_rejected(self):
+        schema = ElementwiseEvaluation(lambda p: p * np.nan)
+        with pytest.raises(EvaluationError, match="NaN"):
+            schema.evaluate(np.ones((2, 2)))
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            ElementwiseEvaluation("f")  # type: ignore[arg-type]
+
+
+class TestParticleEvaluation:
+    def test_scalar_objective_applied_per_row(self):
+        schema = ParticleEvaluation(lambda row: float(row.sum()))
+        vals = schema.evaluate(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(vals, [3.0, 7.0])
+
+    def test_vectorized_objective(self):
+        schema = ParticleEvaluation(
+            lambda p: np.sum(p, axis=1), vectorized=True
+        )
+        vals = schema.evaluate(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(vals, [3.0, 7.0])
+
+    def test_wrong_output_shape_rejected(self):
+        schema = ParticleEvaluation(lambda p: np.zeros(3), vectorized=True)
+        with pytest.raises(EvaluationError, match="shape"):
+            schema.evaluate(np.ones((2, 2)))
+
+    def test_inf_is_allowed_nan_is_not(self):
+        ok = ParticleEvaluation(lambda row: np.inf)
+        assert np.isinf(ok.evaluate(np.ones((1, 2)))[0])
+        bad = ParticleEvaluation(lambda row: np.nan)
+        with pytest.raises(EvaluationError, match="NaN"):
+            bad.evaluate(np.ones((1, 2)))
+
+    def test_user_exception_wrapped(self):
+        def boom(row):
+            raise ValueError("bad objective")
+
+        with pytest.raises(EvaluationError, match="bad objective"):
+            ParticleEvaluation(boom).evaluate(np.ones((1, 2)))
+
+    def test_granularity(self):
+        assert ParticleEvaluation(lambda r: 0.0).granularity == "particle"

@@ -1,0 +1,94 @@
+"""Stopping criteria semantics."""
+
+import pytest
+
+from repro.core.stopping import AnyOf, MaxIterations, StallStop, TargetValue
+from repro.errors import InvalidParameterError
+
+
+class TestMaxIterations:
+    def test_fires_at_budget(self):
+        stop = MaxIterations(3)
+        assert not stop.should_stop(0, 1.0)
+        assert not stop.should_stop(1, 1.0)
+        assert stop.should_stop(2, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MaxIterations(0)
+
+
+class TestTargetValue:
+    def test_fires_at_or_below_target(self):
+        stop = TargetValue(0.5)
+        assert not stop.should_stop(0, 1.0)
+        assert stop.should_stop(1, 0.5)
+        assert stop.should_stop(2, -3.0)
+
+    def test_tolerance(self):
+        stop = TargetValue(0.0, tolerance=0.1)
+        assert stop.should_stop(0, 0.09)
+        assert not stop.should_stop(1, 0.2)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TargetValue(0.0, tolerance=-0.1)
+
+
+class TestStallStop:
+    def test_fires_after_patience_stalls(self):
+        stop = StallStop(patience=2)
+        assert not stop.should_stop(0, 5.0)  # first observation
+        assert not stop.should_stop(1, 5.0)  # stall 1
+        assert stop.should_stop(2, 5.0)  # stall 2
+
+    def test_improvement_resets_counter(self):
+        stop = StallStop(patience=2)
+        stop.should_stop(0, 5.0)
+        stop.should_stop(1, 5.0)  # stall 1
+        assert not stop.should_stop(2, 4.0)  # improvement resets
+        stop.should_stop(3, 4.0)
+        assert stop.should_stop(4, 4.0)
+
+    def test_min_delta_counts_tiny_gains_as_stall(self):
+        stop = StallStop(patience=2, min_delta=1e-3)
+        stop.should_stop(0, 1.0)
+        assert not stop.should_stop(1, 1.0 - 1e-6)
+        assert stop.should_stop(2, 1.0 - 2e-6)
+
+    def test_reset(self):
+        stop = StallStop(patience=1)
+        stop.should_stop(0, 1.0)
+        assert stop.should_stop(1, 1.0)
+        stop.reset()
+        assert not stop.should_stop(0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StallStop(patience=0)
+        with pytest.raises(InvalidParameterError):
+            StallStop(patience=1, min_delta=-1.0)
+
+
+class TestAnyOf:
+    def test_fires_when_any_member_fires(self):
+        stop = AnyOf((MaxIterations(100), TargetValue(0.0)))
+        assert stop.should_stop(0, 0.0)
+
+    def test_all_members_observe_every_iteration(self):
+        stall = StallStop(patience=2)
+        stop = AnyOf((TargetValue(-1.0), stall))
+        stop.should_stop(0, 5.0)
+        stop.should_stop(1, 5.0)
+        assert stop.should_stop(2, 5.0)  # stall fired despite target member
+
+    def test_reset_propagates(self):
+        stall = StallStop(patience=1)
+        stop = AnyOf((stall,))
+        stop.should_stop(0, 1.0)
+        stop.reset()
+        assert not stop.should_stop(0, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AnyOf(())

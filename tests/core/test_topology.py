@@ -1,0 +1,73 @@
+"""Information topologies: global star and ring neighbourhoods."""
+
+import numpy as np
+import pytest
+
+from repro.core.swarm import draw_initial_state
+from repro.core.topology import ring_best_indices, social_positions
+from repro.errors import InvalidParameterError
+from repro.gpusim.rng import ParallelRNG
+
+
+class TestRingBestIndices:
+    def test_simple_ring(self):
+        vals = np.array([5.0, 1.0, 4.0, 3.0, 2.0])
+        best = ring_best_indices(vals, k=1)
+        # neighbourhoods (k=1): {4,0,1},{0,1,2},{1,2,3},{2,3,4},{3,4,0}
+        np.testing.assert_array_equal(best, [1, 1, 1, 4, 4])
+
+    def test_k_equals_full_ring_matches_global(self):
+        vals = np.array([3.0, 0.5, 2.0, 1.0])
+        best = ring_best_indices(vals, k=2)
+        assert np.all(best == 1)
+
+    def test_wraparound(self):
+        vals = np.array([0.0, 5.0, 5.0, 5.0])
+        best = ring_best_indices(vals, k=1)
+        assert best[3] == 0  # neighbour across the wrap
+
+    def test_self_included(self):
+        vals = np.array([1.0, 10.0, 10.0])
+        best = ring_best_indices(vals, k=1)
+        assert best[0] == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            ring_best_indices(np.array([1.0, 2.0]), k=0)
+
+    def test_matches_bruteforce(self, rng_np):
+        vals = rng_np.normal(size=50)
+        k = 2
+        best = ring_best_indices(vals, k=k)
+        n = len(vals)
+        for i in range(n):
+            neigh = [(i + off) % n for off in range(-k, k + 1)]
+            expected_val = min(vals[j] for j in neigh)
+            assert vals[best[i]] == expected_val
+
+
+class TestSocialPositions:
+    def _state(self, sphere10):
+        state = draw_initial_state(sphere10, 8, ParallelRNG(2))
+        state.pbest_values[:] = np.arange(8, dtype=float)
+        state.gbest_value = 0.0
+        state.gbest_position = state.pbest_positions[0].copy()
+        return state
+
+    def test_global_returns_gbest_row(self, sphere10):
+        state = self._state(sphere10)
+        social = social_positions(state, "global")
+        np.testing.assert_array_equal(social, state.gbest_position)
+        assert social.shape == (10,)
+
+    def test_ring_returns_per_particle_matrix(self, sphere10):
+        state = self._state(sphere10)
+        social = social_positions(state, "ring")
+        assert social.shape == (8, 10)
+        # particle 4's ring-best (k=1) is particle 3
+        np.testing.assert_array_equal(social[4], state.pbest_positions[3])
+
+    def test_unknown_topology(self, sphere10):
+        state = self._state(sphere10)
+        with pytest.raises(InvalidParameterError):
+            social_positions(state, "hypercube")

@@ -1,0 +1,81 @@
+"""fastpso-seq and fastpso-omp CPU engine models."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.engines import OpenMPEngine, SequentialEngine
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def problem():
+    return Problem.from_benchmark("sphere", 64)
+
+
+class TestSequentialEngine:
+    def test_swarm_update_dominates(self, problem, small_params):
+        """Paper Figure 5: >80 % of CPU time is the swarm update."""
+        r = SequentialEngine().optimize(
+            problem, n_particles=2048, max_iter=5, params=small_params
+        )
+        assert r.step_times.swarm / r.elapsed_seconds > 0.6
+
+    def test_time_scales_linearly_with_elements(self, small_params):
+        times = []
+        for d in (32, 64, 128):
+            problem = Problem.from_benchmark("sphere", d)
+            r = SequentialEngine().optimize(
+                problem, n_particles=1024, max_iter=3, params=small_params
+            )
+            times.append(r.iteration_seconds)
+        assert times[1] / times[0] == pytest.approx(2.0, rel=0.15)
+        assert times[2] / times[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_transcendental_functions_cost_more(self, small_params):
+        t = {}
+        for name in ("sphere", "easom"):
+            problem = Problem.from_benchmark(name, 64)
+            r = SequentialEngine().optimize(
+                problem, n_particles=1024, max_iter=3, params=small_params
+            )
+            t[name] = r.step_times.eval
+        assert t["easom"] > 2 * t["sphere"]
+
+
+class TestOpenMPEngine:
+    def test_faster_than_sequential_but_bandwidth_walled(
+        self, problem, small_params
+    ):
+        """The paper's ~1.2-1.8x OpenMP speedup on 20 cores."""
+        seq = SequentialEngine().optimize(
+            problem, n_particles=2048, max_iter=5, params=small_params
+        )
+        omp = OpenMPEngine().optimize(
+            problem, n_particles=2048, max_iter=5, params=small_params
+        )
+        ratio = seq.iteration_seconds / omp.iteration_seconds
+        assert 1.1 < ratio < 3.0
+
+    def test_thread_count_configurable(self, problem, small_params):
+        two = OpenMPEngine(threads=2).optimize(
+            problem, n_particles=2048, max_iter=3, params=small_params
+        )
+        twenty = OpenMPEngine(threads=20).optimize(
+            problem, n_particles=2048, max_iter=3, params=small_params
+        )
+        assert twenty.iteration_seconds <= two.iteration_seconds
+
+    def test_thread_validation(self):
+        with pytest.raises(InvalidParameterError):
+            OpenMPEngine(threads=0)
+
+    def test_eval_parallelises_well(self, small_params):
+        """Evaluation (compute-bound for Easom) scales with threads."""
+        problem = Problem.from_benchmark("easom", 64)
+        seq = SequentialEngine().optimize(
+            problem, n_particles=2048, max_iter=3, params=small_params
+        )
+        omp = OpenMPEngine().optimize(
+            problem, n_particles=2048, max_iter=3, params=small_params
+        )
+        assert omp.step_times.eval < seq.step_times.eval / 4

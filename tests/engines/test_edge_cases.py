@@ -1,0 +1,129 @@
+"""Degenerate and boundary configurations across all engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import ENGINE_NAMES, FastPSOEngine, make_engine
+
+
+class TestSingleParticle:
+    @pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+    def test_one_particle_runs(self, engine_name, small_params):
+        problem = Problem.from_benchmark("sphere", 4)
+        r = make_engine(engine_name).optimize(
+            problem, n_particles=1, max_iter=10, params=small_params
+        )
+        assert np.isfinite(r.best_value)
+        assert r.best_position.shape == (4,)
+
+    def test_single_particle_pbest_is_gbest(self, small_params):
+        problem = Problem.from_benchmark("sphere", 4)
+        r = FastPSOEngine().optimize(
+            problem, n_particles=1, max_iter=10, params=small_params
+        )
+        assert r.error == pytest.approx(abs(r.best_value))
+
+
+class TestOneDimension:
+    @pytest.mark.parametrize(
+        "engine_name", ("fastpso", "fastpso-seq", "pyswarms")
+    )
+    def test_d1_runs(self, engine_name, small_params):
+        problem = Problem.from_benchmark("sphere", 1)
+        r = make_engine(engine_name).optimize(
+            problem, n_particles=16, max_iter=30, params=small_params
+        )
+        assert np.isfinite(r.best_value)
+
+    def test_d1_converges(self, small_params):
+        problem = Problem.from_benchmark("sphere", 1)
+        r = FastPSOEngine().optimize(
+            problem, n_particles=64, max_iter=100, params=small_params
+        )
+        assert r.best_value < 0.1
+
+
+class TestSingleIteration:
+    def test_one_iteration_evaluates_once(self, sphere10, small_params):
+        r = FastPSOEngine().optimize(
+            sphere10, n_particles=16, max_iter=1, params=small_params
+        )
+        assert r.iterations == 1
+        assert np.isfinite(r.best_value)
+
+
+class TestRingSmallSwarms:
+    def test_ring_with_two_particles(self, sphere10):
+        params = PSOParams(seed=1, topology="ring")
+        r = FastPSOEngine().optimize(
+            sphere10, n_particles=2, max_iter=10, params=params
+        )
+        assert np.isfinite(r.best_value)
+
+    def test_ring_with_three_particles(self, sphere10):
+        params = PSOParams(seed=1, topology="ring")
+        r = FastPSOEngine().optimize(
+            sphere10, n_particles=3, max_iter=10, params=params
+        )
+        assert np.isfinite(r.best_value)
+
+
+class TestUnclampedFamily:
+    def test_fastpso_without_clamp_still_finishes(self, sphere10):
+        params = PSOParams(seed=1, velocity_clamp=None)
+        r = FastPSOEngine().optimize(
+            sphere10, n_particles=16, max_iter=50, params=params
+        )
+        assert np.isfinite(r.best_value)  # pbest keeps a pre-divergence value
+
+
+class TestZeroSocialOrCognitive:
+    def test_pure_cognitive(self, sphere10):
+        params = PSOParams(seed=1, social=0.0)
+        r = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=50, params=params
+        )
+        assert np.isfinite(r.best_value)
+
+    def test_pure_social(self, sphere10):
+        params = PSOParams(seed=1, cognitive=0.0)
+        r = FastPSOEngine().optimize(
+            sphere10, n_particles=32, max_iter=50, params=params
+        )
+        assert np.isfinite(r.best_value)
+
+
+class TestNonSquareShapes:
+    def test_odd_particle_and_dim_counts(self, small_params):
+        """Shapes that don't align with warps, blocks or tiles."""
+        problem = Problem.from_benchmark("griewank", 33)
+        for backend in ("global", "shared", "tensorcore"):
+            r = FastPSOEngine(backend=backend).optimize(
+                problem, n_particles=37, max_iter=7, params=small_params
+            )
+            assert np.isfinite(r.best_value)
+
+    def test_prime_sizes_match_across_backends(self, small_params):
+        problem = Problem.from_benchmark("sphere", 13)
+        a = FastPSOEngine(backend="global").optimize(
+            problem, n_particles=17, max_iter=11, params=small_params
+        )
+        b = FastPSOEngine(backend="shared").optimize(
+            problem, n_particles=17, max_iter=11, params=small_params
+        )
+        assert a.best_value == b.best_value
+
+
+class TestLargeDimensionSmallSwarm:
+    def test_tall_thin_and_short_wide(self, small_params):
+        tall = Problem.from_benchmark("sphere", 2000)
+        r1 = FastPSOEngine().optimize(
+            tall, n_particles=4, max_iter=3, params=small_params
+        )
+        wide = Problem.from_benchmark("sphere", 2)
+        r2 = FastPSOEngine().optimize(
+            wide, n_particles=4000, max_iter=3, params=small_params
+        )
+        assert np.isfinite(r1.best_value) and np.isfinite(r2.best_value)

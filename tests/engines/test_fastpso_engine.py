@@ -1,0 +1,153 @@
+"""FastPSO GPU engine: kernels, backends, allocator interaction, timing."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine
+from repro.errors import DeviceOutOfMemoryError, InvalidParameterError
+from repro.gpusim.device import laptop_gpu
+
+
+class TestConstruction:
+    def test_backend_names(self):
+        assert FastPSOEngine().name == "fastpso"
+        assert FastPSOEngine(backend="shared").name == "fastpso-shared"
+        assert FastPSOEngine(caching=False).name == "fastpso-nocache"
+        assert (
+            FastPSOEngine(backend="tensorcore", caching=False).name
+            == "fastpso-tensorcore-nocache"
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            FastPSOEngine(backend="texture")
+
+    def test_tensorcore_requires_hardware(self):
+        with pytest.raises(InvalidParameterError, match="tensor cores"):
+            FastPSOEngine(laptop_gpu(), backend="tensorcore")
+
+    def test_engine_shares_device_clock(self):
+        engine = FastPSOEngine()
+        assert engine.clock is engine.ctx.clock
+
+
+class TestKernelDecomposition:
+    def test_expected_kernels_launched(self, sphere10, small_params):
+        engine = FastPSOEngine()
+        engine.optimize(sphere10, n_particles=32, max_iter=3, params=small_params)
+        names = {r.kernel_name for r in engine.ctx.launcher.records}
+        assert {
+            "swarm_init_rng",
+            "weights_rng",
+            "swarm_velocity_update",
+            "swarm_position_update",
+            "evaluation_kernel",
+            "pbest_update",
+            "reduce_argmin_pass1",
+            "reduce_argmin_pass2",
+        } <= names
+
+    def test_shared_backend_launches_smem_kernel(self, sphere10, small_params):
+        engine = FastPSOEngine(backend="shared")
+        engine.optimize(sphere10, n_particles=32, max_iter=2, params=small_params)
+        names = {r.kernel_name for r in engine.ctx.launcher.records}
+        assert "swarm_velocity_update_smem" in names
+
+    def test_tensorcore_backend_launches_wmma_kernel(self, sphere10, small_params):
+        engine = FastPSOEngine(backend="tensorcore")
+        engine.optimize(sphere10, n_particles=32, max_iter=2, params=small_params)
+        names = {r.kernel_name for r in engine.ctx.launcher.records}
+        assert "swarm_velocity_update_wmma" in names
+
+    def test_resource_aware_launches_never_oversubscribe(
+        self, sphere10, small_params
+    ):
+        engine = FastPSOEngine()
+        engine.optimize(
+            sphere10, n_particles=50_000, max_iter=2, params=small_params
+        )
+        for rec in engine.ctx.launcher.records:
+            assert (
+                rec.config.total_threads
+                <= engine.ctx.spec.max_resident_threads
+            )
+
+    def test_full_occupancy_on_large_swarms(self, small_params):
+        problem = Problem.from_benchmark("sphere", 64)
+        engine = FastPSOEngine()
+        engine.optimize(problem, n_particles=8192, max_iter=2, params=small_params)
+        update = [
+            r
+            for r in engine.ctx.launcher.records
+            if r.kernel_name == "swarm_velocity_update"
+        ]
+        assert all(r.cost.occupancy > 0.9 for r in update)
+
+    def test_particle_granularity_evaluation(self, small_params):
+        problem = Problem.from_callable(
+            lambda row: float(np.sum(row)), 6, (-1.0, 1.0)
+        )
+        engine = FastPSOEngine()
+        engine.optimize(problem, n_particles=16, max_iter=2, params=small_params)
+        names = {r.kernel_name for r in engine.ctx.launcher.records}
+        assert "evaluation_kernel_particle" in names
+
+
+class TestAllocatorInteraction:
+    def test_weight_matrices_recycled_with_caching(self, sphere10, small_params):
+        engine = FastPSOEngine(caching=True)
+        engine.optimize(sphere10, n_particles=32, max_iter=20, params=small_params)
+        stats = engine.ctx.allocator.stats
+        # After warm-up, every per-iteration alloc is a pool hit.
+        assert stats.pool_hits >= 2 * 18
+        assert stats.pool_misses <= 10
+
+    def test_direct_allocator_pays_per_iteration(self, sphere10, small_params):
+        engine = FastPSOEngine(caching=False)
+        engine.optimize(sphere10, n_particles=32, max_iter=20, params=small_params)
+        assert engine.ctx.allocator.stats.allocs >= 2 * 20
+
+    def test_caching_faster_end_to_end(self, small_params):
+        problem = Problem.from_benchmark("sphere", 64)
+        t = {}
+        for caching in (True, False):
+            engine = FastPSOEngine(caching=caching)
+            r = engine.optimize(
+                problem, n_particles=2048, max_iter=10, params=small_params
+            )
+            t[caching] = r.iteration_seconds
+        assert t[True] < t[False]
+
+    def test_oom_for_oversized_swarm(self, small_params):
+        problem = Problem.from_benchmark("sphere", 10_000)
+        engine = FastPSOEngine(laptop_gpu())  # 4 GB
+        with pytest.raises(DeviceOutOfMemoryError):
+            engine.optimize(
+                problem, n_particles=200_000, max_iter=1, params=small_params
+            )
+
+
+class TestTimingShape:
+    def test_iteration_time_nearly_flat_in_particles(self, small_params):
+        """The paper's Figure 4 claim at engine granularity."""
+        problem = Problem.from_benchmark("sphere", 50)
+        times = []
+        for n in (2000, 5000):
+            r = FastPSOEngine().optimize(
+                problem, n_particles=n, max_iter=4, params=small_params
+            )
+            times.append(r.iteration_seconds)
+        # 2.5x more particles must cost clearly less than 2.5x more time
+        # (launch overhead and un-saturated bandwidth absorb the growth).
+        assert times[1] / times[0] < 2.0
+
+    def test_swarm_section_dominates_on_gpu_less_than_cpu(
+        self, small_params
+    ):
+        problem = Problem.from_benchmark("sphere", 64)
+        r = FastPSOEngine().optimize(
+            problem, n_particles=2048, max_iter=5, params=small_params
+        )
+        assert r.step_times.swarm < r.elapsed_seconds

@@ -1,0 +1,75 @@
+"""Fused velocity+position update kernel (library optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def problem():
+    return Problem.from_benchmark("griewank", 64)
+
+
+class TestFusedUpdate:
+    def test_name_suffix(self):
+        assert FastPSOEngine(fuse_update=True).name == "fastpso-fused"
+
+    def test_only_global_backend(self):
+        with pytest.raises(InvalidParameterError, match="global"):
+            FastPSOEngine(backend="shared", fuse_update=True)
+        with pytest.raises(InvalidParameterError, match="global"):
+            FastPSOEngine(backend="tensorcore", fuse_update=True)
+
+    def test_bitwise_identical_numerics(self, problem):
+        params = PSOParams(seed=17)
+        split = FastPSOEngine().optimize(
+            problem, n_particles=64, max_iter=25, params=params
+        )
+        fused = FastPSOEngine(fuse_update=True).optimize(
+            problem, n_particles=64, max_iter=25, params=params
+        )
+        assert fused.best_value == split.best_value
+        np.testing.assert_array_equal(fused.best_position, split.best_position)
+
+    def test_launches_one_kernel_instead_of_two(self, problem):
+        engine = FastPSOEngine(fuse_update=True)
+        engine.optimize(
+            problem, n_particles=64, max_iter=5, params=PSOParams(seed=1)
+        )
+        names = [r.kernel_name for r in engine.ctx.launcher.records]
+        assert "swarm_fused_update" in names
+        assert "swarm_velocity_update" not in names
+        assert "swarm_position_update" not in names
+
+    def test_faster_per_iteration(self):
+        problem = Problem.from_benchmark("sphere", 128)
+        params = PSOParams(seed=1)
+        split = FastPSOEngine().optimize(
+            problem, n_particles=4096, max_iter=4, params=params
+        )
+        fused = FastPSOEngine(fuse_update=True).optimize(
+            problem, n_particles=4096, max_iter=4, params=params
+        )
+        assert fused.iteration_seconds < split.iteration_seconds
+
+    def test_saves_a_launch_and_re_read_traffic(self):
+        problem = Problem.from_benchmark("sphere", 128)
+        params = PSOParams(seed=1)
+
+        def swarm_traffic(engine):
+            engine.optimize(
+                problem, n_particles=4096, max_iter=3, params=params
+            )
+            return sum(
+                r.cost.bytes_read + r.cost.bytes_written
+                for r in engine.ctx.launcher.records
+                if r.kernel_name.startswith("swarm_")
+            )
+
+        split = swarm_traffic(FastPSOEngine())
+        fused = swarm_traffic(FastPSOEngine(fuse_update=True))
+        assert fused < split

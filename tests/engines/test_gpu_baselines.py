@@ -1,0 +1,89 @@
+"""gpu-pso and hgpu-pso baseline engines."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine, GpuHeteroEngine, GpuParticleEngine
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def problem():
+    return Problem.from_benchmark("sphere", 64)
+
+
+class TestGpuParticleEngine:
+    def test_thread_per_particle_launch_geometry(self, problem, small_params):
+        engine = GpuParticleEngine()
+        engine.optimize(problem, n_particles=5000, max_iter=2, params=small_params)
+        update = [
+            r
+            for r in engine.ctx.launcher.records
+            if r.kernel_name == "particle_update"
+        ]
+        assert update
+        for rec in update:
+            # one thread per particle: ceil(5000/128) blocks of 128
+            assert rec.config.grid_blocks == 40
+            assert rec.config.threads_per_block == 128
+
+    def test_starvation_occupancy(self, problem, small_params):
+        engine = GpuParticleEngine()
+        engine.optimize(problem, n_particles=5000, max_iter=2, params=small_params)
+        update = [
+            r
+            for r in engine.ctx.launcher.records
+            if r.kernel_name == "particle_update"
+        ]
+        assert all(r.cost.occupancy < 0.05 for r in update)
+
+    def test_slower_than_fastpso_at_paper_scale(self, small_params):
+        problem = Problem.from_benchmark("sphere", 128)
+        fast = FastPSOEngine().optimize(
+            problem, n_particles=4096, max_iter=3, params=small_params
+        )
+        base = GpuParticleEngine().optimize(
+            problem, n_particles=4096, max_iter=3, params=small_params
+        )
+        assert base.iteration_seconds > 3 * fast.iteration_seconds
+
+    def test_memory_released(self, problem, small_params):
+        engine = GpuParticleEngine()
+        engine.optimize(problem, n_particles=128, max_iter=2, params=small_params)
+        engine.optimize(problem, n_particles=128, max_iter=2, params=small_params)
+        # buffers freed and re-allocated between runs without leaking
+        assert engine.ctx.allocator.live_buffers == 5
+
+
+class TestGpuHeteroEngine:
+    def test_slower_than_pure_gpu(self, problem, small_params):
+        pure = GpuParticleEngine().optimize(
+            problem, n_particles=4096, max_iter=3, params=small_params
+        )
+        hetero = GpuHeteroEngine().optimize(
+            problem, n_particles=4096, max_iter=3, params=small_params
+        )
+        assert hetero.iteration_seconds > pure.iteration_seconds
+
+    def test_identical_numerics_to_pure_gpu(self, problem, small_params):
+        pure = GpuParticleEngine().optimize(
+            problem, n_particles=64, max_iter=10, params=small_params
+        )
+        hetero = GpuHeteroEngine().optimize(
+            problem, n_particles=64, max_iter=10, params=small_params
+        )
+        assert pure.best_value == hetero.best_value
+
+    def test_cpu_threads_validated(self):
+        with pytest.raises(InvalidParameterError):
+            GpuHeteroEngine(cpu_threads=0)
+
+    def test_eval_step_includes_transfer_cost(self, problem, small_params):
+        hetero = GpuHeteroEngine()
+        r = hetero.optimize(
+            problem, n_particles=4096, max_iter=3, params=small_params
+        )
+        pure = GpuParticleEngine().optimize(
+            problem, n_particles=4096, max_iter=3, params=small_params
+        )
+        assert r.step_times.eval > pure.step_times.eval

@@ -1,0 +1,100 @@
+"""Half-precision swarm storage mode (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def problem():
+    return Problem.from_benchmark("sphere", 64)
+
+
+class TestHalfStorage:
+    def test_name_suffix(self):
+        assert FastPSOEngine(half_storage=True).name == "fastpso-fp16"
+
+    def test_incompatible_with_tensorcore_backend(self):
+        with pytest.raises(InvalidParameterError, match="redundant"):
+            FastPSOEngine(backend="tensorcore", half_storage=True)
+
+    def test_swarm_arrays_are_fp16(self, problem, small_params):
+        engine = FastPSOEngine(half_storage=True)
+        rng = engine._make_rng(small_params.seed)
+        engine._build_kernels(problem, small_params)
+        state = engine._initialize(problem, small_params, 16, rng)
+        assert state.positions.dtype == np.float16
+        assert state.velocities.dtype == np.float16
+        engine._release_persistent()
+
+    def test_faster_per_iteration_than_fp32(self, problem):
+        params = PSOParams(seed=3)
+        full = FastPSOEngine().optimize(
+            problem, n_particles=2048, max_iter=5, params=params
+        )
+        half = FastPSOEngine(half_storage=True).optimize(
+            problem, n_particles=2048, max_iter=5, params=params
+        )
+        assert half.iteration_seconds < full.iteration_seconds
+
+    def test_halves_swarm_kernel_traffic(self, problem):
+        params = PSOParams(seed=3)
+
+        def update_traffic(engine):
+            engine.optimize(
+                problem, n_particles=1024, max_iter=3, params=params
+            )
+            return sum(
+                r.cost.bytes_read + r.cost.bytes_written
+                for r in engine.ctx.launcher.records
+                if r.kernel_name == "swarm_velocity_update"
+            )
+
+        full = update_traffic(FastPSOEngine())
+        half = update_traffic(FastPSOEngine(half_storage=True))
+        assert half == pytest.approx(full / 2)
+
+    def test_halves_device_memory_footprint(self, problem):
+        params = PSOParams(seed=3)
+        peaks = {}
+        for half in (False, True):
+            r = FastPSOEngine(half_storage=half).optimize(
+                problem, n_particles=4096, max_iter=2, params=params
+            )
+            peaks[half] = r.peak_device_bytes
+        assert peaks[True] < 0.7 * peaks[False]
+
+    def test_quality_close_to_fp32(self, problem):
+        """fp16 rounding perturbs but does not break the search."""
+        params = PSOParams(seed=3)
+        full = FastPSOEngine().optimize(
+            problem, n_particles=512, max_iter=100, params=params
+        )
+        half = FastPSOEngine(half_storage=True).optimize(
+            problem, n_particles=512, max_iter=100, params=params
+        )
+        assert half.best_value != full.best_value  # genuinely different path
+        assert half.best_value == pytest.approx(full.best_value, rel=1.0)
+
+    def test_same_philox_consumption(self, problem):
+        """fp16 runs consume the same stream blocks as fp32 runs."""
+        from repro.gpusim.rng import ParallelRNG
+
+        from repro.core.swarm import draw_weights
+
+        a = ParallelRNG(5)
+        draw_weights(a, 7, 3, dtype=np.float32)
+        b = ParallelRNG(5)
+        draw_weights(b, 7, 3, dtype=np.float16)
+        assert a.position == b.position
+
+    def test_combines_with_fused_update(self, problem):
+        params = PSOParams(seed=3)
+        engine = FastPSOEngine(half_storage=True, fuse_update=True)
+        assert engine.name == "fastpso-fused-fp16"
+        r = engine.optimize(problem, n_particles=256, max_iter=10, params=params)
+        assert np.isfinite(r.best_value)

@@ -1,0 +1,130 @@
+"""Multi-GPU particle-splitting engine (paper Section 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.stopping import TargetValue
+from repro.engines import FastPSOEngine, MultiGpuFastPSOEngine
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def problem():
+    return Problem.from_benchmark("griewank", 32)
+
+
+@pytest.fixture
+def params():
+    return PSOParams(seed=11)
+
+
+class TestConstruction:
+    def test_name_encodes_device_count(self):
+        assert MultiGpuFastPSOEngine(n_devices=4).name == "fastpso-mgpu4"
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiGpuFastPSOEngine(n_devices=0)
+        with pytest.raises(InvalidParameterError):
+            MultiGpuFastPSOEngine(exchange_interval=0)
+
+    def test_workers_have_distinct_device_indices(self):
+        engine = MultiGpuFastPSOEngine(n_devices=3)
+        assert [w.ctx.device_index for w in engine.workers] == [0, 1, 2]
+
+
+class TestSingleDeviceDegenerate:
+    def test_matches_single_gpu_engine_exactly(self, problem, params):
+        """One device + particle splitting == plain FastPSO."""
+        single = FastPSOEngine().optimize(
+            problem, n_particles=256, max_iter=40, params=params
+        )
+        multi = MultiGpuFastPSOEngine(n_devices=1).optimize(
+            problem, n_particles=256, max_iter=40, params=params
+        )
+        assert multi.best_value == single.best_value
+        np.testing.assert_array_equal(
+            multi.best_position, single.best_position
+        )
+
+
+class TestMultiDevice:
+    def test_runs_and_optimises(self, problem, params):
+        r = MultiGpuFastPSOEngine(n_devices=4, exchange_interval=10).optimize(
+            problem, n_particles=256, max_iter=60, params=params
+        )
+        assert np.isfinite(r.best_value)
+        assert r.iterations == 60
+        # random init on griewank d=32 scores in the hundreds; the search
+        # must have made clear progress.
+        assert r.best_value < 100
+
+    def test_global_best_is_best_of_subswarms(self, problem, params):
+        engine = MultiGpuFastPSOEngine(n_devices=2, exchange_interval=5)
+        r = engine.optimize(
+            problem, n_particles=128, max_iter=30, params=params
+        )
+        # after the final exchange every device holds the global winner
+        value = problem.evaluator.evaluate(
+            r.best_position[np.newaxis, :]
+        )[0]
+        assert value == pytest.approx(r.best_value, rel=1e-5)
+
+    def test_subswarms_use_disjoint_streams(self, problem, params):
+        engine = MultiGpuFastPSOEngine(n_devices=2)
+        r = engine.optimize(
+            problem, n_particles=64, max_iter=5, params=params
+        )
+        a, b = engine.workers
+        # distinct streams -> different sub-swarm trajectories
+        assert r.n_particles == 64
+
+    def test_large_swarm_runs_faster_on_more_devices(self, params):
+        problem = Problem.from_benchmark("sphere", 128)
+        t = {}
+        for nd in (1, 4):
+            engine = MultiGpuFastPSOEngine(n_devices=nd, exchange_interval=50)
+            r = engine.optimize(
+                problem, n_particles=100_000, max_iter=3, params=params
+            )
+            t[nd] = r.iteration_seconds
+        assert t[4] < t[1] / 2  # real scaling once devices are saturated
+
+    def test_history_records_global_best(self, problem, params):
+        r = MultiGpuFastPSOEngine(n_devices=2, exchange_interval=5).optimize(
+            problem,
+            n_particles=64,
+            max_iter=20,
+            params=params,
+            record_history=True,
+        )
+        assert len(r.history) == 20
+
+    def test_early_stop_respected(self, problem, params):
+        r = MultiGpuFastPSOEngine(n_devices=2).optimize(
+            problem,
+            n_particles=64,
+            max_iter=100,
+            params=params,
+            stop=TargetValue(1e9),
+        )
+        assert r.iterations == 1
+
+    def test_too_few_particles_rejected(self, problem, params):
+        with pytest.raises(InvalidParameterError):
+            MultiGpuFastPSOEngine(n_devices=8).optimize(
+                problem, n_particles=4, max_iter=2, params=params
+            )
+
+    def test_exchange_costs_accounted(self, problem, params):
+        frequent = MultiGpuFastPSOEngine(n_devices=4, exchange_interval=1)
+        rare = MultiGpuFastPSOEngine(n_devices=4, exchange_interval=100)
+        t_frequent = frequent.optimize(
+            problem, n_particles=64, max_iter=50, params=params
+        ).elapsed_seconds
+        t_rare = rare.optimize(
+            problem, n_particles=64, max_iter=50, params=params
+        ).elapsed_seconds
+        assert t_frequent > t_rare

@@ -1,0 +1,40 @@
+"""Engine factory and name registry."""
+
+import pytest
+
+from repro.engines import ENGINE_NAMES, make_engine
+from repro.errors import InvalidParameterError
+
+
+class TestRegistry:
+    def test_all_seven_paper_names(self):
+        assert set(ENGINE_NAMES) == {
+            "pyswarms",
+            "scikit-opt",
+            "gpu-pso",
+            "hgpu-pso",
+            "fastpso-seq",
+            "fastpso-omp",
+            "fastpso",
+        }
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_factory_produces_named_engine(self, name):
+        assert make_engine(name).name == name
+
+    def test_factory_case_insensitive(self):
+        assert make_engine("FastPSO").name == "fastpso"
+
+    def test_unknown_engine(self):
+        with pytest.raises(InvalidParameterError, match="unknown engine"):
+            make_engine("cuda-pso")
+
+    def test_kwargs_forwarded(self):
+        engine = make_engine("fastpso", backend="shared")
+        assert engine.name == "fastpso-shared"
+
+    def test_gpu_flags(self):
+        assert make_engine("fastpso").is_gpu
+        assert make_engine("gpu-pso").is_gpu
+        assert not make_engine("fastpso-seq").is_gpu
+        assert not make_engine("pyswarms").is_gpu

@@ -1,0 +1,123 @@
+"""Shifted and rotated function transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.functions import Sphere, get_function
+from repro.functions.transforms import Rotated, Shifted, random_rotation
+
+
+class TestShifted:
+    def test_optimum_moves_by_offset(self):
+        offset = np.array([1.0, -2.0, 0.5])
+        fn = Shifted(Sphere(), offset)
+        x_star = fn.true_minimum_position(3)
+        np.testing.assert_allclose(x_star, offset)
+        assert fn.evaluate(x_star[np.newaxis, :])[0] == pytest.approx(0.0)
+
+    def test_values_are_translations(self, rng_np):
+        offset = np.array([0.3, 0.3])
+        inner = get_function("rastrigin")
+        fn = Shifted(inner, offset)
+        p = rng_np.uniform(-2, 2, (5, 2))
+        np.testing.assert_allclose(
+            fn.evaluate(p), inner.evaluate(p - offset)
+        )
+
+    def test_reference_value_preserved(self):
+        fn = Shifted(get_function("styblinski_tang"), np.ones(4))
+        assert fn.reference_value(4) == get_function(
+            "styblinski_tang"
+        ).reference_value(4)
+
+    def test_profile_adds_shift_cost(self):
+        fn = Shifted(Sphere(), np.zeros(2))
+        assert fn.profile().flops_per_elem == Sphere().profile().flops_per_elem + 1
+
+    def test_name_and_domain(self):
+        fn = Shifted(Sphere(), np.zeros(2))
+        assert fn.name == "shifted_sphere"
+        assert fn.domain == Sphere().domain
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            Shifted(lambda x: x, np.zeros(2))  # type: ignore[arg-type]
+        with pytest.raises(InvalidProblemError):
+            Shifted(Sphere(), np.zeros((2, 2)))
+
+    def test_offset_dim_checked_at_evaluate(self):
+        fn = Shifted(Sphere(), np.zeros(3))
+        with pytest.raises(InvalidProblemError):
+            fn.evaluate(np.zeros((1, 5)))
+
+
+class TestRandomRotation:
+    def test_orthogonal(self):
+        q = random_rotation(6, seed=1)
+        np.testing.assert_allclose(q @ q.T, np.eye(6), atol=1e-10)
+
+    def test_seeded(self):
+        np.testing.assert_array_equal(
+            random_rotation(4, seed=9), random_rotation(4, seed=9)
+        )
+
+    def test_dim_validated(self):
+        with pytest.raises(InvalidProblemError):
+            random_rotation(0)
+
+
+class TestRotated:
+    def test_identity_rotation_is_noop(self, rng_np):
+        fn = Rotated(Sphere(), np.eye(4))
+        p = rng_np.uniform(-3, 3, (6, 4))
+        np.testing.assert_allclose(fn.evaluate(p), Sphere().evaluate(p))
+
+    def test_optimum_value_preserved(self):
+        q = random_rotation(5, seed=2)
+        inner = get_function("styblinski_tang")
+        fn = Rotated(inner, q)
+        x_star = fn.true_minimum_position(5)
+        val = fn.evaluate(x_star[np.newaxis, :])[0]
+        assert val == pytest.approx(inner.true_minimum_value(5), rel=1e-6)
+
+    def test_breaks_separability(self, rng_np):
+        """A rotated sphere is still a sphere about the centre; a rotated
+        Rastrigin is not axis-separable: permuting coordinates changes it."""
+        q = random_rotation(4, seed=3)
+        fn = Rotated(get_function("rastrigin"), q)
+        p = rng_np.uniform(-2, 2, (1, 4))
+        permuted = p[:, ::-1].copy()
+        assert fn.evaluate(p)[0] != pytest.approx(fn.evaluate(permuted)[0])
+
+    def test_non_orthogonal_rejected(self):
+        with pytest.raises(InvalidProblemError, match="orthogonal"):
+            Rotated(Sphere(), np.ones((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidProblemError, match="square"):
+            Rotated(Sphere(), np.ones((2, 3)))
+
+    def test_dim_mismatch_at_evaluate(self):
+        fn = Rotated(Sphere(), np.eye(3))
+        with pytest.raises(InvalidProblemError, match="dimension"):
+            fn.evaluate(np.zeros((1, 5)))
+
+    def test_profile_charges_matvec(self):
+        fn = Rotated(Sphere(), np.eye(8))
+        assert fn.profile().flops_per_elem >= 2 * 8
+
+
+class TestOptimizerIntegration:
+    def test_pso_solves_shifted_sphere(self):
+        from repro.core.parameters import PSOParams
+        from repro.core.problem import Problem
+        from repro.engines import FastPSOEngine
+
+        fn = Shifted(Sphere(), np.full(6, 2.0))
+        problem = Problem.from_benchmark(fn, 6)
+        r = FastPSOEngine().optimize(
+            problem, n_particles=128, max_iter=150, params=PSOParams(seed=8)
+        )
+        assert r.best_value < 1.0
+        np.testing.assert_allclose(r.best_position, 2.0, atol=0.5)

@@ -1,0 +1,74 @@
+"""SimClock: advancement, sections, nesting."""
+
+import pytest
+
+from repro.gpusim.clock import SimClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().advance(-1.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+
+class TestSections:
+    def test_time_attributed_to_section(self):
+        clock = SimClock()
+        with clock.section("eval"):
+            clock.advance(2.0)
+        clock.advance(1.0)
+        assert clock.total("eval") == 2.0
+        assert clock.now == 3.0
+
+    def test_unknown_section_total_is_zero(self):
+        assert SimClock().total("nothing") == 0.0
+
+    def test_nested_sections_charge_innermost(self):
+        clock = SimClock()
+        with clock.section("outer"):
+            clock.advance(1.0)
+            with clock.section("inner"):
+                clock.advance(2.0)
+            clock.advance(3.0)
+        assert clock.total("outer") == 4.0
+        assert clock.total("inner") == 2.0
+
+    def test_section_reentrant(self):
+        clock = SimClock()
+        for _ in range(3):
+            with clock.section("swarm"):
+                clock.advance(1.0)
+        assert clock.total("swarm") == 3.0
+
+    def test_reset_clears_everything(self):
+        clock = SimClock()
+        with clock.section("a"):
+            clock.advance(1.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.section_totals == {}
+
+    def test_exception_unwinds_section_stack(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with clock.section("a"):
+                raise RuntimeError("boom")
+        clock.advance(1.0)
+        assert clock.total("a") == 0.0

@@ -1,0 +1,218 @@
+"""Roofline cost model: bounds, monotonicity, calibration anchors."""
+
+import pytest
+
+from repro.gpusim.costmodel import (
+    DEFAULT_GPU_COST_PARAMS,
+    CpuSpec,
+    GpuCostParams,
+    cpu_loop_cost,
+    kernel_cost,
+    xeon_e5_2640v4,
+)
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+from repro.gpusim.launch import resource_aware_config, thread_per_item_config
+
+
+def streaming_spec(**overrides):
+    base = dict(
+        name="stream",
+        flops_per_elem=2.0,
+        bytes_read_per_elem=8.0,
+        bytes_written_per_elem=4.0,
+    )
+    base.update(overrides)
+    return KernelSpec(**base)
+
+
+class TestLatencyHiding:
+    def test_curve_reaches_one_at_full_occupancy(self):
+        assert DEFAULT_GPU_COST_PARAMS.latency_hiding(1.0) == pytest.approx(1.0)
+
+    def test_curve_monotone(self):
+        p = DEFAULT_GPU_COST_PARAMS
+        values = [p.latency_hiding(o) for o in (0.01, 0.05, 0.2, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_curve_positive_at_tiny_occupancy(self):
+        assert DEFAULT_GPU_COST_PARAMS.latency_hiding(1e-9) > 0.0
+
+
+class TestKernelCost:
+    def test_memory_bound_streaming_kernel(self, v100):
+        spec = streaming_spec()
+        n = 1_000_000
+        cost = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        assert cost.bound == "memory"
+        assert cost.bytes_read == 8e6
+        assert cost.bytes_written == 4e6
+
+    def test_effective_bandwidth_in_calibrated_band(self, v100):
+        """Full-occupancy streaming should land near the paper's ~110-180
+        GB/s achieved band (dram_peak_fraction anchor)."""
+        spec = streaming_spec()
+        n = 4_000_000
+        cost = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        body = cost.seconds - cost.t_launch_overhead
+        gbs = (cost.bytes_read + cost.bytes_written) / body / 1e9
+        assert 100 < gbs < 250
+
+    def test_compute_bound_kernel(self, v100):
+        spec = streaming_spec(
+            flops_per_elem=5000.0, bytes_read_per_elem=4.0, bytes_written_per_elem=0.0
+        )
+        n = 1_000_000
+        cost = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        assert cost.bound == "compute"
+
+    def test_sfu_bound_kernel(self, v100):
+        spec = streaming_spec(
+            flops_per_elem=0.0,
+            sfu_per_elem=500.0,
+            bytes_read_per_elem=4.0,
+            bytes_written_per_elem=0.0,
+        )
+        n = 1_000_000
+        cost = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        assert cost.bound == "sfu"
+
+    def test_latency_bound_serial_loop(self, v100):
+        """Thread-per-particle with a long dependent loop is latency bound."""
+        spec = streaming_spec(
+            bytes_read_per_elem=0.1,
+            bytes_written_per_elem=0.0,
+            dependent_loads_per_elem=2.0,
+        )
+        n = 200 * 100  # 100 threads x 200 serial elements
+        cfg = thread_per_item_config(v100, 100, threads_per_block=32)
+        cost = kernel_cost(v100, spec, cfg, n)
+        assert cost.t_latency > 0
+        assert cost.bound == "latency"
+
+    def test_launch_overhead_floor(self, v100):
+        spec = streaming_spec()
+        cost = kernel_cost(v100, spec, LaunchConfig(1, 32), 1)
+        assert cost.seconds >= v100.kernel_launch_overhead_s
+
+    def test_zero_elements(self, v100):
+        cost = kernel_cost(v100, streaming_spec(), LaunchConfig(1, 32), 0)
+        assert cost.seconds == v100.kernel_launch_overhead_s
+        assert cost.flops == 0
+
+    def test_negative_elements_rejected(self, v100):
+        with pytest.raises(ValueError):
+            kernel_cost(v100, streaming_spec(), LaunchConfig(1, 32), -5)
+
+    def test_monotone_in_elements(self, v100):
+        spec = streaming_spec()
+        times = []
+        for n in (10_000, 100_000, 1_000_000, 10_000_000):
+            cfg = resource_aware_config(v100, n)
+            times.append(kernel_cost(v100, spec, cfg, n).seconds)
+        assert times == sorted(times)
+
+    def test_uncoalesced_slower(self, v100):
+        n = 1_000_000
+        cfg = resource_aware_config(v100, n)
+        fast = kernel_cost(v100, streaming_spec(), cfg, n).seconds
+        slow = kernel_cost(v100, streaming_spec(coalesced=False), cfg, n).seconds
+        assert slow > fast * 4
+
+    def test_low_occupancy_slower_per_byte(self, v100):
+        """The paper's core mechanism: starved launches waste bandwidth."""
+        spec = streaming_spec()
+        n = 1_000_000
+        full = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        starved = kernel_cost(
+            v100, spec, thread_per_item_config(v100, 5000, threads_per_block=128), n
+        )
+        assert starved.seconds > full.seconds * 1.5
+        assert starved.occupancy < 0.05
+
+    def test_tensor_core_kernel_uses_tensor_peak(self, v100):
+        n = 1_000_000
+        cfg = resource_aware_config(v100, n)
+        fp32 = streaming_spec(flops_per_elem=5000.0, bytes_read_per_elem=0.5,
+                              bytes_written_per_elem=0.0)
+        tc = fp32.scaled(tensor_core=True)
+        t_fp32 = kernel_cost(v100, fp32, cfg, n).t_compute
+        t_tc = kernel_cost(v100, tc, cfg, n).t_compute
+        assert t_tc < t_fp32 / 3  # tensor peak is ~8x FP32 on V100
+
+    def test_wave_quantization_penalty(self, v100):
+        """A grid one block over capacity pays for an extra wave."""
+        spec = streaming_spec()
+        # capacity for 256-thread, 32-reg blocks: 8 blocks/SM x 80 = 640.
+        n_elems = 640 * 256  # exactly one wave, one elem per thread
+        aligned = kernel_cost(v100, spec, LaunchConfig(640, 256), n_elems)
+        spilled = kernel_cost(v100, spec, LaunchConfig(641, 256), n_elems)
+        assert spilled.seconds > aligned.seconds * 1.5
+
+    def test_cost_params_customisable(self, v100):
+        slow = GpuCostParams(dram_peak_fraction=0.05)
+        n = 1_000_000
+        cfg = resource_aware_config(v100, n)
+        default = kernel_cost(v100, streaming_spec(), cfg, n).seconds
+        derated = kernel_cost(v100, streaming_spec(), cfg, n, slow).seconds
+        assert derated > default * 2
+
+
+class TestCpuLoopCost:
+    def test_zero_elements(self):
+        cost = cpu_loop_cost(xeon_e5_2640v4(), 0, flops_per_elem=10)
+        assert cost.seconds == 0.0
+
+    def test_memory_bound_loop(self):
+        cpu = xeon_e5_2640v4()
+        cost = cpu_loop_cost(cpu, 10_000_000, bytes_per_elem=24.0)
+        assert cost.bound == "memory"
+        assert cost.seconds == pytest.approx(
+            24.0 * 10_000_000 / cpu.mem_bandwidth_core
+        )
+
+    def test_bandwidth_ceiling_limits_scaling(self):
+        """20 threads gain only ~2x on streaming: the paper's OpenMP wall."""
+        cpu = xeon_e5_2640v4()
+        seq = cpu_loop_cost(cpu, 10_000_000, bytes_per_elem=24.0, threads=1)
+        par = cpu_loop_cost(cpu, 10_000_000, bytes_per_elem=24.0, threads=20)
+        assert 1.5 < seq.seconds / par.seconds < 2.5
+
+    def test_compute_scales_with_threads(self):
+        cpu = xeon_e5_2640v4()
+        seq = cpu_loop_cost(cpu, 10_000_000, flops_per_elem=100.0, threads=1)
+        par = cpu_loop_cost(cpu, 10_000_000, flops_per_elem=100.0, threads=20)
+        assert seq.seconds / par.seconds == pytest.approx(20.0)
+
+    def test_threads_capped_at_cores(self):
+        cpu = xeon_e5_2640v4()
+        at_cores = cpu_loop_cost(cpu, 1_000_000, flops_per_elem=10.0, threads=20)
+        beyond = cpu_loop_cost(cpu, 1_000_000, flops_per_elem=10.0, threads=100)
+        assert at_cores.seconds == beyond.seconds
+
+    def test_transcendentals_add_serial_cost(self):
+        cpu = xeon_e5_2640v4()
+        plain = cpu_loop_cost(cpu, 1_000_000, flops_per_elem=2.0)
+        trans = cpu_loop_cost(
+            cpu, 1_000_000, flops_per_elem=2.0, transcendental_per_elem=2.0
+        )
+        assert trans.seconds > plain.seconds
+
+    def test_rng_cost(self):
+        cpu = xeon_e5_2640v4()
+        cost = cpu_loop_cost(cpu, 2_000_000, rng_per_elem=1.0)
+        expected = 2_000_000 * cpu.rng_cycles / (cpu.clock_ghz * 1e9)
+        assert cost.t_rng == pytest.approx(expected)
+
+    def test_negative_elems_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_loop_cost(xeon_e5_2640v4(), -1)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            xeon_e5_2640v4().bandwidth(0)
+
+    def test_custom_cpu_spec(self):
+        tiny = CpuSpec(name="tiny", cores=2, clock_ghz=1.0)
+        fast = cpu_loop_cost(tiny, 1_000_000, flops_per_elem=8.0, threads=2)
+        slow = cpu_loop_cost(tiny, 1_000_000, flops_per_elem=8.0, threads=1)
+        assert fast.seconds < slow.seconds

@@ -1,0 +1,79 @@
+"""Device spec presets, derived capacities and validation."""
+
+import pytest
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.device import (
+    DeviceSpec,
+    get_preset,
+    laptop_gpu,
+    tesla_a100,
+    tesla_v100,
+)
+
+
+class TestPresets:
+    def test_v100_headline_numbers(self):
+        spec = tesla_v100()
+        assert spec.sm_count == 80
+        assert spec.total_cores == 5120
+        assert spec.max_resident_threads == 163_840
+        assert spec.global_mem_bytes == 16 * 1024**3
+        # ~15.7 TFLOPS FP32
+        assert spec.fp32_flops == pytest.approx(15.67e12, rel=0.01)
+
+    def test_v100_tensor_throughput(self):
+        # 80 SMs x 8 TCs x 128 FLOP/cycle x 1.53 GHz ~ 125 TFLOPS fp16
+        assert tesla_v100().tensor_flops == pytest.approx(125.3e12, rel=0.01)
+
+    def test_a100_has_more_bandwidth_than_v100(self):
+        assert tesla_a100().dram_bandwidth > tesla_v100().dram_bandwidth
+
+    def test_laptop_has_no_tensor_cores(self):
+        assert laptop_gpu().tensor_cores_per_sm == 0
+
+    def test_get_preset_roundtrip(self):
+        assert get_preset("V100").name == tesla_v100().name
+        assert get_preset("a100").sm_count == 108
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(ValueError, match="unknown device preset"):
+            get_preset("h100")
+
+    def test_max_warps_per_sm(self):
+        assert tesla_v100().max_warps_per_sm == 64
+
+
+class TestValidation:
+    def test_block_too_large(self, v100):
+        with pytest.raises(InvalidLaunchError, match="exceeds device limit"):
+            v100.validate_block(2048)
+
+    def test_block_zero_threads(self, v100):
+        with pytest.raises(InvalidLaunchError, match="at least one thread"):
+            v100.validate_block(0)
+
+    def test_shared_mem_over_limit(self, v100):
+        with pytest.raises(InvalidLaunchError, match="shared memory"):
+            v100.validate_block(256, shared_mem=v100.shared_mem_per_block_max + 1)
+
+    def test_valid_block_passes(self, v100):
+        v100.validate_block(1024, shared_mem=v100.shared_mem_per_block_max)
+
+    def test_spec_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            tesla_v100().with_overrides(sm_count=0)
+
+    def test_spec_rejects_non_warp_multiple_block_limit(self):
+        with pytest.raises(ValueError):
+            tesla_v100().with_overrides(max_threads_per_block=100)
+
+    def test_spec_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            tesla_v100().with_overrides(dram_bandwidth=0.0)
+
+    def test_with_overrides_returns_new_spec(self, v100):
+        bigger = v100.with_overrides(sm_count=160)
+        assert bigger.sm_count == 160
+        assert v100.sm_count == 80
+        assert isinstance(bigger, DeviceSpec)

@@ -1,0 +1,102 @@
+"""Multi-GPU coordination: partitioning and strategy timing."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.gpusim.device import tesla_v100
+from repro.gpusim.multigpu import (
+    ExchangeCost,
+    partition_particles,
+    partition_rows,
+    particle_split_time,
+    tile_matrix_time,
+)
+
+
+class TestPartitioning:
+    def test_even_split(self):
+        assert partition_particles(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread_over_first_devices(self):
+        assert partition_particles(10, 3) == [4, 3, 3]
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = partition_particles(1234, 7)
+        assert sum(sizes) == 1234
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rows_are_contiguous_cover(self):
+        ranges = partition_rows(100, 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_too_few_particles_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            partition_particles(2, 3)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            partition_particles(10, 0)
+
+
+class TestExchangeCost:
+    def test_transfer_time_has_latency_floor(self):
+        ex = ExchangeCost(tesla_v100())
+        assert ex.transfer_time(0) == ex.latency_s
+
+    def test_single_device_broadcast_is_free(self):
+        ex = ExchangeCost(tesla_v100())
+        assert ex.gbest_broadcast(1, 1024) == 0.0
+
+    def test_broadcast_scales_with_devices(self):
+        ex = ExchangeCost(tesla_v100())
+        assert ex.gbest_broadcast(8, 1024) > ex.gbest_broadcast(2, 1024)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExchangeCost(tesla_v100()).transfer_time(-1)
+
+
+class TestStrategyTiming:
+    def _ex(self):
+        return ExchangeCost(tesla_v100())
+
+    def test_particle_split_bounded_by_slowest_device(self):
+        t = particle_split_time([1e-3, 2e-3], 100, 50, self._ex(), 800)
+        assert t >= 100 * 2e-3
+
+    def test_split_exchange_interval_reduces_overhead(self):
+        args = ([1e-3, 1e-3], 1000, self._ex(), 800)
+        frequent = particle_split_time(args[0], args[1], 1, args[2], args[3])
+        rare = particle_split_time(args[0], args[1], 100, args[2], args[3])
+        assert frequent > rare
+
+    def test_tile_matrix_pays_allgather_every_iteration(self):
+        iter_times = [1e-3, 1e-3]
+        split = particle_split_time(iter_times, 1000, 50, self._ex(), 800)
+        tile = tile_matrix_time(iter_times, 1000, self._ex(), 800)
+        assert tile > split
+
+    def test_both_match_on_single_device(self):
+        split = particle_split_time([1e-3], 100, 10, self._ex(), 800)
+        tile = tile_matrix_time([1e-3], 100, self._ex(), 800)
+        assert split == pytest.approx(tile) == pytest.approx(0.1)
+
+    def test_scaling_is_sublinear_but_real(self):
+        """2 devices with half the work each run ~2x faster end to end."""
+        one = particle_split_time([2e-3], 1000, 50, self._ex(), 800)
+        two = particle_split_time([1e-3, 1e-3], 1000, 50, self._ex(), 800)
+        assert 1.8 < one / two <= 2.0
+
+    def test_validation(self):
+        ex = self._ex()
+        with pytest.raises(InvalidParameterError):
+            particle_split_time([], 10, 5, ex, 8)
+        with pytest.raises(InvalidParameterError):
+            particle_split_time([1e-3], -1, 5, ex, 8)
+        with pytest.raises(InvalidParameterError):
+            particle_split_time([1e-3], 10, 0, ex, 8)
+        with pytest.raises(InvalidParameterError):
+            tile_matrix_time([], 10, ex, 8)

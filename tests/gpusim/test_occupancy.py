@@ -1,0 +1,99 @@
+"""Occupancy calculator against hand-computed V100 cases."""
+
+import pytest
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.occupancy import achieved_occupancy, occupancy
+
+
+class TestTheoreticalOccupancy:
+    def test_full_occupancy_config(self, v100):
+        """256 threads, 32 regs: 8 blocks/SM x 8 warps = 64 warps = 100 %."""
+        res = occupancy(v100, 256, registers_per_thread=32)
+        assert res.occupancy == 1.0
+        assert res.blocks_per_sm == 8
+        assert res.warps_per_sm == 64
+
+    def test_thread_limited(self, v100):
+        """1024-thread blocks: 2 blocks fill the 2048-thread SM."""
+        res = occupancy(v100, 1024, registers_per_thread=32)
+        assert res.blocks_per_sm == 2
+        assert res.occupancy == 1.0
+        assert res.limiter == "threads"
+
+    def test_register_limited(self, v100):
+        """128 regs/thread: 65536/(128*32*8 warps) => 2 blocks of 256."""
+        res = occupancy(v100, 256, registers_per_thread=128)
+        assert res.limiter == "registers"
+        assert res.blocks_per_sm == 2
+        assert res.occupancy == pytest.approx(16 / 64)
+
+    def test_block_slot_limited(self, v100):
+        """Tiny 32-thread blocks hit the 32-blocks/SM cap: 32 warps = 50 %."""
+        res = occupancy(v100, 32, registers_per_thread=16)
+        assert res.limiter == "blocks"
+        assert res.blocks_per_sm == 32
+        assert res.occupancy == 0.5
+
+    def test_shared_memory_limited(self, v100):
+        """48 KiB/block on a 96 KiB SM: 2 resident blocks."""
+        res = occupancy(
+            v100, 256, registers_per_thread=32, shared_mem_per_block=48 * 1024
+        )
+        assert res.limiter == "shared_memory"
+        assert res.blocks_per_sm == 2
+        assert res.occupancy == pytest.approx(16 / 64)
+
+    def test_non_warp_multiple_block(self, v100):
+        """100 threads round up to 4 warps for residency accounting."""
+        res = occupancy(v100, 100, registers_per_thread=32)
+        assert res.warps_per_sm == res.blocks_per_sm * 4
+
+    def test_impossible_config_raises(self, v100):
+        with pytest.raises(InvalidLaunchError, match="more registers"):
+            occupancy(v100, 1024, registers_per_thread=255)
+
+    def test_zero_registers_rejected(self, v100):
+        with pytest.raises(InvalidLaunchError):
+            occupancy(v100, 256, registers_per_thread=0)
+
+    def test_oversized_block_rejected(self, v100):
+        with pytest.raises(InvalidLaunchError):
+            occupancy(v100, 2048)
+
+    def test_occupancy_monotone_in_registers(self, v100):
+        values = [
+            occupancy(v100, 256, registers_per_thread=r).occupancy
+            for r in (16, 32, 64, 128, 200)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestAchievedOccupancy:
+    def test_full_grid_matches_theoretical(self, v100):
+        theo = occupancy(v100, 256).occupancy
+        # 8 blocks/SM x 80 SMs = 640 blocks saturate the device.
+        assert achieved_occupancy(v100, 640, 256) == pytest.approx(theo)
+
+    def test_small_grid_scales_down(self, v100):
+        # 40 blocks of 128 threads = 5120 threads on a 163840-thread device.
+        small = achieved_occupancy(v100, 40, 128)
+        assert small == pytest.approx(40 / (16 * 80), rel=1e-6)
+
+    def test_more_blocks_than_capacity_caps_at_theoretical(self, v100):
+        theo = occupancy(v100, 256).occupancy
+        assert achieved_occupancy(v100, 100_000, 256) == pytest.approx(theo)
+
+    def test_thread_per_particle_starvation(self, v100):
+        """The paper's core observation: 5000 particles => ~3 % occupancy."""
+        blocks = -(-5000 // 128)
+        occ = achieved_occupancy(v100, blocks, 128)
+        assert occ < 0.05
+
+    def test_zero_blocks_rejected(self, v100):
+        with pytest.raises(InvalidLaunchError):
+            achieved_occupancy(v100, 0, 256)
+
+    def test_string_rendering(self, v100):
+        text = str(occupancy(v100, 256))
+        assert "warps/SM" in text and "%" in text

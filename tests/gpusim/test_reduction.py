@@ -1,0 +1,83 @@
+"""Parallel argmin reduction: exactness vs np.argmin, tie-breaking, costs."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.clock import SimClock
+from repro.gpusim.launch import Launcher
+from repro.gpusim.reduction import REDUCE_BLOCK_SIZE, ParallelReducer
+
+
+@pytest.fixture
+def reducer(v100):
+    return ParallelReducer(Launcher(spec=v100, clock=SimClock()))
+
+
+class TestArgminCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 17, 255, 256, 257, 1000, 5000, 70000])
+    def test_matches_numpy(self, reducer, rng_np, n):
+        values = rng_np.normal(size=n)
+        idx, val = reducer.argmin(values)
+        assert idx == int(np.argmin(values))
+        assert val == float(values.min())
+
+    def test_ties_resolve_to_lowest_index(self, reducer):
+        values = np.array([5.0, 1.0, 3.0, 1.0, 1.0])
+        idx, val = reducer.argmin(values)
+        assert idx == 1 and val == 1.0
+
+    def test_tie_across_block_boundary(self, reducer):
+        values = np.full(2 * REDUCE_BLOCK_SIZE, 2.0)
+        values[REDUCE_BLOCK_SIZE - 1] = 1.0
+        values[REDUCE_BLOCK_SIZE] = 1.0
+        idx, _ = reducer.argmin(values)
+        assert idx == REDUCE_BLOCK_SIZE - 1
+
+    def test_minimum_in_padded_tail(self, reducer):
+        n = REDUCE_BLOCK_SIZE + 3
+        values = np.full(n, 10.0)
+        values[-1] = -1.0
+        idx, val = reducer.argmin(values)
+        assert idx == n - 1 and val == -1.0
+
+    def test_inf_values_handled(self, reducer):
+        values = np.array([np.inf, np.inf, 3.0, np.inf])
+        idx, val = reducer.argmin(values)
+        assert idx == 2 and val == 3.0
+
+    def test_all_inf(self, reducer):
+        values = np.full(10, np.inf)
+        idx, val = reducer.argmin(values)
+        assert idx == 0 and val == np.inf
+
+    def test_empty_rejected(self, reducer):
+        with pytest.raises(ValueError, match="non-empty"):
+            reducer.argmin(np.empty(0))
+
+    def test_2d_rejected(self, reducer):
+        with pytest.raises(ValueError):
+            reducer.argmin(np.zeros((3, 3)))
+
+
+class TestReductionCosts:
+    def test_two_launches_for_large_input(self, v100, rng_np):
+        launcher = Launcher(spec=v100, clock=SimClock())
+        reducer = ParallelReducer(launcher)
+        reducer.argmin(rng_np.normal(size=10_000))
+        names = [r.kernel_name for r in launcher.records]
+        assert names == ["reduce_argmin_pass1", "reduce_argmin_pass2"]
+
+    def test_single_element_still_costs_a_kernel(self, v100):
+        launcher = Launcher(spec=v100, clock=SimClock())
+        reducer = ParallelReducer(launcher)
+        reducer.argmin(np.array([4.0]))
+        assert len(launcher.records) == 1
+        assert launcher.clock.now >= v100.kernel_launch_overhead_s
+
+    def test_cost_scales_with_input(self, v100, rng_np):
+        def time_for(n):
+            launcher = Launcher(spec=v100, clock=SimClock())
+            ParallelReducer(launcher).argmin(rng_np.normal(size=n))
+            return launcher.clock.now
+
+        assert time_for(5_000_000) > time_for(10_000)

@@ -1,0 +1,84 @@
+"""Streams and events on the simulated timeline."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.gpusim.clock import SimClock
+from repro.gpusim.streams import Event, Stream
+
+
+class TestStream:
+    def test_enqueue_is_fifo(self):
+        clock = SimClock()
+        stream = Stream(clock)
+        stream.enqueue(1.0)
+        done = stream.enqueue(2.0)
+        assert done == 3.0
+
+    def test_enqueue_starts_no_earlier_than_host(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        stream = Stream(clock)
+        assert stream.enqueue(1.0) == 6.0
+
+    def test_two_streams_overlap(self):
+        clock = SimClock()
+        a, b = Stream(clock), Stream(clock)
+        a.enqueue(3.0)
+        b.enqueue(2.0)
+        # Both finish relative to t=0: concurrent, not serialised.
+        assert a.horizon == 3.0 and b.horizon == 2.0
+
+    def test_synchronize_advances_host(self):
+        clock = SimClock()
+        stream = Stream(clock)
+        stream.enqueue(4.0)
+        stream.synchronize()
+        assert clock.now == 4.0
+
+    def test_synchronize_noop_when_drained(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        stream = Stream(clock)
+        stream.enqueue(1.0)  # finishes at 11
+        clock.advance(5.0)  # host at 15
+        stream.synchronize()
+        assert clock.now == 15.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(StreamError):
+            Stream(SimClock()).enqueue(-1.0)
+
+
+class TestEvents:
+    def test_record_and_wait(self):
+        clock = SimClock()
+        producer, consumer = Stream(clock), Stream(clock)
+        producer.enqueue(3.0)
+        ev = producer.record_event()
+        consumer.enqueue(1.0)
+        consumer.wait_event(ev)
+        done = consumer.enqueue(1.0)
+        assert done == 4.0  # waited for the producer
+
+    def test_wait_on_unrecorded_event_rejected(self):
+        clock = SimClock()
+        with pytest.raises(StreamError, match="unrecorded"):
+            Stream(clock).wait_event(Event())
+
+    def test_event_reuse(self):
+        clock = SimClock()
+        stream = Stream(clock)
+        ev = Event()
+        stream.enqueue(2.0)
+        stream.record_event(ev)
+        assert ev.recorded and ev.timestamp == 2.0
+
+    def test_wait_does_not_rewind(self):
+        clock = SimClock()
+        early, late = Stream(clock), Stream(clock)
+        early.enqueue(1.0)
+        ev = early.record_event()
+        late.enqueue(10.0)
+        late.wait_event(ev)
+        assert late.horizon == 10.0

@@ -1,0 +1,87 @@
+"""Tensor-core model: fp16 rounding semantics and derived specs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidLaunchError
+from repro.gpusim.device import laptop_gpu, tesla_v100
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.tensorcore import (
+    fragment_multiply_add,
+    supports_tensor_cores,
+    tensor_core_spec,
+    to_half,
+)
+
+
+class TestToHalf:
+    def test_rounds_to_fp16_grid(self):
+        x = np.array([1.0 + 2**-12], dtype=np.float32)
+        assert to_half(x)[0] == np.float16(1.0)  # dropped below fp16 ulp
+
+    def test_exact_values_preserved(self):
+        x = np.array([0.5, 1.0, 2.0, -3.5], dtype=np.float32)
+        np.testing.assert_array_equal(to_half(x).astype(np.float32), x)
+
+    def test_overflow_saturates_to_inf(self):
+        assert np.isinf(to_half(np.array([1e6], dtype=np.float32))[0])
+
+
+class TestFragmentMultiplyAdd:
+    def test_matches_fp16_rounded_product(self, rng_np):
+        a = rng_np.uniform(0, 1, (16, 16)).astype(np.float32)
+        b = rng_np.uniform(-5, 5, (16, 16)).astype(np.float32)
+        out = fragment_multiply_add(a, b)
+        expected = a.astype(np.float16).astype(np.float32) * b.astype(
+            np.float16
+        ).astype(np.float32)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_accumulation_stays_fp32(self, rng_np):
+        a = np.full((4, 4), 1.0, dtype=np.float32)
+        b = np.full((4, 4), 2.0**-11, dtype=np.float32)
+        acc = np.full((4, 4), 1000.0, dtype=np.float32)
+        out = fragment_multiply_add(a, b, acc)
+        # 2^-11 is representable in fp16; fp32 accumulation keeps the sum
+        # distinguishable from the accumulator alone.
+        assert np.all(out > 1000.0)
+
+    def test_rounding_error_bounded(self, rng_np):
+        """Relative error of the product is within fp16 epsilon-ish bounds."""
+        a = rng_np.uniform(0.5, 1.0, 10000).astype(np.float32)
+        b = rng_np.uniform(0.5, 1.0, 10000).astype(np.float32)
+        exact = a.astype(np.float64) * b.astype(np.float64)
+        approx = fragment_multiply_add(a, b).astype(np.float64)
+        rel = np.abs(approx - exact) / exact
+        assert rel.max() < 2e-3  # fp16 eps ~ 9.8e-4 per operand
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidLaunchError):
+            fragment_multiply_add(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_accumulator_shape_checked(self):
+        with pytest.raises(InvalidLaunchError):
+            fragment_multiply_add(
+                np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((3, 3))
+            )
+
+
+class TestTensorCoreSpec:
+    def _base(self):
+        return KernelSpec(name="update", flops_per_elem=10.0)
+
+    def test_sets_tensor_core_flag(self):
+        assert tensor_core_spec(self._base()).tensor_core
+
+    def test_allocates_fragment_staging(self):
+        spec = tensor_core_spec(self._base(), block_threads=256)
+        warps = 256 // 32
+        assert spec.shared_mem_per_block == warps * (2 * 512 + 1024)
+
+    def test_non_warp_block_rejected(self):
+        with pytest.raises(InvalidLaunchError):
+            tensor_core_spec(self._base(), block_threads=100)
+
+    def test_support_detection(self):
+        assert supports_tensor_cores(tesla_v100())
+        assert not supports_tensor_cores(laptop_gpu())

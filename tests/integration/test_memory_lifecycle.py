@@ -1,0 +1,108 @@
+"""Device-memory lifecycle across repeated engine use.
+
+The caching allocator must make steady-state iterations driver-free without
+leaking: repeated runs on one engine reuse the pool, memory in use returns
+to zero after every run, and the pool's footprint stays bounded by the
+largest problem seen — the properties that make the paper's "allocate once,
+reuse forever" claim safe in a long-lived process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine, GpuParticleEngine
+
+
+@pytest.fixture
+def params():
+    return PSOParams(seed=5)
+
+
+class TestRepeatedRuns:
+    def test_no_leak_across_runs(self, params):
+        """After each run everything in use is pooled (reusable), not live."""
+        problem = Problem.from_benchmark("sphere", 32)
+        engine = FastPSOEngine()
+        for _ in range(5):
+            engine.optimize(problem, n_particles=64, max_iter=5, params=params)
+            assert engine.ctx.allocator.live_buffers == 0
+            # reserved bytes == pool contents: the device holds only
+            # reusable blocks, nothing orphaned.
+            assert (
+                engine.ctx.memory.used_bytes
+                == engine.ctx.allocator.pooled_bytes
+            )
+
+    def test_pool_reused_not_regrown(self, params):
+        problem = Problem.from_benchmark("sphere", 32)
+        engine = FastPSOEngine()
+        engine.optimize(problem, n_particles=64, max_iter=5, params=params)
+        pooled_after_first = engine.ctx.allocator.pooled_bytes
+        for _ in range(3):
+            engine.optimize(problem, n_particles=64, max_iter=5, params=params)
+        assert engine.ctx.allocator.pooled_bytes == pooled_after_first
+
+    def test_pool_grows_only_for_bigger_problems(self, params):
+        engine = FastPSOEngine()
+        small = Problem.from_benchmark("sphere", 16)
+        engine.optimize(small, n_particles=32, max_iter=3, params=params)
+        pooled_small = engine.ctx.allocator.pooled_bytes
+        big = Problem.from_benchmark("sphere", 64)
+        engine.optimize(big, n_particles=256, max_iter=3, params=params)
+        pooled_big = engine.ctx.allocator.pooled_bytes
+        assert pooled_big > pooled_small
+        # running the small problem again must not grow the pool further
+        engine.optimize(small, n_particles=32, max_iter=3, params=params)
+        assert engine.ctx.allocator.pooled_bytes == pooled_big
+
+    def test_steady_state_hit_rate_approaches_one(self, params):
+        problem = Problem.from_benchmark("sphere", 32)
+        engine = FastPSOEngine()
+        engine.optimize(problem, n_particles=64, max_iter=50, params=params)
+        assert engine.ctx.allocator.stats.hit_rate > 0.9
+
+    def test_direct_allocator_never_pools(self, params):
+        problem = Problem.from_benchmark("sphere", 32)
+        engine = FastPSOEngine(caching=False)
+        engine.optimize(problem, n_particles=64, max_iter=10, params=params)
+        stats = engine.ctx.allocator.stats
+        assert stats.pool_hits == 0
+        assert stats.allocs == stats.frees
+
+    def test_gpu_baseline_cleans_up_too(self, params):
+        problem = Problem.from_benchmark("sphere", 32)
+        engine = GpuParticleEngine()
+        engine.optimize(problem, n_particles=64, max_iter=3, params=params)
+        # Its 5 persistent buffers are reallocated per run, freed at the
+        # next run's start; nothing else may linger.
+        assert engine.ctx.allocator.live_buffers == 5
+
+    def test_high_water_reflects_peak_not_current(self, params):
+        problem = Problem.from_benchmark("sphere", 64)
+        engine = FastPSOEngine(caching=False)
+        engine.optimize(problem, n_particles=256, max_iter=3, params=params)
+        assert engine.ctx.memory.used_bytes == 0
+        assert engine.ctx.memory.high_water_bytes > 0
+
+
+class TestNumericalStabilityOverRuns:
+    def test_results_independent_of_run_order(self, params):
+        """Pool reuse must never leak data between runs."""
+        problem_a = Problem.from_benchmark("sphere", 16)
+        problem_b = Problem.from_benchmark("griewank", 16)
+        fresh = FastPSOEngine().optimize(
+            problem_b, n_particles=32, max_iter=10, params=params
+        )
+        reused_engine = FastPSOEngine()
+        reused_engine.optimize(
+            problem_a, n_particles=32, max_iter=10, params=params
+        )
+        reused = reused_engine.optimize(
+            problem_b, n_particles=32, max_iter=10, params=params
+        )
+        assert reused.best_value == fresh.best_value
+        np.testing.assert_array_equal(
+            reused.best_position, fresh.best_position
+        )

@@ -1,0 +1,183 @@
+"""End-to-end assertions of the paper's headline result *shapes*.
+
+These are the claims EXPERIMENTS.md reports against; they run at a reduced
+but GPU-meaningful scale (paper-sized matrix shapes for timing, scaled
+workloads for errors).  Absolute numbers are simulator outputs; the
+assertions encode who-wins-by-what-factor bands, not exact values.
+"""
+
+import pytest
+
+from repro.bench.config import BenchScale
+from repro.bench.runner import build_problem, timed_run
+from repro.core.problem import Problem
+from repro.engines import ENGINE_NAMES, make_engine
+
+#: Paper-shape scale: real Table 1 shapes, two sampled iterations.
+SCALE = BenchScale(
+    name="shape",
+    timing_particles=5000,
+    timing_dim=200,
+    timing_iters=2000,
+    sample_iters=2,
+    error_particles=400,
+    error_dim=50,
+    error_iters=250,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_sphere():
+    problem = build_problem("sphere", SCALE.timing_dim)
+    return {
+        engine: timed_run(
+            engine,
+            problem,
+            n_particles=SCALE.timing_particles,
+            full_iters=SCALE.timing_iters,
+            sample_iters=SCALE.sample_iters,
+        ).projected_seconds
+        for engine in ENGINE_NAMES
+    }
+
+
+class TestTable1Bands:
+    def test_fastpso_two_orders_over_cpu_libraries(self, table1_sphere):
+        t = table1_sphere
+        assert t["pyswarms"] / t["fastpso"] > 100
+        assert t["scikit-opt"] / t["fastpso"] > 100
+
+    def test_fastpso_5_to_10x_over_gpu_baselines(self, table1_sphere):
+        t = table1_sphere
+        assert 4 < t["gpu-pso"] / t["fastpso"] < 12
+        assert 5 < t["hgpu-pso"] / t["fastpso"] < 15
+
+    def test_fastpso_order_of_magnitude_over_cpu_ports(self, table1_sphere):
+        t = table1_sphere
+        assert t["fastpso-seq"] / t["fastpso"] > 10
+        assert t["fastpso-omp"] / t["fastpso"] > 8
+
+    def test_openmp_modest_gain_over_sequential(self, table1_sphere):
+        t = table1_sphere
+        assert 1.1 < t["fastpso-seq"] / t["fastpso-omp"] < 3.0
+
+    def test_hetero_slower_than_pure_gpu(self, table1_sphere):
+        assert table1_sphere["hgpu-pso"] > table1_sphere["gpu-pso"]
+
+    def test_absolute_times_near_paper(self, table1_sphere):
+        """Sphere column of Table 1, generous bands around the paper."""
+        t = table1_sphere
+        assert 0.3 < t["fastpso"] < 1.5  # paper 0.67
+        assert 2.5 < t["gpu-pso"] < 10.0  # paper 4.90
+        assert 6.0 < t["fastpso-seq"] < 25.0  # paper 11.56
+        assert 60.0 < t["pyswarms"] < 260.0  # paper 129.67
+
+
+class TestTable2Bands:
+    @pytest.fixture(scope="class")
+    def errors(self):
+        out = {}
+        for engine in ("pyswarms", "scikit-opt", "fastpso", "gpu-pso"):
+            problem = Problem.from_benchmark("sphere", SCALE.error_dim)
+            r = make_engine(engine).optimize(
+                problem,
+                n_particles=SCALE.error_particles,
+                max_iter=SCALE.error_iters,
+            )
+            out[engine] = r.error
+        return out
+
+    def test_libraries_orders_of_magnitude_worse(self, errors):
+        assert errors["pyswarms"] > 10 * errors["fastpso"]
+        assert errors["scikit-opt"] > 10 * errors["fastpso"]
+
+    def test_gpu_baseline_matches_fastpso_quality(self, errors):
+        assert errors["gpu-pso"] == pytest.approx(errors["fastpso"], rel=0.5)
+
+
+class TestFigure4Bands:
+    def test_fastpso_flat_in_particles_cpu_grows(self):
+        problem = build_problem("sphere", 50)
+        ratios = {}
+        for engine in ("fastpso", "fastpso-seq"):
+            t_small = timed_run(
+                engine, problem, n_particles=2000, full_iters=2000,
+                sample_iters=2,
+            ).projected_seconds
+            t_big = timed_run(
+                engine, problem, n_particles=5000, full_iters=2000,
+                sample_iters=2,
+            ).projected_seconds
+            ratios[engine] = t_big / t_small
+        assert ratios["fastpso"] < 1.8  # near flat
+        assert ratios["fastpso-seq"] > 2.0  # ~linear in 2.5x particles
+
+    def test_fastpso_flat_in_dimensions_cpu_grows(self):
+        ratios = {}
+        for engine in ("fastpso", "fastpso-seq"):
+            t = {}
+            for d in (50, 200):
+                problem = build_problem("sphere", d)
+                t[d] = timed_run(
+                    engine, problem, n_particles=2000, full_iters=2000,
+                    sample_iters=2,
+                ).projected_seconds
+            ratios[engine] = t[200] / t[50]
+        assert ratios["fastpso"] < 2.5
+        assert ratios["fastpso-seq"] > 3.0  # ~linear in 4x dimensions
+
+
+class TestFigure5Bands:
+    def test_cpu_time_dominated_by_swarm_update(self):
+        problem = build_problem("sphere", SCALE.timing_dim)
+        tr = timed_run(
+            "fastpso-seq", problem, n_particles=SCALE.timing_particles,
+            full_iters=SCALE.timing_iters, sample_iters=2,
+        )
+        steps = tr.projected_steps
+        assert steps.swarm / steps.total > 0.8
+
+    def test_fastpso_swarm_update_far_below_cpu(self):
+        problem = build_problem("sphere", SCALE.timing_dim)
+        gpu = timed_run(
+            "fastpso", problem, n_particles=SCALE.timing_particles,
+            full_iters=SCALE.timing_iters, sample_iters=2,
+        ).projected_steps.swarm
+        cpu = timed_run(
+            "fastpso-seq", problem, n_particles=SCALE.timing_particles,
+            full_iters=SCALE.timing_iters, sample_iters=2,
+        ).projected_steps.swarm
+        assert cpu / gpu > 15
+        assert cpu > 5.0  # paper: >10 s for the sequential port
+
+
+class TestTable3Bands:
+    def test_fastpso_doubles_baseline_read_throughput(self):
+        problem = build_problem("sphere", SCALE.timing_dim)
+        throughput = {}
+        for engine_name in ("gpu-pso", "fastpso"):
+            engine = make_engine(engine_name)
+            engine.optimize(
+                problem, n_particles=SCALE.timing_particles, max_iter=2
+            )
+            throughput[engine_name] = (
+                engine.profile_report().dram_read_throughput_gbs
+            )
+        assert throughput["fastpso"] > 1.6 * throughput["gpu-pso"]
+        assert 80 < throughput["fastpso"] < 160  # paper: 106.94 GB/s
+
+
+class TestTable4Bands:
+    def test_caching_gain_in_paper_band(self):
+        from repro.engines import FastPSOEngine
+
+        problem = build_problem("sphere", SCALE.timing_dim)
+        t = {}
+        for caching in (True, False):
+            t[caching] = timed_run(
+                FastPSOEngine(caching=caching), problem,
+                n_particles=SCALE.timing_particles,
+                full_iters=SCALE.timing_iters, sample_iters=2,
+            ).projected_seconds
+        gain = 100.0 * (t[False] / t[True] - 1.0)
+        assert 2.0 < gain < 9.0  # paper: 3.7-5.1 %

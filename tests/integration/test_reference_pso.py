@@ -1,0 +1,121 @@
+"""Oracle test: an independent, loop-based textbook PSO.
+
+The vectorised numerics in :mod:`repro.core.swarm` are re-implemented here
+with explicit per-particle / per-dimension Python loops, straight from the
+paper's Equations (1), (2) and (5) and Algorithm 1's control flow.  The
+engines must match this oracle's trajectory *exactly* — any broadcasting,
+ordering or in-place-aliasing mistake in the fast path shows up as a
+mismatch against this deliberately slow reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.core.swarm import INIT_VELOCITY_FRACTION
+from repro.engines import FastPSOEngine, SequentialEngine
+from repro.gpusim.rng import ParallelRNG
+
+
+def reference_pso(problem, n, max_iter, params):
+    """Textbook PSO with explicit loops; mirrors the engines' RNG order."""
+    rng = ParallelRNG(params.seed)
+    d = problem.dim
+    lo = problem.lower_bounds.astype(np.float32)
+    width = problem.domain_width.astype(np.float32)
+
+    # init draws: positions then velocities, row-major, same dtype path
+    unit_p = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32)
+    positions = lo + unit_p * width
+    unit_v = rng.uniform((n, d), -1.0, 1.0, dtype=np.float32)
+    velocities = (np.float32(INIT_VELOCITY_FRACTION) * width) * unit_v
+
+    pbest_val = np.full(n, np.inf)
+    pbest_pos = positions.copy()
+    gbest_val = np.inf
+    gbest_pos = np.zeros(d, dtype=np.float32)
+
+    w = np.float32(params.inertia)
+    c1 = np.float32(params.cognitive)
+    c2 = np.float32(params.social)
+    base_bound = (params.velocity_clamp * problem.domain_width).astype(
+        np.float64
+    )
+
+    for t in range(max_iter):
+        # evaluation + best updates (Algorithm 1 lines 5-13)
+        values = problem.evaluator.evaluate(positions)
+        for i in range(n):
+            if values[i] < pbest_val[i]:
+                pbest_val[i] = values[i]
+                pbest_pos[i] = positions[i]
+        idx = int(np.argmin(pbest_val))
+        if pbest_val[idx] < gbest_val:
+            gbest_val = float(pbest_val[idx])
+            gbest_pos = pbest_pos[idx].copy()
+
+        # adaptive Eq. (5) bound at this progress
+        progress = t / max(1, max_iter - 1)
+        frac = 1.0 - (1.0 - params.final_velocity_fraction) * progress
+        bound = (base_bound * frac).astype(np.float32)
+
+        # weight matrices: L then G, full matrices (the engines' order)
+        l_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32)
+        g_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32)
+
+        # Eq. (1)/(5)/(2), element by element, float32 arithmetic
+        for i in range(n):
+            for j in range(d):
+                v = (
+                    w * velocities[i, j]
+                    + c1 * (l_mat[i, j] * (pbest_pos[i, j] - positions[i, j]))
+                    + c2 * (g_mat[i, j] * (gbest_pos[j] - positions[i, j]))
+                )
+                v = np.float32(v)
+                if v < -bound[j]:
+                    v = -bound[j]
+                elif v > bound[j]:
+                    v = bound[j]
+                velocities[i, j] = v
+                positions[i, j] = np.float32(positions[i, j] + v)
+
+    return gbest_val, gbest_pos
+
+
+@pytest.mark.parametrize("function,dim", [("sphere", 5), ("rastrigin", 3)])
+def test_engines_match_loop_reference(function, dim):
+    problem = Problem.from_benchmark(function, dim)
+    params = PSOParams(seed=2718)
+    n, iters = 12, 15
+
+    ref_val, ref_pos = reference_pso(problem, n, iters, params)
+
+    for engine in (SequentialEngine(), FastPSOEngine()):
+        result = engine.optimize(
+            problem, n_particles=n, max_iter=iters, params=params
+        )
+        assert result.best_value == ref_val, engine.name
+        np.testing.assert_array_equal(
+            result.best_position.astype(np.float32), ref_pos
+        )
+
+
+def test_reference_matches_without_clamping():
+    problem = Problem.from_benchmark("sphere", 4)
+    params = PSOParams(seed=7, velocity_clamp=None)
+
+    # Reference without clamping: strip the bound logic by making it huge.
+    class NoClampParams:
+        seed = params.seed
+        inertia = params.inertia
+        cognitive = params.cognitive
+        social = params.social
+        velocity_clamp = 1e30
+        final_velocity_fraction = 1.0
+
+    ref_val, _ = reference_pso(problem, 8, 10, NoClampParams)
+    result = SequentialEngine().optimize(
+        problem, n_particles=8, max_iter=10, params=params
+    )
+    assert result.best_value == pytest.approx(ref_val, rel=1e-6)

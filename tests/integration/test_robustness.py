@@ -1,0 +1,87 @@
+"""Robustness sweeps: the optimizer must stay finite and sane across the
+whole legal parameter space and under composed function transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine
+from repro.functions import Sphere, get_function
+from repro.functions.transforms import Rotated, Shifted, random_rotation
+
+
+@given(
+    inertia=st.floats(0.0, 2.0),
+    cognitive=st.floats(0.0, 4.0),
+    social=st.floats(0.1, 4.0),
+    clamp=st.one_of(st.none(), st.floats(0.05, 2.0)),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_legal_parameters_yield_finite_results(
+    inertia, cognitive, social, clamp, seed
+):
+    params = PSOParams(
+        inertia=inertia,
+        cognitive=cognitive,
+        social=social,
+        velocity_clamp=clamp,
+        seed=seed,
+    )
+    problem = Problem.from_benchmark("sphere", 6)
+    result = FastPSOEngine().optimize(
+        problem, n_particles=16, max_iter=15, params=params
+    )
+    assert np.isfinite(result.best_value)
+    assert result.best_value >= 0.0  # sphere is non-negative
+    assert np.all(np.isfinite(result.best_position))
+
+
+@given(
+    topology=st.sampled_from(["global", "ring"]),
+    init=st.sampled_from(["uniform", "opposition", "center"]),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_strategy_combinations(topology, init, seed):
+    params = PSOParams(seed=seed, topology=topology, init_strategy=init)
+    problem = Problem.from_benchmark("rastrigin", 5)
+    result = FastPSOEngine().optimize(
+        problem, n_particles=20, max_iter=20, params=params
+    )
+    assert np.isfinite(result.best_value)
+
+
+class TestTransformComposition:
+    def test_shift_of_rotation(self, rng_np):
+        q = random_rotation(4, seed=5)
+        offset = np.array([0.5, -0.5, 1.0, 0.0])
+        fn = Shifted(Rotated(Sphere(), q), offset)
+        x_star = fn.true_minimum_position(4)
+        assert fn.evaluate(x_star[np.newaxis, :])[0] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_rotation_of_shift(self):
+        q = random_rotation(3, seed=6)
+        fn = Rotated(Shifted(Sphere(), np.ones(3)), q)
+        x_star = fn.true_minimum_position(3)
+        assert fn.evaluate(x_star[np.newaxis, :])[0] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_double_shift_adds_offsets(self):
+        fn = Shifted(Shifted(Sphere(), np.ones(2)), np.full(2, 2.0))
+        np.testing.assert_allclose(fn.true_minimum_position(2), 3.0)
+
+    def test_optimizer_solves_composed_problem(self):
+        q = random_rotation(5, seed=7)
+        fn = Shifted(Rotated(get_function("sphere"), q), np.full(5, 1.5))
+        problem = Problem.from_benchmark(fn, 5)
+        result = FastPSOEngine().optimize(
+            problem, n_particles=128, max_iter=200, params=PSOParams(seed=3)
+        )
+        assert result.best_value < 1.0

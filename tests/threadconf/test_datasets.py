@@ -1,0 +1,48 @@
+"""Dataset descriptors for the ThunderGBM case study."""
+
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.threadconf.datasets import DATASETS, DatasetSpec, get_dataset
+
+
+class TestPaperDatasets:
+    def test_all_four_present(self):
+        assert set(DATASETS) == {"covtype", "susy", "higgs", "e2006"}
+
+    def test_table5_shapes(self):
+        assert DATASETS["covtype"].n_samples == 581_012
+        assert DATASETS["covtype"].n_features == 54
+        assert DATASETS["susy"].n_samples == 5_000_000
+        assert DATASETS["higgs"].n_samples == 11_000_000
+        assert DATASETS["e2006"].n_features == 150_361
+
+    def test_e2006_is_sparse(self):
+        assert DATASETS["e2006"].density < 0.05
+        assert DATASETS["covtype"].density == 1.0
+
+    def test_nnz_respects_density(self):
+        ds = DATASETS["e2006"]
+        assert ds.nnz == int(ds.n_samples * ds.n_features * ds.density)
+        assert ds.nnz < ds.n_samples * ds.n_features
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("HIGGS").name == "higgs"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidProblemError, match="unknown dataset"):
+            get_dataset("mnist")
+
+
+class TestValidation:
+    def test_positive_shapes_required(self):
+        with pytest.raises(InvalidProblemError):
+            DatasetSpec("x", 0, 10)
+        with pytest.raises(InvalidProblemError):
+            DatasetSpec("x", 10, 0)
+
+    def test_density_range(self):
+        with pytest.raises(InvalidProblemError):
+            DatasetSpec("x", 10, 10, density=0.0)
+        with pytest.raises(InvalidProblemError):
+            DatasetSpec("x", 10, 10, density=1.5)

@@ -1,0 +1,131 @@
+"""ThunderGBM kernel catalog and configuration-dependent latency."""
+
+import math
+
+import pytest
+
+from repro.gpusim.device import tesla_v100
+from repro.threadconf.datasets import get_dataset
+from repro.threadconf.kernels import (
+    DEFAULT_EPT,
+    DEFAULT_TPB,
+    EPT_CHOICES,
+    KERNEL_CATALOG,
+    TPB_CHOICES,
+    kernel_latency,
+)
+
+
+def find_kernel(name):
+    for k in KERNEL_CATALOG:
+        if k.name == name:
+            return k
+    raise KeyError(name)
+
+
+class TestCatalog:
+    def test_exactly_25_kernels(self):
+        assert len(KERNEL_CATALOG) == 25
+
+    def test_names_unique(self):
+        names = [k.name for k in KERNEL_CATALOG]
+        assert len(set(names)) == 25
+
+    def test_frequencies_valid(self):
+        assert {k.frequency for k in KERNEL_CATALOG} == {"once", "tree", "level"}
+
+    def test_hot_path_has_level_kernels(self):
+        level = [k for k in KERNEL_CATALOG if k.frequency == "level"]
+        assert len(level) >= 8
+
+    def test_defaults_in_choice_sets(self):
+        assert DEFAULT_TPB in TPB_CHOICES
+        assert DEFAULT_EPT in EPT_CHOICES
+
+    def test_workloads_positive(self):
+        ds = get_dataset("covtype")
+        for k in KERNEL_CATALOG:
+            assert k.workload(ds, 8) > 0
+
+    def test_spec_scales_smem_with_block(self):
+        k = find_kernel("hist_build")
+        assert k.spec(256).shared_mem_per_block == 2 * k.spec(128).shared_mem_per_block
+
+
+class TestContention:
+    def test_histogram_kernel_contends_on_narrow_datasets(self):
+        hist = find_kernel("hist_build")
+        susy, covtype = get_dataset("susy"), get_dataset("covtype")
+        assert hist.contention_factor(susy, 512) > hist.contention_factor(
+            covtype, 512
+        )
+
+    def test_contention_grows_with_block_size(self):
+        hist = find_kernel("hist_build")
+        susy = get_dataset("susy")
+        factors = [hist.contention_factor(susy, t) for t in TPB_CHOICES]
+        assert factors == sorted(factors)
+
+    def test_non_histogram_kernels_do_not_contend(self):
+        grad = find_kernel("gradient_compute")
+        assert grad.contention_factor(get_dataset("susy"), 1024) == 1.0
+
+    def test_stride_penalty_only_for_bin_strided(self):
+        gain = find_kernel("gain_compute")
+        grad = find_kernel("gradient_compute")
+        assert gain.stride_factor(8) > 1.0
+        assert gain.stride_factor(1) == 1.0
+        assert grad.stride_factor(8) == 1.0
+
+
+class TestKernelLatency:
+    def _k(self):
+        return find_kernel("gradient_compute")
+
+    def test_zero_workload_is_free(self):
+        assert kernel_latency(self._k(), 0, 256, 1, tesla_v100()) == 0.0
+
+    def test_latency_positive_and_finite(self):
+        lat = kernel_latency(self._k(), 1_000_000, 256, 1, tesla_v100())
+        assert 0 < lat < 1.0
+
+    def test_illegal_config_returns_inf(self):
+        from repro.threadconf.kernels import TgbmKernel
+
+        heavy = TgbmKernel(
+            "reg_hog", lambda ds, nodes: ds.n_samples, "level",
+            registers_per_thread=128,
+        )
+        # 128 regs x 1024 threads = 131072 registers > the 65536 file.
+        lat = kernel_latency(heavy, 1_000_000, 1024, 1, tesla_v100())
+        assert math.isinf(lat)
+
+    def test_catalog_has_legal_option_for_every_kernel(self):
+        """At least one (tpb, ept) choice must be launchable per kernel."""
+        device = tesla_v100()
+        for k in KERNEL_CATALOG:
+            latencies = [
+                kernel_latency(k, 100_000, tpb, ept, device)
+                for tpb in TPB_CHOICES
+                for ept in EPT_CHOICES
+            ]
+            assert any(math.isfinite(v) for v in latencies), k.name
+
+    def test_latency_scales_with_workload(self):
+        small = kernel_latency(self._k(), 100_000, 256, 1, tesla_v100())
+        large = kernel_latency(self._k(), 10_000_000, 256, 1, tesla_v100())
+        assert large > small
+
+    def test_dataset_changes_histogram_latency(self):
+        hist = find_kernel("hist_build")
+        base = kernel_latency(hist, 1_000_000, 512, 1, tesla_v100())
+        contended = kernel_latency(
+            hist, 1_000_000, 512, 1, tesla_v100(), dataset=get_dataset("susy")
+        )
+        assert contended > base
+
+    def test_ept_affects_bin_strided_kernels(self):
+        gain = find_kernel("gain_compute")
+        fast = kernel_latency(gain, 10_000_000, 256, 1, tesla_v100())
+        slow = kernel_latency(gain, 10_000_000, 256, 8, tesla_v100())
+        assert slow > fast

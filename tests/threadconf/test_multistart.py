@@ -1,0 +1,40 @@
+"""Multi-start opposition-based tuning (Kaucic-style extension)."""
+
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.threadconf import TgbmSimulator, tune, tune_multistart
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return TgbmSimulator("susy")
+
+
+class TestMultistart:
+    def test_never_worse_than_single_start(self, sim):
+        single = tune("susy", simulator=sim, n_particles=48, max_iter=12, seed=7)
+        multi = tune_multistart(
+            "susy", simulator=sim, n_starts=3, n_particles=48, max_iter=12,
+            seed=7,
+        )
+        assert multi.tuned_seconds <= single.tuned_seconds + 1e-12
+
+    def test_respects_default_floor(self, sim):
+        multi = tune_multistart(
+            "susy", simulator=sim, n_starts=2, n_particles=16, max_iter=3
+        )
+        assert multi.tuned_seconds <= multi.default_seconds
+        assert multi.speedup >= 1.0
+
+    def test_single_start_degenerates_to_tune(self, sim):
+        a = tune("susy", simulator=sim, n_particles=32, max_iter=8, seed=5)
+        b = tune_multistart(
+            "susy", simulator=sim, n_starts=1, n_particles=32, max_iter=8,
+            seed=5,
+        )
+        assert a.tuned_seconds == b.tuned_seconds
+
+    def test_validation(self, sim):
+        with pytest.raises(InvalidProblemError):
+            tune_multistart("susy", simulator=sim, n_starts=0)

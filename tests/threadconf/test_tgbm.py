@@ -1,0 +1,89 @@
+"""TgbmSimulator: cost tables and training-time contraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.threadconf.kernels import EPT_CHOICES, TPB_CHOICES
+from repro.threadconf.tgbm import TgbmSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return TgbmSimulator("covtype")
+
+
+class TestConstruction:
+    def test_accepts_name_or_spec(self):
+        from repro.threadconf.datasets import get_dataset
+
+        a = TgbmSimulator("susy")
+        b = TgbmSimulator(get_dataset("susy"))
+        assert a.dataset == b.dataset
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TgbmSimulator("covtype", n_trees=0)
+        with pytest.raises(InvalidParameterError):
+            TgbmSimulator("covtype", depth=0)
+
+    def test_table_shape(self, sim):
+        assert sim.cost_tables.shape == (25, len(TPB_CHOICES), len(EPT_CHOICES))
+
+    def test_tables_read_only(self, sim):
+        with pytest.raises(ValueError):
+            sim.cost_tables[0, 0, 0] = 1.0
+
+
+class TestTrainTime:
+    def test_default_time_positive(self, sim):
+        assert sim.default_train_time() > 0
+
+    def test_default_at_least_best(self, sim):
+        assert sim.default_train_time() >= sim.best_table_time()
+
+    def test_scalar_and_batch_agree(self, sim):
+        tpb, ept = sim.default_indices()
+        scalar = sim.train_time_indices(tpb, ept)
+        batch = sim.train_time_indices(
+            np.stack([tpb, tpb]), np.stack([ept, ept])
+        )
+        assert batch.shape == (2,)
+        assert batch[0] == pytest.approx(scalar)
+
+    def test_more_trees_cost_more(self):
+        short = TgbmSimulator("covtype", n_trees=10).default_train_time()
+        long = TgbmSimulator("covtype", n_trees=40).default_train_time()
+        assert long > 2 * short
+
+    def test_deeper_trees_cost_more(self):
+        shallow = TgbmSimulator("covtype", depth=3).default_train_time()
+        deep = TgbmSimulator("covtype", depth=6).default_train_time()
+        assert deep > shallow
+
+    def test_bigger_dataset_costs_more(self):
+        assert (
+            TgbmSimulator("higgs").default_train_time()
+            > TgbmSimulator("covtype").default_train_time()
+        )
+
+    def test_index_validation(self, sim):
+        tpb, ept = sim.default_indices()
+        with pytest.raises(InvalidParameterError):
+            sim.train_time_indices(tpb[:-1], ept[:-1])
+        with pytest.raises(InvalidParameterError):
+            sim.train_time_indices(tpb, ept[:-1])
+        bad = tpb.copy()
+        bad[0] = len(TPB_CHOICES)
+        with pytest.raises(InvalidParameterError):
+            sim.train_time_indices(bad, ept)
+
+    def test_describe_config(self, sim):
+        desc = sim.describe_config(*sim.default_indices())
+        assert len(desc) == 25
+        assert all(tpb in TPB_CHOICES and ept in EPT_CHOICES for _, tpb, ept in desc)
+
+    def test_paper_scale_training_times(self):
+        """Absolute times land in the paper's Table 5 neighbourhood."""
+        assert 0.4 < TgbmSimulator("covtype").default_train_time() < 2.0
+        assert 5.0 < TgbmSimulator("higgs").default_train_time() < 20.0

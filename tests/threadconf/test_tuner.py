@@ -1,0 +1,101 @@
+"""ThreadConf problem construction and the Table 5 tuning driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.threadconf.tgbm import TgbmSimulator
+from repro.threadconf.tuner import (
+    ThreadConfEvaluation,
+    _decode_columns,
+    make_threadconf_problem,
+    tune,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return TgbmSimulator("covtype")
+
+
+class TestDecode:
+    def test_shape(self, sim):
+        p = np.random.default_rng(0).uniform(0, 1, (7, 50))
+        tpb, ept = _decode_columns(p, sim.n_kernels)
+        assert tpb.shape == (7, 25) and ept.shape == (7, 25)
+
+    def test_bins_cover_all_choices(self, sim):
+        p = np.linspace(0, 0.9999, 6)[:, np.newaxis] * np.ones((6, 50))
+        tpb, _ = _decode_columns(p, sim.n_kernels)
+        assert set(np.unique(tpb)) == set(range(6))
+
+    def test_out_of_domain_positions_clipped(self, sim):
+        p = np.full((1, 50), 99.0)
+        tpb, ept = _decode_columns(p, sim.n_kernels)
+        assert np.all(tpb == 5) and np.all(ept == 3)
+        p = np.full((1, 50), -99.0)
+        tpb, ept = _decode_columns(p, sim.n_kernels)
+        assert np.all(tpb == 0) and np.all(ept == 0)
+
+    def test_higher_dims_tile_kernels(self, sim):
+        p = np.zeros((1, 100))  # 50 pairs over 25 kernels
+        tpb, ept = _decode_columns(p, sim.n_kernels)
+        assert tpb.shape == (1, 25)
+
+
+class TestProblem:
+    def test_default_is_50_dim(self, sim):
+        problem = make_threadconf_problem(simulator=sim)
+        assert problem.dim == 50
+        assert problem.name == "threadconf"
+
+    def test_unit_cube_bounds(self, sim):
+        problem = make_threadconf_problem(simulator=sim)
+        assert np.all(problem.lower_bounds == 0.0)
+        assert np.all(problem.upper_bounds == 1.0)
+
+    def test_odd_dim_rejected(self, sim):
+        with pytest.raises(InvalidProblemError, match="even"):
+            make_threadconf_problem(simulator=sim, dim=51)
+
+    def test_other_even_dims_work(self, sim):
+        for dim in (2, 10, 100, 200):
+            problem = make_threadconf_problem(simulator=sim, dim=dim)
+            p = np.random.default_rng(1).uniform(0, 1, (4, dim))
+            vals = problem.evaluator.evaluate(p)
+            assert vals.shape == (4,)
+            assert np.all(np.isfinite(vals) | np.isinf(vals))
+
+    def test_evaluation_matches_simulator(self, sim):
+        schema = ThreadConfEvaluation(sim, 50)
+        p = np.random.default_rng(2).uniform(0, 1, (5, 50))
+        vals = schema.evaluate(p)
+        tpb, ept = _decode_columns(p, sim.n_kernels)
+        expected = sim.train_time_indices(tpb, ept)
+        np.testing.assert_allclose(vals, expected)
+
+    def test_reference_is_table_lower_bound(self, sim):
+        problem = make_threadconf_problem(simulator=sim)
+        assert problem.reference_value == pytest.approx(sim.best_table_time())
+
+    def test_tiny_dim_rejected(self, sim):
+        with pytest.raises(InvalidProblemError):
+            ThreadConfEvaluation(sim, 1)
+
+
+class TestTune:
+    def test_tuned_never_worse_than_default(self, sim):
+        res = tune("covtype", simulator=sim, n_particles=32, max_iter=10)
+        assert res.tuned_seconds <= res.default_seconds
+        assert res.speedup >= 1.0
+
+    def test_narrow_feature_dataset_gains(self):
+        """susy's contended histograms leave headroom PSO must find."""
+        res = tune("susy", n_particles=96, max_iter=30)
+        assert res.speedup > 1.05
+
+    def test_result_fields(self, sim):
+        res = tune("covtype", simulator=sim, n_particles=32, max_iter=10)
+        assert res.dataset == "covtype"
+        assert res.best_position.shape == (50,)
+        assert res.iterations == 10

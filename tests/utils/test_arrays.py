@@ -1,0 +1,75 @@
+"""Array validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.utils.arrays import (
+    as_float_matrix,
+    as_float_vector,
+    check_finite,
+    ensure_2d,
+)
+
+
+class TestAsFloatVector:
+    def test_list_coerced(self):
+        v = as_float_vector([1, 2, 3])
+        assert v.dtype == np.float64
+        assert v.flags["C_CONTIGUOUS"]
+
+    def test_scalar_broadcast_with_dim(self):
+        v = as_float_vector(2.5, dim=4)
+        np.testing.assert_allclose(v, [2.5] * 4)
+
+    def test_length_enforced(self):
+        with pytest.raises(InvalidProblemError, match="length 3"):
+            as_float_vector([1.0, 2.0], name="bounds", dim=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidProblemError, match="1-D"):
+            as_float_vector(np.zeros((2, 2)))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(InvalidProblemError, match="not numeric"):
+            as_float_vector(["a", "b"])
+
+    def test_custom_dtype(self):
+        assert as_float_vector([1], dtype=np.float32).dtype == np.float32
+
+
+class TestAsFloatMatrix:
+    def test_shape_enforced(self):
+        with pytest.raises(InvalidProblemError, match="shape"):
+            as_float_matrix(np.zeros((2, 3)), shape=(3, 2))
+
+    def test_1d_rejected(self):
+        with pytest.raises(InvalidProblemError, match="2-D"):
+            as_float_matrix(np.zeros(4))
+
+    def test_passthrough(self):
+        m = as_float_matrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2) and m.dtype == np.float64
+
+
+class TestEnsure2d:
+    def test_vector_becomes_row(self):
+        assert ensure_2d(np.zeros(5)).shape == (1, 5)
+
+    def test_matrix_unchanged(self):
+        m = np.zeros((3, 4))
+        assert ensure_2d(m) is m
+
+    def test_3d_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            ensure_2d(np.zeros((2, 2, 2)))
+
+
+class TestCheckFinite:
+    def test_clean_array_passes_through(self):
+        a = np.ones(3)
+        assert check_finite(a) is a
+
+    def test_nan_counted_in_message(self):
+        with pytest.raises(InvalidProblemError, match="2 non-finite"):
+            check_finite(np.array([1.0, np.nan, np.inf]))

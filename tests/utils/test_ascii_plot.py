@@ -1,0 +1,87 @@
+"""ASCII chart rendering for the figure drivers."""
+
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_glyphs(self):
+        text = line_chart(
+            {"fastpso": [0.1, 0.1], "pyswarms": [10.0, 20.0]},
+            x_labels=[2000, 5000],
+        )
+        assert "o=fastpso" in text
+        assert "x=pyswarms" in text
+        assert "2000" in text and "5000" in text
+
+    def test_log_axis_orders_series_vertically(self):
+        text = line_chart(
+            {"slow": [100.0, 100.0], "fast": [0.1, 0.1]},
+            x_labels=["a", "b"],
+            height=8,
+        )
+        lines = text.splitlines()
+        # first series ("slow") gets glyph 'o', second ("fast") gets 'x'
+        slow_row = next(i for i, l in enumerate(lines) if "o" in l and "|" in l)
+        fast_row = next(
+            i for i, l in enumerate(lines) if "x" in l and "|" in l and "o" not in l
+        )
+        assert slow_row < fast_row  # bigger values plotted higher
+
+    def test_mismatched_axis_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            line_chart({"a": [1.0]}, x_labels=[1, 2])
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            line_chart({"a": [0.0, 1.0]}, x_labels=[1, 2])
+
+    def test_linear_axis_supported(self):
+        text = line_chart(
+            {"a": [0.0, 5.0]}, x_labels=[1, 2], log_y=False
+        )
+        assert "[s]" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, x_labels=[])
+
+    def test_title(self):
+        assert line_chart(
+            {"a": [1.0]}, x_labels=[1], title="My Chart"
+        ).startswith("My Chart")
+
+
+class TestBarChart:
+    def test_longest_bar_is_maximum(self):
+        text = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 2
+
+    def test_values_annotated(self):
+        text = bar_chart({"x": 0.123})
+        assert "0.123" in text
+
+    def test_log_mode(self):
+        text = bar_chart({"a": 0.01, "b": 100.0}, log=True, width=30)
+        a_len = text.splitlines()[0].count("#")
+        b_len = text.splitlines()[1].count("#")
+        assert 0 < a_len < b_len
+
+    def test_zero_values_linear_ok(self):
+        text = bar_chart({"a": 0.0, "b": 1.0})
+        assert "a" in text
+
+    def test_log_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0}, log=True)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

@@ -1,0 +1,78 @@
+"""Result serialization round trips and CSV writing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine
+from repro.errors import BenchmarkError
+from repro.io import (
+    load_result_json,
+    result_from_dict,
+    result_to_dict,
+    save_result_json,
+    write_rows_csv,
+)
+
+
+@pytest.fixture
+def result(small_params):
+    problem = Problem.from_benchmark("sphere", 8)
+    return FastPSOEngine().optimize(
+        problem,
+        n_particles=16,
+        max_iter=10,
+        params=small_params,
+        record_history=True,
+    )
+
+
+class TestJsonRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back.engine == result.engine
+        assert back.best_value == result.best_value
+        np.testing.assert_allclose(back.best_position, result.best_position)
+        assert back.step_times == result.step_times
+        assert back.history.gbest_values == result.history.gbest_values
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = save_result_json(result, tmp_path / "run.json")
+        back = load_result_json(path)
+        assert back.elapsed_seconds == result.elapsed_seconds
+
+    def test_payload_is_plain_json(self, result, tmp_path):
+        path = save_result_json(result, tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["best_position"], list)
+        assert payload["format_version"] == 1
+
+    def test_history_optional(self, result):
+        payload = result_to_dict(result)
+        del payload["history"]
+        back = result_from_dict(payload)
+        assert back.history is None
+
+    def test_version_mismatch_rejected(self, result):
+        payload = result_to_dict(result)
+        payload["format_version"] = 99
+        with pytest.raises(BenchmarkError, match="version"):
+            result_from_dict(payload)
+
+
+class TestCsv:
+    def test_write_and_readback(self, tmp_path):
+        path = write_rows_csv(
+            tmp_path / "grid.csv",
+            ["engine", "seconds"],
+            [["fastpso", 0.67], ["gpu-pso", 4.9]],
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "engine,seconds"
+        assert lines[1] == "fastpso,0.67"
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="row width"):
+            write_rows_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])

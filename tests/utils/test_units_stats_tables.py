@@ -1,0 +1,95 @@
+"""Units, statistics and table formatting helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import (
+    geometric_mean,
+    speedup,
+    summarize_repeats,
+)
+from repro.utils.tables import format_table
+from repro.utils.units import format_bytes, format_seconds, gb_per_s
+
+
+class TestUnits:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512 B"),
+            (4 * 1024**2, "4.00 MiB"),
+            (3 * 1024**3, "3.00 GiB"),
+            (-2048, "-2.00 KiB"),
+        ],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (90.0, "1.50 min"),
+            (1.5, "1.500 s"),
+            (2e-3, "2.000 ms"),
+            (3e-6, "3.000 us"),
+            (5e-9, "5.0 ns"),
+        ],
+    )
+    def test_format_seconds(self, t, expected):
+        assert format_seconds(t) == expected
+
+    def test_gb_per_s(self):
+        assert gb_per_s(2e9, 1.0) == pytest.approx(2.0)
+        assert gb_per_s(1e9, 0.0) == 0.0
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        stats = summarize_repeats([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert stats.n == 3
+        assert stats.std == pytest.approx(math.sqrt(2 / 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_repeats([])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) == math.inf
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "t"],
+            [["fastpso", 0.6666], ["gpu-pso", 4.9]],
+            float_fmt=".2f",
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.67" in text and "4.90" in text
+
+    def test_title_rendered(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_none_renders_as_dash(self):
+        assert "-" in format_table(["a"], [[None]])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_strings_not_float_formatted(self):
+        text = format_table(["a"], [["99.5%"]])
+        assert "99.5%" in text
