@@ -1,0 +1,107 @@
+"""Host wall-clock benchmark for the fast-path work (ISSUE 1).
+
+Measures *host* seconds — real time spent running the simulator, not
+simulated GPU seconds — for a fixed seeded Table-1-style workload:
+``sphere`` in d=50, n=2000 particles, 200 iterations, on ``fastpso`` plus
+one CPU baseline (``fastpso-seq``).  The simulated results (best value,
+simulated ``elapsed_seconds``) are recorded alongside so a perf change that
+accidentally perturbs trajectories is immediately visible in the JSON diff.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--out BENCH_wallclock.json]
+
+The committed ``BENCH_wallclock.json`` tracks the perf trajectory from PR 1
+onward; CI runs a smoke version (fewer iterations) to keep the signal alive
+without slowing the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.problem import Problem
+from repro.engines import make_engine
+
+WORKLOAD = {
+    "problem": "sphere",
+    "dim": 50,
+    "n_particles": 2000,
+    "max_iter": 200,
+    "seed": 42,
+}
+ENGINES = ("fastpso", "fastpso-seq")
+REPEATS = 3
+
+
+def bench_engine(
+    name: str, *, dim: int, n_particles: int, max_iter: int, repeats: int = REPEATS
+) -> dict:
+    """Best-of-*repeats* host wall time for one engine on the fixed workload."""
+    problem = Problem.from_benchmark(WORKLOAD["problem"], dim)
+    walls = []
+    result = None
+    for _ in range(repeats):
+        engine = make_engine(name)  # fresh engine: no warm caches carried over
+        t0 = time.perf_counter()
+        result = engine.optimize(
+            problem, n_particles=n_particles, max_iter=max_iter
+        )
+        walls.append(time.perf_counter() - t0)
+    return {
+        "wall_seconds": min(walls),
+        "wall_seconds_all": walls,
+        "simulated_seconds": result.elapsed_seconds,
+        "best_value": result.best_value,
+        "iterations": result.iterations,
+    }
+
+
+def run(max_iter: int, repeats: int) -> dict:
+    payload = {
+        "workload": {**WORKLOAD, "max_iter": max_iter},
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engines": {},
+    }
+    for name in ENGINES:
+        payload["engines"][name] = bench_engine(
+            name,
+            dim=WORKLOAD["dim"],
+            n_particles=WORKLOAD["n_particles"],
+            max_iter=max_iter,
+            repeats=repeats,
+        )
+        e = payload["engines"][name]
+        print(
+            f"{name:12s} wall={e['wall_seconds']:.3f}s "
+            f"simulated={e['simulated_seconds']:.6f}s best={e['best_value']:.6g}"
+        )
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_wallclock.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--iters",
+        type=int,
+        default=WORKLOAD["max_iter"],
+        help="iteration count (CI smoke runs use a smaller value)",
+    )
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    args = parser.parse_args()
+    payload = run(args.iters, args.repeats)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,7 +61,9 @@ def run(scale: BenchScale | None = None) -> Table3Result:
     problem = build_problem("sphere", scale.timing_dim)
     read, write, rate, per_iter = {}, {}, {}, {}
     for name in GPU_ENGINES:
-        engine = make_engine(name)
+        # Full per-launch records keep the nvprof-style totals identical to
+        # the pre-aggregation profiler (summation order down to the ulp).
+        engine = make_engine(name, record_launches=True)
         tr = timed_run(
             engine,
             problem,

@@ -24,6 +24,7 @@ from repro.core.problem import Problem
 from repro.core.results import History, OptimizeResult, StepTimes
 from repro.core.stopping import StopCriterion
 from repro.core.swarm import SwarmState
+from repro.core.workspace import Workspace
 from repro.errors import InvalidParameterError
 from repro.gpusim.clock import SimClock
 from repro.gpusim.rng import ParallelRNG
@@ -42,6 +43,10 @@ class Engine(ABC):
 
     def __init__(self) -> None:
         self.clock = SimClock()
+        # Host-side scratch arena for per-iteration temporaries (weight
+        # matrices, pull terms, tile buffers).  Purely a host optimisation:
+        # simulated device allocation still goes through the allocator.
+        self._ws = Workspace()
 
     # -- step hooks -----------------------------------------------------------
     @abstractmethod

@@ -119,16 +119,37 @@ def draw_initial_state(
 
 
 def draw_weights(
-    rng: ParallelRNG, n: int, d: int, dtype=np.float32
+    rng: ParallelRNG,
+    n: int,
+    d: int,
+    dtype=np.float32,
+    *,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The per-iteration random weight matrices L then G of Eq. (4).
 
     The stream consumption is dtype-independent (draws happen at 32-bit
     word granularity), so fp16 runs consume the same Philox blocks as fp32
     runs — only the stored rounding differs.
+
+    When *out* (a pair of ``(n, d)`` arrays, whose dtype then wins over
+    *dtype*) is given, the matrices are written in place — the engines'
+    workspace arena uses this to eliminate the two fresh allocations per
+    iteration.  The values and stream consumption are identical either way;
+    in particular a non-float32 *out* is still staged through a float32
+    draw so the fp16 double rounding of the fresh path is preserved.
     """
-    l_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32).astype(dtype)
-    g_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32).astype(dtype)
+    if out is None:
+        l_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32).astype(dtype)
+        g_mat = rng.uniform((n, d), 0.0, 1.0, dtype=np.float32).astype(dtype)
+        return l_mat, g_mat
+    l_mat, g_mat = out
+    if l_mat.dtype == np.float32 and g_mat.dtype == np.float32:
+        rng.uniform((n, d), 0.0, 1.0, out=l_mat)
+        rng.uniform((n, d), 0.0, 1.0, out=g_mat)
+    else:
+        np.copyto(l_mat, rng.uniform((n, d), 0.0, 1.0, dtype=np.float32))
+        np.copyto(g_mat, rng.uniform((n, d), 0.0, 1.0, dtype=np.float32))
     return l_mat, g_mat
 
 
@@ -144,6 +165,7 @@ def velocity_update(
     *,
     out: np.ndarray | None = None,
     multiply_add=None,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Eq. (4): ``V' = w V + c1 L (E_l - P) + c2 G (E_g - P)``, clamped.
 
@@ -152,12 +174,46 @@ def velocity_update(
     optionally replaces the two Hadamard products — the tensor-core backend
     passes :func:`repro.gpusim.tensorcore.fragment_multiply_add` here.
     All arithmetic stays in float32.
+
+    *scratch* — a pair of ``(n, d)`` float32 buffers — routes the pull
+    terms through preallocated storage instead of four fresh temporaries.
+    The in-place expression performs exactly the same IEEE operations in
+    the same order, so results are bit-identical; the fast path is only
+    taken when every operand is float32 and ``multiply_add`` is unset
+    (mixed-precision promotion would otherwise change intermediate
+    rounding).
     """
     if out is None:
         out = np.empty_like(velocities)
     w = np.float32(params.inertia)
     c1 = np.float32(params.cognitive)
     c2 = np.float32(params.social)
+
+    if (
+        scratch is not None
+        and multiply_add is None
+        and velocities.dtype == np.float32
+        and positions.dtype == np.float32
+        and pbest_positions.dtype == np.float32
+        and social_positions.dtype == np.float32
+        and l_weights.dtype == np.float32
+        and g_weights.dtype == np.float32
+        and out.dtype == np.float32
+    ):
+        s1, s2 = scratch
+        np.subtract(pbest_positions, positions, out=s1)  # cog_pull
+        np.multiply(l_weights, s1, out=s1)
+        np.multiply(s1, c1, out=s1)  # c1 * (L * cog_pull)
+        np.subtract(social_positions, positions, out=s2)  # soc_pull
+        np.multiply(g_weights, s2, out=s2)
+        np.multiply(s2, c2, out=s2)  # c2 * (G * soc_pull)
+        np.multiply(velocities, w, out=out)
+        np.add(out, s1, out=out)
+        np.add(out, s2, out=out)
+        if velocity_bounds is not None:
+            lo, hi = velocity_bounds
+            np.clip(out, lo.astype(np.float32), hi.astype(np.float32), out=out)
+        return out
 
     cog_pull = pbest_positions - positions
     soc_pull = social_positions - positions

@@ -118,7 +118,16 @@ class CpuEngineBase(Engine):
         rng: ParallelRNG,
     ) -> None:
         params = self._scheduled_params(params)
-        l_mat, g_mat = draw_weights(rng, state.n_particles, state.dim)
+        n, d = state.n_particles, state.dim
+        l_mat, g_mat = draw_weights(
+            rng,
+            n,
+            d,
+            out=(
+                self._ws.array("l_weights", (n, d), np.float32),
+                self._ws.array("g_weights", (n, d), np.float32),
+            ),
+        )
         social = social_positions(state, params.topology)
         vbounds = self._current_velocity_bounds(problem, params)
         velocity_update(
@@ -131,6 +140,10 @@ class CpuEngineBase(Engine):
             params,
             vbounds,
             out=state.velocities,
+            scratch=(
+                self._ws.array("vel_pull_1", (n, d), np.float32),
+                self._ws.array("vel_pull_2", (n, d), np.float32),
+            ),
         )
         position_update(state.positions, state.velocities, problem, params)
 

@@ -46,7 +46,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.kernel import Kernel, KernelSpec
 from repro.gpusim.launch import resource_aware_config
 from repro.gpusim.rng import ParallelRNG
-from repro.gpusim.sharedmem import apply_tiled, shared_mem_spec
+from repro.gpusim.sharedmem import DEFAULT_TILE_SIZE, apply_tiled, shared_mem_spec
 from repro.gpusim.tensorcore import (
     fragment_multiply_add,
     supports_tensor_cores,
@@ -79,6 +79,7 @@ class FastPSOEngine(Engine):
         cost_params: GpuCostParams | None = None,
         fuse_update: bool = False,
         half_storage: bool = False,
+        record_launches: bool = False,
     ) -> None:
         super().__init__()
         if backend not in BACKENDS:
@@ -96,7 +97,10 @@ class FastPSOEngine(Engine):
                 "which already rounds the multiplicands to fp16"
             )
         self.ctx: GpuContext = make_context(
-            spec, caching=caching, cost_params=cost_params
+            spec,
+            caching=caching,
+            cost_params=cost_params,
+            record_launches=record_launches,
         )
         if backend == "tensorcore" and not supports_tensor_cores(self.ctx.spec):
             raise InvalidParameterError(
@@ -190,8 +194,16 @@ class FastPSOEngine(Engine):
                     bytes_written_per_elem=self._elem_bytes,
                     registers_per_thread=24,
                 ),
+                # Drawn into the workspace arena: same Philox consumption
+                # and values as a fresh draw, zero host allocation.
                 semantics=lambda rng, n, d: draw_weights(
-                    rng, n, d, dtype=self.storage_dtype
+                    rng,
+                    n,
+                    d,
+                    out=(
+                        self._ws.array("l_weights", (n, d), self.storage_dtype),
+                        self._ws.array("g_weights", (n, d), self.storage_dtype),
+                    ),
                 ),
             ),
             "velocity": Kernel(vel_spec, semantics=vel_semantics),
@@ -254,10 +266,39 @@ class FastPSOEngine(Engine):
                 semantics=lambda: None,  # the copy happened in pbest_update
             ),
         }
+        if problem.evaluator.granularity == "particle":
+            # Thread-per-particle schema kernel: each thread runs the user
+            # lambda over its particle's d values.  Built once here rather
+            # than per evaluation call.
+            d = problem.dim
+            spec = self._kernels["evaluate"].spec.scaled(
+                name="evaluation_kernel_particle",
+                flops_per_elem=(
+                    prof.flops_per_elem + prof.reduction_flops_per_elem
+                )
+                * d,
+                sfu_per_elem=prof.sfu_per_elem * d,
+                bytes_read_per_elem=_F32 * d,
+                bytes_written_per_elem=_F64,
+                dependent_loads_per_elem=1.0,
+            )
+            self._kernels["evaluate_particle"] = Kernel(
+                spec, problem.evaluator.evaluate
+            )
 
     # -- backend-specific velocity semantics -----------------------------------
-    @staticmethod
+    def _vel_scratch(self, n: int, d: int):
+        """Workspace pull-term buffers, or None when the float32 in-place
+        fast path can't apply (fp16 storage keeps its own promotion)."""
+        if self.storage_dtype != np.float32:
+            return None
+        return (
+            self._ws.array("vel_pull_1", (n, d), np.float32),
+            self._ws.array("vel_pull_2", (n, d), np.float32),
+        )
+
     def _fused_update(
+        self,
         velocities,
         positions,
         pbest_positions,
@@ -269,6 +310,7 @@ class FastPSOEngine(Engine):
         problem,
     ):
         """Fused Eq. (4) + Eq. (2): identical numerics, one kernel."""
+        n, d = positions.shape
         velocity_update(
             velocities,
             positions,
@@ -279,11 +321,12 @@ class FastPSOEngine(Engine):
             params,
             vbounds,
             out=velocities,
+            scratch=self._vel_scratch(n, d),
         )
         position_update(positions, velocities, problem, params)
 
-    @staticmethod
     def _tiled_velocity_update(
+        self,
         velocities,
         positions,
         pbest_positions,
@@ -297,9 +340,13 @@ class FastPSOEngine(Engine):
     ):
         """Shared-memory backend: same math, executed tile by tile."""
         social_full = np.broadcast_to(social, positions.shape)
+        tile_buf = self._ws.array(
+            "tile_out", (DEFAULT_TILE_SIZE, DEFAULT_TILE_SIZE), velocities.dtype
+        )
 
         def tile_fn(v, p, pb, soc, l_w, g_w):
-            tile_out = np.empty_like(v)
+            # One reused tile-sized buffer; edge tiles take a view of it.
+            tile_out = tile_buf[: v.shape[0], : v.shape[1]]
             velocity_update(
                 v, p, pb, soc, l_w, g_w, params, None, out=tile_out
             )
@@ -314,8 +361,8 @@ class FastPSOEngine(Engine):
             np.clip(out, lo.astype(np.float32), hi.astype(np.float32), out=out)
         return out
 
-    @staticmethod
     def _wmma_velocity_update(
+        self,
         velocities,
         positions,
         pbest_positions,
@@ -328,9 +375,10 @@ class FastPSOEngine(Engine):
         out,
     ):
         """Tensor-core backend: Hadamard products via fp16 fragment ops."""
-        social_full = np.ascontiguousarray(
-            np.broadcast_to(social, positions.shape), dtype=np.float32
+        social_full = self._ws.array(
+            "social_full", positions.shape, np.float32
         )
+        np.copyto(social_full, social)
         return velocity_update(
             velocities,
             positions,
@@ -375,28 +423,13 @@ class FastPSOEngine(Engine):
 
     def _evaluate(self, problem: Problem, state: SwarmState) -> np.ndarray:
         n, d = state.n_particles, state.dim
-        if problem.evaluator.granularity == "particle":
-            # Thread-per-particle schema kernel: each thread runs the user
-            # lambda over its particle's d values.
-            prof = problem.evaluator.profile()
-            spec = self._kernels["evaluate"].spec.scaled(
-                name="evaluation_kernel_particle",
-                flops_per_elem=(prof.flops_per_elem + prof.reduction_flops_per_elem)
-                * d,
-                sfu_per_elem=prof.sfu_per_elem * d,
-                bytes_read_per_elem=_F32 * d,
-                bytes_written_per_elem=_F64,
-                dependent_loads_per_elem=1.0,
-            )
-            kernel = Kernel(spec, problem.evaluator.evaluate)
-            cfg = resource_aware_config(
-                self.ctx.spec,
-                n,
-                threads_per_block=self.threads_per_block,
-                kernel_spec=spec,
-            )
+        if "evaluate_particle" in self._kernels:
+            cfg = self._cfg("evaluate_particle", n)
             return self.ctx.launcher.launch(
-                kernel, n, state.positions, config=cfg
+                self._kernels["evaluate_particle"],
+                n,
+                state.positions,
+                config=cfg,
             )
         cfg = self._cfg("evaluate", n * d)
         return self.ctx.launcher.launch(
@@ -462,6 +495,11 @@ class FastPSOEngine(Engine):
                     config=self._cfg("fused_update", n * d),
                 )
             else:
+                vel_kwargs = {}
+                if self.backend == "global":
+                    scratch = self._vel_scratch(n, d)
+                    if scratch is not None:
+                        vel_kwargs["scratch"] = scratch
                 self.ctx.launcher.launch(
                     self._kernels["velocity"],
                     n * d,
@@ -475,6 +513,7 @@ class FastPSOEngine(Engine):
                     vbounds,
                     out=state.velocities,
                     config=self._cfg("velocity", n * d),
+                    **vel_kwargs,
                 )
                 self.ctx.launcher.launch(
                     self._kernels["position"],

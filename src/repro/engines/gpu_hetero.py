@@ -46,11 +46,13 @@ class GpuHeteroEngine(GpuParticleEngine):
         cpu_threads: int = 20,
         threads_per_block: int = 128,
         cost_params: GpuCostParams | None = None,
+        record_launches: bool = False,
     ) -> None:
         super().__init__(
             spec,
             threads_per_block=threads_per_block,
             cost_params=cost_params,
+            record_launches=record_launches,
         )
         if cpu_threads < 1:
             raise InvalidParameterError(f"cpu_threads must be >= 1, got {cpu_threads}")

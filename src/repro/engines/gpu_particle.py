@@ -69,10 +69,14 @@ class GpuParticleEngine(Engine):
         *,
         threads_per_block: int = 128,
         cost_params: GpuCostParams | None = None,
+        record_launches: bool = False,
     ) -> None:
         super().__init__()
         self.ctx: GpuContext = make_context(
-            spec, caching=False, cost_params=cost_params
+            spec,
+            caching=False,
+            cost_params=cost_params,
+            record_launches=record_launches,
         )
         self.clock = self.ctx.clock
         self.threads_per_block = threads_per_block
@@ -140,7 +144,16 @@ class GpuParticleEngine(Engine):
     def _update_semantics(self, problem, params, state, rng):
         """Fused velocity+position update (numerics identical to fastpso)."""
         params = self._scheduled_params(params)
-        l_mat, g_mat = draw_weights(rng, state.n_particles, state.dim)
+        n, d = state.n_particles, state.dim
+        l_mat, g_mat = draw_weights(
+            rng,
+            n,
+            d,
+            out=(
+                self._ws.array("l_weights", (n, d), np.float32),
+                self._ws.array("g_weights", (n, d), np.float32),
+            ),
+        )
         social = social_positions(state, params.topology)
         vbounds = self._current_velocity_bounds(problem, params)
         velocity_update(
@@ -153,6 +166,10 @@ class GpuParticleEngine(Engine):
             params,
             vbounds,
             out=state.velocities,
+            scratch=(
+                self._ws.array("vel_pull_1", (n, d), np.float32),
+                self._ws.array("vel_pull_2", (n, d), np.float32),
+            ),
         )
         position_update(state.positions, state.velocities, problem, params)
 

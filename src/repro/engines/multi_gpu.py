@@ -49,6 +49,7 @@ class MultiGpuFastPSOEngine(Engine):
         backend: str = "global",
         caching: bool = True,
         cost_params: GpuCostParams | None = None,
+        record_launches: bool = False,
     ) -> None:
         super().__init__()
         if n_devices < 1:
@@ -67,6 +68,7 @@ class MultiGpuFastPSOEngine(Engine):
                 backend=backend,
                 caching=caching,
                 cost_params=cost_params,
+                record_launches=record_launches,
             )
             for _ in range(n_devices)
         ]

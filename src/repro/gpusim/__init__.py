@@ -34,16 +34,27 @@ from repro.gpusim.device import (
     tesla_a100,
     tesla_v100,
 )
+from repro.gpusim.hostcache import (
+    cache_enabled,
+    clear_all_caches,
+    set_enabled,
+)
 from repro.gpusim.kernel import Kernel, KernelSpec, LaunchConfig
 from repro.gpusim.launch import (
     Launcher,
     LaunchRecord,
+    LaunchStats,
     resource_aware_config,
     thread_per_item_config,
 )
 from repro.gpusim.memory import DeviceBuffer, GlobalMemory, TransferEngine
 from repro.gpusim.occupancy import OccupancyResult, achieved_occupancy, occupancy
-from repro.gpusim.profiler import KernelSummary, ProfileReport, build_report
+from repro.gpusim.profiler import (
+    KernelSummary,
+    ProfileReport,
+    build_report,
+    build_report_from_stats,
+)
 from repro.gpusim.reduction import ParallelReducer
 from repro.gpusim.rng import ParallelRNG, philox4x32
 from repro.gpusim.sharedmem import (
@@ -88,8 +99,12 @@ __all__ = [
     "LaunchConfig",
     "Launcher",
     "LaunchRecord",
+    "LaunchStats",
     "resource_aware_config",
     "thread_per_item_config",
+    "cache_enabled",
+    "clear_all_caches",
+    "set_enabled",
     "DeviceBuffer",
     "GlobalMemory",
     "TransferEngine",
@@ -99,6 +114,7 @@ __all__ = [
     "KernelSummary",
     "ProfileReport",
     "build_report",
+    "build_report_from_stats",
     "ParallelReducer",
     "ParallelRNG",
     "philox4x32",

@@ -43,6 +43,11 @@ class SimClock:
             )
         return self.now
 
+    @property
+    def current_section(self) -> str | None:
+        """Label of the innermost active section, or ``None`` outside any."""
+        return self._stack[-1] if self._stack else None
+
     @contextmanager
     def section(self, label: str) -> Iterator[None]:
         """Attribute clock advances inside the ``with`` body to *label*.

@@ -18,7 +18,11 @@ from repro.gpusim.costmodel import DEFAULT_GPU_COST_PARAMS, GpuCostParams
 from repro.gpusim.device import DeviceSpec, tesla_v100
 from repro.gpusim.launch import Launcher
 from repro.gpusim.memory import DeviceBuffer, GlobalMemory, TransferEngine
-from repro.gpusim.profiler import ProfileReport, build_report
+from repro.gpusim.profiler import (
+    ProfileReport,
+    build_report,
+    build_report_from_stats,
+)
 from repro.gpusim.reduction import ParallelReducer
 from repro.gpusim.rng import ParallelRNG
 from repro.gpusim.streams import Stream
@@ -65,8 +69,17 @@ class GpuContext:
         self.allocator.free(buf)
 
     def profile_report(self) -> ProfileReport:
-        """Aggregate every launch so far plus the clock's section totals."""
-        return build_report(self.launcher.records, self.clock.section_totals)
+        """Aggregate every launch so far plus the clock's section totals.
+
+        Uses the full per-launch log when the launcher records one
+        (``record_launches=True``), the O(distinct kernels) accumulators
+        otherwise.
+        """
+        if self.launcher.record_launches:
+            return build_report(self.launcher.records, self.clock.section_totals)
+        return build_report_from_stats(
+            self.launcher.stats, self.clock.section_totals
+        )
 
     def reset_timeline(self) -> None:
         """Zero the clock and drop launch records (memory state persists)."""
@@ -80,12 +93,15 @@ def make_context(
     caching: bool = True,
     cost_params: GpuCostParams | None = None,
     device_index: int = 0,
+    record_launches: bool = False,
 ) -> GpuContext:
     """Build a :class:`GpuContext` for *spec* (default: the paper's V100).
 
     ``caching`` selects the allocator flavour — ``True`` is FastPSO's
     memory-caching technique, ``False`` the per-request cudaMalloc baseline
-    of Table 4.
+    of Table 4.  ``record_launches`` keeps the full per-launch log (needed
+    by the Figure 5 / Table 3 experiment paths); the default keeps only the
+    aggregated per-kernel statistics.
     """
     spec = spec or tesla_v100()
     clock = SimClock()
@@ -96,6 +112,7 @@ def make_context(
         spec=spec,
         clock=clock,
         cost_params=cost_params or DEFAULT_GPU_COST_PARAMS,
+        record_launches=record_launches,
     )
     return GpuContext(
         spec=spec,

@@ -25,9 +25,10 @@ on a 900 GB/s part) and never tweaked per experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.gpusim.device import DeviceSpec
+from repro.gpusim.hostcache import memoized
 from repro.gpusim.kernel import KernelSpec, LaunchConfig
 from repro.gpusim.occupancy import achieved_occupancy
 from repro.gpusim.occupancy import occupancy as theoretical_occupancy
@@ -75,6 +76,15 @@ class GpuCostParams:
     # Fraction of peak FP32 a real kernel sustains at full occupancy.
     fp32_peak_fraction: float = 0.55
 
+    def __hash__(self) -> int:
+        # Cost params key the memoized kernel-cost cache; hash once.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash(tuple(getattr(self, f.name) for f in fields(self)))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     def latency_hiding(self, occ: float) -> float:
         """Saturating efficiency curve in (0, 1], equal to 1 at occupancy 1."""
         occ = min(max(occ, 1e-6), 1.0)
@@ -114,6 +124,7 @@ class KernelCost:
         return max(parts, key=parts.__getitem__)
 
 
+@memoized
 def kernel_cost(
     device: DeviceSpec,
     kspec: KernelSpec,
@@ -125,6 +136,10 @@ def kernel_cost(
 
     The kernel is assumed to use a grid-stride loop: each of the launch's
     threads processes ``ceil(n_elems / total_threads)`` elements serially.
+
+    Pure function of immutable inputs, so results are memoized (see
+    :mod:`repro.gpusim.hostcache`); the uncached implementation remains
+    available as ``kernel_cost.uncached``.
     """
     if n_elems < 0:
         raise ValueError("n_elems must be non-negative")

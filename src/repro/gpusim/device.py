@@ -14,7 +14,7 @@ hardware, the cost model describes how well a kernel exploits it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import InvalidLaunchError
 from repro.utils.units import GIB
@@ -71,6 +71,16 @@ class DeviceSpec:
             )
         if self.dram_bandwidth <= 0 or self.clock_ghz <= 0:
             raise ValueError("bandwidth and clock must be positive")
+
+    def __hash__(self) -> int:
+        # Device specs key the memoized occupancy/cost caches; hash the
+        # field tuple once per instance instead of on every lookup.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash(tuple(getattr(self, f.name) for f in fields(self)))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     # -- derived capacities -------------------------------------------------
     @property

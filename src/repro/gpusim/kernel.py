@@ -82,6 +82,29 @@ class KernelSpec:
         if self.shared_mem_per_block < 0:
             raise ValueError("shared_mem_per_block must be non-negative")
 
+    def __hash__(self) -> int:
+        # Same field-tuple hash a frozen dataclass generates, but computed
+        # once: specs are dict keys on the memoized launch/cost hot path.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash(
+                (
+                    self.name,
+                    self.flops_per_elem,
+                    self.bytes_read_per_elem,
+                    self.bytes_written_per_elem,
+                    self.sfu_per_elem,
+                    self.dependent_loads_per_elem,
+                    self.registers_per_thread,
+                    self.shared_mem_per_block,
+                    self.coalesced,
+                    self.tensor_core,
+                )
+            )
+            object.__setattr__(self, "_hash", h)
+            return h
+
     @property
     def bytes_per_elem(self) -> float:
         return self.bytes_read_per_elem + self.bytes_written_per_elem
@@ -113,6 +136,15 @@ class LaunchConfig:
             raise InvalidLaunchError(
                 f"block must contain at least one thread, got {self.threads_per_block}"
             )
+
+    def __hash__(self) -> int:
+        # Cached for the same reason as :meth:`KernelSpec.__hash__`.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash((self.grid_blocks, self.threads_per_block))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     @property
     def total_threads(self) -> int:

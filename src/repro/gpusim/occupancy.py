@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.errors import InvalidLaunchError
 from repro.gpusim.device import DeviceSpec
+from repro.gpusim.hostcache import memoized
 
 __all__ = ["OccupancyResult", "occupancy", "achieved_occupancy"]
 
@@ -46,6 +47,7 @@ class OccupancyResult:
         )
 
 
+@memoized
 def occupancy(
     spec: DeviceSpec,
     threads_per_block: int,
@@ -58,6 +60,10 @@ def occupancy(
     Raises :class:`InvalidLaunchError` for configurations no real launch
     could use (block too large, shared memory over the per-block limit, or a
     register footprint so large not even one block fits).
+
+    Pure function of immutable inputs, so results are memoized (see
+    :mod:`repro.gpusim.hostcache`); ``occupancy.uncached`` bypasses the
+    cache.
     """
     spec.validate_block(threads_per_block, shared_mem_per_block)
     if registers_per_thread <= 0:

@@ -15,6 +15,20 @@ top: each call advances a 64-bit block counter, and distinct ``stream_id``
 values (e.g. one per sub-swarm on multi-GPU) yield provably disjoint
 counter spaces.
 
+Two implementations of the bijection coexist:
+
+* :func:`philox4x32` — the reference path, shaped like the Random123
+  specification (uint32 lanes, per-round key bumps).  Used for validation
+  and for callers that bring their own counters/keys.
+* a uint64 in-place fast path used by :meth:`ParallelRNG.uniform` /
+  :meth:`ParallelRNG.random_uint32` — identical output words, but all round
+  arithmetic runs ``out=``-style in a handful of preallocated uint64
+  buffers and the key schedule is precomputed once per generator, so the
+  steady-state per-iteration cost is pure ufunc work with zero Python-side
+  allocation.  This is the host-side analogue of the paper's "no per-draw
+  state traffic" argument, and it is what the wall-clock benchmark
+  (``benchmarks/bench_wallclock.py``) measures.
+
 The contrast kernel for the baselines — stateful per-thread cuRAND XORWOW
 with a 48-byte state block loaded and stored around every draw — is modelled
 in the baseline engines' kernel specs; see
@@ -36,6 +50,10 @@ _M1 = np.uint64(0xCD9E8D57)
 _W0 = np.uint32(0x9E3779B9)  # golden-ratio key bump
 _W1 = np.uint32(0xBB67AE85)  # sqrt(3)-1 key bump
 _MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+#: Open-interval mapping constant: ``(word + 0.5) * 2**-32``.
+_INV_2_32 = 2.0**-32
 
 
 def _mulhilo(m: np.uint64, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -46,6 +64,15 @@ def _mulhilo(m: np.uint64, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return hi, lo
 
 
+def _key_schedule(k0: int, k1: int, rounds: int) -> list[tuple[int, int]]:
+    """Per-round (k0, k1) pairs, bumped by the Weyl constants mod 2**32."""
+    w0, w1 = int(_W0), int(_W1)
+    out = []
+    for r in range(rounds):
+        out.append(((k0 + r * w0) & 0xFFFFFFFF, (k1 + r * w1) & 0xFFFFFFFF))
+    return out
+
+
 def philox4x32(
     counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS
 ) -> np.ndarray:
@@ -54,7 +81,7 @@ def philox4x32(
     Parameters
     ----------
     counter:
-        ``(n, 4)`` uint32 array of counter blocks.
+        ``(n, 4)`` uint32 array of counter blocks.  Never mutated.
     key:
         ``(2,)`` or ``(n, 2)`` uint32 key(s).
     rounds:
@@ -64,28 +91,36 @@ def philox4x32(
     -------
     ``(n, 4)`` uint32 array of random blocks.
     """
-    ctr = np.array(counter, dtype=np.uint32, copy=True)
+    ctr = np.asarray(counter, dtype=np.uint32)
     if ctr.ndim != 2 or ctr.shape[1] != 4:
         raise ValueError(f"counter must have shape (n, 4), got {ctr.shape}")
     k = np.asarray(key, dtype=np.uint32)
-    if k.shape == (2,):
-        k0 = np.full(ctr.shape[0], k[0], dtype=np.uint32)
-        k1 = np.full(ctr.shape[0], k[1], dtype=np.uint32)
-    elif k.ndim == 2 and k.shape == (ctr.shape[0], 2):
-        k0, k1 = k[:, 0].copy(), k[:, 1].copy()
-    else:
-        raise ValueError(f"key must have shape (2,) or (n, 2), got {k.shape}")
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
 
     c0, c1, c2, c3 = ctr[:, 0], ctr[:, 1], ctr[:, 2], ctr[:, 3]
-    for r in range(rounds):
-        if r > 0:
-            k0 = k0 + _W0  # uint32 wraps naturally
-            k1 = k1 + _W1
-        hi0, lo0 = _mulhilo(_M0, c0)
-        hi1, lo1 = _mulhilo(_M1, c2)
-        c0, c1, c2, c3 = hi1 ^ c1 ^ k0, lo1, hi0 ^ c3 ^ k1, lo0
+    if k.shape == (2,):
+        # Scalar key schedule: no per-lane key splat on this (common) path.
+        for k0, k1 in _key_schedule(int(k[0]), int(k[1]), rounds):
+            hi0, lo0 = _mulhilo(_M0, c0)
+            hi1, lo1 = _mulhilo(_M1, c2)
+            c0, c1, c2, c3 = (
+                hi1 ^ c1 ^ np.uint32(k0),
+                lo1,
+                hi0 ^ c3 ^ np.uint32(k1),
+                lo0,
+            )
+    elif k.ndim == 2 and k.shape == (ctr.shape[0], 2):
+        k0, k1 = k[:, 0].copy(), k[:, 1].copy()
+        for r in range(rounds):
+            if r > 0:
+                k0 = k0 + _W0  # uint32 wraps naturally
+                k1 = k1 + _W1
+            hi0, lo0 = _mulhilo(_M0, c0)
+            hi1, lo1 = _mulhilo(_M1, c2)
+            c0, c1, c2, c3 = hi1 ^ c1 ^ k0, lo1, hi0 ^ c3 ^ k1, lo0
+    else:
+        raise ValueError(f"key must have shape (2,) or (n, 2), got {k.shape}")
 
     return np.stack([c0, c1, c2, c3], axis=1)
 
@@ -97,9 +132,26 @@ class ParallelRNG:
     with different stream ids never produce overlapping counter blocks, so
     per-device or per-sub-swarm streams can be split without coordination —
     the property multi-GPU FastPSO relies on.
+
+    The generator owns a small set of reusable uint64/float64 scratch
+    buffers sized to the last draw; steady-state PSO iterations (same
+    ``n x d`` every time) therefore run the whole Philox pipeline without
+    allocating.  The buffers are an implementation detail: outputs are
+    always freshly allocated unless the caller passes ``out=``.
     """
 
-    __slots__ = ("seed", "stream_id", "_block")
+    __slots__ = (
+        "seed",
+        "stream_id",
+        "_block",
+        "_keys",
+        "_sid_lo",
+        "_sid_hi",
+        "_n_blocks",
+        "_lanes",
+        "_base",
+        "_unit",
+    )
 
     def __init__(self, seed: int, stream_id: int = 0) -> None:
         if not 0 <= int(seed) < 2**64:
@@ -109,6 +161,21 @@ class ParallelRNG:
         self.seed = int(seed)
         self.stream_id = int(stream_id)
         self._block = 0  # next unconsumed 128-bit counter block
+        # Key schedule is a pure function of the seed: compute it once.
+        self._keys = [
+            (np.uint64(k0), np.uint64(k1))
+            for k0, k1 in _key_schedule(
+                self.seed & 0xFFFFFFFF,
+                (self.seed >> 32) & 0xFFFFFFFF,
+                PHILOX_ROUNDS,
+            )
+        ]
+        self._sid_lo = np.uint64(self.stream_id & 0xFFFFFFFF)
+        self._sid_hi = np.uint64((self.stream_id >> 32) & 0xFFFFFFFF)
+        self._n_blocks = 0  # scratch capacity, in counter blocks
+        self._lanes: list[np.ndarray] = []
+        self._base: np.ndarray | None = None
+        self._unit: np.ndarray | None = None
 
     @property
     def position(self) -> int:
@@ -130,6 +197,69 @@ class ParallelRNG:
         ctr[:, 3] = np.uint32((self.stream_id >> 32) & 0xFFFFFFFF)
         return ctr
 
+    # -- fast path ----------------------------------------------------------
+    def _ensure_scratch(self, n_blocks: int) -> None:
+        """(Re)size the reusable uint64 lane + float64 unit buffers."""
+        if n_blocks == self._n_blocks:
+            return
+        self._lanes = [np.empty(n_blocks, dtype=np.uint64) for _ in range(6)]
+        self._base = np.arange(n_blocks, dtype=np.uint64)
+        self._unit = np.empty((n_blocks, 4), dtype=np.float64)
+        self._n_blocks = n_blocks
+
+    def _philox_blocks(self, n_blocks: int) -> tuple[np.ndarray, ...]:
+        """Run Philox4x32-10 over the next *n_blocks* counters, in place.
+
+        Returns the four uint64 lane arrays (values < 2**32) holding the
+        output words.  The lanes alias this generator's scratch buffers and
+        are only valid until the next draw; callers must copy/cast out.
+        Does NOT advance the block counter — callers do, after consuming.
+        """
+        self._ensure_scratch(n_blocks)
+        c0, c1, c2, c3, t0, t1 = self._lanes
+        # Counter layout matches :meth:`_counters`: lane0/1 are the low/high
+        # halves of the 64-bit block index, lane2/3 the stream id halves.
+        np.add(self._base, np.uint64(self._block & 0xFFFFFFFFFFFFFFFF), out=t0)
+        np.bitwise_and(t0, _MASK32, out=c0)
+        np.right_shift(t0, _SHIFT32, out=c1)
+        c2.fill(self._sid_lo)
+        c3.fill(self._sid_hi)
+        for k0, k1 in self._keys:
+            # hi/lo of the two 32x32 multiplies, all in uint64 lanes.
+            np.multiply(c0, _M0, out=t0)
+            np.multiply(c2, _M1, out=t1)
+            np.right_shift(t0, _SHIFT32, out=c0)  # c0 <- hi0 (old c0 dead)
+            np.bitwise_and(t0, _MASK32, out=t0)  # t0 <- lo0
+            np.right_shift(t1, _SHIFT32, out=c2)  # c2 <- hi1 (old c2 dead)
+            np.bitwise_and(t1, _MASK32, out=t1)  # t1 <- lo1
+            np.bitwise_xor(c2, c1, out=c2)
+            np.bitwise_xor(c2, k0, out=c2)  # c2 <- new c0
+            np.bitwise_xor(c0, c3, out=c0)
+            np.bitwise_xor(c0, k1, out=c0)  # c0 <- new c2
+            # new lanes: (c0, c1, c2, c3) = (c2, t1, c0, t0)
+            c0, c1, c2, c3, t0, t1 = c2, t1, c0, t0, c1, c3
+        return c0, c1, c2, c3
+
+    def _draw_unit(self, n: int) -> np.ndarray:
+        """Next *n* uniforms on (0, 1) as a flat float64 view.
+
+        The view aliases the reusable unit buffer — consume (copy/cast)
+        before the next draw.  Word order matches :meth:`random_uint32`.
+        """
+        n_blocks = -(-n // 4)
+        c0, c1, c2, c3 = self._philox_blocks(n_blocks)
+        unit = self._unit
+        unit[:, 0] = c0
+        unit[:, 1] = c1
+        unit[:, 2] = c2
+        unit[:, 3] = c3
+        flat = unit.reshape(-1)
+        np.add(flat, 0.5, out=flat)
+        np.multiply(flat, _INV_2_32, out=flat)
+        self._block += n_blocks
+        return flat[:n]
+
+    # -- public draws --------------------------------------------------------
     def random_uint32(self, n: int) -> np.ndarray:
         """Next *n* raw 32-bit words from the stream."""
         if n < 0:
@@ -137,9 +267,14 @@ class ParallelRNG:
         if n == 0:
             return np.empty(0, dtype=np.uint32)
         n_blocks = -(-n // 4)
-        words = philox4x32(self._counters(n_blocks), self._key()).reshape(-1)
+        c0, c1, c2, c3 = self._philox_blocks(n_blocks)
+        words = np.empty((n_blocks, 4), dtype=np.uint32)
+        words[:, 0] = c0
+        words[:, 1] = c1
+        words[:, 2] = c2
+        words[:, 3] = c3
         self._block += n_blocks
-        return words[:n]
+        return words.reshape(-1)[:n]
 
     def uniform(
         self,
@@ -147,12 +282,19 @@ class ParallelRNG:
         low: float = 0.0,
         high: float = 1.0,
         dtype: np.dtype | type = np.float32,
+        *,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Uniform variates on ``[low, high)`` with the requested shape.
 
         Uses the open-ended mapping ``(word + 0.5) * 2**-32`` so 0 and 1 are
         never produced exactly — matching cuRAND's ``curand_uniform`` contract
         that the weights in Eq. (1) are strictly positive.
+
+        When *out* is given the variates are written into it in place (its
+        dtype wins over *dtype*); this is the zero-allocation path the
+        engines' workspace arena uses for the per-iteration weight matrices.
+        The stream consumes exactly the same counter blocks either way.
         """
         if np.isscalar(shape):
             shape = (int(shape),)
@@ -163,10 +305,22 @@ class ParallelRNG:
             raise InvalidParameterError(
                 f"invalid uniform range [{low}, {high})"
             )
-        words = self.random_uint32(n)
-        unit = (words.astype(np.float64) + 0.5) * 2.0**-32
-        out = low + unit * (high - low)
-        return out.reshape(shape).astype(dtype)
+        if out is not None and out.shape != tuple(shape):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {tuple(shape)}"
+            )
+        if n == 0:
+            return out if out is not None else np.empty(shape, dtype=dtype)
+        unit = self._draw_unit(n)
+        if low != 0.0 or high != 1.0:
+            # Same expression as ``low + unit * (high - low)``, evaluated in
+            # place on the float64 scratch (term order is bit-preserving).
+            np.multiply(unit, high - low, out=unit)
+            np.add(unit, low, out=unit)
+        if out is not None:
+            np.copyto(out, unit.reshape(shape))
+            return out
+        return unit.reshape(shape).astype(dtype)
 
     def normal(
         self,

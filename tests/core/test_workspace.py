@@ -1,0 +1,40 @@
+"""Workspace arena: buffer reuse semantics for host-side temporaries."""
+
+import numpy as np
+
+from repro.core.workspace import Workspace
+
+
+class TestWorkspace:
+    def test_same_shape_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.array("w", (4, 3))
+        b = ws.array("w", (4, 3))
+        assert a is b
+
+    def test_shape_change_reallocates(self):
+        ws = Workspace()
+        a = ws.array("w", (4, 3))
+        b = ws.array("w", (8, 3))
+        assert a is not b and b.shape == (8, 3)
+
+    def test_dtype_change_reallocates(self):
+        ws = Workspace()
+        a = ws.array("w", (4,), np.float32)
+        b = ws.array("w", (4,), np.float64)
+        assert a is not b and b.dtype == np.float64
+
+    def test_names_are_independent(self):
+        ws = Workspace()
+        assert ws.array("a", (2, 2)) is not ws.array("b", (2, 2))
+        assert len(ws) == 2
+
+    def test_release_drops_buffers(self):
+        ws = Workspace()
+        a = ws.array("w", (4, 3))
+        ws.release()
+        assert len(ws) == 0
+        assert ws.array("w", (4, 3)) is not a
+
+    def test_defaults_to_float32(self):
+        assert Workspace().array("w", (2,)).dtype == np.float32

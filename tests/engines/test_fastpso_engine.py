@@ -35,7 +35,7 @@ class TestConstruction:
 
 class TestKernelDecomposition:
     def test_expected_kernels_launched(self, sphere10, small_params):
-        engine = FastPSOEngine()
+        engine = FastPSOEngine(record_launches=True)
         engine.optimize(sphere10, n_particles=32, max_iter=3, params=small_params)
         names = {r.kernel_name for r in engine.ctx.launcher.records}
         assert {
@@ -50,13 +50,13 @@ class TestKernelDecomposition:
         } <= names
 
     def test_shared_backend_launches_smem_kernel(self, sphere10, small_params):
-        engine = FastPSOEngine(backend="shared")
+        engine = FastPSOEngine(backend="shared", record_launches=True)
         engine.optimize(sphere10, n_particles=32, max_iter=2, params=small_params)
         names = {r.kernel_name for r in engine.ctx.launcher.records}
         assert "swarm_velocity_update_smem" in names
 
     def test_tensorcore_backend_launches_wmma_kernel(self, sphere10, small_params):
-        engine = FastPSOEngine(backend="tensorcore")
+        engine = FastPSOEngine(backend="tensorcore", record_launches=True)
         engine.optimize(sphere10, n_particles=32, max_iter=2, params=small_params)
         names = {r.kernel_name for r in engine.ctx.launcher.records}
         assert "swarm_velocity_update_wmma" in names
@@ -64,7 +64,7 @@ class TestKernelDecomposition:
     def test_resource_aware_launches_never_oversubscribe(
         self, sphere10, small_params
     ):
-        engine = FastPSOEngine()
+        engine = FastPSOEngine(record_launches=True)
         engine.optimize(
             sphere10, n_particles=50_000, max_iter=2, params=small_params
         )
@@ -76,7 +76,7 @@ class TestKernelDecomposition:
 
     def test_full_occupancy_on_large_swarms(self, small_params):
         problem = Problem.from_benchmark("sphere", 64)
-        engine = FastPSOEngine()
+        engine = FastPSOEngine(record_launches=True)
         engine.optimize(problem, n_particles=8192, max_iter=2, params=small_params)
         update = [
             r
@@ -89,7 +89,7 @@ class TestKernelDecomposition:
         problem = Problem.from_callable(
             lambda row: float(np.sum(row)), 6, (-1.0, 1.0)
         )
-        engine = FastPSOEngine()
+        engine = FastPSOEngine(record_launches=True)
         engine.optimize(problem, n_particles=16, max_iter=2, params=small_params)
         names = {r.kernel_name for r in engine.ctx.launcher.records}
         assert "evaluation_kernel_particle" in names

@@ -36,7 +36,7 @@ class TestFusedUpdate:
         np.testing.assert_array_equal(fused.best_position, split.best_position)
 
     def test_launches_one_kernel_instead_of_two(self, problem):
-        engine = FastPSOEngine(fuse_update=True)
+        engine = FastPSOEngine(fuse_update=True, record_launches=True)
         engine.optimize(
             problem, n_particles=64, max_iter=5, params=PSOParams(seed=1)
         )
@@ -70,6 +70,8 @@ class TestFusedUpdate:
                 if r.kernel_name.startswith("swarm_")
             )
 
-        split = swarm_traffic(FastPSOEngine())
-        fused = swarm_traffic(FastPSOEngine(fuse_update=True))
+        split = swarm_traffic(FastPSOEngine(record_launches=True))
+        fused = swarm_traffic(
+            FastPSOEngine(fuse_update=True, record_launches=True)
+        )
         assert fused < split

@@ -14,7 +14,7 @@ def problem():
 
 class TestGpuParticleEngine:
     def test_thread_per_particle_launch_geometry(self, problem, small_params):
-        engine = GpuParticleEngine()
+        engine = GpuParticleEngine(record_launches=True)
         engine.optimize(problem, n_particles=5000, max_iter=2, params=small_params)
         update = [
             r
@@ -28,7 +28,7 @@ class TestGpuParticleEngine:
             assert rec.config.threads_per_block == 128
 
     def test_starvation_occupancy(self, problem, small_params):
-        engine = GpuParticleEngine()
+        engine = GpuParticleEngine(record_launches=True)
         engine.optimize(problem, n_particles=5000, max_iter=2, params=small_params)
         update = [
             r

@@ -54,8 +54,10 @@ class TestHalfStorage:
                 if r.kernel_name == "swarm_velocity_update"
             )
 
-        full = update_traffic(FastPSOEngine())
-        half = update_traffic(FastPSOEngine(half_storage=True))
+        full = update_traffic(FastPSOEngine(record_launches=True))
+        half = update_traffic(
+            FastPSOEngine(half_storage=True, record_launches=True)
+        )
         assert half == pytest.approx(full / 2)
 
     def test_halves_device_memory_footprint(self, problem):

@@ -58,7 +58,8 @@ class TestThreadPerItemConfig:
 
 class TestLauncher:
     def _launcher(self, v100):
-        return Launcher(spec=v100, clock=SimClock())
+        # Per-launch records are opt-in since the aggregation-first rework.
+        return Launcher(spec=v100, clock=SimClock(), record_launches=True)
 
     def test_launch_executes_semantics_and_returns(self, v100):
         launcher = self._launcher(v100)

@@ -10,7 +10,8 @@ from repro.gpusim.profiler import build_report
 
 @pytest.fixture
 def launcher(v100):
-    return Launcher(spec=v100, clock=SimClock())
+    # build_report consumes per-launch records, which are opt-in now.
+    return Launcher(spec=v100, clock=SimClock(), record_launches=True)
 
 
 def _kernel(name, **spec_kwargs):

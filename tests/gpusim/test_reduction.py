@@ -61,14 +61,14 @@ class TestArgminCorrectness:
 
 class TestReductionCosts:
     def test_two_launches_for_large_input(self, v100, rng_np):
-        launcher = Launcher(spec=v100, clock=SimClock())
+        launcher = Launcher(spec=v100, clock=SimClock(), record_launches=True)
         reducer = ParallelReducer(launcher)
         reducer.argmin(rng_np.normal(size=10_000))
         names = [r.kernel_name for r in launcher.records]
         assert names == ["reduce_argmin_pass1", "reduce_argmin_pass2"]
 
     def test_single_element_still_costs_a_kernel(self, v100):
-        launcher = Launcher(spec=v100, clock=SimClock())
+        launcher = Launcher(spec=v100, clock=SimClock(), record_launches=True)
         reducer = ParallelReducer(launcher)
         reducer.argmin(np.array([4.0]))
         assert len(launcher.records) == 1

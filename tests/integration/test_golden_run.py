@@ -1,0 +1,72 @@
+"""Golden-run regression: trajectories AND simulated times are pinned.
+
+The host fast path (memoized launch/cost pipeline, aggregated profiling,
+workspace arena, trimmed Philox) must not move a single bit of either the
+optimization trajectory or the *simulated* clock.  This test compares a
+seeded FastPSO run on every backend — and with the fused update — against
+values captured before the fast path landed (``tests/data/golden_fastpso.json``).
+
+Exact ``==`` everywhere: any ulp drift in gbest values, elapsed seconds or
+the per-step breakdown is a regression, not noise.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.engines import FastPSOEngine
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_fastpso.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _run(golden, key):
+    problem = Problem.from_benchmark(
+        golden["problem"]["function"], golden["problem"]["dim"]
+    )
+    if key == "global-fused":
+        engine = FastPSOEngine(fuse_update=True)
+    else:
+        engine = FastPSOEngine(backend=key)
+    return engine.optimize(
+        problem,
+        n_particles=golden["run"]["n_particles"],
+        max_iter=golden["run"]["max_iter"],
+        params=PSOParams(seed=golden["run"]["seed"]),
+        record_history=True,
+    )
+
+
+@pytest.mark.parametrize(
+    "key", ["global", "shared", "tensorcore", "global-fused"]
+)
+class TestGoldenRun:
+    def test_trajectory_bit_identical(self, golden, key):
+        expected = golden["engines"][key]
+        result = _run(golden, key)
+        assert result.history.gbest_values == expected["gbest_trajectory"]
+        assert (
+            result.history.mean_pbest_values
+            == expected["mean_pbest_trajectory"]
+        )
+        assert result.best_value == expected["best_value"]
+        np.testing.assert_array_equal(
+            result.best_position, np.asarray(expected["best_position"])
+        )
+
+    def test_simulated_times_bit_identical(self, golden, key):
+        expected = golden["engines"][key]
+        result = _run(golden, key)
+        assert result.elapsed_seconds == expected["elapsed_seconds"]
+        assert result.setup_seconds == expected["setup_seconds"]
+        for step, seconds in expected["step_times"].items():
+            assert getattr(result.step_times, step) == seconds, step
