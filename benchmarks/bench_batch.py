@@ -1,0 +1,137 @@
+"""Batch-scheduler benchmark: simulated makespan vs one-job-at-a-time (ISSUE 2).
+
+Runs the standard 32-job mixed workload (``repro.batch.mixed_workload`` —
+eight benchmark functions across GPU engines, dims 8–64, swarms 128–1024)
+through :class:`repro.batch.BatchScheduler` under both packing policies and
+reports the *simulated* makespan against the sum of solo runtimes.  The
+acceptance bar from the issue is a ≥1.5x improvement on the default
+4-streams-per-device fleet; the benchmark asserts it so a scheduling
+regression fails loudly instead of quietly shipping a worse number.
+
+Determinism is checked in the same pass: every job's batch result must be
+bit-identical (best value, best position, solo runtime) to a fresh solo run
+of the same spec — the batch layer's core contract.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py [--jobs 32] [--out BENCH_batch.json]
+
+The committed ``BENCH_batch.json`` pins the makespan trajectory; CI runs a
+smoke version (fewer jobs) to keep the signal alive without slowing the
+suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import BatchScheduler, mixed_workload
+from repro.batch.scheduler import POLICIES
+from repro.engines import make_engine
+
+N_JOBS = 32
+STREAMS = 4
+SPEEDUP_FLOOR = 1.5  # acceptance bar: batch makespan vs sum-of-solo
+
+
+def solo_baseline(jobs) -> list:
+    """Fresh solo runs of every job — the determinism reference."""
+    results = []
+    for job in jobs:
+        engine = make_engine(job.engine, **dict(job.engine_options))
+        results.append(
+            engine.optimize(
+                job.resolved_problem(),
+                n_particles=job.n_particles,
+                max_iter=job.max_iter,
+                params=job.resolved_params,
+            )
+        )
+    return results
+
+
+def check_bit_identical(batch, solo_results) -> None:
+    for outcome, solo in zip(batch.outcomes, solo_results):
+        label = outcome.job.label
+        assert outcome.result.best_value == solo.best_value, label
+        assert outcome.result.elapsed_seconds == solo.elapsed_seconds, label
+        np.testing.assert_array_equal(
+            outcome.result.best_position, solo.best_position, err_msg=label
+        )
+
+
+def run(n_jobs: int, streams: int, n_devices: int) -> dict:
+    jobs = mixed_workload(n_jobs)
+    solo = solo_baseline(jobs)
+    sum_solo = sum(r.elapsed_seconds for r in solo)
+    payload = {
+        "workload": {
+            "n_jobs": n_jobs,
+            "n_devices": n_devices,
+            "streams_per_device": streams,
+            "sum_solo_seconds": sum_solo,
+        },
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "policies": {},
+    }
+    for policy in POLICIES:
+        scheduler = BatchScheduler(
+            n_devices=n_devices, streams_per_device=streams, policy=policy
+        )
+        t0 = time.perf_counter()
+        batch = scheduler.run(jobs)
+        wall = time.perf_counter() - t0
+        check_bit_identical(batch, solo)
+        prof = batch.fleet_profile
+        payload["policies"][policy] = {
+            "makespan_seconds": batch.makespan_seconds,
+            "speedup": batch.speedup,
+            "fleet_occupancy": batch.fleet_occupancy,
+            "mean_queue_wait_seconds": batch.mean_queue_wait_seconds,
+            "max_queue_wait_seconds": batch.max_queue_wait_seconds,
+            "device_makespans": list(batch.device_makespans),
+            "host_wall_seconds": wall,
+            "fleet_kernel_launches": sum(
+                k.launches for k in prof.kernels.values()
+            ),
+            "bit_identical_to_solo": True,
+        }
+        print(
+            f"{policy:8s} makespan={batch.makespan_seconds:.4f}s "
+            f"speedup={batch.speedup:.2f}x "
+            f"occupancy={batch.fleet_occupancy:.1%} wall={wall:.2f}s"
+        )
+    best = max(p["speedup"] for p in payload["policies"].values())
+    assert best >= SPEEDUP_FLOOR, (
+        f"batch speedup {best:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+    print(f"best speedup {best:.2f}x (floor {SPEEDUP_FLOOR}x) — OK")
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_batch.json", help="output JSON path")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=N_JOBS,
+        help="workload size (CI smoke runs use a smaller value)",
+    )
+    parser.add_argument("--streams", type=int, default=STREAMS)
+    parser.add_argument("--devices", type=int, default=1)
+    args = parser.parse_args()
+    payload = run(args.jobs, args.streams, args.devices)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Batch scheduling: many small PSO jobs sharing the simulated fleet.
+
+Builds a mixed bag of jobs — different functions, dimensions, swarm sizes
+and engines — and runs them three ways:
+
+* serially (the sum-of-solo baseline),
+* FIFO-packed onto 4 streams of one simulated V100,
+* LPT-packed ("packed" policy) onto the same fleet.
+
+The point of the batch layer: small and medium swarms leave most of a
+V100 idle, so multiplexing jobs onto streams cuts the fleet makespan by
+several-fold while every job's result stays bit-identical to its solo run.
+"""
+
+from repro import BatchScheduler, Job
+
+JOBS = [
+    Job("sphere", dim=32, n_particles=256, max_iter=100, seed=1),
+    Job("rastrigin", dim=16, n_particles=128, max_iter=150, seed=2),
+    Job("ackley", dim=64, n_particles=512, max_iter=80, seed=3),
+    Job("griewank", dim=32, n_particles=256, max_iter=120, seed=4,
+        engine="fastpso-shared"),
+    Job("levy", dim=8, n_particles=1024, max_iter=60, seed=5,
+        engine="fastpso-tc"),
+    Job("schwefel", dim=16, n_particles=256, max_iter=100, seed=6,
+        engine="gpu-pso"),
+    Job("rosenbrock", dim=32, n_particles=512, max_iter=90, seed=7),
+    Job("zakharov", dim=16, n_particles=128, max_iter=140, seed=8),
+]
+
+
+def main() -> None:
+    serial = BatchScheduler(streams_per_device=1).run(JOBS)
+    print(f"serial (1 stream):  makespan={serial.makespan_seconds:.4f}s\n")
+
+    for policy in ("fifo", "packed"):
+        batch = BatchScheduler(streams_per_device=4, policy=policy).run(JOBS)
+        print(batch.summary())
+        # Bit-identical determinism: same specs, same numbers, any schedule.
+        for a, b in zip(serial.outcomes, batch.outcomes):
+            assert a.result.best_value == b.result.best_value
+        print()
+
+    prof = batch.fleet_profile
+    print(
+        f"fleet: {sum(k.launches for k in prof.kernels.values())} kernel "
+        f"launches, {prof.gflops:.1f} GFLOP/s over active kernel time"
+    )
+
+
+if __name__ == "__main__":
+    main()

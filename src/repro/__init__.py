@@ -12,14 +12,31 @@ Algorithm on GPUs* (ICPP 2021).  The package layers:
 * :mod:`repro.threadconf` — the ThunderGBM thread-configuration case study;
 * :mod:`repro.bench` — one experiment driver per paper table/figure.
 
+* :mod:`repro.batch` — the batch job scheduler multiplexing many
+  independent problems onto the simulated fleet.
+
 Quickstart::
 
     from repro import FastPSO
     result = FastPSO(n_particles=2000, seed=1).minimize(
         "sphere", dim=50, max_iter=200)
     print(result.summary())
+
+Batches of jobs::
+
+    from repro import BatchScheduler, Job
+    batch = BatchScheduler(streams_per_device=4).run(
+        [Job("sphere", dim=32, seed=s) for s in range(16)])
+    print(batch.summary())
+
+Engines are built by registry name or alias (``"fastpso-tc"`` is the
+tensor-core backend)::
+
+    from repro import make_engine
+    engine = make_engine("fastpso-tc")
 """
 
+from repro.batch import BatchResult, BatchScheduler, Job
 from repro.core import (
     PAPER_DEFAULTS,
     FastPSO,
@@ -27,10 +44,11 @@ from repro.core import (
     Problem,
     PSOParams,
 )
+from repro.engines import ENGINE_NAMES, available_engines, make_engine
 from repro.errors import ReproError
 from repro.functions import available_functions, get_function
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FastPSO",
@@ -41,5 +59,11 @@ __all__ = [
     "ReproError",
     "available_functions",
     "get_function",
+    "make_engine",
+    "available_engines",
+    "ENGINE_NAMES",
+    "BatchScheduler",
+    "BatchResult",
+    "Job",
     "__version__",
 ]

@@ -1,0 +1,54 @@
+"""Deprecation shims for the unified public API.
+
+The API redesign renames a handful of keywords (e.g. the GPU engines'
+``spec=`` constructor argument became ``device=``, matching the
+:class:`~repro.core.fastpso.FastPSO` facade).  Existing callers keep
+working for one release: the old keyword is accepted, forwarded to the new
+name, and flagged with a :class:`DeprecationWarning`.  The test suite runs
+with ``-W error::DeprecationWarning``, so nothing inside this repo may use
+a deprecated spelling.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+__all__ = ["deprecated_kwargs"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecated_kwargs(**renames: str) -> Callable[[F], F]:
+    """Accept renamed keyword arguments under their old names, with a warning.
+
+    ``@deprecated_kwargs(old="new")`` makes ``fn(old=x)`` behave exactly
+    like ``fn(new=x)`` while emitting a :class:`DeprecationWarning` at the
+    caller.  Passing both spellings at once is an error (:class:`TypeError`,
+    like any duplicate keyword).
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in renames.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__qualname__}() got both {old!r} "
+                            f"(deprecated) and {new!r}"
+                        )
+                    warnings.warn(
+                        f"{fn.__qualname__}(): keyword {old!r} was renamed "
+                        f"to {new!r} and will be removed in the next major "
+                        f"release",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

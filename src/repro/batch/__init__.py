@@ -1,0 +1,40 @@
+"""Batch job scheduling: many independent PSO problems, one simulated fleet.
+
+The batch layer turns the repo from "one optimization at a time" into a
+multi-tenant service model: :class:`Job` describes one optimization,
+:class:`BatchScheduler` packs many of them onto simulated streams and
+devices so their kernel timelines genuinely overlap, and
+:class:`BatchResult` reports per-job results (bit-identical to solo runs)
+plus fleet metrics — makespan, speedup over serial execution, queue waits
+and device occupancy.
+
+Quickstart::
+
+    from repro import BatchScheduler, Job
+
+    sched = BatchScheduler(n_devices=2, streams_per_device=4, policy="packed")
+    sched.submit_many(
+        Job("sphere", dim=32, n_particles=256, max_iter=100, seed=s)
+        for s in range(16)
+    )
+    batch = sched.run()
+    print(batch.summary())
+
+Or through the facade: :meth:`repro.FastPSO.minimize_batch`.  The module is
+also runnable — ``python -m repro.batch --jobs 32`` schedules the reference
+mixed workload and prints the fleet report.
+"""
+
+from repro.batch.job import Job, JobOutcome
+from repro.batch.scheduler import POLICIES, BatchResult, BatchScheduler
+from repro.batch.workload import WORKLOAD_PROBLEMS, mixed_workload
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "BatchScheduler",
+    "BatchResult",
+    "POLICIES",
+    "mixed_workload",
+    "WORKLOAD_PROBLEMS",
+]

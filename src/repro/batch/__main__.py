@@ -1,0 +1,83 @@
+"""CLI for the batch scheduler: ``python -m repro.batch``.
+
+Runs either the reference mixed workload (``--jobs N``) or a job list from
+a JSON spec file (``--spec jobs.json``, a list of Job field dicts), prints
+the per-job placement table and fleet metrics, and optionally writes the
+full versioned payload with ``--out``.
+
+Example spec file::
+
+    [
+      {"problem": "sphere", "dim": 32, "n_particles": 256, "seed": 1},
+      {"problem": "ackley", "dim": 16, "max_iter": 150, "engine": "gpu-pso"}
+    ]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.batch.job import Job
+from repro.batch.scheduler import POLICIES, BatchScheduler
+from repro.batch.workload import mixed_workload
+
+
+def _load_spec(path: str) -> list[Job]:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise SystemExit(f"{path}: expected a JSON list of job specs")
+    return [Job(**spec) for spec in payload]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.batch", description=__doc__
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=16,
+        help="size of the generated mixed workload (ignored with --spec)",
+    )
+    parser.add_argument(
+        "--spec", help="JSON file with a list of job field dicts"
+    )
+    parser.add_argument("--devices", type=int, default=1)
+    parser.add_argument("--streams", type=int, default=4)
+    parser.add_argument("--policy", choices=POLICIES, default="fifo")
+    parser.add_argument("--seed", type=int, default=1000)
+    parser.add_argument("--out", help="write the versioned batch JSON here")
+    args = parser.parse_args(argv)
+
+    jobs = (
+        _load_spec(args.spec)
+        if args.spec
+        else mixed_workload(args.jobs, base_seed=args.seed)
+    )
+    scheduler = BatchScheduler(
+        n_devices=args.devices,
+        streams_per_device=args.streams,
+        policy=args.policy,
+    )
+    batch = scheduler.run(jobs)
+    print(batch.summary())
+    if batch.fleet_profile is not None and batch.fleet_profile.kernels:
+        prof = batch.fleet_profile
+        print(
+            f"fleet kernels: {sum(k.launches for k in prof.kernels.values())}"
+            f" launches, {prof.dram_read_throughput_gbs:.1f} GB/s read, "
+            f"{prof.gflops:.1f} GFLOP/s over active kernel time"
+        )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(batch.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

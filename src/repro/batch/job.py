@@ -1,0 +1,167 @@
+"""Job specifications for the batch scheduler.
+
+A :class:`Job` is one independent PSO problem: everything an engine needs to
+run it solo (problem, dimensionality, swarm size, iteration budget,
+hyper-parameters, engine name) plus batch bookkeeping (a label, a seed
+override).  Jobs are declarative and cheap — the scheduler instantiates a
+*fresh* engine per job, so a job's Philox stream, allocator state and
+simulated clock are exactly those of a standalone run.  That is the
+determinism contract the batch layer guarantees: scheduling changes *when*
+a job's kernels execute on the shared timeline, never *what* they compute.
+
+:class:`JobOutcome` pairs the solo-identical :class:`OptimizeResult` with
+the placement and timing the scheduler assigned: which simulated device and
+stream ran the job, when it started and finished on the shared timeline,
+and how long it queued behind earlier work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.core.results import OptimizeResult
+from repro.errors import InvalidParameterError
+
+__all__ = ["Job", "JobOutcome"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """Specification of one optimization job in a batch.
+
+    Attributes
+    ----------
+    problem:
+        A built-in function name (``"sphere"``) or a ready
+        :class:`~repro.core.problem.Problem`.
+    dim:
+        Search-space dimensionality (ignored when *problem* is already a
+        :class:`Problem`, which carries its own).
+    n_particles, max_iter:
+        Swarm size and iteration budget, as in ``Engine.optimize``.
+    engine:
+        Engine registry name (any name or alias accepted by
+        :func:`repro.engines.make_engine`).
+    params:
+        Full hyper-parameter set; defaults to the paper's configuration.
+    seed:
+        Convenience override of ``params.seed`` — the common case of many
+        jobs differing only by seed doesn't need a ``PSOParams`` each.
+    name:
+        Optional human label; :attr:`label` falls back to a descriptive one.
+    record_history:
+        Keep the per-iteration gbest trace in the job's result (the batch
+        determinism tests compare these traces against solo runs).
+    engine_options:
+        Extra keyword arguments forwarded to the engine factory (e.g.
+        ``{"backend": "shared"}`` for the fastpso engine).
+    """
+
+    problem: str | Problem
+    dim: int
+    n_particles: int = 512
+    max_iter: int = 100
+    engine: str = "fastpso"
+    params: PSOParams = PAPER_DEFAULTS
+    seed: int | None = None
+    name: str | None = None
+    record_history: bool = False
+    engine_options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem, (str, Problem)):
+            raise InvalidParameterError(
+                "job problem must be a function name or a Problem, got "
+                f"{type(self.problem).__name__}"
+            )
+        if isinstance(self.problem, str) and not self.problem:
+            raise InvalidParameterError("job problem name must be non-empty")
+        if self.dim <= 0:
+            raise InvalidParameterError(
+                f"job dim must be positive, got {self.dim}"
+            )
+        if self.n_particles <= 0:
+            raise InvalidParameterError(
+                f"job n_particles must be positive, got {self.n_particles}"
+            )
+        if self.max_iter <= 0:
+            raise InvalidParameterError(
+                f"job max_iter must be positive, got {self.max_iter}"
+            )
+        if self.seed is not None and not 0 <= int(self.seed) < 2**64:
+            raise InvalidParameterError("job seed must fit in 64 bits")
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def resolved_params(self) -> PSOParams:
+        """``params`` with the job-level ``seed`` override applied."""
+        if self.seed is None or self.seed == self.params.seed:
+            return self.params
+        return replace(self.params, seed=int(self.seed))
+
+    def resolved_problem(self) -> Problem:
+        """The concrete :class:`Problem` this job optimizes."""
+        if isinstance(self.problem, Problem):
+            return self.problem
+        return Problem.from_benchmark(self.problem, self.dim)
+
+    @property
+    def problem_name(self) -> str:
+        return (
+            self.problem.name
+            if isinstance(self.problem, Problem)
+            else self.problem
+        )
+
+    @property
+    def label(self) -> str:
+        """Display name: the explicit ``name`` or a descriptive fallback."""
+        if self.name is not None:
+            return self.name
+        return (
+            f"{self.engine}:{self.problem_name}"
+            f"-d{self.dim}-n{self.n_particles}-s{self.resolved_params.seed}"
+        )
+
+    def with_overrides(self, **kwargs: object) -> "Job":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's solo-identical result plus its placement in the batch.
+
+    ``start_seconds``/``end_seconds`` are on the shared batch timeline (all
+    jobs are submitted at t=0); ``queue_wait_seconds`` is the time the job
+    spent waiting for its assigned stream to drain earlier jobs.
+    ``solo_seconds`` equals ``result.elapsed_seconds`` — the simulated time
+    the job would take running alone, which is also exactly the stream time
+    it occupies in the batch.
+    """
+
+    job: Job
+    result: OptimizeResult
+    device_index: int
+    stream_index: int
+    submit_order: int
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        return self.start_seconds
+
+    @property
+    def solo_seconds(self) -> float:
+        return self.result.elapsed_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.job.label}: dev{self.device_index}/s{self.stream_index} "
+            f"start={self.start_seconds:.4g}s end={self.end_seconds:.4g}s "
+            f"best={self.result.best_value:.6g}"
+        )

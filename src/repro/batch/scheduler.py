@@ -1,0 +1,418 @@
+"""Batch job scheduling over simulated streams (and devices).
+
+The repo's north star is a service shape: many concurrent small/medium PSO
+jobs, not one giant swarm.  :class:`BatchScheduler` multiplexes independent
+:class:`~repro.batch.job.Job` specs onto the simulated hardware — a fleet of
+``n_devices`` simulated GPUs, each exposing ``streams_per_device`` CUDA-style
+streams (:class:`repro.gpusim.streams.Stream`) on one shared
+:class:`~repro.gpusim.clock.SimClock` per device.
+
+Determinism contract
+--------------------
+Every job executes on a *fresh* engine with its own Philox stream, allocator
+and clock, so its trajectory, best value and solo simulated runtime are
+bit-identical to a standalone ``engine.optimize`` call.  The scheduler then
+replays each job's device work onto its assigned stream of the shared
+per-device timeline.  Streams are FIFO and a job's launches are issued
+back-to-back, so enqueueing the job's kernel sequence is time-equivalent to
+enqueueing its total duration — which is what the replay does, keeping
+start/end arithmetic exact.  Work on *different* streams overlaps, so the
+batch makespan reflects genuine concurrency: for small and medium swarms
+(the workload this layer targets) a single job occupies a small fraction of
+a V100's SMs and full stream overlap is the faithful first-order model.
+
+Packing policies
+----------------
+``"fifo"`` assigns jobs in submission order to the earliest-available
+stream (classic list scheduling — no job is ever starved: each waits only
+for jobs that were ahead of it in the queue).  ``"packed"`` is the
+size-aware option: jobs are ordered longest-first (LPT bin-packing) before
+the same earliest-available assignment, which tightens the makespan when
+job durations are skewed.  Both policies respect stream capacity by
+construction — a stream runs exactly one job at a time.
+
+Metrics
+-------
+Fleet-level kernel statistics flow through the existing profiler
+(:func:`repro.gpusim.profiler.build_report_from_stats` over the merged
+per-job launcher accumulators), and :class:`BatchResult` reports queue
+waits, per-device occupancy and the makespan-vs-sum-of-solo speedup that
+``benchmarks/bench_batch.py`` tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.batch.job import Job, JobOutcome
+from repro.core.results import OptimizeResult
+from repro.errors import InvalidParameterError
+from repro.gpusim.clock import SimClock
+from repro.gpusim.launch import LaunchStats
+from repro.gpusim.profiler import ProfileReport, build_report_from_stats
+from repro.gpusim.streams import Stream
+from repro.utils.tables import format_table
+
+__all__ = ["BatchScheduler", "BatchResult", "POLICIES"]
+
+#: Supported packing policies, in documentation order.
+POLICIES = ("fifo", "packed")
+
+
+@dataclass
+class _Lane:
+    """One stream of one device — the unit of placement."""
+
+    device_index: int
+    stream_index: int
+    stream: Stream
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch run: per-job results plus fleet metrics."""
+
+    outcomes: tuple[JobOutcome, ...]
+    policy: str
+    n_devices: int
+    streams_per_device: int
+    makespan_seconds: float
+    device_makespans: tuple[float, ...]
+    fleet_profile: ProfileReport | None = field(repr=False, default=None)
+
+    # -- fleet metrics -------------------------------------------------------
+    @property
+    def results(self) -> list[OptimizeResult]:
+        """Per-job results, in submission order."""
+        return [o.result for o in self.outcomes]
+
+    @property
+    def sum_solo_seconds(self) -> float:
+        """Simulated time a one-job-at-a-time serial run would take."""
+        return sum(o.solo_seconds for o in self.outcomes)
+
+    @property
+    def speedup(self) -> float:
+        """Sum-of-solo over makespan — the batching win from overlap."""
+        if self.makespan_seconds <= 0.0:
+            return 1.0
+        return self.sum_solo_seconds / self.makespan_seconds
+
+    @property
+    def mean_queue_wait_seconds(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.queue_wait_seconds for o in self.outcomes) / len(
+            self.outcomes
+        )
+
+    @property
+    def max_queue_wait_seconds(self) -> float:
+        return max((o.queue_wait_seconds for o in self.outcomes), default=0.0)
+
+    def device_occupancy(self, device_index: int) -> float:
+        """Busy fraction of one device's stream-seconds over the makespan."""
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        busy = sum(
+            o.solo_seconds
+            for o in self.outcomes
+            if o.device_index == device_index
+        )
+        return busy / (self.streams_per_device * self.makespan_seconds)
+
+    @property
+    def fleet_occupancy(self) -> float:
+        """Busy fraction of all stream-seconds over the makespan."""
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        lanes = self.n_devices * self.streams_per_device
+        return self.sum_solo_seconds / (lanes * self.makespan_seconds)
+
+    # -- presentation --------------------------------------------------------
+    def summary(self) -> str:
+        """One aligned table: placement, timing and result per job."""
+        rows = [
+            [
+                o.job.label,
+                f"d{o.device_index}/s{o.stream_index}",
+                o.queue_wait_seconds,
+                o.solo_seconds,
+                o.end_seconds,
+                o.result.best_value,
+            ]
+            for o in self.outcomes
+        ]
+        table = format_table(
+            ["job", "lane", "wait_s", "solo_s", "end_s", "best"],
+            rows,
+            title=(
+                f"batch: {len(self.outcomes)} jobs, policy={self.policy}, "
+                f"{self.n_devices} device(s) x {self.streams_per_device} "
+                f"stream(s)"
+            ),
+            float_fmt=".4g",
+        )
+        footer = (
+            f"makespan={self.makespan_seconds:.6g}s "
+            f"sum-of-solo={self.sum_solo_seconds:.6g}s "
+            f"speedup={self.speedup:.2f}x "
+            f"occupancy={self.fleet_occupancy:.1%}"
+        )
+        return f"{table}\n{footer}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary (versioned like :mod:`repro.io` payloads)."""
+        from repro.io import SCHEMA_VERSION, result_to_dict
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "policy": self.policy,
+            "n_devices": self.n_devices,
+            "streams_per_device": self.streams_per_device,
+            "makespan_seconds": self.makespan_seconds,
+            "sum_solo_seconds": self.sum_solo_seconds,
+            "speedup": self.speedup,
+            "fleet_occupancy": self.fleet_occupancy,
+            "device_makespans": list(self.device_makespans),
+            "jobs": [
+                {
+                    "label": o.job.label,
+                    "device": o.device_index,
+                    "stream": o.stream_index,
+                    "start_seconds": o.start_seconds,
+                    "end_seconds": o.end_seconds,
+                    "queue_wait_seconds": o.queue_wait_seconds,
+                    "result": result_to_dict(o.result),
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+class BatchScheduler:
+    """Packs independent PSO jobs onto simulated streams and devices.
+
+    Parameters
+    ----------
+    n_devices:
+        Number of simulated devices in the fleet; each gets its own shared
+        :class:`SimClock` (the multi-device analogue of the paper's
+        Section 3.5 particle-splitting fleet, here multiplexing whole jobs
+        instead of sub-swarms).
+    streams_per_device:
+        Concurrent streams per device — the lane count that bounds how many
+        jobs a device overlaps.
+    policy:
+        ``"fifo"`` or ``"packed"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_devices: int = 1,
+        streams_per_device: int = 4,
+        policy: str = "fifo",
+    ) -> None:
+        if n_devices < 1:
+            raise InvalidParameterError(
+                f"need at least one device, got {n_devices}"
+            )
+        if streams_per_device < 1:
+            raise InvalidParameterError(
+                f"need at least one stream per device, got {streams_per_device}"
+            )
+        if policy not in POLICIES:
+            raise InvalidParameterError(
+                f"unknown policy {policy!r}; choose from {POLICIES}"
+            )
+        self.n_devices = n_devices
+        self.streams_per_device = streams_per_device
+        self.policy = policy
+        self._queue: list[Job] = []
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, job: Job | None = None, /, **spec: object) -> Job:
+        """Queue a job; either a ready :class:`Job` or its field values."""
+        if job is None:
+            job = Job(**spec)  # type: ignore[arg-type]
+        elif spec:
+            raise InvalidParameterError(
+                "pass either a Job or keyword fields, not both"
+            )
+        if not isinstance(job, Job):
+            raise InvalidParameterError(
+                f"submit() requires a Job, got {type(job).__name__}"
+            )
+        self._queue.append(job)
+        return job
+
+    def submit_many(self, jobs) -> list[Job]:
+        """Queue an iterable of jobs (specs may be Jobs or field dicts)."""
+        out = []
+        for job in jobs:
+            if isinstance(job, dict):
+                out.append(self.submit(**job))
+            else:
+                out.append(self.submit(job))
+        return out
+
+    @property
+    def pending(self) -> tuple[Job, ...]:
+        """Jobs queued and not yet run."""
+        return tuple(self._queue)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, jobs=None) -> BatchResult:
+        """Execute all queued jobs (plus *jobs*, if given) as one batch.
+
+        Drains the queue.  Returns a :class:`BatchResult` whose per-job
+        results are bit-identical to solo runs of the same specs.
+        """
+        batch = list(self._queue)
+        if jobs is not None:
+            for job in jobs:
+                batch.append(Job(**job) if isinstance(job, dict) else job)
+        self._queue = []
+        if not batch:
+            raise InvalidParameterError("cannot run an empty batch")
+        for job in batch:
+            if not isinstance(job, Job):
+                raise InvalidParameterError(
+                    f"batch entries must be Jobs, got {type(job).__name__}"
+                )
+
+        executed = [self._execute(job) for job in batch]
+        outcomes, device_makespans = self._schedule(batch, executed)
+        profile = self._fleet_profile(executed)
+        return BatchResult(
+            outcomes=tuple(outcomes),
+            policy=self.policy,
+            n_devices=self.n_devices,
+            streams_per_device=self.streams_per_device,
+            makespan_seconds=max(device_makespans, default=0.0),
+            device_makespans=tuple(device_makespans),
+            fleet_profile=profile,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _execute(self, job: Job) -> tuple[OptimizeResult, object]:
+        """Run one job on a fresh engine — numerics identical to a solo run."""
+        from repro.engines import make_engine
+
+        engine = make_engine(job.engine, **dict(job.engine_options))
+        result = engine.optimize(
+            job.resolved_problem(),
+            n_particles=job.n_particles,
+            max_iter=job.max_iter,
+            params=job.resolved_params,
+            record_history=job.record_history,
+        )
+        return result, engine
+
+    def _schedule(
+        self, batch: list[Job], executed
+    ) -> tuple[list[JobOutcome], list[float]]:
+        """Replay job durations onto shared per-device stream timelines."""
+        clocks = [SimClock() for _ in range(self.n_devices)]
+        lanes = [
+            _Lane(dev, s, Stream(clocks[dev]))
+            for dev in range(self.n_devices)
+            for s in range(self.streams_per_device)
+        ]
+
+        order = list(range(len(batch)))
+        if self.policy == "packed":
+            # LPT bin-packing: longest jobs placed first, ties broken by
+            # submission order so the schedule is fully deterministic.
+            order.sort(key=lambda i: (-executed[i][0].elapsed_seconds, i))
+
+        placements: dict[int, tuple[_Lane, float, float]] = {}
+        for i in order:
+            result = executed[i][0]
+            # Earliest-available lane; ties go to the lowest lane index so
+            # single-lane batches degenerate to the serial schedule.
+            lane = min(lanes, key=lambda ln: ln.stream.horizon)
+            start = max(lane.stream.horizon, lane.stream.clock.now)
+            end = lane.stream.enqueue(result.elapsed_seconds)
+            lane.stream.record_event()
+            placements[i] = (lane, start, end)
+
+        # Drain every device: the host "joins" the batch, advancing each
+        # shared clock to its streams' horizon (the device makespan).
+        for lane in lanes:
+            lane.stream.synchronize()
+        device_makespans = [clock.now for clock in clocks]
+
+        outcomes = []
+        for i, job in enumerate(batch):
+            lane, start, end = placements[i]
+            outcomes.append(
+                JobOutcome(
+                    job=job,
+                    result=executed[i][0],
+                    device_index=lane.device_index,
+                    stream_index=lane.stream_index,
+                    submit_order=i,
+                    start_seconds=start,
+                    end_seconds=end,
+                )
+            )
+        return outcomes, device_makespans
+
+    def _fleet_profile(self, executed) -> ProfileReport:
+        """Merge every GPU job's launcher accumulators into one report.
+
+        Reuses the existing aggregation-first profiler path: per-job
+        :class:`LaunchStats` buckets are summed per ``(kernel, section)``
+        key, then folded by :func:`build_report_from_stats` — so Table-3
+        style throughput metrics are available for the whole fleet.
+        """
+        merged: dict[tuple[str, str | None], LaunchStats] = {}
+        sections: dict[str, float] = {}
+        for _result, engine in executed:
+            contexts = list(self._engine_contexts(engine))
+            # Section totals live on each device clock (GPU engines share
+            # their clock with the context; CPU engines own theirs).
+            clocks = {id(c.clock): c.clock for c in contexts}
+            clocks.setdefault(id(engine.clock), engine.clock)
+            for clock in clocks.values():
+                for label, seconds in clock.section_totals.items():
+                    sections[label] = sections.get(label, 0.0) + seconds
+            for ctx in contexts:
+                for key, bucket in ctx.launcher.stats.items():
+                    into = merged.get(key)
+                    if into is None:
+                        merged[key] = LaunchStats(
+                            kernel_name=bucket.kernel_name,
+                            section=bucket.section,
+                            launches=bucket.launches,
+                            total_elems=bucket.total_elems,
+                            seconds=bucket.seconds,
+                            body_seconds=bucket.body_seconds,
+                            bytes_read=bucket.bytes_read,
+                            bytes_written=bucket.bytes_written,
+                            flops=bucket.flops,
+                            occupancy_sum=bucket.occupancy_sum,
+                        )
+                    else:
+                        into.launches += bucket.launches
+                        into.total_elems += bucket.total_elems
+                        into.seconds += bucket.seconds
+                        into.body_seconds += bucket.body_seconds
+                        into.bytes_read += bucket.bytes_read
+                        into.bytes_written += bucket.bytes_written
+                        into.flops += bucket.flops
+                        into.occupancy_sum += bucket.occupancy_sum
+        return build_report_from_stats(merged, sections)
+
+    @staticmethod
+    def _engine_contexts(engine):
+        """GPU contexts owned by *engine* (workers included for multi-GPU)."""
+        ctx = getattr(engine, "ctx", None)
+        if ctx is not None:
+            yield ctx
+        for worker in getattr(engine, "workers", ()):
+            worker_ctx = getattr(worker, "ctx", None)
+            if worker_ctx is not None:
+                yield worker_ctx

@@ -1,0 +1,71 @@
+"""Deterministic mixed workloads for batch benchmarks and tests.
+
+Real PSO deployments are fleets of heterogeneous small/medium jobs (the
+gpu-pso and PSO-survey observations in PAPERS.md), so the reference
+workload mixes problems, dimensionalities, swarm sizes, budgets and GPU
+engine variants.  Generation is pure arithmetic over fixed tables — no RNG
+— so the same call always produces the same job list on every platform,
+which keeps the committed ``BENCH_batch.json`` reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.batch.job import Job
+from repro.errors import InvalidParameterError
+
+__all__ = ["mixed_workload", "WORKLOAD_PROBLEMS"]
+
+#: Problem mix, chosen from the paper's Table 1/2 suite: cheap separable
+#: objectives next to transcendental-heavy ones so job durations are skewed
+#: (the case where size-aware packing beats FIFO).
+WORKLOAD_PROBLEMS = (
+    "sphere",
+    "rastrigin",
+    "rosenbrock",
+    "ackley",
+    "griewank",
+    "levy",
+    "zakharov",
+    "schwefel",
+)
+
+_DIMS = (8, 16, 32, 64)
+_PARTICLES = (128, 256, 512, 1024)
+_ITERS = (40, 60, 80, 120)
+#: GPU engine variants only: a batch mixing in a CPU-substrate job would be
+#: dominated by it (Table 1's two-orders-of-magnitude gap) and measure that
+#: job, not the scheduler.
+_ENGINES = (
+    ("fastpso", {}),
+    ("fastpso", {"backend": "shared"}),
+    ("gpu-pso", {}),
+    ("fastpso", {"backend": "tensorcore"}),
+)
+
+
+def mixed_workload(n_jobs: int = 32, *, base_seed: int = 1000) -> list[Job]:
+    """The reference mixed batch: *n_jobs* heterogeneous GPU jobs.
+
+    Job *i* cycles through the problem/dim/particle/iteration/engine tables
+    at coprime strides, so consecutive jobs differ in several axes and the
+    duration distribution is skewed rather than uniform.  Seeds are
+    ``base_seed + i`` — every job draws from its own Philox stream.
+    """
+    if n_jobs < 1:
+        raise InvalidParameterError(f"n_jobs must be positive, got {n_jobs}")
+    jobs = []
+    for i in range(n_jobs):
+        engine, options = _ENGINES[(i * 3) % len(_ENGINES)]
+        jobs.append(
+            Job(
+                problem=WORKLOAD_PROBLEMS[i % len(WORKLOAD_PROBLEMS)],
+                dim=_DIMS[(i * 5) % len(_DIMS)],
+                n_particles=_PARTICLES[(i * 7) % len(_PARTICLES)],
+                max_iter=_ITERS[(i * 11) % len(_ITERS)],
+                engine=engine,
+                engine_options=options,
+                seed=base_seed + i,
+                name=f"job{i:02d}",
+            )
+        )
+    return jobs

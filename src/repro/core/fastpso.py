@@ -77,8 +77,16 @@ class FastPSO:
 
         if engine is None:
             self.engine = FastPSOEngine(device, backend=backend, caching=caching)
+            self._engine_name = "fastpso"
+            self._engine_options: dict[str, object] = {
+                "backend": backend,
+                "caching": caching,
+                "device": device,
+            }
         else:
             self.engine = make_engine(engine)
+            self._engine_name = engine
+            self._engine_options = {}
 
     # -- main entry points --------------------------------------------------
     def minimize(
@@ -150,6 +158,61 @@ class FastPSO:
             stop=stop,
             record_history=record_history,
         )
+
+    def minimize_batch(
+        self,
+        jobs,
+        *,
+        n_devices: int = 1,
+        streams_per_device: int = 4,
+        policy: str = "fifo",
+    ):
+        """Run many independent jobs concurrently on the simulated fleet.
+
+        *jobs* is an iterable of :class:`repro.batch.Job` specs or plain
+        dicts of Job fields.  Dict specs inherit this optimizer's swarm
+        size, hyper-parameters and engine configuration for any field they
+        omit, so the common case reads naturally::
+
+            pso = FastPSO(n_particles=256, backend="shared")
+            batch = pso.minimize_batch(
+                [{"problem": "sphere", "dim": 32, "seed": s} for s in range(16)]
+            )
+
+        Each job's result is bit-identical to a solo :meth:`minimize` run
+        with the same spec; the returned
+        :class:`~repro.batch.BatchResult` adds fleet metrics (makespan,
+        speedup over serial execution, queue waits, occupancy).
+        """
+        from repro.batch import BatchScheduler, Job
+
+        scheduler = BatchScheduler(
+            n_devices=n_devices,
+            streams_per_device=streams_per_device,
+            policy=policy,
+        )
+        resolved = []
+        for spec in jobs:
+            if isinstance(spec, Job):
+                resolved.append(spec)
+            elif isinstance(spec, dict):
+                resolved.append(
+                    Job(
+                        **{
+                            "n_particles": self.n_particles,
+                            "params": self.params,
+                            "engine": self._engine_name,
+                            "engine_options": self._engine_options,
+                            **spec,
+                        }
+                    )
+                )
+            else:
+                raise InvalidParameterError(
+                    "minimize_batch() takes Job specs or dicts, got "
+                    f"{type(spec).__name__}"
+                )
+        return scheduler.run(resolved)
 
     # -- helpers -------------------------------------------------------------
     def _as_problem(

@@ -112,3 +112,23 @@ class OptimizeResult:
             f"iters={self.iterations} best={self.best_value:.6g} "
             f"err={self.error:.6g} t={self.elapsed_seconds:.4g}s"
         )
+
+    def to_json(self) -> str:
+        """The versioned JSON document for this result (schema_version 2).
+
+        Delegates to :mod:`repro.io`; :meth:`from_json` is the inverse.
+        """
+        import json
+
+        from repro.io import result_to_dict
+
+        return json.dumps(result_to_dict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, document: str) -> "OptimizeResult":
+        """Rebuild a result from :meth:`to_json` output (or a v1 payload)."""
+        import json
+
+        from repro.io import result_from_dict
+
+        return result_from_dict(json.loads(document))

@@ -12,12 +12,18 @@ pyswarms      :class:`PySwarmsLikeEngine`                  NumPy library
 scikit-opt    :class:`ScikitOptLikeEngine`                 NumPy library
 ============  ===========================================  =================
 
-:func:`make_engine` builds any of them by the paper's name; FastPSO's
-memory backends (``global``/``shared``/``tensorcore``) and allocator toggle
-are constructor options on :class:`FastPSOEngine`.
+:func:`make_engine` builds any of them by the paper's name, by the names of
+the two library-extension engines (``fastpso-mgpu``, ``fastpso-async``), or
+by a registered alias such as ``"fastpso-tc"`` for the tensor-core backend.
+FastPSO's memory backends (``global``/``shared``/``tensorcore``) and
+allocator toggle remain constructor options on :class:`FastPSOEngine`.
+Unknown names raise :class:`~repro.errors.InvalidParameterError` with a
+did-you-mean suggestion.
 """
 
 from __future__ import annotations
+
+import difflib
 
 from repro.core.engine import Engine
 from repro.engines.async_pso import AsyncFastPSOEngine
@@ -46,6 +52,7 @@ __all__ = [
     "AsyncFastPSOEngine",
     "BACKENDS",
     "ENGINE_NAMES",
+    "available_engines",
     "make_engine",
 ]
 
@@ -57,6 +64,23 @@ _FACTORIES = {
     "fastpso-omp": OpenMPEngine,
     "pyswarms": PySwarmsLikeEngine,
     "scikit-opt": ScikitOptLikeEngine,
+    # Library extensions beyond the paper's Table 1.
+    "fastpso-mgpu": MultiGpuFastPSOEngine,
+    "fastpso-async": AsyncFastPSOEngine,
+}
+
+#: Aliases: canonical name plus implied constructor options.  These are the
+#: spellings the result tables and docs use for engine *variants* (a
+#: variant is a configuration, not a class of its own).
+_ALIASES: dict[str, tuple[str, dict[str, object]]] = {
+    "fastpso-global": ("fastpso", {}),
+    "fastpso-shared": ("fastpso", {"backend": "shared"}),
+    "fastpso-tc": ("fastpso", {"backend": "tensorcore"}),
+    "fastpso-tensorcore": ("fastpso", {"backend": "tensorcore"}),
+    "fastpso-nocache": ("fastpso", {"caching": False}),
+    "fastpso-fused": ("fastpso", {"fuse_update": True}),
+    "mgpu": ("fastpso-mgpu", {}),
+    "async": ("fastpso-async", {}),
 }
 
 #: Engine names in the paper's Table 1 column order.
@@ -71,12 +95,29 @@ ENGINE_NAMES = (
 )
 
 
+def available_engines() -> tuple[str, ...]:
+    """Every name :func:`make_engine` accepts (canonical names + aliases)."""
+    return tuple(sorted({*_FACTORIES, *_ALIASES}))
+
+
 def make_engine(name: str, **kwargs: object) -> Engine:
-    """Instantiate an engine by its paper name (see :data:`ENGINE_NAMES`)."""
+    """Instantiate an engine by name or alias (see :func:`available_engines`).
+
+    Alias-implied options (e.g. ``"fastpso-tc"`` → ``backend="tensorcore"``)
+    merge with explicit keyword arguments; explicit keywords win.  Unknown
+    names raise :class:`InvalidParameterError` with a did-you-mean hint.
+    """
+    key = name.lower()
+    if key in _ALIASES:
+        key, implied = _ALIASES[key]
+        kwargs = {**implied, **kwargs}
     try:
-        factory = _FACTORIES[name.lower()]
+        factory = _FACTORIES[key]
     except KeyError:
+        close = difflib.get_close_matches(key, available_engines(), n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
         raise InvalidParameterError(
-            f"unknown engine {name!r}; available: {sorted(_FACTORIES)}"
+            f"unknown engine {name!r}{hint} "
+            f"available: {', '.join(available_engines())}"
         ) from None
     return factory(**kwargs)  # type: ignore[arg-type]

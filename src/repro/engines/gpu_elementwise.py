@@ -39,6 +39,7 @@ from repro.core.swarm import (
     velocity_update,
 )
 from repro.core.topology import social_positions
+from repro._compat import deprecated_kwargs
 from repro.errors import InvalidParameterError
 from repro.gpusim.context import GpuContext, make_context
 from repro.gpusim.costmodel import GpuCostParams
@@ -65,13 +66,19 @@ _RNG_FLOPS_PER_WORD = 12.0
 
 
 class FastPSOEngine(Engine):
-    """Element-wise PSO on the simulated GPU (the paper's FastPSO)."""
+    """Element-wise PSO on the simulated GPU (the paper's FastPSO).
+
+    ``device`` is the simulated device spec (defaults to the paper's Tesla
+    V100) — the same keyword the :class:`~repro.core.fastpso.FastPSO`
+    facade uses; the old ``spec=`` spelling is deprecated.
+    """
 
     is_gpu = True
 
+    @deprecated_kwargs(spec="device")
     def __init__(
         self,
-        spec: DeviceSpec | None = None,
+        device: DeviceSpec | None = None,
         *,
         backend: str = "global",
         caching: bool = True,
@@ -97,7 +104,7 @@ class FastPSOEngine(Engine):
                 "which already rounds the multiplicands to fp16"
             )
         self.ctx: GpuContext = make_context(
-            spec,
+            device,
             caching=caching,
             cost_params=cost_params,
             record_launches=record_launches,

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.problem import Problem
 from repro.core.swarm import SwarmState
 from repro.engines.gpu_particle import GpuParticleEngine
+from repro._compat import deprecated_kwargs
 from repro.errors import InvalidParameterError
 from repro.gpusim.costmodel import (
     CpuSpec,
@@ -38,9 +39,10 @@ class GpuHeteroEngine(GpuParticleEngine):
     name = "hgpu-pso"
     is_gpu = True
 
+    @deprecated_kwargs(spec="device")
     def __init__(
         self,
-        spec: DeviceSpec | None = None,
+        device: DeviceSpec | None = None,
         *,
         cpu: CpuSpec | None = None,
         cpu_threads: int = 20,
@@ -49,7 +51,7 @@ class GpuHeteroEngine(GpuParticleEngine):
         record_launches: bool = False,
     ) -> None:
         super().__init__(
-            spec,
+            device,
             threads_per_block=threads_per_block,
             cost_params=cost_params,
             record_launches=record_launches,

@@ -38,6 +38,7 @@ from repro.core.swarm import (
     velocity_update,
 )
 from repro.core.topology import social_positions
+from repro._compat import deprecated_kwargs
 from repro.gpusim.context import GpuContext, make_context
 from repro.gpusim.costmodel import GpuCostParams
 from repro.gpusim.device import DeviceSpec
@@ -63,9 +64,10 @@ class GpuParticleEngine(Engine):
     name = "gpu-pso"
     is_gpu = True
 
+    @deprecated_kwargs(spec="device")
     def __init__(
         self,
-        spec: DeviceSpec | None = None,
+        device: DeviceSpec | None = None,
         *,
         threads_per_block: int = 128,
         cost_params: GpuCostParams | None = None,
@@ -73,7 +75,7 @@ class GpuParticleEngine(Engine):
     ) -> None:
         super().__init__()
         self.ctx: GpuContext = make_context(
-            spec,
+            device,
             caching=False,
             cost_params=cost_params,
             record_launches=record_launches,

@@ -27,6 +27,7 @@ from repro.core.problem import Problem
 from repro.core.results import History, OptimizeResult, StepTimes
 from repro.core.stopping import StopCriterion
 from repro.engines.gpu_elementwise import FastPSOEngine
+from repro._compat import deprecated_kwargs
 from repro.errors import InvalidParameterError
 from repro.gpusim.costmodel import GpuCostParams
 from repro.gpusim.device import DeviceSpec
@@ -40,10 +41,11 @@ class MultiGpuFastPSOEngine(Engine):
 
     is_gpu = True
 
+    @deprecated_kwargs(spec="device")
     def __init__(
         self,
         n_devices: int = 2,
-        spec: DeviceSpec | None = None,
+        device: DeviceSpec | None = None,
         *,
         exchange_interval: int = 50,
         backend: str = "global",
@@ -64,7 +66,7 @@ class MultiGpuFastPSOEngine(Engine):
         self.exchange_interval = exchange_interval
         self.workers = [
             FastPSOEngine(
-                spec,
+                device,
                 backend=backend,
                 caching=caching,
                 cost_params=cost_params,

@@ -21,7 +21,7 @@ signatures reproduced here:
 
 from __future__ import annotations
 
-from repro.core.parameters import PSOParams
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
 from repro.core.problem import Problem
 from repro.core.results import OptimizeResult
 from repro.core.stopping import AnyOf, StallStop, StopCriterion
@@ -54,7 +54,7 @@ class ScikitOptLikeEngine(LibraryEngineBase):
         *,
         n_particles: int,
         max_iter: int,
-        params: PSOParams = PSOParams(),
+        params: PSOParams = PAPER_DEFAULTS,
         stop: StopCriterion | None = None,
         record_history: bool = False,
         callback=None,

@@ -3,12 +3,21 @@
 JSON for single runs (round-trippable; NumPy arrays become lists), CSV for
 experiment grids (one row per engine x problem x configuration) — the
 formats a downstream user feeds into their own plotting/analysis stack.
+
+Payloads are versioned by a ``schema_version`` field so downstream readers
+can detect drift.  History:
+
+* **1** — the original layout, under the legacy key ``format_version``
+  (still readable, with a :class:`DeprecationWarning`).
+* **2** — renamed the version key to ``schema_version`` and added
+  ``peak_device_bytes`` (which version-1 writers silently dropped).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import warnings
 from pathlib import Path
 from typing import Iterable
 
@@ -18,6 +27,7 @@ from repro.core.results import History, OptimizeResult, StepTimes
 from repro.errors import BenchmarkError
 
 __all__ = [
+    "SCHEMA_VERSION",
     "result_to_dict",
     "result_from_dict",
     "save_result_json",
@@ -25,13 +35,16 @@ __all__ = [
     "write_rows_csv",
 ]
 
-_FORMAT_VERSION = 1
+#: Version written by :func:`result_to_dict`.
+SCHEMA_VERSION = 2
+#: Versions :func:`result_from_dict` can still read.
+_READABLE_VERSIONS = (1, 2)
 
 
 def result_to_dict(result: OptimizeResult) -> dict:
     """A JSON-safe dictionary capturing everything in *result*."""
     payload = {
-        "format_version": _FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "engine": result.engine,
         "problem": result.problem,
         "n_particles": result.n_particles,
@@ -44,6 +57,7 @@ def result_to_dict(result: OptimizeResult) -> dict:
         "setup_seconds": result.setup_seconds,
         "iteration_seconds": result.iteration_seconds,
         "step_times": result.step_times.as_dict(),
+        "peak_device_bytes": int(result.peak_device_bytes),
     }
     if result.history is not None:
         payload["history"] = {
@@ -54,12 +68,20 @@ def result_to_dict(result: OptimizeResult) -> dict:
 
 
 def result_from_dict(payload: dict) -> OptimizeResult:
-    """Inverse of :func:`result_to_dict`."""
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    """Inverse of :func:`result_to_dict` (reads schema versions 1 and 2)."""
+    version = payload.get("schema_version")
+    if version is None and "format_version" in payload:
+        warnings.warn(
+            "result payloads keyed by 'format_version' are deprecated; "
+            "re-save with save_result_json to upgrade to 'schema_version'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        version = payload["format_version"]
+    if version not in _READABLE_VERSIONS:
         raise BenchmarkError(
-            f"unsupported result format version {version!r} "
-            f"(this build reads {_FORMAT_VERSION})"
+            f"unsupported result schema version {version!r} "
+            f"(this build reads {_READABLE_VERSIONS})"
         )
     history = None
     if "history" in payload:
@@ -81,6 +103,7 @@ def result_from_dict(payload: dict) -> OptimizeResult:
         iteration_seconds=float(payload["iteration_seconds"]),
         step_times=StepTimes(**payload["step_times"]),
         history=history,
+        peak_device_bytes=int(payload.get("peak_device_bytes", 0)),
     )
 
 

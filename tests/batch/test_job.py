@@ -1,0 +1,66 @@
+"""Job spec validation and derived views."""
+
+import pytest
+
+from repro.batch import Job
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.errors import InvalidParameterError
+
+
+class TestValidation:
+    def test_minimal_job(self):
+        job = Job("sphere", dim=8)
+        assert job.problem_name == "sphere"
+        assert job.resolved_params is PAPER_DEFAULTS
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 0},
+            {"dim": -3},
+            {"n_particles": 0},
+            {"max_iter": 0},
+            {"seed": -1},
+            {"seed": 2**64},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            Job("sphere", **{"dim": 8, **kwargs})
+
+    def test_bad_problem_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Job(problem=42, dim=8)
+        with pytest.raises(InvalidParameterError):
+            Job(problem="", dim=8)
+
+
+class TestDerivedViews:
+    def test_seed_overrides_params(self):
+        job = Job("sphere", dim=8, params=PSOParams(seed=1), seed=9)
+        assert job.resolved_params.seed == 9
+        assert job.resolved_params.inertia == PSOParams(seed=1).inertia
+
+    def test_seed_matching_params_is_identity(self):
+        params = PSOParams(seed=5)
+        assert Job("sphere", dim=8, params=params, seed=5).resolved_params is params
+
+    def test_resolved_problem_builds_benchmark(self):
+        problem = Job("rastrigin", dim=6).resolved_problem()
+        assert problem.name == "rastrigin" and problem.dim == 6
+
+    def test_resolved_problem_passes_through_instances(self):
+        problem = Problem.from_benchmark("ackley", 4)
+        job = Job(problem, dim=4)
+        assert job.resolved_problem() is problem
+        assert job.problem_name == "ackley"
+
+    def test_label_default_and_override(self):
+        assert Job("sphere", dim=8, name="mine").label == "mine"
+        auto = Job("sphere", dim=8, n_particles=32, seed=3).label
+        assert "sphere" in auto and "d8" in auto and "s3" in auto
+
+    def test_with_overrides(self):
+        job = Job("sphere", dim=8).with_overrides(max_iter=7)
+        assert job.max_iter == 7 and job.problem_name == "sphere"

@@ -1,0 +1,226 @@
+"""BatchScheduler: packing-policy properties and fleet metrics.
+
+The property tests drive the placement logic (``_schedule``) with synthetic
+job durations — hypothesis explores skewed and degenerate workloads far
+faster than running real engines — and pin the scheduling invariants the
+module docstring promises: every job placed exactly once, streams never run
+two jobs at a time (capacity), no job starves, and the makespan is bounded
+by ``max(durations) <= makespan <= sum(durations)``.  End-to-end behaviour
+with real engines (including the bit-identical determinism contract) lives
+in ``tests/integration/test_batch_determinism.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import BatchScheduler, Job, mixed_workload
+from repro.batch.scheduler import POLICIES
+from repro.core.results import OptimizeResult, StepTimes
+from repro.errors import InvalidParameterError
+
+DURATIONS = st.lists(
+    st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _fake_result(seconds: float) -> OptimizeResult:
+    return OptimizeResult(
+        engine="fake",
+        problem="sphere",
+        n_particles=1,
+        dim=1,
+        iterations=1,
+        best_value=0.0,
+        best_position=np.zeros(1),
+        error=0.0,
+        elapsed_seconds=seconds,
+        setup_seconds=0.0,
+        iteration_seconds=seconds,
+        step_times=StepTimes(),
+    )
+
+
+def _schedule(durations, *, n_devices=1, streams=4, policy="fifo"):
+    scheduler = BatchScheduler(
+        n_devices=n_devices, streams_per_device=streams, policy=policy
+    )
+    batch = [Job("sphere", dim=2, name=f"j{i}") for i in range(len(durations))]
+    executed = [(_fake_result(s), None) for s in durations]
+    return scheduler._schedule(batch, executed)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestPackingProperties:
+    @given(durations=DURATIONS, streams=st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_every_job_placed_exactly_once(self, durations, streams, policy):
+        outcomes, _ = _schedule(durations, streams=streams, policy=policy)
+        assert sorted(o.submit_order for o in outcomes) == list(
+            range(len(durations))
+        )
+        for o, seconds in zip(outcomes, durations):
+            # Stream.enqueue returns start + duration, bit-exactly.
+            assert o.end_seconds == o.start_seconds + seconds
+
+    @given(
+        durations=DURATIONS,
+        devices=st.integers(1, 3),
+        streams=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stream_capacity_never_exceeded(
+        self, durations, devices, streams, policy
+    ):
+        """A stream is FIFO: its jobs' intervals never overlap."""
+        outcomes, _ = _schedule(
+            durations, n_devices=devices, streams=streams, policy=policy
+        )
+        lanes: dict[tuple[int, int], list] = {}
+        for o in outcomes:
+            assert 0 <= o.device_index < devices
+            assert 0 <= o.stream_index < streams
+            lanes.setdefault((o.device_index, o.stream_index), []).append(o)
+        for jobs in lanes.values():
+            jobs.sort(key=lambda o: o.start_seconds)
+            for prev, nxt in zip(jobs, jobs[1:]):
+                assert nxt.start_seconds >= prev.end_seconds
+
+    @given(durations=DURATIONS, streams=st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_no_job_starved(self, durations, streams, policy):
+        """Every job waits at most for the rest of the batch, never forever."""
+        outcomes, _ = _schedule(durations, streams=streams, policy=policy)
+        total = sum(durations)
+        for o in outcomes:
+            budget = (
+                sum(durations[: o.submit_order])  # FIFO: only earlier jobs
+                if policy == "fifo"
+                else total - o.solo_seconds
+            )
+            assert o.queue_wait_seconds <= budget + 1e-9
+
+    @given(
+        durations=DURATIONS,
+        devices=st.integers(1, 3),
+        streams=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, durations, devices, streams, policy):
+        outcomes, device_makespans = _schedule(
+            durations, n_devices=devices, streams=streams, policy=policy
+        )
+        makespan = max(device_makespans)
+        lanes = devices * streams
+        # synchronize() advances the clock incrementally, so the device
+        # makespan matches the last completion only up to float rounding.
+        assert makespan == pytest.approx(
+            max(o.end_seconds for o in outcomes), abs=1e-9
+        )
+        assert makespan >= max(durations) - 1e-9
+        assert makespan <= sum(durations) + 1e-9
+        assert makespan >= sum(durations) / lanes - 1e-9
+
+    @given(durations=DURATIONS)
+    @settings(max_examples=30, deadline=None)
+    def test_single_lane_degenerates_to_serial(self, durations, policy):
+        outcomes, device_makespans = _schedule(
+            durations, streams=1, policy=policy
+        )
+        assert device_makespans[0] == pytest.approx(sum(durations))
+
+    @given(durations=DURATIONS, streams=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_is_deterministic(self, durations, streams, policy):
+        a, _ = _schedule(durations, streams=streams, policy=policy)
+        b, _ = _schedule(durations, streams=streams, policy=policy)
+        assert [
+            (o.device_index, o.stream_index, o.start_seconds) for o in a
+        ] == [(o.device_index, o.stream_index, o.start_seconds) for o in b]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_devices": 0},
+            {"streams_per_device": 0},
+            {"policy": "lifo"},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            BatchScheduler(**kwargs)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            BatchScheduler().run()
+
+    def test_submit_forms(self):
+        scheduler = BatchScheduler()
+        a = scheduler.submit(Job("sphere", dim=4))
+        b = scheduler.submit(problem="ackley", dim=4)
+        scheduler.submit_many([{"problem": "levy", "dim": 4}])
+        assert scheduler.pending[:2] == (a, b)
+        assert len(scheduler.pending) == 3
+        with pytest.raises(InvalidParameterError, match="not both"):
+            scheduler.submit(Job("sphere", dim=4), dim=4)
+        with pytest.raises(InvalidParameterError):
+            scheduler.submit("sphere")
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        jobs = [
+            Job("sphere", dim=6, n_particles=32, max_iter=8, seed=s, name=f"s{s}")
+            for s in range(4)
+        ] + [Job("ackley", dim=4, n_particles=16, max_iter=6, engine="gpu-pso")]
+        return BatchScheduler(streams_per_device=2).run(jobs)
+
+    def test_results_in_submission_order(self, batch):
+        assert [o.job.label for o in batch.outcomes][:4] == [
+            f"s{s}" for s in range(4)
+        ]
+        assert len(batch.results) == 5
+
+    def test_queue_drained_and_metrics_consistent(self, batch):
+        assert batch.makespan_seconds == pytest.approx(
+            max(o.end_seconds for o in batch.outcomes)
+        )
+        assert batch.speedup >= 1.0
+        assert 0.0 < batch.fleet_occupancy <= 1.0
+        assert batch.device_occupancy(0) == pytest.approx(
+            batch.fleet_occupancy
+        )
+        assert batch.mean_queue_wait_seconds <= batch.max_queue_wait_seconds
+
+    def test_fleet_profile_covers_all_jobs(self, batch):
+        prof = batch.fleet_profile
+        assert prof is not None
+        # 5 GPU jobs ran: the merged report must count every evaluation
+        # launch (one per iteration per job at minimum).
+        # Both engine families launch one fitness kernel per iteration:
+        # fastpso's "evaluation_kernel" and gpu-pso's "particle_evaluate".
+        evaluate = [k for k in prof.kernels if "evaluat" in k]
+        assert evaluate
+        total_evals = sum(prof.kernels[k].launches for k in evaluate)
+        assert total_evals >= 4 * 8 + 6
+        assert prof.total_kernel_seconds > 0
+
+    def test_summary_and_to_dict(self, batch):
+        text = batch.summary()
+        assert "makespan" in text and "speedup" in text
+        payload = batch.to_dict()
+        assert payload["schema_version"] == 2
+        assert len(payload["jobs"]) == 5
+        assert payload["speedup"] == pytest.approx(batch.speedup)
+
+    def test_workload_generator_is_deterministic(self):
+        a = mixed_workload(12)
+        b = mixed_workload(12)
+        assert a == b
+        assert len({j.resolved_params.seed for j in a}) == 12

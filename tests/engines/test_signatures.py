@@ -1,0 +1,95 @@
+"""Public API conformance: every engine exposes one ``optimize`` signature.
+
+The redesign's contract is that ``Engine.optimize`` is THE entry point —
+keyword-only, same parameter names, same kinds, equal defaults — no matter
+which engine class a caller holds.  This test introspects every registered
+engine class (the paper's seven plus the library extensions) so a future
+override that drifts from the base signature fails here, not in a user's
+stack trace.  The ``spec``→``device`` constructor rename shim is pinned
+alongside.
+"""
+
+import inspect
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.engines import (
+    AsyncFastPSOEngine,
+    FastPSOEngine,
+    GpuHeteroEngine,
+    GpuParticleEngine,
+    MultiGpuFastPSOEngine,
+    OpenMPEngine,
+    PySwarmsLikeEngine,
+    ScikitOptLikeEngine,
+    SequentialEngine,
+)
+from repro.gpusim.device import tesla_v100
+
+#: The paper's seven engines plus the two library extensions — every class
+#: the registry can return.
+ALL_ENGINE_CLASSES = (
+    FastPSOEngine,
+    GpuParticleEngine,
+    GpuHeteroEngine,
+    SequentialEngine,
+    OpenMPEngine,
+    PySwarmsLikeEngine,
+    ScikitOptLikeEngine,
+    MultiGpuFastPSOEngine,
+    AsyncFastPSOEngine,
+)
+
+BASE_PARAMS = inspect.signature(Engine.optimize).parameters
+
+
+@pytest.mark.parametrize(
+    "engine_cls", ALL_ENGINE_CLASSES, ids=lambda c: c.__name__
+)
+class TestOptimizeSignatureConformance:
+    def test_parameter_names_and_order(self, engine_cls):
+        params = inspect.signature(engine_cls.optimize).parameters
+        assert list(params) == list(BASE_PARAMS)
+
+    def test_parameter_kinds(self, engine_cls):
+        """Everything after ``problem`` is keyword-only, as in the base."""
+        params = inspect.signature(engine_cls.optimize).parameters
+        for name, base_param in BASE_PARAMS.items():
+            assert params[name].kind == base_param.kind, name
+
+    def test_parameter_defaults(self, engine_cls):
+        params = inspect.signature(engine_cls.optimize).parameters
+        for name, base_param in BASE_PARAMS.items():
+            assert params[name].default == base_param.default, name
+
+    def test_params_default_is_paper_configuration(self, engine_cls):
+        sig = inspect.signature(engine_cls.optimize)
+        assert sig.parameters["params"].default == PAPER_DEFAULTS
+
+
+class TestDeviceKeywordRename:
+    """``device=`` is the unified spelling; ``spec=`` warns but works."""
+
+    @pytest.mark.parametrize(
+        "engine_cls",
+        [FastPSOEngine, GpuParticleEngine, GpuHeteroEngine],
+        ids=lambda c: c.__name__,
+    )
+    def test_device_keyword_accepted(self, engine_cls):
+        engine = engine_cls(device=tesla_v100())
+        assert engine.ctx.spec.name == tesla_v100().name
+
+    def test_multi_gpu_device_keyword(self):
+        engine = MultiGpuFastPSOEngine(2, device=tesla_v100())
+        assert engine.workers[0].ctx.spec.name == tesla_v100().name
+
+    def test_spec_keyword_warns_and_forwards(self):
+        with pytest.deprecated_call(match="renamed to 'device'"):
+            engine = FastPSOEngine(spec=tesla_v100())
+        assert engine.ctx.spec.name == tesla_v100().name
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="deprecated"):
+            FastPSOEngine(spec=tesla_v100(), device=tesla_v100())

@@ -1,0 +1,121 @@
+"""Batch determinism: scheduling never changes what a job computes.
+
+The batch layer's headline guarantee (see ``repro/batch/scheduler.py``) is
+that each job in a batch is *bit-identical* to a solo ``engine.optimize``
+run of the same spec — same Philox draws, same trajectory, same simulated
+solo runtime — no matter which policy packed it or what ran beside it.
+These tests run the 16-job mixed workload solo once, then as a batch under
+both policies, and compare everything exactly (no tolerances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchScheduler, Job, mixed_workload
+from repro.batch.scheduler import POLICIES
+from repro.engines import make_engine
+
+N_JOBS = 16
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return [j.with_overrides(record_history=True) for j in mixed_workload(N_JOBS)]
+
+
+@pytest.fixture(scope="module")
+def solo_results(jobs):
+    results = []
+    for job in jobs:
+        engine = make_engine(job.engine, **dict(job.engine_options))
+        results.append(
+            engine.optimize(
+                job.resolved_problem(),
+                n_particles=job.n_particles,
+                max_iter=job.max_iter,
+                params=job.resolved_params,
+                record_history=True,
+            )
+        )
+    return results
+
+
+@pytest.fixture(scope="module", params=POLICIES)
+def batch(request, jobs):
+    return BatchScheduler(streams_per_device=4, policy=request.param).run(jobs)
+
+
+class TestBitIdenticalToSolo:
+    def test_best_values_exact(self, batch, solo_results):
+        for o, solo in zip(batch.outcomes, solo_results):
+            assert o.result.best_value == solo.best_value
+            assert o.result.error == solo.error
+
+    def test_best_positions_exact(self, batch, solo_results):
+        for o, solo in zip(batch.outcomes, solo_results):
+            np.testing.assert_array_equal(
+                o.result.best_position, solo.best_position
+            )
+
+    def test_trajectories_exact(self, batch, solo_results):
+        for o, solo in zip(batch.outcomes, solo_results):
+            assert o.result.history is not None
+            assert o.result.history.gbest_values == solo.history.gbest_values
+            assert (
+                o.result.history.mean_pbest_values
+                == solo.history.mean_pbest_values
+            )
+
+    def test_solo_timings_exact(self, batch, solo_results):
+        """The replayed stream segment is exactly the solo simulated time."""
+        for o, solo in zip(batch.outcomes, solo_results):
+            assert o.result.elapsed_seconds == solo.elapsed_seconds
+            assert o.end_seconds == o.start_seconds + solo.elapsed_seconds
+
+
+class TestOverlap:
+    def test_makespan_beats_serial(self, batch):
+        """Streams genuinely overlap: the batch finishes well before a
+        one-job-at-a-time run would."""
+        assert batch.makespan_seconds < batch.sum_solo_seconds
+        assert batch.speedup > 1.5
+
+    def test_every_lane_within_fleet(self, batch):
+        for o in batch.outcomes:
+            assert 0 <= o.device_index < batch.n_devices
+            assert 0 <= o.stream_index < batch.streams_per_device
+
+
+class TestPolicyIndependence:
+    def test_policies_agree_on_numerics(self, jobs, solo_results):
+        """Different packing orders, same numbers — only placement differs."""
+        fifo = BatchScheduler(streams_per_device=2, policy="fifo").run(jobs)
+        packed = BatchScheduler(streams_per_device=2, policy="packed").run(jobs)
+        for a, b in zip(fifo.outcomes, packed.outcomes):
+            assert a.result.best_value == b.result.best_value
+            assert a.result.history.gbest_values == b.result.history.gbest_values
+        assert packed.makespan_seconds <= fifo.makespan_seconds * 1.05
+
+    def test_facade_matches_scheduler(self, jobs):
+        """FastPSO.minimize_batch is sugar over BatchScheduler.run."""
+        from repro import FastPSO
+
+        subset = [
+            Job(
+                j.problem,
+                dim=j.dim,
+                n_particles=j.n_particles,
+                max_iter=j.max_iter,
+                engine=j.engine,
+                params=j.params,
+                engine_options=j.engine_options,
+            )
+            for j in jobs[:4]
+            if j.engine == "fastpso"
+        ]
+        assert subset  # the mixed workload always includes fastpso jobs
+        direct = BatchScheduler(streams_per_device=2).run(subset)
+        facade = FastPSO().minimize_batch(subset, streams_per_device=2)
+        for a, b in zip(direct.outcomes, facade.outcomes):
+            assert a.result.best_value == b.result.best_value
+            assert a.end_seconds == b.end_seconds

@@ -1,0 +1,147 @@
+"""API-surface snapshot: the public names are a contract, pinned here.
+
+Adding a name is deliberate (extend the snapshot in the same change);
+removing or renaming one is a breaking change and must go through a
+deprecation cycle like the ``spec``→``device`` rename — this test is what
+makes accidental drift impossible.  ``__all__`` and the importable module
+namespace are checked against each other too, so every advertised name
+actually resolves.
+"""
+
+import pytest
+
+REPRO_PUBLIC = {
+    "BatchResult",
+    "BatchScheduler",
+    "ENGINE_NAMES",
+    "FastPSO",
+    "Job",
+    "OptimizeResult",
+    "PAPER_DEFAULTS",
+    "PSOParams",
+    "Problem",
+    "ReproError",
+    "__version__",
+    "available_engines",
+    "available_functions",
+    "get_function",
+    "make_engine",
+}
+
+ENGINES_PUBLIC = {
+    "AsyncFastPSOEngine",
+    "BACKENDS",
+    "ENGINE_NAMES",
+    "Engine",
+    "FastPSOEngine",
+    "GpuHeteroEngine",
+    "GpuParticleEngine",
+    "LibraryEngineBase",
+    "MultiGpuFastPSOEngine",
+    "OpenMPEngine",
+    "PySwarmsLikeEngine",
+    "ScikitOptLikeEngine",
+    "SequentialEngine",
+    "available_engines",
+    "make_engine",
+}
+
+BATCH_PUBLIC = {
+    "BatchResult",
+    "BatchScheduler",
+    "Job",
+    "JobOutcome",
+    "POLICIES",
+    "WORKLOAD_PROBLEMS",
+    "mixed_workload",
+}
+
+#: Registry names are part of the surface: scripts and configs key on them.
+CANONICAL_ENGINE_NAMES = {
+    "pyswarms",
+    "scikit-opt",
+    "gpu-pso",
+    "hgpu-pso",
+    "fastpso-seq",
+    "fastpso-omp",
+    "fastpso",
+}
+
+ENGINE_ALIASES = {
+    "async",
+    "fastpso-fused",
+    "fastpso-global",
+    "fastpso-nocache",
+    "fastpso-shared",
+    "fastpso-tc",
+    "fastpso-tensorcore",
+    "mgpu",
+}
+
+
+@pytest.mark.parametrize(
+    "module_name, snapshot",
+    [
+        ("repro", REPRO_PUBLIC),
+        ("repro.engines", ENGINES_PUBLIC),
+        ("repro.batch", BATCH_PUBLIC),
+    ],
+)
+class TestSurfaceSnapshot:
+    def test_all_matches_snapshot(self, module_name, snapshot):
+        module = __import__(module_name, fromlist=["__all__"])
+        assert set(module.__all__) == snapshot
+
+    def test_every_advertised_name_resolves(self, module_name, snapshot):
+        module = __import__(module_name, fromlist=["__all__"])
+        for name in snapshot:
+            assert getattr(module, name, None) is not None, name
+
+
+class TestRegistryNames:
+    def test_canonical_names_pinned(self):
+        from repro import ENGINE_NAMES
+
+        assert set(ENGINE_NAMES) == CANONICAL_ENGINE_NAMES
+
+    def test_available_engines_covers_canonical_plus_extensions(self):
+        from repro import available_engines
+
+        names = available_engines()
+        assert names == tuple(sorted(names))
+        assert CANONICAL_ENGINE_NAMES <= set(names)
+
+    def test_aliases_pinned(self):
+        from repro.engines import _ALIASES
+
+        assert set(_ALIASES) == ENGINE_ALIASES
+
+    def test_aliases_resolve_to_canonical_engines(self):
+        from repro.engines import _ALIASES, make_engine
+
+        for alias in ENGINE_ALIASES:
+            target = _ALIASES[alias][0]
+            # mgpu needs a positional worker count; everything else builds
+            # with registry defaults.
+            if alias == "mgpu":
+                engine = make_engine(alias, n_devices=2)
+            else:
+                engine = make_engine(alias)
+            assert engine.name  # constructed, not just looked up
+            assert target in _canonical_targets()
+
+
+def _canonical_targets():
+    from repro.engines import available_engines
+
+    return set(available_engines())
+
+
+class TestTopLevelConvenience:
+    def test_one_import_serves_the_common_path(self):
+        """The README's quickstart works from a single import."""
+        from repro import BatchScheduler, Job, make_engine
+
+        engine = make_engine("fastpso")
+        assert engine.name == "fastpso"
+        assert BatchScheduler().submit(Job("sphere", dim=4)).dim == 4

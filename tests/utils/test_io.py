@@ -6,9 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core.problem import Problem
+from repro.core.results import OptimizeResult
 from repro.engines import FastPSOEngine
 from repro.errors import BenchmarkError
 from repro.io import (
+    SCHEMA_VERSION,
     load_result_json,
     result_from_dict,
     result_to_dict,
@@ -47,7 +49,18 @@ class TestJsonRoundTrip:
         path = save_result_json(result, tmp_path / "run.json")
         payload = json.loads(path.read_text())
         assert isinstance(payload["best_position"], list)
-        assert payload["format_version"] == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_peak_device_bytes_round_trips(self, result):
+        assert result.peak_device_bytes > 0
+        back = result_from_dict(result_to_dict(result))
+        assert back.peak_device_bytes == result.peak_device_bytes
+
+    def test_result_method_roundtrip(self, result):
+        back = OptimizeResult.from_json(result.to_json())
+        assert back.best_value == result.best_value
+        assert back.step_times == result.step_times
+        assert json.loads(result.to_json())["schema_version"] == SCHEMA_VERSION
 
     def test_history_optional(self, result):
         payload = result_to_dict(result)
@@ -57,7 +70,23 @@ class TestJsonRoundTrip:
 
     def test_version_mismatch_rejected(self, result):
         payload = result_to_dict(result)
-        payload["format_version"] = 99
+        payload["schema_version"] = 99
+        with pytest.raises(BenchmarkError, match="version"):
+            result_from_dict(payload)
+
+    def test_legacy_format_version_read_with_deprecation(self, result):
+        payload = result_to_dict(result)
+        del payload["schema_version"]
+        del payload["peak_device_bytes"]
+        payload["format_version"] = 1  # a payload written by a v1 build
+        with pytest.deprecated_call(match="format_version"):
+            back = result_from_dict(payload)
+        assert back.best_value == result.best_value
+        assert back.peak_device_bytes == 0
+
+    def test_missing_version_rejected(self, result):
+        payload = result_to_dict(result)
+        del payload["schema_version"]
         with pytest.raises(BenchmarkError, match="version"):
             result_from_dict(payload)
 
