@@ -13,7 +13,9 @@ Algorithm on GPUs* (ICPP 2021).  The package layers:
 * :mod:`repro.bench` — one experiment driver per paper table/figure.
 
 * :mod:`repro.batch` — the batch job scheduler multiplexing many
-  independent problems onto the simulated fleet.
+  independent problems onto the simulated fleet;
+* :mod:`repro.reliability` — checkpoint/resume, deterministic fault
+  injection and retry/failover for single runs and batch fleets.
 
 Quickstart::
 
@@ -34,6 +36,13 @@ tensor-core backend)::
 
     from repro import make_engine
     engine = make_engine("fastpso-tc")
+
+Long runs checkpoint and resume bit-identically::
+
+    from repro import CheckpointManager, FastPSO, resume
+    FastPSO(seed=1).minimize("sphere", dim=50, max_iter=500,
+                             checkpoint="ckpts/")
+    result = resume("ckpts/")          # or FastPSO.resume("ckpts/")
 """
 
 from repro.batch import BatchResult, BatchScheduler, Job
@@ -47,6 +56,15 @@ from repro.core import (
 from repro.engines import ENGINE_NAMES, available_engines, make_engine
 from repro.errors import ReproError
 from repro.functions import available_functions, get_function
+from repro.reliability import (
+    CheckpointManager,
+    FaultPlan,
+    FaultSpec,
+    RecoveryReport,
+    RetryPolicy,
+    resume,
+    run_with_recovery,
+)
 
 __version__ = "1.1.0"
 
@@ -65,5 +83,12 @@ __all__ = [
     "BatchScheduler",
     "BatchResult",
     "Job",
+    "CheckpointManager",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryReport",
+    "RetryPolicy",
+    "resume",
+    "run_with_recovery",
     "__version__",
 ]

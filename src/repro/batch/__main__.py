@@ -3,7 +3,17 @@
 Runs either the reference mixed workload (``--jobs N``) or a job list from
 a JSON spec file (``--spec jobs.json``, a list of Job field dicts), prints
 the per-job placement table and fleet metrics, and optionally writes the
-full versioned payload with ``--out``.
+full versioned payload with ``--out`` (written atomically).
+
+Reliability flags: ``--checkpoint-dir`` checkpoints every job (retries
+resume instead of restarting), ``--faults`` injects a deterministic fault
+plan (a JSON file, or the literal ``drill`` for the reference mixed-fault
+plan), and ``--retry N`` sets the attempt budget.  When any job still
+fails, the CLI prints a per-job failure table and exits nonzero.
+
+``--seed`` makes runs reproducible end-to-end: it seeds the generated
+workload, and spec jobs that don't pin their own ``seed`` get
+deterministic per-job seeds derived from it.
 
 Example spec file::
 
@@ -23,13 +33,30 @@ from pathlib import Path
 from repro.batch.job import Job
 from repro.batch.scheduler import POLICIES, BatchScheduler
 from repro.batch.workload import mixed_workload
+from repro.io import atomic_write_text
 
 
-def _load_spec(path: str) -> list[Job]:
+def _load_spec(path: str, base_seed: int) -> list[Job]:
     payload = json.loads(Path(path).read_text())
     if not isinstance(payload, list):
         raise SystemExit(f"{path}: expected a JSON list of job specs")
-    return [Job(**spec) for spec in payload]
+    jobs = []
+    for index, spec in enumerate(payload):
+        job = Job(**spec)
+        if "seed" not in spec:
+            # Unseeded spec entries get deterministic per-job seeds so the
+            # whole CLI run is reproducible from --seed alone.
+            job = job.with_overrides(seed=base_seed + index)
+        jobs.append(job)
+    return jobs
+
+
+def _load_faults(arg: str, n_jobs: int, seed: int):
+    from repro.reliability import FaultPlan
+
+    if arg == "drill":
+        return FaultPlan.drill(n_jobs, seed=seed)
+    return FaultPlan.from_json_file(arg)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,19 +75,54 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--devices", type=int, default=1)
     parser.add_argument("--streams", type=int, default=4)
     parser.add_argument("--policy", choices=POLICIES, default="fifo")
-    parser.add_argument("--seed", type=int, default=1000)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1000,
+        help="base seed for the workload and for unseeded spec jobs",
+    )
     parser.add_argument("--out", help="write the versioned batch JSON here")
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint every job under this directory (retries resume)",
+    )
+    parser.add_argument(
+        "--faults",
+        help="fault-plan JSON file, or 'drill' for the reference mixed plan",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry policy attempt budget (enables retry/failover)",
+    )
     args = parser.parse_args(argv)
 
     jobs = (
-        _load_spec(args.spec)
+        _load_spec(args.spec, args.seed)
         if args.spec
         else mixed_workload(args.jobs, base_seed=args.seed)
     )
+
+    retry = None
+    if args.retry is not None:
+        from repro.reliability import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry)
+    faults = (
+        _load_faults(args.faults, len(jobs), args.seed)
+        if args.faults
+        else None
+    )
+
     scheduler = BatchScheduler(
         n_devices=args.devices,
         streams_per_device=args.streams,
         policy=args.policy,
+        retry=retry,
+        faults=faults,
+        checkpoint_dir=args.checkpoint_dir,
     )
     batch = scheduler.run(jobs)
     print(batch.summary())
@@ -72,10 +134,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{prof.gflops:.1f} GFLOP/s over active kernel time"
         )
     if args.out:
-        Path(args.out).write_text(
-            json.dumps(batch.to_dict(), indent=2) + "\n"
+        atomic_write_text(
+            args.out, json.dumps(batch.to_dict(), indent=2) + "\n"
         )
         print(f"wrote {args.out}")
+    if not batch.all_succeeded:
+        print(batch.failure_table(), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -141,15 +141,33 @@ class JobOutcome:
     ``solo_seconds`` equals ``result.elapsed_seconds`` — the simulated time
     the job would take running alone, which is also exactly the stream time
     it occupies in the batch.
+
+    With the reliability layer enabled (retry policy, fault injection or
+    checkpointing on the scheduler), a job may fail and be retried:
+    ``status`` is ``"succeeded"`` or ``"failed"`` (``result`` is ``None``
+    for failed jobs), ``attempts``/``error`` record the recovery trail, and
+    ``lost_seconds``/``backoff_seconds`` are the simulated recovery
+    overhead — which the job's lane *does* occupy
+    (:attr:`lane_seconds`), so retries visibly stretch the batch makespan.
     """
 
     job: Job
-    result: OptimizeResult
+    result: OptimizeResult | None
     device_index: int
     stream_index: int
     submit_order: int
     start_seconds: float
     end_seconds: float
+    status: str = "succeeded"
+    attempts: int = 1
+    error: str | None = None
+    lost_seconds: float = 0.0
+    backoff_seconds: float = 0.0
+    fell_back_to_cpu: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "succeeded"
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -157,11 +175,27 @@ class JobOutcome:
 
     @property
     def solo_seconds(self) -> float:
-        return self.result.elapsed_seconds
+        """Fault-free simulated duration of the job (0 when it never ran)."""
+        return self.result.elapsed_seconds if self.result is not None else 0.0
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Simulated recovery overhead (lost work + retry backoff)."""
+        return self.lost_seconds + self.backoff_seconds
+
+    @property
+    def lane_seconds(self) -> float:
+        """Stream time the job occupied, recovery overhead included."""
+        return self.solo_seconds + self.recovery_seconds
 
     def summary(self) -> str:
+        best = (
+            f"best={self.result.best_value:.6g}"
+            if self.result is not None
+            else f"FAILED after {self.attempts} attempt(s)"
+        )
         return (
             f"{self.job.label}: dev{self.device_index}/s{self.stream_index} "
             f"start={self.start_seconds:.4g}s end={self.end_seconds:.4g}s "
-            f"best={self.result.best_value:.6g}"
+            f"{best}"
         )

@@ -38,6 +38,20 @@ Fleet-level kernel statistics flow through the existing profiler
 per-job launcher accumulators), and :class:`BatchResult` reports queue
 waits, per-device occupancy and the makespan-vs-sum-of-solo speedup that
 ``benchmarks/bench_batch.py`` tracks.
+
+Reliability
+-----------
+The scheduler composes with :mod:`repro.reliability`: pass ``retry`` (a
+:class:`~repro.reliability.retry.RetryPolicy`), ``faults`` (a
+:class:`~repro.reliability.faults.FaultPlan`) and/or ``checkpoint_dir`` to
+run every job under :func:`~repro.reliability.retry.run_with_recovery` —
+per-job checkpoints, deterministic fault injection, retry with simulated
+backoff, failover onto a fresh simulated device, and a last-resort CPU
+fallback.  Failed jobs become ``status="failed"`` outcomes instead of
+aborting the batch; recovery overhead occupies the job's lane (stretching
+the makespan honestly) and is merged into the fleet profile under the
+``lost_work``/``retry_backoff`` sections.  With none of the three options
+set, execution takes the historical fast path and engine errors propagate.
 """
 
 from __future__ import annotations
@@ -83,8 +97,36 @@ class BatchResult:
     # -- fleet metrics -------------------------------------------------------
     @property
     def results(self) -> list[OptimizeResult]:
-        """Per-job results, in submission order."""
+        """Per-job results, in submission order (``None`` for failed jobs)."""
         return [o.result for o in self.outcomes]
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.succeeded)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return self.n_failed == 0
+
+    @property
+    def total_retries(self) -> int:
+        """Extra attempts beyond the first, summed over all jobs."""
+        return sum(o.attempts - 1 for o in self.outcomes)
+
+    @property
+    def lost_seconds(self) -> float:
+        """Simulated seconds computed and discarded with failed attempts."""
+        return sum(o.lost_seconds for o in self.outcomes)
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Simulated seconds the fleet spent backing off between attempts."""
+        return sum(o.backoff_seconds for o in self.outcomes)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total simulated recovery overhead across the fleet."""
+        return self.lost_seconds + self.backoff_seconds
 
     @property
     def sum_solo_seconds(self) -> float:
@@ -139,7 +181,7 @@ class BatchResult:
                 o.queue_wait_seconds,
                 o.solo_seconds,
                 o.end_seconds,
-                o.result.best_value,
+                o.result.best_value if o.result is not None else "FAILED",
             ]
             for o in self.outcomes
         ]
@@ -159,7 +201,38 @@ class BatchResult:
             f"speedup={self.speedup:.2f}x "
             f"occupancy={self.fleet_occupancy:.1%}"
         )
+        if self.total_retries or self.n_failed:
+            footer += (
+                f"\nrecovery: {self.total_retries} retr"
+                f"{'y' if self.total_retries == 1 else 'ies'}, "
+                f"{self.n_failed} failed job(s), "
+                f"lost={self.lost_seconds:.6g}s "
+                f"backoff={self.backoff_seconds:.6g}s "
+                f"overhead={self.recovery_seconds:.6g}s"
+            )
         return f"{table}\n{footer}"
+
+    def failure_table(self) -> str:
+        """Aligned table of failed jobs and their last error; '' if none."""
+        failed = [o for o in self.outcomes if not o.succeeded]
+        if not failed:
+            return ""
+        rows = [
+            [
+                o.job.label,
+                f"d{o.device_index}/s{o.stream_index}",
+                o.attempts,
+                o.lost_seconds,
+                (o.error or "")[:72],
+            ]
+            for o in failed
+        ]
+        return format_table(
+            ["job", "lane", "attempts", "lost_s", "last error"],
+            rows,
+            title=f"{len(failed)} job(s) failed",
+            float_fmt=".4g",
+        )
 
     def to_dict(self) -> dict:
         """JSON-safe dictionary (versioned like :mod:`repro.io` payloads)."""
@@ -175,6 +248,11 @@ class BatchResult:
             "speedup": self.speedup,
             "fleet_occupancy": self.fleet_occupancy,
             "device_makespans": list(self.device_makespans),
+            "n_failed": self.n_failed,
+            "total_retries": self.total_retries,
+            "lost_seconds": self.lost_seconds,
+            "backoff_seconds": self.backoff_seconds,
+            "recovery_seconds": self.recovery_seconds,
             "jobs": [
                 {
                     "label": o.job.label,
@@ -183,7 +261,17 @@ class BatchResult:
                     "start_seconds": o.start_seconds,
                     "end_seconds": o.end_seconds,
                     "queue_wait_seconds": o.queue_wait_seconds,
-                    "result": result_to_dict(o.result),
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "error": o.error,
+                    "lost_seconds": o.lost_seconds,
+                    "backoff_seconds": o.backoff_seconds,
+                    "fell_back_to_cpu": o.fell_back_to_cpu,
+                    "result": (
+                        result_to_dict(o.result)
+                        if o.result is not None
+                        else None
+                    ),
                 }
                 for o in self.outcomes
             ],
@@ -205,6 +293,19 @@ class BatchScheduler:
         jobs a device overlaps.
     policy:
         ``"fifo"`` or ``"packed"`` (see module docstring).
+    retry:
+        A :class:`~repro.reliability.retry.RetryPolicy` enabling
+        retry/failover per job.  Failed jobs become ``status="failed"``
+        outcomes instead of raising.
+    faults:
+        A :class:`~repro.reliability.faults.FaultPlan` injecting
+        deterministic faults into selected jobs (implies the default retry
+        policy unless ``retry`` is given).
+    checkpoint_dir:
+        Directory for per-job checkpoints (one subdirectory per job); with
+        it, retried jobs resume from their last checkpoint instead of
+        restarting.  ``checkpoint_every``/``checkpoint_keep`` set the
+        cadence and retention.
     """
 
     def __init__(
@@ -213,6 +314,11 @@ class BatchScheduler:
         n_devices: int = 1,
         streams_per_device: int = 4,
         policy: str = "fifo",
+        retry=None,
+        faults=None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 10,
+        checkpoint_keep: int = 3,
     ) -> None:
         if n_devices < 1:
             raise InvalidParameterError(
@@ -229,6 +335,11 @@ class BatchScheduler:
         self.n_devices = n_devices
         self.streams_per_device = streams_per_device
         self.policy = policy
+        self.retry = retry
+        self.faults = faults
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
         self._queue: list[Job] = []
 
     # -- submission ----------------------------------------------------------
@@ -282,7 +393,7 @@ class BatchScheduler:
                     f"batch entries must be Jobs, got {type(job).__name__}"
                 )
 
-        executed = [self._execute(job) for job in batch]
+        executed = [self._execute(i, job) for i, job in enumerate(batch)]
         outcomes, device_makespans = self._schedule(batch, executed)
         profile = self._fleet_profile(executed)
         return BatchResult(
@@ -296,19 +407,69 @@ class BatchScheduler:
         )
 
     # -- internals -----------------------------------------------------------
-    def _execute(self, job: Job) -> tuple[OptimizeResult, object]:
-        """Run one job on a fresh engine — numerics identical to a solo run."""
+    @property
+    def _reliability_enabled(self) -> bool:
+        return (
+            self.retry is not None
+            or self.faults is not None
+            or self.checkpoint_dir is not None
+        )
+
+    def _execute(self, index: int, job: Job):
+        """Run one job; returns a RecoveryReport (trivial on the fast path).
+
+        Without any reliability option the job runs exactly as before —
+        one fresh engine, errors propagate.  With reliability enabled the
+        job goes through :func:`run_with_recovery`: per-job checkpoints,
+        injected faults, retries with failover; a job that exhausts its
+        attempts yields a failed report instead of aborting the batch.
+        """
         from repro.engines import make_engine
 
-        engine = make_engine(job.engine, **dict(job.engine_options))
-        result = engine.optimize(
-            job.resolved_problem(),
+        if not self._reliability_enabled:
+            from repro.reliability.retry import RecoveryReport
+
+            engine = make_engine(job.engine, **dict(job.engine_options))
+            result = engine.optimize(
+                job.resolved_problem(),
+                n_particles=job.n_particles,
+                max_iter=job.max_iter,
+                params=job.resolved_params,
+                record_history=job.record_history,
+            )
+            return RecoveryReport(
+                result=result, attempts=1, engines=(engine,)
+            )
+
+        from pathlib import Path
+
+        from repro.reliability.checkpoint import CheckpointManager
+        from repro.reliability.retry import RetryPolicy, run_with_recovery
+
+        injector = (
+            self.faults.injector_for(index, job.label)
+            if self.faults is not None
+            else None
+        )
+        manager = None
+        if self.checkpoint_dir is not None:
+            manager = CheckpointManager(
+                Path(self.checkpoint_dir) / f"job{index:04d}",
+                every=self.checkpoint_every,
+                keep=self.checkpoint_keep,
+            )
+        return run_with_recovery(
+            engine_name=job.engine,
+            problem=job.resolved_problem(),
             n_particles=job.n_particles,
             max_iter=job.max_iter,
             params=job.resolved_params,
             record_history=job.record_history,
+            engine_options=dict(job.engine_options),
+            policy=self.retry or RetryPolicy(),
+            injector=injector,
+            checkpoint=manager,
         )
-        return result, engine
 
     def _schedule(
         self, batch: list[Job], executed
@@ -321,20 +482,30 @@ class BatchScheduler:
             for s in range(self.streams_per_device)
         ]
 
+        def lane_duration(report) -> float:
+            # The lane holds the job's fault-free work *plus* any recovery
+            # overhead (lost attempts, simulated backoff) — retries stretch
+            # the schedule exactly as they would a real fleet's.
+            solo = (
+                report.result.elapsed_seconds
+                if report.result is not None
+                else 0.0
+            )
+            return solo + report.recovery_seconds
+
         order = list(range(len(batch)))
         if self.policy == "packed":
             # LPT bin-packing: longest jobs placed first, ties broken by
             # submission order so the schedule is fully deterministic.
-            order.sort(key=lambda i: (-executed[i][0].elapsed_seconds, i))
+            order.sort(key=lambda i: (-lane_duration(executed[i]), i))
 
         placements: dict[int, tuple[_Lane, float, float]] = {}
         for i in order:
-            result = executed[i][0]
             # Earliest-available lane; ties go to the lowest lane index so
             # single-lane batches degenerate to the serial schedule.
             lane = min(lanes, key=lambda ln: ln.stream.horizon)
             start = max(lane.stream.horizon, lane.stream.clock.now)
-            end = lane.stream.enqueue(result.elapsed_seconds)
+            end = lane.stream.enqueue(lane_duration(executed[i]))
             lane.stream.record_event()
             placements[i] = (lane, start, end)
 
@@ -347,15 +518,24 @@ class BatchScheduler:
         outcomes = []
         for i, job in enumerate(batch):
             lane, start, end = placements[i]
+            report = executed[i]
             outcomes.append(
                 JobOutcome(
                     job=job,
-                    result=executed[i][0],
+                    result=report.result,
                     device_index=lane.device_index,
                     stream_index=lane.stream_index,
                     submit_order=i,
                     start_seconds=start,
                     end_seconds=end,
+                    status=(
+                        "succeeded" if report.result is not None else "failed"
+                    ),
+                    attempts=report.attempts,
+                    error=report.error,
+                    lost_seconds=report.lost_seconds,
+                    backoff_seconds=report.backoff_seconds,
+                    fell_back_to_cpu=report.fell_back_to_cpu,
                 )
             )
         return outcomes, device_makespans
@@ -370,40 +550,49 @@ class BatchScheduler:
         """
         merged: dict[tuple[str, str | None], LaunchStats] = {}
         sections: dict[str, float] = {}
-        for _result, engine in executed:
-            contexts = list(self._engine_contexts(engine))
-            # Section totals live on each device clock (GPU engines share
-            # their clock with the context; CPU engines own theirs).
-            clocks = {id(c.clock): c.clock for c in contexts}
-            clocks.setdefault(id(engine.clock), engine.clock)
+        all_contexts = []
+        for report in executed:
+            # Every attempt's engine contributes — a failed attempt's
+            # kernels really ran on the simulated fleet, and its section
+            # totals are part of what the fleet spent.  The recovery clock
+            # adds the lost_work/retry_backoff sections alongside them.
+            clocks = {
+                id(report.recovery_clock): report.recovery_clock
+            }
+            for engine in report.engines:
+                contexts = list(self._engine_contexts(engine))
+                all_contexts.extend(contexts)
+                for c in contexts:
+                    clocks[id(c.clock)] = c.clock
+                clocks.setdefault(id(engine.clock), engine.clock)
             for clock in clocks.values():
                 for label, seconds in clock.section_totals.items():
                     sections[label] = sections.get(label, 0.0) + seconds
-            for ctx in contexts:
-                for key, bucket in ctx.launcher.stats.items():
-                    into = merged.get(key)
-                    if into is None:
-                        merged[key] = LaunchStats(
-                            kernel_name=bucket.kernel_name,
-                            section=bucket.section,
-                            launches=bucket.launches,
-                            total_elems=bucket.total_elems,
-                            seconds=bucket.seconds,
-                            body_seconds=bucket.body_seconds,
-                            bytes_read=bucket.bytes_read,
-                            bytes_written=bucket.bytes_written,
-                            flops=bucket.flops,
-                            occupancy_sum=bucket.occupancy_sum,
-                        )
-                    else:
-                        into.launches += bucket.launches
-                        into.total_elems += bucket.total_elems
-                        into.seconds += bucket.seconds
-                        into.body_seconds += bucket.body_seconds
-                        into.bytes_read += bucket.bytes_read
-                        into.bytes_written += bucket.bytes_written
-                        into.flops += bucket.flops
-                        into.occupancy_sum += bucket.occupancy_sum
+        for ctx in all_contexts:
+            for key, bucket in ctx.launcher.stats.items():
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = LaunchStats(
+                        kernel_name=bucket.kernel_name,
+                        section=bucket.section,
+                        launches=bucket.launches,
+                        total_elems=bucket.total_elems,
+                        seconds=bucket.seconds,
+                        body_seconds=bucket.body_seconds,
+                        bytes_read=bucket.bytes_read,
+                        bytes_written=bucket.bytes_written,
+                        flops=bucket.flops,
+                        occupancy_sum=bucket.occupancy_sum,
+                    )
+                else:
+                    into.launches += bucket.launches
+                    into.total_elems += bucket.total_elems
+                    into.seconds += bucket.seconds
+                    into.body_seconds += bucket.body_seconds
+                    into.bytes_read += bucket.bytes_read
+                    into.bytes_written += bucket.bytes_written
+                    into.flops += bucket.flops
+                    into.occupancy_sum += bucket.occupancy_sum
         return build_report_from_stats(merged, sections)
 
     @staticmethod

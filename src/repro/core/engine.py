@@ -91,6 +91,8 @@ class Engine(ABC):
         stop: StopCriterion | None = None,
         record_history: bool = False,
         callback=None,
+        checkpoint=None,
+        restore=None,
     ) -> OptimizeResult:
         """Run Algorithm 1 and return the best solution plus timings.
 
@@ -105,6 +107,16 @@ class Engine(ABC):
         for custom monitoring, checkpointing and diagnostics
         (:mod:`repro.core.diagnostics`).  Callback execution is host-side
         and costs no simulated time.
+
+        ``checkpoint`` enables periodic on-disk snapshots: pass a
+        :class:`~repro.reliability.checkpoint.CheckpointManager`, or a
+        directory path to get one with default cadence/retention.
+        ``restore`` resumes a previous run from a
+        :class:`~repro.reliability.snapshot.RunSnapshot` (or a checkpoint
+        file path): the run continues bit-identically — same trajectory,
+        same final result, same simulated seconds as the uninterrupted run.
+        The run *shape* (problem, ``n_particles``, ``max_iter``, ``params``,
+        ``record_history``, ``stop`` spec) must match the captured one.
         """
         if callback is not None and not callable(callback):
             raise InvalidParameterError("callback must be callable")
@@ -116,20 +128,95 @@ class Engine(ABC):
             )
         if max_iter <= 0:
             raise InvalidParameterError(f"max_iter must be positive, got {max_iter}")
+        if checkpoint is not None:
+            # Local imports: repro.reliability imports the engines package,
+            # so a top-level import here would be circular.
+            from repro.reliability.checkpoint import CheckpointManager
+            from repro.reliability.snapshot import ensure_capturable
+
+            if not isinstance(checkpoint, CheckpointManager):
+                checkpoint = CheckpointManager(checkpoint)
+            # Fail now, not at the first due iteration mid-run.
+            ensure_capturable(problem)
 
         self.clock.reset()
         if stop is not None:
             stop.reset()
         rng = self._make_rng(params.seed)
         history = History() if record_history else None
+        injector = self._fault_injector
 
         with self.clock.section("init"):
             state = self._initialize(problem, params, n_particles, rng)
         setup_seconds = self.clock.now
 
-        iterations_run = 0
+        start_iter = 0
+        if restore is not None:
+            from repro.errors import CheckpointError
+            from repro.reliability.checkpoint import read_snapshot
+            from repro.reliability.snapshot import RunSnapshot, stop_to_spec
+
+            if not isinstance(restore, RunSnapshot):
+                restore = read_snapshot(restore)
+            restore.validate_for(
+                problem=problem,
+                n_particles=n_particles,
+                max_iter=max_iter,
+                params=params,
+                record_history=record_history,
+            )
+            run_stop_spec = stop_to_spec(stop) if stop is not None else None
+            if run_stop_spec != restore.stop_spec:
+                raise CheckpointError(
+                    "stop criterion differs from the checkpointed one; "
+                    "resume with snapshot.make_stop()"
+                )
+            if (
+                rng.seed != restore.rng_state["seed"]
+                or rng.stream_id != restore.rng_state["stream_id"]
+            ):
+                raise CheckpointError(
+                    "engine RNG stream does not match the snapshot "
+                    f"(snapshot seed={restore.rng_state['seed']} "
+                    f"stream={restore.rng_state['stream_id']}, engine "
+                    f"built seed={rng.seed} stream={rng.stream_id})"
+                )
+            # The fresh _initialize above was a throwaway: it built kernels
+            # and buffers with the right shapes.  _warm_resume lets GPU
+            # engines pre-warm their allocator pool so the resumed
+            # iterations hit the pool exactly like the uninterrupted run's.
+            self._warm_resume(problem, params, n_particles)
+            restore.apply_to(state)
+            rng.seek(int(restore.rng_state["position"]))
+            # Overwrite the clock wholesale: simulated time continues from
+            # the capture point as if the interruption never happened.
+            self.clock.now = float(restore.clock_state["now"])
+            self.clock.section_totals.clear()
+            self.clock.section_totals.update(
+                {
+                    str(k): float(v)
+                    for k, v in restore.clock_state["section_totals"].items()
+                }
+            )
+            setup_seconds = float(restore.setup_seconds)
+            if stop is not None and restore.stop_state is not None:
+                stop.load_state(restore.stop_state)
+            if history is not None and restore.history_state is not None:
+                history.gbest_values[:] = [
+                    float(v) for v in restore.history_state["gbest_values"]
+                ]
+                history.mean_pbest_values[:] = [
+                    float(v)
+                    for v in restore.history_state["mean_pbest_values"]
+                ]
+            start_iter = restore.iteration
+
+        if injector is not None:
+            injector.watch_state(state)
+
+        iterations_run = start_iter
         self._progress = 0.0
-        for t in range(max_iter):
+        for t in range(start_iter, max_iter):
             # Fraction of the budget consumed; drives the adaptive velocity
             # bound (Kaucic 2013) used by Eq. (5)'s clamping.
             self._progress = t / max(1, max_iter - 1)
@@ -142,13 +229,46 @@ class Engine(ABC):
             with self.clock.section("swarm"):
                 self._update_swarm(problem, params, state, rng)
             iterations_run = t + 1
+            if injector is not None:
+                injector.check_integrity()
             if history is not None:
                 history.record(
                     state.gbest_value, float(np.mean(state.pbest_values))
                 )
+            stopping = False
             if callback is not None and callback(t, state):
-                break
-            if stop is not None and stop.should_stop(t, state.gbest_value):
+                stopping = True
+            elif stop is not None and stop.should_stop(t, state.gbest_value):
+                stopping = True
+            if (
+                checkpoint is not None
+                and not stopping
+                and iterations_run < max_iter
+                and checkpoint.due(iterations_run)
+            ):
+                # Captured *after* the stop criterion observed this
+                # iteration, so a resumed StallStop continues its count
+                # exactly where the original run's would be.
+                from repro.reliability.snapshot import capture_run
+
+                checkpoint.save(
+                    capture_run(
+                        engine_name=self.name,
+                        problem=problem,
+                        params=params,
+                        n_particles=n_particles,
+                        max_iter=max_iter,
+                        iteration=iterations_run,
+                        record_history=record_history,
+                        rng=rng,
+                        clock=self.clock,
+                        setup_seconds=setup_seconds,
+                        stop=stop,
+                        state=state,
+                        history=history,
+                    )
+                )
+            if stopping:
                 break
 
         self._finalize(state)
@@ -181,6 +301,40 @@ class Engine(ABC):
     def _peak_device_bytes(self) -> int:
         """High-water device-memory mark; CPU engines report 0."""
         return 0
+
+    # -- reliability hooks ----------------------------------------------------
+    #: Fault injector followed by this engine (None = fault-free run).
+    _fault_injector = None
+
+    def attach_fault_injector(self, injector) -> None:
+        """Wire a :class:`~repro.reliability.faults.FaultInjector` into this
+        engine's run.
+
+        The base implementation registers the injector for the per-iteration
+        integrity check; GPU engines extend it to hook the launcher and
+        allocator of their context.  Attaching signals ``on_new_device`` —
+        an engine instance is a fresh (healthy) device, which is exactly how
+        failover from a sticky device-lost fault works.
+        """
+        self._fault_injector = injector
+        injector.on_new_device()
+        ctx = getattr(self, "ctx", None)
+        if ctx is not None and hasattr(ctx, "attach_fault_injector"):
+            ctx.attach_fault_injector(injector)
+
+    def _warm_resume(
+        self, problem: Problem, params: PSOParams, n_particles: int
+    ) -> None:
+        """Reproduce allocator warm-up that a resumed run would otherwise miss.
+
+        Called between the throwaway ``_initialize`` and the state restore.
+        Engines whose iterations allocate transient device buffers override
+        this to pre-warm the caching allocator's pool so the first resumed
+        iteration takes pool *hits* exactly like iteration ``k`` of the
+        uninterrupted run would — a requirement for bit-identical simulated
+        timings.  (Any simulated time spent here is irrelevant: the clock is
+        overwritten from the snapshot right after.)
+        """
 
     # -- helpers -------------------------------------------------------------
     #: Fraction of the iteration budget consumed (set each iteration).

@@ -100,6 +100,7 @@ class FastPSO:
         stop: StopCriterion | None = None,
         record_history: bool = False,
         profile: EvalProfile | None = None,
+        checkpoint=None,
     ) -> OptimizeResult:
         """Minimise *objective* in *dim* dimensions.
 
@@ -108,6 +109,12 @@ class FastPSO:
         ``bounds`` is required and the callable is wrapped in the particle
         evaluation schema (``vectorized=True`` if it maps the whole
         ``(n, d)`` matrix to ``(n,)`` values).
+
+        ``checkpoint`` (a directory path or a
+        :class:`~repro.reliability.CheckpointManager`) periodically
+        snapshots the run so it can be resumed bit-identically with
+        :meth:`resume`.  Checkpointing requires a capturable objective —
+        a built-in function name or instance, not an ad-hoc callable.
         """
         problem = self._as_problem(
             objective, dim, bounds, vectorized=vectorized, profile=profile
@@ -119,7 +126,21 @@ class FastPSO:
             params=self.params,
             stop=stop,
             record_history=record_history,
+            checkpoint=checkpoint,
         )
+
+    @staticmethod
+    def resume(path, **kwargs) -> OptimizeResult:
+        """Resume a checkpointed run bit-identically from *path*.
+
+        *path* is a checkpoint file or a checkpoint directory (the newest
+        readable snapshot wins).  Delegates to
+        :func:`repro.reliability.resume`; see it for the keyword surface
+        (``engine=`` override, ``checkpoint=`` to keep checkpointing).
+        """
+        from repro.reliability import resume as _resume
+
+        return _resume(path, **kwargs)
 
     def minimize_elementwise(
         self,
@@ -166,6 +187,9 @@ class FastPSO:
         n_devices: int = 1,
         streams_per_device: int = 4,
         policy: str = "fifo",
+        retry=None,
+        faults=None,
+        checkpoint_dir=None,
     ):
         """Run many independent jobs concurrently on the simulated fleet.
 
@@ -183,6 +207,12 @@ class FastPSO:
         with the same spec; the returned
         :class:`~repro.batch.BatchResult` adds fleet metrics (makespan,
         speedup over serial execution, queue waits, occupancy).
+
+        ``retry`` (a :class:`~repro.reliability.RetryPolicy`), ``faults``
+        (a :class:`~repro.reliability.FaultPlan`) and ``checkpoint_dir``
+        enable the scheduler's reliability layer — failed jobs are retried
+        with backoff, resuming from their latest checkpoint when one
+        exists.
         """
         from repro.batch import BatchScheduler, Job
 
@@ -190,6 +220,9 @@ class FastPSO:
             n_devices=n_devices,
             streams_per_device=streams_per_device,
             policy=policy,
+            retry=retry,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
         )
         resolved = []
         for spec in jobs:

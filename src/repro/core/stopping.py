@@ -28,6 +28,18 @@ class StopCriterion(ABC):
     def reset(self) -> None:
         """Clear any internal state before a new run."""
 
+    def state_dict(self) -> dict:
+        """JSON-safe mutable state to carry across a checkpoint.
+
+        Stateless criteria return ``{}``; stateful ones (``StallStop``)
+        must capture everything :meth:`should_stop` accumulates so a
+        resumed run makes identical stop decisions.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
 
 @dataclass
 class MaxIterations(StopCriterion):
@@ -81,6 +93,14 @@ class StallStop(StopCriterion):
         self._last = None
         self._stalled = 0
 
+    def state_dict(self) -> dict:
+        return {"last": self._last, "stalled": self._stalled}
+
+    def load_state(self, state: dict) -> None:
+        last = state["last"]
+        self._last = None if last is None else float(last)
+        self._stalled = int(state["stalled"])
+
     def should_stop(self, iteration: int, gbest_value: float) -> bool:
         if self._last is not None and self._last - gbest_value <= self.min_delta:
             self._stalled += 1
@@ -103,6 +123,19 @@ class AnyOf(StopCriterion):
     def reset(self) -> None:
         for c in self.criteria:
             c.reset()
+
+    def state_dict(self) -> dict:
+        return {"members": [c.state_dict() for c in self.criteria]}
+
+    def load_state(self, state: dict) -> None:
+        members = state["members"]
+        if len(members) != len(self.criteria):
+            raise InvalidParameterError(
+                f"AnyOf state has {len(members)} members, "
+                f"criterion has {len(self.criteria)}"
+            )
+        for c, s in zip(self.criteria, members):
+            c.load_state(s)
 
     def should_stop(self, iteration: int, gbest_value: float) -> bool:
         # Evaluate all members: stateful criteria (StallStop) must observe

@@ -535,6 +535,26 @@ class FastPSOEngine(Engine):
             alloc.free(l_buf)
             alloc.free(g_buf)
 
+    def _warm_resume(
+        self, problem: Problem, params: PSOParams, n_particles: int
+    ) -> None:
+        # A resumed run starts with an empty allocator pool, but iteration k
+        # of the uninterrupted run takes pool *hits* for the per-iteration
+        # weight matrices (the first iteration's misses already populated the
+        # pool).  Pre-warm with one alloc/free pair of the same shapes so the
+        # resumed iterations see identical pool behaviour — and the memory
+        # high-water mark (peak_device_bytes) matches too.
+        from repro.gpusim.alloc import CachingAllocator
+
+        alloc = self.ctx.allocator
+        if not isinstance(alloc, CachingAllocator):
+            return  # direct allocator: every iteration misses either way
+        n, d = n_particles, problem.dim
+        l_buf = alloc.alloc_like((n, d), self.storage_dtype)
+        g_buf = alloc.alloc_like((n, d), self.storage_dtype)
+        alloc.free(l_buf)
+        alloc.free(g_buf)
+
     def _finalize(self, state: SwarmState) -> None:
         # Device-to-host copy of the result vector.
         spec = self.ctx.spec

@@ -80,6 +80,16 @@ class MultiGpuFastPSOEngine(Engine):
         self._exchange = ExchangeCost(self.workers[0].ctx.spec)
         self._exchange_seconds = 0.0
 
+    def attach_fault_injector(self, injector) -> None:
+        # One injector spans all worker devices: launch/alloc ordinals count
+        # across the whole engine, and a device-lost fault takes down the
+        # entire multi-GPU run (the base class would find no ``self.ctx``
+        # here and silently skip the wiring).
+        self._fault_injector = injector
+        injector.on_new_device()
+        for worker in self.workers:
+            worker.ctx.attach_fault_injector(injector)
+
     # -- the hooks are unused; the loop below drives the workers directly --
     def _initialize(self, *a, **k):  # pragma: no cover - not reachable
         raise NotImplementedError
@@ -96,7 +106,16 @@ class MultiGpuFastPSOEngine(Engine):
         stop: StopCriterion | None = None,
         record_history: bool = False,
         callback=None,
+        checkpoint=None,
+        restore=None,
     ) -> OptimizeResult:
+        if checkpoint is not None or restore is not None:
+            # A multi-GPU run spans several Philox streams and device
+            # timelines; a single RunSnapshot cannot express it (yet).
+            raise InvalidParameterError(
+                "checkpoint/resume is not supported by the multi-GPU engine; "
+                "use a single-device engine from the fastpso family"
+            )
         if callback is not None and not callable(callback):
             raise InvalidParameterError("callback must be callable")
         if n_particles < self.n_devices:

@@ -58,6 +58,8 @@ class ScikitOptLikeEngine(LibraryEngineBase):
         stop: StopCriterion | None = None,
         record_history: bool = False,
         callback=None,
+        checkpoint=None,
+        restore=None,
     ) -> OptimizeResult:
         if self.early_stop_patience is None:
             combined = stop
@@ -75,4 +77,6 @@ class ScikitOptLikeEngine(LibraryEngineBase):
             stop=combined,
             record_history=record_history,
             callback=callback,
+            checkpoint=checkpoint,
+            restore=restore,
         )

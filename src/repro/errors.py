@@ -18,12 +18,16 @@ __all__ = [
     "InvalidLaunchError",
     "AllocationError",
     "MemoryAccessError",
+    "MemoryCorruptionError",
     "StreamError",
+    "LaunchFailedError",
+    "DeviceLostError",
     "OptimizationError",
     "InvalidProblemError",
     "InvalidParameterError",
     "EvaluationError",
     "BenchmarkError",
+    "CheckpointError",
 ]
 
 
@@ -72,6 +76,34 @@ class StreamError(GpuSimError):
     """Illegal stream/event operation (e.g. waiting on an unrecorded event)."""
 
 
+class LaunchFailedError(GpuSimError):
+    """A kernel launch failed transiently on the simulated device.
+
+    Mirrors ``cudaErrorLaunchFailure``: the launch configuration was legal
+    but the device rejected or aborted it.  Injected by the reliability
+    fault harness; retryable.
+    """
+
+
+class DeviceLostError(GpuSimError):
+    """The simulated device fell off the bus and every subsequent operation
+    on the same context fails.
+
+    Mirrors ``cudaErrorDeviceUnavailable``/ECC-fatal states: the error is
+    *sticky* — recovery requires a fresh context (failover to a healthy
+    device), not a bare retry.
+    """
+
+
+class MemoryCorruptionError(GpuSimError):
+    """An integrity check found corrupted data in a device buffer.
+
+    Raised by the reliability guard when a watched buffer contains values
+    that cannot result from a correct run (NaNs written by an injected
+    bit-flip).  Retryable from the last checkpoint.
+    """
+
+
 class OptimizationError(ReproError):
     """Base class for optimizer-level failures."""
 
@@ -94,3 +126,12 @@ class EvaluationError(OptimizationError):
 
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable, corrupt, or incompatible.
+
+    Raised on magic/schema mismatch, CRC failure, or when a snapshot is
+    restored into a run whose shape (particles, dimension, engine dtype)
+    does not match the one that wrote it.
+    """

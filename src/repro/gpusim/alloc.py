@@ -80,6 +80,9 @@ class _AllocatorBase:
         self.clock = clock
         self.stats = AllocatorStats()
         self._live: dict[int, DeviceBuffer] = {}
+        #: Optional :class:`repro.reliability.faults.FaultInjector` consulted
+        #: before every allocation (may raise an injected OOM).
+        self.fault_injector = None
 
     def _register(self, buf: DeviceBuffer) -> DeviceBuffer:
         self._live[buf.buffer_id] = buf
@@ -117,6 +120,8 @@ class DirectAllocator(_AllocatorBase):
     def alloc(
         self, nbytes: int, *, shape: tuple[int, ...] | None = None, dtype=np.float32
     ) -> DeviceBuffer:
+        if self.fault_injector is not None:
+            self.fault_injector.on_alloc(nbytes, self.memory)
         reserved = size_class(nbytes)
         self.memory.reserve(reserved)
         self.clock.advance(self.spec.malloc_overhead_s)
@@ -151,6 +156,8 @@ class CachingAllocator(_AllocatorBase):
     def alloc(
         self, nbytes: int, *, shape: tuple[int, ...] | None = None, dtype=np.float32
     ) -> DeviceBuffer:
+        if self.fault_injector is not None:
+            self.fault_injector.on_alloc(nbytes, self.memory)
         reserved = size_class(nbytes)
         dtype = np.dtype(dtype)
         if shape is None:

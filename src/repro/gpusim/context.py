@@ -68,6 +68,15 @@ class GpuContext:
     def free(self, buf: DeviceBuffer) -> None:
         self.allocator.free(buf)
 
+    def attach_fault_injector(self, injector) -> None:
+        """Route this device's launches and allocations through *injector*.
+
+        See :class:`repro.reliability.faults.FaultInjector`; pass ``None``
+        to detach.
+        """
+        self.launcher.fault_injector = injector
+        self.allocator.fault_injector = injector
+
     def profile_report(self) -> ProfileReport:
         """Aggregate every launch so far plus the clock's section totals.
 

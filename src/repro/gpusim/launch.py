@@ -184,6 +184,9 @@ class Launcher:
     # Engine kernels are long-lived objects, so steady-state launches hit
     # this table on an identity-shortcut dict lookup and recompute nothing.
     _launch_cache: dict = field(default_factory=dict, repr=False)
+    #: Optional :class:`repro.reliability.faults.FaultInjector` consulted
+    #: before every launch (may raise injected errors or stall the stream).
+    fault_injector: object = field(default=None, repr=False)
 
     def launch(
         self,
@@ -198,6 +201,13 @@ class Launcher:
         Returns whatever the kernel's semantics callable returns.  If
         *config* is omitted the resource-aware geometry is used.
         """
+        if self.fault_injector is not None:
+            stall = self.fault_injector.on_launch(kernel.spec.name)
+            if stall:
+                # A stream stall: extra latency attributed to the current
+                # clock section, deliberately *not* to LaunchStats — the
+                # kernel itself ran at its modelled speed.
+                self.clock.advance(stall)
         key = (kernel.spec, config, n_elems)
         cached = (
             self._launch_cache.get(key) if hostcache.cache_enabled() else None

@@ -182,6 +182,18 @@ class ParallelRNG:
         """Number of 4-word blocks consumed so far (for tests/checkpoints)."""
         return self._block
 
+    def seek(self, position: int) -> None:
+        """Jump the stream to an absolute block *position*.
+
+        Philox is counter-based — output block ``i`` is a pure function of
+        ``(seed, stream_id, i)`` — so seeking is O(1) and exact.  This is
+        what makes checkpoint/resume bit-identical: restoring ``(seed,
+        stream_id, position)`` reproduces the remaining stream verbatim.
+        """
+        if not 0 <= int(position) < 2**64:
+            raise InvalidParameterError("position must fit in 64 bits")
+        self._block = int(position)
+
     def _key(self) -> np.ndarray:
         return np.array(
             [self.seed & 0xFFFFFFFF, (self.seed >> 32) & 0xFFFFFFFF],

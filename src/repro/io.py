@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 import warnings
 from pathlib import Path
 from typing import Iterable
@@ -28,6 +30,8 @@ from repro.errors import BenchmarkError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "result_to_dict",
     "result_from_dict",
     "save_result_json",
@@ -39,6 +43,39 @@ __all__ = [
 SCHEMA_VERSION = 2
 #: Versions :func:`result_from_dict` can still read.
 _READABLE_VERSIONS = (1, 2)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write *data* to *path* so readers never observe a partial file.
+
+    The bytes go to a temporary file in the same directory (same
+    filesystem, so the final :func:`os.replace` is atomic), are flushed and
+    fsynced, and only then renamed over the destination.  A crash at any
+    point leaves either the old file or the new one — never a truncated
+    mix.  Used for both result JSON and reliability checkpoints.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def result_to_dict(result: OptimizeResult) -> dict:
@@ -109,9 +146,9 @@ def result_from_dict(payload: dict) -> OptimizeResult:
 
 def save_result_json(result: OptimizeResult, path: str | Path) -> Path:
     """Write *result* to *path* as pretty-printed JSON; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(result_to_dict(result), indent=2) + "\n"
+    )
 
 
 def load_result_json(path: str | Path) -> OptimizeResult:

@@ -1,0 +1,118 @@
+"""repro.reliability: checkpoint/resume, fault injection, retry/failover.
+
+The reliability subsystem makes long simulated runs and batch fleets
+survivable without giving up the repo's determinism contract:
+
+* :mod:`~repro.reliability.snapshot` / :mod:`~repro.reliability.checkpoint`
+  — complete run-state capture (swarm arrays as raw bytes, Philox counter,
+  simulated clock, schedule and stop-criterion state) in versioned,
+  CRC-protected, atomically-written files; a resumed run is bit-identical
+  to the uninterrupted one.
+* :mod:`~repro.reliability.faults` — seeded, deterministic fault injection
+  into the simulated GPU substrate: launch failures, sticky device loss,
+  stream stalls, allocator OOM, memory corruption of named buffers.
+* :mod:`~repro.reliability.retry` — retry with exponential backoff in
+  *simulated* time, resume-from-checkpoint, and failover to a fresh
+  simulated device or the CPU engine family.
+
+:func:`resume` is the front door for continuing an interrupted run from a
+checkpoint file (or the newest checkpoint in a directory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.reliability.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointManager,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.reliability.retry import (
+    RecoveryReport,
+    RetryPolicy,
+    run_with_recovery,
+)
+from repro.reliability.snapshot import RunSnapshot, capture_run
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointManager",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RunSnapshot",
+    "capture_run",
+    "read_snapshot",
+    "resume",
+    "run_with_recovery",
+    "write_snapshot",
+]
+
+_CKPT_SUFFIX = ".ckpt"
+
+
+def _resolve_snapshot(path: str | Path) -> RunSnapshot:
+    """Load a snapshot from a checkpoint file, or the newest one in a dir."""
+    path = Path(path)
+    if not path.is_dir():
+        return read_snapshot(path)
+    candidates = sorted(
+        path.glob(f"*{_CKPT_SUFFIX}"), key=lambda p: p.name, reverse=True
+    )
+    for candidate in candidates:
+        try:
+            return read_snapshot(candidate)
+        except CheckpointError:
+            continue
+    raise CheckpointError(f"no readable checkpoint found in {path}")
+
+
+def resume(
+    path: str | Path,
+    *,
+    engine: str | None = None,
+    checkpoint=None,
+    callback=None,
+    **engine_options: object,
+):
+    """Continue an interrupted run from a checkpoint; returns its result.
+
+    *path* is a checkpoint file or a directory of them (the newest readable
+    one wins — filenames sort by iteration).  The run's problem,
+    hyper-parameters, stop criterion and remaining budget are all rebuilt
+    from the snapshot; the continuation is bit-identical to the
+    uninterrupted run.
+
+    ``engine`` overrides the engine the snapshot was captured on (any
+    member of the bit-identical fastpso family works, provided its storage
+    dtypes match the snapshot's); ``engine_options`` go to the factory.
+    Pass ``checkpoint`` (a :class:`CheckpointManager` or a directory path)
+    to keep checkpointing as the resumed run proceeds.
+    """
+    from repro.engines import make_engine
+
+    snapshot = _resolve_snapshot(path)
+    eng = make_engine(engine or snapshot.engine, **engine_options)
+    return eng.optimize(
+        snapshot.make_problem(),
+        n_particles=snapshot.n_particles,
+        max_iter=snapshot.max_iter,
+        params=snapshot.make_params(),
+        stop=snapshot.make_stop(),
+        record_history=snapshot.record_history,
+        callback=callback,
+        checkpoint=checkpoint,
+        restore=snapshot,
+    )

@@ -1,0 +1,83 @@
+"""Subprocess target for the crash/resume smoke test.
+
+Runs a checkpointed optimization with a real wall-clock sleep per
+iteration so a parent process can SIGKILL it mid-run — the hard-crash
+scenario the checkpoint format must survive (atomic writes mean any
+``*.ckpt`` file on disk is complete, never a torn partial).
+
+Used by ``tests/reliability/test_crash_resume.py`` and the CI smoke job::
+
+    python -m repro.reliability._crashdemo --dir /tmp/ckpts --sleep 0.02
+
+The parent watches the directory for checkpoints, kills the child, then
+resumes in-process and checks the gbest trajectory against a golden
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.reliability._crashdemo")
+    parser.add_argument("--dir", required=True, help="checkpoint directory")
+    parser.add_argument("--problem", default="sphere")
+    parser.add_argument("--dim", type=int, default=8)
+    parser.add_argument("--particles", type=int, default=64)
+    parser.add_argument("--iters", type=int, default=60)
+    parser.add_argument("--every", type=int, default=1)
+    parser.add_argument("--keep", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=123)
+    parser.add_argument("--engine", default="fastpso")
+    parser.add_argument(
+        "--sleep",
+        type=float,
+        default=0.02,
+        help="wall-clock seconds to sleep per iteration (kill window)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.parameters import PAPER_DEFAULTS
+    from repro.core.problem import Problem
+    from repro.engines import make_engine
+    from repro.reliability import CheckpointManager
+
+    problem = Problem.from_benchmark(args.problem, args.dim)
+    manager = CheckpointManager(args.dir, every=args.every, keep=args.keep)
+
+    def heartbeat(t, state):
+        print(f"iter {t} gbest {state.gbest_value:.17g}", flush=True)
+        time.sleep(args.sleep)
+        return False
+
+    engine = make_engine(args.engine)
+    result = engine.optimize(
+        problem,
+        n_particles=args.particles,
+        max_iter=args.iters,
+        params=replace(PAPER_DEFAULTS, seed=args.seed),
+        record_history=True,
+        callback=heartbeat,
+        checkpoint=manager,
+    )
+    # Only reached when the parent never killed us: emit the golden result.
+    print(
+        json.dumps(
+            {
+                "best_value": result.best_value,
+                "iterations": result.iterations,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+        ),
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

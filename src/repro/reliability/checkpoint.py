@@ -1,0 +1,208 @@
+"""Versioned on-disk checkpoints with atomic writes and rolling retention.
+
+File format (version 1)::
+
+    FASTPSO-CKPT 1 <crc32-hex> <payload-bytes>\\n
+    <payload: UTF-8 JSON snapshot document>
+
+The one-line ASCII header makes a checkpoint identifiable with ``head -1``
+and carries everything needed to validate the payload without parsing it:
+the format version, a CRC-32 of the payload bytes, and the payload length.
+Writes go through :func:`repro.io.atomic_write_bytes` (tmp file +
+``os.replace``), so a crash mid-write leaves the previous checkpoint
+intact, never a truncated file — and the CRC catches the remaining failure
+mode of a corrupted disk block.
+
+:class:`CheckpointManager` adds the policy layer: *when* to checkpoint
+(``every`` iterations), *where* (one directory, one file per retained
+iteration) and *how many* to keep (``keep`` newest; older files are pruned
+after each successful write).  ``load_latest`` walks the retained files
+newest-first and silently skips corrupt ones, so a damaged newest
+checkpoint degrades to the previous good one instead of failing the
+resume.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import zlib
+from pathlib import Path
+
+from repro.errors import CheckpointError, InvalidParameterError
+from repro.io import atomic_write_bytes
+from repro.reliability.snapshot import RunSnapshot
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointManager",
+    "write_snapshot",
+    "read_snapshot",
+]
+
+_MAGIC = "FASTPSO-CKPT"
+#: Version written into every checkpoint header.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_FILE_RE = re.compile(r"^(?P<label>.+)-iter(?P<iteration>\d{7})\.ckpt$")
+
+
+def write_snapshot(snapshot: RunSnapshot, path: str | Path) -> Path:
+    """Serialize *snapshot* to *path* atomically; returns the path."""
+    payload = json.dumps(
+        snapshot.to_payload(), separators=(",", ":")
+    ).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    header = (
+        f"{_MAGIC} {CHECKPOINT_SCHEMA_VERSION} {crc:08x} {len(payload)}\n"
+    ).encode("ascii")
+    return atomic_write_bytes(path, header + payload)
+
+
+def read_snapshot(path: str | Path) -> RunSnapshot:
+    """Read and verify a checkpoint file written by :func:`write_snapshot`.
+
+    Raises :class:`~repro.errors.CheckpointError` on a bad magic, an
+    unsupported version, a truncated payload or a CRC mismatch.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{path}: not a checkpoint (no header line)")
+    parts = raw[:newline].decode("ascii", errors="replace").split()
+    if len(parts) != 4 or parts[0] != _MAGIC:
+        raise CheckpointError(f"{path}: not a {_MAGIC} file")
+    try:
+        version = int(parts[1])
+        expected_crc = int(parts[2], 16)
+        expected_len = int(parts[3])
+    except ValueError as exc:
+        raise CheckpointError(f"{path}: malformed header") from exc
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {version} unsupported "
+            f"(this build reads {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    payload = raw[newline + 1 :]
+    if len(payload) != expected_len:
+        raise CheckpointError(
+            f"{path}: truncated payload ({len(payload)} of "
+            f"{expected_len} bytes)"
+        )
+    actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != expected_crc:
+        raise CheckpointError(
+            f"{path}: CRC mismatch (header {expected_crc:08x}, "
+            f"payload {actual_crc:08x})"
+        )
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: payload is not JSON: {exc}") from exc
+    return RunSnapshot.from_payload(document)
+
+
+class CheckpointManager:
+    """Checkpoint policy for one run: cadence, location, retention.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live; created if missing.
+    every:
+        Checkpoint cadence in completed iterations (``every=10`` writes
+        after iterations 10, 20, ...).
+    keep:
+        Number of newest checkpoints retained; older ones are deleted after
+        each successful write.  ``keep >= 2`` tolerates a corrupted newest
+        file (``load_latest`` falls back).
+    label:
+        Filename prefix, so several runs can share one directory.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        every: int = 10,
+        keep: int = 3,
+        label: str = "run",
+    ) -> None:
+        if every < 1:
+            raise InvalidParameterError(f"every must be >= 1, got {every}")
+        if keep < 1:
+            raise InvalidParameterError(f"keep must be >= 1, got {keep}")
+        if not label or "/" in label:
+            raise InvalidParameterError(
+                f"label must be a non-empty filename fragment, got {label!r}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every = int(every)
+        self.keep = int(keep)
+        self.label = label
+        #: Checkpoints written through this manager (monotonic counter).
+        self.saves = 0
+
+    # -- policy ---------------------------------------------------------------
+    def due(self, completed_iterations: int) -> bool:
+        """Whether a checkpoint is due after *completed_iterations*."""
+        return completed_iterations > 0 and completed_iterations % self.every == 0
+
+    def path_for(self, iteration: int) -> Path:
+        return self.directory / f"{self.label}-iter{iteration:07d}.ckpt"
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, snapshot: RunSnapshot) -> Path:
+        """Write *snapshot*, then prune beyond the retention window."""
+        path = write_snapshot(snapshot, self.path_for(snapshot.iteration))
+        self.saves += 1
+        self._prune()
+        return path
+
+    def checkpoints(self) -> list[Path]:
+        """Retained checkpoint files for this label, oldest first."""
+        found = []
+        for path in self.directory.iterdir():
+            m = _FILE_RE.match(path.name)
+            if m and m.group("label") == self.label:
+                found.append((int(m.group("iteration")), path))
+        found.sort()
+        return [path for _, path in found]
+
+    def latest_path(self) -> Path | None:
+        """Newest retained checkpoint file, or ``None``."""
+        files = self.checkpoints()
+        return files[-1] if files else None
+
+    def load_latest(self) -> RunSnapshot | None:
+        """Newest *readable* snapshot, skipping corrupt files; ``None`` if none.
+
+        A file that fails the CRC/format checks is left in place (for post
+        mortems) and the next-newest is tried — the rolling retention
+        window is what makes this fallback possible.
+        """
+        for path in reversed(self.checkpoints()):
+            try:
+                return read_snapshot(path)
+            except CheckpointError:
+                continue
+        return None
+
+    def _prune(self) -> None:
+        files = self.checkpoints()
+        for path in files[: -self.keep]:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # retention is best-effort; never fail the run for it
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CheckpointManager dir={str(self.directory)!r} "
+            f"every={self.every} keep={self.keep} label={self.label!r}>"
+        )

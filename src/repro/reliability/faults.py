@@ -1,0 +1,410 @@
+"""Deterministic fault injection for the simulated GPU substrate.
+
+Failure handling is only trustworthy if failures are *reproducible*: the
+same plan against the same batch must fail the same launches of the same
+jobs every time.  The injector therefore counts deterministic events —
+kernel launches and allocator requests, both of which occur in a fixed
+order for a fixed workload — and fires each :class:`FaultSpec` at an exact
+ordinal.  No wall clock, no randomness outside a seeded Philox stream (used
+only to choose *which* elements a corruption fault damages).
+
+Fault taxonomy (mirroring the CUDA error surface):
+
+``launch_failure``
+    The Nth kernel launch raises :class:`~repro.errors.LaunchFailedError`
+    (``cudaErrorLaunchFailure``): transient, a bare retry suffices.
+``device_lost``
+    The Nth launch raises :class:`~repro.errors.DeviceLostError` and the
+    fault is *sticky*: every later launch or allocation on the same device
+    fails too, until :meth:`FaultInjector.on_new_device` is called — which
+    happens when a fresh context attaches, i.e. failover to a healthy
+    device.
+``stall``
+    The Nth launch is delayed by ``stall_seconds`` of simulated time (a
+    latency spike on the stream).  Not an error: the run completes with the
+    same numerics and a longer simulated duration.
+``oom``
+    The Nth allocator request raises
+    :class:`~repro.errors.DeviceOutOfMemoryError` as if the pool were
+    exhausted.
+``corrupt``
+    At the Nth launch, NaNs are written into a watched named buffer
+    (``positions``, ``velocities``, ``pbest_positions`` or
+    ``pbest_values``).  The engine's end-of-iteration integrity guard
+    detects the damage and raises
+    :class:`~repro.errors.MemoryCorruptionError`.
+
+Every spec fires **once** (transient-fault semantics) and the ordinal
+counters persist across retry attempts, so a retried run does not re-hit
+the same fault — the property that makes the default retry policy converge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.swarm import SwarmState
+from repro.errors import (
+    DeviceLostError,
+    DeviceOutOfMemoryError,
+    InvalidParameterError,
+    LaunchFailedError,
+    MemoryCorruptionError,
+)
+from repro.gpusim.rng import ParallelRNG
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultInjector", "FaultPlan"]
+
+#: Kinds triggered by the launch counter.
+_LAUNCH_KINDS = ("launch_failure", "device_lost", "stall", "corrupt")
+#: Kinds triggered by the allocator-request counter.
+_ALLOC_KINDS = ("oom",)
+FAULT_KINDS = _LAUNCH_KINDS + _ALLOC_KINDS
+
+#: Buffers an engine registers with :meth:`FaultInjector.watch_state`.
+_WATCHABLE = ("positions", "velocities", "pbest_positions", "pbest_values")
+
+#: Stream id namespace for corruption-index draws (arbitrary constant, kept
+#: away from the engines' stream ids so plans never alias a run's RNG).
+_CORRUPT_STREAM = 0xFA17
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what happens, and at which event ordinal.
+
+    ``after`` is 1-based: ``after=3`` fires on the third launch (or third
+    allocation, for ``oom``) observed by the injector — counted across all
+    retry attempts of the run it is attached to.
+    """
+
+    kind: str
+    after: int = 1
+    stall_seconds: float = 0.0
+    buffer: str = "positions"
+    elems: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.after < 1:
+            raise InvalidParameterError(
+                f"fault ordinal 'after' must be >= 1, got {self.after}"
+            )
+        if self.kind == "stall" and self.stall_seconds <= 0.0:
+            raise InvalidParameterError(
+                "stall faults need a positive stall_seconds"
+            )
+        if self.kind == "corrupt":
+            if self.buffer not in _WATCHABLE:
+                raise InvalidParameterError(
+                    f"corrupt buffer must be one of {_WATCHABLE}, "
+                    f"got {self.buffer!r}"
+                )
+            if self.elems < 1:
+                raise InvalidParameterError(
+                    f"corrupt elems must be >= 1, got {self.elems}"
+                )
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "after": self.after}
+        if self.kind == "stall":
+            out["stall_seconds"] = self.stall_seconds
+        if self.kind == "corrupt":
+            out["buffer"] = self.buffer
+            out["elems"] = self.elems
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: Mapping) -> "FaultSpec":
+        return cls(**dict(spec))
+
+
+class FaultInjector:
+    """Per-run fault driver, hooked into the launcher and allocator.
+
+    One injector follows one job across all of its retry attempts: attach
+    it to each fresh engine with ``engine.attach_fault_injector(injector)``.
+    Attaching wires the engine's launcher/allocator hooks and signals
+    :meth:`on_new_device` (a fresh context is a healthy device, clearing a
+    sticky device-lost state).
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[FaultSpec] = (),
+        *,
+        seed: int = 0,
+        label: str = "",
+    ) -> None:
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise InvalidParameterError(
+                    f"FaultInjector takes FaultSpecs, got {type(spec).__name__}"
+                )
+        self.seed = int(seed)
+        self.label = label
+        self._fired = [False] * len(self.specs)
+        self._launches = 0
+        self._allocs = 0
+        self._device_lost = False
+        self._watched: dict[str, np.ndarray] = {}
+        self._corrupt_rng = ParallelRNG(self.seed, _CORRUPT_STREAM)
+        #: Simulated seconds added by stall faults so far.
+        self.stalled_seconds = 0.0
+        #: Log of fired faults: ``(kind, detail)`` tuples, in firing order.
+        self.triggered: list[tuple[str, str]] = []
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def pending(self) -> tuple[FaultSpec, ...]:
+        """Specs that have not fired yet."""
+        return tuple(
+            s for s, fired in zip(self.specs, self._fired) if not fired
+        )
+
+    @property
+    def device_lost(self) -> bool:
+        return self._device_lost
+
+    # -- wiring ---------------------------------------------------------------
+    def watch(self, name: str, array: np.ndarray) -> None:
+        """Register a named buffer as a corruption target."""
+        self._watched[name] = array
+
+    def watch_state(self, state: SwarmState) -> None:
+        """Register all corruptible swarm buffers of a live run."""
+        for name in _WATCHABLE:
+            self.watch(name, getattr(state, name))
+
+    def on_new_device(self) -> None:
+        """A fresh (healthy) context attached: clear sticky device loss."""
+        self._device_lost = False
+
+    # -- hooks called by gpusim ----------------------------------------------
+    def on_launch(self, kernel_name: str) -> float:
+        """Called before every kernel launch; returns extra stall seconds.
+
+        Raises the injected error when a launch-ordinal fault is due.
+        """
+        if self._device_lost:
+            raise DeviceLostError(
+                f"device lost (injected){self._ctx()}: launch of "
+                f"{kernel_name!r} rejected"
+            )
+        self._launches += 1
+        stall = 0.0
+        for i, spec in enumerate(self.specs):
+            if (
+                self._fired[i]
+                or spec.kind not in _LAUNCH_KINDS
+                or spec.after != self._launches
+            ):
+                continue
+            self._fired[i] = True
+            detail = f"launch #{self._launches} ({kernel_name})"
+            self.triggered.append((spec.kind, detail))
+            if spec.kind == "launch_failure":
+                raise LaunchFailedError(
+                    f"injected launch failure at {detail}{self._ctx()}"
+                )
+            if spec.kind == "device_lost":
+                self._device_lost = True
+                raise DeviceLostError(
+                    f"injected device loss at {detail}{self._ctx()}"
+                )
+            if spec.kind == "stall":
+                stall += spec.stall_seconds
+                self.stalled_seconds += spec.stall_seconds
+            elif spec.kind == "corrupt":
+                self._corrupt(spec)
+        return stall
+
+    def on_alloc(self, nbytes: int, memory=None) -> None:
+        """Called before every allocator request."""
+        if self._device_lost:
+            raise DeviceLostError(
+                f"device lost (injected){self._ctx()}: allocation of "
+                f"{nbytes} bytes rejected"
+            )
+        self._allocs += 1
+        for i, spec in enumerate(self.specs):
+            if (
+                self._fired[i]
+                or spec.kind not in _ALLOC_KINDS
+                or spec.after != self._allocs
+            ):
+                continue
+            self._fired[i] = True
+            self.triggered.append(
+                ("oom", f"alloc #{self._allocs} ({nbytes} bytes)")
+            )
+            free = getattr(memory, "free_bytes", 0)
+            total = getattr(memory, "total_bytes", 0)
+            # Model pool exhaustion: report zero free regardless of the
+            # real accounting, as a fragmented/oversubscribed device would.
+            raise DeviceOutOfMemoryError(nbytes, min(free, 0), total)
+
+    # -- the integrity guard --------------------------------------------------
+    def check_integrity(self) -> None:
+        """Raise if any watched buffer contains injected NaN damage.
+
+        Engines call this once per iteration; PSO state is NaN-free by
+        construction (fitness is finite, weights are strictly positive), so
+        any NaN is evidence of the injected bit-flips.
+        """
+        for name, array in self._watched.items():
+            if np.isnan(array).any():
+                raise MemoryCorruptionError(
+                    f"integrity check failed: buffer {name!r} contains "
+                    f"{int(np.isnan(array).sum())} NaN element(s)"
+                    f"{self._ctx()}"
+                )
+
+    # -- internals ------------------------------------------------------------
+    def _corrupt(self, spec: FaultSpec) -> None:
+        array = self._watched.get(spec.buffer)
+        if array is None or array.size == 0:
+            # Nothing watched under that name (e.g. a CPU engine that never
+            # registered): the fault fizzles, recorded as triggered above.
+            return
+        flat = array.reshape(-1)
+        idx = (
+            self._corrupt_rng.random_uint32(spec.elems).astype(np.int64)
+            % flat.size
+        )
+        flat[idx] = np.nan
+
+    def _ctx(self) -> str:
+        return f" [{self.label}]" if self.label else ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FaultInjector specs={len(self.specs)} "
+            f"fired={sum(self._fired)} launches={self._launches} "
+            f"allocs={self._allocs}>"
+        )
+
+
+class FaultPlan:
+    """A seeded, per-job assignment of fault specs for a batch.
+
+    Jobs are addressed by submit index (as int or string) or by job label;
+    :meth:`injector_for` returns a fresh :class:`FaultInjector` for jobs
+    with assigned faults and ``None`` otherwise (fault-free jobs run with
+    zero injection overhead).
+    """
+
+    def __init__(
+        self,
+        jobs: Mapping[object, Iterable[FaultSpec]] | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.seed = int(seed)
+        self._jobs: dict[str, tuple[FaultSpec, ...]] = {}
+        for key, specs in (jobs or {}).items():
+            specs = tuple(specs)
+            for spec in specs:
+                if not isinstance(spec, FaultSpec):
+                    raise InvalidParameterError(
+                        f"FaultPlan values must be FaultSpecs, "
+                        f"got {type(spec).__name__}"
+                    )
+            if specs:
+                self._jobs[str(key)] = specs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def specs_for(self, index: int, label: str | None = None):
+        """Fault specs assigned to a job, or an empty tuple."""
+        by_index = self._jobs.get(str(index))
+        if by_index:
+            return by_index
+        if label is not None:
+            return self._jobs.get(label, ())
+        return ()
+
+    def injector_for(
+        self, index: int, label: str | None = None
+    ) -> FaultInjector | None:
+        """A fresh injector for job *index*, or ``None`` if fault-free.
+
+        The injector's corruption stream is namespaced by the job index so
+        two corrupted jobs damage different elements deterministically.
+        """
+        specs = self.specs_for(index, label)
+        if not specs:
+            return None
+        return FaultInjector(
+            specs, seed=self.seed + index, label=label or f"job{index}"
+        )
+
+    # -- serialization (the CLI's --faults file) ------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": {
+                key: [s.to_dict() for s in specs]
+                for key, specs in sorted(self._jobs.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultPlan":
+        jobs = {
+            key: tuple(FaultSpec.from_dict(s) for s in specs)
+            for key, specs in dict(payload.get("jobs", {})).items()
+        }
+        return cls(jobs, seed=int(payload.get("seed", 0)))
+
+    @classmethod
+    def from_json_file(cls, path: str | Path) -> "FaultPlan":
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, Mapping):
+            raise InvalidParameterError(
+                f"{path}: fault plan must be a JSON object"
+            )
+        return cls.from_dict(payload)
+
+    # -- the reference drill --------------------------------------------------
+    @classmethod
+    def drill(cls, n_jobs: int, *, seed: int = 0) -> "FaultPlan":
+        """The reference mixed-fault plan used by tests, docs and the CLI.
+
+        Spreads one of every fault kind (two launch failures) across the
+        batch: at least 1 device-lost, 2 launch failures, 1 OOM, plus a
+        stall and a corruption — the ISSUE-3 fault drill.  Deterministic
+        for a given ``(n_jobs, seed)``.
+        """
+        if n_jobs < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        assignments = [
+            ("launch_failure", FaultSpec("launch_failure", after=7)),
+            ("device_lost", FaultSpec("device_lost", after=12)),
+            ("oom", FaultSpec("oom", after=9)),
+            ("launch_failure", FaultSpec("launch_failure", after=21)),
+            ("stall", FaultSpec("stall", after=5, stall_seconds=2.5e-3)),
+            (
+                "corrupt",
+                FaultSpec("corrupt", after=16, buffer="positions", elems=4),
+            ),
+        ]
+        jobs: dict[object, list[FaultSpec]] = {}
+        for slot, (_kind, spec) in enumerate(assignments):
+            # Spread across the batch; wraps for small batches (several
+            # faults may then share one job, which retries still absorb).
+            index = (slot * max(1, n_jobs // len(assignments))) % n_jobs
+            jobs.setdefault(index, []).append(spec)
+        return cls(
+            {k: tuple(v) for k, v in jobs.items()}, seed=seed
+        )

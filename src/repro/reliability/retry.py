@@ -1,0 +1,242 @@
+"""Retry/failover policy: turn transient faults into completed runs.
+
+:func:`run_with_recovery` wraps one optimization run in an attempt loop.
+Each attempt runs on a **fresh engine** — a fresh engine is a fresh
+simulated device, which is exactly what failover means here: a sticky
+device-lost fault clears when the injector is re-attached to the new
+context, an OOM'd allocator is gone with its device, and a corrupted buffer
+never existed on the replacement.  Attempts resume from the newest readable
+checkpoint, so completed work is kept; a run with no checkpoints restarts
+from scratch (correct, just slower).
+
+On the final attempt the policy can *degrade to a CPU engine*
+(``cpu_fallback``, default ``fastpso-seq``): the CPU substrate is immune to
+the injected GPU faults, and the fastpso family's bit-identical numerics
+contract means the trajectory and final gbest are unchanged — only the
+simulated timings differ.  The fallback first tries to restore the GPU
+checkpoint (same dtypes on both substrates); if the snapshot is
+incompatible (e.g. an fp16-storage variant), it reruns from scratch rather
+than failing.
+
+Everything the recovery machinery "spends" is accounted in **simulated
+time** on a dedicated recovery clock with two sections — ``lost_work``
+(simulated seconds computed since the last checkpoint and thrown away with
+the failed device) and ``retry_backoff`` (the exponential backoff delays) —
+which the batch layer merges into the fleet profile, so recovery overhead
+shows up in the same report as kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parameters import PAPER_DEFAULTS, PSOParams
+from repro.core.problem import Problem
+from repro.core.results import OptimizeResult
+from repro.core.stopping import StopCriterion
+from repro.errors import CheckpointError, GpuSimError, InvalidParameterError
+from repro.gpusim.clock import SimClock
+from repro.reliability.checkpoint import CheckpointManager
+from repro.reliability.faults import FaultInjector
+
+__all__ = ["RetryPolicy", "RecoveryReport", "run_with_recovery"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures are retried: attempts, simulated backoff, CPU fallback.
+
+    ``backoff_seconds`` grows by ``backoff_factor`` per failure (exponential
+    backoff), charged to the recovery clock's ``retry_backoff`` section —
+    simulated seconds, never wall time.  ``retry_on`` is the tuple of
+    exception types considered transient; anything else propagates
+    immediately (a bug should crash, not burn retries).
+    """
+
+    max_attempts: int = 4
+    backoff_seconds: float = 1.0
+    backoff_factor: float = 2.0
+    cpu_fallback: str | None = "fastpso-seq"
+    retry_on: tuple = (GpuSimError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise InvalidParameterError("backoff_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise InvalidParameterError("backoff_factor must be >= 1")
+        if not self.retry_on:
+            raise InvalidParameterError("retry_on must name at least one type")
+
+    def backoff_for(self, failure_index: int) -> float:
+        """Simulated backoff after the Nth failure (0-based)."""
+        return self.backoff_seconds * self.backoff_factor**failure_index
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of :func:`run_with_recovery`: the result plus the price paid."""
+
+    result: OptimizeResult | None
+    attempts: int
+    engines: tuple = field(repr=False, default=())
+    errors: tuple[str, ...] = ()
+    fell_back_to_cpu: bool = False
+    #: Dedicated clock holding the ``lost_work``/``retry_backoff`` sections.
+    recovery_clock: SimClock = field(repr=False, default_factory=SimClock)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result is not None
+
+    @property
+    def error(self) -> str | None:
+        """Last failure message, or ``None`` for a first-try success."""
+        return self.errors[-1] if self.errors else None
+
+    @property
+    def engine(self):
+        """The engine of the final attempt (its profile covers the result)."""
+        return self.engines[-1] if self.engines else None
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+    @property
+    def lost_seconds(self) -> float:
+        """Simulated seconds computed and discarded with failed attempts."""
+        return self.recovery_clock.total("lost_work")
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Simulated seconds spent backing off between attempts."""
+        return self.recovery_clock.total("retry_backoff")
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total simulated recovery overhead (lost work + backoff)."""
+        return self.recovery_clock.now
+
+
+def run_with_recovery(
+    *,
+    engine_name: str,
+    problem: Problem,
+    n_particles: int,
+    max_iter: int,
+    params: PSOParams = PAPER_DEFAULTS,
+    stop: StopCriterion | None = None,
+    record_history: bool = False,
+    engine_options: dict | None = None,
+    policy: RetryPolicy | None = None,
+    injector: FaultInjector | None = None,
+    checkpoint: CheckpointManager | None = None,
+) -> RecoveryReport:
+    """Run one optimization under *policy*, retrying transient failures.
+
+    Never raises for exceptions in ``policy.retry_on``: after the attempt
+    budget is exhausted the report carries ``result=None`` and the error
+    trail.  Other exceptions propagate unchanged.
+
+    With a *checkpoint* manager, every attempt resumes from the newest
+    readable snapshot and keeps checkpointing as it goes, so repeated
+    faults only ever lose work since the last checkpoint.  The *injector*
+    (if any) is re-attached to each fresh engine; its fault ordinals count
+    across attempts, so one-shot faults don't re-fire on the retried run.
+    """
+    # Local import: repro.engines -> core.engine would otherwise complete a
+    # cycle through this module when the package initialises.
+    from repro.engines import make_engine
+
+    policy = policy or RetryPolicy()
+    options = dict(engine_options or {})
+    recovery_clock = SimClock()
+    engines: list = []
+    errors: list[str] = []
+    fell_back = False
+
+    for attempt in range(1, policy.max_attempts + 1):
+        name, opts = engine_name, options
+        if (
+            attempt == policy.max_attempts
+            and attempt > 1
+            and policy.cpu_fallback
+            and policy.cpu_fallback != engine_name
+        ):
+            # Last chance: degrade to the CPU substrate, which the injected
+            # GPU faults cannot touch.  Bit-identical numerics by contract.
+            name, opts, fell_back = policy.cpu_fallback, {}, True
+
+        engine = make_engine(name, **opts)
+        engines.append(engine)
+        if injector is not None:
+            engine.attach_fault_injector(injector)
+        restore = checkpoint.load_latest() if checkpoint is not None else None
+
+        try:
+            try:
+                result = engine.optimize(
+                    problem,
+                    n_particles=n_particles,
+                    max_iter=max_iter,
+                    params=params,
+                    stop=stop,
+                    record_history=record_history,
+                    checkpoint=checkpoint,
+                    restore=restore,
+                )
+            except CheckpointError:
+                if restore is None:
+                    raise
+                # Snapshot incompatible with this attempt's engine (e.g. a
+                # CPU fallback reading an fp16-storage checkpoint): rerun
+                # from scratch on yet another fresh engine instead of dying
+                # on the recovery path itself.
+                engine = make_engine(name, **opts)
+                engines.append(engine)
+                if injector is not None:
+                    engine.attach_fault_injector(injector)
+                result = engine.optimize(
+                    problem,
+                    n_particles=n_particles,
+                    max_iter=max_iter,
+                    params=params,
+                    stop=stop,
+                    record_history=record_history,
+                    checkpoint=checkpoint,
+                )
+            return RecoveryReport(
+                result=result,
+                attempts=attempt,
+                engines=tuple(engines),
+                errors=tuple(errors),
+                fell_back_to_cpu=fell_back,
+                recovery_clock=recovery_clock,
+            )
+        except policy.retry_on as exc:
+            errors.append(f"attempt {attempt} [{engine.name}]: {exc}")
+            # Work since the newest checkpoint dies with this device.
+            latest = (
+                checkpoint.load_latest() if checkpoint is not None else None
+            )
+            banked = (
+                float(latest.clock_state["now"]) if latest is not None else 0.0
+            )
+            with recovery_clock.section("lost_work"):
+                recovery_clock.advance(max(0.0, engine.clock.now - banked))
+            if attempt < policy.max_attempts:
+                with recovery_clock.section("retry_backoff"):
+                    recovery_clock.advance(policy.backoff_for(attempt - 1))
+
+    return RecoveryReport(
+        result=None,
+        attempts=policy.max_attempts,
+        engines=tuple(engines),
+        errors=tuple(errors),
+        fell_back_to_cpu=fell_back,
+        recovery_clock=recovery_clock,
+    )

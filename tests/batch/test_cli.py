@@ -1,0 +1,130 @@
+"""The ``python -m repro.batch`` CLI: flags, exit codes, reliability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.__main__ import main
+from repro.reliability import FaultPlan, FaultSpec
+
+
+class TestBasicInvocation:
+    def test_default_workload_succeeds(self, capsys):
+        assert main(["--jobs", "4", "--streams", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 4 jobs" in out
+        assert "makespan=" in out
+
+    def test_out_file_written_atomically(self, tmp_path, capsys):
+        out_path = tmp_path / "batch.json"
+        assert main(["--jobs", "3", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert len(payload["jobs"]) == 3
+        assert payload["n_failed"] == 0
+        assert not list(tmp_path.glob(".*tmp*"))  # no stray temp files
+
+
+class TestSpecSeedPlumbing:
+    def test_unseeded_spec_jobs_get_deterministic_seeds(
+        self, tmp_path, capsys
+    ):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(
+            json.dumps(
+                [
+                    {"problem": "sphere", "dim": 8, "n_particles": 16,
+                     "max_iter": 5},
+                    {"problem": "sphere", "dim": 8, "n_particles": 16,
+                     "max_iter": 5},
+                    {"problem": "sphere", "dim": 8, "n_particles": 16,
+                     "max_iter": 5, "seed": 77},
+                ]
+            )
+        )
+        out = tmp_path / "a.json"
+        assert main(
+            ["--spec", str(spec), "--seed", "500", "--out", str(out)]
+        ) == 0
+        jobs = json.loads(out.read_text())["jobs"]
+        # Distinct derived seeds -> distinct results for identical specs...
+        assert jobs[0]["result"]["best_value"] != jobs[1]["result"]["best_value"]
+        # ... and an explicit seed is left alone (label encodes the seed).
+        assert "-s77" in jobs[2]["label"]
+        assert "-s500" in jobs[0]["label"] and "-s501" in jobs[1]["label"]
+
+    def test_same_seed_reproduces_the_run(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(
+            json.dumps([{"problem": "ackley", "dim": 6, "n_particles": 16,
+                         "max_iter": 5}])
+        )
+        outs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main(
+                ["--spec", str(spec), "--seed", "9", "--out", str(out)]
+            ) == 0
+            outs.append(json.loads(out.read_text()))
+        assert (
+            outs[0]["jobs"][0]["result"]["best_value"]
+            == outs[1]["jobs"][0]["result"]["best_value"]
+        )
+
+    def test_malformed_spec_rejected(self, tmp_path):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({"problem": "sphere"}))
+        with pytest.raises(SystemExit, match="expected a JSON list"):
+            main(["--spec", str(spec)])
+
+
+class TestReliabilityFlags:
+    def test_drill_with_retry_recovers_and_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "--jobs", "6", "--streams", "2", "--seed", "7",
+                "--faults", "drill",
+                "--retry", "4",
+                "--checkpoint-dir", str(tmp_path / "ckpts"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "recovery:" in captured.out
+        assert captured.err == ""
+        assert list((tmp_path / "ckpts").glob("job*/**/*.ckpt"))
+
+    def test_fault_plan_file(self, tmp_path, capsys):
+        plan = FaultPlan({0: [FaultSpec("launch_failure", after=5)]}, seed=1)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan.to_dict()))
+        code = main(
+            ["--jobs", "2", "--seed", "7", "--faults", str(plan_path),
+             "--retry", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery:" in out and "backoff=1s" in out
+
+    def test_unrecovered_failures_exit_nonzero_with_table(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["--jobs", "6", "--streams", "2", "--seed", "7",
+             "--faults", "drill", "--retry", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "job(s) failed" in captured.err
+        assert "last error" in captured.err
+        assert "injected" in captured.err
+
+    def test_out_file_written_even_when_jobs_fail(self, tmp_path, capsys):
+        out = tmp_path / "failed.json"
+        code = main(
+            ["--jobs", "6", "--streams", "2", "--seed", "7",
+             "--faults", "drill", "--retry", "1", "--out", str(out)]
+        )
+        assert code == 1
+        assert json.loads(out.read_text())["n_failed"] >= 1

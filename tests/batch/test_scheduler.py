@@ -45,11 +45,15 @@ def _fake_result(seconds: float) -> OptimizeResult:
 
 
 def _schedule(durations, *, n_devices=1, streams=4, policy="fifo"):
+    from repro.reliability import RecoveryReport
+
     scheduler = BatchScheduler(
         n_devices=n_devices, streams_per_device=streams, policy=policy
     )
     batch = [Job("sphere", dim=2, name=f"j{i}") for i in range(len(durations))]
-    executed = [(_fake_result(s), None) for s in durations]
+    executed = [
+        RecoveryReport(result=_fake_result(s), attempts=1) for s in durations
+    ]
     return scheduler._schedule(batch, executed)
 
 

@@ -1,0 +1,159 @@
+"""CachingAllocator under memory pressure: OOM, fragmentation, stats.
+
+The happy-path pooling behaviour is covered in ``test_alloc.py``; these
+tests push the allocator to its capacity limits — the regime the
+reliability layer's injected OOM faults imitate — and pin down the stats
+counters the fleet metrics are built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.gpusim.alloc import CachingAllocator, DirectAllocator, size_class
+from repro.gpusim.clock import SimClock
+from repro.gpusim.device import tesla_v100
+from repro.gpusim.memory import GlobalMemory
+
+KB = 1024
+
+
+def make_caching(total=64 * KB):
+    spec = tesla_v100()
+    clock = SimClock()
+    memory = GlobalMemory(total)
+    return CachingAllocator(spec, memory, clock), memory, clock
+
+
+class TestOutOfMemory:
+    def test_oom_raised_at_capacity(self):
+        alloc, memory, _ = make_caching(total=4 * KB)
+        held = [alloc.alloc(KB) for _ in range(4)]
+        with pytest.raises(DeviceOutOfMemoryError):
+            alloc.alloc(KB)
+        assert len(held) == 4
+        assert memory.used_bytes == 4 * KB
+
+    def test_oom_leaves_accounting_consistent(self):
+        """A failed allocation must not leak reservation or stats."""
+        alloc, memory, _ = make_caching(total=4 * KB)
+        for _ in range(4):
+            alloc.alloc(KB)
+        used_before = memory.used_bytes
+        reserved_before = alloc.stats.bytes_reserved
+        live_before = alloc.live_buffers
+        with pytest.raises(DeviceOutOfMemoryError):
+            alloc.alloc(2 * KB)
+        assert memory.used_bytes == used_before
+        assert alloc.stats.bytes_reserved == reserved_before
+        assert alloc.live_buffers == live_before
+        # The device recovers as soon as something is freed.
+
+    def test_pooled_blocks_relieve_pressure_for_matching_class(self):
+        alloc, memory, _ = make_caching(total=4 * KB)
+        bufs = [alloc.alloc(KB) for _ in range(4)]
+        alloc.free(bufs[0])
+        # Device is technically full (pool holds the block), but a matching
+        # request is served from the pool without touching GlobalMemory.
+        again = alloc.alloc(KB)
+        assert again.nbytes == KB
+        assert alloc.stats.pool_hits == 1
+        assert memory.used_bytes == 4 * KB
+
+    def test_pooled_blocks_do_not_serve_larger_classes(self):
+        """Pooling is per size class: a freed 1K block can't serve a 2K ask."""
+        alloc, memory, _ = make_caching(total=4 * KB)
+        bufs = [alloc.alloc(KB) for _ in range(4)]
+        alloc.free(bufs[0])
+        with pytest.raises(DeviceOutOfMemoryError):
+            alloc.alloc(2 * KB)
+        # release_all returns pooled blocks to the device, clearing room.
+        for buf in bufs[1:]:
+            alloc.free(buf)
+        alloc.release_all()
+        assert memory.used_bytes == 0
+        assert alloc.alloc(2 * KB).nbytes == 2 * KB
+
+    def test_direct_allocator_same_capacity_model(self):
+        spec, clock = tesla_v100(), SimClock()
+        memory = GlobalMemory(4 * KB)
+        alloc = DirectAllocator(spec, memory, clock)
+        held = [alloc.alloc(KB) for _ in range(4)]
+        with pytest.raises(DeviceOutOfMemoryError):
+            alloc.alloc(256)
+        alloc.free(held[0])  # direct free returns memory immediately
+        assert alloc.alloc(256).nbytes == 256
+
+
+class TestFragmentationMixedSizes:
+    def test_mixed_size_churn_bounds_reserved_bytes(self):
+        """Steady-state churn over mixed classes reserves each class once."""
+        alloc, memory, _ = make_caching(total=1 << 20)
+        sizes = [300, 1000, 5000, 300, 1000, 5000]
+        for _ in range(50):
+            bufs = [alloc.alloc(s) for s in sizes]
+            for buf in bufs:
+                alloc.free(buf)
+        # 3 distinct classes, 2 blocks each: reserved bytes never exceed the
+        # peak working set despite 300 allocations.
+        expected_reserved = 2 * (
+            size_class(300) + size_class(1000) + size_class(5000)
+        )
+        assert alloc.stats.bytes_reserved == expected_reserved
+        assert memory.used_bytes == expected_reserved
+        assert alloc.pooled_bytes == expected_reserved
+        assert alloc.stats.allocs == 300
+        assert alloc.stats.pool_misses == 6  # first round only
+        assert alloc.stats.pool_hits == 294
+        assert alloc.stats.hit_rate == pytest.approx(294 / 300)
+
+    def test_interleaved_lifetimes_do_not_cross_classes(self):
+        alloc, _, _ = make_caching()
+        small = alloc.alloc(256)
+        big = alloc.alloc(8 * KB)
+        alloc.free(small)
+        # big is still live; a new small ask pool-hits the freed small block.
+        small2 = alloc.alloc(200)
+        assert alloc.stats.pool_hits == 1
+        assert small2.nbytes == 256
+        assert big.alive
+
+
+class TestStatsAfterReleaseThenReuse:
+    def test_release_all_then_reuse_pays_driver_again(self):
+        alloc, memory, clock = make_caching()
+        alloc.free(alloc.alloc(KB))
+        assert alloc.pooled_bytes == KB
+        alloc.release_all()
+        assert alloc.pooled_bytes == 0
+        assert memory.used_bytes == 0
+        t0 = clock.now
+        alloc.alloc(KB)
+        # Post-release there is no pool: the re-allocation is a miss and
+        # pays the full driver malloc latency again.
+        assert alloc.stats.pool_misses == 2
+        assert alloc.stats.pool_hits == 0
+        assert clock.now - t0 == pytest.approx(alloc.spec.malloc_overhead_s)
+
+    def test_counters_track_request_vs_reserved_bytes(self):
+        alloc, _, _ = make_caching()
+        buf = alloc.alloc(700)  # class 1024
+        alloc.free(buf)
+        again = alloc.alloc(900)  # same class, pool hit
+        assert alloc.stats.bytes_requested == 1600
+        assert alloc.stats.bytes_reserved == 1024  # reserved once, reused
+        assert alloc.stats.allocs == 2
+        assert alloc.stats.frees == 1
+        assert again.nbytes == 1024
+
+    def test_high_water_mark_survives_release(self):
+        alloc, memory, _ = make_caching()
+        bufs = [alloc.alloc(4 * KB) for _ in range(3)]
+        peak = memory.high_water_bytes
+        for buf in bufs:
+            alloc.free(buf)
+        alloc.release_all()
+        assert memory.used_bytes == 0
+        assert memory.high_water_bytes == peak == 3 * 4 * KB

@@ -1,0 +1,65 @@
+"""Shared fixtures for the reliability suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.problem import Problem
+from repro.engines import make_engine
+
+
+@pytest.fixture
+def sphere6():
+    return Problem.from_benchmark("sphere", 6)
+
+
+@pytest.fixture
+def seeded_params():
+    return replace(PAPER_DEFAULTS, seed=42)
+
+
+@pytest.fixture
+def run_clean():
+    """A golden uninterrupted run for bit-identity comparisons."""
+
+    def _run(engine_name, problem, params, *, n=32, iters=20, **kwargs):
+        engine = make_engine(engine_name)
+        return engine.optimize(
+            problem,
+            n_particles=n,
+            max_iter=iters,
+            params=params,
+            record_history=True,
+            **kwargs,
+        )
+
+    return _run
+
+
+@pytest.fixture
+def assert_bit_identical():
+    """Every observable of two results matches exactly (no tolerances)."""
+
+    def _assert(a, b):
+        assert a.best_value == b.best_value
+        assert np.array_equal(a.best_position, b.best_position)
+        assert a.iterations == b.iterations
+        assert a.error == b.error
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.setup_seconds == b.setup_seconds
+        assert a.iteration_seconds == b.iteration_seconds
+        assert a.step_times == b.step_times
+        assert a.peak_device_bytes == b.peak_device_bytes
+        if a.history is None or b.history is None:
+            assert a.history is None and b.history is None
+        else:
+            assert list(a.history.gbest_values) == list(b.history.gbest_values)
+            assert list(a.history.mean_pbest_values) == list(
+                b.history.mean_pbest_values
+            )
+
+    return _assert

@@ -1,0 +1,186 @@
+"""Checkpoint file format, CRC validation, retention and fallback."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Problem
+from repro.engines import make_engine
+from repro.errors import CheckpointError, InvalidParameterError
+from repro.reliability import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointManager,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.reliability.snapshot import ensure_capturable
+
+
+def checkpointed_run(tmp_path, *, every=2, keep=10, iters=10, seed=42):
+    """Run a small checkpointed optimization; return its manager."""
+    from repro.core.parameters import PAPER_DEFAULTS
+
+    manager = CheckpointManager(tmp_path, every=every, keep=keep)
+    make_engine("fastpso").optimize(
+        Problem.from_benchmark("sphere", 6),
+        n_particles=32,
+        max_iter=iters,
+        params=replace(PAPER_DEFAULTS, seed=seed),
+        checkpoint=manager,
+    )
+    return manager
+
+
+class TestFileFormat:
+    def test_header_line_identifies_the_file(self, tmp_path):
+        manager = checkpointed_run(tmp_path)
+        raw = manager.latest_path().read_bytes()
+        header = raw.split(b"\n", 1)[0].decode("ascii").split()
+        assert header[0] == "FASTPSO-CKPT"
+        assert int(header[1]) == CHECKPOINT_SCHEMA_VERSION
+        assert len(header[2]) == 8  # crc32 hex
+        assert int(header[3]) == len(raw.split(b"\n", 1)[1])
+
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        manager = checkpointed_run(tmp_path)
+        snap = read_snapshot(manager.latest_path())
+        again = tmp_path / "copy.ckpt"
+        write_snapshot(snap, again)
+        snap2 = read_snapshot(again)
+        for name in ("positions", "velocities", "pbest_positions", "pbest_values"):
+            assert np.array_equal(
+                getattr(snap.swarm, name), getattr(snap2.swarm, name)
+            )
+            assert getattr(snap.swarm, name).dtype == getattr(
+                snap2.swarm, name
+            ).dtype
+        assert snap.swarm.gbest_value == snap2.swarm.gbest_value
+        assert snap.rng_state == snap2.rng_state
+        assert snap.clock_state == snap2.clock_state
+        assert snap.params_spec == snap2.params_spec
+
+    def test_crc_mismatch_detected(self, tmp_path):
+        manager = checkpointed_run(tmp_path)
+        path = manager.latest_path()
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a payload bit
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC mismatch"):
+            read_snapshot(path)
+
+    def test_truncation_detected(self, tmp_path):
+        manager = checkpointed_run(tmp_path)
+        path = manager.latest_path()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_snapshot(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(b"NOT-A-CKPT 1 00000000 2\n{}")
+        with pytest.raises(CheckpointError, match="not a FASTPSO-CKPT"):
+            read_snapshot(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        manager = checkpointed_run(tmp_path)
+        path = manager.latest_path()
+        header, payload = path.read_bytes().split(b"\n", 1)
+        parts = header.split()
+        parts[1] = b"999"
+        path.write_bytes(b" ".join(parts) + b"\n" + payload)
+        with pytest.raises(CheckpointError, match="version 999 unsupported"):
+            read_snapshot(path)
+
+    def test_missing_file_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_snapshot(tmp_path / "nope.ckpt")
+
+
+class TestManagerPolicy:
+    def test_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=5)
+        assert not manager.due(0)
+        assert not manager.due(4)
+        assert manager.due(5)
+        assert not manager.due(6)
+        assert manager.due(10)
+
+    def test_rolling_retention_keeps_newest(self, tmp_path):
+        manager = checkpointed_run(tmp_path, every=2, keep=3, iters=20)
+        files = manager.checkpoints()
+        assert len(files) == 3
+        # every=2 over 20 iterations minus the final one (nothing to resume
+        # from a complete run) -> newest retained are 14, 16, 18.
+        assert [f.name for f in files] == [
+            "run-iter0000014.ckpt",
+            "run-iter0000016.ckpt",
+            "run-iter0000018.ckpt",
+        ]
+
+    def test_no_checkpoint_at_final_iteration(self, tmp_path):
+        manager = checkpointed_run(tmp_path, every=5, iters=10)
+        names = [f.name for f in manager.checkpoints()]
+        assert names == ["run-iter0000005.ckpt"]  # iteration 10 == complete
+
+    def test_load_latest_skips_corrupt_newest(self, tmp_path):
+        manager = checkpointed_run(tmp_path, every=2, keep=4, iters=12)
+        newest = manager.latest_path()
+        newest.write_bytes(b"garbage")
+        snap = manager.load_latest()
+        assert snap is not None
+        assert snap.iteration == 8  # fell back past the damaged iter-10 file
+        assert newest.exists()  # corrupt file left in place for post-mortems
+
+    def test_load_latest_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_labels_partition_a_shared_directory(self, tmp_path):
+        a = CheckpointManager(tmp_path, label="a")
+        b = CheckpointManager(tmp_path, label="b")
+        manager = checkpointed_run(tmp_path / "src", every=2)
+        snap = read_snapshot(manager.latest_path())
+        a.save(snap)
+        assert [p.name for p in a.checkpoints()] == [
+            f"a-iter{snap.iteration:07d}.ckpt"
+        ]
+        assert b.checkpoints() == []
+
+    @pytest.mark.parametrize("bad", [{"every": 0}, {"keep": 0}, {"label": ""}])
+    def test_invalid_policy_rejected(self, tmp_path, bad):
+        with pytest.raises(InvalidParameterError):
+            CheckpointManager(tmp_path, **bad)
+
+
+class TestCapturability:
+    def test_benchmark_problem_is_capturable(self):
+        ensure_capturable(Problem.from_benchmark("ackley", 4))
+
+    def test_custom_objective_rejected_at_entry(self, tmp_path):
+        problem = Problem.from_callable(
+            lambda x: float(np.sum(x * x)), 4, (-1.0, 1.0)
+        )
+        with pytest.raises(CheckpointError, match="benchmark problems"):
+            make_engine("fastpso").optimize(
+                problem,
+                n_particles=8,
+                max_iter=4,
+                checkpoint=CheckpointManager(tmp_path),
+            )
+        # Failing at entry means no partial run and no stray files.
+        assert list(tmp_path.glob("*.ckpt")) == []
+
+    def test_engine_accepts_plain_directory_path(self, tmp_path):
+        from repro.core.parameters import PAPER_DEFAULTS
+
+        make_engine("fastpso").optimize(
+            Problem.from_benchmark("sphere", 4),
+            n_particles=8,
+            max_iter=12,
+            params=replace(PAPER_DEFAULTS, seed=3),
+            checkpoint=tmp_path / "auto",  # auto-wrapped in a manager
+        )
+        assert list((tmp_path / "auto").glob("*.ckpt"))

@@ -1,0 +1,104 @@
+"""Hard-crash recovery: SIGKILL a checkpointing run, resume bit-identically.
+
+The subprocess (``repro.reliability._crashdemo``) sleeps real wall-clock
+time each iteration while checkpointing every iteration.  The parent waits
+for checkpoints to appear on disk, SIGKILLs the child mid-run — no atexit,
+no cleanup, the torn-write scenario atomic writes exist for — then resumes
+in-process and checks the trajectory against a golden uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.problem import Problem
+from repro.engines import make_engine
+from repro.reliability import resume
+
+_SEED = 123
+_ITERS = 60
+
+
+def _spawn_and_kill(ckpt_dir: Path, *, min_checkpoints=3, deadline_s=60.0):
+    """Run the crash demo until checkpoints exist, then SIGKILL it."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.reliability._crashdemo",
+            "--dir",
+            str(ckpt_dir),
+            "--iters",
+            str(_ITERS),
+            "--seed",
+            str(_SEED),
+            "--sleep",
+            "0.02",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            if len(list(ckpt_dir.glob("*.ckpt"))) >= min_checkpoints:
+                break
+            if proc.poll() is not None:
+                stderr = proc.stderr.read().decode(errors="replace")
+                pytest.fail(
+                    f"crash demo exited early ({proc.returncode}): {stderr}"
+                )
+            time.sleep(0.01)
+        else:
+            pytest.fail("crash demo produced no checkpoints before deadline")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - safety net
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stderr.close()
+    assert proc.returncode == -signal.SIGKILL
+
+
+def test_sigkilled_run_resumes_bit_identically(tmp_path):
+    golden = make_engine("fastpso").optimize(
+        Problem.from_benchmark("sphere", 8),
+        n_particles=64,
+        max_iter=_ITERS,
+        params=replace(PAPER_DEFAULTS, seed=_SEED),
+        record_history=True,
+    )
+
+    ckpt_dir = tmp_path / "ckpts"
+    ckpt_dir.mkdir()
+    _spawn_and_kill(ckpt_dir)
+
+    files = sorted(ckpt_dir.glob("*.ckpt"))
+    assert files, "SIGKILL left no checkpoints behind"
+    # Every surviving file is complete (atomic writes: no torn headers).
+    for path in files:
+        assert path.read_bytes().startswith(b"FASTPSO-CKPT 1 ")
+
+    resumed = resume(ckpt_dir)
+    assert resumed.iterations == _ITERS
+    assert resumed.best_value == golden.best_value
+    assert list(resumed.best_position) == list(golden.best_position)
+    assert list(resumed.history.gbest_values) == list(
+        golden.history.gbest_values
+    )
+    assert resumed.elapsed_seconds == golden.elapsed_seconds

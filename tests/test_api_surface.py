@@ -13,19 +13,43 @@ import pytest
 REPRO_PUBLIC = {
     "BatchResult",
     "BatchScheduler",
+    "CheckpointManager",
     "ENGINE_NAMES",
     "FastPSO",
+    "FaultPlan",
+    "FaultSpec",
     "Job",
     "OptimizeResult",
     "PAPER_DEFAULTS",
     "PSOParams",
     "Problem",
+    "RecoveryReport",
     "ReproError",
+    "RetryPolicy",
     "__version__",
     "available_engines",
     "available_functions",
     "get_function",
     "make_engine",
+    "resume",
+    "run_with_recovery",
+}
+
+RELIABILITY_PUBLIC = {
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointManager",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RunSnapshot",
+    "capture_run",
+    "read_snapshot",
+    "resume",
+    "run_with_recovery",
+    "write_snapshot",
 }
 
 ENGINES_PUBLIC = {
@@ -85,6 +109,7 @@ ENGINE_ALIASES = {
         ("repro", REPRO_PUBLIC),
         ("repro.engines", ENGINES_PUBLIC),
         ("repro.batch", BATCH_PUBLIC),
+        ("repro.reliability", RELIABILITY_PUBLIC),
     ],
 )
 class TestSurfaceSnapshot:
