@@ -1,18 +1,21 @@
-"""Host wall-clock benchmark for the fast-path work (ISSUE 1).
+"""Host wall-clock benchmark for the fast-path work (ISSUE 1 / ISSUE 4).
 
 Measures *host* seconds — real time spent running the simulator, not
 simulated GPU seconds — for a fixed seeded Table-1-style workload:
 ``sphere`` in d=50, n=2000 particles, 200 iterations, on ``fastpso`` plus
-one CPU baseline (``fastpso-seq``).  The simulated results (best value,
-simulated ``elapsed_seconds``) are recorded alongside so a perf change that
-accidentally perturbs trajectories is immediately visible in the JSON diff.
+one CPU baseline (``fastpso-seq``), each with the launch-graph fast path on
+(``graph``, the default) and off (``eager``).  The simulated results (best
+value, simulated ``elapsed_seconds``) are recorded alongside so a perf
+change that accidentally perturbs trajectories is immediately visible in
+the JSON diff — and the two modes are checked *bit-identical* against each
+other (``--check-parity``, exit 1 on mismatch; CI runs this).
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--out BENCH_wallclock.json]
 
 The committed ``BENCH_wallclock.json`` tracks the perf trajectory from PR 1
-onward; CI runs a smoke version (fewer iterations) to keep the signal alive
+onward; CI runs a smoke version (``--repeats 1``) to keep the signal alive
 without slowing the suite.
 """
 
@@ -21,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -35,21 +39,35 @@ WORKLOAD = {
     "seed": 42,
 }
 ENGINES = ("fastpso", "fastpso-seq")
+MODES = {"graph": True, "eager": False}
 REPEATS = 3
+
+#: Result fields that must be bit-identical between graph and eager modes.
+PARITY_FIELDS = ("best_value", "simulated_seconds", "iterations", "trajectory")
 
 
 def bench_engine(
-    name: str, *, dim: int, n_particles: int, max_iter: int, repeats: int = REPEATS
+    name: str,
+    *,
+    dim: int,
+    n_particles: int,
+    max_iter: int,
+    repeats: int = REPEATS,
+    graph: bool = True,
 ) -> dict:
     """Best-of-*repeats* host wall time for one engine on the fixed workload."""
     problem = Problem.from_benchmark(WORKLOAD["problem"], dim)
     walls = []
     result = None
     for _ in range(repeats):
-        engine = make_engine(name)  # fresh engine: no warm caches carried over
+        # Fresh engine every repeat: no warm caches carried over.
+        engine = make_engine(name, graph=graph)
         t0 = time.perf_counter()
         result = engine.optimize(
-            problem, n_particles=n_particles, max_iter=max_iter
+            problem,
+            n_particles=n_particles,
+            max_iter=max_iter,
+            record_history=True,
         )
         walls.append(time.perf_counter() - t0)
     return {
@@ -58,6 +76,7 @@ def bench_engine(
         "simulated_seconds": result.elapsed_seconds,
         "best_value": result.best_value,
         "iterations": result.iterations,
+        "trajectory": list(result.history.gbest_values),
     }
 
 
@@ -70,19 +89,39 @@ def run(max_iter: int, repeats: int) -> dict:
         "engines": {},
     }
     for name in ENGINES:
-        payload["engines"][name] = bench_engine(
-            name,
-            dim=WORKLOAD["dim"],
-            n_particles=WORKLOAD["n_particles"],
-            max_iter=max_iter,
-            repeats=repeats,
-        )
-        e = payload["engines"][name]
-        print(
-            f"{name:12s} wall={e['wall_seconds']:.3f}s "
-            f"simulated={e['simulated_seconds']:.6f}s best={e['best_value']:.6g}"
-        )
+        for mode, graph in MODES.items():
+            key = name if graph else f"{name}-eager"
+            payload["engines"][key] = bench_engine(
+                name,
+                dim=WORKLOAD["dim"],
+                n_particles=WORKLOAD["n_particles"],
+                max_iter=max_iter,
+                repeats=repeats,
+                graph=graph,
+            )
+            e = payload["engines"][key]
+            print(
+                f"{key:20s} wall={e['wall_seconds']:.3f}s "
+                f"simulated={e['simulated_seconds']:.6f}s "
+                f"best={e['best_value']:.6g}"
+            )
     return payload
+
+
+def check_parity(payload: dict) -> list[str]:
+    """Graph and eager rows must agree bit-for-bit on everything simulated."""
+    problems = []
+    for name in ENGINES:
+        graph_row = payload["engines"][name]
+        eager_row = payload["engines"][f"{name}-eager"]
+        for field in PARITY_FIELDS:
+            if graph_row[field] != eager_row[field]:
+                problems.append(
+                    f"{name}: {field} differs between graph and eager "
+                    f"(graph={graph_row[field]!r:.80s} "
+                    f"eager={eager_row[field]!r:.80s})"
+                )
+    return problems
 
 
 def main() -> None:
@@ -97,10 +136,29 @@ def main() -> None:
         help="iteration count (CI smoke runs use a smaller value)",
     )
     parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="exit 1 unless graph and eager runs are bit-identical",
+    )
     args = parser.parse_args()
     payload = run(args.iters, args.repeats)
+    mismatches = check_parity(payload)
+    # Trajectories are large and redundant once parity is verified; persist
+    # only a digest of each.
+    for row in payload["engines"].values():
+        traj = row.pop("trajectory")
+        row["trajectory_len"] = len(traj)
+        row["trajectory_last"] = traj[-1] if traj else None
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if mismatches:
+        for line in mismatches:
+            print(f"PARITY MISMATCH: {line}", file=sys.stderr)
+        if args.check_parity:
+            sys.exit(1)
+    else:
+        print("parity: graph and eager runs are bit-identical")
 
 
 if __name__ == "__main__":

@@ -306,6 +306,13 @@ class BatchScheduler:
         it, retried jobs resume from their last checkpoint instead of
         restarting.  ``checkpoint_every``/``checkpoint_keep`` set the
         cadence and retention.
+    graph:
+        Default for the engines' launch-graph fast path
+        (:mod:`repro.gpusim.graph`): ``True``/``False`` forces it on or off
+        for every job that doesn't say otherwise in its own
+        ``engine_options``; ``None`` (default) leaves each engine's own
+        default in place.  Jobs running under fault injection fall back to
+        eager regardless.
     """
 
     def __init__(
@@ -319,6 +326,7 @@ class BatchScheduler:
         checkpoint_dir=None,
         checkpoint_every: int = 10,
         checkpoint_keep: int = 3,
+        graph: bool | None = None,
     ) -> None:
         if n_devices < 1:
             raise InvalidParameterError(
@@ -340,7 +348,19 @@ class BatchScheduler:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep = checkpoint_keep
+        self.graph = graph
         self._queue: list[Job] = []
+
+    def _job_engine_options(self, job: Job) -> dict:
+        """The job's engine options with the scheduler's graph default mixed
+        in (the job's own setting always wins)."""
+        opts = dict(job.engine_options)
+        if self.graph is not None:
+            from repro.engines import engine_supports_graph
+
+            if engine_supports_graph(job.engine):
+                opts.setdefault("graph", self.graph)
+        return opts
 
     # -- submission ----------------------------------------------------------
     def submit(self, job: Job | None = None, /, **spec: object) -> Job:
@@ -429,7 +449,7 @@ class BatchScheduler:
         if not self._reliability_enabled:
             from repro.reliability.retry import RecoveryReport
 
-            engine = make_engine(job.engine, **dict(job.engine_options))
+            engine = make_engine(job.engine, **self._job_engine_options(job))
             result = engine.optimize(
                 job.resolved_problem(),
                 n_particles=job.n_particles,
@@ -465,7 +485,7 @@ class BatchScheduler:
             max_iter=job.max_iter,
             params=job.resolved_params,
             record_history=job.record_history,
-            engine_options=dict(job.engine_options),
+            engine_options=self._job_engine_options(job),
             policy=self.retry or RetryPolicy(),
             injector=injector,
             checkpoint=manager,

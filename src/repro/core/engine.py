@@ -40,6 +40,17 @@ class Engine(ABC):
     name: str = "engine"
     #: Whether the engine executes on the simulated GPU.
     is_gpu: bool = False
+    #: Whether the engine provides a launch-graph replay plan
+    #: (:mod:`repro.gpusim.graph`).  Engines that do accept ``graph=`` in
+    #: their constructor and set :attr:`graph_enabled` from it.
+    supports_graph: bool = False
+    #: The ``graph=`` knob: capture & replay the steady-state iteration when
+    #: possible.  Ignored (always eager) when :attr:`supports_graph` is
+    #: False.
+    graph_enabled: bool = True
+    #: Lifecycle report of the most recent run's :class:`~repro.gpusim.
+    #: graph.IterationRunner` (``None`` before the first ``optimize``).
+    graph_info: dict | None = None
 
     def __init__(self) -> None:
         self.clock = SimClock()
@@ -214,20 +225,24 @@ class Engine(ABC):
         if injector is not None:
             injector.watch_state(state)
 
+        # A run is graph-eligible only when nothing can change the iteration
+        # shape or needs per-launch hooks.  A restored run builds a fresh
+        # runner like any other, so the graph is re-captured after resume —
+        # stale bindings from the pre-checkpoint run can never be replayed.
+        from repro.gpusim.graph import IterationRunner
+
+        eager_reason = self._graph_eager_reason(stop, callback)
+        runner = IterationRunner(
+            self, problem, params, state, rng, eager_reason=eager_reason
+        )
+
         iterations_run = start_iter
         self._progress = 0.0
         for t in range(start_iter, max_iter):
             # Fraction of the budget consumed; drives the adaptive velocity
             # bound (Kaucic 2013) used by Eq. (5)'s clamping.
             self._progress = t / max(1, max_iter - 1)
-            with self.clock.section("eval"):
-                values = self._evaluate(problem, state)
-            with self.clock.section("pbest"):
-                self._update_pbest(state, values)
-            with self.clock.section("gbest"):
-                self._update_gbest(state)
-            with self.clock.section("swarm"):
-                self._update_swarm(problem, params, state, rng)
+            runner.run_iteration(t)
             iterations_run = t + 1
             if injector is not None:
                 injector.check_integrity()
@@ -271,6 +286,7 @@ class Engine(ABC):
             if stopping:
                 break
 
+        runner.finalize()
         self._finalize(state)
 
         loop_seconds = self.clock.now - setup_seconds
@@ -301,6 +317,42 @@ class Engine(ABC):
     def _peak_device_bytes(self) -> int:
         """High-water device-memory mark; CPU engines report 0."""
         return 0
+
+    # -- launch-graph hooks ---------------------------------------------------
+    def _graph_eager_reason(self, stop, callback) -> str | None:
+        """Why this run must execute eagerly, or ``None`` if graph-eligible.
+
+        A stop criterion or callback can end the run at any iteration and
+        must observe per-iteration state transitions in eager order; a fault
+        injector needs its per-launch hook; ``record_launches`` needs the
+        full per-launch log that replay deliberately skips.
+        """
+        if not self.supports_graph:
+            return "engine-does-not-support-graphs"
+        if not self.graph_enabled:
+            return "graph=False"
+        if stop is not None:
+            return "stop-criterion"
+        if callback is not None:
+            return "callback"
+        if self._fault_injector is not None:
+            return "fault-injector"
+        return self._graph_blockers()
+
+    def _graph_blockers(self) -> str | None:
+        """Engine-specific extra eager conditions (e.g. launch recording)."""
+        return None
+
+    def _graph_build_replay(self, problem, params, state, rng):
+        """Build the pre-bound replay plan for one steady-state iteration.
+
+        Returns ``(replay, plan_launches)``: a zero-argument callable that
+        executes one full iteration, and the launch sequence it will charge
+        (``(name, section, n_elems, config, cost)`` tuples) for validation
+        against the capture.  Only called on engines with
+        :attr:`supports_graph`.
+        """
+        raise NotImplementedError
 
     # -- reliability hooks ----------------------------------------------------
     #: Fault injector followed by this engine (None = fault-free run).

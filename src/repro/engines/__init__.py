@@ -53,6 +53,7 @@ __all__ = [
     "BACKENDS",
     "ENGINE_NAMES",
     "available_engines",
+    "engine_supports_graph",
     "make_engine",
 ]
 
@@ -79,6 +80,7 @@ _ALIASES: dict[str, tuple[str, dict[str, object]]] = {
     "fastpso-tensorcore": ("fastpso", {"backend": "tensorcore"}),
     "fastpso-nocache": ("fastpso", {"caching": False}),
     "fastpso-fused": ("fastpso", {"fuse_update": True}),
+    "fastpso-fp16": ("fastpso", {"half_storage": True}),
     "mgpu": ("fastpso-mgpu", {}),
     "async": ("fastpso-async", {}),
 }
@@ -98,6 +100,20 @@ ENGINE_NAMES = (
 def available_engines() -> tuple[str, ...]:
     """Every name :func:`make_engine` accepts (canonical names + aliases)."""
     return tuple(sorted({*_FACTORIES, *_ALIASES}))
+
+
+def engine_supports_graph(name: str) -> bool:
+    """Whether *name*'s engine class takes the ``graph=`` fast-path knob.
+
+    Used by callers that inject a fleet-wide graph default (e.g. the batch
+    scheduler) to avoid passing the keyword to engines without it.  Unknown
+    names report ``False``; :func:`make_engine` is where they raise.
+    """
+    key = name.lower()
+    if key in _ALIASES:
+        key, _implied = _ALIASES[key]
+    factory = _FACTORIES.get(key)
+    return bool(getattr(factory, "supports_graph", False))
 
 
 def make_engine(name: str, **kwargs: object) -> Engine:

@@ -30,8 +30,14 @@ class OpenMPEngine(CpuEngineBase):
     # overlap survives (~2 effective threads out of 20).
     rng_parallel_efficiency = 0.1
 
-    def __init__(self, cpu: CpuSpec | None = None, *, threads: int = 20) -> None:
-        super().__init__(cpu)
+    def __init__(
+        self,
+        cpu: CpuSpec | None = None,
+        *,
+        threads: int = 20,
+        graph: bool = True,
+    ) -> None:
+        super().__init__(cpu, graph=graph)
         if threads < 1:
             raise InvalidParameterError(f"threads must be >= 1, got {threads}")
         self.threads = threads

@@ -40,6 +40,7 @@ class MultiGpuFastPSOEngine(Engine):
     """Particle-splitting FastPSO across several simulated devices."""
 
     is_gpu = True
+    supports_graph = True
 
     @deprecated_kwargs(spec="device")
     def __init__(
@@ -52,6 +53,7 @@ class MultiGpuFastPSOEngine(Engine):
         caching: bool = True,
         cost_params: GpuCostParams | None = None,
         record_launches: bool = False,
+        graph: bool = True,
     ) -> None:
         super().__init__()
         if n_devices < 1:
@@ -64,6 +66,7 @@ class MultiGpuFastPSOEngine(Engine):
             )
         self.n_devices = n_devices
         self.exchange_interval = exchange_interval
+        self.graph_enabled = bool(graph)
         self.workers = [
             FastPSOEngine(
                 device,
@@ -71,6 +74,7 @@ class MultiGpuFastPSOEngine(Engine):
                 caching=caching,
                 cost_params=cost_params,
                 record_launches=record_launches,
+                graph=graph,
             )
             for _ in range(n_devices)
         ]
@@ -148,22 +152,41 @@ class MultiGpuFastPSOEngine(Engine):
 
         setup_seconds = max(w.clock.now for w in self.workers)
 
+        # One capture/replay lifecycle per worker device: each sub-swarm's
+        # iteration shape is independent (its own launcher, allocator pool
+        # and Philox stream).  Exchanges only rewrite gbest state between
+        # iterations, which replay reads dynamically, so they don't block
+        # graph eligibility.
+        from repro.gpusim.graph import IterationRunner
+
+        eager_reason = None
+        if not self.graph_enabled:
+            eager_reason = "graph=False"
+        elif stop is not None:
+            eager_reason = "stop-criterion"
+        elif callback is not None:
+            eager_reason = "callback"
+        elif self._fault_injector is not None:
+            eager_reason = "fault-injector"
+        elif any(w.ctx.launcher.record_launches for w in self.workers):
+            eager_reason = "record-launches"
+        runners = [
+            IterationRunner(
+                worker, problem, params, state, rng, eager_reason=eager_reason
+            )
+            for worker, state, rng in zip(self.workers, states, rngs)
+        ]
+        self.graph_info = runners[0].info
+
         global_best_value = np.inf
         global_best_position = np.zeros(problem.dim, dtype=np.float32)
         iterations_run = 0
 
         for t in range(max_iter):
             progress = t / max(1, max_iter - 1)
-            for worker, state, rng in zip(self.workers, states, rngs):
+            for worker, runner in zip(self.workers, runners):
                 worker._progress = progress
-                with worker.clock.section("eval"):
-                    values = worker._evaluate(problem, state)
-                with worker.clock.section("pbest"):
-                    worker._update_pbest(state, values)
-                with worker.clock.section("gbest"):
-                    worker._update_gbest(state)
-                with worker.clock.section("swarm"):
-                    worker._update_swarm(problem, params, state, rng)
+                runner.run_iteration(t)
             iterations_run = t + 1
 
             if (t + 1) % self.exchange_interval == 0 or t == max_iter - 1:
@@ -199,6 +222,8 @@ class MultiGpuFastPSOEngine(Engine):
                 )
                 break
 
+        for runner in runners:
+            runner.finalize()
         for worker, state in zip(self.workers, states):
             worker._finalize(state)
 

@@ -28,6 +28,7 @@ __all__ = [
     "EvaluationError",
     "BenchmarkError",
     "CheckpointError",
+    "GraphReplayError",
 ]
 
 
@@ -101,6 +102,17 @@ class MemoryCorruptionError(GpuSimError):
     Raised by the reliability guard when a watched buffer contains values
     that cannot result from a correct run (NaNs written by an injected
     bit-flip).  Retryable from the last checkpoint.
+    """
+
+
+class GraphReplayError(GpuSimError):
+    """A launch-graph replay diverged from its captured iteration.
+
+    Raised when the first replayed iteration's charge sequence, launch
+    sequence or RNG consumption does not match what capture recorded.  This
+    indicates a bug in an engine's replay plan (eager and replay paths out
+    of sync), never a data-dependent condition — those fall back to eager
+    execution during validation instead of raising.
     """
 
 

@@ -1,0 +1,74 @@
+/* Philox4x32-10 counter-mode uniform generation, scalar C.
+ *
+ * Compiled on demand by repro.gpusim.philox_native into a shared object and
+ * called through ctypes.  The output must be bit-identical to the NumPy
+ * uint64-lane pipeline in repro.gpusim.rng:
+ *
+ *   - counter block i contributes words philox(counter=(lo(i), hi(i),
+ *     sid_lo, sid_hi), key=key_schedule(seed)) in lane order w0..w3;
+ *   - the unit mapping is (double)(word + 0.5) * 2^-32, optionally rounded
+ *     once to float32 (exactly what numpy's float64 -> float32 cast does).
+ *
+ * `keys` is the precomputed per-round schedule: 2*ROUNDS uint32 values laid
+ * out as k0_r0, k1_r0, k0_r1, k1_r1, ...  Passing the schedule instead of
+ * the seed keeps the key bump out of the hot loop and guarantees the C and
+ * NumPy paths share one schedule implementation.
+ */
+#include <stdint.h>
+
+#define ROUNDS 10
+#define M0 0xD2511F53u
+#define M1 0xCD9E8D57u
+
+static inline void philox_block(uint32_t c0, uint32_t c1, uint32_t c2,
+                                uint32_t c3, const uint32_t* keys,
+                                uint32_t* out) {
+    for (int r = 0; r < ROUNDS; r++) {
+        uint64_t p0 = (uint64_t)M0 * c0;
+        uint64_t p1 = (uint64_t)M1 * c2;
+        uint32_t hi0 = (uint32_t)(p0 >> 32), lo0 = (uint32_t)p0;
+        uint32_t hi1 = (uint32_t)(p1 >> 32), lo1 = (uint32_t)p1;
+        uint32_t n0 = hi1 ^ c1 ^ keys[2 * r];
+        uint32_t n2 = hi0 ^ c3 ^ keys[2 * r + 1];
+        c0 = n0;
+        c1 = lo1;
+        c2 = n2;
+        c3 = lo0;
+    }
+    out[0] = c0;
+    out[1] = c1;
+    out[2] = c2;
+    out[3] = c3;
+}
+
+void philox_unit_f32(uint64_t block0, uint64_t stream_id, uint64_t n_blocks,
+                     const uint32_t* keys, float* out) {
+    uint32_t sid_lo = (uint32_t)stream_id;
+    uint32_t sid_hi = (uint32_t)(stream_id >> 32);
+    for (uint64_t i = 0; i < n_blocks; i++) {
+        uint64_t b = block0 + i;
+        uint32_t w[4];
+        philox_block((uint32_t)b, (uint32_t)(b >> 32), sid_lo, sid_hi, keys,
+                     w);
+        out[4 * i + 0] = (float)(((double)w[0] + 0.5) * 0x1p-32);
+        out[4 * i + 1] = (float)(((double)w[1] + 0.5) * 0x1p-32);
+        out[4 * i + 2] = (float)(((double)w[2] + 0.5) * 0x1p-32);
+        out[4 * i + 3] = (float)(((double)w[3] + 0.5) * 0x1p-32);
+    }
+}
+
+void philox_unit_f64(uint64_t block0, uint64_t stream_id, uint64_t n_blocks,
+                     const uint32_t* keys, double* out) {
+    uint32_t sid_lo = (uint32_t)stream_id;
+    uint32_t sid_hi = (uint32_t)(stream_id >> 32);
+    for (uint64_t i = 0; i < n_blocks; i++) {
+        uint64_t b = block0 + i;
+        uint32_t w[4];
+        philox_block((uint32_t)b, (uint32_t)(b >> 32), sid_lo, sid_hi, keys,
+                     w);
+        out[4 * i + 0] = ((double)w[0] + 0.5) * 0x1p-32;
+        out[4 * i + 1] = ((double)w[1] + 0.5) * 0x1p-32;
+        out[4 * i + 2] = ((double)w[2] + 0.5) * 0x1p-32;
+        out[4 * i + 3] = ((double)w[3] + 0.5) * 0x1p-32;
+    }
+}

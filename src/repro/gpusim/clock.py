@@ -21,11 +21,23 @@ __all__ = ["SimClock"]
 
 @dataclass
 class SimClock:
-    """A monotonically advancing simulated clock with named sections."""
+    """A monotonically advancing simulated clock with named sections.
+
+    The clock can optionally *trace*: between :meth:`begin_trace` and
+    :meth:`end_trace` every advance is also appended to a list of
+    ``(section, seconds, dynamic)`` tuples.  Launch-graph capture
+    (:mod:`repro.gpusim.graph`) uses this to record and validate the exact
+    charge sequence of a steady-state iteration; tracing costs one ``is not
+    None`` check per advance when off, and never changes the float
+    accumulation itself.
+    """
 
     now: float = 0.0
     section_totals: dict[str, float] = field(default_factory=dict)
     _stack: list[str] = field(default_factory=list, repr=False)
+    _trace: "list[tuple[str | None, float, bool]] | None" = field(
+        default=None, repr=False
+    )
 
     def advance(self, seconds: float) -> float:
         """Advance simulated time by *seconds* (must be non-negative).
@@ -36,12 +48,46 @@ class SimClock:
         if seconds < 0.0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         self.now += seconds
+        label = None
         if self._stack:
             label = self._stack[-1]
             self.section_totals[label] = (
                 self.section_totals.get(label, 0.0) + seconds
             )
+        if self._trace is not None:
+            self._trace.append((label, seconds, False))
         return self.now
+
+    def advance_dynamic(self, seconds: float) -> float:
+        """:meth:`advance`, but traced as a *dynamic* (data-dependent) charge.
+
+        Identical float accumulation; the only difference is the marker in
+        the capture trace, which tells graph validation that this slot's
+        duration legitimately varies between iterations (e.g. the
+        pbest-position copy, whose size is the number of improved
+        particles).
+        """
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self.now += seconds
+        label = None
+        if self._stack:
+            label = self._stack[-1]
+            self.section_totals[label] = (
+                self.section_totals.get(label, 0.0) + seconds
+            )
+        if self._trace is not None:
+            self._trace.append((label, seconds, True))
+        return self.now
+
+    def begin_trace(self) -> None:
+        """Start recording every advance (see class docstring)."""
+        self._trace = []
+
+    def end_trace(self) -> list[tuple[str | None, float, bool]]:
+        """Stop recording and return the captured charge sequence."""
+        trace, self._trace = self._trace, None
+        return trace if trace is not None else []
 
     @property
     def current_section(self) -> str | None:
@@ -68,6 +114,7 @@ class SimClock:
         self.now = 0.0
         self.section_totals.clear()
         self._stack.clear()
+        self._trace = None
 
     def total(self, label: str) -> float:
         """Total seconds attributed to *label* (0.0 if never entered)."""

@@ -1,0 +1,296 @@
+"""Launch-graph capture & replay: the CUDA-Graphs-style iteration fast path.
+
+PR 1 made every step of the launch pipeline a dictionary hit; this module
+removes the pipeline from the steady state entirely.  The idea is the same
+as CUDA Graphs in production inference stacks: a PSO iteration launches the
+same kernels with the same geometry every time, so after observing one
+steady-state iteration the host can *replay* the whole iteration as a flat
+sequence of pre-bound calls — no kernel dict lookups, no spec hashing, no
+config resolution, no per-launch profiler updates.
+
+The lifecycle, driven by :class:`IterationRunner`:
+
+``warmup``
+    The first iteration runs eagerly, untraced.  It differs from the steady
+    state (allocator pool misses, cold launch caches) and is never captured.
+``capture``
+    The second iteration runs eagerly with the clock trace and the
+    launcher's capture sink attached, recording every clock charge
+    ``(section, seconds, dynamic)`` and every launch ``(kernel, section,
+    n_elems, config, cost)`` plus the iteration's RNG block consumption.
+``validate``
+    The third iteration runs eagerly, traced again.  If its charge and
+    launch sequences don't match the capture (outside slots explicitly
+    marked *dynamic*, e.g. the pbest-copy charge whose size is the number
+    of improved particles), the iteration shape is data-dependent and the
+    run permanently falls back to eager — by design, not as an error.  On a
+    match, the engine builds its replay plan
+    (:meth:`~repro.core.engine.Engine._graph_build_replay`) and the plan's
+    declared launches are cross-checked against the capture.
+``replay``
+    Every further iteration is one call into the pre-bound plan.  The first
+    replay runs traced and is verified against the capture
+    (:class:`~repro.errors.GraphReplayError` on divergence — that would be
+    a repro bug, not a user condition); later replays run flat.
+
+Replay preserves bit-identical simulated time because it performs the *same
+sequence of float additions* on the clock as the eager path: one
+``advance(cost.seconds)`` per launch in eager order, real allocator
+alloc/free calls (pool hits advance the clock natively and keep the
+allocator statistics truthful), and the same dynamic charges through the
+same helpers.  Profiler statistics are aggregated per graph — replayed
+launches touch no :class:`~repro.gpusim.launch.LaunchStats` until
+:meth:`IterationRunner.finalize` folds ``replays x captured-cost`` into the
+launcher's buckets in one update per kernel.
+
+Eager fallbacks (the graph is simply not used): ``graph=False``, a stop
+criterion, a callback, an attached fault injector, ``record_launches=True``
+or an engine without a replay plan.  Checkpoint *capture* composes with
+replay (snapshots read state the replay keeps current); a *restored* run
+rebuilds its runner from scratch, so the graph is re-captured after resume
+and can never replay stale bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import GraphReplayError
+
+__all__ = ["CapturedLaunch", "LaunchGraph", "IterationRunner"]
+
+
+#: One recorded launch: (kernel_name, section, n_elems, config, cost).
+CapturedLaunch = tuple
+
+
+@dataclass
+class LaunchGraph:
+    """The record of one captured steady-state iteration.
+
+    ``trace`` is the clock charge sequence; ``launches`` the kernel launch
+    sequence (empty for CPU engines, which charge the clock directly);
+    ``rng_blocks`` the Philox blocks one iteration consumes.
+    """
+
+    trace: list[tuple[str | None, float, bool]] = field(default_factory=list)
+    launches: list[CapturedLaunch] = field(default_factory=list)
+    rng_blocks: int = 0
+
+    def trace_matches(
+        self, other: list[tuple[str | None, float, bool]]
+    ) -> bool:
+        """Exact charge-sequence match, wildcarding dynamic slots' seconds."""
+        if len(other) != len(self.trace):
+            return False
+        for (label, seconds, dynamic), (o_label, o_seconds, o_dynamic) in zip(
+            self.trace, other
+        ):
+            if label != o_label or dynamic != o_dynamic:
+                return False
+            if not dynamic and seconds != o_seconds:
+                return False
+        return True
+
+    def launches_match(self, other: list[CapturedLaunch]) -> bool:
+        """Same kernels, sections, sizes, geometry and cost, in order."""
+        if len(other) != len(self.launches):
+            return False
+        for mine, theirs in zip(self.launches, other):
+            name, section, n_elems, config, cost = mine
+            o_name, o_section, o_elems, o_config, o_cost = theirs
+            if (
+                name != o_name
+                or section != o_section
+                or n_elems != o_elems
+                or config != o_config
+                or cost.seconds != o_cost.seconds
+            ):
+                return False
+        return True
+
+    def flush_stats(self, stats: dict, replays: int) -> None:
+        """Fold *replays* executions of every captured launch into *stats*.
+
+        One :meth:`~repro.gpusim.launch.LaunchStats.add_many` per distinct
+        launch — O(graph size), not O(replays x launches).
+        """
+        if replays <= 0:
+            return
+        from repro.gpusim.launch import LaunchStats
+
+        for name, section, n_elems, _config, cost in self.launches:
+            key = (name, section)
+            bucket = stats.get(key)
+            if bucket is None:
+                bucket = LaunchStats(kernel_name=name, section=section)
+                stats[key] = bucket
+            bucket.add_many(cost, n_elems, replays)
+
+
+#: Clock section labels of Algorithm 1's loop body, in execution order.
+SECTIONS = ("eval", "pbest", "gbest", "swarm")
+
+
+class IterationRunner:
+    """Drives one engine's iterations through the capture/replay lifecycle.
+
+    Built once per ``optimize()`` call (and per worker, for multi-GPU).
+    :meth:`run_iteration` either runs the eager four-section body or replays
+    the captured graph; :meth:`finalize` reconciles profiler statistics.
+    The runner publishes its state on ``engine.graph_info`` for tests and
+    diagnostics.
+    """
+
+    __slots__ = (
+        "engine",
+        "problem",
+        "params",
+        "state",
+        "rng",
+        "phase",
+        "graph",
+        "_replay",
+        "_launcher",
+        "info",
+    )
+
+    def __init__(
+        self,
+        engine,
+        problem,
+        params,
+        state,
+        rng,
+        *,
+        eager_reason: str | None = None,
+    ) -> None:
+        self.engine = engine
+        self.problem = problem
+        self.params = params
+        self.state = state
+        self.rng = rng
+        self.phase = "eager" if eager_reason is not None else "warmup"
+        self.graph: LaunchGraph | None = None
+        self._replay: Callable[[], None] | None = None
+        ctx = getattr(engine, "ctx", None)
+        self._launcher = getattr(ctx, "launcher", None)
+        self.info = {
+            "mode": "eager" if eager_reason is not None else "graph",
+            "eager_reason": eager_reason,
+            "captured_at": None,
+            "replays": 0,
+        }
+        engine.graph_info = self.info
+
+    # -- the eager body ------------------------------------------------------
+    def _run_eager(self) -> None:
+        engine, clock = self.engine, self.engine.clock
+        with clock.section("eval"):
+            values = engine._evaluate(self.problem, self.state)
+        with clock.section("pbest"):
+            engine._update_pbest(self.state, values)
+        with clock.section("gbest"):
+            engine._update_gbest(self.state)
+        with clock.section("swarm"):
+            engine._update_swarm(self.problem, self.params, self.state, self.rng)
+
+    def _run_traced(self) -> tuple[list, list, int]:
+        """One eager iteration with the trace and capture sinks attached."""
+        clock = self.engine.clock
+        captured: list = []
+        if self._launcher is not None:
+            self._launcher.capture = captured
+        clock.begin_trace()
+        rng_before = self.rng.position
+        try:
+            self._run_eager()
+        finally:
+            trace = clock.end_trace()
+            if self._launcher is not None:
+                self._launcher.capture = None
+        return trace, captured, self.rng.position - rng_before
+
+    # -- lifecycle -----------------------------------------------------------
+    def run_iteration(self, t: int) -> None:
+        phase = self.phase
+        if phase == "replay":
+            self._replay()
+            self.info["replays"] += 1
+            return
+        if phase in ("eager", "warmup"):
+            self._run_eager()
+            if phase == "warmup":
+                self.phase = "capture"
+            return
+        if phase == "capture":
+            trace, launches, rng_blocks = self._run_traced()
+            self.graph = LaunchGraph(
+                trace=trace, launches=launches, rng_blocks=rng_blocks
+            )
+            self.info["captured_at"] = t
+            self.phase = "validate"
+            return
+        if phase == "validate":
+            trace, launches, rng_blocks = self._run_traced()
+            graph = self.graph
+            if not (
+                graph.trace_matches(trace)
+                and graph.launches_match(launches)
+                and graph.rng_blocks == rng_blocks
+            ):
+                # Data-dependent iteration shape: stay eager for this run.
+                self._demote("iteration-shape-changed")
+                return
+            replay, plan_launches = self.engine._graph_build_replay(
+                self.problem, self.params, self.state, self.rng
+            )
+            if not graph.launches_match(plan_launches):
+                # The engine's plan disagrees with what eager actually did;
+                # refuse to replay it (a repro bug — surface loudly in the
+                # suite via graph_info, but never corrupt a user run).
+                self._demote("replay-plan-mismatch")
+                return
+            self._replay = replay
+            self.phase = "first-replay"
+            return
+        # phase == "first-replay": verified replay, then go flat.
+        clock = self.engine.clock
+        clock.begin_trace()
+        rng_before = self.rng.position
+        try:
+            self._replay()
+        finally:
+            trace = clock.end_trace()
+        self.info["replays"] += 1
+        graph = self.graph
+        if not graph.trace_matches(trace):
+            raise GraphReplayError(
+                "replayed iteration charged the clock differently from its "
+                "captured iteration; the engine's replay plan is out of "
+                "sync with its eager path"
+            )
+        if self.rng.position - rng_before != graph.rng_blocks:
+            raise GraphReplayError(
+                "replayed iteration consumed "
+                f"{self.rng.position - rng_before} RNG blocks; capture "
+                f"recorded {graph.rng_blocks}"
+            )
+        self.phase = "replay"
+
+    def _demote(self, reason: str) -> None:
+        self.phase = "eager"
+        self.graph = None
+        self._replay = None
+        self.info["mode"] = "eager"
+        self.info["eager_reason"] = reason
+
+    def finalize(self) -> None:
+        """Reconcile aggregated profiling for the replayed iterations."""
+        if (
+            self.graph is not None
+            and self._launcher is not None
+            and self.info["replays"]
+        ):
+            self.graph.flush_stats(self._launcher.stats, self.info["replays"])

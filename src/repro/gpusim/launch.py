@@ -158,6 +158,22 @@ class LaunchStats:
         self.flops += cost.flops
         self.occupancy_sum += cost.occupancy
 
+    def add_many(self, cost: KernelCost, n_elems: int, count: int) -> None:
+        """Fold *count* identical launches in one update.
+
+        Used by launch-graph replay, which executes a launch's semantics
+        ``count`` times without touching the stats and reconciles the
+        profile here when the graph is flushed.
+        """
+        self.launches += count
+        self.total_elems += count * n_elems
+        self.seconds += count * cost.seconds
+        self.body_seconds += count * (cost.seconds - cost.t_launch_overhead)
+        self.bytes_read += count * cost.bytes_read
+        self.bytes_written += count * cost.bytes_written
+        self.flops += count * cost.flops
+        self.occupancy_sum += count * cost.occupancy
+
     @property
     def mean_occupancy(self) -> float:
         return self.occupancy_sum / self.launches if self.launches else 0.0
@@ -187,6 +203,11 @@ class Launcher:
     #: Optional :class:`repro.reliability.faults.FaultInjector` consulted
     #: before every launch (may raise injected errors or stall the stream).
     fault_injector: object = field(default=None, repr=False)
+    #: Optional capture sink: while set, every launch appends
+    #: ``(kernel_name, section, n_elems, config, cost)``.  Launch-graph
+    #: capture (:mod:`repro.gpusim.graph`) points this at its record list
+    #: for exactly one iteration, then detaches it.
+    capture: "list | None" = field(default=None, repr=False)
 
     def launch(
         self,
@@ -231,6 +252,10 @@ class Launcher:
                 self._launch_cache[key] = (config, cost)
 
         section = self.clock.current_section
+        if self.capture is not None:
+            self.capture.append(
+                (kernel.spec.name, section, n_elems, config, cost)
+            )
         self.clock.advance(cost.seconds)
         stats_key = (kernel.spec.name, section)
         bucket = self.stats.get(stats_key)
@@ -249,6 +274,63 @@ class Launcher:
                 )
             )
         return result
+
+    def charge(
+        self,
+        kernel: Kernel,
+        n_elems: int,
+        *,
+        config: LaunchConfig | None = None,
+        dynamic: bool = False,
+    ) -> KernelCost:
+        """Charge a kernel's modelled time without dispatching it.
+
+        For work whose *semantics* already happened as a side effect of an
+        earlier kernel (the pbest-position copy lives inside
+        ``pbest_update``): same cost model, same clock accounting, same
+        profiling rows as :meth:`launch`, but no semantics callable, no
+        fault hook and no per-launch dispatch overhead.  ``dynamic=True``
+        marks the clock charge as data-dependent for launch-graph capture.
+        """
+        key = (kernel.spec, config, n_elems)
+        cached = (
+            self._launch_cache.get(key) if hostcache.cache_enabled() else None
+        )
+        if cached is not None:
+            config, cost = cached
+        else:
+            if config is None:
+                config = resource_aware_config(
+                    self.spec, max(1, n_elems), kernel_spec=kernel.spec
+                )
+            config.validate(self.spec, kernel.spec.shared_mem_per_block)
+            cost = kernel_cost(
+                self.spec, kernel.spec, config, n_elems, self.cost_params
+            )
+            if hostcache.cache_enabled():
+                self._launch_cache[key] = (config, cost)
+        section = self.clock.current_section
+        if dynamic:
+            self.clock.advance_dynamic(cost.seconds)
+        else:
+            self.clock.advance(cost.seconds)
+        stats_key = (kernel.spec.name, section)
+        bucket = self.stats.get(stats_key)
+        if bucket is None:
+            bucket = LaunchStats(kernel_name=kernel.spec.name, section=section)
+            self.stats[stats_key] = bucket
+        bucket.add(cost, n_elems)
+        if self.record_launches:
+            self.records.append(
+                LaunchRecord(
+                    kernel_name=kernel.name,
+                    n_elems=n_elems,
+                    config=config,
+                    cost=cost,
+                    section=section,
+                )
+            )
+        return cost
 
     def reset_records(self) -> None:
         """Drop all profiling state (both the stats and the opt-in log)."""

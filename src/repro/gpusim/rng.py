@@ -145,6 +145,8 @@ class ParallelRNG:
         "stream_id",
         "_block",
         "_keys",
+        "_flat_keys",
+        "_native",
         "_sid_lo",
         "_sid_hi",
         "_n_blocks",
@@ -162,14 +164,21 @@ class ParallelRNG:
         self.stream_id = int(stream_id)
         self._block = 0  # next unconsumed 128-bit counter block
         # Key schedule is a pure function of the seed: compute it once.
+        schedule = _key_schedule(
+            self.seed & 0xFFFFFFFF,
+            (self.seed >> 32) & 0xFFFFFFFF,
+            PHILOX_ROUNDS,
+        )
         self._keys = [
-            (np.uint64(k0), np.uint64(k1))
-            for k0, k1 in _key_schedule(
-                self.seed & 0xFFFFFFFF,
-                (self.seed >> 32) & 0xFFFFFFFF,
-                PHILOX_ROUNDS,
-            )
+            (np.uint64(k0), np.uint64(k1)) for k0, k1 in schedule
         ]
+        # Same schedule, flattened for the (optional) native C kernel.
+        self._flat_keys = np.array(
+            [half for pair in schedule for half in pair], dtype=np.uint32
+        )
+        from repro.gpusim import philox_native
+
+        self._native = philox_native.load()
         self._sid_lo = np.uint64(self.stream_id & 0xFFFFFFFF)
         self._sid_hi = np.uint64((self.stream_id >> 32) & 0xFFFFFFFF)
         self._n_blocks = 0  # scratch capacity, in counter blocks
@@ -259,6 +268,23 @@ class ParallelRNG:
         before the next draw.  Word order matches :meth:`random_uint32`.
         """
         n_blocks = -(-n // 4)
+        if self._native is not None:
+            # Scalar C kernel: same words, same (word + 0.5) * 2**-32 double
+            # mapping, written straight into the reusable unit buffer.
+            from repro.gpusim import philox_native
+
+            self._ensure_scratch(n_blocks)
+            unit = self._unit
+            philox_native.unit_f64(
+                self._native,
+                self._block,
+                self.stream_id,
+                n_blocks,
+                self._flat_keys,
+                unit,
+            )
+            self._block += n_blocks
+            return unit.reshape(-1)[:n]
         c0, c1, c2, c3 = self._philox_blocks(n_blocks)
         unit = self._unit
         unit[:, 0] = c0
@@ -323,6 +349,33 @@ class ParallelRNG:
             )
         if n == 0:
             return out if out is not None else np.empty(shape, dtype=dtype)
+        if (
+            self._native is not None
+            and out is not None
+            and low == 0.0
+            and high == 1.0
+            and n % 4 == 0
+            and out.dtype == np.float32
+            and out.flags["C_CONTIGUOUS"]
+        ):
+            # Hottest call shape (the per-iteration weight matrices): unit
+            # float32 straight into the caller's buffer, no float64 staging.
+            # The C kernel rounds each double once to float32 — exactly what
+            # ``copyto(float32_out, float64_unit)`` does below, so values
+            # and stream consumption are bit-identical to the NumPy path.
+            from repro.gpusim import philox_native
+
+            n_blocks = n // 4
+            philox_native.unit_f32(
+                self._native,
+                self._block,
+                self.stream_id,
+                n_blocks,
+                self._flat_keys,
+                out,
+            )
+            self._block += n_blocks
+            return out
         unit = self._draw_unit(n)
         if low != 0.0 or high != 1.0:
             # Same expression as ``low + unit * (high - low)``, evaluated in

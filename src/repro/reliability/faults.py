@@ -395,8 +395,13 @@ class FaultPlan:
             ("launch_failure", FaultSpec("launch_failure", after=21)),
             ("stall", FaultSpec("stall", after=5, stall_seconds=2.5e-3)),
             (
+                # Fires just before the swarm update of iteration 2 (the
+                # steady-state iteration is 7 launches since the pbest-copy
+                # no-op dispatch was folded into a charge), so the NaN
+                # damage propagates through V/P and the end-of-iteration
+                # integrity guard — not the evaluator — reports it.
                 "corrupt",
-                FaultSpec("corrupt", after=16, buffer="positions", elems=4),
+                FaultSpec("corrupt", after=15, buffer="positions", elems=4),
             ),
         ]
         jobs: dict[object, list[FaultSpec]] = {}

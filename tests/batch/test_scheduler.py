@@ -228,3 +228,46 @@ class TestEndToEnd:
         b = mixed_workload(12)
         assert a == b
         assert len({j.resolved_params.seed for j in a}) == 12
+
+
+class TestGraphKnob:
+    """The scheduler's fleet-wide ``graph=`` default (see `_job_engine_options`)."""
+
+    def test_default_leaves_engine_options_untouched(self):
+        scheduler = BatchScheduler()
+        job = Job("sphere", dim=4, engine="fastpso")
+        assert scheduler._job_engine_options(job) == {}
+
+    def test_graph_default_injected_for_supporting_engines(self):
+        scheduler = BatchScheduler(graph=False)
+        job = Job("sphere", dim=4, engine="fastpso")
+        assert scheduler._job_engine_options(job) == {"graph": False}
+
+    def test_explicit_job_option_wins(self):
+        scheduler = BatchScheduler(graph=False)
+        job = Job(
+            "sphere", dim=4, engine="fastpso", engine_options={"graph": True}
+        )
+        assert scheduler._job_engine_options(job) == {"graph": True}
+
+    def test_unsupporting_engine_never_gets_the_kwarg(self):
+        scheduler = BatchScheduler(graph=True)
+        job = Job("sphere", dim=4, engine="pyswarms")
+        assert "graph" not in scheduler._job_engine_options(job)
+
+    def test_supports_graph_resolves_aliases(self):
+        from repro.engines import engine_supports_graph
+
+        assert engine_supports_graph("fastpso-fused")
+        assert engine_supports_graph("mgpu")
+        assert not engine_supports_graph("scikit-opt")
+        assert not engine_supports_graph("no-such-engine")
+
+    def test_graph_off_batch_runs_eager_and_matches(self):
+        jobs = [Job("sphere", dim=4, n_particles=16, max_iter=6, seed=3)]
+        on = BatchScheduler(graph=True).run(list(jobs))
+        off = BatchScheduler(graph=False).run(list(jobs))
+        assert on.results[0].best_value == off.results[0].best_value
+        assert (
+            on.results[0].elapsed_seconds == off.results[0].elapsed_seconds
+        )

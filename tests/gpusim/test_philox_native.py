@@ -1,0 +1,105 @@
+"""Native (compiled C) Philox path vs the NumPy reference implementation.
+
+The native library is an opt-in acceleration: when a C compiler is present
+the block function is compiled once per process; otherwise — or with
+``REPRO_NO_NATIVE_RNG=1`` — the NumPy path runs.  Either way the bits must
+be identical, which these tests pin directly (native vs ``philox4x32``)
+and indirectly (a ``ParallelRNG`` with the native path disabled draws the
+same streams as one with it enabled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import philox_native
+from repro.gpusim.rng import ParallelRNG
+
+needs_native = pytest.mark.skipif(
+    not philox_native.available(),
+    reason="no C compiler available (or native RNG disabled)",
+)
+
+
+@needs_native
+class TestNativeBitParity:
+    def test_unit_f64_matches_reference(self):
+        from repro.gpusim.rng import philox4x32
+
+        seed, sid, block0, n_blocks = 0x123456789ABCDEF0, 7, 5, 64
+        rng = ParallelRNG(seed=seed, stream_id=sid)
+        lib = philox_native.load()
+        out = np.empty(4 * n_blocks, dtype=np.float64)
+        philox_native.unit_f64(lib, block0, sid, n_blocks, rng._flat_keys, out)
+
+        # Reference: raw counter words mapped with the same (w + 0.5) * 2^-32.
+        idx = np.arange(block0, block0 + n_blocks, dtype=np.uint64)
+        ctr = np.empty((n_blocks, 4), dtype=np.uint32)
+        ctr[:, 0] = (idx & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        ctr[:, 1] = (idx >> np.uint64(32)).astype(np.uint32)
+        ctr[:, 2] = np.uint32(sid)
+        ctr[:, 3] = 0
+        key = np.array(
+            [seed & 0xFFFFFFFF, (seed >> 32) & 0xFFFFFFFF], dtype=np.uint32
+        )
+        words = philox4x32(ctr, key)
+        expected = (words.reshape(-1).astype(np.float64) + 0.5) * 2.0**-32
+        np.testing.assert_array_equal(out, expected)
+
+    def test_unit_f32_is_f64_rounded_once(self):
+        rng = ParallelRNG(seed=99, stream_id=3)
+        lib = philox_native.load()
+        n_blocks = 32
+        f32 = np.empty(4 * n_blocks, dtype=np.float32)
+        f64 = np.empty(4 * n_blocks, dtype=np.float64)
+        philox_native.unit_f32(lib, 0, 3, n_blocks, rng._flat_keys, f32)
+        philox_native.unit_f64(lib, 0, 3, n_blocks, rng._flat_keys, f64)
+        np.testing.assert_array_equal(f32, f64.astype(np.float32))
+
+
+class TestStreamEquivalence:
+    """Draws are identical whether or not the native path is active."""
+
+    def _fallback_rng(self, *args, **kwargs):
+        rng = ParallelRNG(*args, **kwargs)
+        rng._native = None  # force the NumPy path on this instance
+        return rng
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.float16])
+    def test_uniform_out_matches_fallback(self, dtype):
+        native = ParallelRNG(seed=1234, stream_id=2)
+        fallback = self._fallback_rng(seed=1234, stream_id=2)
+        a = np.empty((50, 8), dtype=dtype)
+        b = np.empty((50, 8), dtype=dtype)
+        native.uniform((50, 8), 0.0, 1.0, out=a)
+        fallback.uniform((50, 8), 0.0, 1.0, out=b)
+        np.testing.assert_array_equal(a, b)
+        assert native.position == fallback.position
+
+    def test_ranged_and_odd_sizes_match_fallback(self):
+        native = ParallelRNG(seed=77)
+        fallback = self._fallback_rng(seed=77)
+        np.testing.assert_array_equal(
+            native.uniform(13, -2.5, 4.0), fallback.uniform(13, -2.5, 4.0)
+        )
+        np.testing.assert_array_equal(
+            native.random_uint32(9), fallback.random_uint32(9)
+        )
+        assert native.position == fallback.position
+
+    def test_seek_replays_identically(self):
+        rng = ParallelRNG(seed=5, stream_id=1)
+        first = rng.uniform(64, 0.0, 1.0)
+        pos = rng.position
+        rng.uniform(32, 0.0, 1.0)
+        rng.seek(0)
+        np.testing.assert_array_equal(rng.uniform(64, 0.0, 1.0), first)
+        assert rng.position == pos
+
+    def test_env_gate_disables_native(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE_RNG", "1")
+        monkeypatch.setattr(philox_native, "_lib", philox_native._UNSET)
+        assert philox_native.load() is None
+        assert not philox_native.available()
+        # monkeypatch teardown restores the original cached handle.

@@ -35,6 +35,8 @@ def _run(golden, key):
     )
     if key == "global-fused":
         engine = FastPSOEngine(fuse_update=True)
+    elif key == "global-fp16":
+        engine = FastPSOEngine(half_storage=True)
     else:
         engine = FastPSOEngine(backend=key)
     return engine.optimize(
@@ -47,7 +49,7 @@ def _run(golden, key):
 
 
 @pytest.mark.parametrize(
-    "key", ["global", "shared", "tensorcore", "global-fused"]
+    "key", ["global", "shared", "tensorcore", "global-fused", "global-fp16"]
 )
 class TestGoldenRun:
     def test_trajectory_bit_identical(self, golden, key):

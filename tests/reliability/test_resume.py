@@ -135,6 +135,64 @@ class TestBitIdenticalResume:
             resume(tmp_path)
 
 
+class TestVariantConfigResume:
+    """Checkpoint/resume parity for the non-default engine configurations.
+
+    ``fuse_update=True`` and ``half_storage=True`` change the kernel table
+    and storage dtype, so their resumed runs exercise different replay
+    plans and allocator shapes than the pinned default config.
+    """
+
+    @pytest.mark.parametrize("engine_name", ["fastpso-fused", "fastpso-fp16"])
+    @pytest.mark.parametrize("k", [3, 9])
+    def test_variant_resume_bit_identical(
+        self, engine_name, k, tmp_path, run_clean, assert_bit_identical
+    ):
+        golden = run_clean(
+            engine_name,
+            Problem.from_benchmark("sphere", 6),
+            replace(PAPER_DEFAULTS, seed=42),
+            n=32,
+            iters=16,
+        )
+        resumed = interrupted_then_resumed(engine_name, tmp_path, k=k)
+        assert_bit_identical(resumed, golden)
+
+
+class TestGraphRecaptureOnRestore:
+    def test_restored_run_recaptures_graph(
+        self, tmp_path, run_clean, assert_bit_identical
+    ):
+        """A mid-run restore must re-capture the launch graph, not replay
+        bindings from the pre-interruption run."""
+        params = replace(PAPER_DEFAULTS, seed=42)
+        problem = Problem.from_benchmark("sphere", 6)
+        golden = run_clean("fastpso", problem, params, n=32, iters=16)
+        resumed = interrupted_then_resumed("fastpso", tmp_path, k=9)
+        assert_bit_identical(resumed, golden)
+
+        # Drive the restore explicitly to inspect the runner lifecycle.
+        snap = read_snapshot(
+            CheckpointManager(tmp_path, every=1, keep=16).latest_path()
+        )
+        engine = make_engine("fastpso")
+        result = engine.optimize(
+            problem,
+            n_particles=32,
+            max_iter=16,
+            params=params,
+            record_history=True,
+            restore=snap,
+        )
+        info = engine.graph_info
+        assert info["mode"] == "graph"
+        # Warm-up at the restored iteration, capture on the next one: the
+        # graph is built from post-restore state, never carried over.
+        assert info["captured_at"] == snap.iteration + 1
+        assert info["replays"] == 16 - snap.iteration - 3
+        assert_bit_identical(result, golden)
+
+
 class TestStopCriterionState:
     @pytest.mark.parametrize("engine_name", ENGINES)
     def test_stall_counters_survive_resume(self, engine_name, tmp_path):

@@ -67,6 +67,7 @@ ENGINES_PUBLIC = {
     "ScikitOptLikeEngine",
     "SequentialEngine",
     "available_engines",
+    "engine_supports_graph",
     "make_engine",
 }
 
@@ -93,6 +94,7 @@ CANONICAL_ENGINE_NAMES = {
 
 ENGINE_ALIASES = {
     "async",
+    "fastpso-fp16",
     "fastpso-fused",
     "fastpso-global",
     "fastpso-nocache",
