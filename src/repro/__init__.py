@@ -45,23 +45,27 @@ Long runs checkpoint and resume bit-identically::
     result = resume("ckpts/")          # or FastPSO.resume("ckpts/")
 """
 
-from repro.batch import BatchResult, BatchScheduler, Job
+from repro.batch import AdmissionPolicy, BatchResult, BatchScheduler, Job
 from repro.core import (
     PAPER_DEFAULTS,
+    Budget,
     FastPSO,
     OptimizeResult,
     Problem,
     PSOParams,
 )
+from repro.core.results import RUN_STATUSES
 from repro.engines import ENGINE_NAMES, available_engines, make_engine
 from repro.errors import ReproError
 from repro.functions import available_functions, get_function
 from repro.reliability import (
+    BreakerPolicy,
     CheckpointManager,
     FaultPlan,
     FaultSpec,
     RecoveryReport,
     RetryPolicy,
+    SwarmHealthGuard,
     resume,
     run_with_recovery,
 )
@@ -74,20 +78,25 @@ __all__ = [
     "Problem",
     "PSOParams",
     "PAPER_DEFAULTS",
+    "RUN_STATUSES",
     "ReproError",
     "available_functions",
     "get_function",
     "make_engine",
     "available_engines",
     "ENGINE_NAMES",
+    "AdmissionPolicy",
     "BatchScheduler",
     "BatchResult",
+    "Budget",
     "Job",
+    "BreakerPolicy",
     "CheckpointManager",
     "FaultPlan",
     "FaultSpec",
     "RecoveryReport",
     "RetryPolicy",
+    "SwarmHealthGuard",
     "resume",
     "run_with_recovery",
     "__version__",

@@ -25,16 +25,26 @@ also runnable — ``python -m repro.batch --jobs 32`` schedules the reference
 mixed workload and prints the fleet report.
 """
 
+from repro.batch.admission import (
+    ADMISSION_MODES,
+    AdmissionDecision,
+    AdmissionPolicy,
+    estimate_job_bytes,
+)
 from repro.batch.job import Job, JobOutcome
 from repro.batch.scheduler import POLICIES, BatchResult, BatchScheduler
 from repro.batch.workload import WORKLOAD_PROBLEMS, mixed_workload
 
 __all__ = [
+    "ADMISSION_MODES",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "Job",
     "JobOutcome",
     "BatchScheduler",
     "BatchResult",
     "POLICIES",
+    "estimate_job_bytes",
     "mixed_workload",
     "WORKLOAD_PROBLEMS",
 ]

@@ -11,6 +11,17 @@ plan (a JSON file, or the literal ``drill`` for the reference mixed-fault
 plan), and ``--retry N`` sets the attempt budget.  When any job still
 fails, the CLI prints a per-job failure table and exits nonzero.
 
+Overload flags: ``--deadline S`` (host wall-seconds per job) and
+``--budget-sim-seconds S`` (simulated seconds per job — deterministic, use
+this in CI) bound each job via a :class:`~repro.core.budget.Budget`;
+``--max-queue N`` bounds the batch with deterministic load shedding,
+``--admission {degrade,strict}`` picks the shedding mode,
+``--memory-limit-mb M`` caps estimated per-device residency,
+``--priority`` executes jobs highest-priority-first, ``--breaker``
+enables per-device circuit breakers, and ``--failures-json PATH`` writes
+a machine-readable record of every failure, shed and admission decision.
+Exit code: 1 when any job failed, else 2 when any was shed, else 0.
+
 ``--seed`` makes runs reproducible end-to-end: it seeds the generated
 workload, and spec jobs that don't pin their own ``seed`` get
 deterministic per-job seeds derived from it.
@@ -97,6 +108,55 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="retry policy attempt budget (enables retry/failover)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock deadline in host seconds",
+    )
+    parser.add_argument(
+        "--budget-sim-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job budget in simulated seconds (deterministic)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue bound: lowest-priority overflow jobs are shed",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=("degrade", "strict"),
+        default=None,
+        help="admission mode (degrade sheds/reduces; strict refuses loudly)",
+    )
+    parser.add_argument(
+        "--memory-limit-mb",
+        type=float,
+        default=None,
+        metavar="M",
+        help="per-device memory cap for the admission estimate",
+    )
+    parser.add_argument(
+        "--priority",
+        action="store_true",
+        help="execute and place jobs highest-priority-first",
+    )
+    parser.add_argument(
+        "--breaker",
+        action="store_true",
+        help="per-device circuit breakers (failing devices stop getting work)",
+    )
+    parser.add_argument(
+        "--failures-json",
+        metavar="PATH",
+        help="write failures/shed jobs and admission decisions here as JSON",
+    )
     args = parser.parse_args(argv)
 
     jobs = (
@@ -116,6 +176,22 @@ def main(argv: list[str] | None = None) -> int:
         else None
     )
 
+    budget = None
+    if args.budget_sim_seconds is not None:
+        from repro.core.budget import Budget
+
+        budget = Budget(sim_seconds=args.budget_sim_seconds)
+    memory_limit_bytes = (
+        int(args.memory_limit_mb * 1024 * 1024)
+        if args.memory_limit_mb is not None
+        else None
+    )
+    admission = args.admission
+    if admission is None and (
+        args.max_queue is not None or memory_limit_bytes is not None
+    ):
+        admission = "degrade"
+
     scheduler = BatchScheduler(
         n_devices=args.devices,
         streams_per_device=args.streams,
@@ -123,6 +199,13 @@ def main(argv: list[str] | None = None) -> int:
         retry=retry,
         faults=faults,
         checkpoint_dir=args.checkpoint_dir,
+        admission=admission,
+        max_queue=args.max_queue,
+        memory_limit_bytes=memory_limit_bytes,
+        deadline=args.deadline,
+        budget=budget,
+        priority=args.priority,
+        breaker=args.breaker or None,
     )
     batch = scheduler.run(jobs)
     print(batch.summary())
@@ -138,9 +221,33 @@ def main(argv: list[str] | None = None) -> int:
             args.out, json.dumps(batch.to_dict(), indent=2) + "\n"
         )
         print(f"wrote {args.out}")
+    if args.failures_json:
+        payload = {
+            "n_failed": batch.n_failed,
+            "n_shed": batch.n_shed,
+            "n_degraded": batch.n_degraded,
+            "n_expired": batch.n_expired,
+            "admission": [dict(row) for row in batch.admission_rows],
+            "breaker_events": [dict(row) for row in batch.breaker_rows],
+            "jobs": [
+                {
+                    "label": o.job.label,
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "error": o.error,
+                    "admission_reason": o.admission_reason,
+                }
+                for o in batch.outcomes
+                if o.status != "completed"
+            ],
+        }
+        atomic_write_text(
+            args.failures_json, json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"wrote {args.failures_json}")
     if not batch.all_succeeded:
         print(batch.failure_table(), file=sys.stderr)
-        return 1
+        return 1 if batch.n_failed else 2
     return 0
 
 

@@ -1,0 +1,257 @@
+"""Admission control and load shedding for the batch scheduler.
+
+An oversubscribed fleet should degrade *deterministically*, not queue
+unboundedly or die mid-run on a device OOM.  Before executing anything,
+:class:`BatchScheduler` runs the submitted jobs through an
+:class:`AdmissionPolicy`, which considers them in **priority order**
+(higher ``Job.priority`` first, submission order breaking ties) and issues
+one :class:`AdmissionDecision` per job:
+
+* ``"admit"`` — run the job as submitted;
+* ``"degrade"`` — run a *reduced* variant: the swarm is halved (down to
+  ``min_particles``) and, for the fastpso engine, storage drops to fp16 —
+  the same degradation ladder a capacity-squeezed service would apply;
+* ``"shed"`` — don't run the job at all; it gets a terminal ``"shed"``
+  outcome with the reason recorded.
+
+Two resources are policed.  The **queue bound** (``max_queue``) caps how
+many jobs one batch may execute; overflow jobs — the lowest-priority,
+latest-submitted ones — are shed.  The **memory check** compares each
+job's estimated worst-case device residency (swarm arrays plus allocator
+slack, times the lanes that could run concurrently) against the device
+capacity; jobs that would not fit are degraded down the ladder until they
+do, or shed in ``"degrade"`` mode / refused with
+:class:`~repro.errors.AdmissionError` in ``"strict"`` mode.
+
+Every decision is pure arithmetic over the job list — no clocks, no
+randomness — so re-running the same workload reproduces byte-identical
+decisions, which the overload drill asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.job import Job
+from repro.errors import AdmissionError, ConfigurationError
+
+__all__ = [
+    "ADMISSION_MODES",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "estimate_job_bytes",
+]
+
+ADMISSION_MODES = ("degrade", "strict")
+
+#: Allocator slack: size-class rounding plus transient eval scratch.
+_SLACK = 1.25
+
+
+def estimate_job_bytes(job: Job) -> int:
+    """Worst-case device residency of one job, in bytes.
+
+    Three ``(n, d)`` swarm arrays (positions, velocities, pbest positions),
+    the float64 pbest values, a float32 eval scratch vector, padded by the
+    allocator-slack factor.  fp16 storage (the ``half_storage`` option /
+    ``fastpso-fp16`` alias) halves the array itemsize.
+    """
+    options = dict(job.engine_options)
+    half = bool(options.get("half_storage")) or job.engine == "fastpso-fp16"
+    itemsize = 2 if half else 4
+    n, d = job.n_particles, job.dim
+    arrays = 3 * n * d * itemsize + 8 * n + 4 * n
+    return int(np.ceil(arrays * _SLACK))
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One job's fate at admission time."""
+
+    submit_order: int
+    label: str
+    priority: int
+    action: str  # "admit" | "degrade" | "shed"
+    reason: str
+    #: The job to actually execute (degraded variant for "degrade";
+    #: ``None`` for "shed").
+    job: Job | None
+
+    def to_row(self) -> dict:
+        return {
+            "submit_order": self.submit_order,
+            "label": self.label,
+            "priority": self.priority,
+            "action": self.action,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded-queue + memory-pressure admission for one batch.
+
+    ``mode``
+        ``"degrade"`` (default) sheds/degrades deterministically;
+        ``"strict"`` raises :class:`AdmissionError` instead of shedding.
+    ``max_queue``
+        Most jobs one batch may execute (``None`` = unbounded).
+    ``memory_limit_bytes``
+        Per-device capacity the memory check uses; defaults to the
+        simulated device's global memory times ``memory_fraction``.
+    ``memory_fraction``
+        Safety margin below hard capacity when no explicit limit is given.
+    ``min_particles``
+        Floor below which the degradation ladder stops halving the swarm.
+    """
+
+    mode: str = "degrade"
+    max_queue: int | None = None
+    memory_limit_bytes: int | None = None
+    memory_fraction: float = 0.9
+    min_particles: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mode not in ADMISSION_MODES:
+            raise ConfigurationError(
+                f"unknown admission mode {self.mode!r}; "
+                f"choose from {ADMISSION_MODES}"
+            )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ConfigurationError(
+                f"max_queue must be >= 1, got {self.max_queue}"
+            )
+        if not 0.0 < self.memory_fraction <= 1.0:
+            raise ConfigurationError(
+                f"memory_fraction must be in (0, 1], got {self.memory_fraction}"
+            )
+        if self.min_particles < 1:
+            raise ConfigurationError(
+                f"min_particles must be >= 1, got {self.min_particles}"
+            )
+
+    # -- the gate ----------------------------------------------------------
+    def capacity_bytes(self, device_mem_bytes: int) -> int:
+        if self.memory_limit_bytes is not None:
+            return int(self.memory_limit_bytes)
+        return int(device_mem_bytes * self.memory_fraction)
+
+    def plan(
+        self,
+        jobs: list[Job],
+        *,
+        streams_per_device: int,
+        device_mem_bytes: int,
+    ) -> list[AdmissionDecision]:
+        """Decide every job's fate; returns decisions in submission order.
+
+        Jobs are considered highest-priority-first (submission order breaks
+        ties); the queue bound keeps the first ``max_queue`` of that order
+        and sheds the rest, then each survivor walks the memory ladder.
+        """
+        order = sorted(
+            range(len(jobs)), key=lambda i: (-jobs[i].priority, i)
+        )
+        capacity = self.capacity_bytes(device_mem_bytes)
+        decisions: dict[int, AdmissionDecision] = {}
+
+        for rank, i in enumerate(order):
+            job = jobs[i]
+            if self.max_queue is not None and rank >= self.max_queue:
+                decisions[i] = self._refuse(
+                    i,
+                    job,
+                    reason=(
+                        f"queue bound {self.max_queue} exceeded "
+                        f"(priority rank {rank})"
+                    ),
+                )
+                continue
+            decisions[i] = self._fit_memory(
+                i, job, capacity=capacity, lanes=streams_per_device
+            )
+        return [decisions[i] for i in range(len(jobs))]
+
+    def _refuse(self, index: int, job: Job, *, reason: str) -> AdmissionDecision:
+        if self.mode == "strict":
+            raise AdmissionError(
+                f"job {job.label!r} refused admission: {reason}"
+            ).with_context(job=job.label)
+        return AdmissionDecision(
+            submit_order=index,
+            label=job.label,
+            priority=job.priority,
+            action="shed",
+            reason=reason,
+            job=None,
+        )
+
+    def _fit_memory(
+        self, index: int, job: Job, *, capacity: int, lanes: int
+    ) -> AdmissionDecision:
+        """Admit the job, walking the degradation ladder if it won't fit.
+
+        The worst case modelled: every lane of the device runs a job this
+        size concurrently, so the job fits when ``lanes * estimate`` stays
+        under capacity.
+        """
+
+        def fits(candidate: Job) -> bool:
+            return lanes * estimate_job_bytes(candidate) <= capacity
+
+        if fits(job):
+            return AdmissionDecision(
+                submit_order=index,
+                label=job.label,
+                priority=job.priority,
+                action="admit",
+                reason="fits",
+                job=job,
+            )
+
+        # Ladder rung 1: halve the swarm (repeatedly) down to the floor.
+        candidate = job
+        steps: list[str] = []
+        n = candidate.n_particles
+        while n > self.min_particles:
+            n = max(self.min_particles, n // 2)
+            candidate = candidate.with_overrides(n_particles=n)
+            steps.append(f"n_particles->{n}")
+            if fits(candidate):
+                return self._degraded(index, job, candidate, steps)
+
+        # Ladder rung 2: fp16 storage (fastpso element-wise engine only).
+        if candidate.engine == "fastpso" and not dict(
+            candidate.engine_options
+        ).get("half_storage"):
+            options = dict(candidate.engine_options)
+            options["half_storage"] = True
+            candidate = candidate.with_overrides(engine_options=options)
+            steps.append("half_storage")
+            if fits(candidate):
+                return self._degraded(index, job, candidate, steps)
+
+        estimate = estimate_job_bytes(job)
+        return self._refuse(
+            index,
+            job,
+            reason=(
+                f"memory: {lanes} lane(s) x {estimate} B exceeds "
+                f"capacity {capacity} B even fully degraded"
+            ),
+        )
+
+    @staticmethod
+    def _degraded(
+        index: int, original: Job, candidate: Job, steps: list[str]
+    ) -> AdmissionDecision:
+        return AdmissionDecision(
+            submit_order=index,
+            label=original.label,
+            priority=original.priority,
+            action="degrade",
+            reason="memory: " + ", ".join(steps),
+            job=candidate,
+        )

@@ -58,6 +58,13 @@ class Job:
     engine_options:
         Extra keyword arguments forwarded to the engine factory (e.g.
         ``{"backend": "shared"}`` for the fastpso engine).
+    priority:
+        Admission/placement priority (higher runs first); under load
+        shedding, low-priority jobs are shed or degraded first.
+    budget:
+        Optional per-job :class:`~repro.core.budget.Budget` — deadlines and
+        iteration/evaluation caps enforced inside the engine loop.  Merged
+        (tightest-wins) with any fleet-wide budget the scheduler imposes.
     """
 
     problem: str | Problem
@@ -70,6 +77,8 @@ class Job:
     name: str | None = None
     record_history: bool = False
     engine_options: Mapping[str, object] = field(default_factory=dict)
+    priority: int = 0
+    budget: object | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.problem, (str, Problem)):
@@ -93,6 +102,18 @@ class Job:
             )
         if self.seed is not None and not 0 <= int(self.seed) < 2**64:
             raise InvalidParameterError("job seed must fit in 64 bits")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise InvalidParameterError(
+                f"job priority must be an int, got {self.priority!r}"
+            )
+        if self.budget is not None:
+            from repro.core.budget import Budget
+
+            if not isinstance(self.budget, Budget):
+                raise InvalidParameterError(
+                    "job budget must be a repro Budget, got "
+                    f"{type(self.budget).__name__}"
+                )
 
     # -- derived views -------------------------------------------------------
     @property
@@ -142,10 +163,14 @@ class JobOutcome:
     the job would take running alone, which is also exactly the stream time
     it occupies in the batch.
 
-    With the reliability layer enabled (retry policy, fault injection or
-    checkpointing on the scheduler), a job may fail and be retried:
-    ``status`` is ``"succeeded"`` or ``"failed"`` (``result`` is ``None``
-    for failed jobs), ``attempts``/``error`` record the recovery trail, and
+    Every job ends in a **terminal status** (see
+    :data:`repro.core.results.RUN_STATUSES`): ``"completed"`` for a full
+    run; ``"deadline_exceeded"``/``"budget_exhausted"`` when a budget
+    tripped (``result`` still carries the best-so-far answer);
+    ``"degraded"`` when admission control ran a reduced variant;
+    ``"shed"`` when admission refused the job (``result`` is ``None``);
+    ``"failed"`` when recovery was exhausted (``result`` is ``None``).
+    ``attempts``/``error`` record the recovery trail, and
     ``lost_seconds``/``backoff_seconds`` are the simulated recovery
     overhead — which the job's lane *does* occupy
     (:attr:`lane_seconds`), so retries visibly stretch the batch makespan.
@@ -158,16 +183,19 @@ class JobOutcome:
     submit_order: int
     start_seconds: float
     end_seconds: float
-    status: str = "succeeded"
+    status: str = "completed"
     attempts: int = 1
     error: str | None = None
     lost_seconds: float = 0.0
     backoff_seconds: float = 0.0
     fell_back_to_cpu: bool = False
+    #: Why admission degraded/shed this job ('' when admitted as-is).
+    admission_reason: str = ""
 
     @property
     def succeeded(self) -> bool:
-        return self.status == "succeeded"
+        """The job produced a usable result (shed/failed jobs did not)."""
+        return self.result is not None and self.status not in ("failed", "shed")
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -189,11 +217,14 @@ class JobOutcome:
         return self.solo_seconds + self.recovery_seconds
 
     def summary(self) -> str:
-        best = (
-            f"best={self.result.best_value:.6g}"
-            if self.result is not None
-            else f"FAILED after {self.attempts} attempt(s)"
-        )
+        if self.result is not None:
+            best = f"best={self.result.best_value:.6g}"
+            if self.status != "completed":
+                best += f" [{self.status}]"
+        elif self.status == "shed":
+            best = f"SHED ({self.admission_reason})"
+        else:
+            best = f"FAILED after {self.attempts} attempt(s)"
         return (
             f"{self.job.label}: dev{self.device_index}/s{self.stream_index} "
             f"start={self.start_seconds:.4g}s end={self.end_seconds:.4g}s "

@@ -52,15 +52,43 @@ aborting the batch; recovery overhead occupies the job's lane (stretching
 the makespan honestly) and is merged into the fleet profile under the
 ``lost_work``/``retry_backoff`` sections.  With none of the three options
 set, execution takes the historical fast path and engine errors propagate.
+
+Overload control
+----------------
+Four independent knobs harden the fleet against oversubscription, all
+deterministic in simulated time (see ``docs/architecture.md``):
+
+* **Admission & load shedding** — ``admission``/``max_queue``/
+  ``memory_limit_bytes`` run the submitted jobs through an
+  :class:`~repro.batch.admission.AdmissionPolicy` before anything
+  executes; over capacity, the lowest-priority jobs are deterministically
+  shed (terminal ``"shed"`` outcome) or degraded (smaller swarm / fp16
+  storage, terminal ``"degraded"``), every decision recorded in
+  :attr:`BatchResult.admission_rows`.
+* **Deadlines & budgets** — ``deadline`` (host wall-seconds per job)
+  and ``budget`` (a fleet-wide :class:`~repro.core.budget.Budget`) merge
+  tightest-wins with each job's own budget and are enforced inside the
+  engine loop; an expired job still reports its best-so-far with a
+  ``"deadline_exceeded"``/``"budget_exhausted"`` status.
+* **Circuit breakers** — ``breaker`` gives every simulated device a
+  closed/open/half-open breaker (:class:`~repro.reliability.breaker.FleetHealth`);
+  failing devices stop receiving attempts, work re-packs onto healthy
+  devices, and the CPU fallback is the last resort.  Trip/close events
+  land in :attr:`BatchResult.breaker_rows`.
+* **Containment** — with any overload option set, ``run()`` never lets a
+  :class:`~repro.errors.ReproError` escape: the job becomes a
+  ``"failed"`` outcome with its structured error row instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.batch.admission import ADMISSION_MODES, AdmissionPolicy
 from repro.batch.job import Job, JobOutcome
+from repro.core.budget import Budget
 from repro.core.results import OptimizeResult
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ReproError
 from repro.gpusim.clock import SimClock
 from repro.gpusim.launch import LaunchStats
 from repro.gpusim.profiler import ProfileReport, build_report_from_stats
@@ -82,6 +110,16 @@ class _Lane:
     stream: Stream
 
 
+def _lane_duration(report) -> float:
+    """Stream time one job occupies: fault-free work plus any recovery
+    overhead (lost attempts, simulated backoff) — retries stretch the
+    schedule exactly as they would a real fleet's."""
+    solo = (
+        report.result.elapsed_seconds if report.result is not None else 0.0
+    )
+    return solo + report.recovery_seconds
+
+
 @dataclass(frozen=True)
 class BatchResult:
     """Outcome of one batch run: per-job results plus fleet metrics."""
@@ -93,6 +131,12 @@ class BatchResult:
     makespan_seconds: float
     device_makespans: tuple[float, ...]
     fleet_profile: ProfileReport | None = field(repr=False, default=None)
+    #: Admission decisions (``AdmissionDecision.to_row()`` dicts), one per
+    #: submitted job, when admission control ran; empty otherwise.
+    admission_rows: tuple = ()
+    #: Circuit-breaker trip/close events, ordinal-numbered, when a breaker
+    #: fleet ran; empty otherwise.
+    breaker_rows: tuple = ()
 
     # -- fleet metrics -------------------------------------------------------
     @property
@@ -102,16 +146,37 @@ class BatchResult:
 
     @property
     def n_failed(self) -> int:
-        return sum(1 for o in self.outcomes if not o.succeeded)
+        """Jobs whose recovery was exhausted (terminal ``"failed"``)."""
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def n_shed(self) -> int:
+        """Jobs refused admission (terminal ``"shed"``)."""
+        return sum(1 for o in self.outcomes if o.status == "shed")
+
+    @property
+    def n_degraded(self) -> int:
+        """Jobs admission ran in a reduced variant."""
+        return sum(1 for o in self.outcomes if o.status == "degraded")
+
+    @property
+    def n_expired(self) -> int:
+        """Jobs whose budget/deadline tripped (best-so-far still reported)."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o.status in ("deadline_exceeded", "budget_exhausted")
+        )
 
     @property
     def all_succeeded(self) -> bool:
-        return self.n_failed == 0
+        """Every job produced a usable result (nothing failed or shed)."""
+        return all(o.succeeded for o in self.outcomes)
 
     @property
     def total_retries(self) -> int:
         """Extra attempts beyond the first, summed over all jobs."""
-        return sum(o.attempts - 1 for o in self.outcomes)
+        return sum(max(0, o.attempts - 1) for o in self.outcomes)
 
     @property
     def lost_seconds(self) -> float:
@@ -177,16 +242,25 @@ class BatchResult:
         rows = [
             [
                 o.job.label,
-                f"d{o.device_index}/s{o.stream_index}",
+                (
+                    f"d{o.device_index}/s{o.stream_index}"
+                    if o.device_index >= 0
+                    else "-"
+                ),
                 o.queue_wait_seconds,
                 o.solo_seconds,
                 o.end_seconds,
-                o.result.best_value if o.result is not None else "FAILED",
+                (
+                    o.result.best_value
+                    if o.result is not None
+                    else o.status.upper()
+                ),
+                o.status,
             ]
             for o in self.outcomes
         ]
         table = format_table(
-            ["job", "lane", "wait_s", "solo_s", "end_s", "best"],
+            ["job", "lane", "wait_s", "solo_s", "end_s", "best", "status"],
             rows,
             title=(
                 f"batch: {len(self.outcomes)} jobs, policy={self.policy}, "
@@ -210,25 +284,36 @@ class BatchResult:
                 f"backoff={self.backoff_seconds:.6g}s "
                 f"overhead={self.recovery_seconds:.6g}s"
             )
+        if self.n_shed or self.n_degraded or self.n_expired:
+            footer += (
+                f"\noverload: {self.n_shed} shed, "
+                f"{self.n_degraded} degraded, "
+                f"{self.n_expired} expired (deadline/budget)"
+            )
         return f"{table}\n{footer}"
 
     def failure_table(self) -> str:
-        """Aligned table of failed jobs and their last error; '' if none."""
+        """Aligned table of failed/shed jobs and why; '' if none."""
         failed = [o for o in self.outcomes if not o.succeeded]
         if not failed:
             return ""
         rows = [
             [
                 o.job.label,
-                f"d{o.device_index}/s{o.stream_index}",
+                (
+                    f"d{o.device_index}/s{o.stream_index}"
+                    if o.device_index >= 0
+                    else "-"
+                ),
+                o.status,
                 o.attempts,
                 o.lost_seconds,
-                (o.error or "")[:72],
+                (o.error or o.admission_reason or "")[:72],
             ]
             for o in failed
         ]
         return format_table(
-            ["job", "lane", "attempts", "lost_s", "last error"],
+            ["job", "lane", "status", "attempts", "lost_s", "last error"],
             rows,
             title=f"{len(failed)} job(s) failed",
             float_fmt=".4g",
@@ -249,10 +334,17 @@ class BatchResult:
             "fleet_occupancy": self.fleet_occupancy,
             "device_makespans": list(self.device_makespans),
             "n_failed": self.n_failed,
+            "n_shed": self.n_shed,
+            "n_degraded": self.n_degraded,
+            "n_expired": self.n_expired,
             "total_retries": self.total_retries,
             "lost_seconds": self.lost_seconds,
             "backoff_seconds": self.backoff_seconds,
             "recovery_seconds": self.recovery_seconds,
+            "overload": {
+                "admission": [dict(row) for row in self.admission_rows],
+                "breaker_events": [dict(row) for row in self.breaker_rows],
+            },
             "jobs": [
                 {
                     "label": o.job.label,
@@ -267,6 +359,7 @@ class BatchResult:
                     "lost_seconds": o.lost_seconds,
                     "backoff_seconds": o.backoff_seconds,
                     "fell_back_to_cpu": o.fell_back_to_cpu,
+                    "admission_reason": o.admission_reason,
                     "result": (
                         result_to_dict(o.result)
                         if o.result is not None
@@ -313,6 +406,33 @@ class BatchScheduler:
         ``engine_options``; ``None`` (default) leaves each engine's own
         default in place.  Jobs running under fault injection fall back to
         eager regardless.
+    admission:
+        Admission control: an :class:`~repro.batch.admission.AdmissionPolicy`,
+        or a mode string (``"degrade"``/``"strict"``) to build one from
+        ``max_queue``/``memory_limit_bytes``.
+    max_queue, memory_limit_bytes:
+        Shorthand for an admission policy's queue bound and per-device
+        memory cap (only valid when ``admission`` is not already a policy
+        object; either alone enables admission in ``"degrade"`` mode).
+    deadline:
+        Per-job wall-clock deadline in host seconds — shorthand for
+        merging ``Budget(wall_seconds=deadline)`` into every job.
+    budget:
+        Fleet-wide :class:`~repro.core.budget.Budget` merged
+        (tightest-wins) with each job's own ``Job.budget``.
+    priority:
+        When ``True``, jobs execute and are placed highest-priority-first
+        (``Job.priority``, submission order breaking ties) instead of in
+        submission order.
+    breaker:
+        Per-device circuit breakers: a
+        :class:`~repro.reliability.breaker.BreakerPolicy`, or ``True`` for
+        the default policy.  Implies the reliability execution path.
+    guard:
+        A :class:`~repro.reliability.guard.SwarmHealthGuard` applied to
+        every job (swarm-health repairs inside the engine loop).  One
+        shared instance: its event log is reset at each job's start, so
+        per-job events are not retained across the batch.
     """
 
     def __init__(
@@ -327,6 +447,14 @@ class BatchScheduler:
         checkpoint_every: int = 10,
         checkpoint_keep: int = 3,
         graph: bool | None = None,
+        admission=None,
+        max_queue: int | None = None,
+        memory_limit_bytes: int | None = None,
+        deadline: float | None = None,
+        budget: Budget | None = None,
+        priority: bool = False,
+        breaker=None,
+        guard=None,
     ) -> None:
         if n_devices < 1:
             raise InvalidParameterError(
@@ -349,7 +477,69 @@ class BatchScheduler:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep = checkpoint_keep
         self.graph = graph
+        self.admission = self._build_admission(
+            admission, max_queue=max_queue, memory_limit_bytes=memory_limit_bytes
+        )
+        if deadline is not None and not deadline > 0:
+            raise InvalidParameterError(
+                f"deadline must be positive seconds, got {deadline!r}"
+            )
+        self.deadline = deadline
+        if budget is not None and not isinstance(budget, Budget):
+            raise InvalidParameterError(
+                f"budget must be a repro Budget, got {type(budget).__name__}"
+            )
+        self.budget = budget
+        self.priority = bool(priority)
+        self.breaker = self._build_breaker(breaker)
+        if guard is not None and not hasattr(guard, "inspect"):
+            raise InvalidParameterError(
+                "guard must provide inspect() (see repro.reliability.guard), "
+                f"got {type(guard).__name__}"
+            )
+        self.guard = guard
         self._queue: list[Job] = []
+
+    @staticmethod
+    def _build_admission(
+        admission, *, max_queue, memory_limit_bytes
+    ) -> AdmissionPolicy | None:
+        if isinstance(admission, AdmissionPolicy):
+            if max_queue is not None or memory_limit_bytes is not None:
+                raise InvalidParameterError(
+                    "pass max_queue/memory_limit_bytes inside the "
+                    "AdmissionPolicy when supplying one"
+                )
+            return admission
+        if admission is None:
+            if max_queue is None and memory_limit_bytes is None:
+                return None
+            admission = "degrade"
+        if admission not in ADMISSION_MODES:
+            raise InvalidParameterError(
+                f"admission must be an AdmissionPolicy or one of "
+                f"{ADMISSION_MODES}, got {admission!r}"
+            )
+        return AdmissionPolicy(
+            mode=admission,
+            max_queue=max_queue,
+            memory_limit_bytes=memory_limit_bytes,
+        )
+
+    @staticmethod
+    def _build_breaker(breaker):
+        if breaker is None:
+            return None
+        from repro.reliability.breaker import BreakerPolicy
+
+        if breaker is True:
+            return BreakerPolicy()
+        if not isinstance(breaker, BreakerPolicy):
+            raise InvalidParameterError(
+                "breaker must be True or a BreakerPolicy, got "
+                f"{type(breaker).__name__}"
+            )
+        return breaker
 
     def _job_engine_options(self, job: Job) -> dict:
         """The job's engine options with the scheduler's graph default mixed
@@ -413,9 +603,63 @@ class BatchScheduler:
                     f"batch entries must be Jobs, got {type(job).__name__}"
                 )
 
-        executed = [self._execute(i, job) for i, job in enumerate(batch)]
-        outcomes, device_makespans = self._schedule(batch, executed)
-        profile = self._fleet_profile(executed)
+        decisions = None
+        if self.admission is not None:
+            from repro.gpusim.device import tesla_v100
+
+            decisions = self.admission.plan(
+                batch,
+                streams_per_device=self.streams_per_device,
+                device_mem_bytes=tesla_v100().global_mem_bytes,
+            )
+
+        health = None
+        if self.breaker is not None:
+            from repro.reliability.breaker import FleetHealth
+
+            health = FleetHealth(self.n_devices, policy=self.breaker)
+
+        exec_order = list(range(len(batch)))
+        if self.priority:
+            exec_order.sort(key=lambda i: (-batch[i].priority, i))
+
+        # The job actually run (the degraded variant under admission) and
+        # its report (None for shed jobs, which never execute).
+        effective: list[Job] = list(batch)
+        executed = [None] * len(batch)
+        base_now = 0.0
+        n_run = 0
+        for i in exec_order:
+            decision = decisions[i] if decisions is not None else None
+            if decision is not None and decision.action == "shed":
+                continue
+            if decision is not None and decision.job is not None:
+                effective[i] = decision.job
+            # Round-robin preferred device so a healthy breaker fleet
+            # spreads jobs instead of collapsing onto device 0 (the breaker
+            # only overrides the preference when that device is open).
+            preferred = n_run % self.n_devices
+            if self._overload_enabled:
+                executed[i] = self._contained_execute(
+                    i,
+                    effective[i],
+                    health=health,
+                    base_now=base_now,
+                    preferred_device=preferred,
+                )
+            else:
+                executed[i] = self._execute(i, effective[i])
+            base_now += _lane_duration(executed[i])
+            n_run += 1
+
+        outcomes, device_makespans = self._schedule(
+            effective,
+            executed,
+            decisions=decisions,
+            exec_order=exec_order,
+            health=health,
+        )
+        profile = self._fleet_profile([r for r in executed if r is not None])
         return BatchResult(
             outcomes=tuple(outcomes),
             policy=self.policy,
@@ -424,6 +668,12 @@ class BatchScheduler:
             makespan_seconds=max(device_makespans, default=0.0),
             device_makespans=tuple(device_makespans),
             fleet_profile=profile,
+            admission_rows=(
+                tuple(d.to_row() for d in decisions)
+                if decisions is not None
+                else ()
+            ),
+            breaker_rows=tuple(health.to_rows()) if health is not None else (),
         )
 
     # -- internals -----------------------------------------------------------
@@ -433,19 +683,77 @@ class BatchScheduler:
             self.retry is not None
             or self.faults is not None
             or self.checkpoint_dir is not None
+            or self.breaker is not None
         )
 
-    def _execute(self, index: int, job: Job):
+    @property
+    def _overload_enabled(self) -> bool:
+        """Any overload-control knob set: contain errors, never raise."""
+        return (
+            self.admission is not None
+            or self.deadline is not None
+            or self.budget is not None
+            or self.breaker is not None
+        )
+
+    def _effective_budget(self, job: Job) -> Budget | None:
+        """Tightest-wins merge of job, fleet and deadline budgets."""
+        budget = job.budget
+        if self.budget is not None:
+            budget = (
+                self.budget if budget is None else budget.merged(self.budget)
+            )
+        if self.deadline is not None:
+            cap = Budget(wall_seconds=self.deadline)
+            budget = cap if budget is None else budget.merged(cap)
+        return budget
+
+    def _contained_execute(
+        self, index: int, job: Job, *, health, base_now, preferred_device=None
+    ):
+        """Execute with overload containment: a ReproError that escapes the
+        retry machinery (strict admission, configuration problems, exhausted
+        non-retryable faults) becomes a failed report, never an exception."""
+        from repro.reliability.retry import RecoveryReport
+
+        try:
+            return self._execute(
+                index,
+                job,
+                health=health,
+                base_now=base_now,
+                preferred_device=preferred_device,
+            )
+        except ReproError as exc:
+            exc.with_context(job=job.label)
+            return RecoveryReport(
+                result=None,
+                attempts=1,
+                errors=(str(exc),),
+                error_rows=(exc.to_row(),),
+            )
+
+    def _execute(
+        self,
+        index: int,
+        job: Job,
+        *,
+        health=None,
+        base_now=0.0,
+        preferred_device=None,
+    ):
         """Run one job; returns a RecoveryReport (trivial on the fast path).
 
         Without any reliability option the job runs exactly as before —
         one fresh engine, errors propagate.  With reliability enabled the
         job goes through :func:`run_with_recovery`: per-job checkpoints,
-        injected faults, retries with failover; a job that exhausts its
-        attempts yields a failed report instead of aborting the batch.
+        injected faults, retries with failover (breaker-aware when *health*
+        is given); a job that exhausts its attempts yields a failed report
+        instead of aborting the batch.
         """
         from repro.engines import make_engine
 
+        budget = self._effective_budget(job)
         if not self._reliability_enabled:
             from repro.reliability.retry import RecoveryReport
 
@@ -456,6 +764,8 @@ class BatchScheduler:
                 max_iter=job.max_iter,
                 params=job.resolved_params,
                 record_history=job.record_history,
+                budget=budget,
+                guard=self.guard,
             )
             return RecoveryReport(
                 result=result, attempts=1, engines=(engine,)
@@ -489,12 +799,31 @@ class BatchScheduler:
             policy=self.retry or RetryPolicy(),
             injector=injector,
             checkpoint=manager,
+            budget=budget,
+            guard=self.guard,
+            health=health,
+            job_label=job.label,
+            preferred_device=preferred_device,
+            base_now=base_now,
         )
 
     def _schedule(
-        self, batch: list[Job], executed
+        self,
+        batch: list[Job],
+        executed,
+        *,
+        decisions=None,
+        exec_order=None,
+        health=None,
     ) -> tuple[list[JobOutcome], list[float]]:
-        """Replay job durations onto shared per-device stream timelines."""
+        """Replay job durations onto shared per-device stream timelines.
+
+        Shed jobs (``executed[i] is None``) never touch a lane.  When a
+        breaker fleet placed a job on a specific device
+        (``report.device_index``), placement is pinned to that device's
+        lanes — open-breaker devices stop receiving work and the schedule
+        re-packs onto the healthy ones.
+        """
         clocks = [SimClock() for _ in range(self.n_devices)]
         lanes = [
             _Lane(dev, s, Stream(clocks[dev]))
@@ -502,30 +831,32 @@ class BatchScheduler:
             for s in range(self.streams_per_device)
         ]
 
-        def lane_duration(report) -> float:
-            # The lane holds the job's fault-free work *plus* any recovery
-            # overhead (lost attempts, simulated backoff) — retries stretch
-            # the schedule exactly as they would a real fleet's.
-            solo = (
-                report.result.elapsed_seconds
-                if report.result is not None
-                else 0.0
-            )
-            return solo + report.recovery_seconds
-
-        order = list(range(len(batch)))
+        order = [
+            i
+            for i in (exec_order if exec_order is not None else range(len(batch)))
+            if executed[i] is not None
+        ]
         if self.policy == "packed":
             # LPT bin-packing: longest jobs placed first, ties broken by
             # submission order so the schedule is fully deterministic.
-            order.sort(key=lambda i: (-lane_duration(executed[i]), i))
+            order.sort(key=lambda i: (-_lane_duration(executed[i]), i))
 
         placements: dict[int, tuple[_Lane, float, float]] = {}
         for i in order:
+            report = executed[i]
+            candidates = lanes
+            if health is not None and report.device_index is not None:
+                pinned = [
+                    ln
+                    for ln in lanes
+                    if ln.device_index == report.device_index
+                ]
+                candidates = pinned or lanes
             # Earliest-available lane; ties go to the lowest lane index so
             # single-lane batches degenerate to the serial schedule.
-            lane = min(lanes, key=lambda ln: ln.stream.horizon)
+            lane = min(candidates, key=lambda ln: ln.stream.horizon)
             start = max(lane.stream.horizon, lane.stream.clock.now)
-            end = lane.stream.enqueue(lane_duration(executed[i]))
+            end = lane.stream.enqueue(_lane_duration(report))
             lane.stream.record_event()
             placements[i] = (lane, start, end)
 
@@ -537,8 +868,38 @@ class BatchScheduler:
 
         outcomes = []
         for i, job in enumerate(batch):
-            lane, start, end = placements[i]
+            decision = decisions[i] if decisions is not None else None
             report = executed[i]
+            if report is None:
+                # Shed at admission: terminal outcome, no lane, no result.
+                outcomes.append(
+                    JobOutcome(
+                        job=job,
+                        result=None,
+                        device_index=-1,
+                        stream_index=-1,
+                        submit_order=i,
+                        start_seconds=0.0,
+                        end_seconds=0.0,
+                        status="shed",
+                        attempts=0,
+                        admission_reason=(
+                            decision.reason if decision is not None else ""
+                        ),
+                    )
+                )
+                continue
+            lane, start, end = placements[i]
+            if report.result is None:
+                status = "failed"
+            elif report.result.status != "completed":
+                # The engine's own terminal status (deadline_exceeded /
+                # budget_exhausted) wins over the admission bookkeeping.
+                status = report.result.status
+            elif decision is not None and decision.action == "degrade":
+                status = "degraded"
+            else:
+                status = "completed"
             outcomes.append(
                 JobOutcome(
                     job=job,
@@ -548,14 +909,17 @@ class BatchScheduler:
                     submit_order=i,
                     start_seconds=start,
                     end_seconds=end,
-                    status=(
-                        "succeeded" if report.result is not None else "failed"
-                    ),
+                    status=status,
                     attempts=report.attempts,
                     error=report.error,
                     lost_seconds=report.lost_seconds,
                     backoff_seconds=report.backoff_seconds,
                     fell_back_to_cpu=report.fell_back_to_cpu,
+                    admission_reason=(
+                        decision.reason
+                        if decision is not None and decision.action != "admit"
+                        else ""
+                    ),
                 )
             )
         return outcomes, device_makespans

@@ -66,6 +66,9 @@ def mixed_workload(n_jobs: int = 32, *, base_seed: int = 1000) -> list[Job]:
                 engine_options=options,
                 seed=base_seed + i,
                 name=f"job{i:02d}",
+                # Three deterministic priority tiers so the overload drill
+                # has low-priority jobs to shed first.
+                priority=i % 3,
             )
         )
     return jobs

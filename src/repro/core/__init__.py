@@ -1,5 +1,6 @@
 """Core optimizer layer: problems, parameters, swarm math, engines' base."""
 
+from repro.core.budget import Budget, BudgetTracker
 from repro.core.engine import Engine
 from repro.core.fastpso import FastPSO
 from repro.core.parameters import PAPER_DEFAULTS, PSOParams
@@ -30,6 +31,8 @@ from repro.core.swarm import (
 from repro.core.topology import ring_best_indices, social_positions
 
 __all__ = [
+    "Budget",
+    "BudgetTracker",
     "Engine",
     "FastPSO",
     "PAPER_DEFAULTS",

@@ -1,0 +1,223 @@
+"""Deadlines and budgets for time-critical runs.
+
+A :class:`Budget` caps a run along up to four axes — simulated seconds on
+the device clock, host wall-clock seconds, iterations, and objective
+evaluations.  Low-complexity PSO deployments in time-critical settings need
+a *usable best-so-far answer at expiry*, not an exception: when a budget
+trips, the engine finishes the current iteration, stops cleanly through the
+normal stop-criterion machinery, and returns an ordinary
+:class:`~repro.core.results.OptimizeResult` whose ``status`` field names
+the axis that expired (``"deadline_exceeded"`` for the two time axes,
+``"budget_exhausted"`` for the two count axes).
+
+Budgets compose with checkpoint/resume: :class:`BudgetTracker` snapshots
+the wall-clock seconds already consumed, so a resumed run honours the
+*remaining* budget rather than restarting the clock.  Everything except
+the wall axis is deterministic in simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.stopping import StopCriterion
+from repro.errors import ConfigurationError
+from repro.gpusim.clock import SimClock
+
+__all__ = ["Budget", "BudgetTracker"]
+
+
+def _positive(value: float | int | None, name: str) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"budget {name} must be a number, got {value!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"budget {name} must be finite and > 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Caps for one run; ``None`` on an axis means unlimited.
+
+    ``sim_seconds``
+        Simulated seconds on the engine's device clock (deterministic).
+    ``wall_seconds``
+        Host wall-clock seconds (the *deadline* axis; host-dependent).
+    ``iterations``
+        Maximum iterations, independent of ``max_iter`` — useful when the
+        budget is imposed by a scheduler on top of a job's own settings.
+    ``evaluations``
+        Maximum objective evaluations (``n_particles`` per iteration, plus
+        the initial swarm evaluation).
+    """
+
+    sim_seconds: float | None = None
+    wall_seconds: float | None = None
+    iterations: int | None = None
+    evaluations: int | None = None
+
+    def __post_init__(self) -> None:
+        _positive(self.sim_seconds, "sim_seconds")
+        _positive(self.wall_seconds, "wall_seconds")
+        _positive(self.iterations, "iterations")
+        _positive(self.evaluations, "evaluations")
+        for name in ("iterations", "evaluations"):
+            value = getattr(self, name)
+            if value is not None and int(value) != value:
+                raise ConfigurationError(f"budget {name} must be an integer")
+
+    @property
+    def is_unlimited(self) -> bool:
+        return (
+            self.sim_seconds is None
+            and self.wall_seconds is None
+            and self.iterations is None
+            and self.evaluations is None
+        )
+
+    def merged(self, other: "Budget | None") -> "Budget":
+        """The tighter of two budgets on every axis (``None`` loses)."""
+        if other is None:
+            return self
+
+        def tight(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return Budget(
+            sim_seconds=tight(self.sim_seconds, other.sim_seconds),
+            wall_seconds=tight(self.wall_seconds, other.wall_seconds),
+            iterations=tight(self.iterations, other.iterations),
+            evaluations=tight(self.evaluations, other.evaluations),
+        )
+
+    def to_spec(self) -> dict:
+        """JSON-safe description, the inverse of :meth:`from_spec`."""
+        return {
+            "sim_seconds": self.sim_seconds,
+            "wall_seconds": self.wall_seconds,
+            "iterations": self.iterations,
+            "evaluations": self.evaluations,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Budget":
+        return cls(
+            sim_seconds=spec.get("sim_seconds"),
+            wall_seconds=spec.get("wall_seconds"),
+            iterations=None if spec.get("iterations") is None else int(spec["iterations"]),
+            evaluations=None if spec.get("evaluations") is None else int(spec["evaluations"]),
+        )
+
+    def start(
+        self,
+        *,
+        clock: SimClock | None = None,
+        n_particles: int = 0,
+        wall_used: float = 0.0,
+    ) -> "BudgetTracker":
+        """Bind this budget to a live run and begin the wall timer."""
+        return BudgetTracker(
+            self, clock=clock, n_particles=n_particles, wall_used=wall_used
+        )
+
+
+class BudgetTracker(StopCriterion):
+    """Live enforcement of a :class:`Budget` inside the engine loop.
+
+    Rides the normal stop-criterion protocol: the engine asks
+    :meth:`should_stop` after every iteration, and when an axis has
+    expired the tracker records *which* axis in :attr:`breach`
+    (``"deadline_exceeded"`` or ``"budget_exhausted"``) and :attr:`reason`
+    (human-readable), then answers ``True``.  The axes are checked in a
+    fixed order — iterations, evaluations, simulated seconds, wall seconds
+    — so with a deterministic workload the reported breach is stable.
+    """
+
+    def __init__(
+        self,
+        budget: Budget,
+        *,
+        clock: SimClock | None = None,
+        n_particles: int = 0,
+        wall_used: float = 0.0,
+    ) -> None:
+        self.budget = budget
+        self.clock = clock
+        self.n_particles = int(n_particles)
+        self.breach: str | None = None
+        self.reason: str | None = None
+        self._wall_used = float(wall_used)
+        self._wall_start = time.perf_counter()
+        self._sim_start = 0.0 if clock is None else clock.now
+
+    def bind(self, clock: SimClock, n_particles: int) -> None:
+        """Attach the run's clock and swarm size (engine calls this once)."""
+        self.clock = clock
+        self.n_particles = int(n_particles)
+        self._sim_start = clock.now
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def wall_elapsed(self) -> float:
+        """Wall seconds consumed, including pre-checkpoint segments."""
+        return self._wall_used + (time.perf_counter() - self._wall_start)
+
+    @property
+    def sim_elapsed(self) -> float:
+        if self.clock is None:
+            return 0.0
+        return self.clock.now - self._sim_start
+
+    def evaluations_done(self, iteration: int) -> int:
+        """Objective evaluations after *iteration* (0-based) completes.
+
+        One initial swarm evaluation plus one per loop iteration.
+        """
+        return self.n_particles * (iteration + 2)
+
+    # -- StopCriterion protocol ------------------------------------------
+
+    def reset(self) -> None:
+        self.breach = None
+        self.reason = None
+        self._wall_used = 0.0
+        self._wall_start = time.perf_counter()
+        self._sim_start = 0.0 if self.clock is None else self.clock.now
+
+    def state_dict(self) -> dict:
+        return {"wall_used": self.wall_elapsed}
+
+    def load_state(self, state: dict) -> None:
+        self._wall_used = float(state.get("wall_used", 0.0))
+        self._wall_start = time.perf_counter()
+
+    def should_stop(self, iteration: int, gbest_value: float) -> bool:
+        b = self.budget
+        if b.iterations is not None and iteration + 1 >= b.iterations:
+            self.breach = "budget_exhausted"
+            self.reason = f"iteration budget of {b.iterations} reached"
+            return True
+        if (
+            b.evaluations is not None
+            and self.evaluations_done(iteration) >= b.evaluations
+        ):
+            self.breach = "budget_exhausted"
+            self.reason = f"evaluation budget of {b.evaluations} reached"
+            return True
+        if b.sim_seconds is not None and self.sim_elapsed >= b.sim_seconds:
+            self.breach = "deadline_exceeded"
+            self.reason = f"simulated-time budget of {b.sim_seconds}s reached"
+            return True
+        if b.wall_seconds is not None and self.wall_elapsed >= b.wall_seconds:
+            self.breach = "deadline_exceeded"
+            self.reason = f"wall-clock deadline of {b.wall_seconds}s reached"
+            return True
+        return False

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.budget import Budget
 from repro.core.parameters import PAPER_DEFAULTS, PSOParams
 from repro.core.problem import Problem
 from repro.core.results import History, OptimizeResult, StepTimes
@@ -104,6 +105,8 @@ class Engine(ABC):
         callback=None,
         checkpoint=None,
         restore=None,
+        budget=None,
+        guard=None,
     ) -> OptimizeResult:
         """Run Algorithm 1 and return the best solution plus timings.
 
@@ -128,9 +131,30 @@ class Engine(ABC):
         same final result, same simulated seconds as the uninterrupted run.
         The run *shape* (problem, ``n_particles``, ``max_iter``, ``params``,
         ``record_history``, ``stop`` spec) must match the captured one.
+
+        ``budget`` caps the run (:class:`~repro.core.budget.Budget`): on
+        expiry the loop stops cleanly and the result's ``status`` names the
+        exhausted axis (``"deadline_exceeded"`` / ``"budget_exhausted"``)
+        while ``best_value``/``best_position`` still hold the best-so-far
+        answer.  Budgets compose with checkpoint/resume — the wall-clock
+        seconds already consumed are snapshotted, so a resumed run honours
+        the remaining deadline.
+
+        ``guard`` attaches a
+        :class:`~repro.reliability.guard.SwarmHealthGuard`: a
+        per-iteration NaN/Inf and velocity-explosion check that
+        deterministically clamps or re-seeds offending particles from the
+        run's own Philox stream.  Off by default; with no guard the
+        trajectory is bit-identical to previous releases.
         """
         if callback is not None and not callable(callback):
             raise InvalidParameterError("callback must be callable")
+        if budget is not None and not isinstance(budget, Budget):
+            raise InvalidParameterError("budget must be a repro Budget")
+        if guard is not None and not hasattr(guard, "inspect"):
+            raise InvalidParameterError(
+                "guard must provide an inspect() hook (see SwarmHealthGuard)"
+            )
         if not isinstance(problem, Problem):
             raise InvalidParameterError("optimize() requires a Problem")
         if n_particles <= 0:
@@ -156,6 +180,11 @@ class Engine(ABC):
         rng = self._make_rng(params.seed)
         history = History() if record_history else None
         injector = self._fault_injector
+        tracker = None
+        if budget is not None and not budget.is_unlimited:
+            tracker = budget.start(clock=self.clock, n_particles=n_particles)
+        if guard is not None:
+            guard.reset()
 
         with self.clock.section("init"):
             state = self._initialize(problem, params, n_particles, rng)
@@ -182,6 +211,17 @@ class Engine(ABC):
                     "stop criterion differs from the checkpointed one; "
                     "resume with snapshot.make_stop()"
                 )
+            run_budget_spec = budget.to_spec() if budget is not None else None
+            if run_budget_spec != restore.budget_spec:
+                raise CheckpointError(
+                    "budget differs from the checkpointed one; resume with "
+                    "the same Budget the original run was given"
+                )
+            if tracker is not None and restore.budget_state is not None:
+                # Wall seconds already consumed keep counting against the
+                # deadline; the simulated axis restarts with the clock
+                # overwrite below and needs no state of its own.
+                tracker.load_state(restore.budget_state)
             if (
                 rng.seed != restore.rng_state["seed"]
                 or rng.stream_id != restore.rng_state["stream_id"]
@@ -231,12 +271,13 @@ class Engine(ABC):
         # stale bindings from the pre-checkpoint run can never be replayed.
         from repro.gpusim.graph import IterationRunner
 
-        eager_reason = self._graph_eager_reason(stop, callback)
+        eager_reason = self._graph_eager_reason(stop, callback, tracker, guard)
         runner = IterationRunner(
             self, problem, params, state, rng, eager_reason=eager_reason
         )
 
         iterations_run = start_iter
+        status = "completed"
         self._progress = 0.0
         for t in range(start_iter, max_iter):
             # Fraction of the budget consumed; drives the adaptive velocity
@@ -246,6 +287,8 @@ class Engine(ABC):
             iterations_run = t + 1
             if injector is not None:
                 injector.check_integrity()
+            if guard is not None:
+                guard.inspect(state, problem, rng, iteration=t)
             if history is not None:
                 history.record(
                     state.gbest_value, float(np.mean(state.pbest_values))
@@ -255,6 +298,16 @@ class Engine(ABC):
                 stopping = True
             elif stop is not None and stop.should_stop(t, state.gbest_value):
                 stopping = True
+            elif (
+                tracker is not None
+                and iterations_run < max_iter
+                and tracker.should_stop(t, state.gbest_value)
+            ):
+                # A budget that trips on what would have been the final
+                # iteration anyway is not a breach — the guard above keeps
+                # full runs reporting "completed".
+                stopping = True
+                status = tracker.breach or "budget_exhausted"
             if (
                 checkpoint is not None
                 and not stopping
@@ -281,6 +334,8 @@ class Engine(ABC):
                         stop=stop,
                         state=state,
                         history=history,
+                        budget=budget,
+                        budget_tracker=tracker,
                     )
                 )
             if stopping:
@@ -312,6 +367,7 @@ class Engine(ABC):
             step_times=step_times,
             history=history,
             peak_device_bytes=self._peak_device_bytes(),
+            status=status,
         )
 
     def _peak_device_bytes(self) -> int:
@@ -319,13 +375,14 @@ class Engine(ABC):
         return 0
 
     # -- launch-graph hooks ---------------------------------------------------
-    def _graph_eager_reason(self, stop, callback) -> str | None:
+    def _graph_eager_reason(self, stop, callback, tracker=None, guard=None) -> str | None:
         """Why this run must execute eagerly, or ``None`` if graph-eligible.
 
-        A stop criterion or callback can end the run at any iteration and
-        must observe per-iteration state transitions in eager order; a fault
-        injector needs its per-launch hook; ``record_launches`` needs the
-        full per-launch log that replay deliberately skips.
+        A stop criterion, callback, budget tracker or health guard can end
+        or alter the run at any iteration and must observe per-iteration
+        state transitions in eager order; a fault injector needs its
+        per-launch hook; ``record_launches`` needs the full per-launch log
+        that replay deliberately skips.
         """
         if not self.supports_graph:
             return "engine-does-not-support-graphs"
@@ -335,6 +392,10 @@ class Engine(ABC):
             return "stop-criterion"
         if callback is not None:
             return "callback"
+        if tracker is not None:
+            return "budget"
+        if guard is not None:
+            return "health-guard"
         if self._fault_injector is not None:
             return "fault-injector"
         return self._graph_blockers()

@@ -48,6 +48,13 @@ class Problem:
         self.upper_bounds = as_float_vector(
             self.upper_bounds, name="upper_bounds", dim=self.dim
         )
+        if not np.all(np.isfinite(self.lower_bounds)) or not np.all(
+            np.isfinite(self.upper_bounds)
+        ):
+            raise InvalidProblemError(
+                f"problem {self.name!r}: bounds must be finite (no NaN/Inf); "
+                "an unbounded axis makes swarm initialisation undefined"
+            )
         if np.any(self.lower_bounds >= self.upper_bounds):
             raise InvalidProblemError(
                 "every lower bound must be strictly below its upper bound"

@@ -17,10 +17,23 @@ import numpy as np
 
 from repro.errors import BenchmarkError
 
-__all__ = ["STEP_LABELS", "StepTimes", "History", "OptimizeResult"]
+__all__ = ["STEP_LABELS", "RUN_STATUSES", "StepTimes", "History", "OptimizeResult"]
 
 #: The paper's Figure 5 breakdown categories, in plot order.
 STEP_LABELS = ("init", "eval", "pbest", "gbest", "swarm")
+
+#: Terminal statuses a run (or batch job) can end in.  The first four come
+#: out of the engine loop; ``"degraded"`` and ``"shed"`` are assigned by the
+#: batch scheduler's admission layer; ``"failed"`` by the retry layer when
+#: recovery is exhausted.
+RUN_STATUSES = (
+    "completed",
+    "deadline_exceeded",
+    "budget_exhausted",
+    "degraded",
+    "shed",
+    "failed",
+)
 
 
 @dataclass(frozen=True)
@@ -93,6 +106,10 @@ class OptimizeResult:
     history: History | None = None
     #: High-water device-memory mark of the run (GPU engines; 0 on CPU).
     peak_device_bytes: int = 0
+    #: Terminal status: ``"completed"`` for a full run, or the budget axis
+    #: that expired first (see :data:`RUN_STATUSES`).  Best-so-far fields
+    #: are valid regardless of status.
+    status: str = "completed"
 
     def projected_time(self, iterations: int) -> float:
         """Exact simulated time for a run of *iterations* iterations."""
@@ -107,14 +124,15 @@ class OptimizeResult:
         return self.step_times.scaled(iterations / self.iterations)
 
     def summary(self) -> str:
+        tail = "" if self.status == "completed" else f" [{self.status}]"
         return (
             f"{self.engine}: {self.problem} n={self.n_particles} d={self.dim} "
             f"iters={self.iterations} best={self.best_value:.6g} "
-            f"err={self.error:.6g} t={self.elapsed_seconds:.4g}s"
+            f"err={self.error:.6g} t={self.elapsed_seconds:.4g}s{tail}"
         )
 
     def to_json(self) -> str:
-        """The versioned JSON document for this result (schema_version 2).
+        """The versioned JSON document for this result (schema_version 3).
 
         Delegates to :mod:`repro.io`; :meth:`from_json` is the inverse.
         """

@@ -36,6 +36,23 @@ from repro.gpusim.multigpu import ExchangeCost, partition_particles
 __all__ = ["MultiGpuFastPSOEngine"]
 
 
+class _FleetClock:
+    """Read-only clock view over the whole fleet for budget tracking.
+
+    The multi-GPU timeline is the slowest device's clock plus the exchange
+    costs — the same quantity ``elapsed_seconds`` reports — so a simulated-
+    time budget measures exactly what the result will show.
+    """
+
+    def __init__(self, engine: "MultiGpuFastPSOEngine") -> None:
+        self._engine = engine
+
+    @property
+    def now(self) -> float:
+        e = self._engine
+        return max(w.clock.now for w in e.workers) + e._exchange_seconds
+
+
 class MultiGpuFastPSOEngine(Engine):
     """Particle-splitting FastPSO across several simulated devices."""
 
@@ -112,6 +129,8 @@ class MultiGpuFastPSOEngine(Engine):
         callback=None,
         checkpoint=None,
         restore=None,
+        budget=None,
+        guard=None,
     ) -> OptimizeResult:
         if checkpoint is not None or restore is not None:
             # A multi-GPU run spans several Philox streams and device
@@ -122,6 +141,14 @@ class MultiGpuFastPSOEngine(Engine):
             )
         if callback is not None and not callable(callback):
             raise InvalidParameterError("callback must be callable")
+        from repro.core.budget import Budget
+
+        if budget is not None and not isinstance(budget, Budget):
+            raise InvalidParameterError("budget must be a repro Budget")
+        if guard is not None and not hasattr(guard, "inspect"):
+            raise InvalidParameterError(
+                "guard must provide an inspect() hook (see SwarmHealthGuard)"
+            )
         if n_particles < self.n_devices:
             raise InvalidParameterError(
                 f"cannot split {n_particles} particles over "
@@ -135,6 +162,16 @@ class MultiGpuFastPSOEngine(Engine):
         shard_sizes = partition_particles(n_particles, self.n_devices)
         self._exchange_seconds = 0.0
         history = History() if record_history else None
+        for worker in self.workers:
+            worker.clock.reset()
+            worker._progress = 0.0
+        tracker = None
+        if budget is not None and not budget.is_unlimited:
+            tracker = budget.start(
+                clock=_FleetClock(self), n_particles=n_particles
+            )
+        if guard is not None:
+            guard.reset()
 
         # Per-device init: disjoint Philox streams derived from one seed
         # (each worker's context namespaces the stream by device index).
@@ -143,8 +180,6 @@ class MultiGpuFastPSOEngine(Engine):
         states = []
         rngs = []
         for worker, shard in zip(self.workers, shard_sizes):
-            worker.clock.reset()
-            worker._progress = 0.0
             rng = worker.ctx.make_rng(params.seed)
             with worker.clock.section("init"):
                 states.append(worker._initialize(problem, params, shard, rng))
@@ -166,6 +201,10 @@ class MultiGpuFastPSOEngine(Engine):
             eager_reason = "stop-criterion"
         elif callback is not None:
             eager_reason = "callback"
+        elif tracker is not None:
+            eager_reason = "budget"
+        elif guard is not None:
+            eager_reason = "health-guard"
         elif self._fault_injector is not None:
             eager_reason = "fault-injector"
         elif any(w.ctx.launcher.record_launches for w in self.workers):
@@ -181,6 +220,7 @@ class MultiGpuFastPSOEngine(Engine):
         global_best_value = np.inf
         global_best_position = np.zeros(problem.dim, dtype=np.float32)
         iterations_run = 0
+        status = "completed"
 
         for t in range(max_iter):
             progress = t / max(1, max_iter - 1)
@@ -188,6 +228,11 @@ class MultiGpuFastPSOEngine(Engine):
                 worker._progress = progress
                 runner.run_iteration(t)
             iterations_run = t + 1
+            if guard is not None:
+                # Each sub-swarm is repaired from its own Philox stream, so
+                # interventions stay deterministic per device.
+                for state, rng in zip(states, rngs):
+                    guard.inspect(state, problem, rng, iteration=t)
 
             if (t + 1) % self.exchange_interval == 0 or t == max_iter - 1:
                 global_best_value, global_best_position = self._exchange_best(
@@ -217,6 +262,18 @@ class MultiGpuFastPSOEngine(Engine):
             if stop is not None and stop.should_stop(
                 t, min(global_best_value, min(s.gbest_value for s in states))
             ):
+                global_best_value, global_best_position = self._exchange_best(
+                    problem, states, global_best_value, global_best_position
+                )
+                break
+            if (
+                tracker is not None
+                and iterations_run < max_iter
+                and tracker.should_stop(
+                    t, min(global_best_value, min(s.gbest_value for s in states))
+                )
+            ):
+                status = tracker.breach or "budget_exhausted"
                 global_best_value, global_best_position = self._exchange_best(
                     problem, states, global_best_value, global_best_position
                 )
@@ -256,6 +313,7 @@ class MultiGpuFastPSOEngine(Engine):
             peak_device_bytes=max(
                 w.ctx.memory.high_water_bytes for w in self.workers
             ),
+            status=status,
         )
 
     def _exchange_best(

@@ -60,6 +60,8 @@ class ScikitOptLikeEngine(LibraryEngineBase):
         callback=None,
         checkpoint=None,
         restore=None,
+        budget=None,
+        guard=None,
     ) -> OptimizeResult:
         if self.early_stop_patience is None:
             combined = stop
@@ -79,4 +81,6 @@ class ScikitOptLikeEngine(LibraryEngineBase):
             callback=callback,
             checkpoint=checkpoint,
             restore=restore,
+            budget=budget,
+            guard=guard,
         )

@@ -23,17 +23,65 @@ __all__ = [
     "LaunchFailedError",
     "DeviceLostError",
     "OptimizationError",
+    "ConfigurationError",
     "InvalidProblemError",
     "InvalidParameterError",
     "EvaluationError",
     "BenchmarkError",
     "CheckpointError",
     "GraphReplayError",
+    "ReliabilityError",
+    "CircuitOpenError",
+    "AdmissionError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    Every error can carry *structured context* — which job, simulated
+    device, launch ordinal and retry attempt it belongs to — so the batch
+    failure tables and the fleet-profile JSON render failures uniformly
+    without parsing message strings.  The fields default to ``None`` and are
+    filled in by whichever layer knows them (:meth:`with_context` merges,
+    never overwrites, so the innermost annotation wins).
+    """
+
+    #: Structured context, filled lazily via :meth:`with_context`.
+    job: str | None = None
+    device: int | None = None
+    launch_ordinal: int | None = None
+    attempt: int | None = None
+
+    def with_context(
+        self,
+        *,
+        job: str | None = None,
+        device: int | None = None,
+        launch_ordinal: int | None = None,
+        attempt: int | None = None,
+    ) -> "ReproError":
+        """Attach structured fields (first writer wins); returns ``self``."""
+        if job is not None and self.job is None:
+            self.job = str(job)
+        if device is not None and self.device is None:
+            self.device = int(device)
+        if launch_ordinal is not None and self.launch_ordinal is None:
+            self.launch_ordinal = int(launch_ordinal)
+        if attempt is not None and self.attempt is None:
+            self.attempt = int(attempt)
+        return self
+
+    def to_row(self) -> dict:
+        """Uniform JSON-safe row for failure tables and fleet profiles."""
+        return {
+            "error": type(self).__name__,
+            "message": str(self),
+            "job": self.job,
+            "device": self.device,
+            "launch_ordinal": self.launch_ordinal,
+            "attempt": self.attempt,
+        }
 
 
 class GpuSimError(ReproError):
@@ -120,16 +168,30 @@ class OptimizationError(ReproError):
     """Base class for optimizer-level failures."""
 
 
-class InvalidProblemError(OptimizationError):
-    """The optimization problem definition is malformed.
+class ConfigurationError(OptimizationError):
+    """A run was configured with values that can never produce a valid
+    optimization — non-finite bounds, non-positive sizes, malformed
+    hyper-parameters.
 
-    Examples: non-positive dimensionality, lower bound above upper bound,
-    an objective that returns the wrong shape.
+    Raised *at construction time* so a bad configuration fails with one
+    friendly message instead of a downstream NaN or shape error deep in the
+    iteration loop.  :class:`InvalidProblemError` and
+    :class:`InvalidParameterError` are its concrete children, so existing
+    ``except InvalidProblemError`` call sites keep working while new code
+    can catch the whole family with ``except ConfigurationError``.
     """
 
 
-class InvalidParameterError(OptimizationError):
-    """A PSO hyper-parameter is outside its legal range."""
+class InvalidProblemError(ConfigurationError):
+    """The optimization problem definition is malformed.
+
+    Examples: non-positive dimensionality, lower bound above upper bound,
+    non-finite bounds, an objective that returns the wrong shape.
+    """
+
+
+class InvalidParameterError(ConfigurationError):
+    """A PSO hyper-parameter or engine option is outside its legal range."""
 
 
 class EvaluationError(OptimizationError):
@@ -146,4 +208,25 @@ class CheckpointError(ReproError):
     Raised on magic/schema mismatch, CRC failure, or when a snapshot is
     restored into a run whose shape (particles, dimension, engine dtype)
     does not match the one that wrote it.
+    """
+
+
+class ReliabilityError(ReproError):
+    """Base class for overload-control failures (breakers, admission)."""
+
+
+class CircuitOpenError(ReliabilityError):
+    """Every eligible device's circuit breaker is open.
+
+    Raised by the retry layer when no healthy device remains to place an
+    attempt on and CPU failover is disabled.  Carries structured context
+    (job, attempt) via the base class.
+    """
+
+
+class AdmissionError(ReliabilityError):
+    """A job was refused admission by the batch scheduler.
+
+    Only raised in ``strict`` admission mode; the default ``degrade`` mode
+    records a shed outcome instead of raising.
     """

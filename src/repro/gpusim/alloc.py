@@ -99,6 +99,23 @@ class _AllocatorBase:
     def live_buffers(self) -> int:
         return len(self._live)
 
+    @property
+    def pressure(self) -> float:
+        """Device-memory pressure as this allocator sees it (0..1).
+
+        For the caching flavour, pooled blocks are *reserved* on the device
+        but instantly reusable, so they don't count as pressure — see
+        :attr:`headroom_bytes`.
+        """
+        if self.memory.total_bytes <= 0:
+            return 1.0
+        return 1.0 - self.headroom_bytes / self.memory.total_bytes
+
+    @property
+    def headroom_bytes(self) -> int:
+        """Bytes this allocator could still serve without an OOM."""
+        return self.memory.free_bytes
+
     def alloc_like(self, shape: tuple[int, ...], dtype: np.dtype) -> DeviceBuffer:
         """Allocate a buffer sized for ``shape`` of ``dtype``."""
         nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
@@ -190,6 +207,11 @@ class CachingAllocator(_AllocatorBase):
     def pooled_bytes(self) -> int:
         """Bytes held in free lists (reserved on device but reusable)."""
         return sum(b.nbytes for pool in self._pools.values() for b in pool)
+
+    @property
+    def headroom_bytes(self) -> int:
+        """Free device bytes plus pooled blocks (reusable on demand)."""
+        return self.memory.free_bytes + self.pooled_bytes
 
     def release_all(self) -> None:
         """Return all pooled blocks to the device (cudaFree each)."""

@@ -42,6 +42,18 @@ class GlobalMemory:
     def free_bytes(self) -> int:
         return self.total_bytes - self.used_bytes
 
+    @property
+    def pressure(self) -> float:
+        """Occupied fraction of capacity (0.0 empty .. 1.0 full).
+
+        The admission-control layer samples this before placing work, so a
+        fleet near capacity can shed or degrade low-priority jobs instead
+        of dying on a mid-run :class:`DeviceOutOfMemoryError`.
+        """
+        if self.total_bytes <= 0:
+            return 1.0
+        return self.used_bytes / self.total_bytes
+
     def reserve(self, nbytes: int) -> None:
         """Claim *nbytes*; raises :class:`DeviceOutOfMemoryError` if over capacity."""
         if nbytes < 0:

@@ -11,6 +11,8 @@ can detect drift.  History:
   (still readable, with a :class:`DeprecationWarning`).
 * **2** — renamed the version key to ``schema_version`` and added
   ``peak_device_bytes`` (which version-1 writers silently dropped).
+* **3** — added ``status`` (terminal run status; budget/deadline support).
+  Older payloads read back as ``"completed"``.
 """
 
 from __future__ import annotations
@@ -40,9 +42,9 @@ __all__ = [
 ]
 
 #: Version written by :func:`result_to_dict`.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 #: Versions :func:`result_from_dict` can still read.
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
@@ -95,6 +97,7 @@ def result_to_dict(result: OptimizeResult) -> dict:
         "iteration_seconds": result.iteration_seconds,
         "step_times": result.step_times.as_dict(),
         "peak_device_bytes": int(result.peak_device_bytes),
+        "status": result.status,
     }
     if result.history is not None:
         payload["history"] = {
@@ -105,7 +108,7 @@ def result_to_dict(result: OptimizeResult) -> dict:
 
 
 def result_from_dict(payload: dict) -> OptimizeResult:
-    """Inverse of :func:`result_to_dict` (reads schema versions 1 and 2)."""
+    """Inverse of :func:`result_to_dict` (reads schema versions 1–3)."""
     version = payload.get("schema_version")
     if version is None and "format_version" in payload:
         warnings.warn(
@@ -141,6 +144,7 @@ def result_from_dict(payload: dict) -> OptimizeResult:
         step_times=StepTimes(**payload["step_times"]),
         history=history,
         peak_device_bytes=int(payload.get("peak_device_bytes", 0)),
+        status=str(payload.get("status", "completed")),
     )
 
 

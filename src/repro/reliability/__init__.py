@@ -30,12 +30,18 @@ from repro.reliability.checkpoint import (
     read_snapshot,
     write_snapshot,
 )
+from repro.reliability.breaker import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FleetHealth,
+)
 from repro.reliability.faults import (
     FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
 )
+from repro.reliability.guard import GuardEvent, SwarmHealthGuard
 from repro.reliability.retry import (
     RecoveryReport,
     RetryPolicy,
@@ -44,15 +50,20 @@ from repro.reliability.retry import (
 from repro.reliability.snapshot import RunSnapshot, capture_run
 
 __all__ = [
+    "BreakerPolicy",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointManager",
+    "CircuitBreaker",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FleetHealth",
+    "GuardEvent",
     "RecoveryReport",
     "RetryPolicy",
     "RunSnapshot",
+    "SwarmHealthGuard",
     "capture_run",
     "read_snapshot",
     "resume",
@@ -115,4 +126,5 @@ def resume(
         callback=callback,
         checkpoint=checkpoint,
         restore=snapshot,
+        budget=snapshot.make_budget(),
     )

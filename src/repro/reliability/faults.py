@@ -199,7 +199,7 @@ class FaultInjector:
             raise DeviceLostError(
                 f"device lost (injected){self._ctx()}: launch of "
                 f"{kernel_name!r} rejected"
-            )
+            ).with_context(job=self.label or None, launch_ordinal=self._launches)
         self._launches += 1
         stall = 0.0
         for i, spec in enumerate(self.specs):
@@ -215,11 +215,15 @@ class FaultInjector:
             if spec.kind == "launch_failure":
                 raise LaunchFailedError(
                     f"injected launch failure at {detail}{self._ctx()}"
+                ).with_context(
+                    job=self.label or None, launch_ordinal=self._launches
                 )
             if spec.kind == "device_lost":
                 self._device_lost = True
                 raise DeviceLostError(
                     f"injected device loss at {detail}{self._ctx()}"
+                ).with_context(
+                    job=self.label or None, launch_ordinal=self._launches
                 )
             if spec.kind == "stall":
                 stall += spec.stall_seconds
@@ -234,7 +238,7 @@ class FaultInjector:
             raise DeviceLostError(
                 f"device lost (injected){self._ctx()}: allocation of "
                 f"{nbytes} bytes rejected"
-            )
+            ).with_context(job=self.label or None)
         self._allocs += 1
         for i, spec in enumerate(self.specs):
             if (
@@ -251,7 +255,9 @@ class FaultInjector:
             total = getattr(memory, "total_bytes", 0)
             # Model pool exhaustion: report zero free regardless of the
             # real accounting, as a fragmented/oversubscribed device would.
-            raise DeviceOutOfMemoryError(nbytes, min(free, 0), total)
+            raise DeviceOutOfMemoryError(
+                nbytes, min(free, 0), total
+            ).with_context(job=self.label or None)
 
     # -- the integrity guard --------------------------------------------------
     def check_integrity(self) -> None:
@@ -267,7 +273,7 @@ class FaultInjector:
                     f"integrity check failed: buffer {name!r} contains "
                     f"{int(np.isnan(array).sum())} NaN element(s)"
                     f"{self._ctx()}"
-                )
+                ).with_context(job=self.label or None)
 
     # -- internals ------------------------------------------------------------
     def _corrupt(self, spec: FaultSpec) -> None:

@@ -1,0 +1,166 @@
+"""Swarm health guards: NaN/Inf and velocity-explosion detection.
+
+The PSO literature treats divergence detection and re-seeding as a
+first-class reliability concern: a swarm whose velocities explode (or whose
+objective returns NaN) burns its whole iteration budget producing garbage
+while still "succeeding" from the scheduler's point of view.  A
+:class:`SwarmHealthGuard` is an opt-in per-iteration check the engine loop
+calls after each completed iteration:
+
+* **non-finite positions / velocities** — offending particles are
+  deterministically re-seeded uniformly inside the search box, drawing from
+  *the run's own Philox stream* (so the repaired trajectory is a pure
+  function of the seed), with their velocities zeroed;
+* **non-finite personal bests** — reset to ``+inf`` value / current
+  position, so the particle re-claims a finite best on its next
+  improvement;
+* **velocity explosion** — any component beyond ``velocity_factor`` domain
+  widths is clamped back to that limit (sign-preserving);
+* **poisoned global best** — recomputed from the repaired personal bests.
+
+The guard is **off by default** and consumes RNG draws *only when it
+intervenes*: a guarded run of a healthy swarm is bit-identical to an
+unguarded one, which is what keeps the pinned golden trajectories valid.
+Every intervention is recorded as a :class:`GuardEvent` for the run report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GuardEvent", "SwarmHealthGuard"]
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One intervention by the guard."""
+
+    iteration: int
+    kind: str  # "reseed" | "clamp" | "pbest_reset" | "gbest_recompute"
+    count: int
+
+    def to_row(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "kind": self.kind,
+            "count": self.count,
+        }
+
+
+class SwarmHealthGuard:
+    """Per-iteration divergence detector and deterministic repairer.
+
+    ``velocity_factor``
+        A velocity component larger than this many domain widths counts as
+        an explosion and is clamped.
+    ``reseed``
+        Re-seed non-finite particles from the run's RNG (``True``) or only
+        zero them at the box centre (``False``).
+    ``check_every``
+        Inspect every *k*-th iteration (1 = every iteration).
+    """
+
+    def __init__(
+        self,
+        *,
+        velocity_factor: float = 8.0,
+        reseed: bool = True,
+        check_every: int = 1,
+    ) -> None:
+        if not np.isfinite(velocity_factor) or velocity_factor <= 0:
+            raise ConfigurationError(
+                f"velocity_factor must be finite and > 0, got {velocity_factor!r}"
+            )
+        if check_every < 1:
+            raise ConfigurationError(
+                f"check_every must be >= 1, got {check_every}"
+            )
+        self.velocity_factor = float(velocity_factor)
+        self.reseed = bool(reseed)
+        self.check_every = int(check_every)
+        self.events: list[GuardEvent] = []
+
+    def reset(self) -> None:
+        """Clear the event log before a new run (the engine calls this)."""
+        self.events = []
+
+    @property
+    def interventions(self) -> int:
+        return sum(e.count for e in self.events)
+
+    def to_rows(self) -> list[dict]:
+        return [e.to_row() for e in self.events]
+
+    # -- the check ---------------------------------------------------------
+    def inspect(self, state, problem, rng, *, iteration: int) -> bool:
+        """Detect and repair divergence in *state*; True when it intervened.
+
+        Repairs draw from *rng* — the run's own Philox stream — only when a
+        particle actually needs re-seeding, so a healthy run consumes
+        exactly the same draws as an unguarded one.
+        """
+        if iteration % self.check_every:
+            return False
+
+        intervened = False
+        pos = state.positions
+        vel = state.velocities
+        lo = problem.lower_bounds.astype(pos.dtype)
+        hi = problem.upper_bounds.astype(pos.dtype)
+
+        # (1) Non-finite particles: re-seed position, zero velocity.
+        bad = ~(
+            np.isfinite(pos).all(axis=1) & np.isfinite(vel).all(axis=1)
+        )
+        n_bad = int(bad.sum())
+        if n_bad:
+            if self.reseed:
+                unit = rng.uniform((n_bad, state.dim))
+                fresh = lo + unit.astype(pos.dtype) * (hi - lo)
+            else:
+                fresh = np.broadcast_to(
+                    ((lo + hi) * 0.5), (n_bad, state.dim)
+                ).astype(pos.dtype)
+            pos[bad] = fresh
+            vel[bad] = 0
+            self.events.append(GuardEvent(iteration, "reseed", n_bad))
+            intervened = True
+
+        # (2) Exploding velocities: clamp to +/- factor * domain width.
+        limit = (self.velocity_factor * problem.domain_width).astype(vel.dtype)
+        over = np.abs(vel) > limit
+        n_over = int(over.sum())
+        if n_over:
+            np.clip(vel, -limit, limit, out=vel)
+            self.events.append(GuardEvent(iteration, "clamp", n_over))
+            intervened = True
+
+        # (3) Poisoned personal bests: worst-possible value, current
+        # position — the particle re-claims a finite best next improvement.
+        bad_pb = ~(
+            np.isfinite(state.pbest_values)
+            & np.isfinite(state.pbest_positions).all(axis=1)
+        )
+        n_bad_pb = int(bad_pb.sum())
+        if n_bad_pb:
+            state.pbest_values[bad_pb] = np.inf
+            state.pbest_positions[bad_pb] = pos[bad_pb]
+            self.events.append(GuardEvent(iteration, "pbest_reset", n_bad_pb))
+            intervened = True
+
+        # (4) Poisoned global best: recompute from the repaired pbests.
+        if not np.isfinite(state.gbest_value) and np.isfinite(
+            state.pbest_values
+        ).any():
+            index = int(np.argmin(state.pbest_values))
+            state.gbest_index = index
+            state.gbest_value = float(state.pbest_values[index])
+            state.gbest_position = state.pbest_positions[index].copy()
+            self.events.append(GuardEvent(iteration, "gbest_recompute", 1))
+            intervened = True
+
+        return intervened

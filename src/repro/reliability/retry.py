@@ -34,7 +34,13 @@ from repro.core.parameters import PAPER_DEFAULTS, PSOParams
 from repro.core.problem import Problem
 from repro.core.results import OptimizeResult
 from repro.core.stopping import StopCriterion
-from repro.errors import CheckpointError, GpuSimError, InvalidParameterError
+from repro.errors import (
+    CheckpointError,
+    CircuitOpenError,
+    GpuSimError,
+    InvalidParameterError,
+    ReproError,
+)
 from repro.gpusim.clock import SimClock
 from repro.reliability.checkpoint import CheckpointManager
 from repro.reliability.faults import FaultInjector
@@ -87,6 +93,11 @@ class RecoveryReport:
     fell_back_to_cpu: bool = False
     #: Dedicated clock holding the ``lost_work``/``retry_backoff`` sections.
     recovery_clock: SimClock = field(repr=False, default_factory=SimClock)
+    #: Structured ``ReproError.to_row()`` rows, one per failed attempt.
+    error_rows: tuple = ()
+    #: Simulated device the final attempt ran on (``None`` on CPU fallback
+    #: or when no circuit-breaker fleet was supplied).
+    device_index: int | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -135,6 +146,12 @@ def run_with_recovery(
     policy: RetryPolicy | None = None,
     injector: FaultInjector | None = None,
     checkpoint: CheckpointManager | None = None,
+    budget=None,
+    guard=None,
+    health=None,
+    job_label: str | None = None,
+    preferred_device: int | None = None,
+    base_now: float = 0.0,
 ) -> RecoveryReport:
     """Run one optimization under *policy*, retrying transient failures.
 
@@ -147,6 +164,19 @@ def run_with_recovery(
     faults only ever lose work since the last checkpoint.  The *injector*
     (if any) is re-attached to each fresh engine; its fault ordinals count
     across attempts, so one-shot faults don't re-fire on the retried run.
+
+    ``budget``/``guard`` pass straight through to ``engine.optimize`` —
+    a budgeted attempt that expires returns a normal result with a
+    ``status`` instead of raising, so it never burns a retry.
+
+    ``health`` (a :class:`~repro.reliability.breaker.FleetHealth`) places
+    each attempt on a device whose circuit breaker admits work: failures
+    feed the breaker, so a device that keeps failing trips open and stops
+    receiving attempts; when *every* breaker is open the run degrades
+    straight to the CPU fallback (or fails with
+    :class:`~repro.errors.CircuitOpenError` if there is none).  Breaker
+    time is ``base_now`` plus this job's simulated recovery overhead, so
+    trip/cool-down ordinals are deterministic for a fixed workload.
     """
     # Local import: repro.engines -> core.engine would otherwise complete a
     # cycle through this module when the package initialises.
@@ -157,10 +187,18 @@ def run_with_recovery(
     recovery_clock = SimClock()
     engines: list = []
     errors: list[str] = []
+    error_rows: list[dict] = []
     fell_back = False
+    device: int | None = None
+
+    def _annotate(exc, attempt):
+        if isinstance(exc, ReproError):
+            exc.with_context(job=job_label, device=device, attempt=attempt)
+            error_rows.append(exc.to_row())
 
     for attempt in range(1, policy.max_attempts + 1):
         name, opts = engine_name, options
+        on_cpu = False
         if (
             attempt == policy.max_attempts
             and attempt > 1
@@ -169,7 +207,32 @@ def run_with_recovery(
         ):
             # Last chance: degrade to the CPU substrate, which the injected
             # GPU faults cannot touch.  Bit-identical numerics by contract.
-            name, opts, fell_back = policy.cpu_fallback, {}, True
+            name, opts, fell_back, on_cpu = policy.cpu_fallback, {}, True, True
+
+        device = None
+        if health is not None and not on_cpu:
+            device = health.pick_device(
+                now=base_now + recovery_clock.now, preferred=preferred_device
+            )
+            if device is None:
+                # Every breaker is open: no healthy device to place this
+                # attempt on.  Degrade to the CPU substrate if the policy
+                # allows it, otherwise record the refusal and give up.
+                if policy.cpu_fallback and policy.cpu_fallback != engine_name:
+                    name, opts, fell_back, on_cpu = (
+                        policy.cpu_fallback,
+                        {},
+                        True,
+                        True,
+                    )
+                else:
+                    exc = CircuitOpenError(
+                        f"all {health.n_devices} device breaker(s) open; "
+                        "no CPU fallback configured"
+                    )
+                    _annotate(exc, attempt)
+                    errors.append(f"attempt {attempt}: {exc}")
+                    break
 
         engine = make_engine(name, **opts)
         engines.append(engine)
@@ -188,6 +251,8 @@ def run_with_recovery(
                     record_history=record_history,
                     checkpoint=checkpoint,
                     restore=restore,
+                    budget=budget,
+                    guard=guard,
                 )
             except CheckpointError:
                 if restore is None:
@@ -208,6 +273,13 @@ def run_with_recovery(
                     stop=stop,
                     record_history=record_history,
                     checkpoint=checkpoint,
+                    budget=budget,
+                    guard=guard,
+                )
+            if health is not None and device is not None:
+                health.record_success(
+                    device,
+                    now=base_now + recovery_clock.now + engine.clock.now,
                 )
             return RecoveryReport(
                 result=result,
@@ -216,8 +288,11 @@ def run_with_recovery(
                 errors=tuple(errors),
                 fell_back_to_cpu=fell_back,
                 recovery_clock=recovery_clock,
+                error_rows=tuple(error_rows),
+                device_index=None if on_cpu else device,
             )
         except policy.retry_on as exc:
+            _annotate(exc, attempt)
             errors.append(f"attempt {attempt} [{engine.name}]: {exc}")
             # Work since the newest checkpoint dies with this device.
             latest = (
@@ -228,15 +303,21 @@ def run_with_recovery(
             )
             with recovery_clock.section("lost_work"):
                 recovery_clock.advance(max(0.0, engine.clock.now - banked))
+            if health is not None and device is not None:
+                health.record_failure(
+                    device, now=base_now + recovery_clock.now
+                )
             if attempt < policy.max_attempts:
                 with recovery_clock.section("retry_backoff"):
                     recovery_clock.advance(policy.backoff_for(attempt - 1))
 
     return RecoveryReport(
         result=None,
-        attempts=policy.max_attempts,
+        attempts=attempt,
         engines=tuple(engines),
         errors=tuple(errors),
         fell_back_to_cpu=fell_back,
         recovery_clock=recovery_clock,
+        error_rows=tuple(error_rows),
+        device_index=None,
     )

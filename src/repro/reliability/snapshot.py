@@ -184,6 +184,12 @@ class RunSnapshot:
     stop_state: dict | None
     swarm: SwarmState
     history_state: dict | None
+    #: Budget the run was given (``Budget.to_spec()``), or ``None``.  The
+    #: state carries wall-clock seconds already consumed so a resumed run
+    #: honours the *remaining* deadline.  Optional with defaults so
+    #: snapshots written before budgets existed still load.
+    budget_spec: dict | None = None
+    budget_state: dict | None = None
 
     # -- serialization ------------------------------------------------------
     def to_payload(self) -> dict:
@@ -211,6 +217,8 @@ class RunSnapshot:
             "stop_state": self.stop_state,
             "swarm": swarm,
             "history": self.history_state,
+            "budget_spec": self.budget_spec,
+            "budget_state": self.budget_state,
         }
 
     @classmethod
@@ -248,6 +256,8 @@ class RunSnapshot:
                 stop_state=payload["stop_state"],
                 swarm=swarm,
                 history_state=payload["history"],
+                budget_spec=payload.get("budget_spec"),
+                budget_state=payload.get("budget_state"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed snapshot payload: {exc}") from exc
@@ -269,6 +279,14 @@ class RunSnapshot:
     def make_problem(self) -> Problem:
         """Rebuild the benchmark problem the snapshot refers to."""
         return Problem.from_benchmark(self.problem, self.dim)
+
+    def make_budget(self):
+        """The :class:`~repro.core.budget.Budget` of the checkpointed run."""
+        if self.budget_spec is None:
+            return None
+        from repro.core.budget import Budget
+
+        return Budget.from_spec(self.budget_spec)
 
     # -- restore-side checks --------------------------------------------------
     def validate_for(
@@ -378,6 +396,8 @@ def capture_run(
     stop: StopCriterion | None,
     state: SwarmState,
     history,
+    budget=None,
+    budget_tracker=None,
 ) -> RunSnapshot:
     """Snapshot a live run (called by ``Engine.optimize`` between iterations).
 
@@ -416,5 +436,9 @@ def capture_run(
             }
             if history is not None
             else None
+        ),
+        budget_spec=budget.to_spec() if budget is not None else None,
+        budget_state=(
+            budget_tracker.state_dict() if budget_tracker is not None else None
         ),
     )

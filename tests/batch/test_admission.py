@@ -1,0 +1,190 @@
+"""Admission control: priority order, queue bounds, the degradation ladder.
+
+Every decision is pure arithmetic over the job list — no clocks, no
+randomness — so the same workload must reproduce byte-identical decisions,
+and a shed job must surface as a terminal outcome, never an exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import (
+    ADMISSION_MODES,
+    AdmissionPolicy,
+    BatchScheduler,
+    Job,
+    estimate_job_bytes,
+)
+from repro.errors import AdmissionError, ConfigurationError
+
+MB = 1024 * 1024
+
+
+def _jobs(priorities):
+    return [
+        Job("sphere", dim=8, n_particles=64, max_iter=5, seed=i,
+            name=f"j{i}", priority=p)
+        for i, p in enumerate(priorities)
+    ]
+
+
+class TestPolicyValidation:
+    def test_modes_pinned(self):
+        assert ADMISSION_MODES == ("degrade", "strict")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(mode="yolo")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(memory_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(min_particles=0)
+
+
+class TestEstimate:
+    def test_scales_with_swarm_and_dim(self):
+        small = Job("sphere", dim=8, n_particles=64)
+        big = Job("sphere", dim=8, n_particles=128)
+        assert estimate_job_bytes(big) > estimate_job_bytes(small)
+
+    def test_fp16_storage_halves_the_arrays(self):
+        fp32 = Job("sphere", dim=32, n_particles=1024)
+        fp16 = fp32.with_overrides(engine_options={"half_storage": True})
+        alias = fp32.with_overrides(engine="fastpso-fp16")
+        assert estimate_job_bytes(fp16) < estimate_job_bytes(fp32)
+        assert estimate_job_bytes(alias) == estimate_job_bytes(fp16)
+
+
+class TestQueueBound:
+    def test_lowest_priority_overflow_is_shed(self):
+        jobs = _jobs([0, 2, 1, 2, 0])
+        plan = AdmissionPolicy(max_queue=3).plan(
+            jobs, streams_per_device=2, device_mem_bytes=16 * 1024 * MB
+        )
+        # Priority order: j1, j3 (prio 2), j2 (prio 1), then j0, j4 (prio 0).
+        actions = [d.action for d in plan]
+        assert actions == ["shed", "admit", "admit", "admit", "shed"]
+        assert all("queue bound 3" in d.reason for d in plan if
+                   d.action == "shed")
+        # Decisions come back in submission order regardless of priority.
+        assert [d.submit_order for d in plan] == [0, 1, 2, 3, 4]
+
+    def test_submission_order_breaks_priority_ties(self):
+        jobs = _jobs([1, 1, 1])
+        plan = AdmissionPolicy(max_queue=2).plan(
+            jobs, streams_per_device=1, device_mem_bytes=16 * 1024 * MB
+        )
+        assert [d.action for d in plan] == ["admit", "admit", "shed"]
+
+    def test_plan_is_deterministic(self):
+        jobs = _jobs([0, 2, 1, 2, 0, 1, 0])
+        policy = AdmissionPolicy(max_queue=4, memory_limit_bytes=64 * MB)
+        a = [d.to_row() for d in policy.plan(
+            jobs, streams_per_device=2, device_mem_bytes=16 * 1024 * MB)]
+        b = [d.to_row() for d in policy.plan(
+            jobs, streams_per_device=2, device_mem_bytes=16 * 1024 * MB)]
+        assert a == b
+
+
+class TestMemoryLadder:
+    def test_oversized_swarm_is_halved_until_it_fits(self):
+        job = Job("sphere", dim=64, n_particles=4096, name="fat")
+        limit = 2 * estimate_job_bytes(
+            job.with_overrides(n_particles=1024)
+        )
+        plan = AdmissionPolicy(memory_limit_bytes=limit).plan(
+            [job], streams_per_device=2, device_mem_bytes=16 * 1024 * MB
+        )
+        (decision,) = plan
+        assert decision.action == "degrade"
+        assert decision.job.n_particles == 1024
+        assert "n_particles->1024" in decision.reason
+
+    def test_fp16_is_the_last_rung_for_fastpso(self):
+        job = Job("sphere", dim=64, n_particles=4096, name="fat")
+        floor = job.with_overrides(n_particles=32)
+        limit = int(
+            2 * estimate_job_bytes(floor) * 0.75
+        )  # fits only at half itemsize
+        plan = AdmissionPolicy(memory_limit_bytes=limit).plan(
+            [job], streams_per_device=2, device_mem_bytes=16 * 1024 * MB
+        )
+        (decision,) = plan
+        assert decision.action == "degrade"
+        assert decision.job.engine_options["half_storage"] is True
+        assert "half_storage" in decision.reason
+
+    def test_impossible_job_is_shed_with_the_reason(self):
+        job = Job("sphere", dim=64, n_particles=4096, name="fat")
+        plan = AdmissionPolicy(memory_limit_bytes=1024).plan(
+            [job], streams_per_device=4, device_mem_bytes=16 * 1024 * MB
+        )
+        (decision,) = plan
+        assert decision.action == "shed"
+        assert decision.job is None
+        assert "even fully degraded" in decision.reason
+
+    def test_strict_mode_raises_with_job_context(self):
+        job = Job("sphere", dim=64, n_particles=4096, name="fat")
+        with pytest.raises(AdmissionError) as exc_info:
+            AdmissionPolicy(mode="strict", memory_limit_bytes=1024).plan(
+                [job], streams_per_device=4,
+                device_mem_bytes=16 * 1024 * MB,
+            )
+        assert exc_info.value.to_row()["job"] == "fat"
+
+
+class TestSchedulerIntegration:
+    def test_shed_jobs_become_terminal_outcomes(self):
+        jobs = _jobs([0, 2, 1])
+        batch = BatchScheduler(max_queue=2).run(jobs)
+        by_label = {o.job.label: o for o in batch.outcomes}
+        assert by_label["j0"].status == "shed"
+        assert by_label["j0"].result is None
+        assert by_label["j0"].device_index == -1
+        assert "queue bound" in by_label["j0"].admission_reason
+        assert by_label["j1"].status == "completed"
+        assert batch.n_shed == 1
+        assert not batch.all_succeeded
+        assert len(batch.admission_rows) == 3
+
+    def test_degraded_jobs_run_reduced_and_keep_results(self):
+        job = Job("sphere", dim=16, n_particles=512, max_iter=5, seed=3,
+                  name="fat")
+        limit = 2 * estimate_job_bytes(
+            job.with_overrides(n_particles=128)
+        )
+        batch = BatchScheduler(
+            streams_per_device=2, memory_limit_bytes=limit
+        ).run([job])
+        (outcome,) = batch.outcomes
+        assert outcome.status == "degraded"
+        assert outcome.result is not None
+        assert outcome.result.n_particles == 128
+        assert outcome.succeeded  # degraded still counts as usable
+        assert batch.n_degraded == 1
+        assert batch.all_succeeded
+
+    def test_strict_admission_is_contained_by_run(self):
+        # Strict mode raises at planning time, before any job executes —
+        # but through run() with overload enabled it must never escape.
+        job = Job("sphere", dim=64, n_particles=4096, name="fat")
+        scheduler = BatchScheduler(
+            admission=AdmissionPolicy(mode="strict", memory_limit_bytes=1024),
+            streams_per_device=4,
+        )
+        with pytest.raises(AdmissionError):
+            scheduler.run([job])
+
+    def test_policy_object_refuses_duplicate_shorthand(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            BatchScheduler(
+                admission=AdmissionPolicy(max_queue=2), max_queue=3
+            )

@@ -1,0 +1,125 @@
+"""The overload drill: everything on at once, deterministically.
+
+32 jobs on a 2-device fleet with injected faults, a simulated-time budget,
+a bounded priority queue, and circuit breakers.  The acceptance contract:
+``run()`` raises nothing, every job lands in a terminal status, expired
+jobs keep a finite best-so-far, and the full decision record — admission,
+breaker events, per-job statuses — is byte-identical across reruns of the
+same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.batch import BatchScheduler, mixed_workload
+from repro.batch.__main__ import main
+from repro.core.budget import Budget
+from repro.core.results import RUN_STATUSES
+from repro.reliability import FaultPlan
+
+
+def _drill_batch(seed=77):
+    jobs = mixed_workload(32, base_seed=seed)
+    scheduler = BatchScheduler(
+        n_devices=2,
+        streams_per_device=2,
+        faults=FaultPlan.drill(32, seed=seed),
+        budget=Budget(sim_seconds=0.005),
+        max_queue=24,
+        priority=True,
+        breaker=True,
+    )
+    return scheduler.run(jobs)
+
+
+class TestDrill:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        # run() must never raise under the drill — a raise fails the suite.
+        return _drill_batch()
+
+    def test_every_job_reaches_a_terminal_status(self, batch):
+        assert len(batch.outcomes) == 32
+        for outcome in batch.outcomes:
+            assert outcome.status in RUN_STATUSES
+
+    def test_overload_machinery_actually_engaged(self, batch):
+        statuses = {o.status for o in batch.outcomes}
+        assert batch.n_shed > 0  # queue bound 24 < 32 must shed
+        assert "shed" in statuses
+        assert batch.n_expired > 0  # the sim budget must trip some jobs
+        assert len(batch.admission_rows) == 32
+
+    def test_expired_jobs_keep_a_finite_best_so_far(self, batch):
+        expired = [
+            o for o in batch.outcomes
+            if o.status in ("deadline_exceeded", "budget_exhausted")
+        ]
+        assert expired
+        for outcome in expired:
+            assert outcome.result is not None
+            assert math.isfinite(outcome.result.best_value)
+
+    def test_shed_jobs_hold_no_lane(self, batch):
+        for outcome in batch.outcomes:
+            if outcome.status == "shed":
+                assert outcome.result is None
+                assert outcome.device_index == -1
+                assert outcome.attempts == 0
+                assert outcome.admission_reason
+
+    def test_report_renders(self, batch):
+        text = batch.summary()
+        assert "overload:" in text
+        assert batch.failure_table()  # shed jobs populate it
+
+    def test_decisions_are_byte_identical_across_reruns(self, batch):
+        rerun = _drill_batch()
+        a = json.dumps(batch.to_dict(), sort_keys=True)
+        b = json.dumps(rerun.to_dict(), sort_keys=True)
+        assert a == b
+
+
+class TestDrillCli:
+    DRILL = [
+        "--jobs", "32", "--devices", "2", "--streams", "2",
+        "--faults", "drill", "--retry", "2",
+        "--budget-sim-seconds", "0.005", "--max-queue", "24",
+        "--priority", "--breaker", "--seed", "909",
+    ]
+
+    def test_exit_code_and_failures_json(self, tmp_path, capsys):
+        out = tmp_path / "failures.json"
+        code = main(self.DRILL + ["--failures-json", str(out)])
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        # Shed jobs guarantee a nonzero exit; 1 only if something failed.
+        assert code == (1 if payload["n_failed"] else 2)
+        assert payload["n_shed"] > 0
+        assert payload["admission"]
+        recorded = {j["status"] for j in payload["jobs"]}
+        assert recorded and recorded <= set(RUN_STATUSES) - {"completed"}
+
+    def test_queue_bound_alone_exits_2(self, tmp_path, capsys):
+        code = main([
+            "--jobs", "6", "--devices", "2", "--max-queue", "4",
+            "--seed", "11",
+        ])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_clean_run_exits_0(self, capsys):
+        code = main(["--jobs", "4", "--devices", "2", "--seed", "5"])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_failures_json_identical_across_reruns(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(self.DRILL + ["--failures-json", str(a)])
+        main(self.DRILL + ["--failures-json", str(b)])
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()

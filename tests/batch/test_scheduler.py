@@ -219,7 +219,7 @@ class TestEndToEnd:
         text = batch.summary()
         assert "makespan" in text and "speedup" in text
         payload = batch.to_dict()
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert len(payload["jobs"]) == 5
         assert payload["speedup"] == pytest.approx(batch.speedup)
 

@@ -1,0 +1,307 @@
+"""Budgets & deadlines: validation, merging, enforcement, composition.
+
+The overload contract: a budgeted run that expires returns a *normal*
+result carrying its best-so-far answer and a terminal ``status`` naming
+the axis that tripped — never an exception — and budgets compose with
+checkpoint/resume (the snapshot carries the budget spec and the wall
+seconds already consumed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.budget import Budget, BudgetTracker
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.problem import Problem
+from repro.core.results import RUN_STATUSES
+from repro.engines import make_engine
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    InvalidProblemError,
+)
+from repro.gpusim.clock import SimClock
+
+
+@pytest.fixture
+def sphere8():
+    return Problem.from_benchmark("sphere", 8)
+
+
+@pytest.fixture
+def params():
+    return replace(PAPER_DEFAULTS, seed=7)
+
+
+class TestBudgetValidation:
+    @pytest.mark.parametrize("axis", [
+        "sim_seconds", "wall_seconds", "iterations", "evaluations",
+    ])
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf"), True])
+    def test_rejects_non_positive_and_non_finite(self, axis, bad):
+        with pytest.raises(ConfigurationError):
+            Budget(**{axis: bad})
+
+    def test_rejects_fractional_counts(self):
+        with pytest.raises(ConfigurationError):
+            Budget(iterations=2.5)
+        with pytest.raises(ConfigurationError):
+            Budget(evaluations=10.1)
+
+    def test_unlimited_detection(self):
+        assert Budget().is_unlimited
+        assert not Budget(iterations=1).is_unlimited
+
+    def test_configuration_error_is_friendly_and_structured(self):
+        with pytest.raises(ConfigurationError) as exc_info:
+            Budget(sim_seconds=-3)
+        err = exc_info.value
+        assert "sim_seconds" in str(err)
+        row = err.to_row()
+        assert row["error"] == "ConfigurationError"
+        assert row["job"] is None
+
+
+class TestProblemValidationIsConfiguration:
+    """Satellite: invalid problems are rejected at construction with a
+    ConfigurationError subclass, never deep inside a kernel."""
+
+    def test_nan_bounds_rejected(self):
+        base = Problem.from_benchmark("sphere", 2)
+        with pytest.raises(InvalidProblemError):
+            Problem(
+                name="bad",
+                dim=2,
+                lower_bounds=np.array([0.0, float("nan")]),
+                upper_bounds=np.array([1.0, 1.0]),
+                evaluator=base.evaluator,
+            )
+
+    def test_inf_bounds_rejected(self):
+        base = Problem.from_benchmark("sphere", 2)
+        with pytest.raises(InvalidProblemError):
+            Problem(
+                name="bad",
+                dim=2,
+                lower_bounds=np.array([0.0, 0.0]),
+                upper_bounds=np.array([1.0, float("inf")]),
+                evaluator=base.evaluator,
+            )
+
+    def test_problem_errors_are_configuration_errors(self):
+        assert issubclass(InvalidProblemError, ConfigurationError)
+
+
+class TestBudgetMerge:
+    def test_tightest_wins_per_axis(self):
+        a = Budget(sim_seconds=5.0, iterations=100)
+        b = Budget(sim_seconds=2.0, evaluations=1000)
+        m = a.merged(b)
+        assert m.sim_seconds == 2.0
+        assert m.iterations == 100
+        assert m.evaluations == 1000
+        assert m.wall_seconds is None
+
+    def test_merge_with_none_is_identity(self):
+        a = Budget(wall_seconds=1.5)
+        assert a.merged(None) == a
+
+    def test_spec_round_trip(self):
+        a = Budget(sim_seconds=0.25, iterations=7)
+        assert Budget.from_spec(a.to_spec()) == a
+        assert Budget.from_spec(Budget().to_spec()).is_unlimited
+
+
+class TestTrackerAxes:
+    def test_iteration_axis(self):
+        tracker = Budget(iterations=5).start()
+        assert not tracker.should_stop(3, 1.0)
+        assert tracker.should_stop(4, 1.0)
+        assert tracker.breach == "budget_exhausted"
+        assert "iteration" in tracker.reason
+
+    def test_evaluation_axis(self):
+        tracker = Budget(evaluations=256).start(n_particles=64)
+        # 64 * (t + 2) >= 256  =>  t >= 2
+        assert not tracker.should_stop(1, 1.0)
+        assert tracker.should_stop(2, 1.0)
+        assert tracker.breach == "budget_exhausted"
+
+    def test_sim_axis_is_deadline(self):
+        clock = SimClock()
+        tracker = Budget(sim_seconds=1.0).start(clock=clock)
+        assert not tracker.should_stop(0, 1.0)
+        clock.advance(2.0)
+        assert tracker.should_stop(1, 1.0)
+        assert tracker.breach == "deadline_exceeded"
+
+    def test_wall_axis_counts_prior_segments(self):
+        tracker = Budget(wall_seconds=1e9).start(wall_used=0.0)
+        state = tracker.state_dict()
+        assert state["wall_used"] >= 0.0
+        fresh = Budget(wall_seconds=1e9).start()
+        fresh.load_state({"wall_used": 123.0})
+        assert fresh.wall_elapsed >= 123.0
+
+    def test_fixed_check_order(self):
+        # Both the iteration and sim axes are expired: iterations wins.
+        clock = SimClock()
+        clock.advance(10.0)
+        tracker = BudgetTracker(
+            Budget(iterations=1, sim_seconds=1.0), clock=clock
+        )
+        clock.advance(5.0)
+        assert tracker.should_stop(5, 1.0)
+        assert tracker.breach == "budget_exhausted"
+
+
+class TestEngineEnforcement:
+    def test_iteration_budget_stops_with_best_so_far(self, sphere8, params):
+        result = make_engine("fastpso").optimize(
+            sphere8, n_particles=64, max_iter=50, params=params,
+            budget=Budget(iterations=5),
+        )
+        assert result.status == "budget_exhausted"
+        assert result.iterations == 5
+        assert math.isfinite(result.best_value)
+        assert result.status in RUN_STATUSES
+
+    def test_sim_deadline_stops_with_best_so_far(self, sphere8, params):
+        result = make_engine("fastpso").optimize(
+            sphere8, n_particles=64, max_iter=200, params=params,
+            budget=Budget(sim_seconds=1e-4),
+        )
+        assert result.status == "deadline_exceeded"
+        assert 0 < result.iterations < 200
+        assert math.isfinite(result.best_value)
+
+    def test_budget_on_final_iteration_is_completed(self, sphere8, params):
+        result = make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=5, params=params,
+            budget=Budget(iterations=5),
+        )
+        assert result.status == "completed"
+        assert result.iterations == 5
+
+    def test_unbudgeted_and_unlimited_runs_complete(self, sphere8, params):
+        engine = make_engine("fastpso")
+        plain = engine.optimize(
+            sphere8, n_particles=32, max_iter=10, params=params,
+        )
+        unlimited = make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=10, params=params,
+            budget=Budget(),
+        )
+        assert plain.status == "completed"
+        assert unlimited.status == "completed"
+        assert plain.best_value == unlimited.best_value
+
+    def test_generous_budget_does_not_perturb(self, sphere8, params):
+        golden = make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=10, params=params,
+            record_history=True,
+        )
+        budgeted = make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=10, params=params,
+            record_history=True, budget=Budget(sim_seconds=1e9),
+        )
+        assert budgeted.status == "completed"
+        assert budgeted.best_value == golden.best_value
+        assert np.array_equal(budgeted.best_position, golden.best_position)
+        assert list(budgeted.history.gbest_values) == list(
+            golden.history.gbest_values
+        )
+
+    def test_multi_gpu_budget(self, sphere8, params):
+        result = make_engine("mgpu", n_devices=2).optimize(
+            sphere8, n_particles=64, max_iter=50, params=params,
+            budget=Budget(iterations=4),
+        )
+        assert result.status == "budget_exhausted"
+        assert result.iterations == 4
+        assert math.isfinite(result.best_value)
+
+    def test_status_survives_json_round_trip(self, sphere8, params, tmp_path):
+        from repro.io import load_result_json, save_result_json
+
+        result = make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=50, params=params,
+            budget=Budget(iterations=3),
+        )
+        path = save_result_json(result, tmp_path / "r.json")
+        loaded = load_result_json(path)
+        assert loaded.status == "budget_exhausted"
+        assert f"[{result.status}]" in result.summary()
+
+
+class TestBudgetResumeComposition:
+    """Tentpole acceptance: budget + checkpoint/resume, bit-identical."""
+
+    def _crash_after(self, k):
+        def callback(t, state):
+            return t + 1 == k
+
+        return callback
+
+    def test_resume_honours_budget_and_is_bit_identical(
+        self, sphere8, params, tmp_path
+    ):
+        from repro.reliability import CheckpointManager, resume
+
+        budget = Budget(sim_seconds=1e9)  # never trips, must not perturb
+        golden = make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=16, params=params,
+            record_history=True,
+        )
+        manager = CheckpointManager(tmp_path, every=1, keep=16)
+        make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=16, params=params,
+            record_history=True, callback=self._crash_after(8),
+            checkpoint=manager, budget=budget,
+        )
+        resumed = resume(manager.latest_path())
+        assert resumed.status == "completed"
+        assert resumed.best_value == golden.best_value
+        assert np.array_equal(resumed.best_position, golden.best_position)
+        assert resumed.elapsed_seconds == golden.elapsed_seconds
+        assert list(resumed.history.gbest_values) == list(
+            golden.history.gbest_values
+        )
+
+    def test_resumed_run_still_hits_its_budget(
+        self, sphere8, params, tmp_path
+    ):
+        from repro.reliability import CheckpointManager, resume
+
+        budget = Budget(iterations=12)
+        manager = CheckpointManager(tmp_path, every=1, keep=20)
+        make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=50, params=params,
+            callback=self._crash_after(6), checkpoint=manager, budget=budget,
+        )
+        resumed = resume(manager.latest_path())
+        assert resumed.status == "budget_exhausted"
+        assert resumed.iterations == 12
+
+    def test_budget_mismatch_on_restore_is_rejected(
+        self, sphere8, params, tmp_path
+    ):
+        from repro.reliability import CheckpointManager, read_snapshot
+
+        manager = CheckpointManager(tmp_path, every=1, keep=20)
+        make_engine("fastpso").optimize(
+            sphere8, n_particles=32, max_iter=16, params=params,
+            callback=self._crash_after(6), checkpoint=manager,
+            budget=Budget(iterations=12),
+        )
+        snapshot = read_snapshot(manager.latest_path())
+        with pytest.raises(CheckpointError):
+            make_engine("fastpso").optimize(
+                sphere8, n_particles=32, max_iter=16, params=params,
+                restore=snapshot, budget=Budget(iterations=99),
+            )

@@ -1,0 +1,191 @@
+"""Circuit breakers: state machine, fleet placement, determinism.
+
+All transitions are driven by *simulated* time passed in by the caller, so
+a drill with a fixed seed reproduces the exact same trip/close event log —
+the property the overload drill pins batch-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.problem import Problem
+from repro.errors import ConfigurationError
+from repro.reliability import BreakerPolicy, CircuitBreaker, FleetHealth
+from repro.reliability.faults import FaultPlan, FaultSpec
+from repro.reliability.retry import RetryPolicy, run_with_recovery
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(failure_threshold=0)
+
+    def test_rejects_bad_cooldown(self):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(cooldown_seconds=0)
+
+
+class TestStateMachine:
+    @pytest.fixture
+    def breaker(self):
+        return CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, cooldown_seconds=10.0)
+        )
+
+    def test_trips_after_threshold_consecutive_failures(self, breaker):
+        assert breaker.allows(0.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.state == "closed"
+        assert breaker.record_failure(2.0)  # second failure trips it
+        assert breaker.state == "open"
+        assert not breaker.allows(5.0)  # still cooling down
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        assert not breaker.record_failure(3.0)  # count restarted
+        assert breaker.state == "closed"
+
+    def test_cooldown_elapses_into_half_open(self, breaker):
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert not breaker.allows(11.9)
+        assert breaker.allows(12.0)  # 10s cooldown since trip at t=2
+        assert breaker.state == "half_open"
+
+    def test_probe_success_closes(self, breaker):
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        breaker.allows(20.0)
+        assert breaker.record_success(20.5)  # closing transition reported
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, breaker):
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        breaker.allows(20.0)
+        assert breaker.record_failure(20.5)
+        assert breaker.state == "open"
+        assert not breaker.allows(25.0)
+        assert breaker.allows(30.5)  # cooldown restarted at 20.5
+
+
+class TestFleetHealth:
+    def test_prefers_the_requested_device(self):
+        fleet = FleetHealth(3)
+        assert fleet.pick_device(now=0.0, preferred=2) == 2
+        assert fleet.pick_device(now=0.0, preferred=None) == 0
+
+    def test_open_devices_are_skipped(self):
+        fleet = FleetHealth(2, BreakerPolicy(failure_threshold=1))
+        fleet.record_failure(0, now=1.0)
+        assert fleet.open_devices() == (0,)
+        assert fleet.pick_device(now=2.0, preferred=0) == 1
+
+    def test_none_when_every_breaker_is_open(self):
+        fleet = FleetHealth(2, BreakerPolicy(failure_threshold=1))
+        fleet.record_failure(0, now=1.0)
+        fleet.record_failure(1, now=2.0)
+        assert fleet.pick_device(now=3.0) is None
+
+    def test_event_log_is_ordinal_numbered_and_deterministic(self):
+        def drive():
+            fleet = FleetHealth(
+                2, BreakerPolicy(failure_threshold=1, cooldown_seconds=5.0)
+            )
+            fleet.record_failure(0, now=1.0)
+            fleet.record_failure(1, now=2.0)
+            fleet.pick_device(now=8.0)  # device 0 goes half-open
+            fleet.record_success(0, now=8.5)
+            return fleet.to_rows()
+
+        rows = drive()
+        assert rows == drive()
+        assert [r["ordinal"] for r in rows] == [0, 1, 2]
+        assert [r["event"] for r in rows] == ["open", "open", "close"]
+        assert rows[2] == {
+            "ordinal": 2, "device": 0, "event": "close", "sim_seconds": 8.5,
+        }
+
+
+class TestRecoveryIntegration:
+    """run_with_recovery consults the fleet for per-attempt placement."""
+
+    @pytest.fixture
+    def problem(self):
+        return Problem.from_benchmark("sphere", 4)
+
+    @pytest.fixture
+    def params(self):
+        return replace(PAPER_DEFAULTS, seed=21)
+
+    def test_failures_feed_the_breaker_and_work_moves_on(
+        self, problem, params
+    ):
+        # Device loss is sticky per attempt: the injector re-fires it for
+        # every GPU attempt, so only the CPU fallback can finish the run.
+        plan = FaultPlan({
+            0: (
+                FaultSpec(kind="device_lost", after=2),
+                FaultSpec(kind="device_lost", after=3),
+                FaultSpec(kind="device_lost", after=4),
+            )
+        })
+        health = FleetHealth(2, BreakerPolicy(failure_threshold=1))
+        report = run_with_recovery(
+            engine_name="fastpso",
+            problem=problem,
+            n_particles=16,
+            max_iter=8,
+            params=params,
+            policy=RetryPolicy(max_attempts=3, cpu_fallback="fastpso-seq"),
+            injector=plan.injector_for(0, "jobA"),
+            health=health,
+            job_label="jobA",
+            preferred_device=0,
+        )
+        assert report.result is not None
+        assert report.fell_back_to_cpu
+        assert report.device_index is None  # final attempt ran on the CPU
+        assert health.open_devices()  # the failing device tripped
+        assert any(row["event"] == "open" for row in health.to_rows())
+
+    def test_all_breakers_open_without_fallback_fails_closed(
+        self, problem, params
+    ):
+        health = FleetHealth(1, BreakerPolicy(failure_threshold=1))
+        health.record_failure(0, now=0.0)  # pre-tripped fleet
+        report = run_with_recovery(
+            engine_name="fastpso",
+            problem=problem,
+            n_particles=16,
+            max_iter=8,
+            params=params,
+            policy=RetryPolicy(max_attempts=2, cpu_fallback=None),
+            health=health,
+            job_label="jobB",
+        )
+        assert report.result is None
+        assert report.error_rows
+        assert report.error_rows[-1]["error"] == "CircuitOpenError"
+        assert report.error_rows[-1]["job"] == "jobB"
+
+    def test_all_breakers_open_degrades_to_cpu(self, problem, params):
+        health = FleetHealth(1, BreakerPolicy(failure_threshold=1))
+        health.record_failure(0, now=0.0)
+        report = run_with_recovery(
+            engine_name="fastpso",
+            problem=problem,
+            n_particles=16,
+            max_iter=8,
+            params=params,
+            policy=RetryPolicy(max_attempts=2, cpu_fallback="fastpso-seq"),
+            health=health,
+        )
+        assert report.result is not None
+        assert report.fell_back_to_cpu
+        assert report.attempts == 1

@@ -1,0 +1,216 @@
+"""Swarm health guards: deterministic repair, bit-identity when healthy.
+
+Two contracts matter.  A guarded run of a *healthy* swarm must be
+bit-identical to an unguarded one (the guard only consumes RNG draws when
+it intervenes), so the pinned golden trajectories stay valid.  And repairs
+must be a pure function of the run's seed: the same poisoned state repaired
+twice yields byte-identical arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.problem import Problem
+from repro.core.swarm import SwarmState
+from repro.engines import make_engine
+from repro.errors import ConfigurationError
+from repro.gpusim.rng import ParallelRNG
+from repro.reliability import GuardEvent, SwarmHealthGuard
+
+
+@pytest.fixture
+def problem():
+    return Problem.from_benchmark("sphere", 4)
+
+
+def _state(n=6, d=4, dtype=np.float32):
+    rng = np.random.default_rng(3)
+    positions = rng.uniform(-1, 1, (n, d)).astype(dtype)
+    velocities = rng.uniform(-0.5, 0.5, (n, d)).astype(dtype)
+    pbest_positions = positions.copy()
+    pbest_values = rng.uniform(0, 10, n).astype(np.float64)
+    state = SwarmState(
+        positions=positions,
+        velocities=velocities,
+        pbest_values=pbest_values,
+        pbest_positions=pbest_positions,
+        gbest_value=float(pbest_values.min()),
+        gbest_index=int(pbest_values.argmin()),
+        gbest_position=pbest_positions[int(pbest_values.argmin())].copy(),
+    )
+    return state
+
+
+class TestValidation:
+    def test_bad_velocity_factor(self):
+        with pytest.raises(ConfigurationError):
+            SwarmHealthGuard(velocity_factor=0)
+        with pytest.raises(ConfigurationError):
+            SwarmHealthGuard(velocity_factor=float("nan"))
+
+    def test_bad_check_every(self):
+        with pytest.raises(ConfigurationError):
+            SwarmHealthGuard(check_every=0)
+
+
+class TestRepairs:
+    def test_healthy_swarm_untouched_and_no_rng_consumed(self, problem):
+        guard = SwarmHealthGuard()
+        state = _state()
+        rng = ParallelRNG(seed=5)
+        before = rng.position
+        assert not guard.inspect(state, problem, rng, iteration=0)
+        assert rng.position == before
+        assert guard.events == []
+
+    def test_nan_positions_reseeded_inside_box(self, problem):
+        guard = SwarmHealthGuard()
+        state = _state()
+        state.positions[1] = np.nan
+        state.velocities[3, 0] = np.inf
+        rng = ParallelRNG(seed=5)
+        assert guard.inspect(state, problem, rng, iteration=2)
+        assert np.isfinite(state.positions).all()
+        assert np.isfinite(state.velocities).all()
+        # Repaired particles sit inside the search box, velocities zeroed.
+        lo, hi = problem.lower_bounds, problem.upper_bounds
+        assert (state.positions[1] >= lo).all()
+        assert (state.positions[1] <= hi).all()
+        assert (state.velocities[1] == 0).all()
+        assert (state.velocities[3] == 0).all()
+        kinds = [e.kind for e in guard.events]
+        assert "reseed" in kinds
+        assert guard.events[0].iteration == 2
+        assert guard.interventions >= 2
+
+    def test_repair_is_deterministic(self, problem):
+        def poisoned_and_repaired():
+            guard = SwarmHealthGuard()
+            state = _state()
+            state.positions[0] = np.nan
+            state.velocities[2] = np.inf
+            guard.inspect(state, problem, ParallelRNG(seed=11), iteration=0)
+            return state
+
+        a, b = poisoned_and_repaired(), poisoned_and_repaired()
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.velocities, b.velocities)
+
+    def test_reseed_false_uses_box_centre(self, problem):
+        guard = SwarmHealthGuard(reseed=False)
+        state = _state()
+        state.positions[2] = np.nan
+        rng = ParallelRNG(seed=5)
+        before = rng.position
+        guard.inspect(state, problem, rng, iteration=0)
+        assert rng.position == before  # centre repair draws nothing
+        centre = (problem.lower_bounds + problem.upper_bounds) * 0.5
+        assert np.allclose(state.positions[2], centre.astype(np.float32))
+
+    def test_velocity_explosion_clamped(self, problem):
+        guard = SwarmHealthGuard(velocity_factor=2.0)
+        state = _state()
+        state.velocities[4] = 1e6
+        guard.inspect(state, problem, ParallelRNG(seed=5), iteration=0)
+        limit = 2.0 * problem.domain_width
+        assert (np.abs(state.velocities) <= limit.astype(np.float32)).all()
+        assert any(e.kind == "clamp" for e in guard.events)
+
+    def test_poisoned_pbest_and_gbest_recovered(self, problem):
+        guard = SwarmHealthGuard()
+        state = _state()
+        state.pbest_values[1] = np.nan
+        state.gbest_value = float("nan")
+        guard.inspect(state, problem, ParallelRNG(seed=5), iteration=0)
+        assert state.pbest_values[1] == np.inf
+        assert math.isfinite(state.gbest_value)
+        assert state.gbest_value == float(np.nanmin(state.pbest_values))
+        kinds = {e.kind for e in guard.events}
+        assert {"pbest_reset", "gbest_recompute"} <= kinds
+
+    def test_check_every_skips_off_cycle_iterations(self, problem):
+        guard = SwarmHealthGuard(check_every=3)
+        state = _state()
+        state.positions[0] = np.nan
+        assert not guard.inspect(
+            state, problem, ParallelRNG(seed=5), iteration=1
+        )
+        assert guard.inspect(state, problem, ParallelRNG(seed=5), iteration=3)
+
+    def test_event_rows_are_json_safe(self):
+        event = GuardEvent(iteration=4, kind="clamp", count=2)
+        assert event.to_row() == {"iteration": 4, "kind": "clamp", "count": 2}
+
+
+class TestEngineComposition:
+    """Guard wired into the engine loop via ``optimize(guard=...)``."""
+
+    @pytest.fixture
+    def params(self):
+        return replace(PAPER_DEFAULTS, seed=42)
+
+    @pytest.mark.parametrize("engine_name", ["fastpso", "fastpso-seq"])
+    def test_guarded_healthy_run_bit_identical(
+        self, engine_name, problem, params
+    ):
+        golden = make_engine(engine_name).optimize(
+            problem, n_particles=32, max_iter=12, params=params,
+            record_history=True,
+        )
+        guard = SwarmHealthGuard()
+        guarded = make_engine(engine_name).optimize(
+            problem, n_particles=32, max_iter=12, params=params,
+            record_history=True, guard=guard,
+        )
+        assert guard.events == []
+        assert guarded.best_value == golden.best_value
+        assert np.array_equal(guarded.best_position, golden.best_position)
+        assert list(guarded.history.gbest_values) == list(
+            golden.history.gbest_values
+        )
+
+    def test_poisoned_run_recovers_to_finite_best(self, problem, params):
+        guard = SwarmHealthGuard()
+
+        def poison(t, state):
+            # NaN velocities propagate into positions at the next swarm
+            # update; the guard repairs them before the evaluation after
+            # that (the schema rejects NaN fitness loudly, so an
+            # unrepaired swarm would crash the run).
+            if t == 3:
+                state.velocities[:4] = np.nan
+            return False
+
+        result = make_engine("fastpso").optimize(
+            problem, n_particles=32, max_iter=12, params=params,
+            callback=poison, guard=guard,
+        )
+        assert result.status == "completed"
+        assert math.isfinite(result.best_value)
+        assert any(e.kind == "reseed" for e in guard.events)
+
+    def test_guard_reset_between_runs(self, problem, params):
+        guard = SwarmHealthGuard()
+
+        def poison(t, state):
+            # The engine's own velocity clamp bounds finite spikes, so use
+            # NaN, which survives clamping and forces a guard re-seed.
+            if t == 1:
+                state.velocities[0] = np.nan
+            return False
+
+        make_engine("fastpso").optimize(
+            problem, n_particles=16, max_iter=6, params=params,
+            callback=poison, guard=guard,
+        )
+        assert guard.events
+        make_engine("fastpso").optimize(
+            problem, n_particles=16, max_iter=6, params=params, guard=guard,
+        )
+        assert guard.events == []  # engine reset the log for the clean run

@@ -11,8 +11,11 @@ actually resolves.
 import pytest
 
 REPRO_PUBLIC = {
+    "AdmissionPolicy",
     "BatchResult",
     "BatchScheduler",
+    "BreakerPolicy",
+    "Budget",
     "CheckpointManager",
     "ENGINE_NAMES",
     "FastPSO",
@@ -23,9 +26,11 @@ REPRO_PUBLIC = {
     "PAPER_DEFAULTS",
     "PSOParams",
     "Problem",
+    "RUN_STATUSES",
     "RecoveryReport",
     "ReproError",
     "RetryPolicy",
+    "SwarmHealthGuard",
     "__version__",
     "available_engines",
     "available_functions",
@@ -36,15 +41,20 @@ REPRO_PUBLIC = {
 }
 
 RELIABILITY_PUBLIC = {
+    "BreakerPolicy",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointManager",
+    "CircuitBreaker",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FleetHealth",
+    "GuardEvent",
     "RecoveryReport",
     "RetryPolicy",
     "RunSnapshot",
+    "SwarmHealthGuard",
     "capture_run",
     "read_snapshot",
     "resume",
@@ -72,12 +82,16 @@ ENGINES_PUBLIC = {
 }
 
 BATCH_PUBLIC = {
+    "ADMISSION_MODES",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "BatchResult",
     "BatchScheduler",
     "Job",
     "JobOutcome",
     "POLICIES",
     "WORKLOAD_PROBLEMS",
+    "estimate_job_bytes",
     "mixed_workload",
 }
 
