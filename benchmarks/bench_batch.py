@@ -2,23 +2,31 @@
 
 Runs the standard 32-job mixed workload (``repro.batch.mixed_workload`` —
 eight benchmark functions across GPU engines, dims 8–64, swarms 128–1024)
-through :class:`repro.batch.BatchScheduler` under both packing policies and
-reports the *simulated* makespan against the sum of solo runtimes.  The
-acceptance bar from the issue is a ≥1.5x improvement on the default
-4-streams-per-device fleet; the benchmark asserts it so a scheduling
-regression fails loudly instead of quietly shipping a worse number.
+through :class:`repro.batch.BatchScheduler` under every packing policy
+(``fifo``, ``packed`` and the fused multi-swarm path, ISSUE 6) and reports
+the *simulated* makespan against the sum of solo runtimes.  The acceptance
+bar from ISSUE 2 is a ≥1.5x improvement on the default 4-streams-per-device
+fleet; the benchmark asserts it so a scheduling regression fails loudly
+instead of quietly shipping a worse number.
+
+Host wall clock is recorded per policy too: the fused path's whole point is
+collapsing ``m`` Python engine loops into one stacked loop, so
+``host_wall_seconds`` (and the ``host_wall_delta`` summary) is the tentpole
+metric for ISSUE 6 alongside the makespan.
 
 Determinism is checked in the same pass: every job's batch result must be
 bit-identical (best value, best position, solo runtime) to a fresh solo run
-of the same spec — the batch layer's core contract.
+of the same spec — the batch layer's core contract.  ``--check-parity``
+deepens the check to the full serialized result payload
+(``repro.io.result_to_dict``), which is what the golden tests pin.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_batch.py [--jobs 32] [--out BENCH_batch.json]
+    PYTHONPATH=src python benchmarks/bench_batch.py [--jobs 32] [--check-parity] [--out BENCH_batch.json]
 
 The committed ``BENCH_batch.json`` pins the makespan trajectory; CI runs a
-smoke version (fewer jobs) to keep the signal alive without slowing the
-suite.
+smoke version (fewer jobs, ``--check-parity``) to keep the signal alive
+without slowing the suite.
 """
 
 from __future__ import annotations
@@ -40,6 +48,65 @@ STREAMS = 4
 SPEEDUP_FLOOR = 1.5  # acceptance bar: batch makespan vs sum-of-solo
 
 
+def dispatch_bound(n_jobs: int, streams: int, *, check_parity: bool = False) -> dict:
+    """Host-wall comparison on a dispatch-dominated fleet.
+
+    The mixed workload's wall clock is dominated by real objective and
+    update arithmetic that every policy pays identically, which caps how
+    much the fused stacking can show up in it.  Many small swarms are the
+    regime the fusion targets: per-iteration Python dispatch dwarfs the
+    math, so collapsing ``m`` engine loops into one is visible end to
+    end.  Each policy gets one warm-up run (compile/caches) and the best
+    of two timed runs.
+    """
+    from repro.batch import Job
+
+    jobs = [
+        Job(
+            "sphere",
+            dim=8,
+            n_particles=64,
+            max_iter=200,
+            engine="fastpso",
+            seed=9000 + i,
+        )
+        for i in range(n_jobs)
+    ]
+    solo = solo_baseline(jobs) if check_parity else None
+    section = {
+        "workload": {
+            "n_jobs": n_jobs,
+            "problem": "sphere",
+            "dim": 8,
+            "n_particles": 64,
+            "max_iter": 200,
+        },
+    }
+    for policy in ("packed", "fused"):
+        scheduler_for = lambda: BatchScheduler(
+            streams_per_device=streams, policy=policy
+        )
+        scheduler_for().run(jobs)  # warm-up
+        wall = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            batch = scheduler_for().run(jobs)
+            wall = min(wall, time.perf_counter() - t0)
+        if solo is not None:
+            check_bit_identical(batch, solo, deep=True)
+        section[f"{policy}_seconds"] = wall
+    section["packed_over_fused"] = (
+        section["packed_seconds"] / section["fused_seconds"]
+    )
+    print(
+        f"dispatch-bound ({n_jobs} x sphere-64x8x200): "
+        f"packed={section['packed_seconds']:.2f}s "
+        f"fused={section['fused_seconds']:.2f}s "
+        f"({section['packed_over_fused']:.2f}x lower)"
+    )
+    return section
+
+
 def solo_baseline(jobs) -> list:
     """Fresh solo runs of every job — the determinism reference."""
     results = []
@@ -56,7 +123,9 @@ def solo_baseline(jobs) -> list:
     return results
 
 
-def check_bit_identical(batch, solo_results) -> None:
+def check_bit_identical(batch, solo_results, *, deep: bool = False) -> None:
+    from repro.io import result_to_dict
+
     for outcome, solo in zip(batch.outcomes, solo_results):
         label = outcome.job.label
         assert outcome.result.best_value == solo.best_value, label
@@ -64,9 +133,17 @@ def check_bit_identical(batch, solo_results) -> None:
         np.testing.assert_array_equal(
             outcome.result.best_position, solo.best_position, err_msg=label
         )
+        if deep:
+            # The whole serialized payload — per-section timings, setup
+            # time, iteration count, peak bytes, status — must round-trip
+            # identically; this is the parity contract the fused policy's
+            # golden tests pin.
+            assert result_to_dict(outcome.result) == result_to_dict(solo), label
 
 
-def run(n_jobs: int, streams: int, n_devices: int) -> dict:
+def run(
+    n_jobs: int, streams: int, n_devices: int, *, check_parity: bool = False
+) -> dict:
     jobs = mixed_workload(n_jobs)
     solo = solo_baseline(jobs)
     sum_solo = sum(r.elapsed_seconds for r in solo)
@@ -88,9 +165,9 @@ def run(n_jobs: int, streams: int, n_devices: int) -> dict:
         t0 = time.perf_counter()
         batch = scheduler.run(jobs)
         wall = time.perf_counter() - t0
-        check_bit_identical(batch, solo)
+        check_bit_identical(batch, solo, deep=check_parity)
         prof = batch.fleet_profile
-        payload["policies"][policy] = {
+        row = {
             "makespan_seconds": batch.makespan_seconds,
             "speedup": batch.speedup,
             "fleet_occupancy": batch.fleet_occupancy,
@@ -103,11 +180,52 @@ def run(n_jobs: int, streams: int, n_devices: int) -> dict:
             ),
             "bit_identical_to_solo": True,
         }
+        if policy == "fused":
+            row["fused_groups"] = [
+                {
+                    "members": g.get("members"),
+                    "n_fused": g.get("n_fused"),
+                    "fast_rounds": g.get("fast_rounds"),
+                    "update_mode": g.get("update_mode"),
+                    "lane_seconds": g.get("lane_seconds"),
+                }
+                for g in batch.fused_rows
+            ]
+        payload["policies"][policy] = row
         print(
             f"{policy:8s} makespan={batch.makespan_seconds:.4f}s "
             f"speedup={batch.speedup:.2f}x "
             f"occupancy={batch.fleet_occupancy:.1%} wall={wall:.2f}s"
         )
+    pol = payload["policies"]
+    if "fused" in pol and "packed" in pol:
+        packed_wall = pol["packed"]["host_wall_seconds"]
+        fused_wall = pol["fused"]["host_wall_seconds"]
+        payload["host_wall_delta"] = {
+            "packed_seconds": packed_wall,
+            "fused_seconds": fused_wall,
+            "packed_over_fused": (
+                packed_wall / fused_wall if fused_wall > 0 else float("inf")
+            ),
+            # The mixed workload spends most of its wall clock on real
+            # objective/update arithmetic (1024x16 rastrigin/levy sweeps,
+            # tensor-core fragment math) that every policy pays
+            # identically, so this ratio is capped well below the
+            # stacking factor; the dispatch_bound section below measures
+            # the regime where per-iteration Python dispatch dominates
+            # and the fused loop's amortization is visible end to end.
+            "note": (
+                "mixed workload is math-bound; see dispatch_bound for the "
+                "dispatch-dominated regime"
+            ),
+        }
+        print(
+            f"host wall: packed={packed_wall:.2f}s fused={fused_wall:.2f}s "
+            f"({packed_wall / fused_wall:.2f}x lower)"
+        )
+    payload["dispatch_bound"] = dispatch_bound(
+        n_jobs, streams, check_parity=check_parity
+    )
     best = max(p["speedup"] for p in payload["policies"].values())
     assert best >= SPEEDUP_FLOOR, (
         f"batch speedup {best:.2f}x below the {SPEEDUP_FLOOR}x floor"
@@ -127,8 +245,18 @@ def main() -> None:
     )
     parser.add_argument("--streams", type=int, default=STREAMS)
     parser.add_argument("--devices", type=int, default=1)
+    parser.add_argument(
+        "--check-parity",
+        action="store_true",
+        help=(
+            "additionally compare every job's full serialized result "
+            "(repro.io.result_to_dict) against its solo run"
+        ),
+    )
     args = parser.parse_args()
-    payload = run(args.jobs, args.streams, args.devices)
+    payload = run(
+        args.jobs, args.streams, args.devices, check_parity=args.check_parity
+    )
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -5,6 +5,11 @@ a JSON spec file (``--spec jobs.json``, a list of Job field dicts), prints
 the per-job placement table and fleet metrics, and optionally writes the
 full versioned payload with ``--out`` (written atomically).
 
+``--policy`` picks the packing mode: ``fifo``, ``packed`` (LPT), or
+``fused`` — compatible jobs stacked into one multi-swarm engine loop per
+stream (bit-identical per-job results, fused groups reported in the
+payload; incompatible with ``--faults``/``--retry``/``--breaker``).
+
 Reliability flags: ``--checkpoint-dir`` checkpoints every job (retries
 resume instead of restarting), ``--faults`` injects a deterministic fault
 plan (a JSON file, or the literal ``drill`` for the reference mixed-fault

@@ -42,6 +42,7 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionPolicy",
     "estimate_job_bytes",
+    "estimate_group_bytes",
 ]
 
 ADMISSION_MODES = ("degrade", "strict")
@@ -64,6 +65,32 @@ def estimate_job_bytes(job: Job) -> int:
     n, d = job.n_particles, job.dim
     arrays = 3 * n * d * itemsize + 8 * n + 4 * n
     return int(np.ceil(arrays * _SLACK))
+
+
+def estimate_group_bytes(jobs) -> int:
+    """Worst-case device residency of one *fused group*, in bytes.
+
+    A fused group (``policy="fused"``) is priced as a unit, not per job:
+    every member's persistent swarm arrays are resident at once, **plus**
+    the stacked ``m*n x d`` tensors the fused runner allocates on top —
+    the random-weight pair in storage precision, two float32 update
+    scratch planes, and the float64 stacked evaluation buffer.  Same
+    allocator-slack factor as :func:`estimate_job_bytes`, so a group of
+    one degenerates to roughly the solo estimate plus its stacking
+    overhead.
+    """
+    persistent = 0
+    stacked = 0
+    for job in jobs:
+        options = dict(job.engine_options)
+        half = bool(options.get("half_storage")) or job.engine == "fastpso-fp16"
+        itemsize = 2 if half else 4
+        n, d = job.n_particles, job.dim
+        persistent += 3 * n * d * itemsize + 8 * n + 4 * n
+        # Stacked rows this member contributes: weights (2 planes, storage
+        # precision), update scratch (2 planes, f32), f64 eval positions.
+        stacked += n * d * (2 * itemsize + 2 * 4 + 8)
+    return int(np.ceil((persistent + stacked) * _SLACK))
 
 
 @dataclass(frozen=True)
@@ -144,12 +171,23 @@ class AdmissionPolicy:
         *,
         streams_per_device: int,
         device_mem_bytes: int,
+        groups=None,
     ) -> list[AdmissionDecision]:
         """Decide every job's fate; returns decisions in submission order.
 
         Jobs are considered highest-priority-first (submission order breaks
         ties); the queue bound keeps the first ``max_queue`` of that order
         and sheds the rest, then each survivor walks the memory ladder.
+
+        *groups* (index lists from
+        :func:`repro.batch.fused.plan_fused_groups`) makes the memory check
+        group-aware: a fused group shares one lane and one stacked tensor
+        set, so its queue survivors are priced together via
+        :func:`estimate_group_bytes` and walk the degradation ladder
+        **coherently** — one halving step reduces every member's swarm at
+        once (a half-degraded group would break the fusion-compatibility
+        key and silently fall back to ``m`` solo lanes, which is the
+        opposite of what admission under memory pressure wants).
         """
         order = sorted(
             range(len(jobs)), key=lambda i: (-jobs[i].priority, i)
@@ -168,10 +206,30 @@ class AdmissionPolicy:
                         f"(priority rank {rank})"
                     ),
                 )
+
+        group_of: dict[int, tuple[int, ...]] = {}
+        if groups:
+            for group in groups:
+                survivors = tuple(i for i in group if i not in decisions)
+                if len(survivors) >= 2:
+                    for i in survivors:
+                        group_of[i] = survivors
+
+        fitted: dict[tuple[int, ...], dict[int, AdmissionDecision]] = {}
+        for i in order:
+            if i in decisions:
                 continue
-            decisions[i] = self._fit_memory(
-                i, job, capacity=capacity, lanes=streams_per_device
-            )
+            group = group_of.get(i)
+            if group is None:
+                decisions[i] = self._fit_memory(
+                    i, jobs[i], capacity=capacity, lanes=streams_per_device
+                )
+                continue
+            if group not in fitted:
+                fitted[group] = self._fit_group_memory(
+                    group, jobs, capacity=capacity, lanes=streams_per_device
+                )
+            decisions[i] = fitted[group][i]
         return [decisions[i] for i in range(len(jobs))]
 
     def _refuse(self, index: int, job: Job, *, reason: str) -> AdmissionDecision:
@@ -242,6 +300,98 @@ class AdmissionPolicy:
                 f"capacity {capacity} B even fully degraded"
             ),
         )
+
+    def _fit_group_memory(
+        self, indices: tuple[int, ...], jobs, *, capacity: int, lanes: int
+    ) -> dict[int, AdmissionDecision]:
+        """Fit a fused group as one unit, degrading all members in lockstep.
+
+        The group occupies a single lane, so the concurrency worst case is
+        ``lanes`` *groups* of this footprint — the same ``lanes *
+        estimate`` rule as solo jobs, with :func:`estimate_group_bytes`
+        pricing the stacked tensors.  Every ladder step applies to all
+        members (shared ``n_particles`` target, then the fp16 rung only
+        when every member is eligible), so the survivors still share a
+        fusion key.  An unfittable group is shed whole.
+        """
+        members = [jobs[i] for i in indices]
+
+        def fits(candidates: list[Job]) -> bool:
+            return lanes * estimate_group_bytes(candidates) <= capacity
+
+        if fits(members):
+            return {
+                i: AdmissionDecision(
+                    submit_order=i,
+                    label=jobs[i].label,
+                    priority=jobs[i].priority,
+                    action="admit",
+                    reason="fits (fused group)",
+                    job=jobs[i],
+                )
+                for i in indices
+            }
+
+        candidates = list(members)
+        steps: list[str] = []
+        n = max(job.n_particles for job in candidates)
+        while n > self.min_particles:
+            n = max(self.min_particles, n // 2)
+            candidates = [
+                job.with_overrides(n_particles=min(n, job.n_particles))
+                for job in candidates
+            ]
+            steps.append(f"n_particles->{n}")
+            if fits(candidates):
+                return self._group_degraded(indices, jobs, candidates, steps)
+
+        if all(
+            job.engine == "fastpso"
+            and not dict(job.engine_options).get("half_storage")
+            for job in candidates
+        ):
+            candidates = [
+                job.with_overrides(
+                    engine_options={
+                        **dict(job.engine_options),
+                        "half_storage": True,
+                    }
+                )
+                for job in candidates
+            ]
+            steps.append("half_storage")
+            if fits(candidates):
+                return self._group_degraded(indices, jobs, candidates, steps)
+
+        estimate = estimate_group_bytes(members)
+        return {
+            i: self._refuse(
+                i,
+                jobs[i],
+                reason=(
+                    f"memory: {lanes} lane(s) x {estimate} B "
+                    f"(fused group of {len(members)}) exceeds "
+                    f"capacity {capacity} B even fully degraded"
+                ),
+            )
+            for i in indices
+        }
+
+    def _group_degraded(
+        self, indices, jobs, candidates, steps
+    ) -> dict[int, AdmissionDecision]:
+        reason = "memory: " + ", ".join(steps) + " (fused group)"
+        return {
+            i: AdmissionDecision(
+                submit_order=i,
+                label=jobs[i].label,
+                priority=jobs[i].priority,
+                action="degrade",
+                reason=reason,
+                job=candidate,
+            )
+            for i, candidate in zip(indices, candidates)
+        }
 
     @staticmethod
     def _degraded(

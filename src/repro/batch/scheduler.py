@@ -28,8 +28,25 @@ stream (classic list scheduling — no job is ever starved: each waits only
 for jobs that were ahead of it in the queue).  ``"packed"`` is the
 size-aware option: jobs are ordered longest-first (LPT bin-packing) before
 the same earliest-available assignment, which tightens the makespan when
-job durations are skewed.  Both policies respect stream capacity by
-construction — a stream runs exactly one job at a time.
+job durations are skewed.  All policies respect stream capacity by
+construction — a stream runs exactly one unit of work at a time.
+
+``"fused"`` goes further: a grouping pass
+(:func:`repro.batch.fused.plan_fused_groups`) stacks *compatible* jobs —
+same engine configuration, dim, swarm size and iteration budget; seeds,
+hyperparameters and problems free to differ — into one ``m*n x d`` engine
+loop per group (:class:`repro.batch.fused.FusedGroupRunner`).  Each group
+occupies **one** stream for less than the sum of its members' solo times
+(batched kernels amortise launch overhead; the host pays one Python loop
+instead of ``m``), while every member's trajectory, simulated seconds and
+result stay bit-identical to its solo run.  Ungroupable jobs fall back to
+the solo path, and group lanes are packed longest-first like ``"packed"``.
+``"fused"`` composes with admission control (groups are priced and
+degraded as units), deadlines/budgets (a member hitting its budget gets
+its own terminal status; the group's survivors continue solo), guards and
+per-job checkpoint/resume — but not with ``retry``/``faults``/``breaker``
+(fault attribution inside a stacked loop is ambiguous; the scheduler
+refuses the combination up front).
 
 Metrics
 -------
@@ -98,7 +115,7 @@ from repro.utils.tables import format_table
 __all__ = ["BatchScheduler", "BatchResult", "POLICIES"]
 
 #: Supported packing policies, in documentation order.
-POLICIES = ("fifo", "packed")
+POLICIES = ("fifo", "packed", "fused")
 
 
 @dataclass
@@ -137,6 +154,10 @@ class BatchResult:
     #: Circuit-breaker trip/close events, ordinal-numbered, when a breaker
     #: fleet ran; empty otherwise.
     breaker_rows: tuple = ()
+    #: Per-group fusion records (``policy="fused"``): member labels, how
+    #: many members ran stacked, fast-loop rounds and the modelled lane
+    #: seconds; empty for other policies.
+    fused_rows: tuple = ()
 
     # -- fleet metrics -------------------------------------------------------
     @property
@@ -345,6 +366,7 @@ class BatchResult:
                 "admission": [dict(row) for row in self.admission_rows],
                 "breaker_events": [dict(row) for row in self.breaker_rows],
             },
+            "fused_groups": [dict(row) for row in self.fused_rows],
             "jobs": [
                 {
                     "label": o.job.label,
@@ -385,7 +407,9 @@ class BatchScheduler:
         Concurrent streams per device — the lane count that bounds how many
         jobs a device overlaps.
     policy:
-        ``"fifo"`` or ``"packed"`` (see module docstring).
+        ``"fifo"``, ``"packed"`` or ``"fused"`` (see module docstring).
+        ``"fused"`` stacks compatible jobs into shared engine loops and is
+        mutually exclusive with ``retry``/``faults``/``breaker``.
     retry:
         A :class:`~repro.reliability.retry.RetryPolicy` enabling
         retry/failover per job.  Failed jobs become ``status="failed"``
@@ -465,8 +489,22 @@ class BatchScheduler:
                 f"need at least one stream per device, got {streams_per_device}"
             )
         if policy not in POLICIES:
+            # Mirror make_engine's alias behaviour: suggest the nearest
+            # known packing mode before listing them all.
+            import difflib
+
+            close = difflib.get_close_matches(str(policy), POLICIES, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
             raise InvalidParameterError(
-                f"unknown policy {policy!r}; choose from {POLICIES}"
+                f"unknown policy {policy!r}{hint} choose from {POLICIES}"
+            )
+        if policy == "fused" and (
+            retry is not None or faults is not None or breaker is not None
+        ):
+            raise InvalidParameterError(
+                "policy='fused' does not compose with retry/faults/breaker: "
+                "a fault inside a stacked loop cannot be attributed to one "
+                "member; use policy='packed' for fault-injected fleets"
             )
         self.n_devices = n_devices
         self.streams_per_device = streams_per_device
@@ -603,14 +641,25 @@ class BatchScheduler:
                     f"batch entries must be Jobs, got {type(job).__name__}"
                 )
 
+        fused_plan = None
+        if self.policy == "fused":
+            from repro.batch.fused import plan_fused_groups
+
         decisions = None
         if self.admission is not None:
             from repro.gpusim.device import tesla_v100
 
+            if self.policy == "fused":
+                # Price prospective groups as units so the memory ladder
+                # degrades them coherently (see AdmissionPolicy.plan).
+                fused_plan = plan_fused_groups(
+                    batch, options_for=self._job_engine_options
+                )
             decisions = self.admission.plan(
                 batch,
                 streams_per_device=self.streams_per_device,
                 device_mem_bytes=tesla_v100().global_mem_bytes,
+                groups=fused_plan,
             )
 
         health = None
@@ -627,6 +676,33 @@ class BatchScheduler:
         # its report (None for shed jobs, which never execute).
         effective: list[Job] = list(batch)
         executed = [None] * len(batch)
+
+        # Fused grouping happens *after* admission so groups are formed
+        # over the jobs that actually run (shed members drop out; coherent
+        # degradation keeps a squeezed group's fusion key shared).
+        group_of: dict[int, int] = {}
+        fused_groups: list[list[int]] = []
+        if self.policy == "fused":
+            admitted = []
+            for i in exec_order:
+                decision = decisions[i] if decisions is not None else None
+                if decision is not None and decision.action == "shed":
+                    continue
+                if decision is not None and decision.job is not None:
+                    effective[i] = decision.job
+                admitted.append(i)
+            local_groups = plan_fused_groups(
+                [effective[i] for i in admitted],
+                options_for=self._job_engine_options,
+            )
+            fused_groups = [[admitted[k] for k in g] for g in local_groups]
+            for gi, group in enumerate(fused_groups):
+                for i in group:
+                    group_of[i] = gi
+
+        group_units: list[tuple[tuple[int, ...], float]] = []
+        fused_rows: list[dict] = []
+        started_groups: set[int] = set()
         base_now = 0.0
         n_run = 0
         for i in exec_order:
@@ -635,6 +711,21 @@ class BatchScheduler:
                 continue
             if decision is not None and decision.job is not None:
                 effective[i] = decision.job
+            gi = group_of.get(i)
+            if gi is not None:
+                if gi not in started_groups:
+                    started_groups.add(gi)
+                    indices = tuple(fused_groups[gi])
+                    reports, lane_seconds, row = self._execute_fused(
+                        indices, effective
+                    )
+                    for j in indices:
+                        executed[j] = reports[j]
+                    group_units.append((indices, lane_seconds))
+                    fused_rows.append(row)
+                    base_now += lane_seconds
+                    n_run += len(indices)
+                continue
             # Round-robin preferred device so a healthy breaker fleet
             # spreads jobs instead of collapsing onto device 0 (the breaker
             # only overrides the preference when that device is open).
@@ -658,6 +749,7 @@ class BatchScheduler:
             decisions=decisions,
             exec_order=exec_order,
             health=health,
+            group_units=group_units,
         )
         profile = self._fleet_profile([r for r in executed if r is not None])
         return BatchResult(
@@ -674,6 +766,7 @@ class BatchScheduler:
                 else ()
             ),
             breaker_rows=tuple(health.to_rows()) if health is not None else (),
+            fused_rows=tuple(fused_rows),
         )
 
     # -- internals -----------------------------------------------------------
@@ -807,6 +900,92 @@ class BatchScheduler:
             base_now=base_now,
         )
 
+    def _execute_fused(self, indices, effective):
+        """Run one fused group; returns ``(reports_by_index, lane_seconds,
+        record_row)``.
+
+        Every member gets the engine, budget, guard and checkpoint manager
+        the solo path would have given it — :class:`FusedGroupRunner` only
+        changes *how* the iterations are driven, never what they compute.
+        With any overload knob set, an escaping :class:`ReproError` fails
+        the whole group (its members' states are interdependent mid-loop)
+        instead of aborting the batch.
+        """
+        from repro.batch.fused import FusedGroupRunner
+        from repro.engines import make_engine
+        from repro.reliability.retry import RecoveryReport
+
+        labels = [effective[i].label for i in indices]
+        try:
+            runs = []
+            engines = {}
+            for i in indices:
+                job = effective[i]
+                engine = make_engine(
+                    job.engine, **self._job_engine_options(job)
+                )
+                manager = None
+                restore = None
+                if self.checkpoint_dir is not None:
+                    from pathlib import Path
+
+                    from repro.reliability.checkpoint import CheckpointManager
+
+                    manager = CheckpointManager(
+                        Path(self.checkpoint_dir) / f"job{i:04d}",
+                        every=self.checkpoint_every,
+                        keep=self.checkpoint_keep,
+                    )
+                    restore = manager.load_latest()
+                run = engine.start_run(
+                    job.resolved_problem(),
+                    n_particles=job.n_particles,
+                    max_iter=job.max_iter,
+                    params=job.resolved_params,
+                    record_history=job.record_history,
+                    checkpoint=manager,
+                    restore=restore,
+                    budget=self._effective_budget(job),
+                    guard=self.guard,
+                )
+                runs.append((i, run))
+                engines[i] = engine
+            runner = FusedGroupRunner(runs)
+            results = runner.execute()
+        except ReproError as exc:
+            if not self._overload_enabled:
+                raise
+            exc.with_context(job=", ".join(labels))
+            reports = {
+                i: RecoveryReport(
+                    result=None,
+                    attempts=1,
+                    errors=(str(exc),),
+                    error_rows=(exc.to_row(),),
+                )
+                for i in indices
+            }
+            row = {
+                "indices": list(indices),
+                "members": labels,
+                "status": "failed",
+                "error": str(exc),
+            }
+            return reports, 0.0, row
+        reports = {
+            i: RecoveryReport(
+                result=result, attempts=1, engines=(engines[i],)
+            )
+            for (i, _run), result in zip(runs, results)
+        }
+        row = {
+            "indices": list(indices),
+            "members": labels,
+            "status": "completed",
+            **runner.info(),
+        }
+        return reports, runner.lane_seconds, row
+
     def _schedule(
         self,
         batch: list[Job],
@@ -815,6 +994,7 @@ class BatchScheduler:
         decisions=None,
         exec_order=None,
         health=None,
+        group_units=None,
     ) -> tuple[list[JobOutcome], list[float]]:
         """Replay job durations onto shared per-device stream timelines.
 
@@ -836,14 +1016,33 @@ class BatchScheduler:
             for i in (exec_order if exec_order is not None else range(len(batch)))
             if executed[i] is not None
         ]
-        if self.policy == "packed":
-            # LPT bin-packing: longest jobs placed first, ties broken by
+
+        # Placement units: a fused group shares one lane segment (its
+        # modelled group duration); every other job is its own unit.
+        group_index: dict[int, int] = {}
+        if group_units:
+            for gi, (indices, _lane_s) in enumerate(group_units):
+                for i in indices:
+                    group_index[i] = gi
+        units: list[tuple[tuple[int, ...], float]] = []
+        placed_groups: set[int] = set()
+        for i in order:
+            gi = group_index.get(i)
+            if gi is None:
+                units.append(((i,), _lane_duration(executed[i])))
+            elif gi not in placed_groups:
+                placed_groups.add(gi)
+                indices, lane_seconds = group_units[gi]
+                live = tuple(j for j in indices if executed[j] is not None)
+                units.append((live, lane_seconds))
+        if self.policy in ("packed", "fused"):
+            # LPT bin-packing: longest units placed first, ties broken by
             # submission order so the schedule is fully deterministic.
-            order.sort(key=lambda i: (-_lane_duration(executed[i]), i))
+            units.sort(key=lambda u: (-u[1], u[0][0]))
 
         placements: dict[int, tuple[_Lane, float, float]] = {}
-        for i in order:
-            report = executed[i]
+        for unit, duration in units:
+            report = executed[unit[0]]
             candidates = lanes
             if health is not None and report.device_index is not None:
                 pinned = [
@@ -856,9 +1055,10 @@ class BatchScheduler:
             # single-lane batches degenerate to the serial schedule.
             lane = min(candidates, key=lambda ln: ln.stream.horizon)
             start = max(lane.stream.horizon, lane.stream.clock.now)
-            end = lane.stream.enqueue(_lane_duration(report))
+            end = lane.stream.enqueue(duration)
             lane.stream.record_event()
-            placements[i] = (lane, start, end)
+            for i in unit:
+                placements[i] = (lane, start, end)
 
         # Drain every device: the host "joins" the batch, advancing each
         # shared clock to its streams' horizon (the device makespan).

@@ -30,7 +30,160 @@ from repro.errors import InvalidParameterError
 from repro.gpusim.clock import SimClock
 from repro.gpusim.rng import ParallelRNG
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "EngineRun"]
+
+
+class EngineRun:
+    """Live state of one ``optimize()`` call, stepped one iteration at a time.
+
+    :meth:`Engine.start_run` performs everything ``optimize()`` does before
+    its loop (validation, clock reset, initialisation, restore, runner
+    construction) and returns one of these.  The caller then drives
+    ``for t in range(run.start_iter, run.max_iter): run.step(t)`` and
+    collects the :class:`~repro.core.results.OptimizeResult` from
+    :meth:`finish`.  ``optimize()`` itself is exactly that loop, so stepping
+    a run externally is bit-identical to the monolithic call.
+
+    The split exists for hosts that interleave several runs in one loop —
+    the fused multi-swarm batch path (:mod:`repro.batch.fused`) steps ``m``
+    compatible runs in lockstep and replaces :meth:`run_semantics` with
+    stacked array work, while :meth:`after_iteration` keeps every run's own
+    bookkeeping (history, budget, checkpoint, stop criteria) unchanged.
+    """
+
+    __slots__ = (
+        "engine",
+        "problem",
+        "params",
+        "n_particles",
+        "max_iter",
+        "stop",
+        "record_history",
+        "callback",
+        "checkpoint",
+        "budget",
+        "guard",
+        "state",
+        "rng",
+        "history",
+        "tracker",
+        "injector",
+        "runner",
+        "setup_seconds",
+        "start_iter",
+        "iterations_run",
+        "status",
+    )
+
+    def step(self, t: int) -> bool:
+        """Run iteration *t* plus its bookkeeping; True means stop now."""
+        self.run_semantics(t)
+        return self.after_iteration(t)
+
+    def run_semantics(self, t: int) -> None:
+        """The iteration body only: Algorithm 1's four sections at *t*."""
+        engine = self.engine
+        # Fraction of the budget consumed; drives the adaptive velocity
+        # bound (Kaucic 2013) used by Eq. (5)'s clamping.
+        engine._progress = t / max(1, self.max_iter - 1)
+        self.runner.run_iteration(t)
+
+    def after_iteration(self, t: int) -> bool:
+        """Post-iteration bookkeeping (identical to the historical loop
+        tail): integrity check, guard, history, callback/stop/budget
+        evaluation and checkpoint capture.  Returns whether to stop."""
+        self.iterations_run = t + 1
+        state = self.state
+        if self.injector is not None:
+            self.injector.check_integrity()
+        if self.guard is not None:
+            self.guard.inspect(state, self.problem, self.rng, iteration=t)
+        if self.history is not None:
+            self.history.record(
+                state.gbest_value, float(np.mean(state.pbest_values))
+            )
+        stopping = False
+        if self.callback is not None and self.callback(t, state):
+            stopping = True
+        elif self.stop is not None and self.stop.should_stop(
+            t, state.gbest_value
+        ):
+            stopping = True
+        elif (
+            self.tracker is not None
+            and self.iterations_run < self.max_iter
+            and self.tracker.should_stop(t, state.gbest_value)
+        ):
+            # A budget that trips on what would have been the final
+            # iteration anyway is not a breach — the guard above keeps
+            # full runs reporting "completed".
+            stopping = True
+            self.status = self.tracker.breach or "budget_exhausted"
+        if (
+            self.checkpoint is not None
+            and not stopping
+            and self.iterations_run < self.max_iter
+            and self.checkpoint.due(self.iterations_run)
+        ):
+            # Captured *after* the stop criterion observed this
+            # iteration, so a resumed StallStop continues its count
+            # exactly where the original run's would be.
+            from repro.reliability.snapshot import capture_run
+
+            self.checkpoint.save(
+                capture_run(
+                    engine_name=self.engine.name,
+                    problem=self.problem,
+                    params=self.params,
+                    n_particles=self.n_particles,
+                    max_iter=self.max_iter,
+                    iteration=self.iterations_run,
+                    record_history=self.record_history,
+                    rng=self.rng,
+                    clock=self.engine.clock,
+                    setup_seconds=self.setup_seconds,
+                    stop=self.stop,
+                    state=state,
+                    history=self.history,
+                    budget=self.budget,
+                    budget_tracker=self.tracker,
+                )
+            )
+        return stopping
+
+    def finish(self) -> OptimizeResult:
+        """Finalize the run and assemble its :class:`OptimizeResult`."""
+        engine = self.engine
+        state = self.state
+        self.runner.finalize()
+        engine._finalize(state)
+
+        clock = engine.clock
+        loop_seconds = clock.now - self.setup_seconds
+        step_times = StepTimes(
+            init=clock.total("init"),
+            eval=clock.total("eval"),
+            pbest=clock.total("pbest"),
+            gbest=clock.total("gbest"),
+            swarm=clock.total("swarm"),
+        )
+        return OptimizeResult(
+            engine=engine.name,
+            problem=self.problem.name,
+            n_particles=self.n_particles,
+            dim=self.problem.dim,
+            iterations=self.iterations_run,
+            best_value=state.gbest_value,
+            best_position=np.asarray(state.gbest_position, dtype=np.float64),
+            error=self.problem.error_of(state.gbest_value),
+            elapsed_seconds=clock.now,
+            setup_seconds=self.setup_seconds,
+            iteration_seconds=loop_seconds / self.iterations_run,
+            step_times=step_times,
+            history=self.history,
+            peak_device_bytes=engine._peak_device_bytes(),
+            status=self.status,
+        )
 
 
 class Engine(ABC):
@@ -146,6 +299,48 @@ class Engine(ABC):
         deterministically clamps or re-seeds offending particles from the
         run's own Philox stream.  Off by default; with no guard the
         trajectory is bit-identical to previous releases.
+        """
+        run = self.start_run(
+            problem,
+            n_particles=n_particles,
+            max_iter=max_iter,
+            params=params,
+            stop=stop,
+            record_history=record_history,
+            callback=callback,
+            checkpoint=checkpoint,
+            restore=restore,
+            budget=budget,
+            guard=guard,
+        )
+        for t in range(run.start_iter, max_iter):
+            if run.step(t):
+                break
+        return run.finish()
+
+    def start_run(
+        self,
+        problem: Problem,
+        *,
+        n_particles: int,
+        max_iter: int,
+        params: PSOParams = PAPER_DEFAULTS,
+        stop: StopCriterion | None = None,
+        record_history: bool = False,
+        callback=None,
+        checkpoint=None,
+        restore=None,
+        budget=None,
+        guard=None,
+    ) -> EngineRun:
+        """Everything :meth:`optimize` does before its loop.
+
+        Validates the configuration, resets the clock, initialises (and, if
+        *restore* is given, restores) the swarm, and builds the iteration
+        runner.  Returns the :class:`EngineRun` handle whose
+        ``step``/``finish`` methods complete the run — ``optimize()`` is
+        literally ``start_run``, the step loop, then ``finish``, so external
+        stepping is bit-identical to the monolithic call.
         """
         if callback is not None and not callable(callback):
             raise InvalidParameterError("callback must be callable")
@@ -276,99 +471,30 @@ class Engine(ABC):
             self, problem, params, state, rng, eager_reason=eager_reason
         )
 
-        iterations_run = start_iter
-        status = "completed"
         self._progress = 0.0
-        for t in range(start_iter, max_iter):
-            # Fraction of the budget consumed; drives the adaptive velocity
-            # bound (Kaucic 2013) used by Eq. (5)'s clamping.
-            self._progress = t / max(1, max_iter - 1)
-            runner.run_iteration(t)
-            iterations_run = t + 1
-            if injector is not None:
-                injector.check_integrity()
-            if guard is not None:
-                guard.inspect(state, problem, rng, iteration=t)
-            if history is not None:
-                history.record(
-                    state.gbest_value, float(np.mean(state.pbest_values))
-                )
-            stopping = False
-            if callback is not None and callback(t, state):
-                stopping = True
-            elif stop is not None and stop.should_stop(t, state.gbest_value):
-                stopping = True
-            elif (
-                tracker is not None
-                and iterations_run < max_iter
-                and tracker.should_stop(t, state.gbest_value)
-            ):
-                # A budget that trips on what would have been the final
-                # iteration anyway is not a breach — the guard above keeps
-                # full runs reporting "completed".
-                stopping = True
-                status = tracker.breach or "budget_exhausted"
-            if (
-                checkpoint is not None
-                and not stopping
-                and iterations_run < max_iter
-                and checkpoint.due(iterations_run)
-            ):
-                # Captured *after* the stop criterion observed this
-                # iteration, so a resumed StallStop continues its count
-                # exactly where the original run's would be.
-                from repro.reliability.snapshot import capture_run
-
-                checkpoint.save(
-                    capture_run(
-                        engine_name=self.name,
-                        problem=problem,
-                        params=params,
-                        n_particles=n_particles,
-                        max_iter=max_iter,
-                        iteration=iterations_run,
-                        record_history=record_history,
-                        rng=rng,
-                        clock=self.clock,
-                        setup_seconds=setup_seconds,
-                        stop=stop,
-                        state=state,
-                        history=history,
-                        budget=budget,
-                        budget_tracker=tracker,
-                    )
-                )
-            if stopping:
-                break
-
-        runner.finalize()
-        self._finalize(state)
-
-        loop_seconds = self.clock.now - setup_seconds
-        step_times = StepTimes(
-            init=self.clock.total("init"),
-            eval=self.clock.total("eval"),
-            pbest=self.clock.total("pbest"),
-            gbest=self.clock.total("gbest"),
-            swarm=self.clock.total("swarm"),
-        )
-        return OptimizeResult(
-            engine=self.name,
-            problem=problem.name,
-            n_particles=n_particles,
-            dim=problem.dim,
-            iterations=iterations_run,
-            best_value=state.gbest_value,
-            best_position=np.asarray(state.gbest_position, dtype=np.float64),
-            error=problem.error_of(state.gbest_value),
-            elapsed_seconds=self.clock.now,
-            setup_seconds=setup_seconds,
-            iteration_seconds=loop_seconds / iterations_run,
-            step_times=step_times,
-            history=history,
-            peak_device_bytes=self._peak_device_bytes(),
-            status=status,
-        )
+        run = EngineRun()
+        run.engine = self
+        run.problem = problem
+        run.params = params
+        run.n_particles = n_particles
+        run.max_iter = max_iter
+        run.stop = stop
+        run.record_history = record_history
+        run.callback = callback
+        run.checkpoint = checkpoint
+        run.budget = budget
+        run.guard = guard
+        run.state = state
+        run.rng = rng
+        run.history = history
+        run.tracker = tracker
+        run.injector = injector
+        run.runner = runner
+        run.setup_seconds = setup_seconds
+        run.start_iter = start_iter
+        run.iterations_run = start_iter
+        run.status = "completed"
+        return run
 
     def _peak_device_bytes(self) -> int:
         """High-water device-memory mark; CPU engines report 0."""

@@ -55,6 +55,7 @@ __all__ = [
     "available_engines",
     "engine_supports_graph",
     "make_engine",
+    "resolve_engine",
 ]
 
 _FACTORIES = {
@@ -116,6 +117,32 @@ def engine_supports_graph(name: str) -> bool:
     return bool(getattr(factory, "supports_graph", False))
 
 
+def resolve_engine(name: str) -> tuple[str, dict[str, object]]:
+    """Resolve *name* to ``(canonical_name, implied_options)``.
+
+    Aliases map to their canonical engine plus the constructor options they
+    imply (e.g. ``"fastpso-tc"`` → ``("fastpso", {"backend": "tensorcore"})``);
+    canonical names map to themselves with no implied options.  This is the
+    same resolution :func:`make_engine` applies, exposed so callers that
+    *compare* engine configurations (the fused batch grouping pass) see
+    through alias spellings.  Unknown names raise
+    :class:`InvalidParameterError` with a did-you-mean hint.
+    """
+    key = name.lower()
+    implied: dict[str, object] = {}
+    if key in _ALIASES:
+        key, alias_implied = _ALIASES[key]
+        implied = dict(alias_implied)
+    if key not in _FACTORIES:
+        close = difflib.get_close_matches(key, available_engines(), n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise InvalidParameterError(
+            f"unknown engine {name!r}{hint} "
+            f"available: {', '.join(available_engines())}"
+        ) from None
+    return key, implied
+
+
 def make_engine(name: str, **kwargs: object) -> Engine:
     """Instantiate an engine by name or alias (see :func:`available_engines`).
 
@@ -123,17 +150,6 @@ def make_engine(name: str, **kwargs: object) -> Engine:
     merge with explicit keyword arguments; explicit keywords win.  Unknown
     names raise :class:`InvalidParameterError` with a did-you-mean hint.
     """
-    key = name.lower()
-    if key in _ALIASES:
-        key, implied = _ALIASES[key]
-        kwargs = {**implied, **kwargs}
-    try:
-        factory = _FACTORIES[key]
-    except KeyError:
-        close = difflib.get_close_matches(key, available_engines(), n=1)
-        hint = f"; did you mean {close[0]!r}?" if close else ""
-        raise InvalidParameterError(
-            f"unknown engine {name!r}{hint} "
-            f"available: {', '.join(available_engines())}"
-        ) from None
-    return factory(**kwargs)  # type: ignore[arg-type]
+    key, implied = resolve_engine(name)
+    kwargs = {**implied, **kwargs}
+    return _FACTORIES[key](**kwargs)  # type: ignore[arg-type]

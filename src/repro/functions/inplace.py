@@ -1,0 +1,230 @@
+"""In-place, batch-stackable evaluator fast paths for the benchmark suite.
+
+The fused multi-swarm batch path (:mod:`repro.batch.fused`) evaluates the
+row-stacked positions of ``m`` swarms in one call.  The standard evaluator
+bodies allocate fresh temporaries every call; these factories perform the
+*same IEEE operations in the same order* on preallocated scratch, so the
+returned fitness rows are bitwise equal to the standard
+``BenchmarkFunction.evaluate`` output — the property the fused path's
+per-swarm parity contract rests on (and which the fused runner additionally
+self-verifies at group start before trusting a stacked evaluator).
+
+Every factory closes over buffers sized for a fixed ``(rows, dim)`` and
+returns ``fn(p) -> values`` where ``p`` is the float64 validated position
+matrix (the caller performs the ``_validated`` cast once into its own
+buffer).  Bit-identity notes mirror the originals:
+
+* ``x ** k`` is replicated with ``np.power(x, k, out=...)`` — *not* with
+  repeated multiplies, which round differently for ``k=4`` (zakharov).
+* Scalar-array products keep the original operand order only up to
+  commutativity (IEEE multiply and add are commutative bitwise).
+* Row reductions (``einsum``, ``sum``/``prod``/``mean`` over ``axis=1``)
+  reduce each row independently, so stacking more rows cannot change a
+  row's result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_inplace_evaluator", "INPLACE_FUNCTIONS"]
+
+
+def _sphere(rows: int, dim: int):
+    vals = np.empty(rows, np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->i", p, p, out=vals)
+
+    return fn
+
+
+def _griewank(rows: int, dim: int):
+    o1 = np.empty((rows, dim), np.float64)
+    vals = np.empty(rows, np.float64)
+    trig = np.empty(rows, np.float64)
+    denom = np.sqrt(np.arange(1, dim + 1, dtype=np.float64))
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        np.einsum("ij,ij->i", p, p, out=vals)
+        np.divide(vals, 4000.0, out=vals)
+        np.divide(p, denom, out=o1)
+        np.cos(o1, out=o1)
+        np.prod(o1, axis=1, out=trig)
+        np.subtract(vals, trig, out=vals)
+        np.add(vals, 1.0, out=vals)
+        return vals
+
+    return fn
+
+
+def _rastrigin(rows: int, dim: int):
+    o1 = np.empty((rows, dim), np.float64)
+    o2 = np.empty((rows, dim), np.float64)
+    vals = np.empty(rows, np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        np.multiply(2.0 * np.pi, p, out=o1)
+        np.cos(o1, out=o1)
+        np.multiply(10.0, o1, out=o1)
+        np.multiply(p, p, out=o2)
+        np.subtract(o2, o1, out=o2)
+        np.sum(o2, axis=1, out=vals)
+        np.add(10.0 * dim, vals, out=vals)
+        return vals
+
+    return fn
+
+
+def _levy(rows: int, dim: int):
+    w = np.empty((rows, dim), np.float64)
+    o2 = np.empty((rows, dim - 1), np.float64)
+    o3 = np.empty((rows, dim - 1), np.float64)
+    vals = np.empty(rows, np.float64)
+    t1 = np.empty(rows, np.float64)
+    t3 = np.empty(rows, np.float64)
+    t4 = np.empty(rows, np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        np.subtract(p, 1.0, out=w)
+        np.divide(w, 4.0, out=w)
+        np.add(1.0, w, out=w)
+        # term1 = sin(pi * w[:, 0]) ** 2
+        np.multiply(np.pi, w[:, 0], out=t1)
+        np.sin(t1, out=t1)
+        np.power(t1, 2, out=t1)
+        # middle = sum((wi - 1)^2 * (1 + 10 sin(pi wi + 1)^2), axis=1)
+        wi = w[:, :-1]
+        np.multiply(np.pi, wi, out=o3)
+        np.add(o3, 1.0, out=o3)
+        np.sin(o3, out=o3)
+        np.power(o3, 2, out=o3)
+        np.multiply(10.0, o3, out=o3)
+        np.add(1.0, o3, out=o3)
+        np.subtract(wi, 1.0, out=o2)
+        np.power(o2, 2, out=o2)
+        np.multiply(o2, o3, out=o2)
+        np.sum(o2, axis=1, out=vals)
+        # term3 = (wd - 1)^2 * (1 + sin(2 pi wd)^2)
+        wd = w[:, -1]
+        np.multiply(2.0 * np.pi, wd, out=t3)
+        np.sin(t3, out=t3)
+        np.power(t3, 2, out=t3)
+        np.add(1.0, t3, out=t3)
+        np.subtract(wd, 1.0, out=t4)
+        np.power(t4, 2, out=t4)
+        np.multiply(t4, t3, out=t3)
+        # term1 + middle + term3, left to right
+        np.add(t1, vals, out=vals)
+        np.add(vals, t3, out=vals)
+        return vals
+
+    return fn
+
+
+def _rosenbrock(rows: int, dim: int):
+    o1 = np.empty((rows, dim - 1), np.float64)
+    o2 = np.empty((rows, dim - 1), np.float64)
+    vals = np.empty(rows, np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        head, tail = p[:, :-1], p[:, 1:]
+        np.multiply(head, head, out=o1)
+        np.subtract(tail, o1, out=o1)
+        np.power(o1, 2, out=o1)
+        np.multiply(100.0, o1, out=o1)
+        np.subtract(1.0, head, out=o2)
+        np.power(o2, 2, out=o2)
+        np.add(o1, o2, out=o1)
+        np.sum(o1, axis=1, out=vals)
+        return vals
+
+    return fn
+
+
+def _zakharov(rows: int, dim: int):
+    vals = np.empty(rows, np.float64)
+    lin = np.empty(rows, np.float64)
+    l2 = np.empty(rows, np.float64)
+    l4 = np.empty(rows, np.float64)
+    weights = 0.5 * np.arange(1, dim + 1, dtype=np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        np.einsum("ij,ij->i", p, p, out=vals)
+        np.matmul(p, weights, out=lin)
+        np.power(lin, 2, out=l2)
+        np.power(lin, 4, out=l4)
+        np.add(vals, l2, out=vals)
+        np.add(vals, l4, out=vals)
+        return vals
+
+    return fn
+
+
+def _ackley(rows: int, dim: int):
+    o1 = np.empty((rows, dim), np.float64)
+    vals = np.empty(rows, np.float64)
+    mean_cos = np.empty(rows, np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        np.einsum("ij,ij->i", p, p, out=vals)
+        np.divide(vals, dim, out=vals)
+        np.sqrt(vals, out=vals)
+        np.multiply(-0.2, vals, out=vals)
+        np.exp(vals, out=vals)
+        np.multiply(-20.0, vals, out=vals)
+        np.multiply(2.0 * np.pi, p, out=o1)
+        np.cos(o1, out=o1)
+        np.mean(o1, axis=1, out=mean_cos)
+        np.exp(mean_cos, out=mean_cos)
+        np.subtract(vals, mean_cos, out=vals)
+        # Two separate adds, as in the original `... + 20.0 + np.e`.
+        np.add(vals, 20.0, out=vals)
+        np.add(vals, np.e, out=vals)
+        return vals
+
+    return fn
+
+
+def _schwefel(rows: int, dim: int):
+    o1 = np.empty((rows, dim), np.float64)
+    o2 = np.empty((rows, dim), np.float64)
+    vals = np.empty(rows, np.float64)
+
+    def fn(p: np.ndarray) -> np.ndarray:
+        np.abs(p, out=o1)
+        np.sqrt(o1, out=o1)
+        np.sin(o1, out=o1)
+        np.multiply(p, o1, out=o2)
+        np.sum(o2, axis=1, out=vals)
+        np.subtract(418.9829 * dim, vals, out=vals)
+        return vals
+
+    return fn
+
+
+#: Factories keyed by benchmark name; each needs ``dim >= 2`` (levy and
+#: rosenbrock slice off one column) which every registered benchmark
+#: already enforces.
+INPLACE_FUNCTIONS = {
+    "sphere": _sphere,
+    "griewank": _griewank,
+    "rastrigin": _rastrigin,
+    "levy": _levy,
+    "rosenbrock": _rosenbrock,
+    "zakharov": _zakharov,
+    "ackley": _ackley,
+    "schwefel": _schwefel,
+}
+
+
+def make_inplace_evaluator(name: str, rows: int, dim: int):
+    """An in-place evaluator for *name* over ``(rows, dim)`` float64
+    positions, or ``None`` when the function has no fast path (callers fall
+    back to the standard evaluator)."""
+    factory = INPLACE_FUNCTIONS.get(name)
+    if factory is None:
+        return None
+    if dim < 2:
+        return None
+    return factory(rows, dim)

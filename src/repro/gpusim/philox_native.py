@@ -100,12 +100,16 @@ def _build(source: Path) -> ctypes.CDLL | None:
     ):
         fn = getattr(lib, fn_name)
         fn.restype = None
+        # Raw addresses instead of typed pointers: callers pass
+        # ``arr.ctypes.data`` ints, skipping the per-call ``data_as``
+        # wrapper objects — this function is the hottest ctypes call in
+        # the per-iteration weight draw.
         fn.argtypes = [
             ctypes.c_uint64,
             ctypes.c_uint64,
             ctypes.c_uint64,
-            ctypes.POINTER(ctypes.c_uint32),
-            ctypes.POINTER(out_type),
+            ctypes.c_void_p,
+            ctypes.c_void_p,
         ]
     return lib
 
@@ -126,13 +130,7 @@ def _self_test(lib: ctypes.CDLL) -> bool:
         dtype=np.uint32,
     )
     got = np.empty(4 * n_blocks, dtype=np.float64)
-    lib.philox_unit_f64(
-        block0,
-        sid,
-        n_blocks,
-        keys.ctypes.data_as(ctypes.POINTER(ctypes.c_uint32)),
-        got.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
-    )
+    lib.philox_unit_f64(block0, sid, n_blocks, keys.ctypes.data, got.ctypes.data)
     idx = np.arange(block0, block0 + n_blocks, dtype=np.uint64)
     ctr = np.empty((n_blocks, 4), dtype=np.uint32)
     ctr[:, 0] = (idx & np.uint64(0xFFFFFFFF)).astype(np.uint32)
@@ -170,10 +168,6 @@ def available() -> bool:
     return load() is not None
 
 
-def _keys_ptr(keys: np.ndarray):
-    return keys.ctypes.data_as(ctypes.POINTER(ctypes.c_uint32))
-
-
 def unit_f32(
     lib: ctypes.CDLL,
     block0: int,
@@ -187,8 +181,8 @@ def unit_f32(
         block0,
         stream_id,
         n_blocks,
-        _keys_ptr(keys),
-        out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        keys.ctypes.data,
+        out.ctypes.data,
     )
 
 
@@ -205,6 +199,6 @@ def unit_f64(
         block0,
         stream_id,
         n_blocks,
-        _keys_ptr(keys),
-        out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        keys.ctypes.data,
+        out.ctypes.data,
     )

@@ -40,6 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.gpusim import philox_native as _philox_native
 
 __all__ = ["philox4x32", "ParallelRNG", "PHILOX_ROUNDS"]
 
@@ -146,6 +147,7 @@ class ParallelRNG:
         "_block",
         "_keys",
         "_flat_keys",
+        "_keys_addr",
         "_native",
         "_sid_lo",
         "_sid_hi",
@@ -176,9 +178,11 @@ class ParallelRNG:
         self._flat_keys = np.array(
             [half for pair in schedule for half in pair], dtype=np.uint32
         )
-        from repro.gpusim import philox_native
-
-        self._native = philox_native.load()
+        self._native = _philox_native.load()
+        # Raw address of the (immutable) flat key schedule: the native
+        # kernels take void* addresses, so the hot draw path passes this
+        # precomputed int instead of building ctypes wrappers per call.
+        self._keys_addr = self._flat_keys.ctypes.data
         self._sid_lo = np.uint64(self.stream_id & 0xFFFFFFFF)
         self._sid_hi = np.uint64((self.stream_id >> 32) & 0xFFFFFFFF)
         self._n_blocks = 0  # scratch capacity, in counter blocks
@@ -271,17 +275,14 @@ class ParallelRNG:
         if self._native is not None:
             # Scalar C kernel: same words, same (word + 0.5) * 2**-32 double
             # mapping, written straight into the reusable unit buffer.
-            from repro.gpusim import philox_native
-
             self._ensure_scratch(n_blocks)
             unit = self._unit
-            philox_native.unit_f64(
-                self._native,
+            self._native.philox_unit_f64(
                 self._block,
                 self.stream_id,
                 n_blocks,
-                self._flat_keys,
-                unit,
+                self._keys_addr,
+                unit.ctypes.data,
             )
             self._block += n_blocks
             return unit.reshape(-1)[:n]
@@ -334,12 +335,18 @@ class ParallelRNG:
         engines' workspace arena uses for the per-iteration weight matrices.
         The stream consumes exactly the same counter blocks either way.
         """
-        if np.isscalar(shape):
+        if not isinstance(shape, (tuple, list)):
             shape = (int(shape),)
-        n = int(np.prod(shape, dtype=np.int64))
+        n = 1
+        for extent in shape:
+            n *= int(extent)
         if n < 0:
             raise ValueError("shape must be non-negative")
-        if not (np.isfinite(low) and np.isfinite(high)) or high < low:
+        # The unit range [0, 1) — the per-iteration weight draws — is
+        # trivially valid; skip the finiteness checks on the hot path.
+        if (low != 0.0 or high != 1.0) and (
+            not (np.isfinite(low) and np.isfinite(high)) or high < low
+        ):
             raise InvalidParameterError(
                 f"invalid uniform range [{low}, {high})"
             )
@@ -363,16 +370,13 @@ class ParallelRNG:
             # The C kernel rounds each double once to float32 — exactly what
             # ``copyto(float32_out, float64_unit)`` does below, so values
             # and stream consumption are bit-identical to the NumPy path.
-            from repro.gpusim import philox_native
-
             n_blocks = n // 4
-            philox_native.unit_f32(
-                self._native,
+            self._native.philox_unit_f32(
                 self._block,
                 self.stream_id,
                 n_blocks,
-                self._flat_keys,
-                out,
+                self._keys_addr,
+                out.ctypes.data,
             )
             self._block += n_blocks
             return out

@@ -75,6 +75,7 @@ ENGINES_PUBLIC = {
     "OpenMPEngine",
     "PySwarmsLikeEngine",
     "ScikitOptLikeEngine",
+    "resolve_engine",
     "SequentialEngine",
     "available_engines",
     "engine_supports_graph",
