@@ -15,7 +15,10 @@ Algorithm on GPUs* (ICPP 2021).  The package layers:
 * :mod:`repro.batch` — the batch job scheduler multiplexing many
   independent problems onto the simulated fleet;
 * :mod:`repro.reliability` — checkpoint/resume, deterministic fault
-  injection and retry/failover for single runs and batch fleets.
+  injection and retry/failover for single runs and batch fleets;
+* :mod:`repro.serve` — the async serving front-end: job submission over
+  virtual time, streaming best-so-far results, per-tenant quotas,
+  queue-depth autoscaling and checkpoint-backed cancellation.
 
 Quickstart::
 
@@ -43,9 +46,27 @@ Long runs checkpoint and resume bit-identically::
     FastPSO(seed=1).minimize("sphere", dim=50, max_iter=500,
                              checkpoint="ckpts/")
     result = resume("ckpts/")          # or FastPSO.resume("ckpts/")
+
+Serving (async, streaming, autoscaled)::
+
+    import asyncio
+    from repro import Job, OptimizationService
+
+    async def main():
+        service = OptimizationService(n_devices=1, autoscale=True)
+        ticket = await service.submit(Job("sphere", dim=32, seed=1))
+        return await ticket.wait()
+
+    result = asyncio.run(main())
 """
 
-from repro.batch import AdmissionPolicy, BatchResult, BatchScheduler, Job
+from repro.batch import (
+    AdmissionPolicy,
+    BatchResult,
+    BatchScheduler,
+    Job,
+    resolve_policy,
+)
 from repro.core import (
     PAPER_DEFAULTS,
     Budget,
@@ -55,9 +76,19 @@ from repro.core import (
     PSOParams,
 )
 from repro.core.results import RUN_STATUSES
-from repro.engines import ENGINE_NAMES, available_engines, make_engine
+from repro.engines import (
+    ENGINE_NAMES,
+    available_engines,
+    make_engine,
+    resolve_engine,
+)
 from repro.errors import ReproError
-from repro.functions import available_functions, get_function
+from repro.functions import (
+    available_functions,
+    get_function,
+    make_function,
+    resolve_function,
+)
 from repro.reliability import (
     BreakerPolicy,
     CheckpointManager,
@@ -69,8 +100,14 @@ from repro.reliability import (
     resume,
     run_with_recovery,
 )
+from repro.serve import (
+    AutoscalePolicy,
+    LoadProfile,
+    OptimizationService,
+    TenantQuota,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FastPSO",
@@ -82,8 +119,12 @@ __all__ = [
     "ReproError",
     "available_functions",
     "get_function",
+    "make_function",
+    "resolve_function",
     "make_engine",
     "available_engines",
+    "resolve_engine",
+    "resolve_policy",
     "ENGINE_NAMES",
     "AdmissionPolicy",
     "BatchScheduler",
@@ -99,5 +140,9 @@ __all__ = [
     "SwarmHealthGuard",
     "resume",
     "run_with_recovery",
+    "AutoscalePolicy",
+    "LoadProfile",
+    "OptimizationService",
+    "TenantQuota",
     "__version__",
 ]

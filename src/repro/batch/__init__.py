@@ -31,20 +31,36 @@ from repro.batch.admission import (
     AdmissionPolicy,
     estimate_job_bytes,
 )
+from repro.batch.dispatch import (
+    FleetTimeline,
+    LanePlacement,
+    RunningJob,
+    start_job,
+)
 from repro.batch.job import Job, JobOutcome
-from repro.batch.scheduler import POLICIES, BatchResult, BatchScheduler
+from repro.batch.scheduler import (
+    POLICIES,
+    BatchResult,
+    BatchScheduler,
+    resolve_policy,
+)
 from repro.batch.workload import WORKLOAD_PROBLEMS, mixed_workload
 
 __all__ = [
     "ADMISSION_MODES",
     "AdmissionDecision",
     "AdmissionPolicy",
+    "FleetTimeline",
+    "LanePlacement",
     "Job",
     "JobOutcome",
     "BatchScheduler",
     "BatchResult",
     "POLICIES",
+    "RunningJob",
     "estimate_job_bytes",
     "mixed_workload",
+    "resolve_policy",
+    "start_job",
     "WORKLOAD_PROBLEMS",
 ]

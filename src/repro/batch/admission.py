@@ -232,6 +232,41 @@ class AdmissionPolicy:
             decisions[i] = fitted[group][i]
         return [decisions[i] for i in range(len(jobs))]
 
+    def admit_one(
+        self,
+        job: Job,
+        *,
+        submit_order: int,
+        streams_per_device: int,
+        device_mem_bytes: int,
+        queue_depth: int = 0,
+    ) -> AdmissionDecision:
+        """Decide one job's fate at arrival time (the serving-layer gate).
+
+        Where :meth:`plan` gates a *closed* batch (priority-ranked as a
+        set), a service admits jobs one at a time as they arrive:
+        *queue_depth* is the number of jobs already waiting — when it has
+        reached ``max_queue`` the arrival is shed (or refused in
+        ``"strict"`` mode), otherwise the job walks the same memory ladder
+        a batch job would.  Pure arithmetic, so identical arrival sequences
+        reproduce identical decisions.
+        """
+        if self.max_queue is not None and queue_depth >= self.max_queue:
+            return self._refuse(
+                submit_order,
+                job,
+                reason=(
+                    f"queue bound {self.max_queue} exceeded "
+                    f"(depth {queue_depth})"
+                ),
+            )
+        return self._fit_memory(
+            submit_order,
+            job,
+            capacity=self.capacity_bytes(device_mem_bytes),
+            lanes=streams_per_device,
+        )
+
     def _refuse(self, index: int, job: Job, *, reason: str) -> AdmissionDecision:
         if self.mode == "strict":
             raise AdmissionError(

@@ -102,29 +102,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.batch.admission import ADMISSION_MODES, AdmissionPolicy
+from repro.batch.dispatch import (
+    FleetTimeline,
+    LanePlacement,
+    effective_engine_options,
+)
 from repro.batch.job import Job, JobOutcome
 from repro.core.budget import Budget
 from repro.core.results import OptimizeResult
 from repro.errors import InvalidParameterError, ReproError
-from repro.gpusim.clock import SimClock
 from repro.gpusim.launch import LaunchStats
 from repro.gpusim.profiler import ProfileReport, build_report_from_stats
-from repro.gpusim.streams import Stream
+from repro.utils.naming import unknown_name
 from repro.utils.tables import format_table
 
-__all__ = ["BatchScheduler", "BatchResult", "POLICIES"]
+__all__ = ["BatchScheduler", "BatchResult", "POLICIES", "resolve_policy"]
 
 #: Supported packing policies, in documentation order.
 POLICIES = ("fifo", "packed", "fused")
 
 
-@dataclass
-class _Lane:
-    """One stream of one device — the unit of placement."""
+def resolve_policy(policy: str) -> str:
+    """Validate a packing-policy name, returning its canonical spelling.
 
-    device_index: int
-    stream_index: int
-    stream: Stream
+    The policy-registry analogue of :func:`repro.engines.resolve_engine`
+    and :func:`repro.functions.resolve_function` — same unified
+    unknown-name contract (:class:`~repro.errors.InvalidParameterError`
+    with a did-you-mean hint via :mod:`repro.utils.naming`).
+    """
+    key = str(policy).lower()
+    if key not in POLICIES:
+        raise unknown_name("policy", policy, POLICIES)
+    return key
 
 
 def _lane_duration(report) -> float:
@@ -488,16 +497,7 @@ class BatchScheduler:
             raise InvalidParameterError(
                 f"need at least one stream per device, got {streams_per_device}"
             )
-        if policy not in POLICIES:
-            # Mirror make_engine's alias behaviour: suggest the nearest
-            # known packing mode before listing them all.
-            import difflib
-
-            close = difflib.get_close_matches(str(policy), POLICIES, n=1)
-            hint = f"; did you mean {close[0]!r}?" if close else ""
-            raise InvalidParameterError(
-                f"unknown policy {policy!r}{hint} choose from {POLICIES}"
-            )
+        policy = resolve_policy(policy)
         if policy == "fused" and (
             retry is not None or faults is not None or breaker is not None
         ):
@@ -582,13 +582,7 @@ class BatchScheduler:
     def _job_engine_options(self, job: Job) -> dict:
         """The job's engine options with the scheduler's graph default mixed
         in (the job's own setting always wins)."""
-        opts = dict(job.engine_options)
-        if self.graph is not None:
-            from repro.engines import engine_supports_graph
-
-            if engine_supports_graph(job.engine):
-                opts.setdefault("graph", self.graph)
-        return opts
+        return effective_engine_options(job, self.graph)
 
     # -- submission ----------------------------------------------------------
     def submit(self, job: Job | None = None, /, **spec: object) -> Job:
@@ -791,15 +785,12 @@ class BatchScheduler:
 
     def _effective_budget(self, job: Job) -> Budget | None:
         """Tightest-wins merge of job, fleet and deadline budgets."""
-        budget = job.budget
-        if self.budget is not None:
-            budget = (
-                self.budget if budget is None else budget.merged(self.budget)
-            )
-        if self.deadline is not None:
-            cap = Budget(wall_seconds=self.deadline)
-            budget = cap if budget is None else budget.merged(cap)
-        return budget
+        deadline = (
+            Budget(wall_seconds=self.deadline)
+            if self.deadline is not None
+            else None
+        )
+        return Budget.merge_all(job.budget, self.budget, deadline)
 
     def _contained_execute(
         self, index: int, job: Job, *, health, base_now, preferred_device=None
@@ -1003,13 +994,15 @@ class BatchScheduler:
         (``report.device_index``), placement is pinned to that device's
         lanes — open-breaker devices stop receiving work and the schedule
         re-packs onto the healthy ones.
+
+        Placement arithmetic lives in
+        :class:`~repro.batch.dispatch.FleetTimeline` (shared with the
+        serving layer); the rule is unchanged from the Stream-based
+        implementation — earliest-available lane, ties to the lowest
+        (device, stream) — so schedules are bit-identical to prior
+        releases.
         """
-        clocks = [SimClock() for _ in range(self.n_devices)]
-        lanes = [
-            _Lane(dev, s, Stream(clocks[dev]))
-            for dev in range(self.n_devices)
-            for s in range(self.streams_per_device)
-        ]
+        timeline = FleetTimeline(self.n_devices, self.streams_per_device)
 
         order = [
             i
@@ -1040,31 +1033,21 @@ class BatchScheduler:
             # submission order so the schedule is fully deterministic.
             units.sort(key=lambda u: (-u[1], u[0][0]))
 
-        placements: dict[int, tuple[_Lane, float, float]] = {}
+        placements: dict[int, LanePlacement] = {}
         for unit, duration in units:
             report = executed[unit[0]]
-            candidates = lanes
-            if health is not None and report.device_index is not None:
-                pinned = [
-                    ln
-                    for ln in lanes
-                    if ln.device_index == report.device_index
-                ]
-                candidates = pinned or lanes
-            # Earliest-available lane; ties go to the lowest lane index so
-            # single-lane batches degenerate to the serial schedule.
-            lane = min(candidates, key=lambda ln: ln.stream.horizon)
-            start = max(lane.stream.horizon, lane.stream.clock.now)
-            end = lane.stream.enqueue(duration)
-            lane.stream.record_event()
+            devices = None
+            if (
+                health is not None
+                and report.device_index is not None
+                and 0 <= report.device_index < self.n_devices
+            ):
+                devices = (report.device_index,)
+            placement = timeline.place(duration, devices=devices)
             for i in unit:
-                placements[i] = (lane, start, end)
+                placements[i] = placement
 
-        # Drain every device: the host "joins" the batch, advancing each
-        # shared clock to its streams' horizon (the device makespan).
-        for lane in lanes:
-            lane.stream.synchronize()
-        device_makespans = [clock.now for clock in clocks]
+        device_makespans = timeline.device_makespans()
 
         outcomes = []
         for i, job in enumerate(batch):
@@ -1089,7 +1072,7 @@ class BatchScheduler:
                     )
                 )
                 continue
-            lane, start, end = placements[i]
+            placement = placements[i]
             if report.result is None:
                 status = "failed"
             elif report.result.status != "completed":
@@ -1104,11 +1087,11 @@ class BatchScheduler:
                 JobOutcome(
                     job=job,
                     result=report.result,
-                    device_index=lane.device_index,
-                    stream_index=lane.stream_index,
+                    device_index=placement.device_index,
+                    stream_index=placement.stream_index,
                     submit_order=i,
-                    start_seconds=start,
-                    end_seconds=end,
+                    start_seconds=placement.start_seconds,
+                    end_seconds=placement.end_seconds,
                     status=status,
                     attempts=report.attempts,
                     error=report.error,

@@ -1,0 +1,67 @@
+"""The ``repro`` console entry point: one front door to the sub-CLIs.
+
+``repro <command> [args...]`` dispatches to the per-subsystem CLIs that
+also exist as runnable modules:
+
+* ``repro serve``  → :mod:`repro.serve.__main__` (load-generator drill)
+* ``repro batch``  → :mod:`repro.batch.__main__` (batch scheduler)
+* ``repro bench``  → :mod:`repro.bench.cli` (paper experiment driver)
+
+Each command's own ``--help`` documents its flags; exit codes pass
+through unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _serve(argv: list[str]) -> int:
+    from repro.serve.__main__ import main
+
+    return main(argv)
+
+
+def _batch(argv: list[str]) -> int:
+    from repro.batch.__main__ import main
+
+    return main(argv)
+
+
+def _bench(argv: list[str]) -> int:
+    from repro.bench.cli import main
+
+    return main(argv)
+
+
+_COMMANDS = {
+    "serve": _serve,
+    "batch": _batch,
+    "bench": _bench,
+}
+
+_USAGE = (
+    "usage: repro {serve,batch,bench} [args...]\n"
+    "\n"
+    "commands:\n"
+    "  serve   run the serving-layer load drill (python -m repro.serve)\n"
+    "  batch   run the batch scheduler CLI (python -m repro.batch)\n"
+    "  bench   run paper experiments (fastpso-bench)\n"
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command, rest = argv[0], argv[1:]
+    handler = _COMMANDS.get(command)
+    if handler is None:
+        print(f"repro: unknown command {command!r}\n{_USAGE}", file=sys.stderr)
+        return 2
+    return handler(rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,23 @@ class Budget:
             evaluations=tight(self.evaluations, other.evaluations),
         )
 
+    @classmethod
+    def merge_all(cls, *budgets: "Budget | None") -> "Budget | None":
+        """Tightest-wins merge of any number of budgets (``None`` entries
+        are skipped; all-``None`` yields ``None``).
+
+        The serving layer composes up to four sources per job — the job's
+        own budget, the tenant quota's, the service-wide budget and the
+        deadline shorthand — and merge order never matters: ``min`` per
+        axis is associative and commutative.
+        """
+        merged: Budget | None = None
+        for budget in budgets:
+            if budget is None:
+                continue
+            merged = budget if merged is None else merged.merged(budget)
+        return merged
+
     def to_spec(self) -> dict:
         """JSON-safe description, the inverse of :meth:`from_spec`."""
         return {

@@ -128,27 +128,9 @@ class EngineRun:
             # Captured *after* the stop criterion observed this
             # iteration, so a resumed StallStop continues its count
             # exactly where the original run's would be.
-            from repro.reliability.snapshot import capture_run
+            from repro.reliability.snapshot import capture_live_run
 
-            self.checkpoint.save(
-                capture_run(
-                    engine_name=self.engine.name,
-                    problem=self.problem,
-                    params=self.params,
-                    n_particles=self.n_particles,
-                    max_iter=self.max_iter,
-                    iteration=self.iterations_run,
-                    record_history=self.record_history,
-                    rng=self.rng,
-                    clock=self.engine.clock,
-                    setup_seconds=self.setup_seconds,
-                    stop=self.stop,
-                    state=state,
-                    history=self.history,
-                    budget=self.budget,
-                    budget_tracker=self.tracker,
-                )
-            )
+            self.checkpoint.save(capture_live_run(self))
         return stopping
 
     def finish(self) -> OptimizeResult:

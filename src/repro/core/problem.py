@@ -18,7 +18,7 @@ from repro.core.schema import (
     ParticleEvaluation,
 )
 from repro.errors import InvalidProblemError
-from repro.functions.base import BenchmarkFunction, EvalProfile, get_function
+from repro.functions.base import BenchmarkFunction, EvalProfile, make_function
 from repro.utils.arrays import as_float_vector
 
 __all__ = ["Problem"]
@@ -71,7 +71,7 @@ class Problem:
         cls, function: str | BenchmarkFunction, dim: int
     ) -> "Problem":
         """Build a problem from a built-in benchmark function by name."""
-        fn = get_function(function) if isinstance(function, str) else function
+        fn = make_function(function) if isinstance(function, str) else function
         lo, hi = fn.domain
         return cls(
             name=fn.name,

@@ -25,7 +25,9 @@ STEP_LABELS = ("init", "eval", "pbest", "gbest", "swarm")
 #: Terminal statuses a run (or batch job) can end in.  The first four come
 #: out of the engine loop; ``"degraded"`` and ``"shed"`` are assigned by the
 #: batch scheduler's admission layer; ``"failed"`` by the retry layer when
-#: recovery is exhausted.
+#: recovery is exhausted; ``"cancelled"`` by the serving layer when a client
+#: cancels a queued or in-flight job (best-so-far fields remain valid, like
+#: a budget expiry).
 RUN_STATUSES = (
     "completed",
     "deadline_exceeded",
@@ -33,6 +35,7 @@ RUN_STATUSES = (
     "degraded",
     "shed",
     "failed",
+    "cancelled",
 )
 
 

@@ -23,8 +23,6 @@ did-you-mean suggestion.
 
 from __future__ import annotations
 
-import difflib
-
 from repro.core.engine import Engine
 from repro.engines.async_pso import AsyncFastPSOEngine
 from repro.engines.cpu_omp import OpenMPEngine
@@ -36,7 +34,7 @@ from repro.engines.lib_base import LibraryEngineBase
 from repro.engines.multi_gpu import MultiGpuFastPSOEngine
 from repro.engines.pyswarms_like import PySwarmsLikeEngine
 from repro.engines.scikit_opt_like import ScikitOptLikeEngine
-from repro.errors import InvalidParameterError
+from repro.utils.naming import unknown_name
 
 __all__ = [
     "Engine",
@@ -134,12 +132,7 @@ def resolve_engine(name: str) -> tuple[str, dict[str, object]]:
         key, alias_implied = _ALIASES[key]
         implied = dict(alias_implied)
     if key not in _FACTORIES:
-        close = difflib.get_close_matches(key, available_engines(), n=1)
-        hint = f"; did you mean {close[0]!r}?" if close else ""
-        raise InvalidParameterError(
-            f"unknown engine {name!r}{hint} "
-            f"available: {', '.join(available_engines())}"
-        ) from None
+        raise unknown_name("engine", name, available_engines()) from None
     return key, implied
 
 

@@ -26,6 +26,7 @@ __all__ = [
     "ConfigurationError",
     "InvalidProblemError",
     "InvalidParameterError",
+    "UnknownFunctionError",
     "EvaluationError",
     "BenchmarkError",
     "CheckpointError",
@@ -192,6 +193,17 @@ class InvalidProblemError(ConfigurationError):
 
 class InvalidParameterError(ConfigurationError):
     """A PSO hyper-parameter or engine option is outside its legal range."""
+
+
+class UnknownFunctionError(InvalidParameterError, InvalidProblemError):
+    """An unknown benchmark-function name was looked up.
+
+    Inherits from *both* :class:`InvalidParameterError` (the unified
+    unknown-name contract every registry shares — engines, policies,
+    functions) and :class:`InvalidProblemError` (what
+    :func:`repro.functions.get_function` historically raised), so either
+    ``except`` clause keeps catching it.
+    """
 
 
 class EvaluationError(OptimizationError):

@@ -1,7 +1,9 @@
 """Built-in swarm evaluation functions (paper Section 3.2).
 
-Importing this package registers every built-in function; look them up with
-:func:`get_function` or enumerate them with :func:`available_functions`.
+Importing this package registers every built-in function; build one with
+:func:`make_function` (or resolve a name with :func:`resolve_function`) and
+enumerate them with :func:`available_functions`.  :func:`get_function` is
+the deprecated pre-rename spelling of :func:`make_function`.
 The paper's evaluation set is ``sphere``, ``griewank`` and ``easom``; the
 rest are the wider Molga & Smutnicki collection FastPSO ships as built-ins.
 """
@@ -12,7 +14,9 @@ from repro.functions.base import (
     EvalProfile,
     available_functions,
     get_function,
+    make_function,
     register,
+    resolve_function,
 )
 from repro.functions.dixon_price import DixonPrice
 from repro.functions.easom import Easom
@@ -34,6 +38,8 @@ __all__ = [
     "EvalProfile",
     "available_functions",
     "get_function",
+    "make_function",
+    "resolve_function",
     "register",
     "PAPER_FUNCTIONS",
     "Sphere",

@@ -25,13 +25,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import InvalidProblemError
+from repro.errors import InvalidProblemError, UnknownFunctionError
 from repro.utils.arrays import ensure_2d
+from repro.utils.naming import unknown_name
 
 __all__ = [
     "EvalProfile",
     "BenchmarkFunction",
     "register",
+    "make_function",
+    "resolve_function",
     "get_function",
     "available_functions",
 ]
@@ -119,15 +122,54 @@ def register(cls: type[BenchmarkFunction]) -> type[BenchmarkFunction]:
     return cls
 
 
-def get_function(name: str) -> BenchmarkFunction:
-    """Instantiate a registered benchmark function by (case-insensitive) name."""
-    try:
-        return _REGISTRY[name.lower()]()
-    except KeyError:
-        raise InvalidProblemError(
-            f"unknown benchmark function {name!r}; "
-            f"available: {sorted(_REGISTRY)}"
+def resolve_function(name: str) -> str:
+    """Resolve *name* to its canonical registry key.
+
+    The function-registry analogue of
+    :func:`repro.engines.resolve_engine`: callers that *compare* or
+    serialize function names see through case differences without paying
+    for an instantiation.  Unknown names raise
+    :class:`~repro.errors.UnknownFunctionError` (an
+    :class:`~repro.errors.InvalidParameterError`) with a did-you-mean hint.
+    """
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise unknown_name(
+            "benchmark function",
+            name,
+            available_functions(),
+            exc_type=UnknownFunctionError,
         ) from None
+    return key
+
+
+def make_function(name: str) -> BenchmarkFunction:
+    """Instantiate a registered benchmark function by (case-insensitive) name.
+
+    The function-registry analogue of :func:`repro.engines.make_engine`.
+    Unknown names raise :class:`~repro.errors.UnknownFunctionError` with a
+    did-you-mean hint and the full registry listing.
+    """
+    return _REGISTRY[resolve_function(name)]()
+
+
+def get_function(name: str) -> BenchmarkFunction:
+    """Deprecated alias of :func:`make_function`.
+
+    .. deprecated::
+        Renamed to :func:`make_function` to mirror ``make_engine`` /
+        ``resolve_engine``; this shim forwards and will be removed in a
+        future release.
+    """
+    import warnings
+
+    warnings.warn(
+        "get_function() is renamed to make_function() (mirroring "
+        "make_engine); the get_function alias will be removed",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_function(name)
 
 
 def available_functions() -> list[str]:

@@ -47,7 +47,11 @@ from repro.reliability.retry import (
     RetryPolicy,
     run_with_recovery,
 )
-from repro.reliability.snapshot import RunSnapshot, capture_run
+from repro.reliability.snapshot import (
+    RunSnapshot,
+    capture_live_run,
+    capture_run,
+)
 
 __all__ = [
     "BreakerPolicy",
@@ -64,6 +68,7 @@ __all__ = [
     "RetryPolicy",
     "RunSnapshot",
     "SwarmHealthGuard",
+    "capture_live_run",
     "capture_run",
     "read_snapshot",
     "resume",

@@ -44,6 +44,7 @@ from repro.errors import CheckpointError
 
 __all__ = [
     "RunSnapshot",
+    "capture_live_run",
     "capture_run",
     "ensure_capturable",
     "params_to_spec",
@@ -366,7 +367,7 @@ def ensure_capturable(problem: Problem) -> None:
     of at the first due checkpoint mid-run.
     """
     from repro.core.schema import BuiltinEvaluation
-    from repro.functions.base import get_function
+    from repro.functions.base import resolve_function
 
     if not isinstance(problem.evaluator, BuiltinEvaluation):
         raise CheckpointError(
@@ -374,11 +375,38 @@ def ensure_capturable(problem: Problem) -> None:
             "cannot be rebuilt from a snapshot document)"
         )
     try:
-        get_function(problem.name)
+        resolve_function(problem.name)
     except Exception as exc:
         raise CheckpointError(
             f"problem {problem.name!r} is not a registered benchmark"
         ) from exc
+
+
+def capture_live_run(run) -> RunSnapshot:
+    """Snapshot an in-flight :class:`~repro.core.engine.EngineRun`.
+
+    Captures the run at its current iteration (the iterations completed so
+    far) — the periodic checkpoint path and checkpoint-backed cancellation
+    (:mod:`repro.serve`) both go through here, so a cancelled job's
+    snapshot resumes exactly like a crash-recovery one.
+    """
+    return capture_run(
+        engine_name=run.engine.name,
+        problem=run.problem,
+        params=run.params,
+        n_particles=run.n_particles,
+        max_iter=run.max_iter,
+        iteration=run.iterations_run,
+        record_history=run.record_history,
+        rng=run.rng,
+        clock=run.engine.clock,
+        setup_seconds=run.setup_seconds,
+        stop=run.stop,
+        state=run.state,
+        history=run.history,
+        budget=run.budget,
+        budget_tracker=run.tracker,
+    )
 
 
 def capture_run(

@@ -1,0 +1,52 @@
+"""repro.serve: async PSO-as-a-service on the simulated fleet.
+
+The serving layer turns the batch machinery into an *open* system:
+:class:`OptimizationService` accepts jobs over virtual time with an async
+submit/stream/cancel/status API, gates them with per-tenant
+:class:`TenantQuota`\\ s and the admission memory ladder, dispatches onto
+a growable fleet under an :class:`AutoscalePolicy`, streams best-so-far
+improvements while runs are in flight, and supports checkpoint-backed
+cancellation with bit-identical resume.  Every decision lands on a
+deterministic event log (:class:`ServiceEvent`) so seeded load replays
+(:class:`LoadProfile` / :func:`run_drill`) are byte-for-byte reproducible.
+
+``python -m repro.serve`` runs the load-generator drill from the command
+line (also available as ``repro serve``).
+"""
+
+from __future__ import annotations
+
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
+from repro.serve.events import EVENT_KINDS, ServiceEvent, events_to_json
+from repro.serve.loadgen import (
+    ClientSession,
+    LoadProfile,
+    build_sessions,
+    replay,
+    run_drill,
+)
+from repro.serve.quota import TenantQuota
+from repro.serve.service import (
+    JobTicket,
+    OptimizationService,
+    ProgressUpdate,
+    ServiceReport,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ClientSession",
+    "EVENT_KINDS",
+    "JobTicket",
+    "LoadProfile",
+    "OptimizationService",
+    "ProgressUpdate",
+    "ServiceEvent",
+    "ServiceReport",
+    "TenantQuota",
+    "build_sessions",
+    "events_to_json",
+    "replay",
+    "run_drill",
+]

@@ -1,0 +1,130 @@
+"""CLI for the serving layer: ``python -m repro.serve`` / ``repro serve``.
+
+Runs the seeded load-generator drill against an
+:class:`~repro.serve.service.OptimizationService`: ``--sessions`` clients
+arrive with exponential gaps (``--mean-interarrival``, virtual seconds),
+optionally cancelling mid-run (``--cancel-fraction``), against a fleet of
+``--devices`` simulated devices that autoscales up to ``--max-devices``
+(``--no-autoscale`` pins the fleet).  Prints the latency/throughput/shed
+report and optionally writes it (``--out``) and the canonical event log
+(``--events-json``) — two runs with the same flags produce byte-identical
+event logs, which the CI serve drill asserts with ``cmp``.
+
+Exit code: 1 when any job failed (contained engine error), else 0 —
+sheds and cancels are expected under load, not failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.io import atomic_write_text
+from repro.serve.autoscale import AutoscalePolicy
+from repro.serve.loadgen import LoadProfile, run_drill
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    parser.add_argument("--sessions", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=2e-5,
+        metavar="S",
+        help="mean exponential gap between arrivals, in virtual seconds",
+    )
+    parser.add_argument(
+        "--cancel-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of clients that cancel mid-run",
+    )
+    parser.add_argument("--devices", type=int, default=1)
+    parser.add_argument("--streams", type=int, default=4)
+    parser.add_argument(
+        "--no-autoscale",
+        action="store_true",
+        help="pin the fleet at --devices (autoscaling is on by default)",
+    )
+    parser.add_argument(
+        "--max-devices",
+        type=int,
+        default=4,
+        help="autoscaling ceiling (ignored with --no-autoscale)",
+    )
+    parser.add_argument(
+        "--boot-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="virtual boot delay before a scaled-up device opens",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue bound: arrivals beyond it are shed",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock deadline in host seconds",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="write cancellation checkpoints here (enables resubmit)",
+    )
+    parser.add_argument("--out", help="write the report JSON here")
+    parser.add_argument(
+        "--events-json",
+        metavar="PATH",
+        help="write the canonical event log here (byte-stable)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = LoadProfile(
+        n_sessions=args.sessions,
+        seed=args.seed,
+        mean_interarrival=args.mean_interarrival,
+        cancel_fraction=args.cancel_fraction,
+    )
+    autoscale = None
+    if not args.no_autoscale:
+        autoscale = AutoscalePolicy(
+            min_devices=args.devices,
+            max_devices=max(args.max_devices, args.devices),
+            boot_seconds=args.boot_seconds,
+        )
+    service = run_drill(
+        profile,
+        n_devices=args.devices,
+        streams_per_device=args.streams,
+        autoscale=autoscale,
+        max_queue=args.max_queue,
+        deadline=args.deadline,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    report = service.report()
+    print(report.summary())
+    if args.out:
+        atomic_write_text(
+            args.out, json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.out}")
+    if args.events_json:
+        atomic_write_text(args.events_json, service.events_json())
+        print(f"wrote {args.events_json}")
+    return 1 if report.counts.get("failed", 0) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

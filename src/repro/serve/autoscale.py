@@ -1,0 +1,127 @@
+"""Queue-depth autoscaling of the simulated fleet.
+
+The autoscaler grows and shrinks the service's
+:class:`~repro.batch.dispatch.FleetTimeline` from *observations* the
+service feeds it — queue depth and active device count at each arrival and
+each completion, both in virtual time.  Decisions are pure arithmetic over
+those observations (no host clocks, no randomness), so a seeded load
+replay reproduces the exact same ``scale_up``/``scale_down`` event
+sequence — the property the serve drill asserts.
+
+Scale-up: when the queue holds at least ``queue_high`` pending jobs per
+active device, a device is provisioned; its lanes open ``boot_seconds``
+after the decision (simulated boot, so scaling is not free capacity).
+Scale-down: after ``idle_observations`` consecutive observations with an
+empty queue, the highest-indexed idle device is retired.  ``cooldown_seconds``
+of virtual time must pass between any two actions, damping oscillation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Configuration of the queue-depth autoscaler."""
+
+    #: Fleet size bounds (the service's initial ``n_devices`` must lie
+    #: within them).
+    min_devices: int = 1
+    max_devices: int = 4
+    #: Pending jobs per active device that trigger a scale-up.
+    queue_high: float = 4.0
+    #: Consecutive empty-queue observations before a scale-down.
+    idle_observations: int = 3
+    #: Virtual seconds between any two scaling actions.
+    cooldown_seconds: float = 0.0
+    #: Virtual seconds a new device takes to boot (lanes open late).
+    boot_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_devices < 1:
+            raise ConfigurationError(
+                f"min_devices must be >= 1, got {self.min_devices}"
+            )
+        if self.max_devices < self.min_devices:
+            raise ConfigurationError(
+                f"max_devices ({self.max_devices}) must be >= min_devices "
+                f"({self.min_devices})"
+            )
+        if not self.queue_high > 0:
+            raise ConfigurationError(
+                f"queue_high must be > 0, got {self.queue_high}"
+            )
+        if self.idle_observations < 1:
+            raise ConfigurationError(
+                f"idle_observations must be >= 1, got {self.idle_observations}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}"
+            )
+        if self.boot_seconds < 0:
+            raise ConfigurationError(
+                f"boot_seconds must be >= 0, got {self.boot_seconds}"
+            )
+
+
+class Autoscaler:
+    """Stateful decision loop over queue-depth observations."""
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        self.policy = policy
+        self._idle_streak = 0
+        self._last_action_at: float | None = None
+
+    def observe(
+        self,
+        *,
+        now: float,
+        queue_depth: int,
+        n_active: int,
+        can_shrink: bool,
+    ) -> tuple[str, str] | None:
+        """One observation; returns ``("up"|"down", reason)`` or ``None``.
+
+        *can_shrink* is the service telling the autoscaler whether an idle
+        victim device actually exists right now — a fleet whose devices
+        all still hold queued work keeps its size even after the idle
+        streak matures.
+        """
+        policy = self.policy
+        if (
+            self._last_action_at is not None
+            and now - self._last_action_at < policy.cooldown_seconds
+        ):
+            return None
+        if queue_depth > 0:
+            self._idle_streak = 0
+            if (
+                queue_depth >= policy.queue_high * n_active
+                and n_active < policy.max_devices
+            ):
+                self._last_action_at = now
+                return (
+                    "up",
+                    f"queue depth {queue_depth} >= {policy.queue_high:g} x "
+                    f"{n_active} active device(s)",
+                )
+            return None
+        self._idle_streak += 1
+        if (
+            self._idle_streak >= policy.idle_observations
+            and n_active > policy.min_devices
+            and can_shrink
+        ):
+            self._idle_streak = 0
+            self._last_action_at = now
+            return (
+                "down",
+                f"{policy.idle_observations} consecutive idle observations",
+            )
+        return None

@@ -1,0 +1,204 @@
+"""Seeded load generation: replay thousands of client sessions.
+
+A :class:`LoadProfile` describes an open-loop arrival process — session
+count, exponential inter-arrival gaps in *virtual* seconds, a tenant mix,
+per-session PSO job shape, and an optional fraction of clients that
+cancel mid-run after watching their stream.  :func:`build_sessions`
+expands it into a concrete, fully deterministic session list (one seeded
+``default_rng`` draw per profile), and :func:`replay` drives an
+:class:`~repro.serve.service.OptimizationService` through it: submit each
+session at its virtual arrival, attach cancel-watchers that consume the
+job's stream, then drain.
+
+Everything downstream of the seed is deterministic — the same profile
+against the same service configuration reproduces byte-identical event
+logs, which is exactly what the CI serve drill and ``BENCH_serve.json``
+assert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.job import Job
+from repro.errors import AdmissionError, ConfigurationError
+from repro.serve.service import JobTicket, OptimizationService
+
+__all__ = [
+    "ClientSession",
+    "LoadProfile",
+    "build_sessions",
+    "replay",
+    "run_drill",
+]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Declarative description of one synthetic client population."""
+
+    n_sessions: int = 1000
+    seed: int = 2021
+    #: Mean exponential gap between arrivals, in virtual seconds.  The
+    #: default sits near the solo duration of the default job shape, so a
+    #: single-device fleet queues and an autoscaled fleet grows.
+    mean_interarrival: float = 2e-5
+    problem: str = "sphere"
+    dim: int = 8
+    n_particles: int = 32
+    max_iter: int = 25
+    engine: str = "fastpso"
+    #: ``(tenant name, weight)`` mix; weights are normalized.
+    tenants: tuple = (("free", 0.7), ("pro", 0.3))
+    #: Fraction of sessions whose client cancels mid-run.
+    cancel_fraction: float = 0.0
+    #: Stream updates a cancelling client consumes before cancelling.
+    cancel_after_updates: int = 2
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 1:
+            raise ConfigurationError(
+                f"n_sessions must be >= 1, got {self.n_sessions}"
+            )
+        if not self.mean_interarrival > 0:
+            raise ConfigurationError(
+                f"mean_interarrival must be > 0, got {self.mean_interarrival}"
+            )
+        if not self.tenants:
+            raise ConfigurationError("tenants mix must be non-empty")
+        if any(w <= 0 for _, w in self.tenants):
+            raise ConfigurationError("tenant weights must be positive")
+        if not 0.0 <= self.cancel_fraction <= 1.0:
+            raise ConfigurationError(
+                f"cancel_fraction must be in [0, 1], got {self.cancel_fraction}"
+            )
+        if self.cancel_after_updates < 1:
+            raise ConfigurationError(
+                f"cancel_after_updates must be >= 1, "
+                f"got {self.cancel_after_updates}"
+            )
+
+
+@dataclass(frozen=True)
+class ClientSession:
+    """One concrete client: when it arrives, who it is, what it runs."""
+
+    index: int
+    arrival: float
+    tenant: str
+    seed: int
+    #: Updates to consume before cancelling (``None`` = never cancels).
+    cancel_after_updates: int | None
+
+    def job(self, profile: LoadProfile) -> Job:
+        return Job(
+            problem=profile.problem,
+            dim=profile.dim,
+            n_particles=profile.n_particles,
+            max_iter=profile.max_iter,
+            engine=profile.engine,
+            seed=self.seed,
+            name=f"session{self.index:05d}",
+            record_history=profile.record_history,
+        )
+
+
+def build_sessions(profile: LoadProfile) -> list[ClientSession]:
+    """Expand a profile into its deterministic session list."""
+    rng = np.random.default_rng(profile.seed)
+    gaps = rng.exponential(
+        profile.mean_interarrival, size=profile.n_sessions
+    )
+    arrivals = np.cumsum(gaps)
+    names = [name for name, _ in profile.tenants]
+    weights = np.array([w for _, w in profile.tenants], dtype=np.float64)
+    weights /= weights.sum()
+    tenant_picks = rng.choice(len(names), size=profile.n_sessions, p=weights)
+    seeds = rng.integers(0, 2**31, size=profile.n_sessions)
+    cancels = rng.random(profile.n_sessions) < profile.cancel_fraction
+    return [
+        ClientSession(
+            index=i,
+            arrival=float(arrivals[i]),
+            tenant=names[int(tenant_picks[i])],
+            seed=int(seeds[i]),
+            cancel_after_updates=(
+                profile.cancel_after_updates if cancels[i] else None
+            ),
+        )
+        for i in range(profile.n_sessions)
+    ]
+
+
+async def _cancel_watcher(ticket: JobTicket, after_updates: int) -> None:
+    """Consume the job's stream; cancel after *after_updates* updates.
+
+    If the job finishes before the threshold (or already finished before
+    the watcher ran), the cancel lands post-completion and is a no-op —
+    exactly the race a real client loses.
+    """
+    seen = 0
+    async for _ in ticket.stream():
+        seen += 1
+        if seen >= after_updates:
+            ticket.cancel()
+            return
+
+
+async def replay(
+    service: OptimizationService, profile: LoadProfile
+) -> list[JobTicket]:
+    """Drive *service* through the profile's sessions; returns tickets.
+
+    Strict-admission refusals are absorbed (the shed is on the event log;
+    the refused session simply has no ticket in the returned list).
+    """
+    sessions = build_sessions(profile)
+    tickets: list[JobTicket] = []
+    watchers: list[asyncio.Task] = []
+    for session in sessions:
+        try:
+            ticket = await service.submit(
+                session.job(profile),
+                tenant=session.tenant,
+                at=session.arrival,
+            )
+        except AdmissionError:
+            continue
+        tickets.append(ticket)
+        if (
+            session.cancel_after_updates is not None
+            and not ticket.finished
+        ):
+            watchers.append(
+                asyncio.ensure_future(
+                    _cancel_watcher(ticket, session.cancel_after_updates)
+                )
+            )
+    await service.drain()
+    for watcher in watchers:
+        watcher.cancel()
+        try:
+            await watcher
+        except asyncio.CancelledError:
+            pass
+    return tickets
+
+
+def run_drill(
+    profile: LoadProfile | None = None, **service_kwargs
+) -> OptimizationService:
+    """Synchronous one-call drill: build a service, replay, return it.
+
+    The returned service carries the full event log
+    (:meth:`~repro.serve.service.OptimizationService.events_json`) and
+    metrics (:meth:`~repro.serve.service.OptimizationService.report`).
+    """
+    profile = profile if profile is not None else LoadProfile()
+    service = OptimizationService(**service_kwargs)
+    asyncio.run(replay(service, profile))
+    return service

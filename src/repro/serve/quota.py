@@ -1,0 +1,81 @@
+"""Per-tenant quotas for the serving layer.
+
+A tenant is a client identity string; every
+:meth:`~repro.serve.service.OptimizationService.submit` names one
+(``"default"`` when the caller doesn't care).  A :class:`TenantQuota`
+bounds what that identity may do, riding the existing machinery instead of
+inventing new enforcement paths:
+
+* ``max_active`` / ``max_queued`` refuse arrivals the same way the
+  admission queue bound does (a deterministic ``shed`` event, or an
+  :class:`~repro.errors.AdmissionError` in strict mode);
+* ``budget`` merges tightest-wins into every job's effective
+  :class:`~repro.core.budget.Budget` (job budget, tenant budget,
+  service-wide budget and deadline compose via
+  :meth:`~repro.core.budget.Budget.merge_all`);
+* ``priority`` overrides ``Job.priority`` so a paid tier overtakes the
+  free tier in the dispatch queue without clients self-declaring
+  priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import Budget
+from repro.errors import ConfigurationError
+
+__all__ = ["TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits for one tenant; every field ``None`` means unrestricted.
+
+    ``max_active``
+        Most jobs the tenant may have in the system at once — queued plus
+        those still occupying a lane at the arrival's virtual time.
+    ``max_queued``
+        Most jobs the tenant may have waiting (not yet dispatched).
+    ``budget``
+        A :class:`Budget` merged (tightest-wins) into every job the
+        tenant submits.
+    ``priority``
+        Dispatch priority for the tenant's jobs (higher runs first),
+        overriding each job's own ``priority`` field.
+    """
+
+    max_active: int | None = None
+    max_queued: int | None = None
+    budget: Budget | None = None
+    priority: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_active", "max_queued"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"quota {name} must be an int, got {value!r}"
+                )
+            if value < 1:
+                raise ConfigurationError(
+                    f"quota {name} must be >= 1, got {value}"
+                )
+        if self.budget is not None and not isinstance(self.budget, Budget):
+            raise ConfigurationError(
+                f"quota budget must be a repro Budget, got "
+                f"{type(self.budget).__name__}"
+            )
+        if self.priority is not None and (
+            isinstance(self.priority, bool)
+            or not isinstance(self.priority, int)
+        ):
+            raise ConfigurationError(
+                f"quota priority must be an int, got {self.priority!r}"
+            )
+
+    def job_priority(self, job_priority: int) -> int:
+        """The dispatch priority a job of this tenant runs at."""
+        return self.priority if self.priority is not None else job_priority

@@ -1,0 +1,987 @@
+"""The asyncio serving front-end: PSO optimization as a service.
+
+:class:`OptimizationService` puts an async job API — submit, stream,
+cancel, status — in front of the batch/reliability machinery.  Where
+:class:`~repro.batch.scheduler.BatchScheduler` plans a *closed* batch,
+the service runs an *open* system: jobs arrive over (virtual) time, are
+gated by per-tenant quotas and the admission memory ladder, dispatched
+onto a :class:`~repro.batch.dispatch.FleetTimeline` that an autoscaler
+grows and shrinks, streamed while in flight, and cancellable at any
+phase.
+
+Determinism model — discrete-event simulation on two time axes
+--------------------------------------------------------------
+Every latency, timestamp and scaling decision lives in **virtual time**
+(simulated seconds, the same axis the engines' ``SimClock`` uses); host
+wall-clock never enters any decision.  Execution is host-sequential: one
+job actually computes at a time (on the
+:class:`~repro.batch.dispatch.RunningJob` stepped protocol, so results
+are bit-identical to solo runs), and its measured simulated duration is
+committed to the fleet timeline at the virtual start the dispatcher
+reserved.  Arrivals must be submitted in non-decreasing virtual order
+(``at=``); the service advances virtual time only as far as the latest
+known arrival, so a later high-priority arrival can still overtake
+queued work — and a seeded replay of the same arrival sequence
+reproduces byte-identical event logs.
+
+Who drives execution
+--------------------
+``submit()`` advances the simulation to the new arrival (dispatching
+whatever starts earlier), ``drain()`` runs everything still queued, and
+``JobTicket.wait()`` drives until that job finishes.  ``JobTicket.stream()``
+only *observes* — it yields best-so-far improvements as some driver
+executes the job, and ends at the job's terminal state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.batch.dispatch import (
+    FleetTimeline,
+    LanePlacement,
+    RunningJob,
+    effective_engine_options,
+)
+from repro.batch.job import Job
+from repro.batch.scheduler import BatchScheduler
+from repro.core.budget import Budget
+from repro.core.results import OptimizeResult
+from repro.errors import (
+    AdmissionError,
+    CheckpointError,
+    ConfigurationError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
+from repro.serve.events import ServiceEvent, events_to_json
+from repro.serve.quota import TenantQuota
+from repro.utils.stats import percentile
+
+__all__ = [
+    "JobTicket",
+    "OptimizationService",
+    "ProgressUpdate",
+    "ServiceReport",
+]
+
+@dataclass(frozen=True)
+class ProgressUpdate:
+    """One streamed improvement of a job's best-so-far value.
+
+    Emitted on the first executed iteration and then whenever the global
+    best strictly improves, so a consumer sees a monotonically decreasing
+    ``best_value`` sequence that reconstructs the solo run's
+    ``History.gbest_values`` trace exactly (carry the last value forward
+    over unlisted iterations).
+    """
+
+    job_id: int
+    iteration: int
+    best_value: float
+    sim_seconds: float
+
+
+class JobTicket:
+    """Handle to one submitted job: status, streaming, result, cancel.
+
+    Tickets are created by :meth:`OptimizationService.submit`; ``job_id``
+    is dense and ascending in submission order.  ``status`` is ``"queued"``
+    until dispatch, then a terminal engine status (``"completed"``,
+    ``"degraded"``, a budget status, …) or ``"shed"`` / ``"cancelled"`` /
+    ``"failed"``.
+    """
+
+    def __init__(
+        self, service: "OptimizationService", job_id: int, tenant: str, job: Job
+    ) -> None:
+        self._service = service
+        self.job_id = job_id
+        self.tenant = tenant
+        #: The job as submitted.
+        self.job = job
+        #: The job actually executed (admission may degrade it).
+        self.effective_job = job
+        self.arrival = 0.0
+        self.priority = job.priority
+        self.status = "queued"
+        self.admission_action = ""
+        self.admission_reason = ""
+        self.placement: LanePlacement | None = None
+        self.result: OptimizeResult | None = None
+        #: Checkpoint file written by a mid-run cancel (resubmit resumes it).
+        self.checkpoint_path: Path | None = None
+        #: Ticket this job resumed from (checkpoint-backed requeue).
+        self.resumed_from: int | None = None
+        self.cancel_requested = False
+        self._restore_path: Path | None = None
+        self._updates: asyncio.Queue = asyncio.Queue()
+        self._done = asyncio.Event()
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Virtual submit-to-finish latency (``None`` until dispatched)."""
+        if self.placement is None:
+            return None
+        return self.placement.end_seconds - self.arrival
+
+    def to_row(self) -> dict:
+        """JSON-safe status row (the ``status`` API and CLI output)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "label": self.job.label,
+            "status": self.status,
+            "priority": self.priority,
+            "arrival": self.arrival,
+            "start": (
+                self.placement.start_seconds if self.placement else None
+            ),
+            "end": self.placement.end_seconds if self.placement else None,
+            "latency": self.latency_seconds,
+            "best_value": (
+                float(self.result.best_value)
+                if self.result is not None
+                else None
+            ),
+            "admission": self.admission_action,
+            "resumed_from": self.resumed_from,
+        }
+
+    # -- client actions ------------------------------------------------------
+    async def stream(self):
+        """Async-iterate :class:`ProgressUpdate`\\ s until the job ends.
+
+        Purely observational: some driver (further ``submit()`` calls,
+        ``drain()``, or ``wait()`` from another task) must execute the job.
+        A single consumer sees every update; the terminal sentinel is
+        re-queued so late iterations terminate immediately.
+        """
+        while True:
+            item = await self._updates.get()
+            if item is None:
+                self._updates.put_nowait(None)
+                return
+            yield item
+
+    async def wait(self) -> OptimizeResult | None:
+        """Drive the service until this job is terminal; return its result.
+
+        ``None`` for jobs that never produced one (shed, queued-cancel,
+        failed).  Unlike :meth:`stream`, ``wait()`` *advances* the
+        simulation — it runs every job queued ahead of this one.
+        """
+        await self._service._finish_job(self)
+        return self.result
+
+    def cancel(self) -> bool:
+        """Request cancellation (see :meth:`OptimizationService.cancel`)."""
+        return self._service.cancel(self.job_id)
+
+    # -- service-side hooks --------------------------------------------------
+    def _push(self, update: ProgressUpdate) -> None:
+        self._updates.put_nowait(update)
+
+    def _finalize(self) -> None:
+        self._updates.put_nowait(None)
+        self._done.set()
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Aggregate service metrics over everything submitted so far.
+
+    Latency percentiles are nearest-rank over *virtual* submit-to-finish
+    latencies of jobs that ran (shed and queued-cancelled jobs have no
+    latency; they are counted in ``shed_rate`` / ``counts`` instead).
+    ``throughput_per_second`` is finished-jobs per simulated second of
+    fleet makespan.
+    """
+
+    n_jobs: int
+    counts: dict
+    p50_latency_seconds: float | None
+    p99_latency_seconds: float | None
+    mean_latency_seconds: float | None
+    throughput_per_second: float
+    shed_rate: float
+    makespan_seconds: float
+    devices_provisioned: int
+    devices_active: int
+    scale_ups: int
+    scale_downs: int
+
+    def to_dict(self) -> dict:
+        return {
+            "n_jobs": self.n_jobs,
+            "counts": dict(self.counts),
+            "p50_latency_seconds": self.p50_latency_seconds,
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "throughput_per_second": self.throughput_per_second,
+            "shed_rate": self.shed_rate,
+            "makespan_seconds": self.makespan_seconds,
+            "devices_provisioned": self.devices_provisioned,
+            "devices_active": self.devices_active,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+        }
+
+    def summary(self) -> str:
+        p50 = (
+            f"{self.p50_latency_seconds:.4g}s"
+            if self.p50_latency_seconds is not None
+            else "n/a"
+        )
+        p99 = (
+            f"{self.p99_latency_seconds:.4g}s"
+            if self.p99_latency_seconds is not None
+            else "n/a"
+        )
+        return (
+            f"{self.n_jobs} job(s): p50={p50} p99={p99} "
+            f"throughput={self.throughput_per_second:.4g}/s "
+            f"shed={self.shed_rate:.2%} "
+            f"devices={self.devices_active}/{self.devices_provisioned} "
+            f"(+{self.scale_ups}/-{self.scale_downs} scaling)"
+        )
+
+
+class OptimizationService:
+    """Async front-end serving PSO jobs on the simulated fleet.
+
+    Parameters mirror :class:`~repro.batch.scheduler.BatchScheduler` where
+    the concept carries over (``admission``/``max_queue``/
+    ``memory_limit_bytes``, ``deadline``, ``budget``, ``breaker``,
+    ``guard``, ``graph``), plus the serving-only knobs:
+
+    quotas:
+        ``{tenant name: TenantQuota}``; ``default_quota`` applies to
+        tenants not in the mapping (unrestricted when ``None``).
+    autoscale:
+        ``True`` (default policy), an :class:`AutoscalePolicy`, or
+        ``None`` for a fixed fleet.  ``n_devices`` is the starting size
+        and must lie within the policy's bounds.
+    checkpoint_dir:
+        Directory for cancellation checkpoints — a mid-run cancel
+        snapshots the run there, and :meth:`resubmit` resumes it
+        bit-identically.
+    stream_stride:
+        Iterations between cooperative yields while a job runs (1 =
+        every iteration; larger strides run faster but make streaming
+        consumers and mid-run cancels coarser).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_devices: int = 1,
+        streams_per_device: int = 4,
+        quotas: dict | None = None,
+        default_quota: TenantQuota | None = None,
+        autoscale: AutoscalePolicy | bool | None = None,
+        admission=None,
+        max_queue: int | None = None,
+        memory_limit_bytes: int | None = None,
+        deadline: float | None = None,
+        budget: Budget | None = None,
+        breaker=None,
+        guard=None,
+        graph: bool | None = None,
+        checkpoint_dir: str | Path | None = None,
+        stream_stride: int = 1,
+    ) -> None:
+        if n_devices < 1:
+            raise InvalidParameterError(
+                f"need at least one device, got {n_devices}"
+            )
+        if streams_per_device < 1:
+            raise InvalidParameterError(
+                f"need at least one stream per device, got {streams_per_device}"
+            )
+        if stream_stride < 1:
+            raise InvalidParameterError(
+                f"stream_stride must be >= 1, got {stream_stride}"
+            )
+        self.streams_per_device = int(streams_per_device)
+        self.stream_stride = int(stream_stride)
+
+        if autoscale is True:
+            autoscale = AutoscalePolicy()
+        elif autoscale is False:
+            autoscale = None
+        if autoscale is not None and not isinstance(autoscale, AutoscalePolicy):
+            raise ConfigurationError(
+                "autoscale must be True, None or an AutoscalePolicy, got "
+                f"{type(autoscale).__name__}"
+            )
+        if autoscale is not None and not (
+            autoscale.min_devices <= n_devices <= autoscale.max_devices
+        ):
+            raise ConfigurationError(
+                f"n_devices ({n_devices}) must lie within the autoscale "
+                f"bounds [{autoscale.min_devices}, {autoscale.max_devices}]"
+            )
+        self._autoscaler = (
+            Autoscaler(autoscale) if autoscale is not None else None
+        )
+
+        self.quotas = dict(quotas or {})
+        for tenant, quota in self.quotas.items():
+            if not isinstance(quota, TenantQuota):
+                raise ConfigurationError(
+                    f"quota for tenant {tenant!r} must be a TenantQuota, "
+                    f"got {type(quota).__name__}"
+                )
+        if default_quota is not None and not isinstance(
+            default_quota, TenantQuota
+        ):
+            raise ConfigurationError(
+                "default_quota must be a TenantQuota, got "
+                f"{type(default_quota).__name__}"
+            )
+        self.default_quota = default_quota or TenantQuota()
+
+        self.admission = BatchScheduler._build_admission(
+            admission, max_queue=max_queue, memory_limit_bytes=memory_limit_bytes
+        )
+        if deadline is not None and not deadline > 0:
+            raise InvalidParameterError(
+                f"deadline must be positive seconds, got {deadline!r}"
+            )
+        self.deadline = deadline
+        if budget is not None and not isinstance(budget, Budget):
+            raise InvalidParameterError(
+                f"budget must be a repro Budget, got {type(budget).__name__}"
+            )
+        self.budget = budget
+        self.graph = graph
+        if guard is not None and not hasattr(guard, "inspect"):
+            raise InvalidParameterError(
+                "guard must provide inspect() (see repro.reliability.guard), "
+                f"got {type(guard).__name__}"
+            )
+        self.guard = guard
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+
+        breaker_policy = BatchScheduler._build_breaker(breaker)
+        self._health = None
+        if breaker_policy is not None:
+            from repro.reliability.breaker import FleetHealth
+
+            # Sized for the largest fleet autoscaling may provision, so a
+            # scaled-up device has a breaker from the start.
+            ceiling = (
+                self._autoscaler.policy.max_devices
+                if self._autoscaler is not None
+                else n_devices
+            )
+            self._health = FleetHealth(ceiling, policy=breaker_policy)
+
+        self._timeline = FleetTimeline(
+            n_devices, streams_per_device=streams_per_device
+        )
+        self._tickets: list[JobTicket] = []
+        self._pending: list[JobTicket] = []
+        self._now = 0.0
+        self._events: list[ServiceEvent] = []
+        self._lock = asyncio.Lock()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def events(self) -> tuple[ServiceEvent, ...]:
+        """The decision log (see :mod:`repro.serve.events`)."""
+        return tuple(self._events)
+
+    def events_json(self) -> str:
+        """Canonical JSON event log (what the CI drill byte-compares)."""
+        return events_to_json(self._events)
+
+    @property
+    def now(self) -> float:
+        """Latest known virtual arrival time."""
+        return self._now
+
+    @property
+    def n_devices(self) -> int:
+        """Devices ever provisioned (retired ones included)."""
+        return self._timeline.n_devices
+
+    @property
+    def active_devices(self) -> tuple[int, ...]:
+        return self._timeline.active_devices
+
+    def status(self, job_id: int | None = None):
+        """One job's status row, or every job's (submission order)."""
+        if job_id is not None:
+            return self._get_ticket(job_id).to_row()
+        return [ticket.to_row() for ticket in self._tickets]
+
+    def _get_ticket(self, job_id: int) -> JobTicket:
+        if not 0 <= job_id < len(self._tickets):
+            raise InvalidParameterError(
+                f"unknown job id {job_id} "
+                f"({len(self._tickets)} job(s) submitted)"
+            )
+        return self._tickets[job_id]
+
+    def _quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _emit(self, kind: str, *, time: float, ticket=None, **detail) -> None:
+        self._events.append(
+            ServiceEvent(
+                ordinal=len(self._events),
+                time=float(time),
+                kind=kind,
+                job_id=ticket.job_id if ticket is not None else None,
+                tenant=ticket.tenant if ticket is not None else None,
+                detail=detail,
+            )
+        )
+
+    # -- submission ----------------------------------------------------------
+    async def submit(
+        self,
+        job: Job | None = None,
+        /,
+        *,
+        tenant: str = "default",
+        at: float | None = None,
+        restore: str | Path | None = None,
+        _resumed_from: int | None = None,
+        **spec: object,
+    ) -> JobTicket:
+        """Submit a job arriving at virtual second *at* (default: now).
+
+        Accepts a ready :class:`~repro.batch.job.Job` or its field values
+        as keywords.  Arrivals must be non-decreasing — the service is a
+        discrete-event simulation and cannot rewrite history.  *restore*
+        resumes a cancellation checkpoint file (see :meth:`resubmit`).
+
+        The returned :class:`JobTicket` may already be terminal: quota or
+        admission refusals shed synchronously (``status == "shed"``; in
+        strict admission mode an :class:`~repro.errors.AdmissionError` is
+        raised instead), and a job the idle fleet can run immediately is
+        executed before ``submit`` returns.
+        """
+        if job is None:
+            job = Job(**spec)  # type: ignore[arg-type]
+        elif spec:
+            raise InvalidParameterError(
+                "pass either a Job or keyword fields, not both"
+            )
+        if not isinstance(job, Job):
+            raise InvalidParameterError(
+                f"expected a Job, got {type(job).__name__}"
+            )
+        arrival = self._now if at is None else float(at)
+        if arrival < self._now:
+            raise InvalidParameterError(
+                f"arrivals must be non-decreasing: at={arrival} precedes "
+                f"the service clock {self._now}"
+            )
+
+        # Run everything that starts strictly before this arrival, so the
+        # queue the new job sees (and quota/admission/autoscale decisions)
+        # reflect the fleet state at its arrival instant.
+        await self._advance(arrival, exclusive=True)
+        self._now = arrival
+
+        ticket = JobTicket(self, len(self._tickets), tenant, job)
+        ticket.arrival = arrival
+        ticket.resumed_from = _resumed_from
+        quota = self._quota_for(tenant)
+        ticket.priority = quota.job_priority(job.priority)
+        self._tickets.append(ticket)
+        submit_detail: dict = {"label": job.label}
+        if restore is not None:
+            submit_detail["restore"] = str(restore)
+        if _resumed_from is not None:
+            submit_detail["resumed_from"] = _resumed_from
+        self._emit("submit", time=arrival, ticket=ticket, **submit_detail)
+
+        refusal = self._quota_refusal(ticket, quota)
+        if refusal is not None:
+            self._shed(ticket, refusal, source="quota")
+            return ticket
+
+        if self.admission is not None:
+            try:
+                decision = self.admission.admit_one(
+                    job,
+                    submit_order=ticket.job_id,
+                    streams_per_device=self.streams_per_device,
+                    device_mem_bytes=self._device_mem_bytes(),
+                    queue_depth=len(self._pending),
+                )
+            except AdmissionError:
+                # Strict mode refuses loudly; the shed still goes on the
+                # record so replayed logs show the refusal.
+                self._record_shed(ticket, "strict admission refusal", "admission")
+                raise
+            ticket.admission_action = decision.action
+            ticket.admission_reason = decision.reason
+            if decision.action == "shed":
+                self._shed(ticket, decision.reason, source="admission")
+                return ticket
+            if decision.action == "degrade":
+                ticket.effective_job = decision.job
+                self._emit(
+                    "degrade",
+                    time=arrival,
+                    ticket=ticket,
+                    reason=decision.reason,
+                    n_particles=decision.job.n_particles,
+                )
+            else:
+                self._emit("admit", time=arrival, ticket=ticket)
+        else:
+            ticket.admission_action = "admit"
+            self._emit("admit", time=arrival, ticket=ticket)
+
+        ticket._restore_path = Path(restore) if restore is not None else None
+
+        # Autoscaler observation: the queue as this arrival finds it (the
+        # new job is not yet counted — idle streaks would otherwise never
+        # accumulate under sparse arrivals).
+        self._autoscale_tick(now=arrival)
+        self._pending.append(ticket)
+        self._pending.sort(key=lambda t: (-t.priority, t.job_id))
+
+        # Eagerly run whatever can start at this instant (an idle fleet
+        # serves the job before submit() returns).
+        await self._advance(arrival)
+        return ticket
+
+    async def resubmit(
+        self, job_id: int, *, at: float | None = None
+    ) -> JobTicket:
+        """Requeue a cancelled job from its cancellation checkpoint.
+
+        The new ticket resumes the run bit-identically from the iteration
+        the cancel captured (same effective job, same tenant); its
+        ``resumed_from`` points back at *job_id*.
+        """
+        old = self._get_ticket(job_id)
+        if old.status != "cancelled" or old.checkpoint_path is None:
+            raise InvalidParameterError(
+                f"job {job_id} has no cancellation checkpoint to resume "
+                f"(status {old.status!r})"
+            )
+        return await self.submit(
+            old.effective_job,
+            tenant=old.tenant,
+            at=at,
+            restore=old.checkpoint_path,
+            _resumed_from=job_id,
+        )
+
+    def _device_mem_bytes(self) -> int:
+        from repro.gpusim.device import tesla_v100
+
+        return tesla_v100().global_mem_bytes
+
+    def _quota_refusal(
+        self, ticket: JobTicket, quota: TenantQuota
+    ) -> str | None:
+        """Why the tenant's quota refuses this arrival, or ``None``."""
+        if quota.max_queued is not None:
+            queued = sum(
+                1 for t in self._pending if t.tenant == ticket.tenant
+            )
+            if queued >= quota.max_queued:
+                return (
+                    f"tenant {ticket.tenant!r} queued-job quota "
+                    f"{quota.max_queued} reached"
+                )
+        if quota.max_active is not None:
+            active = 0
+            for t in self._tickets:
+                if t is ticket or t.tenant != ticket.tenant:
+                    continue
+                if t.status == "queued":
+                    active += 1
+                elif (
+                    t.placement is not None
+                    and t.placement.end_seconds > ticket.arrival
+                ):
+                    # Dispatched but still occupying its lane at this
+                    # arrival's virtual instant.
+                    active += 1
+            if active >= quota.max_active:
+                return (
+                    f"tenant {ticket.tenant!r} active-job quota "
+                    f"{quota.max_active} reached"
+                )
+        return None
+
+    def _record_shed(
+        self, ticket: JobTicket, reason: str, source: str
+    ) -> None:
+        ticket.status = "shed"
+        ticket.admission_action = "shed"
+        ticket.admission_reason = reason
+        self._emit(
+            "shed", time=ticket.arrival, ticket=ticket, reason=reason,
+            source=source,
+        )
+        ticket._finalize()
+
+    def _shed(self, ticket: JobTicket, reason: str, *, source: str) -> None:
+        mode = self.admission.mode if self.admission is not None else "degrade"
+        if source == "quota" and mode == "strict":
+            self._record_shed(ticket, reason, source)
+            raise AdmissionError(
+                f"job {ticket.job.label!r} refused admission: {reason}"
+            ).with_context(job=ticket.job.label)
+        self._record_shed(ticket, reason, source)
+
+    # -- cancellation --------------------------------------------------------
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a job; returns whether the request took effect.
+
+        Queued jobs leave the queue immediately (terminal ``"cancelled"``,
+        no lane time, like a shed row).  Running jobs are flagged; the run
+        stops at its next cooperative yield with a ``"cancelled"`` result
+        carrying the best-so-far answer — and, when the service has a
+        ``checkpoint_dir``, a resume checkpoint (see :meth:`resubmit`).
+        If the run completes before noticing the flag, it stays completed.
+        Terminal jobs return ``False`` (cancel-after-completion is a
+        no-op).
+        """
+        ticket = self._get_ticket(job_id)
+        if ticket.status == "queued":
+            self._pending.remove(ticket)
+            ticket.status = "cancelled"
+            self._emit(
+                "cancel",
+                time=self._now,
+                ticket=ticket,
+                phase="queued",
+            )
+            ticket._finalize()
+            return True
+        if ticket.status == "running":
+            ticket.cancel_requested = True
+            return True
+        return False
+
+    # -- driving the simulation ----------------------------------------------
+    async def drain(self) -> None:
+        """Run every queued job to completion.
+
+        Declares "no further arrivals": the service clock jumps to the
+        fleet makespan, so later submissions must arrive after everything
+        that drained.
+        """
+        await self._advance(math.inf)
+        self._now = max(self._now, self._timeline.makespan_seconds)
+
+    async def _finish_job(self, ticket: JobTicket) -> None:
+        while not ticket._done.is_set():
+            await self._advance(math.inf, until=ticket)
+
+    async def _advance(
+        self, t: float, *, exclusive: bool = False, until=None
+    ) -> None:
+        """Dispatch pending jobs whose start time is within *t*.
+
+        Priority order (submission order breaking ties); each dispatched
+        job is host-executed to its terminal state before the next starts.
+        *exclusive* stops at jobs starting exactly at *t* (used just
+        before enqueueing an arrival at *t*, which may overtake them);
+        *until* stops as soon as that ticket turns terminal.
+        """
+        async with self._lock:
+            while self._pending:
+                if until is not None and until._done.is_set():
+                    return
+                ticket = self._pending[0]
+                probe = self._timeline.earliest_start(
+                    not_before=ticket.arrival
+                )
+                devices = self._allowed_devices(now=probe)
+                device, stream, start = self._timeline.reserve(
+                    not_before=ticket.arrival, devices=devices
+                )
+                if start >= t if exclusive else start > t:
+                    return
+                self._pending.pop(0)
+                await self._execute(ticket, device, stream, start)
+
+    def _allowed_devices(self, *, now: float):
+        """Breaker-admitted active devices (``None`` = no restriction)."""
+        if self._health is None:
+            return None
+        active = self._timeline.active_devices
+        allowed = tuple(
+            d for d in active if self._health.breakers[d].allows(now)
+        )
+        # Every breaker open: place anywhere rather than deadlock the
+        # queue — the breaker log still records the open state.
+        return allowed or None
+
+    async def _execute(
+        self, ticket: JobTicket, device: int, stream: int, start: float
+    ) -> None:
+        """Host-run one dispatched job and commit it to the timeline."""
+        job = ticket.effective_job
+        ticket.status = "running"
+        self._emit(
+            "dispatch",
+            time=start,
+            ticket=ticket,
+            device=device,
+            stream=stream,
+            queue_wait=start - ticket.arrival,
+        )
+        quota = self._quota_for(ticket.tenant)
+        deadline = (
+            Budget(wall_seconds=self.deadline)
+            if self.deadline is not None
+            else None
+        )
+        budget = Budget.merge_all(
+            job.budget, quota.budget, self.budget, deadline
+        )
+        restore = None
+        restore_path = ticket._restore_path
+        try:
+            if restore_path is not None:
+                from repro.reliability.checkpoint import read_snapshot
+
+                restore = read_snapshot(restore_path)
+            run = RunningJob(
+                job,
+                engine_options=effective_engine_options(job, self.graph),
+                budget=budget,
+                guard=self.guard,
+                restore=restore,
+            )
+        except ReproError as exc:
+            self._fail(ticket, device, stream, start, 0.0, exc)
+            return
+
+        cancelled = False
+        emitted = False
+        last = math.inf
+        since_yield = 0
+        try:
+            for t in range(run.start_iter, run.max_iter):
+                if ticket.cancel_requested:
+                    cancelled = True
+                    break
+                stopping = run.step(t)
+                value = run.gbest_value
+                if not emitted or value < last:
+                    ticket._push(
+                        ProgressUpdate(
+                            job_id=ticket.job_id,
+                            iteration=t,
+                            best_value=value,
+                            sim_seconds=float(run.engine.clock.now),
+                        )
+                    )
+                    last = value
+                    emitted = True
+                if stopping:
+                    break
+                since_yield += 1
+                if since_yield >= self.stream_stride:
+                    since_yield = 0
+                    # Cooperative yield: streaming consumers observe the
+                    # update and may cancel before the next iteration.
+                    await asyncio.sleep(0)
+        except ReproError as exc:
+            self._fail(
+                ticket, device, stream, start,
+                float(run.engine.clock.now), exc,
+            )
+            return
+
+        if cancelled:
+            self._checkpoint_cancelled(ticket, run)
+            result = run.finish(status="cancelled")
+        else:
+            result = run.finish()
+
+        placement = self._timeline.commit(
+            device, stream, start, result.elapsed_seconds
+        )
+        ticket.placement = placement
+        ticket.result = result
+        if (
+            ticket.admission_action == "degrade"
+            and result.status == "completed"
+        ):
+            ticket.status = "degraded"
+        else:
+            ticket.status = result.status
+        if self._health is not None:
+            self._health.record_success(device, now=placement.end_seconds)
+        if cancelled:
+            self._emit(
+                "cancel",
+                time=placement.end_seconds,
+                ticket=ticket,
+                phase="running",
+                iterations=result.iterations,
+                best_value=float(result.best_value),
+                checkpoint=(
+                    str(ticket.checkpoint_path)
+                    if ticket.checkpoint_path is not None
+                    else None
+                ),
+            )
+        else:
+            self._emit(
+                "complete",
+                time=placement.end_seconds,
+                ticket=ticket,
+                status=ticket.status,
+                best_value=float(result.best_value),
+                iterations=result.iterations,
+                latency=ticket.latency_seconds,
+            )
+        ticket._finalize()
+        self._autoscale_tick(now=placement.end_seconds)
+
+    def _checkpoint_cancelled(self, ticket: JobTicket, run: RunningJob) -> None:
+        """Snapshot a mid-run cancel so :meth:`resubmit` can resume it."""
+        if self.checkpoint_dir is None or run.iterations_run == 0:
+            return
+        from repro.reliability.checkpoint import CheckpointManager
+
+        try:
+            snapshot = run.snapshot()
+        except CheckpointError:
+            # Custom-objective problems cannot be rebuilt from a snapshot
+            # document; the cancel still returns the best-so-far result.
+            return
+        manager = CheckpointManager(
+            self.checkpoint_dir / f"job{ticket.job_id:06d}",
+            label=f"job{ticket.job_id:06d}",
+        )
+        ticket.checkpoint_path = manager.save(snapshot)
+
+    def _fail(
+        self,
+        ticket: JobTicket,
+        device: int,
+        stream: int,
+        start: float,
+        duration: float,
+        exc: ReproError,
+    ) -> None:
+        """Contain a job failure: record it, never unwind the service."""
+        placement = self._timeline.commit(device, stream, start, duration)
+        ticket.placement = placement
+        ticket.status = "failed"
+        if self._health is not None:
+            self._health.record_failure(device, now=placement.end_seconds)
+        self._emit(
+            "failed",
+            time=placement.end_seconds,
+            ticket=ticket,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        ticket._finalize()
+        self._autoscale_tick(now=placement.end_seconds)
+
+    # -- autoscaling ---------------------------------------------------------
+    def _autoscale_tick(self, *, now: float) -> None:
+        if self._autoscaler is None:
+            return
+        active = self._timeline.active_devices
+        victim = self._shrink_victim(now=now, active=active)
+        decision = self._autoscaler.observe(
+            now=now,
+            queue_depth=len(self._pending),
+            n_active=len(active),
+            can_shrink=victim is not None,
+        )
+        if decision is None:
+            return
+        action, reason = decision
+        if action == "up":
+            boot_at = now + self._autoscaler.policy.boot_seconds
+            index = self._timeline.add_device(at=boot_at)
+            self._emit(
+                "scale_up",
+                time=now,
+                device=index,
+                lanes_open_at=boot_at,
+                queue_depth=len(self._pending),
+                active_devices=len(active),
+                reason=reason,
+            )
+        else:
+            self._timeline.retire_device(victim)
+            self._emit(
+                "scale_down",
+                time=now,
+                device=victim,
+                active_devices=len(active) - 1,
+                reason=reason,
+            )
+
+    def _shrink_victim(self, *, now: float, active) -> int | None:
+        """Highest-indexed device that is idle at *now*, if shrinkable."""
+        if self._autoscaler is None:
+            return None
+        if len(active) <= self._autoscaler.policy.min_devices:
+            return None
+        for device in reversed(active):
+            if self._timeline.device_idle(device, now=now):
+                return device
+        return None
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> ServiceReport:
+        """Aggregate metrics over everything submitted so far."""
+        counts: dict = {}
+        latencies = []
+        for ticket in self._tickets:
+            counts[ticket.status] = counts.get(ticket.status, 0) + 1
+            if ticket.latency_seconds is not None:
+                latencies.append(ticket.latency_seconds)
+        n_jobs = len(self._tickets)
+        shed = counts.get("shed", 0)
+        makespan = self._timeline.makespan_seconds
+        finished = len(latencies)
+        return ServiceReport(
+            n_jobs=n_jobs,
+            counts=counts,
+            p50_latency_seconds=(
+                percentile(latencies, 50.0) if latencies else None
+            ),
+            p99_latency_seconds=(
+                percentile(latencies, 99.0) if latencies else None
+            ),
+            mean_latency_seconds=(
+                sum(latencies) / finished if latencies else None
+            ),
+            throughput_per_second=(
+                finished / makespan if makespan > 0 else 0.0
+            ),
+            shed_rate=shed / n_jobs if n_jobs else 0.0,
+            makespan_seconds=makespan,
+            devices_provisioned=self._timeline.n_devices,
+            devices_active=len(self._timeline.active_devices),
+            scale_ups=sum(1 for e in self._events if e.kind == "scale_up"),
+            scale_downs=sum(
+                1 for e in self._events if e.kind == "scale_down"
+            ),
+        )

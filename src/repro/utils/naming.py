@@ -1,0 +1,58 @@
+"""Shared fuzzy name resolution for the public registries.
+
+Three lookup surfaces accept user-supplied names — engines
+(:func:`repro.engines.make_engine`), benchmark functions
+(:func:`repro.functions.make_function`) and the batch scheduler's packing
+policies (:func:`repro.batch.resolve_policy`) — and all promise the same
+failure shape: an :class:`~repro.errors.InvalidParameterError` whose
+message leads with the nearest valid spelling before listing every choice.
+This module is the one implementation behind that promise; registries call
+:func:`unknown_name` instead of hand-rolling ``difflib`` hints.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["suggest", "unknown_name"]
+
+
+def suggest(name: object, choices) -> str | None:
+    """The closest valid spelling of *name* among *choices*, or ``None``.
+
+    Case-insensitive on the query side (registries lower-case their keys),
+    with ``difflib``'s default similarity cutoff — a wild guess gets no
+    suggestion rather than a misleading one.
+    """
+    close = difflib.get_close_matches(
+        str(name).lower(), [str(c) for c in choices], n=1
+    )
+    return close[0] if close else None
+
+
+def unknown_name(
+    kind: str,
+    name: object,
+    choices,
+    *,
+    exc_type: type[InvalidParameterError] = InvalidParameterError,
+) -> InvalidParameterError:
+    """Build (not raise) the canonical unknown-name error for a registry.
+
+    The message is a one-glance fix for a typo::
+
+        unknown policy 'fuzed'; did you mean 'fused'? choose from
+        'fifo', 'packed', 'fused'
+
+    *exc_type* lets a registry keep a compatible exception class (the
+    functions registry raises a subclass that is also an
+    :class:`~repro.errors.InvalidProblemError` so historical ``except``
+    clauses keep working).
+    """
+    choices = [str(c) for c in choices]
+    near = suggest(name, choices)
+    hint = f"; did you mean {near!r}?" if near else ""
+    listing = ", ".join(repr(c) for c in choices)
+    return exc_type(f"unknown {kind} {name!r}{hint} choose from {listing}")

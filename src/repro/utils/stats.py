@@ -12,7 +12,13 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-__all__ = ["RunStats", "summarize_repeats", "speedup", "geometric_mean"]
+__all__ = [
+    "RunStats",
+    "geometric_mean",
+    "percentile",
+    "speedup",
+    "summarize_repeats",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,22 @@ def speedup(baseline: float, candidate: float) -> float:
     if candidate <= 0.0:
         return math.inf
     return float(baseline) / float(candidate)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (inclusive), deterministic by construction.
+
+    The serving benchmarks report p50/p99 latencies; nearest-rank avoids
+    interpolation so the reported value is always an actually-observed
+    latency and byte-stable across reruns.  *q* is in [0, 100].
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        raise ValueError("cannot take a percentile of zero values")
+    rank = math.ceil(q / 100.0 * len(vals))
+    return vals[max(rank, 1) - 1]
 
 
 def geometric_mean(values: Sequence[float]) -> float:

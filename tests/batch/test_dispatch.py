@@ -1,0 +1,171 @@
+"""FleetTimeline placement arithmetic and RunningJob stepped execution."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchScheduler,
+    FleetTimeline,
+    Job,
+    LanePlacement,
+    RunningJob,
+    start_job,
+)
+from repro.engines import make_engine
+from repro.errors import InvalidParameterError
+
+
+class TestFleetTimeline:
+    def test_earliest_lane_wins_with_device_major_tiebreak(self):
+        tl = FleetTimeline(2, streams_per_device=2)
+        # All horizons 0: tie broken by (device, stream) order.
+        p = tl.place(1.0)
+        assert (p.device_index, p.stream_index) == (0, 0)
+        assert (p.start_seconds, p.end_seconds) == (0.0, 1.0)
+        assert tl.place(1.0).device_index == 0  # (0, 1)
+        assert tl.place(1.0).device_index == 1
+        assert tl.place(1.0) == LanePlacement(1, 1, 0.0, 1.0)
+        # Fleet saturated to t=1; next unit queues on lane (0, 0).
+        p = tl.place(0.5)
+        assert (p.device_index, p.stream_index, p.start_seconds) == (0, 0, 1.0)
+
+    def test_not_before_floors_the_start(self):
+        tl = FleetTimeline(1, streams_per_device=1)
+        p = tl.place(1.0, not_before=5.0)
+        assert (p.start_seconds, p.end_seconds) == (5.0, 6.0)
+        # A later arrival behind a busy lane starts at the horizon.
+        p = tl.place(1.0, not_before=5.5)
+        assert p.start_seconds == 6.0
+
+    def test_matches_batch_scheduler_placement(self):
+        """The extracted arithmetic reproduces BatchScheduler's schedule."""
+        jobs = [
+            Job("sphere", dim=4, n_particles=32, max_iter=10 + 3 * i, seed=i)
+            for i in range(6)
+        ]
+        batch = BatchScheduler(n_devices=2, streams_per_device=2).run(jobs)
+        tl = FleetTimeline(2, streams_per_device=2)
+        for outcome in batch.outcomes:
+            p = tl.place(outcome.result.elapsed_seconds)
+            assert p.device_index == outcome.device_index
+            assert p.stream_index == outcome.stream_index
+            assert p.start_seconds == outcome.start_seconds
+            assert p.end_seconds == outcome.end_seconds
+        assert tl.makespan_seconds == batch.makespan_seconds
+
+    def test_added_device_opens_at_boot_time(self):
+        tl = FleetTimeline(1, streams_per_device=1)
+        tl.place(10.0)
+        index = tl.add_device(at=2.0)
+        assert index == 1
+        assert tl.active_devices == (0, 1)
+        p = tl.place(1.0)
+        assert (p.device_index, p.start_seconds) == (1, 2.0)
+
+    def test_retired_device_takes_no_placements_but_keeps_makespan(self):
+        tl = FleetTimeline(2, streams_per_device=1)
+        tl.place(5.0)  # device 0 busy to t=5
+        tl.retire_device(0)
+        p = tl.place(1.0)
+        assert p.device_index == 1
+        assert tl.device_makespans() == [5.0, 1.0]
+        assert tl.active_devices == (1,)
+
+    def test_cannot_retire_last_active_device(self):
+        tl = FleetTimeline(2, streams_per_device=1)
+        tl.retire_device(0)
+        with pytest.raises(InvalidParameterError, match="last active"):
+            tl.retire_device(1)
+        with pytest.raises(InvalidParameterError, match="already retired"):
+            tl.retire_device(0)
+
+    def test_reserve_then_commit_equals_place(self):
+        a = FleetTimeline(2, streams_per_device=2)
+        b = FleetTimeline(2, streams_per_device=2)
+        for duration in (1.0, 0.5, 2.0, 0.25, 1.5):
+            device, stream, start = a.reserve(not_before=0.1)
+            pa = a.commit(device, stream, start, duration)
+            pb = b.place(duration, not_before=0.1)
+            assert pa == pb
+
+    def test_commit_refuses_start_before_horizon(self):
+        tl = FleetTimeline(1, streams_per_device=1)
+        tl.place(2.0)
+        with pytest.raises(InvalidParameterError, match="precedes"):
+            tl.commit(0, 0, 1.0, 1.0)
+
+    def test_device_idle_tracks_horizons(self):
+        tl = FleetTimeline(1, streams_per_device=2)
+        assert tl.device_idle(0, now=0.0)
+        tl.place(3.0)
+        assert not tl.device_idle(0, now=2.0)
+        assert tl.device_idle(0, now=3.0)
+
+
+class TestRunningJob:
+    def test_driven_run_bit_identical_to_optimize(self):
+        job = Job(
+            "rastrigin", dim=8, n_particles=48, max_iter=30, seed=5,
+            record_history=True,
+        )
+        result = start_job(job).drive()
+        solo = make_engine("fastpso").optimize(
+            job.resolved_problem(),
+            n_particles=48,
+            max_iter=30,
+            params=job.resolved_params,
+            record_history=True,
+        )
+        assert result.best_value == solo.best_value
+        assert np.array_equal(result.best_position, solo.best_position)
+        assert result.history.gbest_values == solo.history.gbest_values
+        assert result.elapsed_seconds == solo.elapsed_seconds
+
+    def test_gbest_readable_between_steps_and_monotone(self):
+        run = start_job(Job("ackley", dim=6, n_particles=32, max_iter=20, seed=3))
+        values = []
+        for t in range(run.start_iter, run.max_iter):
+            run.step(t)
+            values.append(run.gbest_value)
+        run.finish()
+        assert values == sorted(values, reverse=True)
+
+    def test_early_finish_with_cancelled_status(self):
+        run = start_job(Job("sphere", dim=4, n_particles=32, max_iter=50, seed=1))
+        for t in range(7):
+            run.step(t)
+        result = run.finish(status="cancelled")
+        assert result.status == "cancelled"
+        assert result.iterations == 7
+        assert np.isfinite(result.best_value)
+
+    def test_finish_is_single_shot(self):
+        run = start_job(Job("sphere", dim=4, n_particles=32, max_iter=5, seed=1))
+        run.drive()
+        with pytest.raises(InvalidParameterError, match="already finished"):
+            run.finish()
+
+    def test_snapshot_resumes_bit_identically(self, tmp_path):
+        job = Job(
+            "griewank", dim=8, n_particles=32, max_iter=24, seed=9,
+            record_history=True,
+        )
+        run = start_job(job)
+        for t in range(10):
+            run.step(t)
+        snapshot = run.snapshot()
+        run.finish(status="cancelled")
+
+        resumed = RunningJob(job, restore=snapshot)
+        assert resumed.start_iter == 10
+        result = resumed.drive()
+        solo = make_engine("fastpso").optimize(
+            job.resolved_problem(),
+            n_particles=32,
+            max_iter=24,
+            params=job.resolved_params,
+            record_history=True,
+        )
+        assert result.best_value == solo.best_value
+        assert np.array_equal(result.best_position, solo.best_position)
+        assert result.history.gbest_values == solo.history.gbest_values

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidProblemError
-from repro.functions import available_functions, get_function
+from repro.functions import available_functions, make_function
 from repro.functions.base import BenchmarkFunction, EvalProfile, register
 
 ALL_NAMES = available_functions()
@@ -15,21 +15,21 @@ MIN_DIM = {"rosenbrock": 2, "dixon_price": 2}
 @pytest.mark.parametrize("name", ALL_NAMES)
 class TestEveryFunction:
     def test_registered_and_instantiable(self, name):
-        fn = get_function(name)
+        fn = make_function(name)
         assert isinstance(fn, BenchmarkFunction)
         assert fn.name == name
 
     def test_domain_well_formed(self, name):
-        lo, hi = get_function(name).domain
+        lo, hi = make_function(name).domain
         assert lo < hi
 
     def test_profile_valid(self, name):
-        prof = get_function(name).profile()
+        prof = make_function(name).profile()
         assert isinstance(prof, EvalProfile)
         assert prof.flops_per_elem >= 0
 
     def test_returns_one_value_per_row(self, name, rng_np):
-        fn = get_function(name)
+        fn = make_function(name)
         d = max(MIN_DIM.get(name, 1), 5)
         lo, hi = fn.domain
         p = rng_np.uniform(lo, hi, (7, d))
@@ -38,7 +38,7 @@ class TestEveryFunction:
         assert np.all(np.isfinite(vals))
 
     def test_value_at_known_minimum(self, name):
-        fn = get_function(name)
+        fn = make_function(name)
         d = max(MIN_DIM.get(name, 1), 6)
         x_star = fn.true_minimum_position(d)
         f_star = fn.true_minimum_value(d)
@@ -51,7 +51,7 @@ class TestEveryFunction:
 
     def test_minimum_is_local_minimum(self, name, rng_np):
         """Small random perturbations never score below the optimum."""
-        fn = get_function(name)
+        fn = make_function(name)
         if name == "michalewicz":
             pytest.skip("optimum position has no closed form")
         d = max(MIN_DIM.get(name, 1), 4)
@@ -63,7 +63,7 @@ class TestEveryFunction:
 
     def test_row_vectorisation_consistent(self, name, rng_np):
         """evaluate(P) must equal row-by-row evaluation."""
-        fn = get_function(name)
+        fn = make_function(name)
         d = max(MIN_DIM.get(name, 1), 5)
         lo, hi = fn.domain
         p = rng_np.uniform(lo, hi, (6, d))
@@ -72,13 +72,13 @@ class TestEveryFunction:
         np.testing.assert_allclose(batch, rows, rtol=1e-12)
 
     def test_callable_protocol(self, name, rng_np):
-        fn = get_function(name)
+        fn = make_function(name)
         d = max(MIN_DIM.get(name, 1), 3)
         p = rng_np.uniform(*fn.domain, (2, d))
         np.testing.assert_array_equal(fn(p), fn.evaluate(p))
 
     def test_1d_input_treated_as_single_particle(self, name):
-        fn = get_function(name)
+        fn = make_function(name)
         d = max(MIN_DIM.get(name, 1), 4)
         x = np.zeros(d)
         assert fn.evaluate(x).shape == (1,)
@@ -86,74 +86,74 @@ class TestEveryFunction:
 
 class TestSpecificValues:
     def test_sphere(self):
-        fn = get_function("sphere")
+        fn = make_function("sphere")
         np.testing.assert_allclose(
             fn.evaluate(np.array([[1.0, 2.0, 2.0]])), [9.0]
         )
 
     def test_griewank_at_origin(self):
-        fn = get_function("griewank")
+        fn = make_function("griewank")
         np.testing.assert_allclose(fn.evaluate(np.zeros((1, 10))), [0.0])
 
     def test_griewank_known_point(self):
         # f(x) with a single coordinate x_1 = pi*sqrt(1): quad + 1 - cos(pi)
-        fn = get_function("griewank")
+        fn = make_function("griewank")
         val = fn.evaluate(np.array([[np.pi]]))[0]
         assert val == pytest.approx(np.pi**2 / 4000 + 2.0)
 
     def test_easom_2d_classic(self):
-        fn = get_function("easom")
+        fn = make_function("easom")
         val = fn.evaluate(np.array([[np.pi, np.pi]]))[0]
         assert val == pytest.approx(-1.0)
 
     def test_easom_plateau_far_away(self):
-        fn = get_function("easom")
+        fn = make_function("easom")
         val = fn.evaluate(np.full((1, 50), 6.0))[0]
         assert abs(val) < 1e-10
 
     def test_easom_underflow_is_zero_not_nan(self):
-        fn = get_function("easom")
+        fn = make_function("easom")
         val = fn.evaluate(np.full((1, 400), 0.5))[0]
         assert np.isfinite(val)
 
     def test_easom_exact_cos_zero(self):
-        fn = get_function("easom")
+        fn = make_function("easom")
         val = fn.evaluate(np.array([[np.pi / 2, np.pi]]))[0]
         assert val == pytest.approx(0.0, abs=1e-12)
 
     def test_rastrigin_regular_minima(self):
-        fn = get_function("rastrigin")
+        fn = make_function("rastrigin")
         # integer lattice points are the local minima: f(1,1) = 2
         val = fn.evaluate(np.array([[1.0, 1.0]]))[0]
         assert val == pytest.approx(2.0, abs=1e-9)
 
     def test_rosenbrock_valley(self):
-        fn = get_function("rosenbrock")
+        fn = make_function("rosenbrock")
         np.testing.assert_allclose(fn.evaluate(np.ones((1, 5))), [0.0])
         assert fn.evaluate(np.zeros((1, 2)))[0] == pytest.approx(1.0)
 
     def test_rosenbrock_needs_2d(self):
         with pytest.raises(InvalidProblemError):
-            get_function("rosenbrock").evaluate(np.zeros((1, 1)))
+            make_function("rosenbrock").evaluate(np.zeros((1, 1)))
 
     def test_dixon_price_needs_2d(self):
         with pytest.raises(InvalidProblemError):
-            get_function("dixon_price").evaluate(np.zeros((1, 1)))
+            make_function("dixon_price").evaluate(np.zeros((1, 1)))
 
     def test_ackley_at_origin(self):
-        val = get_function("ackley").evaluate(np.zeros((1, 8)))[0]
+        val = make_function("ackley").evaluate(np.zeros((1, 8)))[0]
         assert val == pytest.approx(0.0, abs=1e-9)
 
     def test_schwefel_optimum(self):
-        fn = get_function("schwefel")
+        fn = make_function("schwefel")
         x = fn.true_minimum_position(10)[np.newaxis, :]
         assert fn.evaluate(x)[0] == pytest.approx(0.0, abs=1e-2)
 
     def test_zakharov_origin(self):
-        assert get_function("zakharov").evaluate(np.zeros((1, 6)))[0] == 0.0
+        assert make_function("zakharov").evaluate(np.zeros((1, 6)))[0] == 0.0
 
     def test_levy_ones(self):
-        assert get_function("levy").evaluate(np.ones((1, 7)))[0] == pytest.approx(
+        assert make_function("levy").evaluate(np.ones((1, 7)))[0] == pytest.approx(
             0.0, abs=1e-12
         )
 
@@ -164,11 +164,11 @@ class TestRegistry:
             assert name in ALL_NAMES
 
     def test_lookup_case_insensitive(self):
-        assert get_function("SPHERE").name == "sphere"
+        assert make_function("SPHERE").name == "sphere"
 
     def test_unknown_function(self):
         with pytest.raises(InvalidProblemError):
-            get_function("does_not_exist")
+            make_function("does_not_exist")
 
     def test_register_requires_name(self):
         with pytest.raises(ValueError, match="name"):
@@ -196,4 +196,4 @@ class TestRegistry:
 
     def test_zero_dim_input_rejected(self):
         with pytest.raises(InvalidProblemError):
-            get_function("sphere").evaluate(np.zeros((3, 0)))
+            make_function("sphere").evaluate(np.zeros((3, 0)))

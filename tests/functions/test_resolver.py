@@ -1,0 +1,96 @@
+"""The unified lookup surface: did-you-mean errors and the rename shim."""
+
+import pytest
+
+from repro.batch import BatchScheduler
+from repro.engines import make_engine, resolve_engine
+from repro.errors import (
+    InvalidParameterError,
+    InvalidProblemError,
+    UnknownFunctionError,
+)
+from repro.functions import (
+    available_functions,
+    get_function,
+    make_function,
+    resolve_function,
+)
+
+
+class TestResolveFunction:
+    def test_resolves_known_names_case_insensitively(self):
+        assert resolve_function("sphere") == "sphere"
+        assert resolve_function("Rastrigin") == "rastrigin"
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            resolve_function("spherre")
+        message = str(exc.value)
+        assert "unknown benchmark function 'spherre'" in message
+        assert "did you mean 'sphere'?" in message
+        for name in available_functions():
+            assert repr(name) in message
+
+    def test_unknown_name_is_also_an_invalid_problem_error(self):
+        """Problem.from_benchmark callers pinned InvalidProblemError; the
+        resolver rename must not break that except clause."""
+        with pytest.raises(InvalidProblemError):
+            resolve_function("nope")
+        with pytest.raises(UnknownFunctionError):
+            make_function("nope")
+
+    def test_no_suggestion_for_distant_names(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            resolve_function("zzzzqqqq")
+        assert "did you mean" not in str(exc.value)
+
+    def test_make_function_builds_instances(self):
+        fn = make_function("ackley")
+        assert fn.name == "ackley"
+
+
+class TestGetFunctionShim:
+    def test_get_function_warns_and_forwards(self):
+        with pytest.deprecated_call(match="renamed to make_function"):
+            fn = get_function("sphere")
+        assert fn.name == "sphere"
+
+    def test_shim_result_matches_make_function(self):
+        with pytest.deprecated_call():
+            old = get_function("levy")
+        assert type(old) is type(make_function("levy"))
+
+
+class TestUnifiedSuggestionFormat:
+    """All three lookup surfaces speak the same error dialect."""
+
+    def test_engine_suggestion(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            make_engine("fastpso-sq")
+        message = str(exc.value)
+        assert "unknown engine 'fastpso-sq'" in message
+        assert "did you mean 'fastpso-seq'?" in message
+        assert "choose from" in message
+
+    def test_policy_suggestion(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            BatchScheduler(policy="fussed")
+        message = str(exc.value)
+        assert "unknown policy 'fussed'" in message
+        assert "did you mean 'fused'?" in message
+        assert "'fifo', 'packed', 'fused'" in message
+
+    def test_function_suggestion_same_shape(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            resolve_function("grievank")
+        message = str(exc.value)
+        assert "did you mean 'griewank'?" in message
+        assert "choose from" in message
+
+    def test_resolve_engine_passthrough(self):
+        name, options = resolve_engine("fastpso")
+        assert name == "fastpso"
+        assert options == {}
+        alias, alias_options = resolve_engine("fastpso-tc")
+        assert alias == "fastpso"
+        assert alias_options  # the alias carries its preset options

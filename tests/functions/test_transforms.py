@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidProblemError
-from repro.functions import Sphere, get_function
+from repro.functions import Sphere, make_function
 from repro.functions.transforms import Rotated, Shifted, random_rotation
 
 
@@ -18,7 +18,7 @@ class TestShifted:
 
     def test_values_are_translations(self, rng_np):
         offset = np.array([0.3, 0.3])
-        inner = get_function("rastrigin")
+        inner = make_function("rastrigin")
         fn = Shifted(inner, offset)
         p = rng_np.uniform(-2, 2, (5, 2))
         np.testing.assert_allclose(
@@ -26,8 +26,8 @@ class TestShifted:
         )
 
     def test_reference_value_preserved(self):
-        fn = Shifted(get_function("styblinski_tang"), np.ones(4))
-        assert fn.reference_value(4) == get_function(
+        fn = Shifted(make_function("styblinski_tang"), np.ones(4))
+        assert fn.reference_value(4) == make_function(
             "styblinski_tang"
         ).reference_value(4)
 
@@ -75,7 +75,7 @@ class TestRotated:
 
     def test_optimum_value_preserved(self):
         q = random_rotation(5, seed=2)
-        inner = get_function("styblinski_tang")
+        inner = make_function("styblinski_tang")
         fn = Rotated(inner, q)
         x_star = fn.true_minimum_position(5)
         val = fn.evaluate(x_star[np.newaxis, :])[0]
@@ -85,7 +85,7 @@ class TestRotated:
         """A rotated sphere is still a sphere about the centre; a rotated
         Rastrigin is not axis-separable: permuting coordinates changes it."""
         q = random_rotation(4, seed=3)
-        fn = Rotated(get_function("rastrigin"), q)
+        fn = Rotated(make_function("rastrigin"), q)
         p = rng_np.uniform(-2, 2, (1, 4))
         permuted = p[:, ::-1].copy()
         assert fn.evaluate(p)[0] != pytest.approx(fn.evaluate(permuted)[0])

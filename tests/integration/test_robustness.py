@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.core.parameters import PSOParams
 from repro.core.problem import Problem
 from repro.engines import FastPSOEngine
-from repro.functions import Sphere, get_function
+from repro.functions import Sphere, make_function
 from repro.functions.transforms import Rotated, Shifted, random_rotation
 
 
@@ -79,7 +79,7 @@ class TestTransformComposition:
 
     def test_optimizer_solves_composed_problem(self):
         q = random_rotation(5, seed=7)
-        fn = Shifted(Rotated(get_function("sphere"), q), np.full(5, 1.5))
+        fn = Shifted(Rotated(make_function("sphere"), q), np.full(5, 1.5))
         problem = Problem.from_benchmark(fn, 5)
         result = FastPSOEngine().optimize(
             problem, n_particles=128, max_iter=200, params=PSOParams(seed=3)

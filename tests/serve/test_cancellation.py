@@ -1,0 +1,154 @@
+"""Cancellation semantics: before dispatch, mid-run, after completion.
+
+Each scenario is also replayed to assert byte-identical event logs —
+cancellation is part of the serving determinism contract, not an escape
+hatch from it.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.batch import Job
+from repro.engines import make_engine
+from repro.errors import InvalidParameterError
+from repro.serve import OptimizationService
+
+JOB = Job(
+    "ackley", dim=10, n_particles=48, max_iter=30, seed=11,
+    record_history=True,
+)
+
+
+def solo(job):
+    return make_engine("fastpso").optimize(
+        job.resolved_problem(),
+        n_particles=job.n_particles,
+        max_iter=job.max_iter,
+        params=job.resolved_params,
+        record_history=job.record_history,
+    )
+
+
+async def _scripted_cancel_before_dispatch():
+    service = OptimizationService(n_devices=1, streams_per_device=1)
+    await service.submit(JOB, at=0.0)  # occupies the only lane
+    queued = await service.submit(JOB.with_overrides(seed=12), at=0.0)
+    assert queued.status == "queued"
+    assert queued.cancel() is True
+    await service.drain()
+    return service, queued
+
+
+async def _scripted_cancel_mid_run(checkpoint_dir=None):
+    service = OptimizationService(
+        n_devices=1, streams_per_device=1, checkpoint_dir=checkpoint_dir
+    )
+    await service.submit(JOB, at=0.0)
+    target = await service.submit(JOB.with_overrides(seed=12), at=0.0)
+
+    async def watcher():
+        seen = 0
+        async for _ in target.stream():
+            seen += 1
+            if seen >= 3:
+                target.cancel()
+                return
+
+    task = asyncio.ensure_future(watcher())
+    await service.drain()
+    await task
+    return service, target
+
+
+class TestCancelBeforeDispatch:
+    def test_queued_cancel_is_a_shed_like_row(self):
+        service, queued = asyncio.run(_scripted_cancel_before_dispatch())
+        assert queued.status == "cancelled"
+        assert queued.result is None
+        assert queued.placement is None  # never touched a lane
+        assert queued.latency_seconds is None
+        event = next(e for e in service.events if e.kind == "cancel")
+        assert event.detail["phase"] == "queued"
+        assert service.report().counts["cancelled"] == 1
+
+    def test_replay_is_byte_identical(self):
+        a, _ = asyncio.run(_scripted_cancel_before_dispatch())
+        b, _ = asyncio.run(_scripted_cancel_before_dispatch())
+        assert a.events_json() == b.events_json()
+
+
+class TestCancelMidRun:
+    def test_run_stops_with_best_so_far(self):
+        service, target = asyncio.run(_scripted_cancel_mid_run())
+        assert target.status == "cancelled"
+        assert target.result.status == "cancelled"
+        assert 0 < target.result.iterations < JOB.max_iter
+        assert np.isfinite(target.result.best_value)
+        # The cancelled run occupied its lane only for the iterations it
+        # actually ran.
+        full = solo(JOB.with_overrides(seed=12))
+        assert target.placement.duration_seconds < full.elapsed_seconds
+        event = next(e for e in service.events if e.kind == "cancel")
+        assert event.detail["phase"] == "running"
+        assert event.detail["iterations"] == target.result.iterations
+
+    def test_replay_is_byte_identical(self):
+        a, _ = asyncio.run(_scripted_cancel_mid_run())
+        b, _ = asyncio.run(_scripted_cancel_mid_run())
+        assert a.events_json() == b.events_json()
+
+    def test_checkpoint_backed_cancel_resumes_bit_identically(self, tmp_path):
+        async def main():
+            service, target = await _scripted_cancel_mid_run(tmp_path)
+            resumed = await service.resubmit(target.job_id)
+            return service, target, resumed
+
+        service, target, resumed = asyncio.run(main())
+        assert target.checkpoint_path is not None
+        assert resumed.resumed_from == target.job_id
+        assert resumed.status == "completed"
+        # Resume continues exactly where the cancel stopped: the final
+        # answer matches the uninterrupted solo run bit-for-bit.
+        reference = solo(JOB.with_overrides(seed=12))
+        assert resumed.result.best_value == reference.best_value
+        assert np.array_equal(
+            resumed.result.best_position, reference.best_position
+        )
+        assert (
+            resumed.result.history.gbest_values
+            == reference.history.gbest_values
+        )
+        submit_event = next(
+            e
+            for e in service.events
+            if e.kind == "submit" and e.job_id == resumed.job_id
+        )
+        assert submit_event.detail["resumed_from"] == target.job_id
+
+    def test_resubmit_requires_a_checkpoint(self, tmp_path):
+        service, queued = asyncio.run(_scripted_cancel_before_dispatch())
+
+        async def main():
+            await service.resubmit(queued.job_id)
+
+        with pytest.raises(InvalidParameterError, match="no cancellation"):
+            asyncio.run(main())
+
+
+class TestCancelAfterCompletion:
+    def test_is_a_no_op(self):
+        async def main():
+            service = OptimizationService(n_devices=1)
+            ticket = await service.submit(JOB)
+            return service, ticket
+
+        service, ticket = asyncio.run(main())
+        assert ticket.status == "completed"
+        events_before = len(service.events)
+        assert ticket.cancel() is False
+        assert ticket.status == "completed"
+        assert len(service.events) == events_before  # nothing recorded
+        # The result is untouched and still solo-identical.
+        assert ticket.result.best_value == solo(JOB).best_value

@@ -1,0 +1,115 @@
+"""Load generator: deterministic sessions, replay drills, the CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    AutoscalePolicy,
+    LoadProfile,
+    build_sessions,
+    run_drill,
+)
+from repro.serve.__main__ import main as serve_main
+
+SMALL = LoadProfile(n_sessions=40, seed=7)
+
+
+class TestBuildSessions:
+    def test_deterministic_and_monotone(self):
+        a = build_sessions(SMALL)
+        b = build_sessions(SMALL)
+        assert a == b
+        arrivals = [s.arrival for s in a]
+        assert arrivals == sorted(arrivals)
+        assert len({s.seed for s in a}) > 1  # per-session seeds vary
+
+    def test_tenant_mix_draws_from_profile(self):
+        tenants = {s.tenant for s in build_sessions(LoadProfile(
+            n_sessions=200, seed=7
+        ))}
+        assert tenants == {"free", "pro"}
+
+    def test_cancel_fraction_marks_sessions(self):
+        sessions = build_sessions(
+            LoadProfile(n_sessions=100, seed=7, cancel_fraction=0.5)
+        )
+        cancelling = [s for s in sessions if s.cancel_after_updates]
+        assert 20 < len(cancelling) < 80
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError, match="n_sessions"):
+            LoadProfile(n_sessions=0)
+        with pytest.raises(ConfigurationError, match="mean_interarrival"):
+            LoadProfile(mean_interarrival=0.0)
+        with pytest.raises(ConfigurationError, match="cancel_fraction"):
+            LoadProfile(cancel_fraction=1.5)
+
+
+class TestReplayDrill:
+    def test_drill_is_byte_replayable_with_cancels(self):
+        profile = LoadProfile(n_sessions=30, seed=7, cancel_fraction=0.3)
+        a = run_drill(profile, n_devices=2)
+        b = run_drill(profile, n_devices=2)
+        assert a.events_json() == b.events_json()
+        assert a.report().counts.get("cancelled", 0) > 0
+
+    def test_autoscale_beats_pinned_fleet_on_tail_latency(self):
+        # Same arrival storm; the only difference is whether the fleet may
+        # grow.  All latencies are virtual, so the comparison is exact.
+        pinned = run_drill(SMALL, n_devices=1, autoscale=None)
+        scaled = run_drill(
+            SMALL,
+            n_devices=1,
+            autoscale=AutoscalePolicy(max_devices=4, queue_high=2.0),
+        )
+        assert scaled.report().scale_ups > 0
+        assert (
+            scaled.report().p99_latency_seconds
+            < pinned.report().p99_latency_seconds
+        )
+
+    def test_strict_sheds_are_absorbed(self):
+        profile = LoadProfile(n_sessions=20, seed=7)
+        service = run_drill(
+            profile,
+            n_devices=1,
+            streams_per_device=1,
+            admission="strict",
+            max_queue=2,
+            autoscale=None,
+        )
+        report = service.report()
+        assert report.counts.get("shed", 0) > 0
+        assert report.n_jobs == profile.n_sessions
+
+
+class TestServeCli:
+    def test_runs_twice_byte_identical(self, tmp_path, capsys):
+        def drill(tag):
+            out = tmp_path / f"report-{tag}.json"
+            events = tmp_path / f"events-{tag}.json"
+            code = serve_main([
+                "--sessions", "25",
+                "--seed", "3",
+                "--cancel-fraction", "0.2",
+                "--out", str(out),
+                "--events-json", str(events),
+            ])
+            assert code == 0
+            return out.read_bytes(), events.read_bytes()
+
+        report_a, events_a = drill("a")
+        report_b, events_b = drill("b")
+        assert events_a == events_b
+        assert report_a == report_b
+        assert "job(s)" in capsys.readouterr().out
+
+    def test_no_autoscale_pins_fleet(self, tmp_path):
+        events = tmp_path / "events.json"
+        code = serve_main([
+            "--sessions", "15",
+            "--no-autoscale",
+            "--events-json", str(events),
+        ])
+        assert code == 0
+        assert b"scale_up" not in events.read_bytes()

@@ -12,6 +12,7 @@ import pytest
 
 REPRO_PUBLIC = {
     "AdmissionPolicy",
+    "AutoscalePolicy",
     "BatchResult",
     "BatchScheduler",
     "BreakerPolicy",
@@ -22,6 +23,8 @@ REPRO_PUBLIC = {
     "FaultPlan",
     "FaultSpec",
     "Job",
+    "LoadProfile",
+    "OptimizationService",
     "OptimizeResult",
     "PAPER_DEFAULTS",
     "PSOParams",
@@ -31,11 +34,16 @@ REPRO_PUBLIC = {
     "ReproError",
     "RetryPolicy",
     "SwarmHealthGuard",
+    "TenantQuota",
     "__version__",
     "available_engines",
     "available_functions",
     "get_function",
     "make_engine",
+    "make_function",
+    "resolve_engine",
+    "resolve_function",
+    "resolve_policy",
     "resume",
     "run_with_recovery",
 }
@@ -55,6 +63,7 @@ RELIABILITY_PUBLIC = {
     "RetryPolicy",
     "RunSnapshot",
     "SwarmHealthGuard",
+    "capture_live_run",
     "capture_run",
     "read_snapshot",
     "resume",
@@ -88,12 +97,58 @@ BATCH_PUBLIC = {
     "AdmissionPolicy",
     "BatchResult",
     "BatchScheduler",
+    "FleetTimeline",
     "Job",
     "JobOutcome",
+    "LanePlacement",
     "POLICIES",
+    "RunningJob",
     "WORKLOAD_PROBLEMS",
     "estimate_job_bytes",
     "mixed_workload",
+    "resolve_policy",
+    "start_job",
+}
+
+SERVE_PUBLIC = {
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ClientSession",
+    "EVENT_KINDS",
+    "JobTicket",
+    "LoadProfile",
+    "OptimizationService",
+    "ProgressUpdate",
+    "ServiceEvent",
+    "ServiceReport",
+    "TenantQuota",
+    "build_sessions",
+    "events_to_json",
+    "replay",
+    "run_drill",
+}
+
+FUNCTIONS_PUBLIC = {
+    "Ackley",
+    "BenchmarkFunction",
+    "DixonPrice",
+    "Easom",
+    "EvalProfile",
+    "Griewank",
+    "Levy",
+    "Michalewicz",
+    "PAPER_FUNCTIONS",
+    "Rastrigin",
+    "Rosenbrock",
+    "Schwefel",
+    "Sphere",
+    "StyblinskiTang",
+    "Zakharov",
+    "available_functions",
+    "get_function",
+    "make_function",
+    "register",
+    "resolve_function",
 }
 
 #: Registry names are part of the surface: scripts and configs key on them.
@@ -127,6 +182,8 @@ ENGINE_ALIASES = {
         ("repro.engines", ENGINES_PUBLIC),
         ("repro.batch", BATCH_PUBLIC),
         ("repro.reliability", RELIABILITY_PUBLIC),
+        ("repro.serve", SERVE_PUBLIC),
+        ("repro.functions", FUNCTIONS_PUBLIC),
     ],
 )
 class TestSurfaceSnapshot:
