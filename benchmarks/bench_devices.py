@@ -1,0 +1,139 @@
+"""Device-catalog what-if sweep and cost-model calibration report (ISSUE 8).
+
+Three sections, all deterministic (byte-identical JSON across runs on the
+same interpreter — the CI device-sweep smoke job diffs two back-to-back
+runs):
+
+* **sweep** — the paper timing workload priced on every catalog entry
+  (:mod:`repro.bench.experiments.devices`): projected simulated seconds,
+  speedup vs the catalog V100, and the velocity-update kernel's modelled
+  L1/L2 hit fractions.  Asserts the memory-hierarchy margin: the V100/A100
+  ratio must exceed the bare DRAM-bandwidth ratio (the paper workload's
+  ~12 MB working set fits an A100's 40 MiB L2 but only partially a V100's
+  6 MiB), and every device must report the bit-identical best value.
+* **calibration** — :func:`repro.devices.calibrate` fitting
+  :class:`~repro.gpusim.costmodel.GpuCostParams` against the paper's
+  published V100 wall times (Table 1: fastpso 0.67 s, gpu-pso 4.90 s at
+  n=5000, d=200, 1000 iterations); the residual report is committed so a
+  cost-model change that degrades the fit fails loudly.
+* **hetero_batch** — a mixed fleet (``devices=["v100", "a100"]``) packing
+  a seeded workload with cost-aware earliest-finish-time placement; pins
+  the per-device job split and makespan.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_devices.py [--out BENCH_devices.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+MAX_CALIBRATION_REL_ERROR = 0.10  # fitted model within 10% of the paper
+MARGIN_HEADROOM = 1.02  # hierarchy margin must beat DRAM ratio by >= 2%
+
+
+def sweep_section() -> dict:
+    from repro.bench.config import get_scale
+    from repro.bench.experiments.devices import run as run_sweep
+    from repro.devices import resolve_device
+
+    result = run_sweep(get_scale("quick"))
+    assert result.trajectories_identical, (
+        "catalog devices must not change trajectories: "
+        + ", ".join(f"{r.device}={r.best_value!r}" for r in result.rows)
+    )
+    dram_ratio = (
+        resolve_device("a100").dram_bandwidth
+        / resolve_device("v100").dram_bandwidth
+    )
+    assert result.v100_over_a100 >= dram_ratio * MARGIN_HEADROOM, (
+        f"hierarchy margin {result.v100_over_a100:.3f}x does not beat the "
+        f"DRAM ratio {dram_ratio:.3f}x — the L2 model is not contributing"
+    )
+    print(result.to_text())
+    print(
+        f"margin check: {result.v100_over_a100:.3f}x >= "
+        f"{dram_ratio:.3f}x (DRAM) * {MARGIN_HEADROOM} — OK"
+    )
+    return {
+        **result.to_dict(),
+        "dram_bandwidth_ratio_a100_over_v100": dram_ratio,
+    }
+
+
+def calibration_section() -> dict:
+    from repro.devices import PAPER_TARGETS, calibrate
+
+    result = calibrate(PAPER_TARGETS)
+    print(result.report_text())
+    assert result.max_abs_rel_error <= MAX_CALIBRATION_REL_ERROR, (
+        f"calibration residual {result.max_abs_rel_error:.3f} exceeds "
+        f"{MAX_CALIBRATION_REL_ERROR}"
+    )
+    print(
+        f"calibration check: max |rel err| {result.max_abs_rel_error:.4f} "
+        f"<= {MAX_CALIBRATION_REL_ERROR} — OK"
+    )
+    return result.to_json_dict()
+
+
+def hetero_batch_section() -> dict:
+    from repro.batch import BatchScheduler, Job
+
+    scheduler = BatchScheduler(devices=["v100", "a100"], streams_per_device=2)
+    jobs = [
+        Job(
+            "sphere",
+            dim=32,
+            n_particles=256 * (1 + seed % 3),
+            max_iter=50,
+            seed=seed,
+        )
+        for seed in range(12)
+    ]
+    result = scheduler.run(jobs)
+    per_device = [
+        sum(1 for o in result.outcomes if o.device_index == d)
+        for d in range(result.n_devices)
+    ]
+    print(result.summary())
+    return {
+        "devices": ["v100", "a100"],
+        "jobs": len(jobs),
+        "jobs_per_device": per_device,
+        "makespan_seconds": result.makespan_seconds,
+        "sum_solo_seconds": result.sum_solo_seconds,
+        "speedup": result.speedup,
+        "all_succeeded": result.all_succeeded,
+    }
+
+
+def run() -> dict:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sweep": sweep_section(),
+        "calibration": calibration_section(),
+        "hetero_batch": hetero_batch_section(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_devices.json", help="output JSON path"
+    )
+    args = parser.parse_args()
+    payload = run()
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,10 @@ Algorithm on GPUs* (ICPP 2021).  The package layers:
   injection and retry/failover for single runs and batch fleets;
 * :mod:`repro.serve` — the async serving front-end: job submission over
   virtual time, streaming best-so-far results, per-tenant quotas,
-  queue-depth autoscaling and checkpoint-backed cancellation.
+  queue-depth autoscaling and checkpoint-backed cancellation;
+* :mod:`repro.devices` — the device catalog (versioned machine files for
+  V100/A100/H100-class GPUs and a CPU fallback) and the cost-model
+  calibration harness.
 
 Quickstart::
 
@@ -58,6 +61,14 @@ Serving (async, streaming, autoscaled)::
         return await ticket.wait()
 
     result = asyncio.run(main())
+
+What-if across silicon — trajectories stay bit-identical, only the
+simulated clock moves::
+
+    from repro import make_device, use_device
+    with use_device("a100"):
+        result = FastPSO(seed=1).minimize("sphere", dim=50, max_iter=200)
+    spec = make_device("v100", sm_count=40)   # half a V100
 """
 
 from repro.batch import (
@@ -76,6 +87,13 @@ from repro.core import (
     PSOParams,
 )
 from repro.core.results import RUN_STATUSES
+from repro.devices import (
+    calibrate,
+    device_names,
+    make_device,
+    resolve_device,
+    use_device,
+)
 from repro.engines import (
     ENGINE_NAMES,
     available_engines,
@@ -107,7 +125,7 @@ from repro.serve import (
     TenantQuota,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FastPSO",
@@ -144,5 +162,10 @@ __all__ = [
     "LoadProfile",
     "OptimizationService",
     "TenantQuota",
+    "calibrate",
+    "device_names",
+    "make_device",
+    "resolve_device",
+    "use_device",
     "__version__",
 ]

@@ -31,6 +31,22 @@ the same earliest-available assignment, which tightens the makespan when
 job durations are skewed.  All policies respect stream capacity by
 construction — a stream runs exactly one unit of work at a time.
 
+Heterogeneous fleets
+--------------------
+``devices=`` names the fleet's silicon from the :mod:`repro.devices`
+catalog (``["v100", "a100"]``, or ready
+:class:`~repro.gpusim.device.DeviceSpec` objects) instead of ``n_devices``
+identical anonymous GPUs.  Placement then becomes cost-aware: each job is
+priced per device with the cost model's canonical update-kernel probe and
+assigned earliest-finish-time-first (deterministic, ties to the lowest
+device index), GPU jobs run on their assigned device's spec (so an A100
+job genuinely finishes sooner than a V100 one — trajectories stay
+bit-identical, only simulated seconds move), and admission prices memory
+against the *smallest* device in the fleet.  ``devices=`` refuses to
+compose with ``retry``/``faults``/``breaker`` and with
+``policy="fused"``: failover and fused stacking assume interchangeable
+devices.
+
 ``"fused"`` goes further: a grouping pass
 (:func:`repro.batch.fused.plan_fused_groups`) stacks *compatible* jobs —
 same engine configuration, dim, swarm size and iteration budget; seeds,
@@ -111,6 +127,7 @@ from repro.batch.job import Job, JobOutcome
 from repro.core.budget import Budget
 from repro.core.results import OptimizeResult
 from repro.errors import InvalidParameterError, ReproError
+from repro.gpusim.kernel import KernelSpec
 from repro.gpusim.launch import LaunchStats
 from repro.gpusim.profiler import ProfileReport, build_report_from_stats
 from repro.utils.naming import unknown_name
@@ -120,6 +137,22 @@ __all__ = ["BatchScheduler", "BatchResult", "POLICIES", "resolve_policy"]
 
 #: Supported packing policies, in documentation order.
 POLICIES = ("fifo", "packed", "fused")
+
+#: Canonical placement probe for heterogeneous fleets: the fp32 fused
+#: velocity+position update's resource shape (see
+#: ``FastPSOEngine._kernels``), hierarchy hints included so L2-rich
+#: devices price cache-resident jobs as faster.  Placement only needs the
+#: fleet's *relative* per-device speed, so one representative kernel is
+#: enough.
+_PLACEMENT_PROBE = KernelSpec(
+    name="placement_probe",
+    flops_per_elem=11.0,
+    bytes_read_per_elem=5 * 4.0,
+    bytes_written_per_elem=2 * 4.0,
+    registers_per_thread=40,
+    reread_fraction=3.0 / 5.0,
+    working_set_bytes_per_elem=3 * 4.0,
+)
 
 
 def resolve_policy(policy: str) -> str:
@@ -412,6 +445,14 @@ class BatchScheduler:
         :class:`SimClock` (the multi-device analogue of the paper's
         Section 3.5 particle-splitting fleet, here multiplexing whole jobs
         instead of sub-swarms).
+    devices:
+        Optional heterogeneous fleet: a sequence of catalog names/aliases
+        (resolved through :func:`repro.devices.resolve_device`) or ready
+        :class:`~repro.gpusim.device.DeviceSpec` objects, one per device.
+        Implies ``n_devices=len(devices)`` and switches placement from
+        round-robin to cost-aware earliest-finish-time (see module
+        docstring).  Mutually exclusive with ``retry``/``faults``/
+        ``breaker`` and ``policy="fused"``.
     streams_per_device:
         Concurrent streams per device — the lane count that bounds how many
         jobs a device overlaps.
@@ -473,6 +514,7 @@ class BatchScheduler:
         *,
         n_devices: int = 1,
         streams_per_device: int = 4,
+        devices=None,
         policy: str = "fifo",
         retry=None,
         faults=None,
@@ -506,6 +548,34 @@ class BatchScheduler:
                 "a fault inside a stacked loop cannot be attributed to one "
                 "member; use policy='packed' for fault-injected fleets"
             )
+        self.device_specs = None
+        if devices is not None:
+            if (
+                retry is not None
+                or faults is not None
+                or breaker is not None
+                or policy == "fused"
+            ):
+                raise InvalidParameterError(
+                    "devices= (a heterogeneous fleet) does not compose with "
+                    "retry/faults/breaker or policy='fused': failover and "
+                    "fused stacking assume interchangeable devices; use a "
+                    "homogeneous n_devices= fleet for those"
+                )
+            from repro.devices import resolve_device
+
+            specs = tuple(resolve_device(d) for d in devices)
+            if not specs:
+                raise InvalidParameterError(
+                    "devices= must name at least one catalog entry"
+                )
+            if n_devices not in (1, len(specs)):
+                raise InvalidParameterError(
+                    f"n_devices={n_devices} contradicts the {len(specs)} "
+                    "entries in devices=; pass one or the other"
+                )
+            n_devices = len(specs)
+            self.device_specs = specs
         self.n_devices = n_devices
         self.streams_per_device = streams_per_device
         self.policy = policy
@@ -584,6 +654,27 @@ class BatchScheduler:
         in (the job's own setting always wins)."""
         return effective_engine_options(job, self.graph)
 
+    def _estimate_job_seconds(self, job: Job, spec) -> float:
+        """Predicted solo seconds of *job* on *spec*, for placement only.
+
+        Prices the canonical per-iteration workload — the shape of the
+        fused velocity+position update, hierarchy hints included — through
+        :func:`~repro.gpusim.costmodel.kernel_cost` and scales by the
+        iteration budget.  Deliberately coarse: placement needs the
+        *relative* speed of the fleet's devices on this job's element
+        count, not an exact runtime (both the probe and the config are
+        memoized, so fleets price thousands of jobs cheaply).
+        """
+        from repro.gpusim.costmodel import kernel_cost
+        from repro.gpusim.launch import resource_aware_config
+
+        n_elems = max(1, job.n_particles * job.dim)
+        config = resource_aware_config(
+            spec, n_elems, kernel_spec=_PLACEMENT_PROBE
+        )
+        cost = kernel_cost(spec, _PLACEMENT_PROBE, config, n_elems)
+        return cost.seconds * max(1, job.max_iter)
+
     # -- submission ----------------------------------------------------------
     def submit(self, job: Job | None = None, /, **spec: object) -> Job:
         """Queue a job; either a ready :class:`Job` or its field values."""
@@ -641,18 +732,26 @@ class BatchScheduler:
 
         decisions = None
         if self.admission is not None:
-            from repro.gpusim.device import tesla_v100
-
             if self.policy == "fused":
                 # Price prospective groups as units so the memory ladder
                 # degrades them coherently (see AdmissionPolicy.plan).
                 fused_plan = plan_fused_groups(
                     batch, options_for=self._job_engine_options
                 )
+            if self.device_specs is not None:
+                # A job must fit wherever placement puts it, so admission
+                # prices memory against the smallest device in the fleet.
+                device_mem = min(
+                    s.global_mem_bytes for s in self.device_specs
+                )
+            else:
+                from repro.gpusim.device import tesla_v100
+
+                device_mem = tesla_v100().global_mem_bytes
             decisions = self.admission.plan(
                 batch,
                 streams_per_device=self.streams_per_device,
-                device_mem_bytes=tesla_v100().global_mem_bytes,
+                device_mem_bytes=device_mem,
                 groups=fused_plan,
             )
 
@@ -699,6 +798,8 @@ class BatchScheduler:
         started_groups: set[int] = set()
         base_now = 0.0
         n_run = 0
+        # Estimated busy seconds per device, for heterogeneous placement.
+        est_busy = [0.0] * self.n_devices
         for i in exec_order:
             decision = decisions[i] if decisions is not None else None
             if decision is not None and decision.action == "shed":
@@ -720,10 +821,26 @@ class BatchScheduler:
                     base_now += lane_seconds
                     n_run += len(indices)
                 continue
-            # Round-robin preferred device so a healthy breaker fleet
-            # spreads jobs instead of collapsing onto device 0 (the breaker
-            # only overrides the preference when that device is open).
-            preferred = n_run % self.n_devices
+            if self.device_specs is not None:
+                # Earliest finish time over the catalog fleet: price the
+                # job on every device with the cost-model probe and place
+                # it where it would finish soonest (ties to the lowest
+                # device index, so schedules are fully deterministic).
+                estimates = [
+                    self._estimate_job_seconds(effective[i], spec)
+                    for spec in self.device_specs
+                ]
+                preferred = min(
+                    range(self.n_devices),
+                    key=lambda d: (est_busy[d] + estimates[d], d),
+                )
+                est_busy[preferred] += estimates[preferred]
+            else:
+                # Round-robin preferred device so a healthy breaker fleet
+                # spreads jobs instead of collapsing onto device 0 (the
+                # breaker only overrides the preference when that device
+                # is open).
+                preferred = n_run % self.n_devices
             if self._overload_enabled:
                 executed[i] = self._contained_execute(
                     i,
@@ -733,7 +850,9 @@ class BatchScheduler:
                     preferred_device=preferred,
                 )
             else:
-                executed[i] = self._execute(i, effective[i])
+                executed[i] = self._execute(
+                    i, effective[i], preferred_device=preferred
+                )
             base_now += _lane_duration(executed[i])
             n_run += 1
 
@@ -841,7 +960,20 @@ class BatchScheduler:
         if not self._reliability_enabled:
             from repro.reliability.retry import RecoveryReport
 
-            engine = make_engine(job.engine, **self._job_engine_options(job))
+            options = self._job_engine_options(job)
+            device_index = None
+            if self.device_specs is not None and preferred_device is not None:
+                # Heterogeneous fleet: the job runs on its assigned
+                # device's silicon.  CPU/library engines have no device to
+                # retarget; they keep the placement but not the spec.
+                device_index = preferred_device
+                from repro.engines import engine_accepts_device
+
+                if engine_accepts_device(job.engine):
+                    options.setdefault(
+                        "device", self.device_specs[device_index]
+                    )
+            engine = make_engine(job.engine, **options)
             result = engine.optimize(
                 job.resolved_problem(),
                 n_particles=job.n_particles,
@@ -852,7 +984,10 @@ class BatchScheduler:
                 guard=self.guard,
             )
             return RecoveryReport(
-                result=result, attempts=1, engines=(engine,)
+                result=result,
+                attempts=1,
+                engines=(engine,),
+                device_index=device_index,
             )
 
         from pathlib import Path
@@ -1038,7 +1173,7 @@ class BatchScheduler:
             report = executed[unit[0]]
             devices = None
             if (
-                health is not None
+                (health is not None or self.device_specs is not None)
                 and report.device_index is not None
                 and 0 <= report.device_index < self.n_devices
             ):
@@ -1148,6 +1283,7 @@ class BatchScheduler:
                         body_seconds=bucket.body_seconds,
                         bytes_read=bucket.bytes_read,
                         bytes_written=bucket.bytes_written,
+                        bytes_l2=bucket.bytes_l2,
                         flops=bucket.flops,
                         occupancy_sum=bucket.occupancy_sum,
                     )
@@ -1158,6 +1294,7 @@ class BatchScheduler:
                     into.body_seconds += bucket.body_seconds
                     into.bytes_read += bucket.bytes_read
                     into.bytes_written += bucket.bytes_written
+                    into.bytes_l2 += bucket.bytes_l2
                     into.flops += bucket.flops
                     into.occupancy_sum += bucket.occupancy_sum
         return build_report_from_stats(merged, sections)

@@ -43,9 +43,29 @@ def main(argv: list[str] | None = None) -> int:
         help="workload scale (default: quick; 'paper' runs the full-size "
         "error workloads and more repeats)",
     )
+    parser.add_argument(
+        "--device",
+        metavar="NAME",
+        help="run the experiment on a repro.devices catalog entry (e.g. "
+        "'a100'): every context built without an explicit spec uses it",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
 
+    if args.device is not None:
+        from repro.devices import use_device
+        from repro.errors import ReproError
+
+        try:
+            with use_device(args.device):
+                return _run(args, scale)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return _run(args, scale)
+
+
+def _run(args: argparse.Namespace, scale) -> int:
     if args.experiment == "suite":
         from repro.bench.suite import run_suite
 

@@ -3,6 +3,7 @@
 from repro.bench.experiments import (
     ablations,
     convergence,
+    devices,
     figure4,
     figure5,
     figure6,
@@ -26,6 +27,7 @@ EXPERIMENTS = {
     "figure6": figure6,
     "ablations": ablations,
     "convergence": convergence,
+    "devices": devices,
 }
 
 __all__ = [
@@ -40,4 +42,5 @@ __all__ = [
     "figure6",
     "ablations",
     "convergence",
+    "devices",
 ]

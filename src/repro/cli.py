@@ -3,9 +3,11 @@
 ``repro <command> [args...]`` dispatches to the per-subsystem CLIs that
 also exist as runnable modules:
 
-* ``repro serve``  → :mod:`repro.serve.__main__` (load-generator drill)
-* ``repro batch``  → :mod:`repro.batch.__main__` (batch scheduler)
-* ``repro bench``  → :mod:`repro.bench.cli` (paper experiment driver)
+* ``repro serve``   → :mod:`repro.serve.__main__` (load-generator drill)
+* ``repro batch``   → :mod:`repro.batch.__main__` (batch scheduler)
+* ``repro bench``   → :mod:`repro.bench.cli` (paper experiment driver)
+* ``repro devices`` → :mod:`repro.devices.__main__` (device catalog,
+  cost-model calibration)
 
 Each command's own ``--help`` documents its flags; exit codes pass
 through unchanged.
@@ -34,19 +36,28 @@ def _bench(argv: list[str]) -> int:
     return main(argv)
 
 
+def _devices(argv: list[str]) -> int:
+    from repro.devices.__main__ import main
+
+    return main(argv)
+
+
 _COMMANDS = {
     "serve": _serve,
     "batch": _batch,
     "bench": _bench,
+    "devices": _devices,
 }
 
 _USAGE = (
-    "usage: repro {serve,batch,bench} [args...]\n"
+    "usage: repro {serve,batch,bench,devices} [args...]\n"
     "\n"
     "commands:\n"
-    "  serve   run the serving-layer load drill (python -m repro.serve)\n"
-    "  batch   run the batch scheduler CLI (python -m repro.batch)\n"
-    "  bench   run paper experiments (fastpso-bench)\n"
+    "  serve    run the serving-layer load drill (python -m repro.serve)\n"
+    "  batch    run the batch scheduler CLI (python -m repro.batch)\n"
+    "  bench    run paper experiments (fastpso-bench)\n"
+    "  devices  inspect the device catalog / calibrate the cost model\n"
+    "           (python -m repro.devices)\n"
 )
 
 

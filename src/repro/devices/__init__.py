@@ -1,0 +1,65 @@
+"""Device catalog and cost-model calibration (:mod:`repro.devices`).
+
+Three pieces:
+
+* **catalog** — versioned machine files (``machines/*.json``) describing
+  V100/A100/H100-class GPUs and a CPU fallback, resolved by name/alias with
+  the same did-you-mean surface as the engine/function/policy registries
+  (:func:`resolve_device`, :func:`make_device`).
+* **ambient default** — :func:`use_device`/:func:`set_default_device`
+  retarget every context built without an explicit spec, which is how
+  ``repro bench --device a100`` re-runs an experiment on different silicon
+  without touching the experiment code.
+* **calibration** — :func:`calibrate` fits
+  :class:`~repro.gpusim.costmodel.GpuCostParams` to the paper's published
+  wall times by deterministic coordinate descent over analytically
+  re-costed launch captures (:mod:`repro.devices.calibrate`).
+
+``python -m repro.devices list`` prints the catalog;
+``python -m repro.devices calibrate`` runs the fit and emits the residual
+report.
+"""
+
+from repro.devices.calibrate import (
+    PAPER_TARGETS,
+    CalibrationResult,
+    CalibrationTarget,
+    CapturedWorkload,
+    calibrate,
+    capture_workload,
+)
+from repro.devices.catalog import (
+    MACHINES_DIR,
+    CatalogEntry,
+    device_entries,
+    device_names,
+    get_default_device,
+    load_machine_file,
+    make_device,
+    register_machine_file,
+    resolve_device,
+    resolve_entry,
+    set_default_device,
+    use_device,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "CalibrationTarget",
+    "CapturedWorkload",
+    "CatalogEntry",
+    "MACHINES_DIR",
+    "PAPER_TARGETS",
+    "calibrate",
+    "capture_workload",
+    "device_entries",
+    "device_names",
+    "get_default_device",
+    "load_machine_file",
+    "make_device",
+    "register_machine_file",
+    "resolve_device",
+    "resolve_entry",
+    "set_default_device",
+    "use_device",
+]

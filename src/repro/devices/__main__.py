@@ -1,0 +1,116 @@
+"""Command line for the device catalog and calibration harness.
+
+Usage::
+
+    python -m repro.devices list                 # catalog table
+    python -m repro.devices show a100            # one entry, full spec
+    python -m repro.devices calibrate --out calib.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+
+from repro.devices.calibrate import PAPER_TARGETS, calibrate
+from repro.devices.catalog import device_entries, resolve_entry
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [e.to_row() for e in device_entries()]
+    header = (
+        f"{'name':<10} {'kind':<4} {'SMs':>4} {'DRAM GB/s':>10} "
+        f"{'mem GiB':>8} {'L2 MiB':>7} {'L2 GB/s':>8}  summary"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:<10} {row['kind']:<4} {row['sm_count']:>4} "
+            f"{row['dram_bandwidth_gbs']:>10.1f} "
+            f"{row['global_mem_gib']:>8.1f} "
+            f"{row['l2_cache_mib']:>7.1f} {row['l2_bandwidth_gbs']:>8.1f}  "
+            f"{row['summary']}"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    entry = resolve_entry(args.name)
+    payload = {
+        "name": entry.name,
+        "kind": entry.kind,
+        "summary": entry.summary,
+        "source": entry.source,
+        "aliases": list(entry.aliases),
+        "machine_file": str(entry.path) if entry.path else None,
+        "spec": asdict(entry.spec),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.devices.catalog import resolve_device
+
+    device = resolve_device(args.device) if args.device else None
+    result = calibrate(PAPER_TARGETS, device=device, sweeps=args.sweeps)
+    print(result.report_text())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_json_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"residual report written to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro devices",
+        description="Inspect the device catalog and calibrate the cost model.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print the catalog summary table")
+
+    show = sub.add_parser("show", help="print one entry's full spec as JSON")
+    show.add_argument("name", help="catalog name or alias")
+
+    calib = sub.add_parser(
+        "calibrate",
+        help="fit cost params against the paper tables; print residuals",
+    )
+    calib.add_argument(
+        "--device",
+        default=None,
+        help="catalog device to calibrate on (default: the paper's flat V100)",
+    )
+    calib.add_argument(
+        "--sweeps",
+        type=int,
+        default=3,
+        help="coordinate-descent sweeps (default: 3)",
+    )
+    calib.add_argument(
+        "--out", default=None, help="also write the residual report as JSON"
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "show":
+            return _cmd_show(args)
+        return _cmd_calibrate(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,309 @@
+"""Declarative device catalog: versioned machine files -> DeviceSpec.
+
+The in-code presets (:func:`repro.gpusim.device.tesla_v100` and friends)
+describe the paper's exact testbed and stay *flat* — no memory-hierarchy
+fields — so every golden timing pinned against them holds forever.  The
+catalog is the growth surface: each ``machines/*.json`` file is a versioned,
+reviewable description of one device (a V100/A100/H100-class GPU or a
+CPU-fallback expressed in the same vocabulary), including the L1/L2
+capacities and bandwidths that activate cost model v2
+(:mod:`repro.gpusim.costmodel`).
+
+Lookup mirrors the other public registries (engines, policies, functions):
+:func:`resolve_device` accepts canonical names and aliases
+case-insensitively and raises :class:`~repro.errors.UnknownDeviceError`
+with a did-you-mean suggestion otherwise.  :func:`make_device` is the
+factory flavour (``make_device("a100", sm_count=96)`` applies overrides),
+and :func:`use_device`/:func:`set_default_device` install an *ambient
+default* that :func:`repro.gpusim.make_context` consults when no explicit
+spec is passed — the mechanism behind ``repro bench --device a100``.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, UnknownDeviceError
+from repro.gpusim.device import PRESETS, DeviceSpec
+from repro.utils.naming import unknown_name
+
+__all__ = [
+    "CatalogEntry",
+    "MACHINES_DIR",
+    "device_entries",
+    "device_names",
+    "get_default_device",
+    "load_machine_file",
+    "make_device",
+    "register_machine_file",
+    "resolve_device",
+    "resolve_entry",
+    "set_default_device",
+    "use_device",
+]
+
+#: Directory holding the built-in machine files shipped with the package.
+MACHINES_DIR = Path(__file__).resolve().parent / "machines"
+
+#: The one machine-file schema this loader understands.
+SCHEMA_VERSION = 1
+
+_SPEC_FIELDS = frozenset(f.name for f in DeviceSpec.__dataclass_fields__.values())
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One catalog device: metadata plus its resolved :class:`DeviceSpec`."""
+
+    #: Canonical lookup name (lower-case, e.g. ``"a100"``).
+    name: str
+    #: Device class: ``"gpu"`` or ``"cpu"`` (a CPU fallback expressed in the
+    #: device vocabulary so the same cost model and scheduler apply).
+    kind: str
+    #: One-line human description.
+    summary: str
+    #: Where the numbers come from (datasheet, paper table).
+    source: str
+    #: Additional lookup spellings.
+    aliases: tuple[str, ...]
+    #: The architectural spec the simulator consumes.
+    spec: DeviceSpec
+    #: Machine file this entry was loaded from (``None`` for programmatic
+    #: registrations).
+    path: Path | None = None
+
+    def to_row(self) -> dict:
+        """JSON-safe summary row (used by ``repro devices list``)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "summary": self.summary,
+            "aliases": list(self.aliases),
+            "sm_count": self.spec.sm_count,
+            "dram_bandwidth_gbs": self.spec.dram_bandwidth / 1e9,
+            "global_mem_gib": self.spec.global_mem_bytes / 1024**3,
+            "l2_cache_mib": self.spec.l2_cache_bytes / 1024**2,
+            "l2_bandwidth_gbs": self.spec.l2_bandwidth / 1e9,
+            "memory_hierarchy": self.spec.has_memory_hierarchy,
+        }
+
+
+def load_machine_file(path: str | Path) -> CatalogEntry:
+    """Parse one machine file into a :class:`CatalogEntry`.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unreadable JSON, a
+    schema-version mismatch, unknown spec fields, or spec values the
+    :class:`DeviceSpec` constructor rejects — always naming the file so a
+    bad catalog edit fails with one actionable message.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read machine file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"machine file {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"machine file {path} must hold a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"machine file {path} has schema_version={version!r}; this "
+            f"loader understands version {SCHEMA_VERSION}"
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"machine file {path} needs a 'name' string")
+    kind = data.get("kind", "gpu")
+    if kind not in ("gpu", "cpu"):
+        raise ConfigurationError(
+            f"machine file {path}: kind must be 'gpu' or 'cpu', got {kind!r}"
+        )
+    spec_data = data.get("spec")
+    if not isinstance(spec_data, dict):
+        raise ConfigurationError(
+            f"machine file {path} needs a 'spec' object with DeviceSpec fields"
+        )
+    unknown = sorted(set(spec_data) - _SPEC_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"machine file {path} has unknown spec field(s) {unknown}; "
+            f"valid fields: {sorted(_SPEC_FIELDS)}"
+        )
+    try:
+        spec = DeviceSpec(**spec_data)
+    except (ConfigurationError, TypeError) as exc:
+        raise ConfigurationError(
+            f"machine file {path} has an invalid spec: {exc}"
+        ) from exc
+    aliases = data.get("aliases", [])
+    if not isinstance(aliases, list) or not all(
+        isinstance(a, str) for a in aliases
+    ):
+        raise ConfigurationError(
+            f"machine file {path}: aliases must be a list of strings"
+        )
+    return CatalogEntry(
+        name=name.lower(),
+        kind=kind,
+        summary=str(data.get("summary", "")),
+        source=str(data.get("source", "")),
+        aliases=tuple(a.lower() for a in aliases),
+        spec=spec,
+        path=path,
+    )
+
+
+# Canonical name -> entry, populated lazily from MACHINES_DIR (sorted for
+# a deterministic load order) plus any register_machine_file() additions.
+_CATALOG: dict[str, CatalogEntry] | None = None
+# Alias -> canonical name.
+_ALIASES: dict[str, str] = {}
+
+
+def _catalog() -> dict[str, CatalogEntry]:
+    global _CATALOG
+    if _CATALOG is None:
+        _CATALOG = {}
+        for path in sorted(MACHINES_DIR.glob("*.json")):
+            _register(load_machine_file(path))
+    return _CATALOG
+
+
+def _register(entry: CatalogEntry) -> CatalogEntry:
+    assert _CATALOG is not None
+    taken = set(_CATALOG) | set(_ALIASES)
+    for label in (entry.name, *entry.aliases):
+        if label in taken:
+            raise ConfigurationError(
+                f"device name {label!r} (from {entry.path}) is already "
+                f"registered"
+            )
+    _CATALOG[entry.name] = entry
+    for alias in entry.aliases:
+        _ALIASES[alias] = entry.name
+    return entry
+
+
+def register_machine_file(path: str | Path) -> CatalogEntry:
+    """Add a user-supplied machine file to the live catalog.
+
+    The entry becomes resolvable by name/alias exactly like a built-in;
+    re-registering a name raises :class:`~repro.errors.ConfigurationError`.
+    """
+    _catalog()
+    return _register(load_machine_file(path))
+
+
+def device_names() -> tuple[str, ...]:
+    """Canonical catalog names, sorted."""
+    return tuple(sorted(_catalog()))
+
+
+def device_entries() -> tuple[CatalogEntry, ...]:
+    """Every catalog entry, in canonical-name order."""
+    cat = _catalog()
+    return tuple(cat[name] for name in sorted(cat))
+
+
+def resolve_entry(name: str) -> CatalogEntry:
+    """Resolve *name* (canonical or alias, case-insensitive) to its entry."""
+    cat = _catalog()
+    key = str(name).lower()
+    key = _ALIASES.get(key, key)
+    entry = cat.get(key)
+    if entry is None:
+        raise unknown_name(
+            "device",
+            name,
+            sorted({*cat, *_ALIASES}),
+            exc_type=UnknownDeviceError,
+        )
+    return entry
+
+
+def resolve_device(name: "str | DeviceSpec") -> DeviceSpec:
+    """Resolve a device name to its :class:`DeviceSpec`.
+
+    Accepts catalog names and aliases plus the historical in-code preset
+    names (``v100``/``a100``/``laptop``, which the catalog shadows with
+    hierarchy-enabled variants of the same silicon); a ready
+    :class:`DeviceSpec` passes through untouched so call sites can take
+    "name or spec" arguments uniformly.
+    """
+    if isinstance(name, DeviceSpec):
+        return name
+    return resolve_entry(name).spec
+
+
+def make_device(name: "str | DeviceSpec", **overrides: object) -> DeviceSpec:
+    """Build a spec from the catalog with optional field overrides.
+
+    ``make_device("a100", sm_count=96)`` is the device analogue of
+    ``make_engine("fastpso", backend="shared")``: resolve the canonical
+    entry, then apply configuration.  Overrides go through
+    :meth:`DeviceSpec.with_overrides`, so invalid values raise
+    :class:`~repro.errors.ConfigurationError` immediately.
+    """
+    spec = resolve_device(name)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return spec
+
+
+# -- ambient default --------------------------------------------------------
+# The default device make_context() uses when no spec is passed.  None means
+# "the paper's V100" (tesla_v100(), flat), preserving every historical
+# default-constructed engine bit for bit.
+_DEFAULT_SPEC: DeviceSpec | None = None
+
+
+def set_default_device(device: "str | DeviceSpec | None") -> DeviceSpec | None:
+    """Install the ambient default device; returns the previous one.
+
+    ``None`` restores the library default (the paper's flat V100).  The
+    ambient default only affects contexts built *without* an explicit spec;
+    engines given a ``device=`` argument ignore it.
+    """
+    global _DEFAULT_SPEC
+    previous = _DEFAULT_SPEC
+    _DEFAULT_SPEC = None if device is None else resolve_device(device)
+    return previous
+
+
+def get_default_device() -> DeviceSpec | None:
+    """The ambient default spec, or ``None`` when unset."""
+    return _DEFAULT_SPEC
+
+
+@contextmanager
+def use_device(device: "str | DeviceSpec | None"):
+    """Context manager scoping :func:`set_default_device` to a block."""
+    previous = set_default_device(device)
+    try:
+        yield get_default_device()
+    finally:
+        global _DEFAULT_SPEC
+        _DEFAULT_SPEC = previous
+
+
+def _reset_catalog_for_tests() -> None:
+    """Drop lazy state (catalog + ambient default); test isolation hook."""
+    global _CATALOG, _DEFAULT_SPEC
+    _CATALOG = None
+    _ALIASES.clear()
+    _DEFAULT_SPEC = None
+
+
+# The in-code presets must never drift out of the lookup surface: every
+# PRESETS key is expected to have a catalog entry shadowing it (validated
+# by the test suite, not at import time, to keep imports cheap).
+PRESET_NAMES = tuple(sorted(PRESETS))

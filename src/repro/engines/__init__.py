@@ -51,6 +51,7 @@ __all__ = [
     "BACKENDS",
     "ENGINE_NAMES",
     "available_engines",
+    "engine_accepts_device",
     "engine_supports_graph",
     "make_engine",
     "resolve_engine",
@@ -113,6 +114,31 @@ def engine_supports_graph(name: str) -> bool:
         key, _implied = _ALIASES[key]
     factory = _FACTORIES.get(key)
     return bool(getattr(factory, "supports_graph", False))
+
+
+def engine_accepts_device(name: str) -> bool:
+    """Whether *name*'s engine class takes the ``device=`` spec argument.
+
+    The heterogeneous batch fleet and the serving layer use this to decide
+    whether a catalog :class:`~repro.gpusim.device.DeviceSpec` can be
+    threaded into a job's engine options: GPU engines simulate on the given
+    spec, CPU/library engines have no device to retarget and must not
+    receive the keyword.  Unknown names report ``False``;
+    :func:`make_engine` is where they raise.
+    """
+    import inspect
+
+    key = name.lower()
+    if key in _ALIASES:
+        key, _implied = _ALIASES[key]
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        return False
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    return "device" in signature.parameters
 
 
 def resolve_engine(name: str) -> tuple[str, dict[str, object]]:

@@ -170,7 +170,12 @@ class FastPSOEngine(Engine):
 
     # -- kernel construction ----------------------------------------------------
     def _velocity_base_spec(self, clamped: bool) -> KernelSpec:
-        # Reads V, P, L, G and the pbest-position matrix; writes V.
+        # Reads V, P, L, G and the pbest-position matrix; writes V.  Of the
+        # five input matrices, three (V, P, pbest positions) are persistent
+        # swarm state re-read every iteration — the traffic the L1/L2
+        # hit-rate model can serve from cache on devices whose hierarchy
+        # holds the 3-matrix working set (cost model v2); the two weight
+        # matrices are fresh RNG output and always stream.
         eb = self._elem_bytes
         return KernelSpec(
             name="swarm_velocity_update",
@@ -178,6 +183,8 @@ class FastPSOEngine(Engine):
             bytes_read_per_elem=5 * eb,
             bytes_written_per_elem=eb,
             registers_per_thread=32,
+            reread_fraction=3.0 / 5.0,
+            working_set_bytes_per_elem=3.0 * eb,
         )
 
     def _build_kernels(self, problem: Problem, params: PSOParams) -> None:
@@ -240,6 +247,10 @@ class FastPSOEngine(Engine):
                     bytes_read_per_elem=2 * self._elem_bytes,
                     bytes_written_per_elem=self._elem_bytes,
                     registers_per_thread=16,
+                    # P and the just-written V' — both hot from the velocity
+                    # kernel one launch earlier.
+                    reread_fraction=1.0,
+                    working_set_bytes_per_elem=2.0 * self._elem_bytes,
                 ),
                 semantics=position_update,
             ),
@@ -252,6 +263,9 @@ class FastPSOEngine(Engine):
                     bytes_read_per_elem=self._elem_bytes,
                     bytes_written_per_elem=0.0,  # n values folded in below
                     registers_per_thread=32,
+                    # Reads the position matrix written one launch earlier.
+                    reread_fraction=1.0,
+                    working_set_bytes_per_elem=float(self._elem_bytes),
                 ),
                 semantics=problem.evaluator.evaluate,
             ),
@@ -262,6 +276,9 @@ class FastPSOEngine(Engine):
                     bytes_read_per_elem=2 * _F64,
                     bytes_written_per_elem=_F64,
                     registers_per_thread=16,
+                    # n-length fitness/pbest vectors: tiny, cache-resident.
+                    reread_fraction=1.0,
+                    working_set_bytes_per_elem=2.0 * _F64,
                 ),
                 semantics=pbest_update,
             ),
@@ -278,6 +295,9 @@ class FastPSOEngine(Engine):
                     bytes_read_per_elem=5 * self._elem_bytes,
                     bytes_written_per_elem=2 * self._elem_bytes,
                     registers_per_thread=40,
+                    # Same re-read structure as the unfused velocity kernel.
+                    reread_fraction=3.0 / 5.0,
+                    working_set_bytes_per_elem=3.0 * self._elem_bytes,
                 ),
                 semantics=self._fused_update,
             ),
@@ -292,6 +312,9 @@ class FastPSOEngine(Engine):
                     bytes_read_per_elem=self._elem_bytes,
                     bytes_written_per_elem=self._elem_bytes,
                     registers_per_thread=16,
+                    # Copies the just-evaluated position rows.
+                    reread_fraction=1.0,
+                    working_set_bytes_per_elem=float(self._elem_bytes),
                 ),
                 semantics=lambda: None,  # never dispatched
             ),

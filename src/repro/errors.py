@@ -27,8 +27,10 @@ __all__ = [
     "InvalidProblemError",
     "InvalidParameterError",
     "UnknownFunctionError",
+    "UnknownDeviceError",
     "EvaluationError",
     "BenchmarkError",
+    "CalibrationError",
     "CheckpointError",
     "GraphReplayError",
     "ReliabilityError",
@@ -206,12 +208,31 @@ class UnknownFunctionError(InvalidParameterError, InvalidProblemError):
     """
 
 
+class UnknownDeviceError(InvalidParameterError, ValueError):
+    """An unknown device-catalog name was looked up.
+
+    Inherits from *both* :class:`InvalidParameterError` (the unified
+    unknown-name contract every registry shares — engines, policies,
+    functions, devices) and :class:`ValueError` (what
+    :func:`repro.gpusim.device.get_preset` historically raised), so either
+    ``except`` clause keeps catching it.
+    """
+
+
 class EvaluationError(OptimizationError):
     """The user evaluation function misbehaved (wrong shape, NaN policy)."""
 
 
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class CalibrationError(BenchmarkError):
+    """The cost-model calibration harness was misconfigured or failed.
+
+    Raised for empty target sets, unknown parameter names, or a captured
+    workload that cannot be extrapolated (e.g. identical sample sizes).
+    """
 
 
 class CheckpointError(ReproError):

@@ -111,8 +111,17 @@ def make_context(
     of Table 4.  ``record_launches`` keeps the full per-launch log (needed
     by the Figure 5 / Table 3 experiment paths); the default keeps only the
     aggregated per-kernel statistics.
+
+    When *spec* is omitted, an ambient catalog default installed via
+    :func:`repro.devices.set_default_device` / :func:`repro.devices.use_device`
+    takes precedence over the paper's V100 — that is how
+    ``repro bench --device a100`` retargets every engine it constructs
+    without threading a spec through each call site.
     """
-    spec = spec or tesla_v100()
+    if spec is None:
+        from repro.devices import get_default_device
+
+        spec = get_default_device() or tesla_v100()
     clock = SimClock()
     memory = GlobalMemory(total_bytes=spec.global_mem_bytes)
     alloc_cls = CachingAllocator if caching else DirectAllocator

@@ -75,6 +75,9 @@ class GpuCostParams:
     memory_level_parallelism: float = 4.0
     # Fraction of peak FP32 a real kernel sustains at full occupancy.
     fp32_peak_fraction: float = 0.55
+    # Fraction of datasheet L2 bandwidth sustained by hits (cost model v2;
+    # only consulted for specs with a memory hierarchy configured).
+    l2_peak_fraction: float = 0.55
 
     def __hash__(self) -> int:
         # Cost params key the memoized kernel-cost cache; hash once.
@@ -97,7 +100,15 @@ DEFAULT_GPU_COST_PARAMS = GpuCostParams()
 
 @dataclass(frozen=True)
 class KernelCost:
-    """Per-launch cost breakdown; the maximum component is the bound."""
+    """Per-launch cost breakdown; the maximum component is the bound.
+
+    The memory-hierarchy fields are zero for flat specs (no L2 configured)
+    or purely streaming kernels: ``bytes_l2`` is traffic served from L2
+    instead of DRAM, ``t_l2`` the time to stream it at effective L2
+    bandwidth (``t_memory`` is then the max of the DRAM and L2 legs), and
+    the hit fractions record how much of the kernel's *re-read* traffic each
+    cache level absorbed.
+    """
 
     seconds: float
     t_memory: float
@@ -110,6 +121,10 @@ class KernelCost:
     bytes_written: float
     flops: float
     occupancy: float
+    t_l2: float = 0.0
+    bytes_l2: float = 0.0
+    l1_hit_fraction: float = 0.0
+    l2_hit_fraction: float = 0.0
 
     @property
     def bound(self) -> str:
@@ -173,7 +188,41 @@ def kernel_cost(
     bytes_written = kspec.bytes_written_per_elem * n_elems
     coalesce = 1.0 if kspec.coalesced else params.uncoalesced_penalty
     eff_bw = device.dram_bandwidth * params.dram_peak_fraction * hide * coalesce
-    t_memory = (bytes_read + bytes_written) / eff_bw if eff_bw > 0 else 0.0
+    t_l2 = 0.0
+    bytes_l2 = 0.0
+    l1_hit = 0.0
+    l2_hit = 0.0
+    if device.has_memory_hierarchy and kspec.reread_fraction > 0.0:
+        # Cost model v2: capacity-hit model.  The share of read traffic that
+        # re-references recently touched data hits a cache level with
+        # probability capacity/working-set; hits are served hierarchically
+        # (L1 first, then L2), misses fall through to DRAM.  Writes always
+        # stream to DRAM (write-through at this granularity).  L1 hits are
+        # free — at PSO's arithmetic intensity an L1-resident operand never
+        # binds — and L2 hits stream at effective L2 bandwidth on their own
+        # leg, so t_memory is the max of the DRAM and L2 pipes.
+        working_set = kspec.working_set_bytes_per_elem * n_elems
+        if working_set > 0:
+            l2_hit = min(1.0, device.l2_cache_bytes / working_set)
+            l1_total = device.l1_cache_per_sm * device.sm_count
+            l1_hit = min(min(1.0, l1_total / working_set), l2_hit)
+        else:
+            l2_hit = 1.0
+            l1_hit = 1.0 if device.l1_cache_per_sm > 0 else 0.0
+        reread_bytes = kspec.reread_fraction * bytes_read
+        bytes_l2 = (l2_hit - l1_hit) * reread_bytes
+        dram_bytes = (
+            bytes_written
+            + (bytes_read - reread_bytes)
+            + (1.0 - l2_hit) * reread_bytes
+        )
+        eff_l2_bw = device.l2_bandwidth * params.l2_peak_fraction * hide * coalesce
+        t_dram = dram_bytes / eff_bw if eff_bw > 0 else 0.0
+        t_l2 = bytes_l2 / eff_l2_bw if eff_l2_bw > 0 else 0.0
+        t_memory = max(t_dram, t_l2)
+    else:
+        # Flat v1 roofline, bit-for-bit: all traffic streams from DRAM.
+        t_memory = (bytes_read + bytes_written) / eff_bw if eff_bw > 0 else 0.0
 
     # --- arithmetic ----------------------------------------------------------
     flops = kspec.flops_per_elem * n_elems
@@ -239,6 +288,10 @@ def kernel_cost(
         bytes_written=bytes_written,
         flops=flops,
         occupancy=occ,
+        t_l2=t_l2,
+        bytes_l2=bytes_l2,
+        l1_hit_fraction=l1_hit,
+        l2_hit_fraction=l2_hit,
     )
 
 

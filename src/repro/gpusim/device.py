@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
-from repro.errors import InvalidLaunchError
+from repro.errors import ConfigurationError, InvalidLaunchError
 from repro.utils.units import GIB
 
 __all__ = [
@@ -61,16 +61,50 @@ class DeviceSpec:
     malloc_overhead_s: float = 4.5e-6
     free_overhead_s: float = 2.5e-6
     dram_latency_s: float = 450e-9
+    # -- memory hierarchy (cost model v2) -----------------------------------
+    # All default to 0, which disables the L1/L2 hit-rate model and makes
+    # kernel_cost reproduce the flat v1 roofline bit for bit — the in-code
+    # presets stay flat so existing goldens hold; hierarchy-enabled specs
+    # live in the repro.devices catalog machine files.
+    l1_cache_per_sm: int = 0  # bytes of L1/tex cache per SM
+    l2_cache_bytes: int = 0  # device-wide L2 capacity in bytes
+    l2_bandwidth: float = 0.0  # bytes/s, peak L2 read bandwidth
+    # Hardware allocation granularities consumed by the occupancy model.
+    register_alloc_unit: int = 256
+    smem_alloc_unit: int = 256
 
     def __post_init__(self) -> None:
+        # ConfigurationError (which is a ReproError, not a ValueError) per
+        # the construction-time validation contract shared with Budget /
+        # Problem: a bad spec fails with one friendly message up front.
         if self.sm_count <= 0 or self.cores_per_sm <= 0:
-            raise ValueError("device must have positive SM and core counts")
-        if self.warp_size <= 0 or self.max_threads_per_block % self.warp_size:
-            raise ValueError(
-                "max_threads_per_block must be a positive multiple of warp_size"
+            raise ConfigurationError(
+                "device must have positive SM and core counts, got "
+                f"sm_count={self.sm_count}, cores_per_sm={self.cores_per_sm}"
+            )
+        if self.warp_size <= 0:
+            raise ConfigurationError(
+                f"warp_size must be positive, got {self.warp_size}"
+            )
+        if self.max_threads_per_block % self.warp_size:
+            raise ConfigurationError(
+                "max_threads_per_block must be a positive multiple of "
+                f"warp_size, got {self.max_threads_per_block} with "
+                f"warp_size={self.warp_size}"
             )
         if self.dram_bandwidth <= 0 or self.clock_ghz <= 0:
-            raise ValueError("bandwidth and clock must be positive")
+            raise ConfigurationError(
+                "bandwidth and clock must be positive, got "
+                f"dram_bandwidth={self.dram_bandwidth}, clock_ghz={self.clock_ghz}"
+            )
+        if self.global_mem_bytes <= 0:
+            raise ConfigurationError(
+                f"global_mem_bytes must be positive, got {self.global_mem_bytes}"
+            )
+        if min(self.l1_cache_per_sm, self.l2_cache_bytes) < 0 or self.l2_bandwidth < 0:
+            raise ConfigurationError("cache capacities and bandwidth must be >= 0")
+        if self.register_alloc_unit <= 0 or self.smem_alloc_unit <= 0:
+            raise ConfigurationError("allocation granularities must be positive")
 
     def __hash__(self) -> int:
         # Device specs key the memoized occupancy/cost caches; hash the
@@ -101,6 +135,11 @@ class DeviceSpec:
     def fp32_flops(self) -> float:
         """Peak FP32 throughput in FLOP/s (FMA counted as 2)."""
         return self.total_cores * self.clock_ghz * 1e9 * 2.0
+
+    @property
+    def has_memory_hierarchy(self) -> bool:
+        """Whether this spec enables the L1/L2 hit-rate model (v2)."""
+        return self.l2_cache_bytes > 0 and self.l2_bandwidth > 0
 
     @property
     def tensor_flops(self) -> float:
@@ -201,13 +240,19 @@ PRESETS = {
 
 
 def get_preset(name: str) -> DeviceSpec:
-    """Look up a device preset by short name (``v100``, ``a100``, ``laptop``)."""
-    try:
-        return PRESETS[name.lower()]()
-    except KeyError:
-        raise ValueError(
-            f"unknown device preset {name!r}; choose from {sorted(PRESETS)}"
-        ) from None
+    """Look up a device spec by short name.
+
+    Thin shim over :func:`repro.devices.resolve_device`: the in-code presets
+    (``v100``, ``a100``, ``laptop``) resolve to their flat specs exactly as
+    before, and every entry of the :mod:`repro.devices` machine-file catalog
+    (``h100``, ``cpu-xeon``, hierarchy-enabled variants, …) is reachable too.
+    Unknown names raise :class:`repro.errors.UnknownDeviceError` — a
+    ``ValueError`` subclass, so historical ``except ValueError`` call sites
+    keep working — with a did-you-mean suggestion.
+    """
+    from repro.devices import resolve_device  # local: devices imports us
+
+    return resolve_device(name)
 
 
 @dataclass

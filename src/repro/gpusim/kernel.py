@@ -52,6 +52,17 @@ class KernelSpec:
     tensor_core:
         Whether the kernel issues its arithmetic on tensor cores (mixed
         precision); affects both timing and numerics.
+    reread_fraction / working_set_bytes_per_elem:
+        Access-pattern hints for the memory-hierarchy cost model v2
+        (:mod:`repro.gpusim.costmodel`).  ``reread_fraction`` is the share
+        of ``bytes_read_per_elem`` that *re-references* data touched
+        recently — by an earlier launch of the iteration loop (swarm state
+        re-read every iteration) or by other threads of the same launch (a
+        broadcast gbest row).  ``working_set_bytes_per_elem`` is the
+        per-element footprint of that re-referenced data; whether it fits
+        in L1/L2 decides the hit rate.  ``0.0`` (the default) marks a
+        purely streaming kernel, for which the hierarchy model degenerates
+        to the flat v1 roofline bit for bit.
     """
 
     name: str
@@ -64,6 +75,8 @@ class KernelSpec:
     shared_mem_per_block: int = 0
     coalesced: bool = True
     tensor_core: bool = False
+    reread_fraction: float = 0.0
+    working_set_bytes_per_elem: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -81,6 +94,10 @@ class KernelSpec:
             raise ValueError("registers_per_thread must be positive")
         if self.shared_mem_per_block < 0:
             raise ValueError("shared_mem_per_block must be non-negative")
+        if not 0.0 <= self.reread_fraction <= 1.0:
+            raise ValueError("reread_fraction must lie in [0, 1]")
+        if self.working_set_bytes_per_elem < 0:
+            raise ValueError("working_set_bytes_per_elem must be non-negative")
 
     def __hash__(self) -> int:
         # Same field-tuple hash a frozen dataclass generates, but computed
@@ -100,6 +117,8 @@ class KernelSpec:
                     self.shared_mem_per_block,
                     self.coalesced,
                     self.tensor_core,
+                    self.reread_fraction,
+                    self.working_set_bytes_per_elem,
                 )
             )
             object.__setattr__(self, "_hash", h)

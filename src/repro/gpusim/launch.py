@@ -145,6 +145,7 @@ class LaunchStats:
     body_seconds: float = 0.0
     bytes_read: float = 0.0
     bytes_written: float = 0.0
+    bytes_l2: float = 0.0
     flops: float = 0.0
     occupancy_sum: float = 0.0
 
@@ -155,6 +156,7 @@ class LaunchStats:
         self.body_seconds += cost.seconds - cost.t_launch_overhead
         self.bytes_read += cost.bytes_read
         self.bytes_written += cost.bytes_written
+        self.bytes_l2 += cost.bytes_l2
         self.flops += cost.flops
         self.occupancy_sum += cost.occupancy
 
@@ -171,6 +173,7 @@ class LaunchStats:
         self.body_seconds += count * (cost.seconds - cost.t_launch_overhead)
         self.bytes_read += count * cost.bytes_read
         self.bytes_written += count * cost.bytes_written
+        self.bytes_l2 += count * cost.bytes_l2
         self.flops += count * cost.flops
         self.occupancy_sum += count * cost.occupancy
 

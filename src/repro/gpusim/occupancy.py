@@ -20,13 +20,6 @@ from repro.gpusim.hostcache import memoized
 
 __all__ = ["OccupancyResult", "occupancy", "achieved_occupancy"]
 
-# Register allocation granularity (registers are allocated per warp in
-# multiples of this many registers on Volta).
-_REG_ALLOC_UNIT = 256
-# Shared memory allocation granularity.
-_SMEM_ALLOC_UNIT = 256
-
-
 def _round_up(value: int, unit: int) -> int:
     return ((value + unit - 1) // unit) * unit
 
@@ -77,13 +70,15 @@ def occupancy(
     )
     limits["blocks"] = spec.max_blocks_per_sm
 
+    # Registers are allocated per warp and shared memory per block, each in
+    # hardware-specific granules carried on the device spec (256 on Volta).
     regs_per_block = warps_per_block * _round_up(
-        registers_per_thread * spec.warp_size, _REG_ALLOC_UNIT
+        registers_per_thread * spec.warp_size, spec.register_alloc_unit
     )
     limits["registers"] = spec.registers_per_sm // regs_per_block
 
     if shared_mem_per_block > 0:
-        smem = _round_up(shared_mem_per_block, _SMEM_ALLOC_UNIT)
+        smem = _round_up(shared_mem_per_block, spec.smem_alloc_unit)
         limits["shared_memory"] = spec.shared_mem_per_sm // smem
 
     limiter, blocks = min(limits.items(), key=lambda kv: kv[1])

@@ -41,6 +41,12 @@ class AutoscalePolicy:
     cooldown_seconds: float = 0.0
     #: Virtual seconds a new device takes to boot (lanes open late).
     boot_seconds: float = 0.0
+    #: Catalog device (name/alias or a ready
+    #: :class:`~repro.gpusim.device.DeviceSpec`) that scale-up provisions.
+    #: ``None`` keeps grown devices identical to the base fleet.  Lets a
+    #: service boot cheap silicon and burst onto faster catalog entries
+    #: (jobs landing on a grown device run on its spec).
+    grow_device: object | None = None
 
     def __post_init__(self) -> None:
         if self.min_devices < 1:
@@ -68,6 +74,27 @@ class AutoscalePolicy:
             raise ConfigurationError(
                 f"boot_seconds must be >= 0, got {self.boot_seconds}"
             )
+        if self.grow_device is not None:
+            from repro.gpusim.device import DeviceSpec
+
+            if not isinstance(self.grow_device, (str, DeviceSpec)):
+                raise ConfigurationError(
+                    "grow_device must be a catalog name or a DeviceSpec, "
+                    f"got {type(self.grow_device).__name__}"
+                )
+
+    def resolved_grow_spec(self):
+        """The :class:`DeviceSpec` scale-up provisions, or ``None``.
+
+        Name resolution happens here (not in ``__post_init__``) so a bad
+        name raises :class:`~repro.errors.UnknownDeviceError` with the
+        catalog's did-you-mean hint at service construction.
+        """
+        if self.grow_device is None:
+            return None
+        from repro.devices import resolve_device
+
+        return resolve_device(self.grow_device)
 
 
 class Autoscaler:

@@ -267,10 +267,19 @@ class OptimizationService:
     quotas:
         ``{tenant name: TenantQuota}``; ``default_quota`` applies to
         tenants not in the mapping (unrestricted when ``None``).
+    device:
+        Catalog device the base fleet runs on — a name/alias resolved
+        through :func:`repro.devices.resolve_device` or a ready
+        :class:`~repro.gpusim.device.DeviceSpec`.  GPU jobs execute on
+        that spec (trajectories unchanged, simulated seconds move) and
+        admission prices memory against it.  ``None`` keeps the
+        historical flat V100.
     autoscale:
         ``True`` (default policy), an :class:`AutoscalePolicy`, or
         ``None`` for a fixed fleet.  ``n_devices`` is the starting size
-        and must lie within the policy's bounds.
+        and must lie within the policy's bounds.  A policy with
+        ``grow_device`` set provisions *that* catalog entry on scale-up,
+        so a burst fleet can differ from the base fleet's silicon.
     checkpoint_dir:
         Directory for cancellation checkpoints — a mid-run cancel
         snapshots the run there, and :meth:`resubmit` resumes it
@@ -286,6 +295,7 @@ class OptimizationService:
         *,
         n_devices: int = 1,
         streams_per_device: int = 4,
+        device=None,
         quotas: dict | None = None,
         default_quota: TenantQuota | None = None,
         autoscale: AutoscalePolicy | bool | None = None,
@@ -314,6 +324,13 @@ class OptimizationService:
             )
         self.streams_per_device = int(streams_per_device)
         self.stream_stride = int(stream_stride)
+        self._base_devices = int(n_devices)
+
+        self.device_spec = None
+        if device is not None:
+            from repro.devices import resolve_device
+
+            self.device_spec = resolve_device(device)
 
         if autoscale is True:
             autoscale = AutoscalePolicy()
@@ -333,6 +350,11 @@ class OptimizationService:
             )
         self._autoscaler = (
             Autoscaler(autoscale) if autoscale is not None else None
+        )
+        # The spec scale-up provisions (resolved once, bad names fail
+        # loudly here); None = grown devices match the base fleet.
+        self._grow_spec = (
+            autoscale.resolved_grow_spec() if autoscale is not None else None
         )
 
         self.quotas = dict(quotas or {})
@@ -591,7 +613,19 @@ class OptimizationService:
     def _device_mem_bytes(self) -> int:
         from repro.gpusim.device import tesla_v100
 
-        return tesla_v100().global_mem_bytes
+        base = self.device_spec or tesla_v100()
+        if self._grow_spec is not None:
+            # A job must fit wherever dispatch lands it, grown devices
+            # included, so admission prices against the smaller memory.
+            return min(base.global_mem_bytes, self._grow_spec.global_mem_bytes)
+        return base.global_mem_bytes
+
+    def _spec_for_device(self, device: int):
+        """The catalog spec device *device* runs jobs on (``None`` =
+        the engine's own default, the historical flat V100)."""
+        if self._grow_spec is not None and device >= self._base_devices:
+            return self._grow_spec
+        return self.device_spec
 
     def _quota_refusal(
         self, ticket: JobTicket, quota: TenantQuota
@@ -763,9 +797,16 @@ class OptimizationService:
                 from repro.reliability.checkpoint import read_snapshot
 
                 restore = read_snapshot(restore_path)
+            options = effective_engine_options(job, self.graph)
+            spec = self._spec_for_device(device)
+            if spec is not None:
+                from repro.engines import engine_accepts_device
+
+                if engine_accepts_device(job.engine):
+                    options.setdefault("device", spec)
             run = RunningJob(
                 job,
-                engine_options=effective_engine_options(job, self.graph),
+                engine_options=options,
                 budget=budget,
                 guard=self.guard,
                 restore=restore,

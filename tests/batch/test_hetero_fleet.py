@@ -1,0 +1,140 @@
+"""Heterogeneous fleets: ``devices=`` placement, composition rules, pricing.
+
+A ``devices=["v100", "a100"]`` fleet places each job on the device with the
+earliest modelled finish time (cost-aware EFT via the placement probe) and
+threads the chosen :class:`DeviceSpec` into device-aware engines.  The
+determinism contract carries over: placement moves the simulated clock,
+never the trajectory bits.
+"""
+
+import pytest
+
+from repro.batch import AdmissionPolicy, BatchScheduler, Job
+from repro.devices import resolve_device
+from repro.errors import InvalidParameterError, UnknownDeviceError
+from repro.reliability import BreakerPolicy, FaultPlan, RetryPolicy
+
+
+def seeded_jobs(n=6, max_iter=30):
+    return [
+        Job(
+            "sphere",
+            dim=16,
+            n_particles=128 * (1 + seed % 2),
+            max_iter=max_iter,
+            seed=seed,
+        )
+        for seed in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_names_and_specs_resolve(self):
+        fleet = BatchScheduler(devices=["v100", resolve_device("a100")])
+        assert fleet.n_devices == 2
+        assert fleet.device_specs == (
+            resolve_device("v100"),
+            resolve_device("a100"),
+        )
+
+    def test_n_devices_follows_the_fleet(self):
+        assert BatchScheduler(devices=["v100", "a100", "h100"]).n_devices == 3
+        # An explicit matching n_devices is accepted; a conflicting one is not.
+        BatchScheduler(devices=["v100", "a100"], n_devices=2)
+        with pytest.raises(InvalidParameterError):
+            BatchScheduler(devices=["v100", "a100"], n_devices=3)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            BatchScheduler(devices=[])
+
+    def test_unknown_device_did_you_mean(self):
+        with pytest.raises(UnknownDeviceError, match="did you mean"):
+            BatchScheduler(devices=["v1000"])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retry": RetryPolicy(max_attempts=2)},
+            {"faults": FaultPlan.drill(4, seed=7)},
+            {"breaker": BreakerPolicy()},
+            {"policy": "fused"},
+        ],
+    )
+    def test_refuses_failover_and_fused_composition(self, kwargs):
+        with pytest.raises(InvalidParameterError, match="does not compose"):
+            BatchScheduler(devices=["v100", "a100"], **kwargs)
+
+    def test_homogeneous_fleet_unaffected(self):
+        fleet = BatchScheduler(n_devices=2, retry=RetryPolicy(max_attempts=2))
+        assert fleet.device_specs is None
+
+
+class TestPlacement:
+    def test_every_job_lands_on_a_fleet_device(self):
+        result = BatchScheduler(
+            devices=["v100", "a100"], streams_per_device=2
+        ).run(seeded_jobs())
+        assert result.all_succeeded
+        assert {o.device_index for o in result.outcomes} == {0, 1}
+        for outcome in result.outcomes:
+            assert 0 <= outcome.device_index < 2
+
+    def test_eft_prefers_the_faster_device_under_load(self):
+        # One stream per device: placement is purely cost-driven.  The A100
+        # finishes each probe-priced job faster, so it must take at least
+        # half the work.
+        result = BatchScheduler(
+            devices=["v100", "a100"], streams_per_device=1
+        ).run(seeded_jobs(n=8))
+        on_a100 = sum(1 for o in result.outcomes if o.device_index == 1)
+        assert on_a100 >= 4
+
+    def test_placement_is_deterministic(self):
+        jobs = seeded_jobs()
+        a = BatchScheduler(devices=["v100", "a100"]).run(jobs)
+        b = BatchScheduler(devices=["v100", "a100"]).run(jobs)
+        assert [o.device_index for o in a.outcomes] == [
+            o.device_index for o in b.outcomes
+        ]
+        assert a.makespan_seconds == b.makespan_seconds
+
+    def test_trajectories_identical_across_fleet_compositions(self):
+        jobs = seeded_jobs(n=4)
+        values = {
+            fleet: tuple(
+                o.result.best_value
+                for o in BatchScheduler(devices=list(fleet)).run(jobs).outcomes
+            )
+            for fleet in (("v100",), ("a100",), ("v100", "a100"))
+        }
+        assert len(set(values.values())) == 1, values
+
+    def test_fleet_clocks_differ(self):
+        jobs = seeded_jobs(n=4)
+        slow = BatchScheduler(devices=["v100"]).run(jobs)
+        fast = BatchScheduler(devices=["a100"]).run(jobs)
+        assert slow.makespan_seconds != fast.makespan_seconds
+
+
+class TestAdmissionPricing:
+    # A tiny memory_fraction keeps the probe job small in *real* bytes
+    # while still splitting the fleet: ~7.9 MB of swarm state fits 0.1% of
+    # a V100's 16 GiB (17.2 MB) but not 0.1% of the laptop's 4 GiB (4.3 MB).
+    POLICY = AdmissionPolicy(memory_fraction=0.001)
+    PROBE = Job("sphere", dim=512, n_particles=1024, max_iter=2)
+
+    def test_memory_priced_against_the_smallest_device(self):
+        result = BatchScheduler(
+            devices=["v100", "laptop"],
+            streams_per_device=1,
+            admission=self.POLICY,
+        ).run([self.PROBE])
+        assert result.n_degraded == 1
+
+    def test_same_job_fits_a_fleet_without_the_weak_member(self):
+        result = BatchScheduler(
+            devices=["v100"], streams_per_device=1, admission=self.POLICY
+        ).run([self.PROBE])
+        assert result.n_degraded == 0
+        assert result.all_succeeded

@@ -30,6 +30,7 @@ class TestRegistry:
             "figure6",
             "ablations",
             "convergence",
+            "devices",
         }
 
     def test_every_module_has_run(self):

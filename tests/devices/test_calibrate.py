@@ -1,0 +1,134 @@
+"""Calibration harness: capture, fit determinism, and the paper regression.
+
+The headline regression pins the fitted parameters AND the residuals of
+``calibrate(PAPER_TARGETS)`` — the same fit committed in
+``BENCH_devices.json``.  A cost-model change that silently un-fits the
+paper's Table 1 wall times (fastpso 0.67 s, gpu-pso 4.90 s) fails here
+before it reaches the benchmark.
+"""
+
+import pytest
+
+from repro.devices import (
+    PAPER_TARGETS,
+    CalibrationTarget,
+    calibrate,
+    capture_workload,
+    resolve_device,
+)
+from repro.errors import CalibrationError
+from repro.gpusim.costmodel import DEFAULT_GPU_COST_PARAMS
+
+# Small-but-real workload: cheap to capture, same kernel cadence as the
+# paper's (costs depend only on shapes, so iters can stay tiny).
+SMALL = CalibrationTarget(
+    engine="fastpso", seconds=0.01, n_particles=64, dim=8, iters=20
+)
+
+
+class TestCalibrationTarget:
+    def test_defaults_describe_the_paper_workload(self):
+        target = CalibrationTarget(engine="fastpso", seconds=0.67)
+        assert (target.n_particles, target.dim, target.iters) == (5000, 200, 1000)
+        assert target.function == "sphere"
+
+    def test_paper_targets_cover_both_pure_gpu_engines(self):
+        assert tuple(t.engine for t in PAPER_TARGETS) == ("fastpso", "gpu-pso")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seconds": 0.0},
+            {"seconds": -1.0},
+            {"n_particles": 0},
+            {"dim": 0},
+            {"iters": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {"engine": "fastpso", "seconds": 1.0}
+        with pytest.raises(CalibrationError):
+            CalibrationTarget(**{**base, **kwargs})
+
+
+class TestCaptureWorkload:
+    def test_capture_yields_launch_groups(self):
+        captured = capture_workload(SMALL)
+        assert captured.target is SMALL
+        assert len(captured.groups) > 0
+        for _spec, _config, n_elems, _per_iter, _fixed in captured.groups:
+            assert n_elems >= 1
+        # The fixed-cadence kernels that dominate the paper workload must be
+        # captured with exactly one launch per iteration.  (Data-dependent
+        # kernels like pbest_position_copy have noisier fits; that is fine —
+        # they are a rounding error at paper scale.)
+        per_iter_by_name = {}
+        for kspec, _config, _n, per_iter, _fixed in captured.groups:
+            per_iter_by_name.setdefault(kspec.name, 0.0)
+            per_iter_by_name[kspec.name] += per_iter
+        for name in (
+            "swarm_velocity_update",
+            "swarm_position_update",
+            "pbest_update",
+            "reduce_argmin_pass1",
+        ):
+            assert per_iter_by_name[name] == pytest.approx(1.0), name
+
+    def test_capture_is_deterministic(self):
+        assert capture_workload(SMALL) == capture_workload(SMALL)
+
+    def test_predict_seconds_positive_and_device_sensitive(self):
+        captured = capture_workload(SMALL)
+        v100 = captured.predict_seconds(
+            resolve_device("v100"), DEFAULT_GPU_COST_PARAMS
+        )
+        a100 = captured.predict_seconds(
+            resolve_device("a100"), DEFAULT_GPU_COST_PARAMS
+        )
+        assert v100 > 0 and a100 > 0
+        assert v100 != a100
+
+    def test_sample_iters_validated(self):
+        with pytest.raises(CalibrationError):
+            capture_workload(SMALL, sample_iters=(6, 3))
+        with pytest.raises(CalibrationError):
+            capture_workload(SMALL, sample_iters=(0, 3))
+
+
+class TestPaperRegression:
+    """Pins the committed fit — update alongside any cost-model change."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate(PAPER_TARGETS)
+
+    def test_fit_reproduces_paper_within_tolerance(self, result):
+        assert result.max_abs_rel_error <= 0.10
+
+    def test_fitted_params_pinned(self, result):
+        assert result.params.dram_peak_fraction == pytest.approx(0.0972)
+        assert result.params.latency_hiding_half_occ == pytest.approx(0.0324)
+        assert result.params.fp32_peak_fraction == pytest.approx(0.55)
+        assert result.params.l2_peak_fraction == pytest.approx(0.55)
+
+    def test_residuals_pinned(self, result):
+        assert result.max_abs_rel_error == pytest.approx(0.0843, abs=5e-4)
+        by_engine = {r["engine"]: r for r in result.residuals}
+        assert by_engine["fastpso"]["rel_error"] == pytest.approx(-0.0843, abs=5e-4)
+        assert by_engine["gpu-pso"]["rel_error"] == pytest.approx(0.0404, abs=5e-4)
+
+    def test_search_is_deterministic(self, result):
+        again = calibrate(PAPER_TARGETS)
+        assert again.params == result.params
+        assert again.objective == result.objective
+        assert again.n_evaluations == result.n_evaluations == 97
+
+    def test_report_surfaces(self, result):
+        text = result.report_text()
+        assert "fastpso" in text and "gpu-pso" in text
+        payload = result.to_json_dict()
+        assert payload["max_abs_rel_error"] == result.max_abs_rel_error
+        assert set(payload["fitted_params"]) >= {
+            "dram_peak_fraction",
+            "l2_peak_fraction",
+        }

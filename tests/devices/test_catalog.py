@@ -1,0 +1,264 @@
+"""Device-catalog contract: lookup surface, machine files, ambient default.
+
+The catalog mirrors the other registries (engines, policies, functions):
+case-insensitive names + aliases, did-you-mean on typos, a factory flavour
+with overrides, and loader errors that always name the offending file.
+Tests that mutate the live catalog or the ambient default go through
+``_reset_catalog_for_tests`` so order never matters.
+"""
+
+import json
+
+import pytest
+
+from repro.devices import (
+    CatalogEntry,
+    MACHINES_DIR,
+    device_entries,
+    device_names,
+    get_default_device,
+    load_machine_file,
+    make_device,
+    register_machine_file,
+    resolve_device,
+    resolve_entry,
+    set_default_device,
+    use_device,
+)
+from repro.devices.catalog import PRESET_NAMES, _reset_catalog_for_tests
+from repro.errors import ConfigurationError, UnknownDeviceError
+from repro.gpusim.device import PRESETS, DeviceSpec
+
+
+@pytest.fixture(autouse=True)
+def fresh_catalog():
+    """Every test starts (and leaves) with the pristine built-in catalog."""
+    _reset_catalog_for_tests()
+    yield
+    _reset_catalog_for_tests()
+
+
+def machine_payload(**overrides):
+    """A minimal valid machine file body, clonable per test."""
+    base = json.loads((MACHINES_DIR / "v100.json").read_text())
+    base["name"] = "testdev"
+    base["aliases"] = ["td"]
+    base.update(overrides)
+    return base
+
+
+def write_machine(tmp_path, payload, filename="testdev.json"):
+    path = tmp_path / filename
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestResolution:
+    def test_canonical_names(self):
+        assert device_names() == ("a100", "cpu-xeon", "h100", "laptop", "v100")
+
+    def test_catalog_shadows_every_preset(self):
+        # The historical in-code names must stay resolvable forever.
+        for name in PRESET_NAMES:
+            assert resolve_device(name) is not None
+        assert set(PRESET_NAMES) == set(PRESETS)
+
+    def test_resolve_by_alias_and_case(self):
+        canonical = resolve_device("a100")
+        assert resolve_device("tesla-a100") == canonical
+        assert resolve_device("AMPERE") == canonical
+        assert resolve_device("A100") == canonical
+
+    def test_catalog_variants_carry_the_hierarchy(self):
+        # The catalog entries are the hierarchy-enabled flavour; the in-code
+        # presets stay flat so historical goldens hold.
+        assert resolve_device("v100").has_memory_hierarchy
+        assert not PRESETS["v100"]().has_memory_hierarchy
+
+    def test_spec_passes_through(self):
+        spec = PRESETS["v100"]()
+        assert resolve_device(spec) is spec
+
+    def test_unknown_name_did_you_mean(self):
+        with pytest.raises(UnknownDeviceError, match="did you mean"):
+            resolve_device("a10")
+        with pytest.raises(UnknownDeviceError, match="v100"):
+            resolve_device("v10")
+
+    def test_unknown_device_error_is_a_value_error(self):
+        # Callers that predate UnknownDeviceError catch ValueError.
+        with pytest.raises(ValueError):
+            resolve_device("not-a-device")
+
+    def test_resolve_entry_metadata(self):
+        entry = resolve_entry("hopper")
+        assert entry.name == "h100"
+        assert entry.kind == "gpu"
+        assert entry.path is not None and entry.path.name == "h100.json"
+
+    def test_entries_sorted_and_json_safe_rows(self):
+        entries = device_entries()
+        assert [e.name for e in entries] == sorted(e.name for e in entries)
+        for entry in entries:
+            row = entry.to_row()
+            json.dumps(row)  # every value must serialise
+            assert row["memory_hierarchy"] is True
+
+
+class TestMakeDevice:
+    def test_overrides_apply(self):
+        spec = make_device("v100", sm_count=40)
+        assert spec.sm_count == 40
+        # Untouched fields come from the catalog entry.
+        assert spec.l2_cache_bytes == resolve_device("v100").l2_cache_bytes
+
+    def test_no_overrides_is_resolve(self):
+        assert make_device("a100") == resolve_device("a100")
+
+    def test_invalid_override_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            make_device("v100", sm_count=0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises((ConfigurationError, TypeError)):
+            make_device("v100", smcount=40)
+
+
+class TestMachineFileLoader:
+    def test_roundtrip(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload())
+        entry = load_machine_file(path)
+        assert isinstance(entry, CatalogEntry)
+        assert entry.name == "testdev"
+        assert entry.aliases == ("td",)
+        assert isinstance(entry.spec, DeviceSpec)
+        assert entry.path == path
+
+    def test_names_lowercased(self, tmp_path):
+        path = write_machine(
+            tmp_path, machine_payload(name="TestDev", aliases=["TD", "Dev2"])
+        )
+        entry = load_machine_file(path)
+        assert entry.name == "testdev"
+        assert entry.aliases == ("td", "dev2")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read machine file"):
+            load_machine_file(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="is not valid JSON"):
+            load_machine_file(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="must hold a JSON object"):
+            load_machine_file(path)
+
+    def test_schema_version_mismatch(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload(schema_version=2))
+        with pytest.raises(ConfigurationError, match="schema_version=2"):
+            load_machine_file(path)
+
+    def test_missing_name(self, tmp_path):
+        payload = machine_payload()
+        del payload["name"]
+        path = write_machine(tmp_path, payload)
+        with pytest.raises(ConfigurationError, match="needs a 'name' string"):
+            load_machine_file(path)
+
+    def test_bad_kind(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload(kind="tpu"))
+        with pytest.raises(ConfigurationError, match="kind must be"):
+            load_machine_file(path)
+
+    def test_missing_spec(self, tmp_path):
+        payload = machine_payload()
+        del payload["spec"]
+        path = write_machine(tmp_path, payload)
+        with pytest.raises(ConfigurationError, match="needs a 'spec' object"):
+            load_machine_file(path)
+
+    def test_unknown_spec_field_named(self, tmp_path):
+        payload = machine_payload()
+        payload["spec"]["smcount"] = 80
+        path = write_machine(tmp_path, payload)
+        with pytest.raises(
+            ConfigurationError, match=r"unknown spec field\(s\) \['smcount'\]"
+        ):
+            load_machine_file(path)
+
+    def test_invalid_spec_value_named(self, tmp_path):
+        payload = machine_payload()
+        payload["spec"]["sm_count"] = 0
+        path = write_machine(tmp_path, payload)
+        with pytest.raises(ConfigurationError, match="has an invalid spec"):
+            load_machine_file(path)
+
+    def test_bad_aliases(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload(aliases="td"))
+        with pytest.raises(ConfigurationError, match="aliases must be a list"):
+            load_machine_file(path)
+
+
+class TestRegistration:
+    def test_registered_entry_resolves_like_a_builtin(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload())
+        entry = register_machine_file(path)
+        assert entry.name == "testdev"
+        assert resolve_device("testdev") == entry.spec
+        assert resolve_device("TD") == entry.spec
+        assert "testdev" in device_names()
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload(name="a100"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_machine_file(path)
+
+    def test_alias_collision_rejected(self, tmp_path):
+        path = write_machine(tmp_path, machine_payload(aliases=["ampere"]))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_machine_file(path)
+
+
+class TestAmbientDefault:
+    def test_unset_by_default(self):
+        assert get_default_device() is None
+
+    def test_set_returns_previous(self):
+        assert set_default_device("a100") is None
+        a100 = resolve_device("a100")
+        assert get_default_device() == a100
+        assert set_default_device(None) == a100
+        assert get_default_device() is None
+
+    def test_use_device_scopes_and_restores(self):
+        with use_device("h100") as spec:
+            assert spec == resolve_device("h100")
+            assert get_default_device() == spec
+        assert get_default_device() is None
+
+    def test_use_device_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_device("a100"):
+                raise RuntimeError("boom")
+        assert get_default_device() is None
+
+    def test_make_context_picks_up_the_default(self):
+        from repro.gpusim import make_context
+
+        with use_device("a100"):
+            ctx = make_context()
+        assert ctx.spec == resolve_device("a100")
+        assert make_context().spec == PRESETS["v100"]()
+
+    def test_explicit_spec_beats_the_default(self):
+        from repro.gpusim import make_context
+
+        laptop = resolve_device("laptop")
+        with use_device("a100"):
+            ctx = make_context(laptop)
+        assert ctx.spec == laptop

@@ -1,0 +1,103 @@
+"""Cross-device determinism: same trajectory bits, different simulated clocks.
+
+The catalog's whole contract in one suite: a :class:`DeviceSpec` only
+prices launches — kernel *semantics* never see it — so the seeded golden
+workload (``tests/data/golden_fastpso.json``) must land on bit-identical
+trajectories on every catalog entry, while the predicted wall times must
+differ device to device (that difference is the what-if signal
+``BENCH_devices.json`` reports).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PSOParams
+from repro.core.problem import Problem
+from repro.devices import device_names, resolve_device, use_device
+from repro.engines import FastPSOEngine
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_fastpso.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def run_golden_workload(golden, device=None):
+    problem = Problem.from_benchmark(
+        golden["problem"]["function"], golden["problem"]["dim"]
+    )
+    engine = (
+        FastPSOEngine() if device is None else FastPSOEngine(device=device)
+    )
+    return engine.optimize(
+        problem,
+        n_particles=golden["run"]["n_particles"],
+        max_iter=golden["run"]["max_iter"],
+        params=PSOParams(seed=golden["run"]["seed"]),
+        record_history=True,
+    )
+
+
+@pytest.mark.parametrize("name", ["a100", "cpu-xeon", "h100", "laptop", "v100"])
+class TestTrajectoriesPinnedAcrossDevices:
+    def test_trajectory_matches_the_flat_v100_golden(self, golden, name):
+        expected = golden["engines"]["global"]
+        result = run_golden_workload(golden, device=resolve_device(name))
+        assert result.history.gbest_values == expected["gbest_trajectory"]
+        assert (
+            result.history.mean_pbest_values
+            == expected["mean_pbest_trajectory"]
+        )
+        assert result.best_value == expected["best_value"]
+        np.testing.assert_array_equal(
+            result.best_position, np.asarray(expected["best_position"])
+        )
+
+
+class TestClocksDiffer:
+    def test_parametrization_covers_the_whole_catalog(self):
+        assert device_names() == ("a100", "cpu-xeon", "h100", "laptop", "v100")
+
+    def test_catalog_v100_prices_differently_from_the_flat_preset(self, golden):
+        # Same silicon, but the catalog variant has the L1/L2 hierarchy
+        # enabled — the golden's elapsed seconds were pinned on the flat
+        # preset and must NOT be reproduced by the hierarchy-priced run.
+        flat_elapsed = golden["engines"]["global"]["elapsed_seconds"]
+        result = run_golden_workload(golden, device=resolve_device("v100"))
+        assert result.elapsed_seconds != flat_elapsed
+
+    def test_every_device_has_a_distinct_clock(self, golden):
+        elapsed = {
+            name: run_golden_workload(
+                golden, device=resolve_device(name)
+            ).elapsed_seconds
+            for name in ("v100", "a100", "h100", "laptop")
+        }
+        assert len(set(elapsed.values())) == len(elapsed), elapsed
+
+    def test_default_run_still_matches_the_golden_clock(self, golden):
+        # No device argument, no ambient default: the historical flat-V100
+        # timing contract is untouched.
+        result = run_golden_workload(golden)
+        expected = golden["engines"]["global"]
+        assert result.elapsed_seconds == expected["elapsed_seconds"]
+        assert result.setup_seconds == expected["setup_seconds"]
+
+
+class TestAmbientDefaultEquivalence:
+    def test_use_device_matches_the_explicit_spec(self, golden):
+        explicit = run_golden_workload(golden, device=resolve_device("a100"))
+        with use_device("a100"):
+            ambient = run_golden_workload(golden)
+        assert ambient.best_value == explicit.best_value
+        assert (
+            ambient.history.gbest_values == explicit.history.gbest_values
+        )
+        assert ambient.elapsed_seconds == explicit.elapsed_seconds
+        assert ambient.setup_seconds == explicit.setup_seconds

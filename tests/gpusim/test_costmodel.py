@@ -157,6 +157,130 @@ class TestKernelCost:
         assert derated > default * 2
 
 
+def reread_spec(**overrides):
+    """A kernel that re-references most of its reads (cost model v2 bait)."""
+    base = dict(
+        name="reread",
+        flops_per_elem=4.0,
+        bytes_read_per_elem=16.0,
+        bytes_written_per_elem=4.0,
+        reread_fraction=0.75,
+        working_set_bytes_per_elem=12.0,
+    )
+    base.update(overrides)
+    return KernelSpec(**base)
+
+
+class TestMemoryHierarchy:
+    """Cost model v2: L1/L2 capacity hit model (hierarchy-enabled specs)."""
+
+    @pytest.fixture()
+    def cat_v100(self):
+        from repro.devices import resolve_device
+
+        return resolve_device("v100")
+
+    @pytest.fixture()
+    def cat_a100(self):
+        from repro.devices import resolve_device
+
+        return resolve_device("a100")
+
+    def test_flat_device_ignores_hints_bit_for_bit(self, v100):
+        """The paper preset (no hierarchy fields) must compute the exact v1
+        expression regardless of access-pattern hints — this is what keeps
+        every existing golden timing valid."""
+        n = 1_000_000
+        cfg = resource_aware_config(v100, n)
+        hinted = kernel_cost(v100, reread_spec(), cfg, n)
+        plain = kernel_cost(
+            v100,
+            reread_spec(reread_fraction=0.0, working_set_bytes_per_elem=0.0),
+            cfg,
+            n,
+        )
+        assert hinted.seconds == plain.seconds
+        assert hinted.t_l2 == 0.0
+        assert hinted.l2_hit_fraction == 0.0
+
+    def test_streaming_kernel_unchanged_on_hierarchy_device(
+        self, v100, cat_v100
+    ):
+        """reread_fraction=0 degenerates to the flat roofline bit for bit
+        even when the device has caches (same silicon, same numbers)."""
+        n = 1_000_000
+        spec = streaming_spec()
+        flat = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        hier = kernel_cost(
+            cat_v100, spec, resource_aware_config(cat_v100, n), n
+        )
+        assert hier.t_memory == flat.t_memory
+
+    def test_working_set_fits_l2_full_hit(self, cat_a100):
+        # 12 B/elem x 1e6 elems = 12 MB << 40 MiB A100 L2.
+        n = 1_000_000
+        cfg = resource_aware_config(cat_a100, n)
+        cost = kernel_cost(cat_a100, reread_spec(), cfg, n)
+        assert cost.l2_hit_fraction == 1.0
+        assert cost.bytes_l2 > 0.0
+
+    def test_working_set_partial_hit_on_smaller_l2(self, cat_v100):
+        # 12 MB working set vs the V100's 6 MiB L2: capacity-ratio hit.
+        n = 1_000_000
+        cfg = resource_aware_config(cat_v100, n)
+        cost = kernel_cost(cat_v100, reread_spec(), cfg, n)
+        expected = cat_v100.l2_cache_bytes / (12.0 * n)
+        assert cost.l2_hit_fraction == pytest.approx(expected)
+        assert 0.0 < cost.l2_hit_fraction < 1.0
+        assert cost.l1_hit_fraction <= cost.l2_hit_fraction
+
+    def test_hierarchy_beats_flat_for_reread_kernels(self, v100, cat_v100):
+        """Hits served from L2 beat the flat model's all-DRAM pricing."""
+        n = 1_000_000
+        spec = reread_spec()
+        flat = kernel_cost(v100, spec, resource_aware_config(v100, n), n)
+        hier = kernel_cost(
+            cat_v100, spec, resource_aware_config(cat_v100, n), n
+        )
+        assert hier.t_memory < flat.t_memory
+
+    def test_bigger_l2_is_faster(self, cat_v100, cat_a100):
+        """The headline margin: the same kernel is cheaper on the device
+        whose L2 holds more of the working set (beyond the DRAM ratio)."""
+        n = 1_000_000
+        spec = reread_spec()
+        t_v = kernel_cost(
+            cat_v100, spec, resource_aware_config(cat_v100, n), n
+        )
+        t_a = kernel_cost(
+            cat_a100, spec, resource_aware_config(cat_a100, n), n
+        )
+        dram_ratio = cat_a100.dram_bandwidth / cat_v100.dram_bandwidth
+        assert t_v.t_memory / t_a.t_memory > dram_ratio
+
+    def test_t_memory_is_max_of_dram_and_l2(self, cat_v100):
+        n = 1_000_000
+        cfg = resource_aware_config(cat_v100, n)
+        cost = kernel_cost(cat_v100, reread_spec(), cfg, n)
+        assert cost.t_memory >= cost.t_l2
+        assert cost.t_l2 > 0.0
+
+    def test_l2_peak_fraction_param(self, cat_a100):
+        """Derating the L2 slows an L2-bound kernel (the fitted knob)."""
+        n = 4_000_000
+        # All-reread, working set between L1 total (~4.4 MB) and the A100's
+        # 40 MiB L2: a large L2-served share that the derate slows down.
+        spec = reread_spec(
+            reread_fraction=1.0, working_set_bytes_per_elem=2.0
+        )
+        cfg = resource_aware_config(cat_a100, n)
+        fast = kernel_cost(cat_a100, spec, cfg, n).seconds
+        slow = kernel_cost(
+            cat_a100, spec, cfg, n, GpuCostParams(l2_peak_fraction=0.05)
+        ).seconds
+        assert slow > fast
+
+
 class TestCpuLoopCost:
     def test_zero_elements(self):
         cost = cpu_loop_cost(xeon_e5_2640v4(), 0, flops_per_elem=10)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import InvalidLaunchError
+from repro.errors import ConfigurationError, InvalidLaunchError, UnknownDeviceError
 from repro.gpusim.device import (
     DeviceSpec,
     get_preset,
@@ -36,9 +36,26 @@ class TestPresets:
         assert get_preset("V100").name == tesla_v100().name
         assert get_preset("a100").sm_count == 108
 
+    def test_get_preset_reaches_catalog_entries(self):
+        # get_preset is now a shim over the repro.devices catalog, so
+        # entries beyond the in-code presets resolve too.
+        assert get_preset("h100").sm_count == 132
+        assert get_preset("cpu-xeon").dram_bandwidth == 21.0e9
+
     def test_get_preset_unknown(self):
-        with pytest.raises(ValueError, match="unknown device preset"):
-            get_preset("h100")
+        # UnknownDeviceError subclasses ValueError, so historical except
+        # clauses keep catching it; the message carries a did-you-mean.
+        with pytest.raises(ValueError, match="unknown device"):
+            get_preset("h200")
+        with pytest.raises(UnknownDeviceError, match="did you mean 'h100'"):
+            get_preset("h200")
+
+    def test_in_code_presets_stay_flat(self):
+        # The paper presets must keep the v1 flat roofline bit for bit;
+        # hierarchy-enabled variants live in the catalog machine files.
+        assert not tesla_v100().has_memory_hierarchy
+        assert not tesla_a100().has_memory_hierarchy
+        assert not laptop_gpu().has_memory_hierarchy
 
     def test_max_warps_per_sm(self):
         assert tesla_v100().max_warps_per_sm == 64
@@ -61,16 +78,30 @@ class TestValidation:
         v100.validate_block(1024, shared_mem=v100.shared_mem_per_block_max)
 
     def test_spec_rejects_zero_sms(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="positive SM"):
             tesla_v100().with_overrides(sm_count=0)
 
     def test_spec_rejects_non_warp_multiple_block_limit(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="multiple of"):
             tesla_v100().with_overrides(max_threads_per_block=100)
 
     def test_spec_rejects_nonpositive_bandwidth(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="must be positive"):
             tesla_v100().with_overrides(dram_bandwidth=0.0)
+
+    def test_spec_rejects_zero_warp_width(self):
+        with pytest.raises(ConfigurationError, match="warp_size"):
+            tesla_v100().with_overrides(warp_size=0)
+
+    def test_spec_rejects_negative_cache_fields(self):
+        with pytest.raises(ConfigurationError, match="cache"):
+            tesla_v100().with_overrides(l2_cache_bytes=-1)
+        with pytest.raises(ConfigurationError, match="cache"):
+            tesla_v100().with_overrides(l2_bandwidth=-1.0)
+
+    def test_spec_rejects_nonpositive_alloc_units(self):
+        with pytest.raises(ConfigurationError, match="granularit"):
+            tesla_v100().with_overrides(register_alloc_unit=0)
 
     def test_with_overrides_returns_new_spec(self, v100):
         bigger = v100.with_overrides(sm_count=160)

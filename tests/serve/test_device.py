@@ -1,0 +1,116 @@
+"""Serving on catalog devices: ``device=`` and autoscale ``grow_device``.
+
+The service resolves its device once at construction; grown devices (the
+lanes the autoscaler adds beyond the base fleet) may run on a different
+catalog entry via ``AutoscalePolicy(grow_device=...)``.  Trajectories stay
+bit-identical to solo runs regardless — the spec only moves the simulated
+clock.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.batch import Job
+from repro.devices import resolve_device
+from repro.engines import make_engine
+from repro.errors import ConfigurationError, UnknownDeviceError
+from repro.serve import AutoscalePolicy, OptimizationService
+
+JOB = Job(
+    "rastrigin", dim=8, n_particles=48, max_iter=25, seed=7,
+    record_history=True,
+)
+
+
+def serve_one(job, **service_kwargs):
+    async def main():
+        service = OptimizationService(**service_kwargs)
+        ticket = await service.submit(job)
+        return await ticket.wait()
+
+    return asyncio.run(main())
+
+
+class TestServiceDevice:
+    def test_device_resolved_at_construction(self):
+        service = OptimizationService(device="a100")
+        assert service.device_spec == resolve_device("a100")
+        assert OptimizationService().device_spec is None
+
+    def test_unknown_device_fails_fast(self):
+        with pytest.raises(UnknownDeviceError, match="did you mean"):
+            OptimizationService(device="a10x")
+
+    def test_served_trajectory_matches_solo_on_the_same_device(self):
+        served = serve_one(JOB, device="a100")
+        solo = make_engine("fastpso", device=resolve_device("a100")).optimize(
+            JOB.resolved_problem(),
+            n_particles=JOB.n_particles,
+            max_iter=JOB.max_iter,
+            params=JOB.resolved_params,
+            record_history=JOB.record_history,
+        )
+        assert served.best_value == solo.best_value
+        assert served.history.gbest_values == solo.history.gbest_values
+        assert served.elapsed_seconds == solo.elapsed_seconds
+
+    def test_device_moves_the_clock_not_the_bits(self):
+        on_v100 = serve_one(JOB, device="v100")
+        on_a100 = serve_one(JOB, device="a100")
+        assert on_v100.best_value == on_a100.best_value
+        assert on_v100.history.gbest_values == on_a100.history.gbest_values
+        assert on_v100.elapsed_seconds != on_a100.elapsed_seconds
+
+
+class TestGrowDevice:
+    def test_policy_validates_grow_device(self):
+        policy = AutoscalePolicy(grow_device="h100")
+        assert policy.resolved_grow_spec() == resolve_device("h100")
+        assert AutoscalePolicy().resolved_grow_spec() is None
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(grow_device=123)
+
+    def test_unknown_grow_device_fails_at_service_construction(self):
+        with pytest.raises(UnknownDeviceError):
+            OptimizationService(
+                autoscale=AutoscalePolicy(grow_device="h10x")
+            )
+
+    def test_grown_lanes_run_on_the_grow_spec(self):
+        policy = AutoscalePolicy(
+            min_devices=1, max_devices=3, queue_high=2.0, grow_device="h100"
+        )
+
+        async def main():
+            service = OptimizationService(
+                n_devices=1,
+                streams_per_device=1,
+                device="a100",
+                autoscale=policy,
+            )
+            for s in range(6):
+                await service.submit(JOB.with_overrides(seed=s), at=0.0)
+            await service.drain()
+            return service
+
+        service = asyncio.run(main())
+        assert service.n_devices > 1  # the burst forced a scale-up
+        assert service._spec_for_device(0) == resolve_device("a100")
+        for grown in range(service._base_devices, service.n_devices):
+            assert service._spec_for_device(grown) == resolve_device("h100")
+
+    def test_admission_prices_against_the_smallest_memory(self):
+        base_only = OptimizationService(device="v100")
+        assert (
+            base_only._device_mem_bytes()
+            == resolve_device("v100").global_mem_bytes
+        )
+        mixed = OptimizationService(
+            device="v100",
+            autoscale=AutoscalePolicy(grow_device="laptop"),
+        )
+        assert (
+            mixed._device_mem_bytes()
+            == resolve_device("laptop").global_mem_bytes
+        )

@@ -38,14 +38,19 @@ REPRO_PUBLIC = {
     "__version__",
     "available_engines",
     "available_functions",
+    "calibrate",
+    "device_names",
     "get_function",
+    "make_device",
     "make_engine",
     "make_function",
+    "resolve_device",
     "resolve_engine",
     "resolve_function",
     "resolve_policy",
     "resume",
     "run_with_recovery",
+    "use_device",
 }
 
 RELIABILITY_PUBLIC = {
@@ -87,6 +92,7 @@ ENGINES_PUBLIC = {
     "resolve_engine",
     "SequentialEngine",
     "available_engines",
+    "engine_accepts_device",
     "engine_supports_graph",
     "make_engine",
 }
@@ -126,6 +132,27 @@ SERVE_PUBLIC = {
     "events_to_json",
     "replay",
     "run_drill",
+}
+
+DEVICES_PUBLIC = {
+    "CalibrationResult",
+    "CalibrationTarget",
+    "CapturedWorkload",
+    "CatalogEntry",
+    "MACHINES_DIR",
+    "PAPER_TARGETS",
+    "calibrate",
+    "capture_workload",
+    "device_entries",
+    "device_names",
+    "get_default_device",
+    "load_machine_file",
+    "make_device",
+    "register_machine_file",
+    "resolve_device",
+    "resolve_entry",
+    "set_default_device",
+    "use_device",
 }
 
 FUNCTIONS_PUBLIC = {
@@ -184,6 +211,7 @@ ENGINE_ALIASES = {
         ("repro.reliability", RELIABILITY_PUBLIC),
         ("repro.serve", SERVE_PUBLIC),
         ("repro.functions", FUNCTIONS_PUBLIC),
+        ("repro.devices", DEVICES_PUBLIC),
     ],
 )
 class TestSurfaceSnapshot:
