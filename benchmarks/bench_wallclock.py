@@ -1,28 +1,41 @@
-"""Host wall-clock benchmark for the fast-path work (ISSUE 1 / ISSUE 4).
+"""Host wall-clock benchmark for the fast-path work (ISSUE 1 / 4 / 9).
 
 Measures *host* seconds — real time spent running the simulator, not
 simulated GPU seconds — for a fixed seeded Table-1-style workload:
 ``sphere`` in d=50, n=2000 particles, 200 iterations, on ``fastpso`` plus
-one CPU baseline (``fastpso-seq``), each with the launch-graph fast path on
-(``graph``, the default) and off (``eager``).  The simulated results (best
-value, simulated ``elapsed_seconds``) are recorded alongside so a perf
-change that accidentally perturbs trajectories is immediately visible in
-the JSON diff — and the two modes are checked *bit-identical* against each
-other (``--check-parity``, exit 1 on mismatch; CI runs this).
+one CPU baseline (``fastpso-seq``), each in three execution lanes:
+
+* ``<engine>`` — the default configuration: launch-graph replay promoted
+  to the native one-C-call-per-iteration tier (``_fastpath.c``);
+* ``<engine>-graph`` — launch-graph replay with the native tier disabled
+  (``REPRO_NO_NATIVE_FASTPATH=1``), i.e. the Python replay closures;
+* ``<engine>-eager`` — the full eager launch pipeline (``graph=False``).
+
+Each lane performs one untimed warm-up run before the timed repeats (the
+first run pays one-off costs — kernel-table construction, cost-model
+memoisation, the compiled ``.so`` dlopen — that previously skewed repeat
+0 by ~20%) and records ``wall_seconds_min`` as the headline number.
+
+The simulated results (best value, simulated ``elapsed_seconds``) are
+recorded alongside so a perf change that accidentally perturbs
+trajectories is immediately visible in the JSON diff — and all three
+lanes are checked *bit-identical* against each other (``--check-parity``,
+exit 1 on mismatch; CI runs this, which covers native-vs-python parity).
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--out BENCH_wallclock.json]
 
-The committed ``BENCH_wallclock.json`` tracks the perf trajectory from PR 1
-onward; CI runs a smoke version (``--repeats 1``) to keep the signal alive
-without slowing the suite.
+The committed ``BENCH_wallclock.json`` tracks the perf trajectory from
+PR 1 onward; CI runs a smoke version (``--repeats 1``) to keep the signal
+alive without slowing the suite.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -30,6 +43,7 @@ from pathlib import Path
 
 from repro.core.problem import Problem
 from repro.engines import make_engine
+from repro.gpusim.fastpath import ENV_GATE
 
 WORKLOAD = {
     "problem": "sphere",
@@ -39,10 +53,11 @@ WORKLOAD = {
     "seed": 42,
 }
 ENGINES = ("fastpso", "fastpso-seq")
-MODES = {"graph": True, "eager": False}
+#: lane suffix -> (graph enabled, native fast path enabled)
+LANES = {"": (True, True), "-graph": (True, False), "-eager": (False, False)}
 REPEATS = 3
 
-#: Result fields that must be bit-identical between graph and eager modes.
+#: Result fields that must be bit-identical across all three lanes.
 PARITY_FIELDS = ("best_value", "simulated_seconds", "iterations", "trajectory")
 
 
@@ -54,28 +69,54 @@ def bench_engine(
     max_iter: int,
     repeats: int = REPEATS,
     graph: bool = True,
+    native: bool = True,
 ) -> dict:
-    """Best-of-*repeats* host wall time for one engine on the fixed workload."""
+    """Best-of-*repeats* host wall time for one engine/lane, after one
+    untimed warm-up run."""
     problem = Problem.from_benchmark(WORKLOAD["problem"], dim)
-    walls = []
-    result = None
-    for _ in range(repeats):
-        # Fresh engine every repeat: no warm caches carried over.
-        engine = make_engine(name, graph=graph)
-        t0 = time.perf_counter()
-        result = engine.optimize(
+    saved = os.environ.get(ENV_GATE)
+    if native:
+        os.environ.pop(ENV_GATE, None)
+    else:
+        os.environ[ENV_GATE] = "1"
+    try:
+        walls = []
+        result = None
+        engine = None
+        # Warm-up run, untimed: pays the one-off costs (kernel tables,
+        # cost-model memoisation, native .so dlopen) that otherwise skew
+        # the first timed repeat.
+        make_engine(name, graph=graph).optimize(
             problem,
             n_particles=n_particles,
             max_iter=max_iter,
             record_history=True,
         )
-        walls.append(time.perf_counter() - t0)
+        for _ in range(repeats):
+            # Fresh engine every repeat: no warm caches carried over.
+            engine = make_engine(name, graph=graph)
+            t0 = time.perf_counter()
+            result = engine.optimize(
+                problem,
+                n_particles=n_particles,
+                max_iter=max_iter,
+                record_history=True,
+            )
+            walls.append(time.perf_counter() - t0)
+    finally:
+        if saved is None:
+            os.environ.pop(ENV_GATE, None)
+        else:
+            os.environ[ENV_GATE] = saved
+    info = engine.graph_info
     return {
-        "wall_seconds": min(walls),
+        "wall_seconds_min": min(walls),
         "wall_seconds_all": walls,
         "simulated_seconds": result.elapsed_seconds,
         "best_value": result.best_value,
         "iterations": result.iterations,
+        "mode": info["mode"],
+        "native": info["native"],
         "trajectory": list(result.history.gbest_values),
     }
 
@@ -89,8 +130,8 @@ def run(max_iter: int, repeats: int) -> dict:
         "engines": {},
     }
     for name in ENGINES:
-        for mode, graph in MODES.items():
-            key = name if graph else f"{name}-eager"
+        for suffix, (graph, native) in LANES.items():
+            key = name + suffix
             payload["engines"][key] = bench_engine(
                 name,
                 dim=WORKLOAD["dim"],
@@ -98,29 +139,34 @@ def run(max_iter: int, repeats: int) -> dict:
                 max_iter=max_iter,
                 repeats=repeats,
                 graph=graph,
+                native=native,
             )
             e = payload["engines"][key]
             print(
-                f"{key:20s} wall={e['wall_seconds']:.3f}s "
+                f"{key:20s} wall={e['wall_seconds_min']:.3f}s "
                 f"simulated={e['simulated_seconds']:.6f}s "
-                f"best={e['best_value']:.6g}"
+                f"best={e['best_value']:.6g} native={e['native']}"
             )
     return payload
 
 
 def check_parity(payload: dict) -> list[str]:
-    """Graph and eager rows must agree bit-for-bit on everything simulated."""
+    """All three lanes must agree bit-for-bit on everything simulated."""
     problems = []
     for name in ENGINES:
-        graph_row = payload["engines"][name]
-        eager_row = payload["engines"][f"{name}-eager"]
-        for field in PARITY_FIELDS:
-            if graph_row[field] != eager_row[field]:
-                problems.append(
-                    f"{name}: {field} differs between graph and eager "
-                    f"(graph={graph_row[field]!r:.80s} "
-                    f"eager={eager_row[field]!r:.80s})"
-                )
+        base_row = payload["engines"][name]
+        for suffix in LANES:
+            if not suffix:
+                continue
+            row = payload["engines"][name + suffix]
+            for field in PARITY_FIELDS:
+                if base_row[field] != row[field]:
+                    problems.append(
+                        f"{name}: {field} differs between default and "
+                        f"{suffix.lstrip('-')} lanes "
+                        f"(default={base_row[field]!r:.80s} "
+                        f"{suffix.lstrip('-')}={row[field]!r:.80s})"
+                    )
     return problems
 
 
@@ -139,7 +185,7 @@ def main() -> None:
     parser.add_argument(
         "--check-parity",
         action="store_true",
-        help="exit 1 unless graph and eager runs are bit-identical",
+        help="exit 1 unless all lanes (native/graph/eager) are bit-identical",
     )
     args = parser.parse_args()
     payload = run(args.iters, args.repeats)
@@ -158,7 +204,7 @@ def main() -> None:
         if args.check_parity:
             sys.exit(1)
     else:
-        print("parity: graph and eager runs are bit-identical")
+        print("parity: native, graph and eager lanes are bit-identical")
 
 
 if __name__ == "__main__":

@@ -300,6 +300,11 @@ class FusedGroupRunner:
             member.solo_reason = "no-gpu-context"
             return
         if runner.info["mode"] == "graph":
+            # The stacked engine drives member iterations itself, splicing
+            # per-member replay closures into fused rounds — the runner must
+            # settle on the Python replay tier, not promote to the native
+            # one-call step (which bypasses those closures).
+            runner.allow_native = False
             for _ in range(RAMP_GRAPH):
                 if member.stopped or member.t >= run.max_iter:
                     break

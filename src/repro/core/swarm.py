@@ -182,6 +182,14 @@ def velocity_update(
     taken when every operand is float32 and ``multiply_add`` is unset
     (mixed-precision promotion would otherwise change intermediate
     rounding).
+
+    The scratch fast path's operation sequence is a compatibility
+    contract: ``gpusim/_fastpath.c`` mirrors it op-for-op (same order,
+    same ``-ffp-contract=off`` no-FMA arithmetic) so the native iteration
+    tier stays bit-identical.  Changing the order or grouping here
+    requires the matching change in ``fastpath_step`` — the known-answer
+    self-test and the promotion gate will otherwise demote every run to
+    the Python replay tier.
     """
     if out is None:
         out = np.empty_like(velocities)

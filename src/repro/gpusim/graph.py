@@ -32,13 +32,30 @@ The lifecycle, driven by :class:`IterationRunner`:
     replay runs traced and is verified against the capture
     (:class:`~repro.errors.GraphReplayError` on divergence — that would be
     a repro bug, not a user condition); later replays run flat.
+``native-verify`` / ``native``
+    The third tier (``_fastpath.c``): after the first verified Python
+    replay, a native-eligible plan (global-memory float32 engines with the
+    global topology; see ``Engine._graph_build_native``) is promoted to one
+    C call per iteration.  Promotion is gated by one shadow-verified
+    iteration — the trusted Python replay runs on the real state while the
+    C step runs on copies, and every output buffer must match bitwise.  Any
+    mismatch, missing compiler, failed self-test, unsupported shape or
+    ``REPRO_NO_NATIVE_FASTPATH=1`` silently keeps the run on the Python
+    replay tier; the trajectory is bit-identical on every tier by
+    construction.  ``info["native"]`` records the outcome (``"active"`` or
+    the demotion reason), ``info["native_replays"]`` counts the C-call
+    iterations (also included in ``info["replays"]``, so profiler
+    reconciliation is tier-agnostic).
 
 Replay preserves bit-identical simulated time because it performs the *same
 sequence of float additions* on the clock as the eager path: one
 ``advance(cost.seconds)`` per launch in eager order, real allocator
 alloc/free calls (pool hits advance the clock natively and keep the
 allocator statistics truthful), and the same dynamic charges through the
-same helpers.  Profiler statistics are aggregated per graph — replayed
+same helpers.  The native tier keeps this exactly: the C call replaces the
+array *semantics* only, while the clock charges, allocator calls and
+dynamic pbest-copy accounting still run through the same Python helpers in
+the same order.  Profiler statistics are aggregated per graph — replayed
 launches touch no :class:`~repro.gpusim.launch.LaunchStats` until
 :meth:`IterationRunner.finalize` folds ``replays x captured-cost`` into the
 launcher's buckets in one update per kernel.
@@ -48,11 +65,15 @@ criterion, a callback, an attached fault injector, ``record_launches=True``
 or an engine without a replay plan.  Checkpoint *capture* composes with
 replay (snapshots read state the replay keeps current); a *restored* run
 rebuilds its runner from scratch, so the graph is re-captured after resume
-and can never replay stale bindings.
+and can never replay stale bindings — and re-promotes to the native tier
+when eligible.  Hosts that drive a runner's replay directly (the fused
+multi-swarm ramp) set ``allow_native = False`` before stepping, pinning
+the runner to the Python replay tier whose phase transitions they rely on.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -151,7 +172,10 @@ class IterationRunner:
         "rng",
         "phase",
         "graph",
+        "allow_native",
         "_replay",
+        "_native",
+        "_native_verify",
         "_launcher",
         "info",
     )
@@ -173,7 +197,12 @@ class IterationRunner:
         self.rng = rng
         self.phase = "eager" if eager_reason is not None else "warmup"
         self.graph: LaunchGraph | None = None
+        #: Hosts that drive the Python replay directly (fused multi-swarm
+        #: ramp) set this False before stepping to pin the replay tier.
+        self.allow_native = True
         self._replay: Callable[[], None] | None = None
+        self._native: Callable[[], None] | None = None
+        self._native_verify = None
         ctx = getattr(engine, "ctx", None)
         self._launcher = getattr(ctx, "launcher", None)
         self.info = {
@@ -181,6 +210,8 @@ class IterationRunner:
             "eager_reason": eager_reason,
             "captured_at": None,
             "replays": 0,
+            "native": None,
+            "native_replays": 0,
         }
         engine.graph_info = self.info
 
@@ -215,9 +246,30 @@ class IterationRunner:
     # -- lifecycle -----------------------------------------------------------
     def run_iteration(self, t: int) -> None:
         phase = self.phase
+        if phase == "native":
+            self._native()
+            self.info["replays"] += 1
+            self.info["native_replays"] += 1
+            return
         if phase == "replay":
             self._replay()
             self.info["replays"] += 1
+            return
+        if phase == "native-verify":
+            # One shadow-verified iteration: the trusted Python replay runs
+            # on the real state, the C step on copies (see
+            # repro.gpusim.fastpath.verify_step).  The real trajectory is
+            # identical whichever way the verdict goes.
+            ok = self._native_verify(self._replay)
+            self.info["replays"] += 1
+            if ok:
+                self.phase = "native"
+                self.info["native"] = "active"
+            else:
+                self.phase = "replay"
+                self._native = None
+                self._native_verify = None
+                self.info["native"] = "parity-mismatch"
             return
         if phase in ("eager", "warmup"):
             self._run_eager()
@@ -278,6 +330,33 @@ class IterationRunner:
                 f"recorded {graph.rng_blocks}"
             )
         self.phase = "replay"
+        self._try_native()
+
+    def _try_native(self) -> None:
+        """Attempt promotion to the native (one-C-call) tier.
+
+        Called once, after the first verified Python replay.  Every failure
+        mode records its reason on ``info["native"]`` and leaves the run on
+        the Python replay tier — promotion is strictly best-effort.
+        """
+        if not self.allow_native:
+            self.info["native"] = "host-managed"
+            return
+        if os.environ.get("REPRO_NO_NATIVE_FASTPATH"):
+            self.info["native"] = "disabled-by-env"
+            return
+        try:
+            built = self.engine._graph_build_native(
+                self.graph, self.problem, self.params, self.state, self.rng
+            )
+        except Exception:
+            self.info["native"] = "native-build-failed"
+            return
+        if built is None or isinstance(built, str):
+            self.info["native"] = built or "engine-has-no-native-plan"
+            return
+        self._native, self._native_verify = built
+        self.phase = "native-verify"
 
     def _demote(self, reason: str) -> None:
         self.phase = "eager"

@@ -7,111 +7,47 @@ full Philox4x32-10 pass.  The NumPy uint64-lane pipeline in
 full-array ufunc sweeps; a scalar C loop keeps each counter block in
 registers and runs ~6x faster.
 
-This module compiles ``_philox.c`` with the system C compiler the first time
-it is needed, caches the shared object in a per-user temp directory keyed by
-a source hash, and binds it through :mod:`ctypes` — no third-party build
-dependency.  Everything is best-effort:
+The compile/cache/bind machinery lives in :mod:`repro.gpusim.native`
+(shared with ``_fastpath.c``); this module contributes the source file, the
+ctypes signatures and the known-answer self-test.  Everything is
+best-effort:
 
-* set ``REPRO_NO_NATIVE_RNG=1`` to disable it;
+* set ``REPRO_NO_NATIVE_RNG=1`` to disable it (checked on every call);
 * no compiler, a failed compile, or a failed known-answer self-test all
   silently fall back to the NumPy path (the two paths are bit-identical, so
   which one runs is invisible except in wall-clock time).
 
 :func:`load` returns the bound library handle or ``None``; the result is
-cached for the life of the process.
+cached for the life of the process (modulo the environment gate).
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
 from pathlib import Path
 
 import numpy as np
+
+from repro.gpusim import native
 
 __all__ = ["load", "available", "unit_f32", "unit_f64"]
 
 _SOURCE = Path(__file__).with_name("_philox.c")
 
-#: Tri-state cache: unset sentinel / None (unavailable) / ctypes.CDLL.
-_UNSET = object()
+#: Compat aliases (the loader now owns the cache; see repro.gpusim.native).
+_UNSET = native._UNSET
 _lib: object = _UNSET
 
-
-def _compiler() -> str | None:
-    for name in ("cc", "gcc", "clang"):
-        path = shutil.which(name)
-        if path:
-            return path
-    return None
-
-
-def _build(source: Path) -> ctypes.CDLL | None:
-    cc = _compiler()
-    if cc is None:
-        return None
-    src = source.read_bytes()
-    tag = hashlib.sha256(src).hexdigest()[:16]
-    cache_dir = (
-        Path(tempfile.gettempdir()) / f"repro-philox-{os.getuid()}"
-    )
-    so_path = cache_dir / f"philox-{tag}.so"
-    if not so_path.exists():
-        cache_dir.mkdir(mode=0o700, parents=True, exist_ok=True)
-        # Build next to the final name and rename: concurrent processes
-        # (pytest-xdist, batch workers) never load a half-written object.
-        with tempfile.NamedTemporaryFile(
-            dir=cache_dir, suffix=".so", delete=False
-        ) as tmp:
-            tmp_path = Path(tmp.name)
-        cmd = [
-            cc,
-            "-O3",
-            "-march=native",
-            "-funroll-loops",
-            "-shared",
-            "-fPIC",
-            "-o",
-            str(tmp_path),
-            str(source),
-        ]
-        try:
-            subprocess.run(
-                cmd,
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-            os.replace(tmp_path, so_path)
-        except (OSError, subprocess.SubprocessError):
-            tmp_path.unlink(missing_ok=True)
-            return None
-    try:
-        lib = ctypes.CDLL(str(so_path))
-    except OSError:
-        return None
-    for fn_name, out_type in (
-        ("philox_unit_f32", ctypes.c_float),
-        ("philox_unit_f64", ctypes.c_double),
-    ):
-        fn = getattr(lib, fn_name)
-        fn.restype = None
-        # Raw addresses instead of typed pointers: callers pass
-        # ``arr.ctypes.data`` ints, skipping the per-call ``data_as``
-        # wrapper objects — this function is the hottest ctypes call in
-        # the per-iteration weight draw.
-        fn.argtypes = [
-            ctypes.c_uint64,
-            ctypes.c_uint64,
-            ctypes.c_uint64,
-            ctypes.c_void_p,
-            ctypes.c_void_p,
-        ]
-    return lib
+# Raw addresses instead of typed pointers: callers pass ``arr.ctypes.data``
+# ints, skipping the per-call ``data_as`` wrapper objects — these are the
+# hottest ctypes calls in the per-iteration weight draw.
+_UNIT_ARGTYPES = [
+    ctypes.c_uint64,
+    ctypes.c_uint64,
+    ctypes.c_uint64,
+    ctypes.c_void_p,
+    ctypes.c_void_p,
+]
 
 
 def _self_test(lib: ctypes.CDLL) -> bool:
@@ -147,19 +83,22 @@ def _self_test(lib: ctypes.CDLL) -> bool:
     return bool(np.array_equal(got, want))
 
 
+_MODULE = native.NativeModule(
+    "philox",
+    [_SOURCE],
+    env_gate="REPRO_NO_NATIVE_RNG",
+    fn_specs={
+        "philox_unit_f32": (None, _UNIT_ARGTYPES),
+        "philox_unit_f64": (None, _UNIT_ARGTYPES),
+    },
+    self_test=_self_test,
+)
+
+
 def load() -> ctypes.CDLL | None:
     """The bound native library, or ``None`` when unavailable/disabled."""
     global _lib
-    if _lib is not _UNSET:
-        return _lib  # type: ignore[return-value]
-    lib = None
-    if not os.environ.get("REPRO_NO_NATIVE_RNG") and _SOURCE.exists():
-        try:
-            lib = _build(_SOURCE)
-            if lib is not None and not _self_test(lib):
-                lib = None
-        except Exception:
-            lib = None
+    lib = _MODULE.load()
     _lib = lib
     return lib
 
