@@ -17,6 +17,11 @@ Two contracts are asserted in the same pass:
 - **Parity** — a sample of served results is compared bit-for-bit
   (best value, best position, solo runtime) against fresh solo runs of
   the same job specs: serving adds queueing, never arithmetic.
+- **Journal overhead** — the pinned drill is repeated with the
+  write-ahead journal enabled (per-record fsync on and off) and the
+  host-wall overhead recorded; the journaled event logs must stay
+  byte-identical to the unjournaled run, so durability never changes a
+  decision, only costs host time.
 
 Run from the repo root::
 
@@ -89,6 +94,43 @@ def fleet_row(service, wall: float) -> dict:
     }
 
 
+def journal_section(profile: LoadProfile, reference) -> dict:
+    """Journal on-vs-off: host-wall overhead, byte-identical decisions."""
+    import tempfile
+
+    root = Path(tempfile.mkdtemp(prefix="bench_serve_wal_"))
+    rows = {}
+    for label, fsync in (("fsync", True), ("no_fsync", False)):
+        walls = []
+        for attempt in ("a", "b"):
+            wal = root / f"{label}_{attempt}"
+            service, _, wall = drill(
+                profile,
+                n_devices=1,
+                autoscale=None,
+                journal_dir=wal,
+                journal_fsync=fsync,
+            )
+            walls.append(wall)
+            # Replay byte-identity holds with the journal on, in both
+            # fsync modes, and against the unjournaled reference run:
+            # durability adds records, never decisions.
+            assert service.events_json() == reference.events_json(), (
+                f"journaled drill ({label}/{attempt}) diverged from the "
+                "unjournaled reference"
+            )
+        wal_file = root / f"{label}_b" / "service.wal"
+        rows[label] = {
+            "host_wall_seconds": min(walls),
+            "wal_bytes": wal_file.stat().st_size,
+        }
+    print(
+        "journal: event logs byte-identical in both fsync modes — OK "
+        f"(wal={rows['fsync']['wal_bytes']} bytes)"
+    )
+    return rows
+
+
 def run(n_sessions: int, max_devices: int) -> dict:
     profile = LoadProfile(n_sessions=n_sessions)
     autoscale = AutoscalePolicy(min_devices=1, max_devices=max_devices)
@@ -110,6 +152,17 @@ def run(n_sessions: int, max_devices: int) -> dict:
 
     n_checked = check_parity(profile, scaled_tickets)
     print(f"parity: {n_checked} served results bit-identical to solo — OK")
+
+    journal_rows = journal_section(profile, pinned)
+    journal_rows["off"] = {"host_wall_seconds": pinned_wall}
+    baseline = pinned_wall or float("nan")
+    for label in ("fsync", "no_fsync"):
+        row = journal_rows[label]
+        row["overhead_vs_off"] = row["host_wall_seconds"] / baseline
+        print(
+            f"journal {label:9s}: wall={row['host_wall_seconds']:.3f}s "
+            f"({row['overhead_vs_off']:.2f}x of unjournaled)"
+        )
 
     on = scaled.report()
     off = pinned.report()
@@ -134,6 +187,8 @@ def run(n_sessions: int, max_devices: int) -> dict:
         ),
         "events_byte_identical": True,
         "parity_sample_size": n_checked,
+        "journal": journal_rows,
+        "journal_events_byte_identical": True,
     }
     for label, report in (("off", off), ("on", on)):
         print(

@@ -266,6 +266,7 @@ class RunningJob:
         guard=None,
         checkpoint=None,
         restore=None,
+        injector=None,
     ) -> None:
         from repro.engines import make_engine
 
@@ -276,6 +277,10 @@ class RunningJob:
         )
         self.job = job
         self.engine = make_engine(job.engine, **options)
+        if injector is not None:
+            # Wired before start_run so initialization launches/allocs are
+            # counted — the same ordinals a solo faulted run would see.
+            self.engine.attach_fault_injector(injector)
         self.run = self.engine.start_run(
             job.resolved_problem(),
             n_particles=job.n_particles,
@@ -353,6 +358,7 @@ def start_job(
     guard=None,
     checkpoint=None,
     restore=None,
+    injector=None,
 ) -> RunningJob:
     """Begin stepped execution of *job* (see :class:`RunningJob`)."""
     return RunningJob(
@@ -362,4 +368,5 @@ def start_job(
         guard=guard,
         checkpoint=checkpoint,
         restore=restore,
+        injector=injector,
     )

@@ -53,7 +53,9 @@ _USAGE = (
     "usage: repro {serve,batch,bench,devices} [args...]\n"
     "\n"
     "commands:\n"
-    "  serve    run the serving-layer load drill (python -m repro.serve)\n"
+    "  serve    run the serving-layer load drill (python -m repro.serve);\n"
+    "           'repro serve recover --journal-dir DIR' resumes a\n"
+    "           crashed drill from its write-ahead journal\n"
     "  batch    run the batch scheduler CLI (python -m repro.batch)\n"
     "  bench    run paper experiments (fastpso-bench)\n"
     "  devices  inspect the device catalog / calibrate the cost model\n"

@@ -36,6 +36,8 @@ __all__ = [
     "ReliabilityError",
     "CircuitOpenError",
     "AdmissionError",
+    "JournalError",
+    "StalledRunError",
 ]
 
 
@@ -262,4 +264,25 @@ class AdmissionError(ReliabilityError):
 
     Only raised in ``strict`` admission mode; the default ``degrade`` mode
     records a shed outcome instead of raising.
+    """
+
+
+class JournalError(ReliabilityError):
+    """The serving layer's write-ahead journal is unreadable or unwritable.
+
+    Raised when :meth:`~repro.serve.service.OptimizationService.recover`
+    cannot open a journal, and carried as the structured error row of
+    submissions refused while the service is in degraded read-only mode
+    (the journal directory became unwritable mid-flight).
+    """
+
+
+class StalledRunError(ReliabilityError):
+    """A running job exceeded its watchdog lease.
+
+    The service marks a run stalled when more than ``watchdog_seconds`` of
+    simulated time pass between progress updates (an injected stall, a
+    pathological objective).  Stalls are treated as retryable: the attempt
+    is abandoned, journaled, and retried under the configured
+    :class:`~repro.reliability.retry.RetryPolicy`.
     """

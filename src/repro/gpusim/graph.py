@@ -210,7 +210,10 @@ class IterationRunner:
             "eager_reason": eager_reason,
             "captured_at": None,
             "replays": 0,
-            "native": None,
+            # An eager run can never reach the native tier; record the
+            # demotion reason up front so fault drills and health guards
+            # leave an auditable trail instead of a silent ``None``.
+            "native": eager_reason,
             "native_replays": 0,
         }
         engine.graph_info = self.info
@@ -364,6 +367,8 @@ class IterationRunner:
         self._replay = None
         self.info["mode"] = "eager"
         self.info["eager_reason"] = reason
+        if self.info["native"] in (None, "active"):
+            self.info["native"] = reason
 
     def finalize(self) -> None:
         """Reconcile aggregated profiling for the replayed iterations."""

@@ -34,6 +34,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "atomic_write_bytes",
     "atomic_write_text",
+    "fsync_directory",
     "result_to_dict",
     "result_from_dict",
     "save_result_json",
@@ -47,14 +48,39 @@ SCHEMA_VERSION = 3
 _READABLE_VERSIONS = (1, 2, 3)
 
 
+def fsync_directory(directory: str | Path) -> None:
+    """fsync a directory fd so renames/creations inside it are durable.
+
+    ``os.replace`` makes a write atomic against *process* crash, but the
+    directory entry itself only survives *power loss* once the directory's
+    own metadata reaches the disk.  Filesystems that don't support opening
+    a directory for fsync (some network mounts) are silently tolerated —
+    the write-ahead journal and checkpoints still have their per-file
+    fsync.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     """Write *data* to *path* so readers never observe a partial file.
 
     The bytes go to a temporary file in the same directory (same
     filesystem, so the final :func:`os.replace` is atomic), are flushed and
-    fsynced, and only then renamed over the destination.  A crash at any
-    point leaves either the old file or the new one — never a truncated
-    mix.  Used for both result JSON and reliability checkpoints.
+    fsynced, and only then renamed over the destination; the parent
+    directory is fsynced last so the rename itself survives power loss,
+    not just process crash.  A crash at any point leaves either the old
+    file or the new one — never a truncated mix.  Used for result JSON,
+    reliability checkpoints and the serve write-ahead journal.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -66,6 +92,7 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -141,7 +141,15 @@ class CheckpointManager:
                 f"label must be a non-empty filename fragment, got {label!r}"
             )
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # A read-only or vanished checkpoint volume is a reliability
+            # failure, not a programming error: surface it as the same
+            # type every checkpoint consumer already handles.
+            raise CheckpointError(
+                f"cannot create checkpoint directory {self.directory}: {exc}"
+            ) from exc
         self.every = int(every)
         self.keep = int(keep)
         self.label = label

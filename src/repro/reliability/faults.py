@@ -175,6 +175,45 @@ class FaultInjector:
     def device_lost(self) -> bool:
         return self._device_lost
 
+    # -- persistence ----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe mutable state: ordinal counters, fired flags, RNG.
+
+        The spec list itself is *not* included — it is configuration, not
+        state, and the serve journal re-derives it from the fault plan.
+        Restoring this onto a fresh injector built from the same specs
+        reproduces the remaining fault schedule exactly (the property that
+        keeps crash-recovered drills byte-identical: a one-shot fault that
+        fired before the crash does not re-fire after it).
+        """
+        return {
+            "fired": [bool(f) for f in self._fired],
+            "launches": self._launches,
+            "allocs": self._allocs,
+            "device_lost": self._device_lost,
+            "stalled_seconds": self.stalled_seconds,
+            "rng_position": self._corrupt_rng.position,
+            "triggered": [list(t) for t in self.triggered],
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        fired = list(state["fired"])
+        if len(fired) != len(self.specs):
+            raise InvalidParameterError(
+                f"injector state has {len(fired)} fired flags for "
+                f"{len(self.specs)} specs"
+            )
+        self._fired = [bool(f) for f in fired]
+        self._launches = int(state["launches"])
+        self._allocs = int(state["allocs"])
+        self._device_lost = bool(state["device_lost"])
+        self.stalled_seconds = float(state["stalled_seconds"])
+        self._corrupt_rng.seek(int(state["rng_position"]))
+        self.triggered = [
+            (str(kind), str(detail)) for kind, detail in state["triggered"]
+        ]
+
     # -- wiring ---------------------------------------------------------------
     def watch(self, name: str, array: np.ndarray) -> None:
         """Register a named buffer as a corruption target."""

@@ -81,6 +81,13 @@ class RetryPolicy:
         """Simulated backoff after the Nth failure (0-based)."""
         return self.backoff_seconds * self.backoff_factor**failure_index
 
+    def fallback_engine(self, engine_name: str) -> str | None:
+        """The CPU engine to degrade to, or ``None`` when there is no
+        *distinct* fallback (disabled, or the job already runs on it)."""
+        if self.cpu_fallback and self.cpu_fallback != engine_name:
+            return self.cpu_fallback
+        return None
+
 
 @dataclass
 class RecoveryReport:
@@ -199,15 +206,11 @@ def run_with_recovery(
     for attempt in range(1, policy.max_attempts + 1):
         name, opts = engine_name, options
         on_cpu = False
-        if (
-            attempt == policy.max_attempts
-            and attempt > 1
-            and policy.cpu_fallback
-            and policy.cpu_fallback != engine_name
-        ):
+        fallback = policy.fallback_engine(engine_name)
+        if attempt == policy.max_attempts and attempt > 1 and fallback:
             # Last chance: degrade to the CPU substrate, which the injected
             # GPU faults cannot touch.  Bit-identical numerics by contract.
-            name, opts, fell_back, on_cpu = policy.cpu_fallback, {}, True, True
+            name, opts, fell_back, on_cpu = fallback, {}, True, True
 
         device = None
         if health is not None and not on_cpu:
@@ -218,13 +221,8 @@ def run_with_recovery(
                 # Every breaker is open: no healthy device to place this
                 # attempt on.  Degrade to the CPU substrate if the policy
                 # allows it, otherwise record the refusal and give up.
-                if policy.cpu_fallback and policy.cpu_fallback != engine_name:
-                    name, opts, fell_back, on_cpu = (
-                        policy.cpu_fallback,
-                        {},
-                        True,
-                        True,
-                    )
+                if fallback:
+                    name, opts, fell_back, on_cpu = fallback, {}, True, True
                 else:
                     exc = CircuitOpenError(
                         f"all {health.n_devices} device breaker(s) open; "

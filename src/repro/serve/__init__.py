@@ -10,14 +10,33 @@ cancellation with bit-identical resume.  Every decision lands on a
 deterministic event log (:class:`ServiceEvent`) so seeded load replays
 (:class:`LoadProfile` / :func:`run_drill`) are byte-for-byte reproducible.
 
+Durability: with a ``journal_dir`` the service records every state
+transition to a CRC-guarded write-ahead journal (:class:`ServiceJournal`)
+*before* it takes effect, so :meth:`OptimizationService.recover` rebuilds
+the exact service state after SIGKILL — queued tickets re-enter admission
+in order, mid-run jobs resume bit-identically from their latest
+checkpoint, finished results are served from the journal without
+re-running.  ``retry``/``faults``/``watchdog_seconds`` wire the
+reliability layer (attempt loops, fault drills, stall leases with CPU
+failover) into serving.
+
 ``python -m repro.serve`` runs the load-generator drill from the command
-line (also available as ``repro serve``).
+line (also available as ``repro serve``; ``repro serve recover`` resumes
+a crashed drill from its journal).
 """
 
 from __future__ import annotations
 
 from repro.serve.autoscale import AutoscalePolicy, Autoscaler
 from repro.serve.events import EVENT_KINDS, ServiceEvent, events_to_json
+from repro.serve.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalKillPoint,
+    ServiceJournal,
+    job_from_spec,
+    job_to_spec,
+    read_journal,
+)
 from repro.serve.loadgen import (
     ClientSession,
     LoadProfile,
@@ -38,15 +57,21 @@ __all__ = [
     "Autoscaler",
     "ClientSession",
     "EVENT_KINDS",
+    "JOURNAL_SCHEMA_VERSION",
     "JobTicket",
+    "JournalKillPoint",
     "LoadProfile",
     "OptimizationService",
     "ProgressUpdate",
     "ServiceEvent",
+    "ServiceJournal",
     "ServiceReport",
     "TenantQuota",
     "build_sessions",
     "events_to_json",
+    "job_from_spec",
+    "job_to_spec",
+    "read_journal",
     "replay",
     "run_drill",
 ]

@@ -10,8 +10,18 @@ report and optionally writes it (``--out``) and the canonical event log
 (``--events-json``) — two runs with the same flags produce byte-identical
 event logs, which the CI serve drill asserts with ``cmp``.
 
-Exit code: 1 when any job failed (contained engine error), else 0 —
-sheds and cancels are expected under load, not failures.
+Durability flags: ``--journal-dir`` records every state transition to a
+write-ahead journal before it takes effect; ``repro serve recover
+--journal-dir DIR [same flags]`` rebuilds the service from that journal
+after a crash and finishes the drill — the merged event log is
+byte-identical to an uninterrupted run.  ``--kill-at-record N`` SIGKILLs
+the process the moment journal record N is durable (the CI crash drill's
+deterministic kill point).  ``--retry``/``--watchdog-seconds``/``--faults``
+wire the reliability layer into serving.
+
+Exit codes match the batch CLI: ``1`` when any job failed (contained
+engine error), ``2`` when jobs were shed/refused or the configuration is
+invalid, else ``0``.
 """
 
 from __future__ import annotations
@@ -20,15 +30,15 @@ import argparse
 import json
 import sys
 
+from repro.errors import ConfigurationError, ReproError
 from repro.io import atomic_write_text
 from repro.serve.autoscale import AutoscalePolicy
-from repro.serve.loadgen import LoadProfile, run_drill
+from repro.serve.loadgen import LoadProfile, replay, run_drill
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.serve", description=__doc__
-    )
+def build_parser(prog: str = "python -m repro.serve") -> argparse.ArgumentParser:
+    """The serve CLI's argument parser (shared by drill and recover)."""
+    parser = argparse.ArgumentParser(prog=prog, description=__doc__)
     parser.add_argument("--sessions", type=int, default=200)
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument(
@@ -82,20 +92,61 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint-dir",
         help="write cancellation checkpoints here (enables resubmit)",
     )
+    parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        help="write-ahead journal directory (enables crash recovery)",
+    )
+    parser.add_argument(
+        "--no-journal-fsync",
+        action="store_true",
+        help="skip per-record fsync (faster, crash-consistent only)",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed/stalled attempts up to N times (RetryPolicy)",
+    )
+    parser.add_argument(
+        "--watchdog-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stall lease: max simulated seconds between progress marks",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="fault plan: 'drill' or a FaultPlan JSON file",
+    )
+    parser.add_argument(
+        "--kill-at-record",
+        type=int,
+        default=None,
+        metavar="SEQ",
+        help="SIGKILL the process once journal record SEQ is durable",
+    )
     parser.add_argument("--out", help="write the report JSON here")
     parser.add_argument(
         "--events-json",
         metavar="PATH",
         help="write the canonical event log here (byte-stable)",
     )
-    args = parser.parse_args(argv)
+    return parser
 
-    profile = LoadProfile(
+
+def _profile(args: argparse.Namespace) -> LoadProfile:
+    return LoadProfile(
         n_sessions=args.sessions,
         seed=args.seed,
         mean_interarrival=args.mean_interarrival,
         cancel_fraction=args.cancel_fraction,
     )
+
+
+def _service_kwargs(args: argparse.Namespace) -> dict:
     autoscale = None
     if not args.no_autoscale:
         autoscale = AutoscalePolicy(
@@ -103,18 +154,38 @@ def main(argv: list[str] | None = None) -> int:
             max_devices=max(args.max_devices, args.devices),
             boot_seconds=args.boot_seconds,
         )
-    service = run_drill(
-        profile,
+    faults = None
+    if args.faults:
+        from repro.reliability import FaultPlan
+
+        if args.faults == "drill":
+            faults = FaultPlan.drill(args.sessions, seed=args.seed)
+        else:
+            faults = FaultPlan.from_json_file(args.faults)
+    return dict(
         n_devices=args.devices,
         streams_per_device=args.streams,
         autoscale=autoscale,
         max_queue=args.max_queue,
         deadline=args.deadline,
         checkpoint_dir=args.checkpoint_dir,
+        retry=args.retry,
+        watchdog_seconds=args.watchdog_seconds,
+        faults=faults,
+        journal_fsync=not args.no_journal_fsync,
     )
 
+
+def _finish(service, args: argparse.Namespace) -> int:
     report = service.report()
     print(report.summary())
+    if service.read_only:
+        row = service.journal_error or {}
+        print(
+            "service is in degraded read-only mode: "
+            f"{row.get('message', 'journal unwritable')}",
+            file=sys.stderr,
+        )
     if args.out:
         atomic_write_text(
             args.out, json.dumps(report.to_dict(), indent=2) + "\n"
@@ -123,7 +194,56 @@ def main(argv: list[str] | None = None) -> int:
     if args.events_json:
         atomic_write_text(args.events_json, service.events_json())
         print(f"wrote {args.events_json}")
-    return 1 if report.counts.get("failed", 0) else 0
+    if report.counts.get("failed", 0):
+        return 1
+    if report.counts.get("shed", 0) or report.counts.get("refused", 0):
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    recovering = bool(argv) and argv[0] == "recover"
+    if recovering:
+        argv = argv[1:]
+    prog = "python -m repro.serve" + (" recover" if recovering else "")
+    parser = build_parser(prog)
+    args = parser.parse_args(argv)
+
+    try:
+        profile = _profile(args)
+        kwargs = _service_kwargs(args)
+        if recovering:
+            from repro.serve.service import OptimizationService
+
+            if not args.journal_dir:
+                raise ConfigurationError(
+                    "recover needs --journal-dir pointing at the journal "
+                    "of the interrupted run"
+                )
+            service = OptimizationService.recover(args.journal_dir, **kwargs)
+            resume_at = len(service.status())
+            print(
+                f"recovered {resume_at} journaled session(s) from "
+                f"{args.journal_dir}; resuming drill"
+            )
+            import asyncio
+
+            asyncio.run(replay(service, profile, start_index=resume_at))
+        else:
+            service = run_drill(
+                profile,
+                journal_dir=args.journal_dir,
+                journal_kill_at=args.kill_at_record,
+                **kwargs,
+            )
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _finish(service, args)
 
 
 if __name__ == "__main__":

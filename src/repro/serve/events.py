@@ -30,9 +30,12 @@ EVENT_KINDS = (
     "degrade",     # admission accepted a reduced variant (memory ladder)
     "shed",        # admission or a tenant quota refused the job
     "dispatch",    # the job started on a lane (device/stream/start)
+    "stalled",     # a running attempt exceeded its watchdog lease
+    "retry",       # a failed/stalled attempt will be retried (backoff)
     "complete",    # the job reached a terminal engine status
     "failed",      # the job raised a contained error before completing
     "cancel",      # a client cancelled the job (queued or running phase)
+    "refused",     # submission refused in degraded read-only mode
     "scale_up",    # the autoscaler provisioned a device
     "scale_down",  # the autoscaler retired a device
 )

@@ -150,14 +150,27 @@ async def _cancel_watcher(ticket: JobTicket, after_updates: int) -> None:
 
 
 async def replay(
-    service: OptimizationService, profile: LoadProfile
+    service: OptimizationService,
+    profile: LoadProfile,
+    *,
+    start_index: int = 0,
 ) -> list[JobTicket]:
     """Drive *service* through the profile's sessions; returns tickets.
 
     Strict-admission refusals are absorbed (the shed is on the event log;
     the refused session simply has no ticket in the returned list).
+
+    *start_index* skips the first N sessions — the crash-recovery driver:
+    a recovered service already replayed every journaled submit, so the
+    drill resumes at ``start_index=len(service.status())`` and the merged
+    event log lines up with the uninterrupted run.
     """
-    sessions = build_sessions(profile)
+    if not 0 <= start_index <= profile.n_sessions:
+        raise ConfigurationError(
+            f"start_index must be in [0, {profile.n_sessions}], "
+            f"got {start_index}"
+        )
+    sessions = build_sessions(profile)[start_index:]
     tickets: list[JobTicket] = []
     watchers: list[asyncio.Task] = []
     for session in sessions:

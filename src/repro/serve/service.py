@@ -24,6 +24,41 @@ known arrival, so a later high-priority arrival can still overtake
 queued work — and a seeded replay of the same arrival sequence
 reproduces byte-identical event logs.
 
+Durability — the write-ahead journal
+------------------------------------
+With ``journal_dir`` set, every state transition is appended to a
+:class:`~repro.serve.journal.ServiceJournal` **before** it takes effect:
+submits (with the full job spec), admission verdicts, dispatches,
+progress watermarks, checkpoint references, retries, cancellations and
+completions (with the exact committed duration and the full result).
+The write-ahead ordering gives crash recovery its invariant — *journaled
+means it happened; not journaled means it never happened* — so
+:meth:`OptimizationService.recover` rebuilds the exact service state
+after SIGKILL: queued tickets re-enter admission in their original
+order, the in-flight job resumes bit-identically from its newest
+checkpoint, finished results are served from the journal without
+re-running, and the post-recovery event log is byte-identical to an
+uninterrupted run.  If the journal directory becomes unwritable the
+service degrades to **read-only mode**: status and streaming keep
+working, submissions are refused with a structured
+:class:`~repro.errors.JournalError` row.
+
+Fault tolerance — retry, watchdog, CPU failover
+-----------------------------------------------
+``retry`` wires a :class:`~repro.reliability.retry.RetryPolicy` into
+dispatch: a failed attempt banks the newest checkpoint, charges the lost
+simulated work plus exponential backoff to the job's overhead, and goes
+around on a fresh engine (a fresh simulated device).  On the final
+attempt — or when the lane's circuit breaker trips open mid-job — the
+run degrades to the policy's CPU fallback, whose bit-identical numerics
+keep the trajectory unchanged.  ``watchdog_seconds`` adds a progress
+lease on the same loop: an attempt that advances simulated time past the
+lease without a progress mark is declared stalled
+(:class:`~repro.errors.StalledRunError`) and retried like any transient
+fault.  ``faults`` attaches a :class:`~repro.reliability.faults
+.FaultPlan`'s injectors to dispatched jobs, the serve-level version of
+the batch fault drills.
+
 Who drives execution
 --------------------
 ``submit()`` advances the simulation to the new arrival (dispatching
@@ -55,10 +90,18 @@ from repro.errors import (
     CheckpointError,
     ConfigurationError,
     InvalidParameterError,
+    JournalError,
     ReproError,
+    StalledRunError,
 )
+from repro.io import result_from_dict, result_to_dict
+from repro.reliability.checkpoint import CheckpointManager, read_snapshot
+from repro.reliability.faults import FaultPlan
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.snapshot import ensure_capturable, params_to_spec
 from repro.serve.autoscale import AutoscalePolicy, Autoscaler
 from repro.serve.events import ServiceEvent, events_to_json
+from repro.serve.journal import ServiceJournal, job_from_spec, job_to_spec
 from repro.serve.quota import TenantQuota
 from repro.utils.stats import percentile
 
@@ -93,7 +136,7 @@ class JobTicket:
     is dense and ascending in submission order.  ``status`` is ``"queued"``
     until dispatch, then a terminal engine status (``"completed"``,
     ``"degraded"``, a budget status, …) or ``"shed"`` / ``"cancelled"`` /
-    ``"failed"``.
+    ``"failed"`` / ``"refused"`` (degraded read-only mode).
     """
 
     def __init__(
@@ -204,14 +247,16 @@ class ServiceReport:
     latencies of jobs that ran (shed and queued-cancelled jobs have no
     latency; they are counted in ``shed_rate`` / ``counts`` instead).
     ``throughput_per_second`` is finished-jobs per simulated second of
-    fleet makespan.
+    fleet makespan.  A degenerate window — nothing submitted, or every
+    job shed/refused — reports zeroed latencies and throughput (and
+    ``shed_rate == 1.0`` when jobs were refused) rather than raising.
     """
 
     n_jobs: int
     counts: dict
-    p50_latency_seconds: float | None
-    p99_latency_seconds: float | None
-    mean_latency_seconds: float | None
+    p50_latency_seconds: float
+    p99_latency_seconds: float
+    mean_latency_seconds: float
     throughput_per_second: float
     shed_rate: float
     makespan_seconds: float
@@ -219,6 +264,8 @@ class ServiceReport:
     devices_active: int
     scale_ups: int
     scale_downs: int
+    retries: int = 0
+    stalled: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -234,6 +281,8 @@ class ServiceReport:
             "devices_active": self.devices_active,
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
+            "retries": self.retries,
+            "stalled": self.stalled,
         }
 
     def summary(self) -> str:
@@ -283,11 +332,36 @@ class OptimizationService:
     checkpoint_dir:
         Directory for cancellation checkpoints — a mid-run cancel
         snapshots the run there, and :meth:`resubmit` resumes it
-        bit-identically.
+        bit-identically.  Also the fallback home for retry/watchdog
+        checkpoints when no journal is configured.
     stream_stride:
         Iterations between cooperative yields while a job runs (1 =
         every iteration; larger strides run faster but make streaming
         consumers and mid-run cancels coarser).
+    journal_dir:
+        Directory for the write-ahead journal (see the module docstring's
+        durability section).  ``journal_fsync=False`` trades power-loss
+        durability for append speed.
+    retry:
+        An attempt count or a full :class:`~repro.reliability.retry
+        .RetryPolicy`; transient failures and watchdog stalls retry from
+        the newest checkpoint, degrading to the policy's CPU fallback on
+        the final attempt.
+    faults:
+        A :class:`~repro.reliability.faults.FaultPlan`; each dispatched
+        job gets its injector attached (``plan.injector_for(job_id)``).
+    watchdog_seconds:
+        Progress lease in simulated seconds — an attempt whose clock
+        advances more than this between progress marks is declared
+        stalled and retried under ``retry``.
+    checkpoint_every:
+        Iteration cadence of the per-job checkpoint managers backing
+        retry/watchdog recovery and crash resume.
+    journal_kill_at / journal_kill_mode:
+        Deterministic crash harness (tests/CI only): crash — via SIGKILL
+        or an in-process :class:`~repro.serve.journal.JournalKillPoint`
+        — immediately after the journal record with that sequence number
+        is durable.
     """
 
     def __init__(
@@ -309,6 +383,14 @@ class OptimizationService:
         graph: bool | None = None,
         checkpoint_dir: str | Path | None = None,
         stream_stride: int = 1,
+        journal_dir: str | Path | None = None,
+        journal_fsync: bool = True,
+        retry: RetryPolicy | int | None = None,
+        faults: FaultPlan | None = None,
+        watchdog_seconds: float | None = None,
+        checkpoint_every: int = 10,
+        journal_kill_at: int | None = None,
+        journal_kill_mode: str = "sigkill",
     ) -> None:
         if n_devices < 1:
             raise InvalidParameterError(
@@ -397,6 +479,35 @@ class OptimizationService:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
 
+        if isinstance(retry, bool):
+            raise InvalidParameterError(
+                "retry must be an attempt count or a RetryPolicy, got a bool"
+            )
+        if isinstance(retry, int):
+            retry = RetryPolicy(max_attempts=retry)
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise InvalidParameterError(
+                "retry must be an attempt count or a RetryPolicy, got "
+                f"{type(retry).__name__}"
+            )
+        self.retry = retry
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise InvalidParameterError(
+                f"faults must be a FaultPlan, got {type(faults).__name__}"
+            )
+        self.faults = faults
+        if watchdog_seconds is not None and not watchdog_seconds > 0:
+            raise InvalidParameterError(
+                "watchdog_seconds must be positive simulated seconds, got "
+                f"{watchdog_seconds!r}"
+            )
+        self.watchdog_seconds = watchdog_seconds
+        if checkpoint_every < 1:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.checkpoint_every = int(checkpoint_every)
+
         breaker_policy = BatchScheduler._build_breaker(breaker)
         self._health = None
         if breaker_policy is not None:
@@ -419,6 +530,25 @@ class OptimizationService:
         self._now = 0.0
         self._events: list[ServiceEvent] = []
         self._lock = asyncio.Lock()
+
+        #: Structured refusal rows recorded in degraded read-only mode.
+        self.refusals: list[dict] = []
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self._journal: ServiceJournal | None = None
+        self._read_only = False
+        self._journal_error_row: dict | None = None
+        #: Crash-resume state per job id (built by :meth:`recover`).
+        self._resume: dict[int, dict] = {}
+        if self.journal_dir is not None:
+            try:
+                self._journal = ServiceJournal(
+                    self.journal_dir,
+                    fsync=journal_fsync,
+                    kill_at=journal_kill_at,
+                    kill_mode=journal_kill_mode,
+                )
+            except OSError as exc:
+                self._enter_read_only(exc)
 
     # -- introspection -------------------------------------------------------
     @property
@@ -444,6 +574,16 @@ class OptimizationService:
     def active_devices(self) -> tuple[int, ...]:
         return self._timeline.active_devices
 
+    @property
+    def read_only(self) -> bool:
+        """Whether the service is in degraded read-only mode (dead journal)."""
+        return self._read_only
+
+    @property
+    def journal_error(self) -> dict | None:
+        """Structured error row describing why the journal died, if it did."""
+        return dict(self._journal_error_row) if self._journal_error_row else None
+
     def status(self, job_id: int | None = None):
         """One job's status row, or every job's (submission order)."""
         if job_id is not None:
@@ -461,17 +601,43 @@ class OptimizationService:
     def _quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
 
-    def _emit(self, kind: str, *, time: float, ticket=None, **detail) -> None:
-        self._events.append(
-            ServiceEvent(
-                ordinal=len(self._events),
-                time=float(time),
-                kind=kind,
-                job_id=ticket.job_id if ticket is not None else None,
-                tenant=ticket.tenant if ticket is not None else None,
-                detail=detail,
-            )
+    # -- journaling ----------------------------------------------------------
+    def _enter_read_only(self, exc: OSError) -> None:
+        """Degrade to read-only mode: the journal can no longer be trusted."""
+        self._read_only = True
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        error = JournalError(
+            f"journal directory {self.journal_dir} is unwritable: {exc}"
         )
+        self._journal_error_row = error.to_row()
+
+    def _journal_append(self, record: dict) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(record)
+        except OSError as exc:
+            self._enter_read_only(exc)
+
+    def _emit(
+        self, kind: str, *, time: float, ticket=None, _extra=None, **detail
+    ) -> None:
+        event = ServiceEvent(
+            ordinal=len(self._events),
+            time=float(time),
+            kind=kind,
+            job_id=ticket.job_id if ticket is not None else None,
+            tenant=ticket.tenant if ticket is not None else None,
+            detail=detail,
+        )
+        # Write-ahead: the transition is durable before it takes effect.
+        record: dict = {"type": "event", "event": event.to_row()}
+        if _extra:
+            record["extra"] = _extra
+        self._journal_append(record)
+        self._events.append(event)
 
     # -- submission ----------------------------------------------------------
     async def submit(
@@ -495,8 +661,9 @@ class OptimizationService:
         The returned :class:`JobTicket` may already be terminal: quota or
         admission refusals shed synchronously (``status == "shed"``; in
         strict admission mode an :class:`~repro.errors.AdmissionError` is
-        raised instead), and a job the idle fleet can run immediately is
-        executed before ``submit`` returns.
+        raised instead), a read-only service refuses synchronously
+        (``status == "refused"``), and a job the idle fleet can run
+        immediately is executed before ``submit`` returns.
         """
         if job is None:
             job = Job(**spec)  # type: ignore[arg-type]
@@ -514,12 +681,17 @@ class OptimizationService:
                 f"arrivals must be non-decreasing: at={arrival} precedes "
                 f"the service clock {self._now}"
             )
+        if self._read_only:
+            return self._refuse(job, tenant, arrival, _resumed_from)
 
         # Run everything that starts strictly before this arrival, so the
         # queue the new job sees (and quota/admission/autoscale decisions)
         # reflect the fleet state at its arrival instant.
         await self._advance(arrival, exclusive=True)
         self._now = arrival
+        if self._read_only:
+            # The journal died while earlier work was being dispatched.
+            return self._refuse(job, tenant, arrival, _resumed_from)
 
         ticket = JobTicket(self, len(self._tickets), tenant, job)
         ticket.arrival = arrival
@@ -532,12 +704,48 @@ class OptimizationService:
             submit_detail["restore"] = str(restore)
         if _resumed_from is not None:
             submit_detail["resumed_from"] = _resumed_from
-        self._emit("submit", time=arrival, ticket=ticket, **submit_detail)
+        submit_extra = None
+        if self._journal is not None:
+            submit_extra = {"job": job_to_spec(job)}
+        self._emit(
+            "submit", time=arrival, ticket=ticket, _extra=submit_extra,
+            **submit_detail,
+        )
 
+        if not self._admission_verdict(ticket):
+            return ticket
+
+        ticket._restore_path = Path(restore) if restore is not None else None
+
+        # Autoscaler observation: the queue as this arrival finds it (the
+        # new job is not yet counted — idle streaks would otherwise never
+        # accumulate under sparse arrivals).
+        self._autoscale_tick(now=arrival)
+        self._pending.append(ticket)
+        self._pending.sort(key=lambda t: (-t.priority, t.job_id))
+
+        # Eagerly run whatever can start at this instant (an idle fleet
+        # serves the job before submit() returns).
+        await self._advance(arrival)
+        return ticket
+
+    def _admission_verdict(self, ticket: JobTicket) -> bool:
+        """Run quota + admission for *ticket*, emitting the verdict event.
+
+        Returns whether the ticket remains queued.  Shared by ``submit()``
+        and crash recovery: a crash between the journaled submit and its
+        verdict resumes here, and the recomputation is deterministic, so
+        the recovered verdict matches the one the uninterrupted run made.
+        Raises :class:`~repro.errors.AdmissionError` in strict mode (after
+        recording the shed).
+        """
+        job = ticket.job
+        arrival = ticket.arrival
+        quota = self._quota_for(ticket.tenant)
         refusal = self._quota_refusal(ticket, quota)
         if refusal is not None:
             self._shed(ticket, refusal, source="quota")
-            return ticket
+            return False
 
         if self.admission is not None:
             try:
@@ -557,13 +765,17 @@ class OptimizationService:
             ticket.admission_reason = decision.reason
             if decision.action == "shed":
                 self._shed(ticket, decision.reason, source="admission")
-                return ticket
+                return False
             if decision.action == "degrade":
                 ticket.effective_job = decision.job
+                degrade_extra = None
+                if self._journal is not None:
+                    degrade_extra = {"job": job_to_spec(decision.job)}
                 self._emit(
                     "degrade",
                     time=arrival,
                     ticket=ticket,
+                    _extra=degrade_extra,
                     reason=decision.reason,
                     n_particles=decision.job.n_particles,
                 )
@@ -572,19 +784,34 @@ class OptimizationService:
         else:
             ticket.admission_action = "admit"
             self._emit("admit", time=arrival, ticket=ticket)
+        return True
 
-        ticket._restore_path = Path(restore) if restore is not None else None
-
-        # Autoscaler observation: the queue as this arrival finds it (the
-        # new job is not yet counted — idle streaks would otherwise never
-        # accumulate under sparse arrivals).
-        self._autoscale_tick(now=arrival)
-        self._pending.append(ticket)
-        self._pending.sort(key=lambda t: (-t.priority, t.job_id))
-
-        # Eagerly run whatever can start at this instant (an idle fleet
-        # serves the job before submit() returns).
-        await self._advance(arrival)
+    def _refuse(
+        self, job: Job, tenant: str, arrival: float, resumed_from: int | None
+    ) -> JobTicket:
+        """Refuse a submission in degraded read-only mode."""
+        ticket = JobTicket(self, len(self._tickets), tenant, job)
+        ticket.arrival = arrival
+        ticket.resumed_from = resumed_from
+        ticket.priority = self._quota_for(tenant).job_priority(job.priority)
+        self._tickets.append(ticket)
+        self._now = max(self._now, arrival)
+        ticket.status = "refused"
+        ticket.admission_action = "refused"
+        row = dict(self._journal_error_row or {})
+        row["job"] = job.label
+        self.refusals.append(row)
+        ticket.admission_reason = row.get("message", "journal unwritable")
+        # The journal is the thing that broke, so the refusal itself
+        # cannot be journaled: this event is memory-only by design.
+        self._emit(
+            "refused",
+            time=arrival,
+            ticket=ticket,
+            reason=ticket.admission_reason,
+            error=row.get("error"),
+        )
+        ticket._finalize()
         return ticket
 
     async def resubmit(
@@ -739,6 +966,18 @@ class OptimizationService:
         *until* stops as soon as that ticket turns terminal.
         """
         async with self._lock:
+            # Crash-resumed in-flight jobs first: pre-crash they were
+            # already executing, so their remaining events precede any
+            # new dispatch decision — exactly the uninterrupted order.
+            while self._resume:
+                job_id = next(iter(self._resume))
+                info = self._resume[job_id]
+                await self._execute(
+                    self._tickets[job_id],
+                    info["device"],
+                    info["stream"],
+                    info["start"],
+                )
             while self._pending:
                 if until is not None and until._done.is_set():
                     return
@@ -767,20 +1006,132 @@ class OptimizationService:
         # queue — the breaker log still records the open state.
         return allowed or None
 
+    # -- execution -----------------------------------------------------------
+    def _checkpoint_manager_for(
+        self, ticket: JobTicket, job: Job
+    ) -> CheckpointManager | None:
+        """The per-job checkpoint manager backing retry/crash recovery.
+
+        ``None`` when nothing needs mid-run checkpoints, when there is
+        nowhere durable to put them, or when the job cannot be captured
+        (custom problems/schedules keep their legacy no-checkpoint path).
+        """
+        if self._journal is not None:
+            base = self._journal.checkpoints_dir
+        elif (
+            self.retry is not None or self.watchdog_seconds is not None
+        ) and self.checkpoint_dir is not None:
+            base = self.checkpoint_dir
+        else:
+            return None
+        try:
+            ensure_capturable(job.resolved_problem())
+            params_to_spec(job.resolved_params)
+        except CheckpointError:
+            return None
+        label = f"job{ticket.job_id:06d}"
+        try:
+            return CheckpointManager(
+                base / label,
+                every=self.checkpoint_every,
+                keep=3,
+                label=label,
+            )
+        except CheckpointError:
+            return None
+
+    def _start_attempt(
+        self,
+        ticket: JobTicket,
+        run_job: Job,
+        budget,
+        device: int,
+        manager: CheckpointManager | None,
+        injector,
+        *,
+        on_cpu: bool,
+    ) -> RunningJob:
+        """Build one attempt's engine/run, restored from the newest state."""
+        restore = None
+        from_manager = False
+        if manager is not None:
+            restore = manager.load_latest()
+            from_manager = restore is not None
+        if restore is None and ticket._restore_path is not None:
+            restore = read_snapshot(ticket._restore_path)
+        options = effective_engine_options(run_job, self.graph)
+        spec = self._spec_for_device(device)
+        if spec is not None and not on_cpu:
+            from repro.engines import engine_accepts_device
+
+            if engine_accepts_device(run_job.engine):
+                options.setdefault("device", spec)
+        try:
+            return RunningJob(
+                run_job,
+                engine_options=options,
+                budget=budget,
+                guard=self.guard,
+                checkpoint=manager,
+                restore=restore,
+                injector=injector,
+            )
+        except CheckpointError:
+            if not from_manager:
+                raise
+            # The banked checkpoint is incompatible with this attempt's
+            # engine: rerun from scratch rather than dying on the
+            # recovery path itself (mirrors run_with_recovery).
+            return RunningJob(
+                run_job,
+                engine_options=options,
+                budget=budget,
+                guard=self.guard,
+                checkpoint=manager,
+                injector=injector,
+            )
+
+    def _journal_checkpoint(
+        self, ticket: JobTicket, run: RunningJob, manager, injector
+    ) -> None:
+        path = manager.latest_path()
+        self._journal_append(
+            {
+                "type": "checkpoint",
+                "job_id": ticket.job_id,
+                "iteration": run.iterations_run,
+                "path": str(path) if path is not None else None,
+                "clock_now": float(run.engine.clock.now),
+                "injector": (
+                    injector.state_dict() if injector is not None else None
+                ),
+            }
+        )
+
     async def _execute(
         self, ticket: JobTicket, device: int, stream: int, start: float
     ) -> None:
-        """Host-run one dispatched job and commit it to the timeline."""
+        """Host-run one dispatched job and commit it to the timeline.
+
+        The attempt loop wires the reliability stack into serving: each
+        attempt may be watched by the watchdog lease, checkpointed at the
+        service cadence, failed over per the retry policy (fresh engine =
+        fresh simulated device; CPU fallback on the last attempt or when
+        the lane's breaker trips), and every transition is journaled
+        before it takes effect.
+        """
         job = ticket.effective_job
         ticket.status = "running"
-        self._emit(
-            "dispatch",
-            time=start,
-            ticket=ticket,
-            device=device,
-            stream=stream,
-            queue_wait=start - ticket.arrival,
-        )
+        resume = self._resume.pop(ticket.job_id, None)
+        if resume is None:
+            self._emit(
+                "dispatch",
+                time=start,
+                ticket=ticket,
+                device=device,
+                stream=stream,
+                queue_wait=start - ticket.arrival,
+            )
         quota = self._quota_for(ticket.tenant)
         deadline = (
             Budget(wall_seconds=self.deadline)
@@ -790,121 +1141,213 @@ class OptimizationService:
         budget = Budget.merge_all(
             job.budget, quota.budget, self.budget, deadline
         )
-        restore = None
-        restore_path = ticket._restore_path
-        try:
-            if restore_path is not None:
-                from repro.reliability.checkpoint import read_snapshot
 
-                restore = read_snapshot(restore_path)
-            options = effective_engine_options(job, self.graph)
-            spec = self._spec_for_device(device)
-            if spec is not None:
-                from repro.engines import engine_accepts_device
-
-                if engine_accepts_device(job.engine):
-                    options.setdefault("device", spec)
-            run = RunningJob(
-                job,
-                engine_options=options,
-                budget=budget,
-                guard=self.guard,
-                restore=restore,
-            )
-        except ReproError as exc:
-            self._fail(ticket, device, stream, start, 0.0, exc)
-            return
-
-        cancelled = False
-        emitted = False
-        last = math.inf
-        since_yield = 0
-        try:
-            for t in range(run.start_iter, run.max_iter):
-                if ticket.cancel_requested:
-                    cancelled = True
-                    break
-                stopping = run.step(t)
-                value = run.gbest_value
-                if not emitted or value < last:
-                    ticket._push(
-                        ProgressUpdate(
-                            job_id=ticket.job_id,
-                            iteration=t,
-                            best_value=value,
-                            sim_seconds=float(run.engine.clock.now),
-                        )
-                    )
-                    last = value
-                    emitted = True
-                if stopping:
-                    break
-                since_yield += 1
-                if since_yield >= self.stream_stride:
-                    since_yield = 0
-                    # Cooperative yield: streaming consumers observe the
-                    # update and may cancel before the next iteration.
-                    await asyncio.sleep(0)
-        except ReproError as exc:
-            self._fail(
-                ticket, device, stream, start,
-                float(run.engine.clock.now), exc,
-            )
-            return
-
-        if cancelled:
-            self._checkpoint_cancelled(ticket, run)
-            result = run.finish(status="cancelled")
-        else:
-            result = run.finish()
-
-        placement = self._timeline.commit(
-            device, stream, start, result.elapsed_seconds
+        injector = (
+            self.faults.injector_for(ticket.job_id, job.label)
+            if self.faults is not None
+            else None
         )
-        ticket.placement = placement
-        ticket.result = result
-        if (
-            ticket.admission_action == "degrade"
-            and result.status == "completed"
-        ):
-            ticket.status = "degraded"
-        else:
-            ticket.status = result.status
-        if self._health is not None:
-            self._health.record_success(device, now=placement.end_seconds)
-        if cancelled:
-            self._emit(
-                "cancel",
-                time=placement.end_seconds,
-                ticket=ticket,
-                phase="running",
-                iterations=result.iterations,
-                best_value=float(result.best_value),
-                checkpoint=(
-                    str(ticket.checkpoint_path)
-                    if ticket.checkpoint_path is not None
-                    else None
-                ),
+        if injector is not None and resume is not None:
+            state = resume.get("injector")
+            if state is not None:
+                injector.load_state(state)
+        policy = self.retry
+        attempt = resume["attempt"] if resume is not None else 1
+        overhead = resume["overhead"] if resume is not None else 0.0
+        skip_stalled = bool(resume and resume.get("skip_stalled"))
+        manager = self._checkpoint_manager_for(ticket, job)
+        lease = self.watchdog_seconds
+
+        while True:
+            fallback = (
+                policy.fallback_engine(job.engine)
+                if policy is not None
+                else None
             )
-        else:
-            self._emit(
-                "complete",
-                time=placement.end_seconds,
-                ticket=ticket,
-                status=ticket.status,
-                best_value=float(result.best_value),
-                iterations=result.iterations,
-                latency=ticket.latency_seconds,
+            on_cpu = bool(
+                fallback
+                and policy is not None
+                and attempt == policy.max_attempts
+                and attempt > 1
             )
-        ticket._finalize()
-        self._autoscale_tick(now=placement.end_seconds)
+            if (
+                not on_cpu
+                and fallback
+                and attempt > 1
+                and self._health is not None
+                and not self._health.breakers[device].allows(start + overhead)
+            ):
+                # The lane's own breaker tripped open on this job's
+                # failures: degrade straight to the CPU substrate.
+                on_cpu = True
+            run_job = (
+                job
+                if not on_cpu
+                else job.with_overrides(engine=fallback, engine_options={})
+            )
+
+            run = None
+            failure: ReproError | None = None
+            cancelled = stalled = False
+            try:
+                run = self._start_attempt(
+                    ticket, run_job, budget, device, manager, injector,
+                    on_cpu=on_cpu,
+                )
+            except ReproError as exc:
+                failure = exc
+
+            if run is not None:
+                saves_seen = manager.saves if manager is not None else 0
+                last_mark = float(run.engine.clock.now)
+                emitted = False
+                last = math.inf
+                since_yield = 0
+                try:
+                    for t in range(run.start_iter, run.max_iter):
+                        if ticket.cancel_requested:
+                            cancelled = True
+                            break
+                        stopping = run.step(t)
+                        now_sim = float(run.engine.clock.now)
+                        value = run.gbest_value
+                        if not emitted or value < last:
+                            ticket._push(
+                                ProgressUpdate(
+                                    job_id=ticket.job_id,
+                                    iteration=t,
+                                    best_value=value,
+                                    sim_seconds=now_sim,
+                                )
+                            )
+                            self._journal_append(
+                                {
+                                    "type": "progress",
+                                    "job_id": ticket.job_id,
+                                    "iteration": t,
+                                    "best_value": value,
+                                    "sim_seconds": now_sim,
+                                }
+                            )
+                            last = value
+                            emitted = True
+                        if manager is not None and manager.saves > saves_seen:
+                            saves_seen = manager.saves
+                            self._journal_checkpoint(
+                                ticket, run, manager, injector
+                            )
+                        if lease is not None and now_sim - last_mark > lease:
+                            stalled = True
+                            break
+                        last_mark = now_sim
+                        if stopping:
+                            break
+                        since_yield += 1
+                        if since_yield >= self.stream_stride:
+                            since_yield = 0
+                            # Cooperative yield: streaming consumers observe
+                            # the update and may cancel before the next
+                            # iteration.
+                            await asyncio.sleep(0)
+                except ReproError as exc:
+                    failure = exc
+
+            if cancelled:
+                self._checkpoint_cancelled(ticket, run)
+                result = run.finish(status="cancelled")
+                self._complete(
+                    ticket, device, stream, start, overhead, result,
+                    cancelled=True, attempt=attempt, on_cpu=on_cpu,
+                )
+                return
+            if failure is None and not stalled:
+                result = run.finish()
+                self._complete(
+                    ticket, device, stream, start, overhead, result,
+                    cancelled=False, attempt=attempt, on_cpu=on_cpu,
+                )
+                return
+
+            # The attempt failed (contained error) or outlived its lease.
+            fail_sim = float(run.engine.clock.now) if run is not None else 0.0
+            fail_time = start + overhead + fail_sim
+            if stalled:
+                failure = StalledRunError(
+                    f"watchdog lease expired: {fail_sim - last_mark:.6g}s "
+                    f"simulated since the last progress mark "
+                    f"(lease {lease:g}s)"
+                )
+                failure.with_context(
+                    job=job.label, device=device, attempt=attempt
+                )
+            retryable = policy is not None and (
+                stalled or isinstance(failure, policy.retry_on)
+            )
+            error_text = f"{type(failure).__name__}: {failure}"
+            if not retryable or attempt >= policy.max_attempts:
+                if stalled and not skip_stalled:
+                    self._emit(
+                        "stalled",
+                        time=fail_time,
+                        ticket=ticket,
+                        attempt=attempt,
+                        lease=lease,
+                        error=error_text,
+                    )
+                skip_stalled = False
+                self._fail(
+                    ticket, device, stream, start, overhead + fail_sim,
+                    failure, attempt=attempt,
+                )
+                return
+
+            # Bank what the newest checkpoint holds; the rest died with
+            # the attempt.  Lost work plus exponential backoff become
+            # overhead on this job's lane — run_with_recovery's
+            # arithmetic, serve-side.
+            snap = manager.load_latest() if manager is not None else None
+            banked = (
+                float(snap.clock_state["now"]) if snap is not None else 0.0
+            )
+            lost = max(0.0, fail_sim - banked)
+            backoff = policy.backoff_for(attempt - 1)
+            if self._health is not None:
+                self._health.record_failure(device, now=fail_time)
+            if stalled and not skip_stalled:
+                self._emit(
+                    "stalled",
+                    time=fail_time,
+                    ticket=ticket,
+                    attempt=attempt,
+                    lease=lease,
+                    error=error_text,
+                )
+            skip_stalled = False
+            overhead += lost + backoff
+            retry_extra = None
+            if self._journal is not None:
+                retry_extra = {
+                    "overhead": overhead,
+                    "injector": (
+                        injector.state_dict() if injector is not None else None
+                    ),
+                }
+            self._emit(
+                "retry",
+                time=fail_time,
+                ticket=ticket,
+                _extra=retry_extra,
+                attempt=attempt,
+                error=error_text,
+                lost_seconds=lost,
+                backoff_seconds=backoff,
+            )
+            attempt += 1
 
     def _checkpoint_cancelled(self, ticket: JobTicket, run: RunningJob) -> None:
         """Snapshot a mid-run cancel so :meth:`resubmit` can resume it."""
         if self.checkpoint_dir is None or run.iterations_run == 0:
             return
-        from repro.reliability.checkpoint import CheckpointManager
-
         try:
             snapshot = run.snapshot()
         except CheckpointError:
@@ -917,6 +1360,71 @@ class OptimizationService:
         )
         ticket.checkpoint_path = manager.save(snapshot)
 
+    def _complete(
+        self,
+        ticket: JobTicket,
+        device: int,
+        stream: int,
+        start: float,
+        overhead: float,
+        result: OptimizeResult,
+        *,
+        cancelled: bool,
+        attempt: int,
+        on_cpu: bool = False,
+    ) -> None:
+        """Commit a terminal result (recovery overhead included) and emit."""
+        duration = overhead + result.elapsed_seconds
+        placement = self._timeline.commit(device, stream, start, duration)
+        ticket.placement = placement
+        ticket.result = result
+        if (
+            ticket.admission_action == "degrade"
+            and result.status == "completed"
+        ):
+            ticket.status = "degraded"
+        else:
+            ticket.status = result.status
+        if self._health is not None and not on_cpu:
+            self._health.record_success(device, now=placement.end_seconds)
+        extra = None
+        if self._journal is not None:
+            # The exact committed duration rides along: IEEE addition is
+            # not associative, so replay must commit the same float the
+            # live run did, not recompute it from parts.
+            extra = {"duration": duration, "result": result_to_dict(result)}
+        if cancelled:
+            detail: dict = {
+                "phase": "running",
+                "iterations": result.iterations,
+                "best_value": float(result.best_value),
+                "checkpoint": (
+                    str(ticket.checkpoint_path)
+                    if ticket.checkpoint_path is not None
+                    else None
+                ),
+            }
+        else:
+            detail = {
+                "status": ticket.status,
+                "best_value": float(result.best_value),
+                "iterations": result.iterations,
+                "latency": ticket.latency_seconds,
+            }
+            if attempt > 1:
+                detail["attempts"] = attempt
+        if on_cpu:
+            detail["cpu_fallback"] = True
+        self._emit(
+            "cancel" if cancelled else "complete",
+            time=placement.end_seconds,
+            ticket=ticket,
+            _extra=extra,
+            **detail,
+        )
+        ticket._finalize()
+        self._autoscale_tick(now=placement.end_seconds)
+
     def _fail(
         self,
         ticket: JobTicket,
@@ -925,6 +1433,8 @@ class OptimizationService:
         start: float,
         duration: float,
         exc: ReproError,
+        *,
+        attempt: int = 1,
     ) -> None:
         """Contain a job failure: record it, never unwind the service."""
         placement = self._timeline.commit(device, stream, start, duration)
@@ -932,11 +1442,16 @@ class OptimizationService:
         ticket.status = "failed"
         if self._health is not None:
             self._health.record_failure(device, now=placement.end_seconds)
+        detail = {"error": f"{type(exc).__name__}: {exc}"}
+        if attempt > 1:
+            detail["attempts"] = attempt
+        extra = {"duration": duration} if self._journal is not None else None
         self._emit(
             "failed",
             time=placement.end_seconds,
             ticket=ticket,
-            error=f"{type(exc).__name__}: {exc}",
+            _extra=extra,
+            **detail,
         )
         ticket._finalize()
         self._autoscale_tick(now=placement.end_seconds)
@@ -947,6 +1462,15 @@ class OptimizationService:
             return
         active = self._timeline.active_devices
         victim = self._shrink_victim(now=now, active=active)
+        self._journal_append(
+            {
+                "type": "scale_obs",
+                "now": now,
+                "queue_depth": len(self._pending),
+                "n_active": len(active),
+                "can_shrink": victim is not None,
+            }
+        )
         decision = self._autoscaler.observe(
             now=now,
             queue_depth=len(self._pending),
@@ -955,6 +1479,17 @@ class OptimizationService:
         )
         if decision is None:
             return
+        self._apply_scale(
+            decision,
+            now=now,
+            queue_depth=len(self._pending),
+            n_active=len(active),
+            victim=victim,
+        )
+
+    def _apply_scale(
+        self, decision, *, now: float, queue_depth: int, n_active: int, victim
+    ) -> None:
         action, reason = decision
         if action == "up":
             boot_at = now + self._autoscaler.policy.boot_seconds
@@ -964,8 +1499,8 @@ class OptimizationService:
                 time=now,
                 device=index,
                 lanes_open_at=boot_at,
-                queue_depth=len(self._pending),
-                active_devices=len(active),
+                queue_depth=queue_depth,
+                active_devices=n_active,
                 reason=reason,
             )
         else:
@@ -974,7 +1509,7 @@ class OptimizationService:
                 "scale_down",
                 time=now,
                 device=victim,
-                active_devices=len(active) - 1,
+                active_devices=n_active - 1,
                 reason=reason,
             )
 
@@ -989,6 +1524,327 @@ class OptimizationService:
                 return device
         return None
 
+    # -- crash recovery ------------------------------------------------------
+    @classmethod
+    def recover(cls, journal_dir: str | Path, **kwargs) -> "OptimizationService":
+        """Rebuild a service from its write-ahead journal after a crash.
+
+        *kwargs* must be the same configuration the crashed service ran
+        with (quotas, autoscale policy, retry, faults, …) — the journal
+        records decisions, not configuration.  Replaying restores every
+        ticket and event verbatim, re-commits the fleet timeline and
+        breaker history, re-queues still-pending tickets in their
+        original order, and stages the in-flight job (if any) for
+        bit-identical resume from its newest checkpoint on the next
+        ``submit()``/``drain()``.  Raises
+        :class:`~repro.errors.JournalError` when the journal cannot be
+        opened for append (recovery must be able to continue the log).
+        """
+        kwargs.pop("journal_dir", None)
+        service = cls(journal_dir=journal_dir, **kwargs)
+        if service._journal is None:
+            row = service._journal_error_row or {}
+            raise JournalError(
+                row.get("message")
+                or f"cannot open journal in {journal_dir} for recovery"
+            )
+        service._replay_journal()
+        return service
+
+    def _replay_journal(self) -> None:
+        """Apply every surviving journal record to the fresh service.
+
+        ``submit()`` is a multi-record transaction (submit, verdict,
+        autoscale observation); a crash can land between any two of its
+        records.  Replay detects a transaction cut short mid-way — a
+        ticket whose verdict or autoscale tick never reached the journal,
+        or an autoscale observation whose decided scale event did not —
+        and resumes it deterministically, so the recovered event log
+        continues exactly where the uninterrupted one would be.
+        """
+        records = self._journal.existing_records
+        inflight: dict[int, dict] = {}
+        retried: dict[int, dict] = {}
+        injector_state: dict[int, dict | None] = {}
+        tail_needs_tick = False
+        stall_tail_job = None
+        for i, record in enumerate(records):
+            kind = record.get("type")
+            if kind == "event":
+                self._replay_event(record, inflight, retried, injector_state)
+                if record["event"]["kind"] in ("admit", "degrade"):
+                    # A verdict as the journal's final record means the
+                    # crash hit before the submit's autoscale tick.
+                    tail_needs_tick = i == len(records) - 1
+                if (
+                    record["event"]["kind"] == "stalled"
+                    and i == len(records) - 1
+                ):
+                    # Crash between "stalled" and its paired "retry"/
+                    # "failed": the resumed attempt re-detects the same
+                    # stall and must not journal it twice.
+                    stall_tail_job = record["event"]["job_id"]
+            elif kind == "checkpoint":
+                injector_state[record["job_id"]] = record.get("injector")
+            elif kind == "scale_obs":
+                if self._autoscaler is not None:
+                    # Rebuild idle streaks and cooldowns.  The decision is
+                    # normally discarded (the journaled scale event that
+                    # follows applies it) — unless the crash cut it off,
+                    # in which case apply it now, exactly as the
+                    # uninterrupted run would have.
+                    decision = self._autoscaler.observe(
+                        now=record["now"],
+                        queue_depth=record["queue_depth"],
+                        n_active=record["n_active"],
+                        can_shrink=record["can_shrink"],
+                    )
+                    nxt = records[i + 1] if i + 1 < len(records) else None
+                    applied = (
+                        nxt is not None
+                        and nxt.get("type") == "event"
+                        and nxt["event"]["kind"] in ("scale_up", "scale_down")
+                    )
+                    if decision is not None and not applied:
+                        self._apply_scale(
+                            decision,
+                            now=record["now"],
+                            queue_depth=record["queue_depth"],
+                            n_active=record["n_active"],
+                            victim=self._shrink_victim(
+                                now=record["now"],
+                                active=self._timeline.active_devices,
+                            ),
+                        )
+            # "progress" watermarks feed live streams only; "recovered"
+            # markers from earlier recoveries carry no state.
+
+        # A terminal event as the journal's final record means the crash
+        # hit before the post-completion autoscale tick.
+        redo_tick_time = None
+        if records:
+            last = records[-1]
+            if last.get("type") == "event":
+                last_row = last["event"]
+                terminal = last_row["kind"] in ("complete", "failed") or (
+                    last_row["kind"] == "cancel"
+                    and (last_row.get("detail") or {}).get("phase") == "running"
+                )
+                if terminal:
+                    redo_tick_time = last_row["time"]
+
+        # A submit cut off before its verdict: the last ticket is queued
+        # with no admission action on record.
+        tail = self._tickets[-1] if self._tickets else None
+        redo_verdict = (
+            tail is not None
+            and not tail._done.is_set()
+            and tail.status == "queued"
+            and tail.admission_action == ""
+            and tail.job_id not in inflight
+            and getattr(tail, "_recoverable", True)
+        )
+
+        for ticket in self._tickets:
+            if ticket._done.is_set() or ticket.status != "queued":
+                continue
+            if ticket.job_id in inflight:
+                continue
+            if ticket is tail and (redo_verdict or tail_needs_tick):
+                continue  # enqueued below, after its submit tail re-runs
+            if not getattr(ticket, "_recoverable", True):
+                ticket.status = "failed"
+                ticket.admission_reason = (
+                    "job spec could not be journaled; not recoverable"
+                )
+                ticket._finalize()
+                continue
+            self._pending.append(ticket)
+        self._pending.sort(key=lambda t: (-t.priority, t.job_id))
+
+        if redo_tick_time is not None:
+            self._autoscale_tick(now=redo_tick_time)
+
+        if tail is not None and (redo_verdict or tail_needs_tick):
+            queued = True
+            if redo_verdict:
+                try:
+                    queued = self._admission_verdict(tail)
+                except AdmissionError:
+                    # Strict-mode sheds raise to the submitter; at
+                    # recovery time there is no submitter to tell.
+                    queued = False
+            if queued:
+                self._autoscale_tick(now=tail.arrival)
+                self._pending.append(tail)
+                self._pending.sort(key=lambda t: (-t.priority, t.job_id))
+
+        for job_id, info in inflight.items():
+            ticket = self._tickets[job_id]
+            if ticket._done.is_set():
+                continue
+            if not getattr(ticket, "_recoverable", True):
+                ticket.status = "failed"
+                ticket.admission_reason = (
+                    "job spec could not be journaled; not recoverable"
+                )
+                ticket._finalize()
+                continue
+            ticket.status = "running"
+            retry = retried.get(job_id)
+            self._resume[job_id] = {
+                "device": info["device"],
+                "stream": info["stream"],
+                "start": info["start"],
+                "attempt": retry["attempt"] + 1 if retry else 1,
+                "overhead": retry["overhead"] if retry else 0.0,
+                "injector": injector_state.get(job_id),
+                "skip_stalled": job_id == stall_tail_job,
+            }
+        self._journal_append(
+            {"type": "recovered", "n_events": len(self._events)}
+        )
+
+    def _replay_event(
+        self,
+        record: dict,
+        inflight: dict,
+        retried: dict,
+        injector_state: dict,
+    ) -> None:
+        row = record["event"]
+        extra = record.get("extra") or {}
+        kind = row["kind"]
+        job_id = row["job_id"]
+        detail = dict(row.get("detail") or {})
+        self._events.append(
+            ServiceEvent(
+                ordinal=row["ordinal"],
+                time=row["time"],
+                kind=kind,
+                job_id=job_id,
+                tenant=row.get("tenant"),
+                detail=detail,
+            )
+        )
+
+        if kind == "submit":
+            spec = extra.get("job")
+            if spec is not None:
+                job = job_from_spec(spec)
+            else:
+                # The crashed service could not serialize this job; the
+                # stub keeps ids/counters aligned but cannot be re-run.
+                job = Job(problem="sphere", dim=1, name=detail.get("label"))
+            ticket = JobTicket(self, len(self._tickets), row["tenant"], job)
+            ticket.arrival = row["time"]
+            ticket.resumed_from = detail.get("resumed_from")
+            ticket.priority = self._quota_for(row["tenant"]).job_priority(
+                job.priority
+            )
+            if spec is None:
+                ticket._recoverable = False
+            if "restore" in detail:
+                ticket._restore_path = Path(detail["restore"])
+            self._tickets.append(ticket)
+            self._now = max(self._now, row["time"])
+            return
+        if kind in ("scale_up", "scale_down"):
+            if kind == "scale_up":
+                self._timeline.add_device(at=detail["lanes_open_at"])
+            else:
+                self._timeline.retire_device(detail["device"])
+            return
+        if job_id is None:
+            return
+
+        ticket = self._tickets[job_id]
+        if kind == "admit":
+            ticket.admission_action = "admit"
+        elif kind == "degrade":
+            ticket.admission_action = "degrade"
+            ticket.admission_reason = detail.get("reason", "")
+            spec = extra.get("job")
+            if spec is not None:
+                ticket.effective_job = job_from_spec(spec)
+            else:
+                ticket._recoverable = False
+        elif kind == "shed":
+            ticket.status = "shed"
+            ticket.admission_action = "shed"
+            ticket.admission_reason = detail.get("reason", "")
+            ticket._finalize()
+        elif kind == "refused":  # pragma: no cover - never journaled
+            ticket.status = "refused"
+            ticket._finalize()
+        elif kind == "dispatch":
+            ticket.status = "running"
+            inflight[job_id] = {
+                "device": detail["device"],
+                "stream": detail["stream"],
+                "start": row["time"],
+            }
+        elif kind == "retry":
+            retried[job_id] = {
+                "attempt": detail["attempt"],
+                "overhead": extra["overhead"],
+            }
+            injector_state[job_id] = extra.get("injector")
+            if self._health is not None:
+                self._health.record_failure(
+                    inflight[job_id]["device"], now=row["time"]
+                )
+        elif kind == "complete":
+            info = inflight.pop(job_id)
+            placement = self._timeline.commit(
+                info["device"], info["stream"], info["start"],
+                extra["duration"],
+            )
+            ticket.placement = placement
+            ticket.result = result_from_dict(extra["result"])
+            ticket.status = detail["status"]
+            if self._health is not None and not detail.get("cpu_fallback"):
+                self._health.record_success(
+                    info["device"], now=placement.end_seconds
+                )
+            ticket._finalize()
+        elif kind == "failed":
+            info = inflight.pop(job_id, None)
+            if info is not None:
+                placement = self._timeline.commit(
+                    info["device"], info["stream"], info["start"],
+                    extra["duration"],
+                )
+                ticket.placement = placement
+                if self._health is not None:
+                    self._health.record_failure(
+                        info["device"], now=placement.end_seconds
+                    )
+            ticket.status = "failed"
+            ticket._finalize()
+        elif kind == "cancel":
+            if detail.get("phase") == "queued":
+                ticket.status = "cancelled"
+                ticket._finalize()
+                return
+            info = inflight.pop(job_id)
+            placement = self._timeline.commit(
+                info["device"], info["stream"], info["start"],
+                extra["duration"],
+            )
+            ticket.placement = placement
+            ticket.result = result_from_dict(extra["result"])
+            ticket.status = "cancelled"
+            if detail.get("checkpoint"):
+                ticket.checkpoint_path = Path(detail["checkpoint"])
+            if self._health is not None and not detail.get("cpu_fallback"):
+                self._health.record_success(
+                    info["device"], now=placement.end_seconds
+                )
+            ticket._finalize()
+        # "stalled" carries no state: the paired "retry"/"failed" event
+        # holds the breaker and overhead bookkeeping.
+
     # -- reporting -----------------------------------------------------------
     def report(self) -> ServiceReport:
         """Aggregate metrics over everything submitted so far."""
@@ -999,20 +1855,20 @@ class OptimizationService:
             if ticket.latency_seconds is not None:
                 latencies.append(ticket.latency_seconds)
         n_jobs = len(self._tickets)
-        shed = counts.get("shed", 0)
+        shed = counts.get("shed", 0) + counts.get("refused", 0)
         makespan = self._timeline.makespan_seconds
         finished = len(latencies)
         return ServiceReport(
             n_jobs=n_jobs,
             counts=counts,
             p50_latency_seconds=(
-                percentile(latencies, 50.0) if latencies else None
+                percentile(latencies, 50.0) if latencies else 0.0
             ),
             p99_latency_seconds=(
-                percentile(latencies, 99.0) if latencies else None
+                percentile(latencies, 99.0) if latencies else 0.0
             ),
             mean_latency_seconds=(
-                sum(latencies) / finished if latencies else None
+                sum(latencies) / finished if latencies else 0.0
             ),
             throughput_per_second=(
                 finished / makespan if makespan > 0 else 0.0
@@ -1025,4 +1881,6 @@ class OptimizationService:
             scale_downs=sum(
                 1 for e in self._events if e.kind == "scale_down"
             ),
+            retries=sum(1 for e in self._events if e.kind == "retry"),
+            stalled=sum(1 for e in self._events if e.kind == "stalled"),
         )

@@ -177,7 +177,10 @@ class TestIneligibleConfigurations:
         )
         assert engine.graph_info["mode"] == "eager"
         assert engine.graph_info["eager_reason"] == "fault-injector"
-        assert engine.graph_info["native"] is None
+        # The demotion reason is recorded on the native slot too — an
+        # eager run can never reach the native tier, and the drill audit
+        # trail should say why rather than show a silent None.
+        assert engine.graph_info["native"] == "fault-injector"
         assert engine.graph_info["native_replays"] == 0
 
 

@@ -326,3 +326,41 @@ class TestStatusAndReport:
         service = OptimizationService()
         with pytest.raises(InvalidParameterError, match="unknown job id"):
             service.status(3)
+
+    def test_empty_report_is_all_zeroes(self):
+        # No submissions: the degenerate report must not raise on the
+        # empty latency set — every rate and percentile is a plain 0.0.
+        report = OptimizationService().report()
+        assert report.n_jobs == 0
+        assert report.counts == {}
+        assert report.p50_latency_seconds == 0.0
+        assert report.p99_latency_seconds == 0.0
+        assert report.mean_latency_seconds == 0.0
+        assert report.throughput_per_second == 0.0
+        assert report.shed_rate == 0.0
+        assert "0 job(s)" in report.summary()
+
+    def test_all_refused_report_sheds_everything_with_zeroed_latencies(
+        self, tmp_path
+    ):
+        # A drill where every submission is refused (degraded read-only
+        # service) has no finished latencies at all: shed_rate pegs at
+        # 1.0 and the percentile fields report 0.0 instead of raising.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory\n")
+        service = OptimizationService(journal_dir=blocker / "wal")
+
+        async def main():
+            for seed in (1, 2, 3):
+                await service.submit(JOB.with_overrides(seed=seed), at=0.0)
+
+        asyncio.run(main())
+        report = service.report()
+        assert report.n_jobs == 3
+        assert report.counts == {"refused": 3}
+        assert report.shed_rate == 1.0
+        assert report.p50_latency_seconds == 0.0
+        assert report.p99_latency_seconds == 0.0
+        assert report.mean_latency_seconds == 0.0
+        assert report.throughput_per_second == 0.0
+        assert "shed=100.00%" in report.summary()

@@ -121,15 +121,21 @@ SERVE_PUBLIC = {
     "Autoscaler",
     "ClientSession",
     "EVENT_KINDS",
+    "JOURNAL_SCHEMA_VERSION",
     "JobTicket",
+    "JournalKillPoint",
     "LoadProfile",
     "OptimizationService",
     "ProgressUpdate",
     "ServiceEvent",
+    "ServiceJournal",
     "ServiceReport",
     "TenantQuota",
     "build_sessions",
     "events_to_json",
+    "job_from_spec",
+    "job_to_spec",
+    "read_journal",
     "replay",
     "run_drill",
 }
@@ -272,3 +278,93 @@ class TestTopLevelConvenience:
         engine = make_engine("fastpso")
         assert engine.name == "fastpso"
         assert BatchScheduler().submit(Job("sphere", dim=4)).dim == 4
+
+
+#: The serve CLI's flags are a contract too: CI scripts and operator
+#: runbooks key on them, so adding one extends this snapshot and removing
+#: one is a breaking change.
+SERVE_CLI_OPTIONS = {
+    "--boot-seconds",
+    "--cancel-fraction",
+    "--checkpoint-dir",
+    "--deadline",
+    "--devices",
+    "--events-json",
+    "--faults",
+    "--help",
+    "--journal-dir",
+    "--kill-at-record",
+    "--max-devices",
+    "--max-queue",
+    "--mean-interarrival",
+    "--no-autoscale",
+    "--no-journal-fsync",
+    "--out",
+    "--retry",
+    "--seed",
+    "--sessions",
+    "--streams",
+    "--watchdog-seconds",
+}
+
+
+class TestCliSurface:
+    def test_serve_cli_flags_pinned(self):
+        from repro.serve.__main__ import build_parser
+
+        options = {
+            option
+            for action in build_parser()._actions
+            for option in action.option_strings
+            if option.startswith("--")
+        }
+        assert options == SERVE_CLI_OPTIONS
+
+    def test_serve_help_text_mentions_durability_surface(self):
+        from repro.serve.__main__ import build_parser
+
+        text = build_parser().format_help()
+        for needle in (
+            "--journal-dir",
+            "--kill-at-record",
+            "--retry",
+            "--watchdog-seconds",
+            "recover",
+        ):
+            assert needle in text, needle
+
+    def test_repro_usage_snapshot(self):
+        from repro.cli import _USAGE
+
+        assert _USAGE == (
+            "usage: repro {serve,batch,bench,devices} [args...]\n"
+            "\n"
+            "commands:\n"
+            "  serve    run the serving-layer load drill "
+            "(python -m repro.serve);\n"
+            "           'repro serve recover --journal-dir DIR' resumes a\n"
+            "           crashed drill from its write-ahead journal\n"
+            "  batch    run the batch scheduler CLI (python -m repro.batch)\n"
+            "  bench    run paper experiments (fastpso-bench)\n"
+            "  devices  inspect the device catalog / calibrate the cost "
+            "model\n"
+            "           (python -m repro.devices)\n"
+        )
+
+    def test_serve_exit_codes_match_batch_convention(self, tmp_path):
+        # 2 = refused/shed or configuration error, matching the batch CLI.
+        from repro.serve.__main__ import main
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory\n")
+        code = main(
+            [
+                "--sessions",
+                "3",
+                "--no-autoscale",
+                "--journal-dir",
+                str(blocker / "wal"),
+            ]
+        )
+        assert code == 2
+        assert main(["recover"]) == 2  # missing --journal-dir

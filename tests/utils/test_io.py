@@ -1,6 +1,8 @@
-"""Result serialization round trips and CSV writing."""
+"""Result serialization round trips, durable atomic writes, CSV writing."""
 
 import json
+import os
+import stat
 
 import numpy as np
 import pytest
@@ -11,6 +13,8 @@ from repro.engines import FastPSOEngine
 from repro.errors import BenchmarkError
 from repro.io import (
     SCHEMA_VERSION,
+    atomic_write_bytes,
+    fsync_directory,
     load_result_json,
     result_from_dict,
     result_to_dict,
@@ -105,3 +109,43 @@ class TestCsv:
     def test_ragged_rows_rejected(self, tmp_path):
         with pytest.raises(BenchmarkError, match="row width"):
             write_rows_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+
+
+class TestDurableAtomicWrites:
+    def test_atomic_write_fsyncs_the_parent_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # os.replace makes the write atomic against process crash; power
+        # loss additionally needs the parent directory's metadata on disk.
+        # Record every fsynced fd and assert one of them is the parent
+        # directory itself, synced *after* the payload file.
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        path = atomic_write_bytes(tmp_path / "payload.bin", b"x" * 64)
+        assert path.read_bytes() == b"x" * 64
+        assert synced[0] is False  # the payload file first...
+        assert True in synced[1:]  # ...then its directory fd
+
+    def test_fsync_directory_opens_the_directory_itself(
+        self, tmp_path, monkeypatch
+    ):
+        seen = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            seen.append(os.fstat(fd).st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        fsync_directory(tmp_path)
+        assert seen == [os.stat(tmp_path).st_ino]
+
+    def test_fsync_directory_tolerates_unopenable_paths(self, tmp_path):
+        # Network mounts that refuse O_DIRECTORY must not break writers.
+        fsync_directory(tmp_path / "does-not-exist")
